@@ -1,0 +1,162 @@
+// Ablation: generalisation. The paper's 10-fold CV mixes samples of the
+// same kernel (other sizes / the other element type) across folds, so the
+// tree can partially memorise kernels. This harness measures the honest
+// deployment settings:
+//   * leave-one-kernel-out: every fold holds out ALL samples of one
+//     kernel (the real "configure unseen source code" scenario),
+//   * leave-one-suite-out: train on two suites, test on the third,
+//   * cross-type: train on i32 samples only, test on f32,
+//   * cross-size: train on three sizes, test on the held-out one.
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "feat/features.hpp"
+#include "ml/tree.hpp"
+
+namespace {
+
+using namespace pulpc;
+
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Accuracy of a tree trained/tested on an explicit split, at tolerances
+/// 0% and 5%.
+std::pair<double, double> run_split(const ml::Dataset& ds,
+                                    const ml::Matrix& x,
+                                    const std::vector<int>& y,
+                                    const Split& split) {
+  if (split.train.empty() || split.test.empty()) return {0, 0};
+  ml::DecisionTree tree;
+  tree.fit(x, y, split.train);
+  std::vector<int> preds;
+  preds.reserve(split.test.size());
+  for (const std::size_t i : split.test) {
+    preds.push_back(tree.predict(std::span(x.row(i), x.cols)));
+  }
+  return {ml::tolerance_accuracy(ds.samples(), split.test, preds, 0.0),
+          ml::tolerance_accuracy(ds.samples(), split.test, preds, 0.05)};
+}
+
+/// Average run_split over a family of splits, weighting by test size.
+std::pair<double, double> run_group(
+    const ml::Dataset& ds, const ml::Matrix& x, const std::vector<int>& y,
+    const std::vector<Split>& splits) {
+  double a0 = 0;
+  double a5 = 0;
+  std::size_t total = 0;
+  for (const Split& s : splits) {
+    const auto [t0, t5] = run_split(ds, x, y, s);
+    a0 += t0 * double(s.test.size());
+    a5 += t5 * double(s.test.size());
+    total += s.test.size();
+  }
+  return {a0 / double(total), a5 / double(total)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: generalisation to unseen code ==\n");
+  const ml::Dataset ds = bench::dataset();
+  const std::vector<std::string> cols =
+      feat::feature_set_columns(feat::FeatureSet::AllStatic);
+  const ml::Matrix x = ds.matrix(cols);
+  const std::vector<int> y = ds.labels();
+  const auto& samples = ds.samples();
+
+  // Baseline: the paper's mixed CV at matching effort.
+  ml::EvalOptions opt = bench::eval_options();
+  opt.repeats = std::min(opt.repeats, 20U);
+  const ml::EvalResult mixed = ml::evaluate(ds, cols, opt);
+
+  // Leave-one-kernel-out.
+  std::map<std::string, std::vector<std::size_t>> by_kernel;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    by_kernel[samples[i].kernel].push_back(i);
+  }
+  std::vector<Split> loko;
+  for (const auto& [kernel, test] : by_kernel) {
+    Split s;
+    s.test = test;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (samples[i].kernel != kernel) s.train.push_back(i);
+    }
+    loko.push_back(std::move(s));
+  }
+  const auto [k0, k5] = run_group(ds, x, y, loko);
+
+  // Leave-one-suite-out.
+  std::vector<Split> loso;
+  for (const std::string suite : {"polybench", "utdsp", "custom"}) {
+    Split s;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (samples[i].suite == suite ? s.test : s.train).push_back(i);
+    }
+    loso.push_back(std::move(s));
+  }
+  const auto [s0, s5] = run_group(ds, x, y, loso);
+
+  // Cross-type: i32 -> f32.
+  Split xtype;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (samples[i].dtype == kir::DType::F32 ? xtype.test : xtype.train)
+        .push_back(i);
+  }
+  const auto [t0, t5] = run_split(ds, x, y, xtype);
+
+  // Cross-size: hold out the largest problem size.
+  Split xsize;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (samples[i].size_bytes == 32768 ? xsize.test : xsize.train).push_back(i);
+  }
+  const auto [z0, z5] = run_split(ds, x, y, xsize);
+
+  std::printf("\naccuracy at 0%% / 5%% energy tolerance:\n");
+  std::printf("  %-26s %6.1f%% / %5.1f%%   (the paper's protocol)\n",
+              "mixed 10-fold CV", 100 * mixed.accuracy_at(0.0),
+              100 * mixed.accuracy_at(0.05));
+  std::printf("  %-26s %6.1f%% / %5.1f%%\n", "leave-one-kernel-out",
+              100 * k0, 100 * k5);
+  std::printf("  %-26s %6.1f%% / %5.1f%%\n", "leave-one-suite-out",
+              100 * s0, 100 * s5);
+  std::printf("  %-26s %6.1f%% / %5.1f%%\n", "train i32 -> test f32",
+              100 * t0, 100 * t5);
+  std::printf("  %-26s %6.1f%% / %5.1f%%\n", "hold out 32 KiB size",
+              100 * z0, 100 * z5);
+
+  std::printf("\nchecks:\n");
+  bool ok = true;
+  const bool harder = k0 <= mixed.accuracy_at(0.0) + 1e-9;
+  std::printf(
+      "  [%s] unseen-kernel accuracy <= mixed-CV accuracy (memorisation "
+      "gap: %.1f points)\n",
+      harder ? "PASS" : "FAIL",
+      100 * (mixed.accuracy_at(0.0) - k0));
+  ok &= harder;
+  // Even on fully unseen kernels the exact-optimum accuracy must stay
+  // well above the always-8 base rate, or the method has no deployment
+  // value. (At 5% tolerance always-8 becomes competitive on this
+  // substrate because most parallel kernels sit within a few percent of
+  // their optimum at 8 cores; the printed numbers document that.)
+  const ml::EvalResult always8 = ml::evaluate_constant(ds, 8);
+  const bool useful = k0 > always8.accuracy_at(0.0) + 0.05;
+  std::printf(
+      "  [%s] unseen-kernel @0%% accuracy (%.1f%%) beats always-8 "
+      "(%.1f%%) by >5 points\n",
+      useful ? "PASS" : "FAIL", 100 * k0, 100 * always8.accuracy_at(0.0));
+  std::printf(
+      "  [info] at 5%% tolerance on unseen kernels: classifier %.1f%% vs "
+      "always-8 %.1f%%\n",
+      100 * k5, 100 * always8.accuracy_at(0.05));
+  ok &= useful;
+
+  std::printf("\nresult: %s\n", ok ? "all checks PASS" : "CHECK FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,153 @@
+// Ablation: loop schedule. The PULP OpenMP runtime in the paper only
+// supports static scheduling; this harness compares its two flavours —
+// contiguous chunks versus round-robin interleaving — on kernels with
+// different memory footprints. Chunked scheduling puts all cores on the
+// same TCDM bank whenever the chunk size is a multiple of the bank count
+// (a real PULP pitfall); cyclic scheduling avoids the two serial divides
+// in the region prologue and spreads unit-stride accesses across banks,
+// but interleaves cache^W bank footprints for blocked patterns.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dsl/builder.hpp"
+#include "dsl/lower.hpp"
+#include "energy/model.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace pulpc;
+using dsl::Buf;
+using dsl::InitKind;
+using dsl::KernelBuilder;
+using dsl::Val;
+
+Val ic(std::int32_t v) { return dsl::make_const_i(v); }
+
+/// Unit-stride streaming kernel in either schedule.
+dsl::KernelSpec stream(bool cyclic, std::uint32_t n) {
+  KernelBuilder k(cyclic ? "stream_cyc" : "stream_chk", "ablation",
+                  kir::DType::I32, n * 4);
+  const Buf a = k.buffer("a", n);
+  const Buf b = k.buffer("b", n, InitKind::Zero);
+  const auto body = [&](Val i) {
+    k.store(b, i, k.load(a, i) * ic(3) + ic(1));
+  };
+  if (cyclic) {
+    k.par_for_cyclic("i", ic(0), ic(int(n)), body);
+  } else {
+    k.par_for("i", ic(0), ic(int(n)), body);
+  }
+  return k.build();
+}
+
+/// Row-blocked kernel (each iteration walks a 16-element row): blocked
+/// footprints suit chunked scheduling.
+dsl::KernelSpec rows(bool cyclic, std::uint32_t n) {
+  KernelBuilder k(cyclic ? "rows_cyc" : "rows_chk", "ablation",
+                  kir::DType::I32, n * 4);
+  const std::uint32_t rows_n = n / 16;
+  const Buf a = k.buffer("a", n);
+  const Buf out = k.buffer("out", rows_n, InitKind::Zero);
+  const auto body = [&](Val r) {
+    auto acc = k.decl("acc", ic(0));
+    k.for_("c", ic(0), ic(16), [&](Val c) {
+      k.assign(acc, acc + k.load(a, r * ic(16) + c));
+    });
+    k.store(out, r, acc);
+  };
+  if (cyclic) {
+    k.par_for_cyclic("r", ic(0), ic(int(rows_n)), body);
+  } else {
+    k.par_for("r", ic(0), ic(int(rows_n)), body);
+  }
+  return k.build();
+}
+
+/// Tiny repeated regions: prologue overhead dominates.
+dsl::KernelSpec tiny_regions(bool cyclic) {
+  KernelBuilder k(cyclic ? "tiny_cyc" : "tiny_chk", "ablation",
+                  kir::DType::I32, 512);
+  const Buf a = k.buffer("a", 64);
+  k.for_("t", ic(0), ic(16), [&](Val) {
+    const auto body = [&](Val i) {
+      k.store(a, i, k.load(a, i) + ic(1));
+    };
+    if (cyclic) {
+      k.par_for_cyclic("i", ic(0), ic(64), body);
+    } else {
+      k.par_for("i", ic(0), ic(64), body);
+    }
+  });
+  return k.build();
+}
+
+struct Row {
+  std::uint64_t cycles = 0;
+  std::uint64_t conflicts = 0;
+  double energy_uj = 0;
+};
+
+Row measure(const dsl::KernelSpec& spec, unsigned cores) {
+  const kir::Program prog = dsl::lower(spec);
+  sim::Cluster cl;
+  cl.load(prog);
+  const sim::RunResult r = cl.run(cores);
+  if (!r.ok) {
+    std::fprintf(stderr, "%s failed: %s\n", spec.name.c_str(),
+                 r.error.c_str());
+    std::exit(1);
+  }
+  return {r.stats.region_cycles(), r.stats.l1_conflicts(),
+          energy::compute_energy(r.stats).total_uj()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: static loop schedules (8 cores) ==\n\n");
+  std::printf("%-14s | %10s %9s %10s | %10s %9s %10s | %8s\n", "kernel",
+              "chk cyc", "chk cnfl", "chk uJ", "cyc cyc", "cyc cnfl",
+              "cyc uJ", "E ratio");
+
+  bool ok = true;
+  const auto compare = [&](const char* name, const dsl::KernelSpec& chk,
+                           const dsl::KernelSpec& cyc) {
+    const Row a = measure(chk, 8);
+    const Row b = measure(cyc, 8);
+    std::printf("%-14s | %10llu %9llu %10.3f | %10llu %9llu %10.3f | %8.3f\n",
+                name, (unsigned long long)a.cycles,
+                (unsigned long long)a.conflicts, a.energy_uj,
+                (unsigned long long)b.cycles,
+                (unsigned long long)b.conflicts, b.energy_uj,
+                b.energy_uj / a.energy_uj);
+    return std::pair{a, b};
+  };
+
+  const auto [sa, sb] = compare("stream 4KiB", stream(false, 1024),
+                                stream(true, 1024));
+  // Unit-stride + chunk size divisible by 16 banks: chunked conflicts.
+  ok &= sa.conflicts > sb.conflicts;
+
+  const auto [ra, rb] = compare("rows 4KiB", rows(false, 1024),
+                                rows(true, 1024));
+  (void)ra;
+  (void)rb;
+
+  const auto [ta, tb] = compare("tiny x16", tiny_regions(false),
+                                tiny_regions(true));
+  // No divides in the prologue: cyclic wins on region-entry overhead.
+  ok &= tb.cycles < ta.cycles;
+
+  std::printf(
+      "\nchecks:\n"
+      "  [%s] cyclic removes the chunked bank-conflict pathology on "
+      "unit-stride streams\n"
+      "  [%s] cyclic is cheaper for tiny repeated regions (no prologue "
+      "divides)\n",
+      sa.conflicts > sb.conflicts ? "PASS" : "FAIL",
+      tb.cycles < ta.cycles ? "PASS" : "FAIL");
+  std::printf("\nresult: %s\n", ok ? "all checks PASS" : "CHECK FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Paper claim (ii): "the energy classification problem is not a trivial
+// extension of performance or speed-up classification". This harness
+// quantifies the claim on the dataset: how often does the fastest core
+// count differ from the most energy-efficient one, how much energy does
+// picking-for-speed waste, and how much worse is a tree trained on
+// speed labels when judged on energy labels?
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "feat/features.hpp"
+#include "ml/tree.hpp"
+
+int main() {
+  using namespace pulpc;
+  std::printf("== Claim: energy labels != performance labels ==\n");
+  const ml::Dataset ds = bench::dataset();
+
+  // Per-sample fastest configuration from the cycle vectors.
+  std::vector<int> speed_labels;
+  std::size_t differ = 0;
+  double waste_sum = 0;
+  double waste_max = 0;
+  for (const ml::Sample& s : ds.samples()) {
+    const auto fastest =
+        std::min_element(s.cycles.begin(), s.cycles.end()) - s.cycles.begin();
+    const int fast_label = int(fastest) + 1;
+    speed_labels.push_back(fast_label);
+    if (fast_label != s.label) ++differ;
+    const double waste = ml::energy_waste(s, fast_label);
+    waste_sum += waste;
+    waste_max = std::max(waste_max, waste);
+  }
+  const double differ_pct = 100.0 * double(differ) / double(ds.size());
+  std::printf(
+      "fastest-config label differs from min-energy label on %zu/%zu "
+      "samples (%.1f%%)\n",
+      differ, ds.size(), differ_pct);
+  std::printf(
+      "picking the fastest config wastes %.2f%% energy on average "
+      "(worst case %.1f%%)\n",
+      100.0 * waste_sum / double(ds.size()), 100.0 * waste_max);
+
+  // Train on speed labels, evaluate against energy labels.
+  const std::vector<std::string> cols =
+      feat::feature_set_columns(feat::FeatureSet::AllStatic);
+  const ml::Matrix x = ds.matrix(cols);
+  ml::DecisionTree speed_tree;
+  speed_tree.fit(x, speed_labels);
+  const std::vector<int> speed_preds = speed_tree.predict(x);
+  ml::DecisionTree energy_tree;
+  energy_tree.fit(x, ds.labels());
+  const std::vector<int> energy_preds = energy_tree.predict(x);
+
+  const double acc_speed_on_energy =
+      ml::tolerance_accuracy(ds.samples(), speed_preds, 0.0);
+  const double acc_energy_on_energy =
+      ml::tolerance_accuracy(ds.samples(), energy_preds, 0.0);
+  std::printf(
+      "\ntree trained on SPEED labels, judged on energy optimum:  %.1f%%\n",
+      100 * acc_speed_on_energy);
+  std::printf(
+      "tree trained on ENERGY labels, judged on energy optimum: %.1f%%\n",
+      100 * acc_energy_on_energy);
+
+  std::printf("\npaper-shape checks:\n");
+  bool ok = true;
+  const bool nontrivial = differ_pct > 10.0;
+  std::printf(
+      "  [%s] labels differ on >10%% of samples (energy is its own task)\n",
+      nontrivial ? "PASS" : "FAIL");
+  ok &= nontrivial;
+  const bool gap = acc_energy_on_energy > acc_speed_on_energy + 0.05;
+  std::printf(
+      "  [%s] energy-trained tree beats speed-trained tree by >5 pts on "
+      "energy labels\n",
+      gap ? "PASS" : "FAIL");
+  ok &= gap;
+
+  std::printf("\nresult: %s\n", ok ? "all shape checks PASS" : "CHECK FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Shared plumbing for the benchmark harnesses that regenerate the
+// paper's tables and figures. The expensive 448-sample dataset build is
+// cached on disk (pulpclass_dataset.csv in the working directory, or
+// PULPC_DATASET_CACHE) so the first harness pays it and the rest reuse
+// it. PULPC_CV_REPS overrides the paper's 100 cross-validation
+// repetitions for quicker runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/classifier.hpp"
+#include "core/pipeline.hpp"
+#include "ml/cv.hpp"
+#include "ml/metrics.hpp"
+
+namespace pulpc::bench {
+
+/// Load (or build + cache) the full 448-sample dataset with progress
+/// reporting on stderr.
+[[nodiscard]] inline ml::Dataset dataset() {
+  return core::load_or_build_dataset({}, [](std::size_t d, std::size_t t) {
+    if (d % 56 == 0 || d == t) {
+      std::fprintf(stderr, "  building dataset: %zu/%zu samples\r", d, t);
+      if (d == t) std::fprintf(stderr, "\n");
+    }
+  });
+}
+
+/// CV options following the paper's protocol (10-fold stratified, 100
+/// repetitions), with the repetition count overridable via PULPC_CV_REPS.
+[[nodiscard]] inline ml::EvalOptions eval_options() {
+  ml::EvalOptions opt;
+  opt.folds = 10;
+  opt.repeats = 100;
+  if (const char* env = std::getenv("PULPC_CV_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps > 0) opt.repeats = static_cast<unsigned>(reps);
+  }
+  return opt;
+}
+
+/// Print one accuracy-vs-tolerance series as a table row block.
+inline void print_series(const char* name, const ml::EvalResult& res) {
+  std::printf("%-14s", name);
+  for (std::size_t i = 0; i < res.tolerances.size(); i += 2) {
+    std::printf(" %5.1f", 100.0 * res.accuracy[i]);
+  }
+  std::printf("\n");
+}
+
+inline void print_series_header() {
+  std::printf("%-14s", "tolerance ->");
+  const std::vector<double> t = ml::default_tolerances();
+  for (std::size_t i = 0; i < t.size(); i += 2) {
+    std::printf(" %4.0f%%", 100.0 * t[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace pulpc::bench

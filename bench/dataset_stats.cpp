@@ -1,0 +1,72 @@
+// Dataset statistics (paper section IV-B): 448 samples from 59 kernels in
+// three suites, the minimum-energy label distribution over the 8 classes,
+// and the class-unbalance structure the paper reports (the "8 cores"
+// class is by far the most frequent; on the authors' silicon it holds
+// 34.8% of the samples).
+#include <cstdio>
+
+#include "common.hpp"
+#include "kernels/registry.hpp"
+
+int main() {
+  using namespace pulpc;
+  std::printf("== Dataset statistics (section IV-B) ==\n");
+  const ml::Dataset ds = bench::dataset();
+
+  std::size_t poly = 0;
+  std::size_t utdsp = 0;
+  std::size_t custom = 0;
+  std::size_t i32 = 0;
+  std::size_t f32 = 0;
+  for (const ml::Sample& s : ds.samples()) {
+    if (s.suite == "polybench") ++poly;
+    if (s.suite == "utdsp") ++utdsp;
+    if (s.suite == "custom") ++custom;
+    if (s.dtype == kir::DType::I32) ++i32;
+    if (s.dtype == kir::DType::F32) ++f32;
+  }
+  std::printf("samples: %zu  (polybench %zu, utdsp %zu, custom %zu)\n",
+              ds.size(), poly, utdsp, custom);
+  std::printf("element types: i32 %zu, f32 %zu\n", i32, f32);
+  std::printf("distinct kernels: %zu; problem sizes:", kernels::all_kernels().size());
+  for (const std::uint32_t s : kernels::dataset_sizes()) {
+    std::printf(" %u", s);
+  }
+  std::printf(" bytes\n\n");
+
+  const auto hist = ds.label_histogram(8);
+  std::printf("minimum-energy label distribution:\n");
+  std::printf("  %-6s %-8s %-7s %s\n", "cores", "samples", "share", "");
+  std::size_t mode = 1;
+  for (int k = 1; k <= 8; ++k) {
+    const double share = 100.0 * double(hist[k]) / double(ds.size());
+    std::printf("  %-6d %-8zu %5.1f%%  ", k, hist[k], share);
+    for (int b = 0; b < int(share / 2); ++b) std::printf("#");
+    std::printf("\n");
+    if (hist[k] > hist[mode]) mode = std::size_t(k);
+  }
+
+  std::printf("\npaper-shape checks:\n");
+  bool ok = true;
+  const bool count_ok = ds.size() == 448;
+  std::printf("  [%s] 448 samples as in the paper\n",
+              count_ok ? "PASS" : "FAIL");
+  ok &= count_ok;
+
+  const bool mode8 = mode == 8;
+  std::printf("  [%s] class '8' is the most frequent label (%.1f%%; the "
+              "paper reports 34.8%% on silicon)\n",
+              mode8 ? "PASS" : "FAIL",
+              100.0 * double(hist[8]) / double(ds.size()));
+  ok &= mode8;
+
+  std::size_t nonempty = 0;
+  for (int k = 1; k <= 8; ++k) nonempty += hist[k] > 0 ? 1 : 0;
+  const bool spread = nonempty >= 6;
+  std::printf("  [%s] labels spread over >= 6 of the 8 classes (%zu)\n",
+              spread ? "PASS" : "FAIL", nonempty);
+  ok &= spread;
+
+  std::printf("\nresult: %s\n", ok ? "all shape checks PASS" : "CHECK FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Figure 2 (left panel): classification accuracy of the decision tree as
+// a function of the energy-waste tolerance, for the static AGG features
+// and the dynamic features, against the naive "always-8" baseline. The
+// paper's headline claims are checked as summary rows: the classifier
+// must beat always-8 everywhere, AGG must exceed 75% at 5% tolerance and
+// 85% at 8%, and the static-dynamic gap must stay below 10 points.
+#include <cstdio>
+
+#include "common.hpp"
+#include "feat/features.hpp"
+
+int main() {
+  using namespace pulpc;
+  std::printf("== Figure 2 (left): static vs dynamic vs always-8 ==\n");
+  const ml::Dataset ds = bench::dataset();
+  const ml::EvalOptions opt = bench::eval_options();
+  std::printf("dataset: %zu samples, %u-fold CV x %u repetitions\n\n",
+              ds.size(), opt.folds, opt.repeats);
+
+  const ml::EvalResult agg = ml::evaluate(
+      ds, feat::feature_set_columns(feat::FeatureSet::Agg), opt);
+  const ml::EvalResult dyn = ml::evaluate(
+      ds, feat::feature_set_columns(feat::FeatureSet::Dynamic), opt);
+  const ml::EvalResult always8 = ml::evaluate_constant(ds, 8);
+
+  std::printf("accuracy [%%] by energy tolerance threshold:\n");
+  bench::print_series_header();
+  bench::print_series("static (AGG)", agg);
+  bench::print_series("dynamic", dyn);
+  bench::print_series("always-8", always8);
+
+  std::printf("\npaper-shape checks:\n");
+  bool ok = true;
+  bool beats = true;
+  for (std::size_t i = 0; i < agg.accuracy.size(); ++i) {
+    beats &= agg.accuracy[i] >= always8.accuracy[i];
+  }
+  std::printf("  [%s] AGG classifier >= always-8 at every tolerance\n",
+              beats ? "PASS" : "FAIL");
+  ok &= beats;
+
+  const bool tol5 = agg.accuracy_at(0.05) > 0.75;
+  std::printf(
+      "  [%s] AGG accuracy @5%% tolerance > 75%%   (measured %.1f%%)\n",
+      tol5 ? "PASS" : "FAIL", 100 * agg.accuracy_at(0.05));
+  ok &= tol5;
+
+  const bool tol8 = agg.accuracy_at(0.08) > 0.85;
+  std::printf(
+      "  [%s] AGG accuracy @8%% tolerance > 85%%   (measured %.1f%%)\n",
+      tol8 ? "PASS" : "FAIL", 100 * agg.accuracy_at(0.08));
+  ok &= tol8;
+
+  double max_gap = 0;
+  for (std::size_t i = 0; i < agg.accuracy.size(); ++i) {
+    max_gap = std::max(max_gap, dyn.accuracy[i] - agg.accuracy[i]);
+  }
+  const bool gap = max_gap < 0.10;
+  std::printf(
+      "  [%s] dynamic-static gap < 10 points      (measured %.1f)\n",
+      gap ? "PASS" : "FAIL", 100 * max_gap);
+  ok &= gap;
+
+  std::printf("\nresult: %s\n", ok ? "all shape checks PASS" : "CHECK FAILED");
+  return ok ? 0 : 1;
+}

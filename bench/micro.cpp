@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the expensive building blocks:
+// simulator stepping throughput, trace parsing, static feature
+// extraction, MCA analysis and decision-tree training.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <sstream>
+
+#include "dsl/lower.hpp"
+#include "feat/features.hpp"
+#include "kernels/registry.hpp"
+#include "mca/analyzer.hpp"
+#include "ml/tree.hpp"
+#include "sim/cluster.hpp"
+#include "trace/listeners.hpp"
+#include "trace/sinks.hpp"
+
+namespace {
+
+using namespace pulpc;
+
+void BM_LowerKernel(benchmark::State& state) {
+  const dsl::KernelSpec spec =
+      kernels::make_kernel("gemm", kir::DType::F32, 8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsl::lower(spec));
+  }
+}
+BENCHMARK(BM_LowerKernel);
+
+void BM_SimulateGemm(benchmark::State& state) {
+  const auto cores = static_cast<unsigned>(state.range(0));
+  const kir::Program prog =
+      dsl::lower(kernels::make_kernel("gemm", kir::DType::I32, 8192));
+  sim::Cluster cluster;
+  cluster.load(prog);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const sim::RunResult r = cluster.run(cores);
+    cycles += r.stats.total_cycles;
+    benchmark::DoNotOptimize(r.stats.total_cycles);
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateGemm)->Arg(1)->Arg(8);
+
+void BM_TraceEmitAndParse(benchmark::State& state) {
+  const kir::Program prog =
+      dsl::lower(kernels::make_kernel("fir", kir::DType::I32, 512));
+  sim::Cluster cluster;
+  cluster.load(prog);
+  std::ostringstream text;
+  trace::TextTraceWriter writer(text);
+  (void)cluster.run(2, &writer);
+  const std::string payload = text.str();
+  for (auto _ : state) {
+    trace::TraceAnalyser analyser;
+    trace::PulpListeners listeners;
+    listeners.register_on(analyser);
+    std::istringstream in(payload);
+    benchmark::DoNotOptimize(analyser.analyse(in));
+  }
+  state.counters["trace_bytes"] =
+      static_cast<double>(payload.size());
+}
+BENCHMARK(BM_TraceEmitAndParse);
+
+void BM_StaticFeatures(benchmark::State& state) {
+  const kir::Program prog =
+      dsl::lower(kernels::make_kernel("conv2d", kir::DType::F32, 8192));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::extract_static(prog));
+  }
+}
+BENCHMARK(BM_StaticFeatures);
+
+void BM_McaAnalyze(benchmark::State& state) {
+  const kir::Program prog =
+      dsl::lower(kernels::make_kernel("fft", kir::DType::F32, 8192));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mca::analyze_program(prog));
+  }
+}
+BENCHMARK(BM_McaAnalyze);
+
+void BM_TreeFit(benchmark::State& state) {
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> u(0, 1);
+  ml::Matrix x;
+  x.rows = 448;
+  x.cols = cols;
+  std::vector<int> y;
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) x.data.push_back(u(rng));
+    y.push_back(1 + int(u(rng) * 8));
+  }
+  for (auto _ : state) {
+    ml::DecisionTree tree;
+    tree.fit(x, y);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeFit)->Arg(3)->Arg(20)->Arg(80);
+
+}  // namespace
+
+BENCHMARK_MAIN();

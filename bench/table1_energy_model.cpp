@@ -1,0 +1,183 @@
+// Table I: the PULP energy model. The paper derives its constants by
+// running synthetic benchmarks that each contain a single class of
+// instructions and integrating the measured power. This harness repeats
+// that methodology on the simulator: for every opcode class it runs two
+// single-class synthetic benchmarks of different lengths, takes the
+// marginal energy per operation, and checks it against the value
+// predicted from the Table I rows (opcode energy + cycle-proportional
+// floor). Exact agreement shows the energy integration is faithful to
+// the published model.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "energy/model.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace pulpc;
+using kir::Instr;
+using kir::MemSpace;
+using kir::Op;
+
+constexpr std::uint32_t kTcdm = 0x1000'0000;
+constexpr std::uint32_t kL2 = 0x1C00'0000;
+
+Instr ins(Op op, std::uint8_t rd = 0, std::uint8_t rs1 = 0,
+          std::uint8_t rs2 = 0, std::int32_t imm = 0,
+          MemSpace mem = MemSpace::None) {
+  return Instr{op, rd, rs1, rs2, imm, mem};
+}
+
+/// Synthetic single-class benchmark: `iters` loop iterations of 8
+/// identical payload instructions.
+kir::Program synthetic(const Instr& payload, int iters) {
+  kir::Program p;
+  p.name = "synthetic";
+  p.buffers.push_back(kir::BufferInfo{"m", kir::DType::I32, MemSpace::Tcdm,
+                                      kTcdm, 64, kir::BufInit::Zero});
+  p.buffers.push_back(kir::BufferInfo{"l2m", kir::DType::I32, MemSpace::L2,
+                                      kL2, 64, kir::BufInit::Zero});
+  p.code.push_back(ins(Op::MarkEnter));                       // 0
+  p.code.push_back(ins(Op::Li, 10, 0, 0, std::int32_t(kTcdm)));
+  p.code.push_back(ins(Op::Li, 11, 0, 0, std::int32_t(kL2)));
+  p.code.push_back(ins(Op::Li, 2, 0, 0, 0));
+  p.code.push_back(ins(Op::Li, 3, 0, 0, iters));
+  const auto loop_head = static_cast<std::int32_t>(p.code.size());
+  for (int u = 0; u < 8; ++u) p.code.push_back(payload);
+  p.code.push_back(ins(Op::AddI, 2, 2, 0, 1));
+  p.code.push_back(ins(Op::Blt, 0, 2, 3, loop_head));
+  p.code.push_back(ins(Op::MarkExit));
+  p.code.push_back(ins(Op::Halt));
+  return p;
+}
+
+struct Measurement {
+  double marginal_per_op = 0;   // fJ, measured from two run lengths
+  double marginal_cycles = 0;   // cycles per op
+};
+
+Measurement measure(const Instr& payload) {
+  sim::Cluster cl;
+  const auto run = [&](int iters) {
+    cl.load(synthetic(payload, iters));
+    const sim::RunResult r = cl.run(1);
+    if (!r.ok) {
+      std::fprintf(stderr, "synthetic run failed: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+    return std::pair{energy::total_energy_fj(r.stats),
+                     double(r.stats.region_cycles())};
+  };
+  const auto [e1, c1] = run(256);
+  const auto [e2, c2] = run(512);
+  Measurement m;
+  m.marginal_per_op = (e2 - e1) / (256.0 * 8.0);
+  m.marginal_cycles = (c2 - c1) / (256.0 * 8.0);
+  return m;
+}
+
+/// Energy floor of one cluster cycle with a single running core doing no
+/// memory accesses (leakage + idle of every component + the running
+/// core's interconnect toggle), straight from the Table I rows.
+double cycle_floor(const energy::EnergyModel& m) {
+  return 8 * m.pe_leakage + 7 * m.pe_cg + 4 * (m.fpu_leakage + m.fpu_idle) +
+         16 * (m.l1_leakage + m.l1_idle) + 32 * (m.l2_leakage + m.l2_idle) +
+         m.icache_leakage + m.dma_leakage + m.dma_idle + m.other_leakage +
+         m.other_active;
+}
+
+}  // namespace
+
+int main() {
+  const energy::EnergyModel m;
+  std::printf("== Table I: PULP energy model [fJ] ==\n");
+  std::printf("%-22s %8s    %-18s %8s\n", "operating region", "energy",
+              "operating region", "energy");
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "PE leakage", m.pe_leakage,
+              "L1 bank leakage", m.l1_leakage);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "PE nop", m.pe_nop,
+              "L1 bank read", m.l1_read);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "PE alu", m.pe_alu,
+              "L1 bank write", m.l1_write);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "PE fp", m.pe_fp,
+              "L1 bank idle", m.l1_idle);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "PE l1", m.pe_l1,
+              "L2 bank leakage", m.l2_leakage);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "PE l2", m.pe_l2,
+              "L2 bank read", m.l2_read);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "PE clock-gated", m.pe_cg,
+              "L2 bank write", m.l2_write);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "FPU leakage", m.fpu_leakage,
+              "L2 bank idle", m.l2_idle);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "FPU operative",
+              m.fpu_operative, "icache leakage", m.icache_leakage);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "FPU idle", m.fpu_idle,
+              "icache use", m.icache_use);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "other leakage",
+              m.other_leakage, "icache refill", m.icache_refill);
+  std::printf("%-22s %8.0f    %-18s %8.0f\n", "other active",
+              m.other_active, "DMA transfer", m.dma_transfer);
+
+  std::printf(
+      "\n== per-class marginal energy from synthetic single-class "
+      "benchmarks ==\n");
+  const double floor = cycle_floor(m);
+  std::printf("(cycle floor: %.0f fJ/cycle; every issued op also pays %0.f "
+              "fJ of icache fetch)\n\n",
+              floor, m.icache_use);
+
+  struct Case {
+    const char* name;
+    Instr payload;
+    double op_energy;  // Table I energy of one op (with its icache fetch)
+    double op_cycles;  // cycles the op occupies the core
+  };
+  const std::vector<Case> cases = {
+      {"nop", ins(Op::Nop), m.pe_nop + m.icache_use, 1},
+      {"alu (add)", ins(Op::Add, 4, 4, 5), m.pe_alu + m.icache_use, 1},
+      {"alu (mul)", ins(Op::Mul, 4, 4, 5), m.pe_alu + m.icache_use, 1},
+      {"fp (fadd)", ins(Op::FAdd, 4, 4, 5),
+       m.pe_fp + m.fpu_operative + m.icache_use, 1},
+      {"div", ins(Op::Div, 4, 4, 5), 12 * m.pe_alu + m.icache_use, 12},
+      {"fp div", ins(Op::FDiv, 4, 4, 5),
+       10 * (m.pe_fp + m.fpu_operative) + m.icache_use, 10},
+      {"l1 load", ins(Op::Lw, 4, 10, 0, 0, MemSpace::Tcdm),
+       m.pe_l1 + m.l1_read - m.l1_idle + m.icache_use, 1},
+      {"l1 store", ins(Op::Sw, 0, 10, 4, 0, MemSpace::Tcdm),
+       m.pe_l1 + m.l1_write - m.l1_idle + m.icache_use, 1},
+      {"l2 load", ins(Op::Lw, 4, 11, 0, 0, MemSpace::L2),
+       15 * m.pe_l2 + m.l2_read - m.l2_idle + m.icache_use, 15},
+  };
+
+  // Per 8 payload ops the loop adds addi + taken blt + a bubble cycle.
+  const double loop_overhead =
+      (2 * (m.pe_alu + m.icache_use) + m.pe_nop + 3 * floor) / 8.0;
+
+  std::printf("%-12s %14s %14s %12s %10s %8s\n", "class", "measured[fJ]",
+              "expected[fJ]", "vs nop[fJ]", "cyc/op", "match");
+  bool ok = true;
+  double nop_measured = 0;
+  for (const Case& c : cases) {
+    const Measurement meas = measure(c.payload);
+    const double expected =
+        c.op_energy + c.op_cycles * floor + loop_overhead;
+    if (std::string(c.name) == "nop") nop_measured = meas.marginal_per_op;
+    const bool match =
+        std::abs(meas.marginal_per_op - expected) < 1e-6 * expected + 1.0;
+    ok &= match;
+    std::printf("%-12s %14.1f %14.1f %12.1f %10.2f %8s\n", c.name,
+                meas.marginal_per_op, expected,
+                meas.marginal_per_op - nop_measured, meas.marginal_cycles,
+                match ? "PASS" : "FAIL");
+  }
+  std::printf(
+      "\nThe 'vs nop' column recovers the Table I opcode-class deltas\n"
+      "(alu-nop = %.0f fJ, fp-nop = %.0f fJ, l1read-nop = %.0f fJ)\n",
+      m.pe_alu - m.pe_nop, m.pe_fp + m.fpu_operative - m.pe_nop,
+      m.pe_l1 + m.l1_read - m.l1_idle - m.pe_nop);
+  std::printf("\nresult: %s\n",
+              ok ? "energy integration matches Table I" : "CHECK FAILED");
+  return ok ? 0 : 1;
+}

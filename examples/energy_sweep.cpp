@@ -1,0 +1,70 @@
+// Energy sweep: run any dataset kernel at every core count and print the
+// per-component energy breakdown, showing how the leakage/parallelism
+// trade-off moves the optimum.
+//
+//   $ ./build/examples/energy_sweep [kernel] [i32|f32] [size_bytes]
+//   $ ./build/examples/energy_sweep gemm f32 8192
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dsl/lower.hpp"
+#include "energy/model.hpp"
+#include "kernels/registry.hpp"
+#include "sim/cluster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pulpc;
+  const std::string name = argc > 1 ? argv[1] : "gemm";
+  const std::string type = argc > 2 ? argv[2] : "f32";
+  const std::uint32_t size =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 8192;
+  const kir::DType dtype =
+      type == "i32" ? kir::DType::I32 : kir::DType::F32;
+
+  kir::Program prog;
+  try {
+    prog = dsl::lower(kernels::make_kernel(name, dtype, size));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "available kernels:");
+    for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+      std::fprintf(stderr, " %s", k.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  std::printf("kernel %s (%s, %u bytes): %zu KIR instructions\n\n",
+              name.c_str(), type.c_str(), size, prog.code.size());
+
+  sim::Cluster cluster;
+  cluster.load(prog);
+  std::printf("%-6s %10s %9s | %8s %8s %8s %8s %8s %8s  %10s\n", "cores",
+              "cycles", "confl", "PE", "FPU", "TCDM", "L2", "icache",
+              "other", "total[uJ]");
+  double best = 0;
+  unsigned best_cores = 0;
+  for (unsigned c = 1; c <= cluster.config().num_cores; ++c) {
+    const sim::RunResult r = cluster.run(c);
+    if (!r.ok) {
+      std::fprintf(stderr, "run failed at %u cores: %s\n", c,
+                   r.error.c_str());
+      return 1;
+    }
+    const energy::EnergyBreakdown e = energy::compute_energy(r.stats);
+    const double total = e.total_uj();
+    if (best_cores == 0 || total < best) {
+      best = total;
+      best_cores = c;
+    }
+    std::printf(
+        "%-6u %10llu %9llu | %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f  %10.3f\n",
+        c, static_cast<unsigned long long>(r.stats.region_cycles()),
+        static_cast<unsigned long long>(r.stats.l1_conflicts()), e.pe * 1e-9,
+        e.fpu * 1e-9, e.l1 * 1e-9, e.l2 * 1e-9, e.icache * 1e-9,
+        (e.other + e.dma) * 1e-9, total);
+  }
+  std::printf("\nminimum energy at %u cores (%.3f uJ)\n", best_cores, best);
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "core/classifier.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsl/lower.hpp"
+
+namespace pulpc::core {
+
+EnergyClassifier::EnergyClassifier(Options options)
+    : options_(std::move(options)) {
+  columns_ = options_.columns.empty()
+                 ? feat::feature_set_columns(options_.features)
+                 : options_.columns;
+  const std::vector<std::string>& statics = feat::static_feature_names();
+  column_indices_.reserve(columns_.size());
+  for (const std::string& col : columns_) {
+    const auto it = std::find(statics.begin(), statics.end(), col);
+    if (it == statics.end()) {
+      throw std::invalid_argument(
+          "EnergyClassifier: '" + col +
+          "' is not a static feature; compile-time prediction cannot use "
+          "dynamic features");
+    }
+    column_indices_.push_back(
+        static_cast<std::size_t>(it - statics.begin()));
+  }
+}
+
+void EnergyClassifier::train(const ml::Dataset& dataset) {
+  const ml::Matrix x = dataset.matrix(columns_);
+  ml::DecisionTree tree(options_.tree);
+  tree.fit(x, dataset.labels());
+  tree_ = std::move(tree);
+}
+
+int EnergyClassifier::predict(const kir::Program& prog) const {
+  if (!trained()) {
+    throw std::logic_error("EnergyClassifier::predict: train() first");
+  }
+  const feat::StaticFeatures sf = feat::extract_static(prog, options_.mca);
+  const std::vector<double> all = sf.to_vector();
+  std::vector<double> row;
+  row.reserve(column_indices_.size());
+  for (const std::size_t i : column_indices_) row.push_back(all[i]);
+  return tree_.predict(row);
+}
+
+int EnergyClassifier::predict(const dsl::KernelSpec& spec) const {
+  return predict(dsl::lower(spec));
+}
+
+std::string EnergyClassifier::explain() const {
+  return tree_.to_string(columns_);
+}
+
+void EnergyClassifier::save(std::ostream& out) const {
+  if (!trained()) {
+    throw std::logic_error("EnergyClassifier::save: train() first");
+  }
+  out << "pulpc-classifier v1\n";
+  out << columns_.size() << '\n';
+  for (const std::string& c : columns_) out << c << '\n';
+  tree_.save(out);
+}
+
+void EnergyClassifier::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("EnergyClassifier: cannot write " + path);
+  }
+  save(out);
+}
+
+EnergyClassifier EnergyClassifier::load(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "pulpc-classifier v1") {
+    throw std::runtime_error("EnergyClassifier::load: bad header");
+  }
+  std::size_t ncols = 0;
+  in >> ncols;
+  if (!in || ncols == 0 || ncols > feat::static_feature_names().size()) {
+    throw std::runtime_error("EnergyClassifier::load: bad column count");
+  }
+  Options opt;
+  opt.columns.reserve(ncols);
+  for (std::size_t i = 0; i < ncols; ++i) {
+    std::string col;
+    in >> col;
+    opt.columns.push_back(col);
+  }
+  EnergyClassifier clf(opt);  // validates the column names
+  clf.tree_ = ml::DecisionTree::load(in);
+  if (clf.tree_.feature_importances().size() != ncols) {
+    throw std::runtime_error(
+        "EnergyClassifier::load: tree/column shape mismatch");
+  }
+  return clf;
+}
+
+EnergyClassifier EnergyClassifier::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("EnergyClassifier: cannot read " + path);
+  }
+  return load(in);
+}
+
+std::vector<std::string> optimized_static_columns(
+    const ml::Dataset& dataset, std::size_t keep,
+    const ml::EvalOptions& eval) {
+  const std::vector<std::string> all =
+      feat::feature_set_columns(feat::FeatureSet::AllStatic);
+  const ml::EvalResult res = ml::evaluate(dataset, all, eval);
+  std::vector<std::pair<double, std::string>> ranked;
+  ranked.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ranked.emplace_back(res.importances[i], all[i]);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < std::min(keep, ranked.size()); ++i) {
+    out.push_back(ranked[i].second);
+  }
+  return out;
+}
+
+}  // namespace pulpc::core

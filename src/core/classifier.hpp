@@ -1,0 +1,80 @@
+// Public API of the paper's contribution: a classifier that predicts the
+// minimum-energy core count of a kernel from compile-time features only.
+//
+//   ml::Dataset ds = core::load_or_build_dataset();
+//   core::EnergyClassifier clf;             // static features, paper setup
+//   clf.train(ds);
+//   dsl::KernelSpec spec = ...;             // unseen kernel source
+//   int cores = clf.predict(spec);          // energy-optimal parallelism
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+#include "feat/features.hpp"
+#include "kir/ir.hpp"
+#include "ml/cv.hpp"
+#include "ml/dataset.hpp"
+#include "ml/tree.hpp"
+
+namespace pulpc::core {
+
+class EnergyClassifier {
+ public:
+  struct Options {
+    /// Which static feature family to train on. Dynamic sets are not
+    /// allowed here: prediction happens at compile time.
+    feat::FeatureSet features = feat::FeatureSet::AllStatic;
+    /// Explicit column list; overrides `features` when non-empty (used
+    /// for the paper's importance-pruned "optimised" classifier).
+    std::vector<std::string> columns;
+    ml::TreeParams tree;
+    mca::MachineModel mca;
+  };
+
+  EnergyClassifier() : EnergyClassifier(Options{}) {}
+  explicit EnergyClassifier(Options options);
+
+  /// Fit the decision tree on a labelled dataset (must contain every
+  /// selected column). Throws std::invalid_argument on column mismatch.
+  void train(const ml::Dataset& dataset);
+
+  /// Predict the minimum-energy core count for a lowered kernel.
+  [[nodiscard]] int predict(const kir::Program& prog) const;
+  /// Convenience: lowers the kernel source first.
+  [[nodiscard]] int predict(const dsl::KernelSpec& spec) const;
+
+  [[nodiscard]] bool trained() const noexcept { return tree_.trained(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const ml::DecisionTree& tree() const noexcept {
+    return tree_;
+  }
+  /// Decision rules with feature names (for inspection, as the paper
+  /// motivates choosing a tree over deep models).
+  [[nodiscard]] std::string explain() const;
+
+  /// Persist the trained classifier (feature columns + decision tree) as
+  /// text, so a toolchain can train once and configure kernels offline.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static EnergyClassifier load(std::istream& in);
+  [[nodiscard]] static EnergyClassifier load_file(const std::string& path);
+
+ private:
+  Options options_;
+  std::vector<std::string> columns_;
+  std::vector<std::size_t> column_indices_;  ///< into the static vector
+  ml::DecisionTree tree_;
+};
+
+/// The paper's "optimised" static feature set: rank all static features
+/// by CV-averaged importance and keep the top `keep` columns.
+[[nodiscard]] std::vector<std::string> optimized_static_columns(
+    const ml::Dataset& dataset, std::size_t keep = 8,
+    const ml::EvalOptions& eval = {});
+
+}  // namespace pulpc::core

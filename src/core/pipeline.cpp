@@ -1,0 +1,120 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "dsl/lower.hpp"
+#include "kernels/registry.hpp"
+#include "sim/cluster.hpp"
+
+namespace pulpc::core {
+
+std::vector<std::string> dataset_columns(unsigned max_cores) {
+  std::vector<std::string> cols = feat::static_feature_names();
+  const std::vector<std::string> dyn = feat::dynamic_feature_names(max_cores);
+  cols.insert(cols.end(), dyn.begin(), dyn.end());
+  return cols;
+}
+
+ml::Sample build_sample(const SampleConfig& cfg, const BuildOptions& opt) {
+  const dsl::KernelSpec spec =
+      kernels::make_kernel(cfg.kernel, cfg.dtype, cfg.size_bytes);
+  return build_sample_from_program(dsl::lower(spec), cfg,
+                                   kernels::kernel_info(cfg.kernel).suite,
+                                   opt);
+}
+
+ml::Sample build_sample_from_program(const kir::Program& prog,
+                                     const SampleConfig& cfg,
+                                     const std::string& suite,
+                                     const BuildOptions& opt) {
+  ml::Sample sample;
+  sample.kernel = cfg.kernel;
+  sample.suite = suite;
+  sample.dtype = cfg.dtype;
+  sample.size_bytes = cfg.size_bytes;
+
+  // (A) compile-time features.
+  const feat::StaticFeatures sf = feat::extract_static(prog, opt.mca);
+  sample.features = sf.to_vector();
+
+  // (B/C/D) simulate at every core count and integrate the energy model.
+  sim::Cluster cluster(opt.cluster);
+  cluster.load(prog);
+  double best_energy = 0;
+  int best_cores = 0;
+  for (unsigned c = 1; c <= opt.max_cores; ++c) {
+    const sim::RunResult run = cluster.run(c);
+    if (!run.ok) {
+      throw std::runtime_error("build_sample(" + cfg.kernel + "/" +
+                               kir::to_string(cfg.dtype) + "/" +
+                               std::to_string(cfg.size_bytes) + ") at " +
+                               std::to_string(c) + " cores: " + run.error);
+    }
+    const double e = energy::total_energy_fj(run.stats, opt.energy);
+    sample.energy.push_back(e);
+    sample.cycles.push_back(static_cast<double>(run.stats.region_cycles()));
+    const feat::DynamicFeatures df = feat::extract_dynamic(run.stats);
+    const std::vector<double> dv = df.to_vector();
+    sample.features.insert(sample.features.end(), dv.begin(), dv.end());
+    // (E) label with the minimum-energy configuration.
+    if (best_cores == 0 || e < best_energy) {
+      best_energy = e;
+      best_cores = static_cast<int>(c);
+    }
+  }
+  sample.label = best_cores;
+  return sample;
+}
+
+std::vector<SampleConfig> dataset_configs() {
+  std::vector<SampleConfig> configs;
+  for (const kernels::KernelInfo& info : kernels::all_kernels()) {
+    for (const kir::DType dtype : {kir::DType::I32, kir::DType::F32}) {
+      if (!info.supports(dtype)) continue;
+      for (const std::uint32_t size : kernels::dataset_sizes()) {
+        configs.push_back(SampleConfig{info.name, dtype, size});
+      }
+    }
+  }
+  return configs;
+}
+
+ml::Dataset build_dataset(
+    const BuildOptions& opt,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  const std::vector<SampleConfig> configs = dataset_configs();
+  ml::Dataset ds(dataset_columns(opt.max_cores));
+  std::size_t done = 0;
+  for (const SampleConfig& cfg : configs) {
+    ds.add(build_sample(cfg, opt));
+    ++done;
+    if (progress) progress(done, configs.size());
+  }
+  return ds;
+}
+
+ml::Dataset load_or_build_dataset(
+    const BuildOptions& opt,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  std::string path = "pulpclass_dataset.csv";
+  if (const char* env = std::getenv("PULPC_DATASET_CACHE")) {
+    path = env;
+  }
+  if (!path.empty() && std::filesystem::exists(path)) {
+    ml::Dataset ds = ml::Dataset::load_csv_file(path);
+    if (ds.columns() == dataset_columns(opt.max_cores) && !ds.empty()) {
+      return ds;
+    }
+    // Stale cache layout: fall through and rebuild.
+  }
+  ml::Dataset ds = build_dataset(opt, progress);
+  if (!path.empty()) {
+    ds.save_csv_file(path);
+  }
+  return ds;
+}
+
+}  // namespace pulpc::core

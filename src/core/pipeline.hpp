@@ -1,0 +1,73 @@
+// The paper's end-to-end workflow (Figure 1):
+//  (A) static feature extraction on every dataset sample,
+//  (B/C) cycle-accurate simulation of each sample at 1..8 cores,
+//  (D) integration of the Table I energy model over the execution
+//      activity,
+//  (E) labelling each sample with its minimum-energy core count,
+//  (F) assembly of the labelled feature dataset for the decision tree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "energy/model.hpp"
+#include "feat/features.hpp"
+#include "mca/machine.hpp"
+#include "ml/dataset.hpp"
+#include "sim/config.hpp"
+
+namespace pulpc::core {
+
+/// One (kernel, type, size) dataset point.
+struct SampleConfig {
+  std::string kernel;
+  kir::DType dtype = kir::DType::I32;
+  std::uint32_t size_bytes = 0;
+};
+
+struct BuildOptions {
+  sim::ClusterConfig cluster;
+  mca::MachineModel mca;
+  energy::EnergyModel energy;
+  /// Sweep configurations 1..max_cores (the paper: all 8).
+  unsigned max_cores = 8;
+};
+
+/// Column names of the assembled dataset: the 20 static features followed
+/// by the Table III dynamic features for each core count.
+[[nodiscard]] std::vector<std::string> dataset_columns(
+    unsigned max_cores = 8);
+
+/// Build one labelled sample. Throws std::runtime_error if the kernel
+/// fails to lower or simulate.
+[[nodiscard]] ml::Sample build_sample(const SampleConfig& cfg,
+                                      const BuildOptions& opt = {});
+
+/// Build a labelled sample from an already-lowered (possibly optimised)
+/// program, with explicit metadata. Used by the compiler-optimisation
+/// ablation and by users bringing their own KIR.
+[[nodiscard]] ml::Sample build_sample_from_program(
+    const kir::Program& prog, const SampleConfig& cfg,
+    const std::string& suite, const BuildOptions& opt = {});
+
+/// All 448 sample configurations of the paper's dataset (59 kernels,
+/// both supported element types, 4 problem sizes).
+[[nodiscard]] std::vector<SampleConfig> dataset_configs();
+
+/// Build the full dataset. `progress(done, total)` is invoked after each
+/// sample when provided.
+[[nodiscard]] ml::Dataset build_dataset(
+    const BuildOptions& opt = {},
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+/// Load the dataset from the cache file if present, otherwise build it
+/// and save it there. The path defaults to "pulpclass_dataset.csv" in the
+/// current directory and can be overridden with the PULPC_DATASET_CACHE
+/// environment variable (an empty value disables caching).
+[[nodiscard]] ml::Dataset load_or_build_dataset(
+    const BuildOptions& opt = {},
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+}  // namespace pulpc::core

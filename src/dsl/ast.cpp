@@ -1,0 +1,121 @@
+#include "dsl/ast.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pulpc::dsl {
+
+namespace {
+
+ExprP node(Expr e) { return std::make_shared<const Expr>(std::move(e)); }
+
+}  // namespace
+
+Val make_const_i(std::int32_t v) {
+  Expr e;
+  e.kind = Expr::Kind::ConstI;
+  e.type = DType::I32;
+  e.ival = v;
+  return {node(std::move(e))};
+}
+
+Val make_const_f(float v) {
+  Expr e;
+  e.kind = Expr::Kind::ConstF;
+  e.type = DType::F32;
+  e.fval = v;
+  return {node(std::move(e))};
+}
+
+Val make_var(std::string name, DType type) {
+  Expr e;
+  e.kind = Expr::Kind::Var;
+  e.type = type;
+  e.name = std::move(name);
+  return {node(std::move(e))};
+}
+
+Val make_load(std::string buffer, DType elem, Val index) {
+  if (!index.e) throw std::invalid_argument("load: null index");
+  if (index.e->type != DType::I32) {
+    throw std::invalid_argument("load: index must be i32");
+  }
+  Expr e;
+  e.kind = Expr::Kind::Load;
+  e.type = elem;
+  e.name = std::move(buffer);
+  e.a = index.e;
+  return {node(std::move(e))};
+}
+
+Val make_bin(BinOp op, Val a, Val b) {
+  if (!a.e || !b.e) throw std::invalid_argument("bin: null operand");
+  ExprP lhs = a.e;
+  ExprP rhs = b.e;
+  // Promote the integer side of mixed-type arithmetic to f32, mirroring
+  // C's usual arithmetic conversions in the paper's kernels.
+  if (lhs->type != rhs->type) {
+    if (lhs->type == DType::I32) {
+      lhs = make_un(UnOp::ToF32, {lhs}).e;
+    } else {
+      rhs = make_un(UnOp::ToF32, {rhs}).e;
+    }
+  }
+  Expr e;
+  e.kind = Expr::Kind::Bin;
+  e.bop = op;
+  e.type = is_comparison(op) ? DType::I32 : lhs->type;
+  if (lhs->type == DType::F32 &&
+      (op == BinOp::Rem || op == BinOp::Shl || op == BinOp::Shr ||
+       op == BinOp::And || op == BinOp::Or || op == BinOp::Xor)) {
+    throw std::invalid_argument("bin: integer-only operator applied to f32");
+  }
+  e.a = std::move(lhs);
+  e.b = std::move(rhs);
+  return {node(std::move(e))};
+}
+
+Val make_un(UnOp op, Val a) {
+  if (!a.e) throw std::invalid_argument("un: null operand");
+  Expr e;
+  e.kind = Expr::Kind::Un;
+  e.uop = op;
+  switch (op) {
+    case UnOp::Neg:
+    case UnOp::Abs:
+      e.type = a.e->type;
+      break;
+    case UnOp::Sqrt:
+      e.type = DType::F32;
+      if (a.e->type != DType::F32) {
+        throw std::invalid_argument("sqrt: operand must be f32");
+      }
+      break;
+    case UnOp::ToF32:
+      if (a.e->type == DType::F32) return a;  // no-op cast
+      e.type = DType::F32;
+      break;
+    case UnOp::ToI32:
+      if (a.e->type == DType::I32) return a;  // no-op cast
+      e.type = DType::I32;
+      break;
+  }
+  e.a = a.e;
+  return {node(std::move(e))};
+}
+
+Val make_core_id() {
+  Expr e;
+  e.kind = Expr::Kind::CoreId;
+  e.type = DType::I32;
+  return {node(std::move(e))};
+}
+
+Val make_num_cores() {
+  Expr e;
+  e.kind = Expr::Kind::NumCores;
+  e.type = DType::I32;
+  return {node(std::move(e))};
+}
+
+}  // namespace pulpc::dsl

@@ -1,0 +1,166 @@
+// Kernel source language. The paper's dataset is C/OpenMP source; here the
+// "source code" is a small typed AST (expressions + structured statements
+// with serial/parallel loops, critical sections and barriers) that the
+// lowering pass (dsl/lower.*) compiles to KIR. Static features are then
+// extracted from the KIR exactly as the paper extracts them from LLVM-IR.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kir/ir.hpp"
+
+namespace pulpc::dsl {
+
+using kir::DType;
+using kir::MemSpace;
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem, Min, Max, Shl, Shr, And, Or, Xor,
+  Lt, Le, Gt, Ge, Eq, Ne,
+};
+
+enum class UnOp : std::uint8_t { Neg, Abs, Sqrt, ToF32, ToI32 };
+
+/// Loop schedule of a parallel region. The PULP OpenMP runtime the paper
+/// targets only implements static scheduling; we provide both static
+/// flavours: contiguous chunks (schedule(static)) and round-robin
+/// interleaving (schedule(static,1)), which have very different TCDM
+/// banking behaviour.
+enum class Schedule : std::uint8_t {
+  Chunked,  ///< each core takes one contiguous block of iterations
+  Cyclic,   ///< iterations are dealt round-robin across the cores
+};
+
+/// True for the comparison operators (whose result type is I32).
+[[nodiscard]] constexpr bool is_comparison(BinOp op) noexcept {
+  return op == BinOp::Lt || op == BinOp::Le || op == BinOp::Gt ||
+         op == BinOp::Ge || op == BinOp::Eq || op == BinOp::Ne;
+}
+
+struct Expr;
+using ExprP = std::shared_ptr<const Expr>;
+
+/// Expression node. Immutable; shared subtrees are allowed.
+struct Expr {
+  enum class Kind : std::uint8_t {
+    ConstI, ConstF, Var, Load, Bin, Un, CoreId, NumCores,
+  };
+
+  Kind kind = Kind::ConstI;
+  DType type = DType::I32;
+  std::int32_t ival = 0;  ///< ConstI value
+  float fval = 0.0F;      ///< ConstF value
+  std::string name;       ///< Var: scalar name; Load: buffer name
+  BinOp bop = BinOp::Add;
+  UnOp uop = UnOp::Neg;
+  ExprP a;  ///< Bin lhs / Un operand / Load index
+  ExprP b;  ///< Bin rhs
+};
+
+/// Convenience value wrapper so kernel code reads like arithmetic.
+struct Val {
+  ExprP e;
+};
+
+[[nodiscard]] Val make_const_i(std::int32_t v);
+[[nodiscard]] Val make_const_f(float v);
+[[nodiscard]] Val make_var(std::string name, DType type);
+[[nodiscard]] Val make_load(std::string buffer, DType elem, Val index);
+[[nodiscard]] Val make_bin(BinOp op, Val a, Val b);
+[[nodiscard]] Val make_un(UnOp op, Val a);
+[[nodiscard]] Val make_core_id();
+[[nodiscard]] Val make_num_cores();
+
+// Arithmetic sugar. Mixed i32/f32 operands promote the integer side.
+[[nodiscard]] inline Val operator+(Val a, Val b) { return make_bin(BinOp::Add, a, b); }
+[[nodiscard]] inline Val operator-(Val a, Val b) { return make_bin(BinOp::Sub, a, b); }
+[[nodiscard]] inline Val operator*(Val a, Val b) { return make_bin(BinOp::Mul, a, b); }
+[[nodiscard]] inline Val operator/(Val a, Val b) { return make_bin(BinOp::Div, a, b); }
+[[nodiscard]] inline Val operator%(Val a, Val b) { return make_bin(BinOp::Rem, a, b); }
+[[nodiscard]] inline Val operator&(Val a, Val b) { return make_bin(BinOp::And, a, b); }
+[[nodiscard]] inline Val operator|(Val a, Val b) { return make_bin(BinOp::Or, a, b); }
+[[nodiscard]] inline Val operator^(Val a, Val b) { return make_bin(BinOp::Xor, a, b); }
+[[nodiscard]] inline Val operator<<(Val a, Val b) { return make_bin(BinOp::Shl, a, b); }
+[[nodiscard]] inline Val operator>>(Val a, Val b) { return make_bin(BinOp::Shr, a, b); }
+[[nodiscard]] inline Val operator<(Val a, Val b) { return make_bin(BinOp::Lt, a, b); }
+[[nodiscard]] inline Val operator<=(Val a, Val b) { return make_bin(BinOp::Le, a, b); }
+[[nodiscard]] inline Val operator>(Val a, Val b) { return make_bin(BinOp::Gt, a, b); }
+[[nodiscard]] inline Val operator>=(Val a, Val b) { return make_bin(BinOp::Ge, a, b); }
+[[nodiscard]] inline Val operator==(Val a, Val b) { return make_bin(BinOp::Eq, a, b); }
+[[nodiscard]] inline Val operator!=(Val a, Val b) { return make_bin(BinOp::Ne, a, b); }
+[[nodiscard]] inline Val operator-(Val a) { return make_un(UnOp::Neg, a); }
+
+[[nodiscard]] inline Val vmin(Val a, Val b) { return make_bin(BinOp::Min, a, b); }
+[[nodiscard]] inline Val vmax(Val a, Val b) { return make_bin(BinOp::Max, a, b); }
+[[nodiscard]] inline Val vabs(Val a) { return make_un(UnOp::Abs, a); }
+[[nodiscard]] inline Val vsqrt(Val a) { return make_un(UnOp::Sqrt, a); }
+[[nodiscard]] inline Val to_f32(Val a) { return make_un(UnOp::ToF32, a); }
+[[nodiscard]] inline Val to_i32(Val a) { return make_un(UnOp::ToI32, a); }
+
+struct Stmt;
+using StmtP = std::shared_ptr<const Stmt>;
+
+/// Statement node.
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    Decl,      ///< declare scalar `name` initialised to `value`
+    Assign,    ///< assign scalar `name` = `value`
+    Store,     ///< buffer `name`[`index`] = `value`
+    For,       ///< (possibly parallel) counted loop over `loop_var`
+    If,        ///< if (`cond`) body else else_body
+    Barrier,   ///< cluster barrier
+    Critical,  ///< critical section around body
+    DmaCopy,   ///< start a DMA copy of `dma_words` words src -> dst
+    DmaWait,   ///< clock-gate until the DMA engine is idle
+  };
+
+  Kind kind = Kind::Barrier;
+  std::string name;      ///< Decl/Assign scalar; Store buffer
+  ExprP value;           ///< Decl/Assign/Store value
+  ExprP index;           ///< Store index
+  ExprP cond;            ///< If condition
+  std::string loop_var;  ///< For induction variable
+  ExprP lo, hi;          ///< For bounds: [lo, hi) stepping by `step`
+  std::int32_t step = 1;
+  bool parallel = false;  ///< For: OpenMP `parallel for` semantics
+  Schedule schedule = Schedule::Chunked;  ///< parallel loops only
+  std::vector<StmtP> body;
+  std::vector<StmtP> else_body;
+  std::string dma_src;   ///< DmaCopy source buffer
+  std::string dma_dst;   ///< DmaCopy destination buffer
+  std::uint32_t dma_words = 0;
+};
+
+/// How a buffer is filled before the kernel runs (deterministic; the data
+/// initialisation happens outside the measured kernel region, as in the
+/// paper where inputs are preloaded into the TCDM).
+enum class InitKind : std::uint8_t {
+  Zero,
+  Ramp,       ///< 0, 1, 2, ... (scaled for f32)
+  Random,     ///< deterministic pseudo-random in [-1, 1] / full int range
+  RandomPos,  ///< deterministic pseudo-random in (0, 1] / positive ints
+};
+
+struct BufferDecl {
+  std::string name;
+  DType elem = DType::I32;
+  std::uint32_t elems = 0;
+  MemSpace space = MemSpace::Tcdm;
+  InitKind init = InitKind::Random;
+};
+
+/// A complete kernel "translation unit": buffers + body, parametrised by
+/// element type and problem size as in the paper's dataset.
+struct KernelSpec {
+  std::string name;
+  std::string suite;  ///< "polybench", "utdsp" or "custom"
+  DType elem = DType::I32;
+  std::uint32_t size_bytes = 0;  ///< dataset problem-size parameter
+  std::vector<BufferDecl> buffers;
+  std::vector<StmtP> body;
+};
+
+}  // namespace pulpc::dsl

@@ -1,0 +1,196 @@
+#include "dsl/builder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pulpc::dsl {
+
+KernelBuilder::KernelBuilder(std::string name, std::string suite, DType elem,
+                             std::uint32_t size_bytes)
+    : elem_(elem) {
+  spec_.name = std::move(name);
+  spec_.suite = std::move(suite);
+  spec_.elem = elem;
+  spec_.size_bytes = size_bytes;
+  stack_.emplace_back();
+}
+
+Buf KernelBuilder::buffer(const std::string& name, std::uint32_t elems,
+                          InitKind init, MemSpace space) {
+  return buffer_of(name, elem_, elems, init, space);
+}
+
+Buf KernelBuilder::buffer_of(const std::string& name, DType elem,
+                             std::uint32_t elems, InitKind init,
+                             MemSpace space) {
+  if (elems == 0) throw std::invalid_argument("buffer " + name + ": empty");
+  for (const BufferDecl& b : spec_.buffers) {
+    if (b.name == name) {
+      throw std::invalid_argument("buffer " + name + ": redeclared");
+    }
+  }
+  spec_.buffers.push_back(BufferDecl{name, elem, elems, space, init});
+  return Buf{name, elem, elems};
+}
+
+Val KernelBuilder::ec(double v) const {
+  return elem_ == DType::F32 ? make_const_f(static_cast<float>(v))
+                             : make_const_i(static_cast<std::int32_t>(v));
+}
+
+Val KernelBuilder::to_elem(Val v) const {
+  return elem_ == DType::F32 ? to_f32(v) : to_i32(v);
+}
+
+Val KernelBuilder::load(const Buf& buf, Val index) const {
+  return make_load(buf.name, buf.elem, index);
+}
+
+void KernelBuilder::store(const Buf& buf, Val index, Val value) {
+  if (!index.e || !value.e) throw std::invalid_argument("store: null expr");
+  ExprP v = value.e;
+  if (v->type != buf.elem) {
+    v = (buf.elem == DType::F32 ? to_f32({v}) : to_i32({v})).e;
+  }
+  Stmt s;
+  s.kind = Stmt::Kind::Store;
+  s.name = buf.name;
+  s.index = index.e;
+  s.value = v;
+  append(std::make_shared<const Stmt>(std::move(s)));
+}
+
+Val KernelBuilder::decl(const std::string& name, Val init) {
+  if (!init.e) throw std::invalid_argument("decl: null init");
+  Stmt s;
+  s.kind = Stmt::Kind::Decl;
+  s.name = name;
+  s.value = init.e;
+  append(std::make_shared<const Stmt>(std::move(s)));
+  return make_var(name, init.e->type);
+}
+
+void KernelBuilder::assign(Val var, Val value) {
+  if (!var.e || var.e->kind != Expr::Kind::Var) {
+    throw std::invalid_argument("assign: target is not a scalar variable");
+  }
+  if (!value.e) throw std::invalid_argument("assign: null value");
+  ExprP v = value.e;
+  if (v->type != var.e->type) {
+    v = (var.e->type == DType::F32 ? to_f32({v}) : to_i32({v})).e;
+  }
+  Stmt s;
+  s.kind = Stmt::Kind::Assign;
+  s.name = var.e->name;
+  s.value = v;
+  append(std::make_shared<const Stmt>(std::move(s)));
+}
+
+void KernelBuilder::emit_for(const std::string& var, Val lo, Val hi,
+                             const LoopBody& fn, std::int32_t step,
+                             bool parallel, Schedule schedule) {
+  if (!lo.e || !hi.e) throw std::invalid_argument("for: null bound");
+  if (step <= 0) throw std::invalid_argument("for: step must be positive");
+  Stmt s;
+  s.kind = Stmt::Kind::For;
+  s.loop_var = var;
+  s.lo = lo.e;
+  s.hi = hi.e;
+  s.step = step;
+  s.parallel = parallel;
+  s.schedule = schedule;
+  stack_.emplace_back();
+  fn(make_var(var, DType::I32));
+  s.body = std::move(stack_.back());
+  stack_.pop_back();
+  append(std::make_shared<const Stmt>(std::move(s)));
+}
+
+void KernelBuilder::for_(const std::string& var, Val lo, Val hi,
+                         const LoopBody& fn, std::int32_t step) {
+  emit_for(var, lo, hi, fn, step, /*parallel=*/false);
+}
+
+void KernelBuilder::par_for(const std::string& var, Val lo, Val hi,
+                            const LoopBody& fn, std::int32_t step) {
+  emit_for(var, lo, hi, fn, step, /*parallel=*/true, Schedule::Chunked);
+}
+
+void KernelBuilder::par_for_cyclic(const std::string& var, Val lo, Val hi,
+                                   const LoopBody& fn, std::int32_t step) {
+  emit_for(var, lo, hi, fn, step, /*parallel=*/true, Schedule::Cyclic);
+}
+
+void KernelBuilder::if_(Val cond, const Body& then_fn) {
+  if_else(cond, then_fn, {});
+}
+
+void KernelBuilder::if_else(Val cond, const Body& then_fn,
+                            const Body& else_fn) {
+  if (!cond.e) throw std::invalid_argument("if: null condition");
+  Stmt s;
+  s.kind = Stmt::Kind::If;
+  s.cond = cond.e;
+  stack_.emplace_back();
+  then_fn();
+  s.body = std::move(stack_.back());
+  stack_.pop_back();
+  if (else_fn) {
+    stack_.emplace_back();
+    else_fn();
+    s.else_body = std::move(stack_.back());
+    stack_.pop_back();
+  }
+  append(std::make_shared<const Stmt>(std::move(s)));
+}
+
+void KernelBuilder::critical(const Body& fn) {
+  Stmt s;
+  s.kind = Stmt::Kind::Critical;
+  stack_.emplace_back();
+  fn();
+  s.body = std::move(stack_.back());
+  stack_.pop_back();
+  append(std::make_shared<const Stmt>(std::move(s)));
+}
+
+void KernelBuilder::dma_copy(const Buf& dst, const Buf& src,
+                             std::uint32_t words) {
+  if (words == 0 || words > dst.elems || words > src.elems) {
+    throw std::invalid_argument("dma_copy: bad word count");
+  }
+  Stmt s;
+  s.kind = Stmt::Kind::DmaCopy;
+  s.dma_dst = dst.name;
+  s.dma_src = src.name;
+  s.dma_words = words;
+  append(std::make_shared<const Stmt>(std::move(s)));
+}
+
+void KernelBuilder::dma_wait() {
+  Stmt s;
+  s.kind = Stmt::Kind::DmaWait;
+  append(std::make_shared<const Stmt>(std::move(s)));
+}
+
+void KernelBuilder::barrier() {
+  Stmt s;
+  s.kind = Stmt::Kind::Barrier;
+  append(std::make_shared<const Stmt>(std::move(s)));
+}
+
+KernelSpec KernelBuilder::build() {
+  if (stack_.size() != 1) {
+    throw std::logic_error("build: unbalanced statement nesting");
+  }
+  spec_.body = std::move(stack_.back());
+  stack_.clear();
+  return std::move(spec_);
+}
+
+void KernelBuilder::append(StmtP stmt) {
+  if (stack_.empty()) throw std::logic_error("builder already finalised");
+  stack_.back().push_back(std::move(stmt));
+}
+
+}  // namespace pulpc::dsl

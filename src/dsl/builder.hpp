@@ -1,0 +1,117 @@
+// Fluent builder used to write the dataset kernels. A kernel reads close
+// to its original C/OpenMP form:
+//
+//   KernelBuilder k("saxpy", "custom", elem, size_bytes);
+//   auto x = k.buffer("x", n);
+//   auto y = k.buffer("y", n);
+//   k.par_for("i", k.ic(0), k.ic(n), [&](Val i) {
+//     k.store(y, i, k.ec(2.5) * k.load(x, i) + k.load(y, i));
+//   });
+//   KernelSpec spec = k.build();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+
+namespace pulpc::dsl {
+
+/// Handle to a declared kernel buffer.
+struct Buf {
+  std::string name;
+  DType elem = DType::I32;
+  std::uint32_t elems = 0;
+};
+
+class KernelBuilder {
+ public:
+  using LoopBody = std::function<void(Val)>;
+  using Body = std::function<void()>;
+
+  KernelBuilder(std::string name, std::string suite, DType elem,
+                std::uint32_t size_bytes);
+
+  /// Declare a buffer of `elems` elements of the kernel's element type.
+  Buf buffer(const std::string& name, std::uint32_t elems,
+             InitKind init = InitKind::Random,
+             MemSpace space = MemSpace::Tcdm);
+  /// Declare a buffer with an explicit element type (e.g. an i32 index
+  /// array inside an f32 kernel).
+  Buf buffer_of(const std::string& name, DType elem, std::uint32_t elems,
+                InitKind init = InitKind::Random,
+                MemSpace space = MemSpace::Tcdm);
+
+  /// Kernel element type (I32 or F32 depending on instantiation).
+  [[nodiscard]] DType elem() const noexcept { return elem_; }
+
+  /// Constant of the kernel's element type.
+  [[nodiscard]] Val ec(double v) const;
+  /// i32 constant.
+  [[nodiscard]] static Val ic(std::int32_t v) { return make_const_i(v); }
+  /// Cast to the kernel's element type.
+  [[nodiscard]] Val to_elem(Val v) const;
+
+  [[nodiscard]] Val load(const Buf& buf, Val index) const;
+  void store(const Buf& buf, Val index, Val value);
+
+  /// Declare a scalar initialised to `init`; returns a reference usable in
+  /// later expressions. Scalar names must not collide with loop variables
+  /// that enclose their uses.
+  Val decl(const std::string& name, Val init);
+  /// Assign to a scalar previously created by decl() or a loop variable.
+  void assign(Val var, Val value);
+
+  /// Serial counted loop over [lo, hi) with constant step.
+  void for_(const std::string& var, Val lo, Val hi, const LoopBody& fn,
+            std::int32_t step = 1);
+  /// OpenMP-style `parallel for`: iterations are statically chunked over
+  /// the cores (schedule(static)); an implicit barrier closes the region.
+  void par_for(const std::string& var, Val lo, Val hi, const LoopBody& fn,
+               std::int32_t step = 1);
+  /// `parallel for schedule(static,1)`: iterations are dealt round-robin,
+  /// so consecutive cores touch consecutive elements (TCDM-bank friendly
+  /// for unit-stride access, cheaper region entry, but worse locality for
+  /// blocked access patterns).
+  void par_for_cyclic(const std::string& var, Val lo, Val hi,
+                      const LoopBody& fn, std::int32_t step = 1);
+
+  void if_(Val cond, const Body& then_fn);
+  void if_else(Val cond, const Body& then_fn, const Body& else_fn);
+
+  /// OpenMP `critical`: body serialised under the cluster-wide lock
+  /// (contending cores spin with active-wait NOPs).
+  void critical(const Body& fn);
+  /// Explicit cluster barrier.
+  void barrier();
+
+  /// Start an asynchronous DMA copy of `words` 32-bit words from the
+  /// start of `src` to the start of `dst` (the PULP cluster DMA used to
+  /// move data between L2 and TCDM).
+  void dma_copy(const Buf& dst, const Buf& src, std::uint32_t words);
+  /// Clock-gate until the DMA engine is idle.
+  void dma_wait();
+
+  /// Core id / core count of the executing configuration (the OpenMP
+  /// omp_get_thread_num / omp_get_num_threads analogs).
+  [[nodiscard]] static Val core_id() { return make_core_id(); }
+  [[nodiscard]] static Val num_cores() { return make_num_cores(); }
+
+  /// Finalise and return the kernel. The builder must not be reused.
+  [[nodiscard]] KernelSpec build();
+
+ private:
+  void append(StmtP stmt);
+  void emit_for(const std::string& var, Val lo, Val hi, const LoopBody& fn,
+                std::int32_t step, bool parallel,
+                Schedule schedule = Schedule::Chunked);
+
+  KernelSpec spec_;
+  DType elem_;
+  /// Statement-list nesting stack; back() is the list under construction.
+  std::vector<std::vector<StmtP>> stack_;
+};
+
+}  // namespace pulpc::dsl

@@ -1,0 +1,961 @@
+#include "dsl/lower.hpp"
+
+#include "dsl/validate.hpp"
+
+#include <bit>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pulpc::dsl {
+
+namespace {
+
+using kir::Instr;
+using kir::Op;
+
+/// Integer register conventions. r0 is kept at zero; r1 caches the core
+/// id and r2 the core count for the whole run; named scalars grow upward
+/// from r3 and expression temporaries grow downward from r31.
+constexpr std::uint8_t kZeroReg = 0;
+constexpr std::uint8_t kCidReg = 1;
+constexpr std::uint8_t kNcReg = 2;
+constexpr std::uint8_t kFirstIVar = 3;
+constexpr std::uint8_t kFirstFVar = 0;
+
+/// Does this statement (recursively) contain an explicit barrier? Such
+/// statements cannot be master-guarded: cores would execute different
+/// numbers of barriers and the event unit would deadlock.
+bool contains_barrier(const Stmt& s) {
+  if (s.kind == Stmt::Kind::Barrier) return true;
+  for (const StmtP& c : s.body) {
+    if (contains_barrier(*c)) return true;
+  }
+  for (const StmtP& c : s.else_body) {
+    if (contains_barrier(*c)) return true;
+  }
+  return false;
+}
+
+class Lowering {
+ public:
+  Lowering(const KernelSpec& spec, const LowerOptions& opt)
+      : spec_(spec), opt_(opt) {}
+
+  kir::Program run() {
+    const std::string semantic_err = validate_spec(spec_);
+    if (!semantic_err.empty()) {
+      throw std::invalid_argument("lower: " + semantic_err);
+    }
+    prog_.name = spec_.name;
+    allocate_buffers();
+    // Prologue (runtime init, outside the measured kernel region).
+    emit({.op = Op::Li, .rd = kZeroReg, .imm = 0});
+    emit({.op = Op::CoreId, .rd = kCidReg});
+    emit({.op = Op::NumCores, .rd = kNcReg});
+    emit({.op = Op::MarkEnter});
+    lower_serial_context(spec_.body);
+    emit({.op = Op::MarkExit});
+    emit({.op = Op::Halt});
+    const std::string err = kir::verify(prog_);
+    if (!err.empty()) {
+      throw std::runtime_error("lower(" + spec_.name + "): " + err);
+    }
+    return std::move(prog_);
+  }
+
+ private:
+  // ---- program assembly -------------------------------------------------
+
+  std::uint32_t emit(Instr ins) {
+    prog_.code.push_back(ins);
+    return static_cast<std::uint32_t>(prog_.code.size() - 1);
+  }
+
+  [[nodiscard]] std::uint32_t here() const {
+    return static_cast<std::uint32_t>(prog_.code.size());
+  }
+
+  void patch_target(std::uint32_t at, std::uint32_t target) {
+    prog_.code[at].imm = static_cast<std::int32_t>(target);
+  }
+
+  // ---- buffers ----------------------------------------------------------
+
+  void allocate_buffers() {
+    std::uint32_t tcdm_off = 0;
+    std::uint32_t l2_off = 0;
+    for (const BufferDecl& b : spec_.buffers) {
+      kir::BufferInfo info;
+      info.name = b.name;
+      info.elem = b.elem;
+      info.space = b.space;
+      info.elems = b.elems;
+      static_assert(static_cast<int>(InitKind::Zero) ==
+                        static_cast<int>(kir::BufInit::Zero) &&
+                    static_cast<int>(InitKind::RandomPos) ==
+                        static_cast<int>(kir::BufInit::RandomPos));
+      info.init = static_cast<kir::BufInit>(b.init);
+      const std::uint32_t bytes = b.elems * 4U;
+      if (b.space == MemSpace::Tcdm) {
+        if (tcdm_off + bytes > opt_.tcdm_bytes) {
+          throw std::runtime_error("lower(" + spec_.name +
+                                   "): TCDM overflow at buffer " + b.name);
+        }
+        info.base = opt_.tcdm_base + tcdm_off;
+        tcdm_off += bytes;
+      } else {
+        if (l2_off + bytes > opt_.l2_bytes) {
+          throw std::runtime_error("lower(" + spec_.name +
+                                   "): L2 overflow at buffer " + b.name);
+        }
+        info.base = opt_.l2_base + l2_off;
+        l2_off += bytes;
+      }
+      buffers_[b.name] = info;
+      prog_.buffers.push_back(info);
+    }
+  }
+
+  [[nodiscard]] const kir::BufferInfo& buffer(const std::string& name) const {
+    const auto it = buffers_.find(name);
+    if (it == buffers_.end()) {
+      throw std::invalid_argument("lower(" + spec_.name +
+                                  "): unknown buffer " + name);
+    }
+    return it->second;
+  }
+
+  // ---- registers ----------------------------------------------------------
+
+  std::uint8_t alloc_ivar(const std::string& name) {
+    const auto it = ivars_.find(name);
+    if (it != ivars_.end()) return it->second;
+    if (next_ivar_ > itemp_cur_) {
+      throw std::runtime_error("lower(" + spec_.name +
+                               "): integer register pressure at " + name);
+    }
+    const auto reg = static_cast<std::uint8_t>(next_ivar_++);
+    ivars_[name] = reg;
+    return reg;
+  }
+
+  std::uint8_t alloc_fvar(const std::string& name) {
+    const auto it = fvars_.find(name);
+    if (it != fvars_.end()) return it->second;
+    if (next_fvar_ > ftemp_cur_) {
+      throw std::runtime_error("lower(" + spec_.name +
+                               "): float register pressure at " + name);
+    }
+    const auto reg = static_cast<std::uint8_t>(next_fvar_++);
+    fvars_[name] = reg;
+    return reg;
+  }
+
+  std::uint8_t alloc_itemp() {
+    if (itemp_cur_ < next_ivar_) {
+      throw std::runtime_error("lower(" + spec_.name +
+                               "): integer temp pressure");
+    }
+    return static_cast<std::uint8_t>(itemp_cur_--);
+  }
+
+  std::uint8_t alloc_ftemp() {
+    if (ftemp_cur_ < next_fvar_) {
+      throw std::runtime_error("lower(" + spec_.name + "): float temp pressure");
+    }
+    return static_cast<std::uint8_t>(ftemp_cur_--);
+  }
+
+  void reset_temps() {
+    itemp_cur_ = kir::kNumRegs - 1;
+    ftemp_cur_ = kir::kNumRegs - 1;
+  }
+
+  /// Expression-temp stack discipline: each expression node releases its
+  /// children's temporaries before allocating its own result slot, so
+  /// live temps never exceed the expression depth. The result register
+  /// may alias a child's (the cores read all operands before writing rd,
+  /// so `add t, t, b` style aliasing is safe).
+  struct TempMark {
+    int i;
+    int f;
+  };
+  [[nodiscard]] TempMark mark_temps() const { return {itemp_cur_, ftemp_cur_}; }
+  void release_temps(TempMark m) {
+    itemp_cur_ = m.i;
+    ftemp_cur_ = m.f;
+  }
+
+  [[nodiscard]] std::uint8_t ivar(const std::string& name) const {
+    const auto it = ivars_.find(name);
+    if (it == ivars_.end()) {
+      throw std::invalid_argument("lower(" + spec_.name +
+                                  "): unknown integer scalar " + name);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::uint8_t fvar(const std::string& name) const {
+    const auto it = fvars_.find(name);
+    if (it == fvars_.end()) {
+      throw std::invalid_argument("lower(" + spec_.name +
+                                  "): unknown float scalar " + name);
+    }
+    return it->second;
+  }
+
+  // ---- static estimation (trip counts) ------------------------------------
+
+  /// Best-effort compile-time estimate of an i32 expression. Enclosing
+  /// loop variables with known bounds resolve to their midpoint, which
+  /// yields average trip counts for triangular loops.
+  std::optional<double> static_eval(const ExprP& e) const {
+    switch (e->kind) {
+      case Expr::Kind::ConstI:
+        return static_cast<double>(e->ival);
+      case Expr::Kind::ConstF:
+        return static_cast<double>(e->fval);
+      case Expr::Kind::Var:
+        for (auto it = loop_env_.rbegin(); it != loop_env_.rend(); ++it) {
+          if (it->var == e->name && it->known) {
+            return (it->lo + it->hi) / 2.0;
+          }
+        }
+        return std::nullopt;
+      case Expr::Kind::Bin: {
+        const auto a = static_eval(e->a);
+        const auto b = static_eval(e->b);
+        if (!a || !b) return std::nullopt;
+        switch (e->bop) {
+          case BinOp::Add: return *a + *b;
+          case BinOp::Sub: return *a - *b;
+          case BinOp::Mul: return *a * *b;
+          case BinOp::Div: return *b != 0 ? std::optional(*a / *b) : std::nullopt;
+          case BinOp::Min: return std::min(*a, *b);
+          case BinOp::Max: return std::max(*a, *b);
+          case BinOp::Shl: return *a * std::pow(2.0, *b);
+          case BinOp::Shr: return *a / std::pow(2.0, *b);
+          default: return std::nullopt;
+        }
+      }
+      case Expr::Kind::Un:
+        if (const auto a = static_eval(e->a)) {
+          switch (e->uop) {
+            case UnOp::Neg: return -*a;
+            case UnOp::Abs: return std::abs(*a);
+            case UnOp::ToF32:
+            case UnOp::ToI32: return *a;
+            case UnOp::Sqrt: return std::sqrt(std::max(0.0, *a));
+          }
+        }
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  /// Estimated iteration count of a [lo, hi) step loop; < 0 if unknown.
+  std::int64_t estimate_trip(const ExprP& lo, const ExprP& hi,
+                             std::int32_t step) const {
+    const auto l = static_eval(lo);
+    const auto h = static_eval(hi);
+    if (!l || !h) return -1;
+    const double iters = std::ceil(std::max(0.0, *h - *l) / step);
+    return static_cast<std::int64_t>(iters);
+  }
+
+  // ---- constant folding ----------------------------------------------------
+
+  std::optional<std::int32_t> const_i(const ExprP& e) const {
+    if (e->kind == Expr::Kind::ConstI) return e->ival;
+    return std::nullopt;
+  }
+
+  // ---- expression codegen ---------------------------------------------------
+
+  std::uint8_t eval(const ExprP& e) {
+    return e->type == DType::F32 ? eval_f(e) : eval_i(e);
+  }
+
+  std::uint8_t eval_i(const ExprP& e) {
+    switch (e->kind) {
+      case Expr::Kind::ConstI: {
+        const std::uint8_t t = alloc_itemp();
+        emit({.op = Op::Li, .rd = t, .imm = e->ival});
+        return t;
+      }
+      case Expr::Kind::Var:
+        return ivar(e->name);
+      case Expr::Kind::CoreId:
+        return kCidReg;
+      case Expr::Kind::NumCores:
+        return kNcReg;
+      case Expr::Kind::Load:
+        return eval_load(e);
+      case Expr::Kind::Un:
+        return eval_un_i(e);
+      case Expr::Kind::Bin:
+        return eval_bin_i(e);
+      default:
+        throw std::invalid_argument("lower: non-i32 expression in i32 context");
+    }
+  }
+
+  std::uint8_t eval_f(const ExprP& e) {
+    switch (e->kind) {
+      case Expr::Kind::ConstF: {
+        const std::uint8_t t = alloc_ftemp();
+        emit({.op = Op::FLi, .rd = t, .imm = std::bit_cast<std::int32_t>(e->fval)});
+        return t;
+      }
+      case Expr::Kind::Var:
+        return fvar(e->name);
+      case Expr::Kind::Load:
+        return eval_load(e);
+      case Expr::Kind::Un:
+        return eval_un_f(e);
+      case Expr::Kind::Bin:
+        return eval_bin_f(e);
+      default:
+        throw std::invalid_argument("lower: non-f32 expression in f32 context");
+    }
+  }
+
+  /// Compute the byte address of `buf[index]` into an integer temp and
+  /// return (reg, base-immediate, space) for the memory instruction.
+  struct Address {
+    std::uint8_t reg;
+    std::int32_t base;
+    MemSpace space;
+  };
+
+  Address eval_address(const std::string& buf_name, const ExprP& index) {
+    const kir::BufferInfo& buf = buffer(buf_name);
+    const TempMark m = mark_temps();
+    const std::uint8_t idx = eval_i(index);
+    release_temps(m);
+    const std::uint8_t addr = alloc_itemp();
+    emit({.op = Op::ShlI, .rd = addr, .rs1 = idx, .imm = 2});
+    return {addr, static_cast<std::int32_t>(buf.base), buf.space};
+  }
+
+  std::uint8_t eval_load(const ExprP& e) {
+    const TempMark m = mark_temps();
+    const Address a = eval_address(e->name, e->a);
+    if (e->type == DType::F32) {
+      release_temps(m);
+      const std::uint8_t t = alloc_ftemp();
+      emit({.op = Op::Flw, .rd = t, .rs1 = a.reg, .imm = a.base,
+            .mem = a.space});
+      return t;
+    }
+    release_temps(m);
+    const std::uint8_t t = alloc_itemp();
+    emit({.op = Op::Lw, .rd = t, .rs1 = a.reg, .imm = a.base, .mem = a.space});
+    return t;
+  }
+
+  std::uint8_t eval_un_i(const ExprP& e) {
+    const TempMark m = mark_temps();
+    const auto result_itemp = [&] {
+      release_temps(m);
+      return alloc_itemp();
+    };
+    switch (e->uop) {
+      case UnOp::Neg: {
+        const std::uint8_t a = eval_i(e->a);
+        const std::uint8_t t = result_itemp();
+        emit({.op = Op::Sub, .rd = t, .rs1 = kZeroReg, .rs2 = a});
+        return t;
+      }
+      case UnOp::Abs: {
+        const std::uint8_t a = eval_i(e->a);
+        const std::uint8_t t = result_itemp();
+        emit({.op = Op::Abs, .rd = t, .rs1 = a});
+        return t;
+      }
+      case UnOp::ToI32: {
+        const std::uint8_t a = eval_f(e->a);
+        const std::uint8_t t = result_itemp();
+        emit({.op = Op::CvtWS, .rd = t, .rs1 = a});
+        return t;
+      }
+      default:
+        throw std::invalid_argument("lower: bad i32 unary op");
+    }
+  }
+
+  std::uint8_t eval_un_f(const ExprP& e) {
+    const TempMark m = mark_temps();
+    const auto result_ftemp = [&] {
+      release_temps(m);
+      return alloc_ftemp();
+    };
+    switch (e->uop) {
+      case UnOp::Neg: {
+        const std::uint8_t a = eval_f(e->a);
+        const std::uint8_t t = result_ftemp();
+        emit({.op = Op::FNeg, .rd = t, .rs1 = a});
+        return t;
+      }
+      case UnOp::Abs: {
+        const std::uint8_t a = eval_f(e->a);
+        const std::uint8_t t = result_ftemp();
+        emit({.op = Op::FAbs, .rd = t, .rs1 = a});
+        return t;
+      }
+      case UnOp::Sqrt: {
+        const std::uint8_t a = eval_f(e->a);
+        const std::uint8_t t = result_ftemp();
+        emit({.op = Op::FSqrt, .rd = t, .rs1 = a});
+        return t;
+      }
+      case UnOp::ToF32: {
+        const std::uint8_t a = eval_i(e->a);
+        const std::uint8_t t = result_ftemp();
+        emit({.op = Op::CvtSW, .rd = t, .rs1 = a});
+        return t;
+      }
+      default:
+        throw std::invalid_argument("lower: bad f32 unary op");
+    }
+  }
+
+  std::uint8_t eval_bin_i(const ExprP& e) {
+    // f32 comparisons produce i32 results; route them here.
+    if (e->a->type == DType::F32) return eval_fcmp(e);
+
+    const TempMark m = mark_temps();
+    // Immediate forms for constant right-hand sides.
+    if (const auto imm = const_i(e->b)) {
+      const auto immediate_op = [&]() -> std::optional<Op> {
+        switch (e->bop) {
+          case BinOp::Add: return Op::AddI;
+          case BinOp::Sub: return Op::AddI;  // negated immediate
+          case BinOp::Mul: return Op::MulI;
+          case BinOp::And: return Op::AndI;
+          case BinOp::Or: return Op::OrI;
+          case BinOp::Xor: return Op::XorI;
+          case BinOp::Shl: return Op::ShlI;
+          case BinOp::Shr: return Op::ShrI;
+          case BinOp::Lt: return Op::SltI;
+          default: return std::nullopt;
+        }
+      }();
+      if (immediate_op) {
+        const std::uint8_t a = eval_i(e->a);
+        release_temps(m);
+        const std::uint8_t t = alloc_itemp();
+        const std::int32_t v = e->bop == BinOp::Sub ? -*imm : *imm;
+        emit({.op = *immediate_op, .rd = t, .rs1 = a, .imm = v});
+        return t;
+      }
+    }
+
+    const std::uint8_t a = eval_i(e->a);
+    const std::uint8_t b = eval_i(e->b);
+    release_temps(m);
+    const std::uint8_t t = alloc_itemp();
+    switch (e->bop) {
+      case BinOp::Add: emit({.op = Op::Add, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Sub: emit({.op = Op::Sub, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Mul: emit({.op = Op::Mul, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Div: emit({.op = Op::Div, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Rem: emit({.op = Op::Rem, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Min: emit({.op = Op::Min, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Max: emit({.op = Op::Max, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Shl: emit({.op = Op::Shl, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Shr: emit({.op = Op::Shr, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::And: emit({.op = Op::And, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Or: emit({.op = Op::Or, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Xor: emit({.op = Op::Xor, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Lt: emit({.op = Op::Slt, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Gt: emit({.op = Op::Slt, .rd = t, .rs1 = b, .rs2 = a}); break;
+      case BinOp::Le:
+        emit({.op = Op::Slt, .rd = t, .rs1 = b, .rs2 = a});
+        emit({.op = Op::XorI, .rd = t, .rs1 = t, .imm = 1});
+        break;
+      case BinOp::Ge:
+        emit({.op = Op::Slt, .rd = t, .rs1 = a, .rs2 = b});
+        emit({.op = Op::XorI, .rd = t, .rs1 = t, .imm = 1});
+        break;
+      case BinOp::Eq:
+        emit({.op = Op::Sub, .rd = t, .rs1 = a, .rs2 = b});
+        emit({.op = Op::Abs, .rd = t, .rs1 = t});
+        emit({.op = Op::SltI, .rd = t, .rs1 = t, .imm = 1});
+        break;
+      case BinOp::Ne:
+        emit({.op = Op::Sub, .rd = t, .rs1 = a, .rs2 = b});
+        emit({.op = Op::Abs, .rd = t, .rs1 = t});
+        emit({.op = Op::SltI, .rd = t, .rs1 = t, .imm = 1});
+        emit({.op = Op::XorI, .rd = t, .rs1 = t, .imm = 1});
+        break;
+    }
+    return t;
+  }
+
+  std::uint8_t eval_fcmp(const ExprP& e) {
+    const TempMark m = mark_temps();
+    const std::uint8_t a = eval_f(e->a);
+    const std::uint8_t b = eval_f(e->b);
+    release_temps(m);
+    const std::uint8_t t = alloc_itemp();
+    switch (e->bop) {
+      case BinOp::Lt: emit({.op = Op::FLt, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Gt: emit({.op = Op::FLt, .rd = t, .rs1 = b, .rs2 = a}); break;
+      case BinOp::Le: emit({.op = Op::FLe, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Ge: emit({.op = Op::FLe, .rd = t, .rs1 = b, .rs2 = a}); break;
+      case BinOp::Eq: emit({.op = Op::FEq, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Ne:
+        emit({.op = Op::FEq, .rd = t, .rs1 = a, .rs2 = b});
+        emit({.op = Op::XorI, .rd = t, .rs1 = t, .imm = 1});
+        break;
+      default:
+        throw std::invalid_argument("lower: bad f32 comparison");
+    }
+    return t;
+  }
+
+  std::uint8_t eval_bin_f(const ExprP& e) {
+    const TempMark m = mark_temps();
+    const std::uint8_t a = eval_f(e->a);
+    const std::uint8_t b = eval_f(e->b);
+    release_temps(m);
+    const std::uint8_t t = alloc_ftemp();
+    switch (e->bop) {
+      case BinOp::Add: emit({.op = Op::FAdd, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Sub: emit({.op = Op::FSub, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Mul: emit({.op = Op::FMul, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Div: emit({.op = Op::FDiv, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Min: emit({.op = Op::FMin, .rd = t, .rs1 = a, .rs2 = b}); break;
+      case BinOp::Max: emit({.op = Op::FMax, .rd = t, .rs1 = a, .rs2 = b}); break;
+      default:
+        throw std::invalid_argument("lower: bad f32 binary op");
+    }
+    return t;
+  }
+
+  // ---- branch helpers --------------------------------------------------------
+
+  /// Emit a branch to a (patched-later) target taken when `cond` is FALSE.
+  /// Returns the instruction index to patch.
+  std::uint32_t emit_branch_if_false(const ExprP& cond) {
+    if (cond->kind == Expr::Kind::Bin && is_comparison(cond->bop) &&
+        cond->a->type == DType::I32) {
+      const std::uint8_t a = eval_i(cond->a);
+      const std::uint8_t b = eval_i(cond->b);
+      switch (cond->bop) {
+        case BinOp::Lt: return emit({.op = Op::Bge, .rs1 = a, .rs2 = b});
+        case BinOp::Ge: return emit({.op = Op::Blt, .rs1 = a, .rs2 = b});
+        case BinOp::Gt: return emit({.op = Op::Bge, .rs1 = b, .rs2 = a});
+        case BinOp::Le: return emit({.op = Op::Blt, .rs1 = b, .rs2 = a});
+        case BinOp::Eq: return emit({.op = Op::Bne, .rs1 = a, .rs2 = b});
+        case BinOp::Ne: return emit({.op = Op::Beq, .rs1 = a, .rs2 = b});
+        default: break;
+      }
+    }
+    const std::uint8_t c = eval_i(cond);
+    return emit({.op = Op::Beq, .rs1 = c, .rs2 = kZeroReg});
+  }
+
+  // ---- statement codegen -------------------------------------------------------
+
+  /// Lower a statement list in *serial* (outside any parallel loop)
+  /// context: stores and loops without inner parallelism execute on core 0
+  /// under a guard with a closing barrier; register-only scalar work is
+  /// redundantly executed by every core; loops that contain parallel
+  /// regions keep their control flow on all cores.
+  void lower_serial_context(const std::vector<StmtP>& stmts) {
+    std::vector<StmtP> guarded;
+    const auto push_guarded = [&](const StmtP& s) {
+      if (contains_barrier(*s)) {
+        throw std::invalid_argument(
+            "lower(" + spec_.name +
+            "): explicit barrier inside a serial statement");
+      }
+      guarded.push_back(s);
+    };
+    const auto flush = [&] {
+      if (guarded.empty()) return;
+      reset_temps();
+      const std::uint32_t guard = emit({.op = Op::Bne, .rs1 = kCidReg,
+                                        .rs2 = kZeroReg});
+      for (const StmtP& s : guarded) lower_stmt(*s);
+      patch_target(guard, here());
+      emit({.op = Op::Barrier});
+      guarded.clear();
+    };
+
+    for (const StmtP& s : stmts) {
+      switch (s->kind) {
+        case Stmt::Kind::Decl:
+        case Stmt::Kind::Assign:
+          // Register-only: replicated on all cores.
+          flush();
+          lower_stmt(*s);
+          break;
+        case Stmt::Kind::Barrier:
+          flush();
+          reset_temps();
+          emit({.op = Op::Barrier});
+          break;
+        case Stmt::Kind::For:
+          if (s->parallel) {
+            flush();
+            lower_parallel_for(*s);
+          } else if (stmt_contains_parallel(*s)) {
+            flush();
+            lower_serial_for(*s, /*serial_context=*/true);
+          } else if (stmt_has_side_effects(*s)) {
+            push_guarded(s);
+          } else {
+            // Pure scalar loop: replicate it so every core holds the
+            // results (what SPMD compilers do for cheap shared scalars).
+            flush();
+            lower_stmt(*s);
+          }
+          break;
+        case Stmt::Kind::If:
+          if (stmt_contains_parallel(*s)) {
+            throw std::invalid_argument(
+                "lower(" + spec_.name +
+                "): parallel loop inside `if` is not supported");
+          }
+          if (stmt_has_side_effects(*s)) {
+            push_guarded(s);
+          } else {
+            flush();
+            lower_stmt(*s);
+          }
+          break;
+        default:
+          push_guarded(s);
+          break;
+      }
+    }
+    flush();
+  }
+
+  /// Lower a statement in plain SPMD context (inside a parallel body, or
+  /// inside a core-0 guard).
+  void lower_stmt(const Stmt& s) {
+    reset_temps();
+    switch (s.kind) {
+      case Stmt::Kind::Decl:
+        lower_decl_or_assign(s, /*declare=*/true);
+        break;
+      case Stmt::Kind::Assign:
+        lower_decl_or_assign(s, /*declare=*/false);
+        break;
+      case Stmt::Kind::Store:
+        lower_store(s);
+        break;
+      case Stmt::Kind::For:
+        if (s.parallel) {
+          throw std::invalid_argument(
+              "lower(" + spec_.name +
+              "): nested parallelism is not supported by the PULP runtime");
+        }
+        lower_serial_for(s, /*serial_context=*/false);
+        break;
+      case Stmt::Kind::If:
+        lower_if(s);
+        break;
+      case Stmt::Kind::Barrier:
+        emit({.op = Op::Barrier});
+        break;
+      case Stmt::Kind::Critical:
+        emit({.op = Op::CritEnter, .imm = 0});
+        for (const StmtP& c : s.body) lower_stmt(*c);
+        reset_temps();
+        emit({.op = Op::CritExit, .imm = 0});
+        break;
+      case Stmt::Kind::DmaCopy: {
+        const kir::BufferInfo& src = buffer(s.dma_src);
+        const kir::BufferInfo& dst = buffer(s.dma_dst);
+        const std::uint8_t tsrc = alloc_itemp();
+        const std::uint8_t tdst = alloc_itemp();
+        const std::uint8_t tlen = alloc_itemp();
+        emit({.op = Op::Li, .rd = tsrc,
+              .imm = static_cast<std::int32_t>(src.base)});
+        emit({.op = Op::Li, .rd = tdst,
+              .imm = static_cast<std::int32_t>(dst.base)});
+        emit({.op = Op::Li, .rd = tlen,
+              .imm = static_cast<std::int32_t>(s.dma_words)});
+        emit({.op = Op::DmaStart, .rd = tlen, .rs1 = tsrc, .rs2 = tdst});
+        break;
+      }
+      case Stmt::Kind::DmaWait:
+        emit({.op = Op::DmaWait});
+        break;
+    }
+  }
+
+  void lower_decl_or_assign(const Stmt& s, bool declare) {
+    const DType t = s.value->type;
+    // mac/fmac peephole: x = x + a*b accumulates in place.
+    if (!declare || ivars_.count(s.name) != 0U || fvars_.count(s.name) != 0U) {
+      if (try_lower_mac(s)) return;
+    }
+    if (t == DType::F32) {
+      const std::uint8_t dst =
+          declare ? alloc_fvar(s.name) : fvar(s.name);
+      const std::uint8_t v = eval_f(s.value);
+      emit({.op = Op::FMv, .rd = dst, .rs1 = v});
+    } else {
+      const std::uint8_t dst =
+          declare ? alloc_ivar(s.name) : ivar(s.name);
+      const std::uint8_t v = eval_i(s.value);
+      emit({.op = Op::Mv, .rd = dst, .rs1 = v});
+    }
+  }
+
+  /// Recognise `x = x + a*b` (either addend order) and emit mac/fmac.
+  bool try_lower_mac(const Stmt& s) {
+    const ExprP& v = s.value;
+    if (v->kind != Expr::Kind::Bin || v->bop != BinOp::Add) return false;
+    const auto is_self = [&](const ExprP& e) {
+      return e->kind == Expr::Kind::Var && e->name == s.name;
+    };
+    ExprP mul;
+    if (is_self(v->a) && v->b->kind == Expr::Kind::Bin &&
+        v->b->bop == BinOp::Mul) {
+      mul = v->b;
+    } else if (is_self(v->b) && v->a->kind == Expr::Kind::Bin &&
+               v->a->bop == BinOp::Mul) {
+      mul = v->a;
+    } else {
+      return false;
+    }
+    if (v->type == DType::F32) {
+      const std::uint8_t dst = fvar(s.name);
+      const std::uint8_t a = eval_f(mul->a);
+      const std::uint8_t b = eval_f(mul->b);
+      emit({.op = Op::FMac, .rd = dst, .rs1 = a, .rs2 = b});
+    } else {
+      const std::uint8_t dst = ivar(s.name);
+      const std::uint8_t a = eval_i(mul->a);
+      const std::uint8_t b = eval_i(mul->b);
+      emit({.op = Op::Mac, .rd = dst, .rs1 = a, .rs2 = b});
+    }
+    return true;
+  }
+
+  void lower_store(const Stmt& s) {
+    const std::uint8_t v = eval(s.value);
+    const Address a = eval_address(s.name, s.index);
+    const Op op = s.value->type == DType::F32 ? Op::Fsw : Op::Sw;
+    emit({.op = op, .rs1 = a.reg, .rs2 = v, .imm = a.base, .mem = a.space});
+  }
+
+  void lower_if(const Stmt& s) {
+    const std::uint32_t to_else = emit_branch_if_false(s.cond);
+    for (const StmtP& c : s.body) lower_stmt(*c);
+    reset_temps();
+    if (s.else_body.empty()) {
+      patch_target(to_else, here());
+      return;
+    }
+    const std::uint32_t to_end = emit({.op = Op::Jmp});
+    patch_target(to_else, here());
+    for (const StmtP& c : s.else_body) lower_stmt(*c);
+    patch_target(to_end, here());
+  }
+
+  struct LoopEnv {
+    std::string var;
+    double lo = 0;
+    double hi = 0;
+    bool known = false;
+  };
+
+  void push_loop_env(const Stmt& s) {
+    LoopEnv env{.var = s.loop_var};
+    const auto l = static_eval(s.lo);
+    const auto h = static_eval(s.hi);
+    if (l && h) {
+      env.lo = *l;
+      env.hi = *h;
+      env.known = true;
+    }
+    loop_env_.push_back(env);
+  }
+
+  /// Move the evaluated bound into a persistent register tied to the loop
+  /// variable name ("i$end"), since expression temps do not survive the
+  /// loop body.
+  std::uint8_t materialise_bound(const ExprP& e, const std::string& name) {
+    const std::uint8_t dst = alloc_ivar(name);
+    const std::uint8_t v = eval_i(e);
+    emit({.op = Op::Mv, .rd = dst, .rs1 = v});
+    return dst;
+  }
+
+  void lower_serial_for(const Stmt& s, bool serial_context) {
+    reset_temps();
+    const std::int64_t trip = estimate_trip(s.lo, s.hi, s.step);
+    push_loop_env(s);
+
+    const std::uint8_t var = alloc_ivar(s.loop_var);
+    const std::uint8_t end = materialise_bound(s.hi, s.loop_var + "$end");
+    {
+      const std::uint8_t v = eval_i(s.lo);
+      emit({.op = Op::Mv, .rd = var, .rs1 = v});
+    }
+    const std::uint32_t header = here();
+    const std::uint32_t exit_branch =
+        emit({.op = Op::Bge, .rs1 = var, .rs2 = end});
+    if (serial_context) {
+      lower_serial_context(s.body);
+    } else {
+      for (const StmtP& c : s.body) lower_stmt(*c);
+    }
+    reset_temps();
+    emit({.op = Op::AddI, .rd = var, .rs1 = var, .imm = s.step});
+    const std::uint32_t latch = emit({.op = Op::Jmp, .imm = static_cast<std::int32_t>(header)});
+    patch_target(exit_branch, here());
+
+    prog_.loops.push_back(kir::LoopMeta{.body_begin = header,
+                                        .body_end = latch + 1,
+                                        .trip = trip,
+                                        .parallel = false});
+    loop_env_.pop_back();
+  }
+
+  void lower_parallel_for(const Stmt& s) {
+    if (s.schedule == Schedule::Cyclic) {
+      lower_parallel_for_cyclic(s);
+      return;
+    }
+    reset_temps();
+    const std::uint32_t region_begin = here();
+    const std::int64_t trip = estimate_trip(s.lo, s.hi, s.step);
+    push_loop_env(s);
+
+    const std::uint8_t var = alloc_ivar(s.loop_var);
+    const std::uint8_t end = alloc_ivar(s.loop_var + "$end");
+
+    // Static chunking (the PULP OpenMP runtime's only schedule): each core
+    // takes one contiguous chunk of ceil(niter / ncores) iterations. The
+    // divide below is genuine runtime overhead charged to every region
+    // entry, which is what makes parallelising tiny loops unattractive.
+    const std::uint8_t lo = eval_i(s.lo);
+    const std::uint8_t hi = eval_i(s.hi);
+    const std::uint8_t niter = alloc_itemp();
+    emit({.op = Op::Sub, .rd = niter, .rs1 = hi, .rs2 = lo});
+    std::uint8_t step_reg = 0;
+    if (s.step > 1) {
+      emit({.op = Op::AddI, .rd = niter, .rs1 = niter, .imm = s.step - 1});
+      step_reg = alloc_itemp();
+      emit({.op = Op::Li, .rd = step_reg, .imm = s.step});
+      emit({.op = Op::Div, .rd = niter, .rs1 = niter, .rs2 = step_reg});
+    }
+    const std::uint8_t chunk = alloc_itemp();
+    emit({.op = Op::Add, .rd = chunk, .rs1 = niter, .rs2 = kNcReg});
+    emit({.op = Op::AddI, .rd = chunk, .rs1 = chunk, .imm = -1});
+    emit({.op = Op::Div, .rd = chunk, .rs1 = chunk, .rs2 = kNcReg});
+    const std::uint8_t start = alloc_itemp();
+    emit({.op = Op::Mul, .rd = start, .rs1 = kCidReg, .rs2 = chunk});
+    const std::uint8_t stop = alloc_itemp();
+    emit({.op = Op::Add, .rd = stop, .rs1 = start, .rs2 = chunk});
+    emit({.op = Op::Min, .rd = stop, .rs1 = stop, .rs2 = niter});
+    if (s.step > 1) {
+      emit({.op = Op::Mul, .rd = start, .rs1 = start, .rs2 = step_reg});
+      emit({.op = Op::Mul, .rd = stop, .rs1 = stop, .rs2 = step_reg});
+    }
+    emit({.op = Op::Add, .rd = var, .rs1 = lo, .rs2 = start});
+    emit({.op = Op::Add, .rd = end, .rs1 = lo, .rs2 = stop});
+
+    const std::uint32_t header = here();
+    const std::uint32_t exit_branch =
+        emit({.op = Op::Bge, .rs1 = var, .rs2 = end});
+    for (const StmtP& c : s.body) lower_stmt(*c);
+    reset_temps();
+    emit({.op = Op::AddI, .rd = var, .rs1 = var, .imm = s.step});
+    const std::uint32_t latch =
+        emit({.op = Op::Jmp, .imm = static_cast<std::int32_t>(header)});
+    patch_target(exit_branch, here());
+    emit({.op = Op::Barrier});  // implicit barrier closing the region
+
+    prog_.loops.push_back(kir::LoopMeta{.body_begin = header,
+                                        .body_end = latch + 1,
+                                        .trip = trip,
+                                        .parallel = true});
+    prog_.regions.push_back(kir::ParallelRegionMeta{
+        .begin = region_begin, .end = here(), .total_iters = trip});
+    loop_env_.pop_back();
+  }
+
+  /// schedule(static,1): core c executes iterations c, c+ncores, ... —
+  /// no divide in the region prologue, interleaved memory footprints.
+  void lower_parallel_for_cyclic(const Stmt& s) {
+    reset_temps();
+    const std::uint32_t region_begin = here();
+    const std::int64_t trip = estimate_trip(s.lo, s.hi, s.step);
+    push_loop_env(s);
+
+    const std::uint8_t var = alloc_ivar(s.loop_var);
+    const std::uint8_t end = alloc_ivar(s.loop_var + "$end");
+    const std::uint8_t stride = alloc_ivar(s.loop_var + "$stride");
+
+    {
+      const std::uint8_t v = eval_i(s.hi);
+      emit({.op = Op::Mv, .rd = end, .rs1 = v});
+    }
+    reset_temps();
+    // var = lo + cid * step; stride = ncores * step.
+    const std::uint8_t lo = eval_i(s.lo);
+    if (s.step == 1) {
+      emit({.op = Op::Add, .rd = var, .rs1 = lo, .rs2 = kCidReg});
+      emit({.op = Op::Mv, .rd = stride, .rs1 = kNcReg});
+    } else {
+      const std::uint8_t t = alloc_itemp();
+      emit({.op = Op::MulI, .rd = t, .rs1 = kCidReg, .imm = s.step});
+      emit({.op = Op::Add, .rd = var, .rs1 = lo, .rs2 = t});
+      emit({.op = Op::MulI, .rd = stride, .rs1 = kNcReg, .imm = s.step});
+    }
+
+    const std::uint32_t header = here();
+    const std::uint32_t exit_branch =
+        emit({.op = Op::Bge, .rs1 = var, .rs2 = end});
+    for (const StmtP& c : s.body) lower_stmt(*c);
+    reset_temps();
+    emit({.op = Op::Add, .rd = var, .rs1 = var, .rs2 = stride});
+    const std::uint32_t latch =
+        emit({.op = Op::Jmp, .imm = static_cast<std::int32_t>(header)});
+    patch_target(exit_branch, here());
+    emit({.op = Op::Barrier});
+
+    prog_.loops.push_back(kir::LoopMeta{.body_begin = header,
+                                        .body_end = latch + 1,
+                                        .trip = trip,
+                                        .parallel = true});
+    prog_.regions.push_back(kir::ParallelRegionMeta{
+        .begin = region_begin, .end = here(), .total_iters = trip});
+    loop_env_.pop_back();
+  }
+
+  const KernelSpec& spec_;
+  LowerOptions opt_;
+  kir::Program prog_;
+  std::unordered_map<std::string, kir::BufferInfo> buffers_;
+  std::unordered_map<std::string, std::uint8_t> ivars_;
+  std::unordered_map<std::string, std::uint8_t> fvars_;
+  int next_ivar_ = kFirstIVar;
+  int next_fvar_ = kFirstFVar;
+  int itemp_cur_ = kir::kNumRegs - 1;
+  int ftemp_cur_ = kir::kNumRegs - 1;
+  std::vector<LoopEnv> loop_env_;
+};
+
+}  // namespace
+
+kir::Program lower(const KernelSpec& spec, const LowerOptions& opt) {
+  return Lowering(spec, opt).run();
+}
+
+}  // namespace pulpc::dsl

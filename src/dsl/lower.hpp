@@ -1,0 +1,40 @@
+// Lowering: compiles a KernelSpec (the kernel "source code") to a KIR
+// program, applying the OpenMP-on-PULP execution model the paper uses:
+//
+//  * SPMD: all participating cores execute the same program.
+//  * `parallel for` loops are statically chunked over the cores (the only
+//    scheduling policy the PULP OpenMP runtime supports per the paper),
+//    with the chunk computation as explicit runtime overhead and an
+//    implicit closing barrier.
+//  * Serial sections execute on core 0 while the other cores clock-gate
+//    at a barrier; scalar (register-only) computation is redundantly
+//    executed by all cores, as real SPMD compilers do.
+//  * `critical` maps to the cluster-wide spin lock.
+//
+// The pass also records the static metadata (loop trip counts, parallel
+// region iteration totals, buffer sizes) that the compile-time feature
+// extraction consumes.
+#pragma once
+
+#include <cstdint>
+
+#include "dsl/ast.hpp"
+#include "kir/ir.hpp"
+
+namespace pulpc::dsl {
+
+struct LowerOptions {
+  std::uint32_t tcdm_base = 0x1000'0000;
+  std::uint32_t tcdm_bytes = 64 * 1024;
+  std::uint32_t l2_base = 0x1C00'0000;
+  std::uint32_t l2_bytes = 512 * 1024;
+};
+
+/// Compile `spec` to KIR. Throws std::invalid_argument /
+/// std::runtime_error on malformed kernels (unknown scalars, nested
+/// parallelism, buffer overflow, register pressure). The returned
+/// program passes kir::verify().
+[[nodiscard]] kir::Program lower(const KernelSpec& spec,
+                                 const LowerOptions& opt = {});
+
+}  // namespace pulpc::dsl

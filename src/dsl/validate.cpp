@@ -1,0 +1,198 @@
+#include "dsl/validate.hpp"
+
+#include <set>
+#include <string>
+
+namespace pulpc::dsl {
+
+namespace {
+
+/// Who executes the statement under the SPMD lowering.
+enum class Ctx {
+  Replicated,  ///< every core, same values
+  MasterOnly,  ///< core 0 under a guard
+  Parallel,    ///< every core, on its own chunk (values may diverge)
+};
+
+struct Checker {
+  /// Scalars whose value is NOT consistent across all cores.
+  std::set<std::string> tainted;
+  std::string error;
+
+  void collect_expr_reads(const ExprP& e, std::set<std::string>& out) {
+    if (!e) return;
+    if (e->kind == Expr::Kind::Var) out.insert(e->name);
+    collect_expr_reads(e->a, out);
+    collect_expr_reads(e->b, out);
+  }
+
+  void fail(const std::string& what, const std::string& name) {
+    if (error.empty()) {
+      error = what + ": scalar '" + name +
+              "' was computed on a single core (or diverged across cores) "
+              "and is read where all cores need a consistent value; hoist "
+              "the computation or pass it through a buffer";
+    }
+  }
+
+  /// Check the reads of one expression in a context that requires
+  /// core-consistent values.
+  void check_reads(const ExprP& e, const std::set<std::string>& local_ok,
+                   const char* what) {
+    std::set<std::string> reads;
+    collect_expr_reads(e, reads);
+    for (const std::string& r : reads) {
+      if (tainted.count(r) != 0U && local_ok.count(r) == 0U) fail(what, r);
+    }
+  }
+
+  /// Walk a statement list in `ctx`. `local_writes` accumulates scalars
+  /// written within the enclosing parallel/guarded body (reads of those
+  /// are fine inside the same body, in program order).
+  void walk(const std::vector<StmtP>& stmts, Ctx ctx,
+            std::set<std::string>& local_writes) {
+    for (const StmtP& sp : stmts) walk_stmt(*sp, ctx, local_writes);
+  }
+
+  void walk_stmt(const Stmt& s, Ctx ctx, std::set<std::string>& local) {
+    const auto check = [&](const ExprP& e, const char* what) {
+      if (ctx == Ctx::MasterOnly) return;  // core 0 sees its own values
+      if (e) check_reads(e, local, what);
+    };
+    switch (s.kind) {
+      case Stmt::Kind::Decl:
+      case Stmt::Kind::Assign:
+        check(s.value, "scalar assignment");
+        if (ctx == Ctx::Replicated) {
+          tainted.erase(s.name);  // re-established consistently
+        } else {
+          local.insert(s.name);
+          if (ctx == Ctx::MasterOnly) tainted.insert(s.name);
+        }
+        break;
+      case Stmt::Kind::Store:
+        check(s.index, "store index");
+        check(s.value, "store value");
+        break;
+      case Stmt::Kind::For: {
+        check(s.lo, "loop bound");
+        check(s.hi, "loop bound");
+        if (s.parallel) {
+          if (ctx == Ctx::Parallel) {
+            if (error.empty()) {
+              error = "nested parallel loops are not supported";
+            }
+            return;
+          }
+          std::set<std::string> body_writes;
+          body_writes.insert(s.loop_var);
+          walk(s.body, Ctx::Parallel, body_writes);
+          // After the region, per-core scalar values diverge.
+          tainted.insert(body_writes.begin(), body_writes.end());
+          return;
+        }
+        Ctx body_ctx = ctx;
+        if (ctx == Ctx::Replicated) {
+          if (stmt_contains_parallel(s)) {
+            body_ctx = Ctx::Replicated;  // loop control on every core
+          } else if (stmt_has_side_effects(s)) {
+            body_ctx = Ctx::MasterOnly;  // guarded onto core 0
+          }
+        }
+        if (body_ctx == Ctx::Replicated) {
+          tainted.erase(s.loop_var);
+        } else {
+          local.insert(s.loop_var);
+          if (body_ctx == Ctx::MasterOnly) tainted.insert(s.loop_var);
+        }
+        if (body_ctx == Ctx::MasterOnly) {
+          std::set<std::string> body_writes = local;
+          walk(s.body, body_ctx, body_writes);
+          // Scalars assigned under the guard stay master-only.
+        } else {
+          walk(s.body, body_ctx, local);
+        }
+        return;
+      }
+      case Stmt::Kind::If: {
+        Ctx body_ctx = ctx;
+        if (ctx == Ctx::Replicated && stmt_has_side_effects(s)) {
+          body_ctx = Ctx::MasterOnly;
+        }
+        if (ctx != Ctx::MasterOnly && body_ctx != Ctx::MasterOnly && s.cond) {
+          check_reads(s.cond, local, "if condition");
+        }
+        walk(s.body, body_ctx, local);
+        walk(s.else_body, body_ctx, local);
+        if (body_ctx == Ctx::MasterOnly && ctx == Ctx::Replicated) {
+          // Conservatively taint scalars written under the guard.
+          std::set<std::string> writes;
+          collect_stmt_writes(s, writes);
+          tainted.insert(writes.begin(), writes.end());
+        }
+        return;
+      }
+      case Stmt::Kind::Critical:
+        walk(s.body, ctx == Ctx::Replicated ? Ctx::MasterOnly : ctx, local);
+        return;
+      case Stmt::Kind::Barrier:
+      case Stmt::Kind::DmaWait:
+        return;
+      case Stmt::Kind::DmaCopy:
+        return;
+    }
+  }
+
+  void collect_stmt_writes(const Stmt& s, std::set<std::string>& out) {
+    if (s.kind == Stmt::Kind::Decl || s.kind == Stmt::Kind::Assign) {
+      out.insert(s.name);
+    }
+    if (s.kind == Stmt::Kind::For) out.insert(s.loop_var);
+    for (const StmtP& c : s.body) collect_stmt_writes(*c, out);
+    for (const StmtP& c : s.else_body) collect_stmt_writes(*c, out);
+  }
+};
+
+}  // namespace
+
+bool stmt_contains_parallel(const Stmt& s) {
+  if (s.kind == Stmt::Kind::For && s.parallel) return true;
+  for (const StmtP& c : s.body) {
+    if (stmt_contains_parallel(*c)) return true;
+  }
+  for (const StmtP& c : s.else_body) {
+    if (stmt_contains_parallel(*c)) return true;
+  }
+  return false;
+}
+
+bool stmt_has_side_effects(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::Store:
+    case Stmt::Kind::Critical:
+    case Stmt::Kind::DmaCopy:
+    case Stmt::Kind::DmaWait:
+      return true;
+    default:
+      break;
+  }
+  for (const StmtP& c : s.body) {
+    if (stmt_has_side_effects(*c)) return true;
+  }
+  for (const StmtP& c : s.else_body) {
+    if (stmt_has_side_effects(*c)) return true;
+  }
+  return false;
+}
+
+std::string validate_spec(const KernelSpec& spec) {
+  Checker checker;
+  std::set<std::string> top;
+  checker.walk(spec.body, Ctx::Replicated, top);
+  if (!checker.error.empty()) {
+    return "kernel " + spec.name + ": " + checker.error;
+  }
+  return {};
+}
+
+}  // namespace pulpc::dsl

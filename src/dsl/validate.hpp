@@ -1,0 +1,32 @@
+// Semantic validation of kernel specs against the SPMD execution model.
+//
+// The lowering replicates register-only scalar work on every core,
+// guards statements with shared-state side effects (stores, critical
+// sections, DMA) onto core 0, and runs parallel loops chunked. That mix
+// is only sound if no scalar value computed on a single core (or
+// divergently per core) is later read in a replicated or parallel
+// context. This pass tracks such "tainted" scalars through the statement
+// tree and rejects kernels that would silently compute garbage on the
+// worker cores — the kind of bug OpenMP programmers hit with missing
+// `shared`/`firstprivate` clauses.
+#pragma once
+
+#include <string>
+
+#include "dsl/ast.hpp"
+
+namespace pulpc::dsl {
+
+/// Returns an empty string when the kernel is sound under the SPMD
+/// lowering rules, otherwise a description of the first violation.
+/// lower() calls this automatically.
+[[nodiscard]] std::string validate_spec(const KernelSpec& spec);
+
+/// True if the statement (recursively) contains a parallel loop.
+[[nodiscard]] bool stmt_contains_parallel(const Stmt& s);
+/// True if the statement (recursively) touches shared state (buffer
+/// stores, critical sections, DMA) and must therefore be master-guarded
+/// when it appears in serial context.
+[[nodiscard]] bool stmt_has_side_effects(const Stmt& s);
+
+}  // namespace pulpc::dsl

@@ -1,0 +1,102 @@
+#include "energy/model.hpp"
+
+#include <cstdio>
+
+namespace pulpc::energy {
+
+EnergyBreakdown compute_energy(const sim::RunStats& stats,
+                               const EnergyModel& m) {
+  EnergyBreakdown e;
+  const auto T = static_cast<double>(stats.region_cycles());
+
+  // Processing elements. Participating cores are charged per operating
+  // state; any window cycles not covered by a state (marker skew at the
+  // region edges) and all unused cores count as clock-gated.
+  for (std::size_t i = 0; i < stats.core.size(); ++i) {
+    const sim::CoreStats& c = stats.core[i];
+    e.pe += m.pe_leakage * T;
+    if (i < stats.ncores) {
+      const auto accounted = static_cast<double>(c.active_cycles());
+      e.pe += m.pe_alu * static_cast<double>(c.cyc_alu) +
+              m.pe_fp * static_cast<double>(c.cyc_fp) +
+              m.pe_l1 * static_cast<double>(c.cyc_l1) +
+              m.pe_l2 * static_cast<double>(c.cyc_l2) +
+              m.pe_nop * static_cast<double>(c.cyc_wait) +
+              m.pe_cg * static_cast<double>(c.cyc_cg);
+      if (T > accounted) e.pe += m.pe_cg * (T - accounted);
+    } else {
+      e.pe += m.pe_cg * T;
+    }
+  }
+
+  for (const sim::FpuStats& f : stats.fpu) {
+    const auto busy = static_cast<double>(f.busy_cycles);
+    e.fpu += m.fpu_leakage * T + m.fpu_operative * busy;
+    if (T > busy) e.fpu += m.fpu_idle * (T - busy);
+  }
+
+  for (const sim::BankStats& b : stats.l1) {
+    const auto acc = static_cast<double>(b.accesses());
+    e.l1 += m.l1_leakage * T + m.l1_read * static_cast<double>(b.reads) +
+            m.l1_write * static_cast<double>(b.writes);
+    if (T > acc) e.l1 += m.l1_idle * (T - acc);
+  }
+
+  for (const sim::BankStats& b : stats.l2) {
+    const auto acc = static_cast<double>(b.accesses());
+    e.l2 += m.l2_leakage * T + m.l2_read * static_cast<double>(b.reads) +
+            m.l2_write * static_cast<double>(b.writes);
+    if (T > acc) e.l2 += m.l2_idle * (T - acc);
+  }
+
+  e.icache = m.icache_leakage * T +
+             m.icache_use * static_cast<double>(stats.icache.uses) +
+             m.icache_refill * static_cast<double>(stats.icache.refills);
+
+  {
+    const auto busy = static_cast<double>(stats.dma.busy_cycles);
+    e.dma = m.dma_leakage * T +
+            m.dma_transfer * static_cast<double>(stats.dma.beats);
+    if (T > busy) e.dma += m.dma_idle * (T - busy);
+  }
+
+  // Interconnect & event unit: leakage over the window plus switching
+  // energy for every core-cycle spent out of clock gating.
+  e.other = m.other_leakage * T;
+  for (std::size_t i = 0; i < stats.ncores && i < stats.core.size(); ++i) {
+    const sim::CoreStats& c = stats.core[i];
+    const auto running =
+        static_cast<double>(c.active_cycles() - c.cyc_cg);
+    e.other += m.other_active * running;
+  }
+  return e;
+}
+
+double total_energy_fj(const sim::RunStats& stats, const EnergyModel& model) {
+  return compute_energy(stats, model).total_fj();
+}
+
+std::string report(const EnergyBreakdown& e) {
+  const auto line = [](const char* name, double fj, double total) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "  %-18s %12.3f uJ  (%5.1f%%)\n", name,
+                  fj * 1e-9, total > 0 ? 100.0 * fj / total : 0.0);
+    return std::string(buf);
+  };
+  const double total = e.total_fj();
+  std::string out = "energy breakdown:\n";
+  out += line("processing elems", e.pe, total);
+  out += line("shared FPUs", e.fpu, total);
+  out += line("TCDM banks", e.l1, total);
+  out += line("L2 banks", e.l2, total);
+  out += line("I-cache", e.icache, total);
+  out += line("DMA", e.dma, total);
+  out += line("other cluster", e.other, total);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "  %-18s %12.3f uJ\n", "total",
+                total * 1e-9);
+  out += buf;
+  return out;
+}
+
+}  // namespace pulpc::energy

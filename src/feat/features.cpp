@@ -1,0 +1,126 @@
+#include "feat/features.hpp"
+
+#include "kir/analysis.hpp"
+
+namespace pulpc::feat {
+
+std::vector<double> StaticFeatures::to_vector() const {
+  std::vector<double> v = {op,     tcdm,   transfer, avgws, f1,
+                           f3,     f4,     uopspc,   ipc,   rbp,
+                           rp_div, rp_fpdiv};
+  v.insert(v.end(), rp.begin(), rp.end());
+  return v;
+}
+
+std::vector<double> DynamicFeatures::to_vector() const {
+  return {pe_idle, pe_sleep, pe_alu,  pe_fp,    pe_l1,
+          pe_l2,   l1_idle,  l1_read, l1_write, l1_conflicts};
+}
+
+StaticFeatures extract_static(const kir::Program& prog,
+                              const mca::MachineModel& mm) {
+  StaticFeatures f;
+  const kir::StaticCounts c = kir::static_counts(prog);
+  f.op = c.op();
+  f.tcdm = c.tcdm();
+  f.transfer = kir::transfer_bytes(prog);
+  f.avgws = kir::avg_parallel_iters(prog);
+  f.f1 = f.op + f.tcdm > 0 ? f.transfer / (f.op + f.tcdm) : 0.0;
+  f.f3 = f.avgws;
+  f.f4 = f.tcdm > 0 ? f.op / f.tcdm : f.op;
+
+  const mca::McaResult m = mca::analyze_program(prog, mm);
+  f.uopspc = m.uops_per_cycle;
+  f.ipc = m.ipc;
+  f.rbp = m.rthroughput;
+  f.rp_div = m.rp_div;
+  f.rp_fpdiv = m.rp_fpdiv;
+  f.rp = m.rp;
+  return f;
+}
+
+DynamicFeatures extract_dynamic(const sim::RunStats& stats) {
+  DynamicFeatures d;
+  const auto T = static_cast<double>(stats.region_cycles());
+  const double core_cycles = T * stats.ncores;
+  double idle = 0;
+  double sleep = 0;
+  for (unsigned i = 0; i < stats.ncores && i < stats.core.size(); ++i) {
+    const sim::CoreStats& c = stats.core[i];
+    idle += static_cast<double>(c.idle_cycles);
+    sleep += static_cast<double>(c.cyc_cg);
+    d.pe_alu += static_cast<double>(c.n_alu + c.n_div);
+    d.pe_fp += static_cast<double>(c.n_fp + c.n_fpdiv);
+    d.pe_l1 += static_cast<double>(c.n_l1);
+    d.pe_l2 += static_cast<double>(c.n_l2);
+  }
+  d.pe_idle = core_cycles > 0 ? idle / core_cycles : 0.0;
+  d.pe_sleep = core_cycles > 0 ? sleep / core_cycles : 0.0;
+  for (const sim::BankStats& b : stats.l1) {
+    d.l1_read += static_cast<double>(b.reads);
+    d.l1_write += static_cast<double>(b.writes);
+    d.l1_conflicts += static_cast<double>(b.conflicts);
+    const auto acc = static_cast<double>(b.accesses());
+    if (T > acc) d.l1_idle += T - acc;
+  }
+  return d;
+}
+
+namespace {
+
+const std::vector<std::string> kDynamicNames = {
+    "PE_idle",  "PE_sleep", "PE_alu",   "PE_fp",       "PE_l1",
+    "PE_l2",    "L1_idle",  "L1_read",  "L1_write",    "L1_conflicts"};
+
+}  // namespace
+
+const std::vector<std::string>& static_feature_names() {
+  static const std::vector<std::string> kNames = {
+      "op",     "tcdm",   "transfer", "avgws", "F1",   "F3",   "F4",
+      "uOPSpc", "IPC",    "RBP",      "RPDiv", "RPFPDiv",
+      "RP0",    "RP1",    "RP2",      "RP3",   "RP4",  "RP5",  "RP6",
+      "RP7"};
+  return kNames;
+}
+
+std::vector<std::string> dynamic_feature_names(unsigned num_configs) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(num_configs) * kDynamicPerConfig);
+  for (unsigned k = 1; k <= num_configs; ++k) {
+    for (const std::string& n : kDynamicNames) {
+      names.push_back(n + "@" + std::to_string(k));
+    }
+  }
+  return names;
+}
+
+const char* to_string(FeatureSet set) noexcept {
+  switch (set) {
+    case FeatureSet::Agg: return "AGG";
+    case FeatureSet::RawAgg: return "RAW+AGG";
+    case FeatureSet::Mca: return "MCA";
+    case FeatureSet::AllStatic: return "ALL-STATIC";
+    case FeatureSet::Dynamic: return "DYNAMIC";
+  }
+  return "?";
+}
+
+std::vector<std::string> feature_set_columns(FeatureSet set,
+                                             unsigned num_configs) {
+  const std::vector<std::string>& s = static_feature_names();
+  switch (set) {
+    case FeatureSet::Agg:
+      return {"F1", "F3", "F4"};
+    case FeatureSet::RawAgg:
+      return {s.begin(), s.begin() + 7};
+    case FeatureSet::Mca:
+      return {s.begin() + 7, s.end()};
+    case FeatureSet::AllStatic:
+      return s;
+    case FeatureSet::Dynamic:
+      return dynamic_feature_names(num_configs);
+  }
+  return {};
+}
+
+}  // namespace pulpc::feat

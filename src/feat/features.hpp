@@ -1,0 +1,95 @@
+// Feature extraction for the classifier.
+//
+//  * Static features (Table II): the RAW metrics of Grewe et al. adapted
+//    to PULP (op, tcdm, transfer, avgws), their AGG combinations
+//    (F1 = transfer/(op+tcdm), F3 = avgws, F4 = op/tcdm), and the 13
+//    machine-code-analyser metrics of Table IIb. All are computed at
+//    compile time from the KIR.
+//  * Dynamic features (Table III): per-run summaries of the execution
+//    traces (PE idle/sleep fractions, opcode counts, TCDM bank activity),
+//    collected once per core-count configuration.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "kir/ir.hpp"
+#include "mca/analyzer.hpp"
+#include "sim/stats.hpp"
+
+namespace pulpc::feat {
+
+/// Number of per-configuration dynamic features (Table III rows).
+inline constexpr int kDynamicPerConfig = 10;
+
+/// Compile-time features of one kernel (one dataset sample).
+struct StaticFeatures {
+  // RAW (Table IIa).
+  double op = 0;        ///< # ALU, FP and JUMP opcodes (trip-weighted)
+  double tcdm = 0;      ///< # TCDM accesses (trip-weighted)
+  double transfer = 0;  ///< bytes of data the kernel works on
+  double avgws = 0;     ///< average iterations of parallel regions
+  // AGG (Table IIa).
+  double f1 = 0;  ///< transfer / (op + tcdm)
+  double f3 = 0;  ///< avgws
+  double f4 = 0;  ///< op / tcdm
+  // MCA (Table IIb).
+  double uopspc = 0;
+  double ipc = 0;
+  double rbp = 0;
+  double rp_div = 0;
+  double rp_fpdiv = 0;
+  std::array<double, mca::kNumPorts> rp{};
+
+  [[nodiscard]] std::vector<double> to_vector() const;
+};
+
+/// Dynamic features of one run at one core count (Table III).
+struct DynamicFeatures {
+  double pe_idle = 0;   ///< fraction of core cycles lost to contention or
+                        ///< multi-cycle instructions
+  double pe_sleep = 0;  ///< fraction of core cycles in clock gating
+  double pe_alu = 0;    ///< ALU opcodes executed (cluster total)
+  double pe_fp = 0;     ///< FPU opcodes executed
+  double pe_l1 = 0;     ///< TCDM-access opcodes
+  double pe_l2 = 0;     ///< off-cluster-access opcodes
+  double l1_idle = 0;       ///< TCDM bank idle cycles
+  double l1_read = 0;       ///< TCDM bank read requests
+  double l1_write = 0;      ///< TCDM bank write requests
+  double l1_conflicts = 0;  ///< same-cycle colliding TCDM requests
+
+  [[nodiscard]] std::vector<double> to_vector() const;
+};
+
+/// Extract all static features from a lowered kernel.
+[[nodiscard]] StaticFeatures extract_static(const kir::Program& prog,
+                                            const mca::MachineModel& mm = {});
+
+/// Summarise one run's statistics into Table III dynamic features.
+[[nodiscard]] DynamicFeatures extract_dynamic(const sim::RunStats& stats);
+
+/// Column names, in the exact order of the corresponding to_vector().
+[[nodiscard]] const std::vector<std::string>& static_feature_names();
+/// Dynamic columns for configurations 1..num_configs, named
+/// "<metric>@<cores>" (the paper's "PE_sleep, PEs=8" notation).
+[[nodiscard]] std::vector<std::string> dynamic_feature_names(
+    unsigned num_configs);
+
+/// Named feature sets evaluated in Figure 2.
+enum class FeatureSet {
+  Agg,        ///< F1, F3, F4 (the paper's first experiment)
+  RawAgg,     ///< RAW + AGG
+  Mca,        ///< the 13 LLVM-MCA-style metrics
+  AllStatic,  ///< RAW + AGG + MCA
+  Dynamic,    ///< Table III metrics for every core count
+};
+
+[[nodiscard]] const char* to_string(FeatureSet set) noexcept;
+
+/// Column names belonging to a feature set, given `num_configs` dynamic
+/// configurations.
+[[nodiscard]] std::vector<std::string> feature_set_columns(
+    FeatureSet set, unsigned num_configs = 8);
+
+}  // namespace pulpc::feat

@@ -1,0 +1,68 @@
+// Shared sizing helpers for the dataset kernels. The problem-size
+// parameter is the *total* data footprint in bytes ("the amount of data
+// the kernel works on"), chosen so every instance fits the 64 KiB TCDM as
+// in the paper; kernels derive their dimensions from it.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "dsl/builder.hpp"
+
+namespace pulpc::kernels {
+
+/// Total 32-bit elements available for `size_bytes` of data.
+[[nodiscard]] inline std::uint32_t total_elems(std::uint32_t size_bytes) {
+  return std::max(32U, size_bytes / 4);
+}
+
+/// Side of a square matrix when the footprint is split over `arrays`
+/// equally-sized 2-D arrays.
+[[nodiscard]] inline std::uint32_t dim2(std::uint32_t size_bytes,
+                                        std::uint32_t arrays) {
+  const double per = total_elems(size_bytes) / static_cast<double>(arrays);
+  return std::max(4U, static_cast<std::uint32_t>(std::floor(std::sqrt(per))));
+}
+
+/// Side of a cubic array when split over `arrays` 3-D arrays.
+[[nodiscard]] inline std::uint32_t dim3(std::uint32_t size_bytes,
+                                        std::uint32_t arrays) {
+  const double per = total_elems(size_bytes) / static_cast<double>(arrays);
+  return std::max(4U, static_cast<std::uint32_t>(std::floor(std::cbrt(per))));
+}
+
+/// Length of a 1-D array when split over `arrays` equally-sized arrays.
+[[nodiscard]] inline std::uint32_t len1(std::uint32_t size_bytes,
+                                        std::uint32_t arrays) {
+  return std::max(8U, total_elems(size_bytes) / arrays);
+}
+
+/// Largest power of two not exceeding `len1(size_bytes, arrays)`.
+[[nodiscard]] inline std::uint32_t pow2_len(std::uint32_t size_bytes,
+                                            std::uint32_t arrays) {
+  std::uint32_t n = len1(size_bytes, arrays);
+  std::uint32_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return std::max(8U, p);
+}
+
+/// log2 of a power of two.
+[[nodiscard]] inline int ilog2(std::uint32_t n) {
+  int l = 0;
+  while ((1U << (l + 1)) <= n) ++l;
+  return l;
+}
+
+/// Divide by a compile-time constant in the kernel's element type: f32
+/// kernels multiply by the reciprocal (as optimised C would), i32 kernels
+/// use the divider, as fixed-point code does.
+[[nodiscard]] inline dsl::Val div_const(const dsl::KernelBuilder& k,
+                                        dsl::Val x, std::int32_t d) {
+  if (k.elem() == kir::DType::F32) {
+    return x * dsl::make_const_f(1.0F / static_cast<float>(d));
+  }
+  return x / dsl::make_const_i(d);
+}
+
+}  // namespace pulpc::kernels

@@ -1,0 +1,352 @@
+// Custom suite: 19 hand-written kernels that, as in the paper, "stimulate
+// different patterns of memory accesses, compute operations, and
+// synchronisation primitives" — the corners of the energy trade-off space
+// the standard suites do not reach: pathological bank conflicts, FPU
+// saturation, divider chains, barrier storms, critical-section
+// serialisation, off-cluster L2 traffic and DMA double-buffering.
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace pulpc::kernels {
+
+namespace {
+
+using dsl::InitKind;
+using dsl::KernelBuilder;
+using dsl::KernelSpec;
+using dsl::MemSpace;
+using dsl::Val;
+using kir::DType;
+
+Val ic(std::int32_t v) { return dsl::make_const_i(v); }
+
+KernelSpec memcpy_k(DType t, std::uint32_t size) {
+  KernelBuilder k("memcpy", "custom", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto src = k.buffer("src", n);
+  auto dst = k.buffer("dst", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.store(dst, i, k.load(src, i));
+  });
+  return k.build();
+}
+
+KernelSpec memset_k(DType t, std::uint32_t size) {
+  KernelBuilder k("memset", "custom", t, size);
+  const std::uint32_t n = len1(size, 1);
+  auto dst = k.buffer("dst", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.store(dst, i, k.ec(7));
+  });
+  return k.build();
+}
+
+KernelSpec stream_triad(DType t, std::uint32_t size) {
+  KernelBuilder k("stream_triad", "custom", t, size);
+  const std::uint32_t n = len1(size, 3);
+  auto a = k.buffer("a", n, InitKind::Zero);
+  auto b = k.buffer("b", n);
+  auto c = k.buffer("c", n);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.store(a, i, k.load(b, i) + k.ec(3) * k.load(c, i));
+  });
+  return k.build();
+}
+
+KernelSpec reduction_sum(DType t, std::uint32_t size) {
+  KernelBuilder k("reduction_sum", "custom", t, size);
+  const std::uint32_t n = len1(size, 1);
+  auto x = k.buffer("x", n);
+  auto out = k.buffer("out", 8, InitKind::Zero);
+  // OpenMP-style reduction: per-core partial sums merged once under the
+  // critical lock (one lock acquisition per core).
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto part = k.decl("part", k.load(x, i));
+    k.critical([&] {
+      k.store(out, ic(0), k.load(out, ic(0)) + part);
+    });
+  });
+  return k.build();
+}
+
+KernelSpec reduction_critical(DType t, std::uint32_t size) {
+  KernelBuilder k("reduction_critical", "custom", t, size);
+  const std::uint32_t n = len1(size, 1) / 4;
+  auto x = k.buffer("x", std::max(8U, n));
+  auto out = k.buffer("out", 8, InitKind::Zero);
+  // Deliberately pathological: every element goes through the lock AND
+  // does some work inside it, so added cores only add spinning.
+  k.par_for("i", ic(0), ic(int(std::max(8U, n))), [&](Val i) {
+    k.critical([&] {
+      k.store(out, ic(0),
+              k.load(out, ic(0)) + k.load(x, i) * k.load(x, i) + k.ec(1));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec barrier_sweep(DType t, std::uint32_t size) {
+  KernelBuilder k("barrier_sweep", "custom", t, size);
+  const std::uint32_t n = len1(size, 1);
+  const std::uint32_t chunks = 32;
+  auto x = k.buffer("x", n);
+  // Many tiny parallel regions: region setup + barrier costs dominate,
+  // punishing high core counts on small problems.
+  k.for_("c", ic(0), ic(int(chunks)), [&](Val c) {
+    k.par_for("i", ic(0), ic(int(n / chunks)), [&](Val i) {
+      auto idx = k.decl("idx", c * ic(int(n / chunks)) + i);
+      k.store(x, idx, k.load(x, idx) + k.ec(1));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec fpu_storm(DType t, std::uint32_t size) {
+  KernelBuilder k("fpu_storm", "custom", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto x = k.buffer("x", n);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  // Dense arithmetic on every element: for f32 this saturates the four
+  // shared FPUs (speed-up capped at ~4); the i32 twin runs on private
+  // ALUs and scales to 8.
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto v = k.decl("v", k.load(x, i));
+    auto acc = k.decl("acc", k.ec(0));
+    // Unrolled arithmetic chain: >80% of issue slots are FP for the f32
+    // instantiation, so the four shared FPUs saturate well below 8 cores.
+    for (int r = 0; r < 4; ++r) {
+      k.assign(acc, acc + v * v);
+      k.assign(v, v + acc * acc);
+      k.assign(acc, dsl::vmin(acc + v * v, k.ec(4096)));
+      k.assign(v, dsl::vmin(v + k.ec(1), k.ec(64)));
+    }
+    k.store(y, i, acc);
+  });
+  return k.build();
+}
+
+KernelSpec div_chain(DType t, std::uint32_t size) {
+  KernelBuilder k("div_chain", "custom", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto x = k.buffer("x", n, InitKind::RandomPos);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  // Divider-bound: i32 exercises the serial integer divider, f32 the
+  // FP divider occupying the shared FPU for many cycles.
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto v = k.decl("v", k.load(x, i) + k.ec(3));
+    k.store(y, i, (k.ec(1000) / v) + (k.ec(500) / (v + k.ec(1))));
+  });
+  return k.build();
+}
+
+KernelSpec sqrt_wave(DType t, std::uint32_t size) {
+  KernelBuilder k("sqrt_wave", "custom", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto x = k.buffer("x", n, InitKind::RandomPos);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    if (k.elem() == DType::F32) {
+      k.store(y, i, dsl::vsqrt(k.load(x, i) + k.ec(1)) +
+                        dsl::vsqrt(k.load(x, i) * k.ec(2) + k.ec(1)));
+    } else {
+      // Integer twin: iterative Newton step (shift/add) structure.
+      auto v = k.decl("v", k.load(x, i) + ic(1));
+      auto g = k.decl("g", v >> ic(1));
+      k.for_("r", ic(0), ic(4), [&](Val) {
+        k.assign(g, (g + v / dsl::vmax(g, ic(1))) >> ic(1));
+      });
+      k.store(y, i, g);
+    }
+  });
+  return k.build();
+}
+
+KernelSpec gather(DType t, std::uint32_t size) {
+  KernelBuilder k("gather", "custom", t, size);
+  const std::uint32_t n = len1(size, 3);
+  auto x = k.buffer("x", n);
+  auto idx = k.buffer_of("idx", DType::I32, n, InitKind::RandomPos);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  // Indirect loads with data-dependent bank targets.
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto j = k.decl("j", k.load(idx, i) % ic(int(n)));
+    k.store(y, i, k.load(x, j) + k.load(x, i));
+  });
+  return k.build();
+}
+
+KernelSpec scatter_mod(DType t, std::uint32_t size) {
+  KernelBuilder k("scatter_mod", "custom", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto x = k.buffer("x", n);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  // Prime-strided writes: each store lands on a rotating bank, giving a
+  // moderate, core-count-dependent conflict rate.
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto j = k.decl("j", (i * ic(7) + ic(3)) % ic(int(n)));
+    k.store(y, j, k.load(x, i));
+  });
+  return k.build();
+}
+
+KernelSpec stride_conflict(DType t, std::uint32_t size) {
+  KernelBuilder k("stride_conflict", "custom", t, size);
+  const std::uint32_t n = len1(size, 2);
+  const std::uint32_t stride = 16;  // == number of TCDM banks
+  auto x = k.buffer("x", n);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  // Bank-width stride: every access from every core lands on bank 0, so
+  // the interconnect serialises the cluster's memory traffic.
+  k.par_for("i", ic(0), ic(int(n / stride)), [&](Val i) {
+    auto j = k.decl("j", i * ic(int(stride)));
+    k.for_("s", ic(0), ic(4), [&](Val) {
+      k.store(y, j, k.load(x, j) + k.ec(1));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec l2_stream(DType t, std::uint32_t size) {
+  KernelBuilder k("l2_stream", "custom", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto src = k.buffer("src", n, InitKind::Random, MemSpace::L2);
+  auto dst = k.buffer("dst", n, InitKind::Zero);
+  // Off-cluster reads: every load pays the 15-cycle L2 latency, so the
+  // kernel is latency- rather than throughput-bound.
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.store(dst, i, k.load(src, i) + k.ec(1));
+  });
+  return k.build();
+}
+
+KernelSpec dma_pingpong(DType t, std::uint32_t size) {
+  KernelBuilder k("dma_pingpong", "custom", t, size);
+  const std::uint32_t n = len1(size, 3);
+  const std::uint32_t half = std::max(8U, n / 2);
+  auto big = k.buffer("big", n, InitKind::Random, MemSpace::L2);
+  auto buf0 = k.buffer("buf0", half, InitKind::Zero);
+  auto buf1 = k.buffer("buf1", half, InitKind::Zero);
+  auto out = k.buffer("out", n, InitKind::Zero);
+  // Double-buffered processing of L2-resident data through the DMA.
+  k.dma_copy(buf0, big, half);
+  k.dma_wait();
+  k.dma_copy(buf1, big, half);
+  k.par_for("i", ic(0), ic(int(half)), [&](Val i) {
+    k.store(out, i, k.load(buf0, i) * k.ec(2));
+  });
+  k.dma_wait();
+  k.par_for("i2", ic(0), ic(int(half)), [&](Val i) {
+    k.store(out, i + ic(int(half)), k.load(buf1, i) * k.ec(2));
+  });
+  return k.build();
+}
+
+KernelSpec spin_counter(DType t, std::uint32_t size) {
+  KernelBuilder k("spin_counter", "custom", t, size);
+  const std::uint32_t rounds = std::min(512U, len1(size, 1) / 4);
+  auto out = k.buffer("out", 8, InitKind::Zero);
+  // A shared counter bumped under the lock with no other work at all:
+  // the purest synchronisation-bound sample.
+  k.par_for("i", ic(0), ic(int(rounds * 8)), [&](Val) {
+    k.critical([&] {
+      k.store(out, ic(0), k.load(out, ic(0)) + ic(1));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec alu_chain(DType t, std::uint32_t size) {
+  KernelBuilder k("alu_chain", "custom", t, size);
+  const std::uint32_t n = len1(size, 1);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  // Compute-bound with almost no memory traffic: embarrassingly parallel,
+  // the textbook 8-core sample.
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto v = k.decl("v", i + ic(1));
+    k.for_("r", ic(0), ic(12), [&](Val) {
+      k.assign(v, (v * ic(5) + ic(3)) ^ (v >> ic(2)));
+    });
+    k.store(y, i, k.to_elem(v));
+  });
+  return k.build();
+}
+
+KernelSpec mixed_balance(DType t, std::uint32_t size) {
+  KernelBuilder k("mixed_balance", "custom", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto x = k.buffer("x", n);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  // Alternating memory and compute phases in one loop body.
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto a = k.decl("a", k.load(x, i));
+    auto b = k.decl("b", a * a + k.ec(1));
+    k.for_("r", ic(0), ic(3), [&](Val) {
+      k.assign(b, b * a + k.ec(2));
+    });
+    k.store(y, i, b + k.load(x, (i + ic(1)) % ic(int(n))));
+  });
+  return k.build();
+}
+
+KernelSpec stencil5(DType t, std::uint32_t size) {
+  KernelBuilder k("stencil5", "custom", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto a = k.buffer("a", n);
+  auto b = k.buffer("b", n, InitKind::Zero);
+  // 1-D 5-point stencil: unit-stride loads spread across banks.
+  k.par_for("i", ic(2), ic(int(n) - 2), [&](Val i) {
+    k.store(b, i,
+            k.load(a, i - ic(2)) + k.load(a, i - ic(1)) +
+                k.ec(2) * k.load(a, i) + k.load(a, i + ic(1)) +
+                k.load(a, i + ic(2)));
+  });
+  return k.build();
+}
+
+KernelSpec prefix_sweep(DType t, std::uint32_t size) {
+  KernelBuilder k("prefix_sweep", "custom", t, size);
+  const std::uint32_t n = pow2_len(size, 1);
+  auto x = k.buffer("x", n);
+  // Blelloch-style up-sweep: log n parallel phases whose width halves
+  // every phase, so late phases cannot feed 8 cores.
+  const int levels = ilog2(n);
+  k.for_("lvl", ic(0), ic(levels), [&](Val lvl) {
+    auto span = k.decl("span", ic(1) << lvl);
+    auto pairs = k.decl("pairs", ic(int(n)) >> (lvl + ic(1)));
+    k.par_for("i", ic(0), pairs, [&](Val i) {
+      auto right = k.decl("right", (i * span * ic(2)) + span * ic(2) - ic(1));
+      k.store(x, right, k.load(x, right) + k.load(x, right - span));
+    });
+  });
+  return k.build();
+}
+
+}  // namespace
+
+void register_custom(std::vector<KernelInfo>& out) {
+  const auto add = [&](const char* name, TypeSupport types,
+                       KernelSpec (*fn)(DType, std::uint32_t)) {
+    out.push_back(KernelInfo{name, "custom", types, fn});
+  };
+  add("memcpy", TypeSupport::Both, memcpy_k);
+  add("memset", TypeSupport::Both, memset_k);
+  add("stream_triad", TypeSupport::Both, stream_triad);
+  add("reduction_sum", TypeSupport::Both, reduction_sum);
+  add("reduction_critical", TypeSupport::Both, reduction_critical);
+  add("barrier_sweep", TypeSupport::Both, barrier_sweep);
+  add("fpu_storm", TypeSupport::Both, fpu_storm);
+  add("div_chain", TypeSupport::Both, div_chain);
+  add("sqrt_wave", TypeSupport::Both, sqrt_wave);
+  add("gather", TypeSupport::Both, gather);
+  add("scatter_mod", TypeSupport::Both, scatter_mod);
+  add("stride_conflict", TypeSupport::Both, stride_conflict);
+  add("l2_stream", TypeSupport::Both, l2_stream);
+  add("dma_pingpong", TypeSupport::Both, dma_pingpong);
+  add("spin_counter", TypeSupport::Both, spin_counter);
+  add("alu_chain", TypeSupport::Both, alu_chain);
+  add("mixed_balance", TypeSupport::Both, mixed_balance);
+  add("stencil5", TypeSupport::Both, stencil5);
+  add("prefix_sweep", TypeSupport::Both, prefix_sweep);
+}
+
+}  // namespace pulpc::kernels

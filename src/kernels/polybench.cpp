@@ -1,0 +1,724 @@
+// Polybench suite: 26 kernels ported to the DSL the way the paper ports
+// them to PULP's OpenMP subset — static loop schedules only, data in
+// TCDM, parametric element type and problem size. Dimensions are derived
+// from the total footprint so every instance fits the scratchpad.
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace pulpc::kernels {
+
+namespace {
+
+using dsl::InitKind;
+using dsl::KernelBuilder;
+using dsl::KernelSpec;
+using dsl::Val;
+using kir::DType;
+
+Val ic(std::int32_t v) { return dsl::make_const_i(v); }
+
+/// Row-major 2-D index helper.
+Val at(Val i, std::uint32_t n, Val j) { return i * ic(int(n)) + j; }
+
+/// n such that an n x n matrix plus `extra_vecs` length-n vectors fit.
+std::uint32_t dim2_vec(std::uint32_t size, std::uint32_t mats,
+                       std::uint32_t extra_vecs) {
+  std::uint32_t n = dim2(size, mats);
+  while (n > 4 && mats * n * n + extra_vecs * n > total_elems(size)) --n;
+  return n;
+}
+
+KernelSpec gemm(DType t, std::uint32_t size) {
+  KernelBuilder k("gemm", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 3);
+  auto a = k.buffer("A", n * n);
+  auto b = k.buffer("B", n * n);
+  auto c = k.buffer("C", n * n);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j", ic(0), ic(int(n)), [&](Val j) {
+      auto acc = k.decl("acc", k.ec(0));
+      k.for_("kk", ic(0), ic(int(n)), [&](Val kk) {
+        k.assign(acc, acc + k.load(a, at(i, n, kk)) * k.load(b, at(kk, n, j)));
+      });
+      k.store(c, at(i, n, j), k.ec(2) * acc + k.ec(1) * k.load(c, at(i, n, j)));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec two_mm(DType t, std::uint32_t size) {
+  KernelBuilder k("2mm", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 5);
+  auto a = k.buffer("A", n * n);
+  auto b = k.buffer("B", n * n);
+  auto c = k.buffer("C", n * n);
+  auto d = k.buffer("D", n * n);
+  auto tmp = k.buffer("tmp", n * n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j", ic(0), ic(int(n)), [&](Val j) {
+      auto acc = k.decl("acc", k.ec(0));
+      k.for_("kk", ic(0), ic(int(n)), [&](Val kk) {
+        k.assign(acc, acc + k.load(a, at(i, n, kk)) * k.load(b, at(kk, n, j)));
+      });
+      k.store(tmp, at(i, n, j), k.ec(2) * acc);
+    });
+  });
+  k.par_for("i2", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j2", ic(0), ic(int(n)), [&](Val j) {
+      auto acc = k.decl("acc2", k.load(d, at(i, n, j)));
+      k.for_("k2", ic(0), ic(int(n)), [&](Val kk) {
+        k.assign(acc,
+                 acc + k.load(tmp, at(i, n, kk)) * k.load(c, at(kk, n, j)));
+      });
+      k.store(d, at(i, n, j), acc);
+    });
+  });
+  return k.build();
+}
+
+KernelSpec three_mm(DType t, std::uint32_t size) {
+  KernelBuilder k("3mm", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 7);
+  auto a = k.buffer("A", n * n);
+  auto b = k.buffer("B", n * n);
+  auto c = k.buffer("C", n * n);
+  auto d = k.buffer("D", n * n);
+  auto e = k.buffer("E", n * n, InitKind::Zero);
+  auto f = k.buffer("F", n * n, InitKind::Zero);
+  auto g = k.buffer("G", n * n, InitKind::Zero);
+  const auto matmul = [&](const dsl::Buf& dst, const dsl::Buf& x,
+                          const dsl::Buf& y, const std::string& sfx) {
+    k.par_for("i" + sfx, ic(0), ic(int(n)), [&](Val i) {
+      k.for_("j" + sfx, ic(0), ic(int(n)), [&](Val j) {
+        auto acc = k.decl("acc" + sfx, k.ec(0));
+        k.for_("k" + sfx, ic(0), ic(int(n)), [&](Val kk) {
+          k.assign(acc,
+                   acc + k.load(x, at(i, n, kk)) * k.load(y, at(kk, n, j)));
+        });
+        k.store(dst, at(i, n, j), acc);
+      });
+    });
+  };
+  matmul(e, a, b, "0");
+  matmul(f, c, d, "1");
+  matmul(g, e, f, "2");
+  return k.build();
+}
+
+KernelSpec atax(DType t, std::uint32_t size) {
+  KernelBuilder k("atax", "polybench", t, size);
+  const std::uint32_t n = dim2_vec(size, 1, 3);
+  auto a = k.buffer("A", n * n);
+  auto x = k.buffer("x", n);
+  auto tmp = k.buffer("tmp", n, InitKind::Zero);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("j", ic(0), ic(int(n)), [&](Val j) {
+      k.assign(acc, acc + k.load(a, at(i, n, j)) * k.load(x, j));
+    });
+    k.store(tmp, i, acc);
+  });
+  k.par_for("j2", ic(0), ic(int(n)), [&](Val j) {
+    auto acc = k.decl("acc2", k.ec(0));
+    k.for_("i2", ic(0), ic(int(n)), [&](Val i) {
+      k.assign(acc, acc + k.load(a, at(i, n, j)) * k.load(tmp, i));
+    });
+    k.store(y, j, acc);
+  });
+  return k.build();
+}
+
+KernelSpec bicg(DType t, std::uint32_t size) {
+  KernelBuilder k("bicg", "polybench", t, size);
+  const std::uint32_t n = dim2_vec(size, 1, 4);
+  auto a = k.buffer("A", n * n);
+  auto r = k.buffer("r", n);
+  auto p = k.buffer("p", n);
+  auto s = k.buffer("s", n, InitKind::Zero);
+  auto q = k.buffer("q", n, InitKind::Zero);
+  k.par_for("j", ic(0), ic(int(n)), [&](Val j) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+      k.assign(acc, acc + k.load(r, i) * k.load(a, at(i, n, j)));
+    });
+    k.store(s, j, acc);
+  });
+  k.par_for("i2", ic(0), ic(int(n)), [&](Val i) {
+    auto acc = k.decl("acc2", k.ec(0));
+    k.for_("j2", ic(0), ic(int(n)), [&](Val j) {
+      k.assign(acc, acc + k.load(a, at(i, n, j)) * k.load(p, j));
+    });
+    k.store(q, i, acc);
+  });
+  return k.build();
+}
+
+KernelSpec mvt(DType t, std::uint32_t size) {
+  KernelBuilder k("mvt", "polybench", t, size);
+  const std::uint32_t n = dim2_vec(size, 1, 4);
+  auto a = k.buffer("A", n * n);
+  auto x1 = k.buffer("x1", n);
+  auto x2 = k.buffer("x2", n);
+  auto y1 = k.buffer("y1", n);
+  auto y2 = k.buffer("y2", n);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto acc = k.decl("acc", k.load(x1, i));
+    k.for_("j", ic(0), ic(int(n)), [&](Val j) {
+      k.assign(acc, acc + k.load(a, at(i, n, j)) * k.load(y1, j));
+    });
+    k.store(x1, i, acc);
+  });
+  k.par_for("i2", ic(0), ic(int(n)), [&](Val i) {
+    auto acc = k.decl("acc2", k.load(x2, i));
+    k.for_("j2", ic(0), ic(int(n)), [&](Val j) {
+      k.assign(acc, acc + k.load(a, at(j, n, i)) * k.load(y2, j));
+    });
+    k.store(x2, i, acc);
+  });
+  return k.build();
+}
+
+KernelSpec gemver(DType t, std::uint32_t size) {
+  KernelBuilder k("gemver", "polybench", t, size);
+  const std::uint32_t n = dim2_vec(size, 1, 8);
+  auto a = k.buffer("A", n * n);
+  auto u1 = k.buffer("u1", n);
+  auto v1 = k.buffer("v1", n);
+  auto u2 = k.buffer("u2", n);
+  auto v2 = k.buffer("v2", n);
+  auto x = k.buffer("x", n, InitKind::Zero);
+  auto y = k.buffer("y", n);
+  auto z = k.buffer("z", n);
+  auto w = k.buffer("w", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j", ic(0), ic(int(n)), [&](Val j) {
+      k.store(a, at(i, n, j),
+              k.load(a, at(i, n, j)) + k.load(u1, i) * k.load(v1, j) +
+                  k.load(u2, i) * k.load(v2, j));
+    });
+  });
+  k.par_for("i2", ic(0), ic(int(n)), [&](Val i) {
+    auto acc = k.decl("acc", k.load(x, i));
+    k.for_("j2", ic(0), ic(int(n)), [&](Val j) {
+      k.assign(acc, acc + k.ec(3) * k.load(a, at(j, n, i)) * k.load(y, j));
+    });
+    k.store(x, i, acc + k.load(z, i));
+  });
+  k.par_for("i3", ic(0), ic(int(n)), [&](Val i) {
+    auto acc = k.decl("acc2", k.ec(0));
+    k.for_("j3", ic(0), ic(int(n)), [&](Val j) {
+      k.assign(acc, acc + k.ec(2) * k.load(a, at(i, n, j)) * k.load(x, j));
+    });
+    k.store(w, i, acc);
+  });
+  return k.build();
+}
+
+KernelSpec gesummv(DType t, std::uint32_t size) {
+  KernelBuilder k("gesummv", "polybench", t, size);
+  const std::uint32_t n = dim2_vec(size, 2, 2);
+  auto a = k.buffer("A", n * n);
+  auto b = k.buffer("B", n * n);
+  auto x = k.buffer("x", n);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto s1 = k.decl("s1", k.ec(0));
+    auto s2 = k.decl("s2", k.ec(0));
+    k.for_("j", ic(0), ic(int(n)), [&](Val j) {
+      k.assign(s1, s1 + k.load(a, at(i, n, j)) * k.load(x, j));
+      k.assign(s2, s2 + k.load(b, at(i, n, j)) * k.load(x, j));
+    });
+    k.store(y, i, k.ec(3) * s1 + k.ec(2) * s2);
+  });
+  return k.build();
+}
+
+KernelSpec syrk(DType t, std::uint32_t size) {
+  KernelBuilder k("syrk", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 2);
+  auto a = k.buffer("A", n * n);
+  auto c = k.buffer("C", n * n);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j", ic(0), i + ic(1), [&](Val j) {
+      auto acc = k.decl("acc", k.ec(1) * k.load(c, at(i, n, j)));
+      k.for_("kk", ic(0), ic(int(n)), [&](Val kk) {
+        k.assign(acc,
+                 acc + k.load(a, at(i, n, kk)) * k.load(a, at(j, n, kk)));
+      });
+      k.store(c, at(i, n, j), acc);
+    });
+  });
+  return k.build();
+}
+
+KernelSpec syr2k(DType t, std::uint32_t size) {
+  KernelBuilder k("syr2k", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 3);
+  auto a = k.buffer("A", n * n);
+  auto b = k.buffer("B", n * n);
+  auto c = k.buffer("C", n * n);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j", ic(0), i + ic(1), [&](Val j) {
+      auto acc = k.decl("acc", k.load(c, at(i, n, j)));
+      k.for_("kk", ic(0), ic(int(n)), [&](Val kk) {
+        k.assign(acc, acc + k.load(a, at(j, n, kk)) * k.load(b, at(i, n, kk)) +
+                          k.load(b, at(j, n, kk)) * k.load(a, at(i, n, kk)));
+      });
+      k.store(c, at(i, n, j), acc);
+    });
+  });
+  return k.build();
+}
+
+KernelSpec trmm(DType t, std::uint32_t size) {
+  KernelBuilder k("trmm", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 2);
+  auto a = k.buffer("A", n * n);
+  auto b = k.buffer("B", n * n);
+  k.par_for("j", ic(0), ic(int(n)), [&](Val j) {
+    k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+      auto acc = k.decl("acc", k.load(b, at(i, n, j)));
+      k.for_("kk", i + ic(1), ic(int(n)), [&](Val kk) {
+        k.assign(acc,
+                 acc + k.load(a, at(kk, n, i)) * k.load(b, at(kk, n, j)));
+      });
+      k.store(b, at(i, n, j), k.ec(2) * acc);
+    });
+  });
+  return k.build();
+}
+
+KernelSpec symm(DType t, std::uint32_t size) {
+  KernelBuilder k("symm", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 3);
+  auto a = k.buffer("A", n * n);
+  auto b = k.buffer("B", n * n);
+  auto c = k.buffer("C", n * n);
+  // Parallel over columns: every (i, j) update only touches column j.
+  k.par_for("j", ic(0), ic(int(n)), [&](Val j) {
+    k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+      auto acc = k.decl("acc", k.ec(0));
+      k.for_("kk", ic(0), i, [&](Val kk) {
+        k.assign(acc, acc + k.load(a, at(i, n, kk)) * k.load(b, at(kk, n, j)));
+      });
+      k.store(c, at(i, n, j),
+              k.ec(1) * k.load(c, at(i, n, j)) + k.ec(2) * acc +
+                  k.ec(2) * k.load(a, at(i, n, i)) * k.load(b, at(i, n, j)));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec trisolv(DType t, std::uint32_t size) {
+  KernelBuilder k("trisolv", "polybench", t, size);
+  const std::uint32_t n = dim2_vec(size, 1, 2);
+  auto l = k.buffer("L", n * n, InitKind::RandomPos);
+  auto b = k.buffer("b", n);
+  auto x = k.buffer("x", n, InitKind::Zero);
+  // Forward substitution: inherently sequential (each x[i] needs all
+  // previous ones) -> a serial sample in the dataset.
+  k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+    auto acc = k.decl("acc", k.load(b, i));
+    k.for_("j", ic(0), i, [&](Val j) {
+      k.assign(acc, acc - k.load(l, at(i, n, j)) * k.load(x, j));
+    });
+    k.store(x, i, acc / k.load(l, at(i, n, i)));
+  });
+  return k.build();
+}
+
+KernelSpec durbin(DType t, std::uint32_t size) {
+  KernelBuilder k("durbin", "polybench", t, size);
+  const std::uint32_t n = len1(size, 3);
+  auto r = k.buffer("r", n);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  auto z = k.buffer("z", n, InitKind::Zero);
+  // Levinson-Durbin recursion: serial outer loop with data-dependent
+  // inner sweeps (simplified update rule, same loop/opcode structure).
+  k.store(y, ic(0), k.ec(0) - k.load(r, ic(0)));
+  k.for_("kk", ic(1), ic(int(n)), [&](Val kk) {
+    auto acc = k.decl("acc", k.load(r, kk));
+    k.for_("i", ic(0), kk, [&](Val i) {
+      k.assign(acc, acc + k.load(r, kk - i - ic(1)) * k.load(y, i));
+    });
+    auto alpha = k.decl("alpha", k.ec(0) - acc);
+    k.for_("i2", ic(0), kk, [&](Val i) {
+      k.store(z, i, k.load(y, i) + alpha * k.load(y, kk - i - ic(1)));
+    });
+    k.for_("i3", ic(0), kk, [&](Val i) { k.store(y, i, k.load(z, i)); });
+    k.store(y, kk, alpha);
+  });
+  return k.build();
+}
+
+KernelSpec lu(DType t, std::uint32_t size) {
+  KernelBuilder k("lu", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 1);
+  auto a = k.buffer("A", n * n, InitKind::RandomPos);
+  k.for_("kk", ic(0), ic(int(n) - 1), [&](Val kk) {
+    k.par_for("i", kk + ic(1), ic(int(n)), [&](Val i) {
+      k.store(a, at(i, n, kk),
+              k.load(a, at(i, n, kk)) / k.load(a, at(kk, n, kk)));
+    });
+    k.par_for("i2", kk + ic(1), ic(int(n)), [&](Val i) {
+      k.for_("j", kk + ic(1), ic(int(n)), [&](Val j) {
+        k.store(a, at(i, n, j),
+                k.load(a, at(i, n, j)) -
+                    k.load(a, at(i, n, kk)) * k.load(a, at(kk, n, j)));
+      });
+    });
+  });
+  return k.build();
+}
+
+KernelSpec doitgen(DType t, std::uint32_t size) {
+  KernelBuilder k("doitgen", "polybench", t, size);
+  const std::uint32_t n = dim3(size, 2);
+  auto a = k.buffer("A", n * n * n);
+  auto out = k.buffer("B", n * n * n, InitKind::Zero);
+  auto c4 = k.buffer("C4", n * n);
+  k.par_for("rr", ic(0), ic(int(n)), [&](Val r) {
+    k.for_("q", ic(0), ic(int(n)), [&](Val q) {
+      k.for_("p", ic(0), ic(int(n)), [&](Val p) {
+        auto acc = k.decl("acc", k.ec(0));
+        k.for_("s", ic(0), ic(int(n)), [&](Val s) {
+          k.assign(acc, acc + k.load(a, (r * ic(int(n)) + q) * ic(int(n)) + s) *
+                                  k.load(c4, at(s, n, p)));
+        });
+        k.store(out, (r * ic(int(n)) + q) * ic(int(n)) + p, acc);
+      });
+    });
+  });
+  return k.build();
+}
+
+KernelSpec jacobi1d(DType t, std::uint32_t size) {
+  KernelBuilder k("jacobi1d", "polybench", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto a = k.buffer("A", n);
+  auto b = k.buffer("B", n, InitKind::Zero);
+  k.for_("t", ic(0), ic(2), [&](Val) {
+    k.par_for("i", ic(1), ic(int(n) - 1), [&](Val i) {
+      k.store(b, i,
+              div_const(k, k.load(a, i - ic(1)) + k.load(a, i) +
+                               k.load(a, i + ic(1)),
+                        3));
+    });
+    k.par_for("i2", ic(1), ic(int(n) - 1), [&](Val i) {
+      k.store(a, i,
+              div_const(k, k.load(b, i - ic(1)) + k.load(b, i) +
+                               k.load(b, i + ic(1)),
+                        3));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec jacobi2d(DType t, std::uint32_t size) {
+  KernelBuilder k("jacobi2d", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 2);
+  auto a = k.buffer("A", n * n);
+  auto b = k.buffer("B", n * n, InitKind::Zero);
+  k.for_("t", ic(0), ic(2), [&](Val) {
+    k.par_for("i", ic(1), ic(int(n) - 1), [&](Val i) {
+      k.for_("j", ic(1), ic(int(n) - 1), [&](Val j) {
+        k.store(b, at(i, n, j),
+                div_const(k,
+                          k.load(a, at(i, n, j)) + k.load(a, at(i, n, j - ic(1))) +
+                              k.load(a, at(i, n, j + ic(1))) +
+                              k.load(a, at(i + ic(1), n, j)) +
+                              k.load(a, at(i - ic(1), n, j)),
+                          5));
+      });
+    });
+    k.par_for("i2", ic(1), ic(int(n) - 1), [&](Val i) {
+      k.for_("j2", ic(1), ic(int(n) - 1), [&](Val j) {
+        k.store(a, at(i, n, j), k.load(b, at(i, n, j)));
+      });
+    });
+  });
+  return k.build();
+}
+
+KernelSpec seidel2d(DType t, std::uint32_t size) {
+  KernelBuilder k("seidel2d", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 1);
+  auto a = k.buffer("A", n * n);
+  // Gauss-Seidel sweeps are loop-carried in both i and j: fully serial.
+  k.for_("t", ic(0), ic(2), [&](Val) {
+    k.for_("i", ic(1), ic(int(n) - 1), [&](Val i) {
+      k.for_("j", ic(1), ic(int(n) - 1), [&](Val j) {
+        k.store(a, at(i, n, j),
+                div_const(k,
+                          k.load(a, at(i - ic(1), n, j - ic(1))) +
+                              k.load(a, at(i - ic(1), n, j)) +
+                              k.load(a, at(i - ic(1), n, j + ic(1))) +
+                              k.load(a, at(i, n, j - ic(1))) +
+                              k.load(a, at(i, n, j)) +
+                              k.load(a, at(i, n, j + ic(1))) +
+                              k.load(a, at(i + ic(1), n, j - ic(1))) +
+                              k.load(a, at(i + ic(1), n, j)) +
+                              k.load(a, at(i + ic(1), n, j + ic(1))),
+                          9));
+      });
+    });
+  });
+  return k.build();
+}
+
+KernelSpec fdtd2d(DType t, std::uint32_t size) {
+  KernelBuilder k("fdtd2d", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 3);
+  auto ex = k.buffer("ex", n * n);
+  auto ey = k.buffer("ey", n * n);
+  auto hz = k.buffer("hz", n * n);
+  k.for_("t", ic(0), ic(2), [&](Val tt) {
+    k.par_for("j0", ic(0), ic(int(n)), [&](Val j) {
+      k.store(ey, at(ic(0), n, j), k.to_elem(tt));
+    });
+    k.par_for("i1", ic(1), ic(int(n)), [&](Val i) {
+      k.for_("j1", ic(0), ic(int(n)), [&](Val j) {
+        k.store(ey, at(i, n, j),
+                k.load(ey, at(i, n, j)) -
+                    div_const(k,
+                              k.load(hz, at(i, n, j)) -
+                                  k.load(hz, at(i - ic(1), n, j)),
+                              2));
+      });
+    });
+    k.par_for("i2", ic(0), ic(int(n)), [&](Val i) {
+      k.for_("j2", ic(1), ic(int(n)), [&](Val j) {
+        k.store(ex, at(i, n, j),
+                k.load(ex, at(i, n, j)) -
+                    div_const(k,
+                              k.load(hz, at(i, n, j)) -
+                                  k.load(hz, at(i, n, j - ic(1))),
+                              2));
+      });
+    });
+    k.par_for("i3", ic(0), ic(int(n) - 1), [&](Val i) {
+      k.for_("j3", ic(0), ic(int(n) - 1), [&](Val j) {
+        k.store(hz, at(i, n, j),
+                k.load(hz, at(i, n, j)) -
+                    div_const(k,
+                              k.load(ex, at(i, n, j + ic(1))) -
+                                  k.load(ex, at(i, n, j)) +
+                                  k.load(ey, at(i + ic(1), n, j)) -
+                                  k.load(ey, at(i, n, j)),
+                              2));
+      });
+    });
+  });
+  return k.build();
+}
+
+KernelSpec heat3d(DType t, std::uint32_t size) {
+  KernelBuilder k("heat3d", "polybench", t, size);
+  const std::uint32_t n = dim3(size, 2);
+  auto a = k.buffer("A", n * n * n);
+  auto b = k.buffer("B", n * n * n, InitKind::Zero);
+  const auto at3 = [&](Val i, Val j, Val m) {
+    return (i * ic(int(n)) + j) * ic(int(n)) + m;
+  };
+  const auto sweep = [&](const dsl::Buf& src, const dsl::Buf& dst,
+                         const std::string& sfx) {
+    k.par_for("i" + sfx, ic(1), ic(int(n) - 1), [&](Val i) {
+      k.for_("j" + sfx, ic(1), ic(int(n) - 1), [&](Val j) {
+        k.for_("m" + sfx, ic(1), ic(int(n) - 1), [&](Val m) {
+          k.store(dst, at3(i, j, m),
+                  div_const(k,
+                            k.load(src, at3(i + ic(1), j, m)) +
+                                k.load(src, at3(i - ic(1), j, m)) +
+                                k.load(src, at3(i, j + ic(1), m)) +
+                                k.load(src, at3(i, j - ic(1), m)) +
+                                k.load(src, at3(i, j, m + ic(1))) +
+                                k.load(src, at3(i, j, m - ic(1))) +
+                                k.ec(2) * k.load(src, at3(i, j, m)),
+                            8));
+        });
+      });
+    });
+  };
+  sweep(a, b, "0");
+  sweep(b, a, "1");
+  return k.build();
+}
+
+KernelSpec covariance(DType t, std::uint32_t size) {
+  KernelBuilder k("covariance", "polybench", t, size);
+  const std::uint32_t n = dim2_vec(size, 2, 1);
+  auto data = k.buffer("data", n * n);
+  auto cov = k.buffer("cov", n * n, InitKind::Zero);
+  auto mean = k.buffer("mean", n, InitKind::Zero);
+  k.par_for("j", ic(0), ic(int(n)), [&](Val j) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+      k.assign(acc, acc + k.load(data, at(i, n, j)));
+    });
+    k.store(mean, j, div_const(k, acc, int(n)));
+  });
+  k.par_for("i2", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j2", ic(0), ic(int(n)), [&](Val j) {
+      k.store(data, at(i, n, j), k.load(data, at(i, n, j)) - k.load(mean, j));
+    });
+  });
+  k.par_for("i3", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j3", i, ic(int(n)), [&](Val j) {
+      auto acc = k.decl("acc2", k.ec(0));
+      k.for_("kk", ic(0), ic(int(n)), [&](Val kk) {
+        k.assign(acc,
+                 acc + k.load(data, at(kk, n, i)) * k.load(data, at(kk, n, j)));
+      });
+      k.store(cov, at(i, n, j), div_const(k, acc, int(n) - 1));
+      k.store(cov, at(j, n, i), div_const(k, acc, int(n) - 1));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec correlation(DType t, std::uint32_t size) {
+  KernelBuilder k("correlation", "polybench", t, size);
+  const std::uint32_t n = dim2_vec(size, 2, 2);
+  auto data = k.buffer("data", n * n);
+  auto corr = k.buffer("corr", n * n, InitKind::Zero);
+  auto mean = k.buffer("mean", n, InitKind::Zero);
+  auto stddev = k.buffer("stddev", n, InitKind::Zero);
+  k.par_for("j", ic(0), ic(int(n)), [&](Val j) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+      k.assign(acc, acc + k.load(data, at(i, n, j)));
+    });
+    k.store(mean, j, div_const(k, acc, int(n)));
+  });
+  k.par_for("j1", ic(0), ic(int(n)), [&](Val j) {
+    auto acc = k.decl("acc1", k.ec(0));
+    k.for_("i1", ic(0), ic(int(n)), [&](Val i) {
+      auto d = k.decl("d", k.load(data, at(i, n, j)) - k.load(mean, j));
+      k.assign(acc, acc + d * d);
+    });
+    k.store(stddev, j, dsl::vsqrt(div_const(k, acc, int(n))) +
+                           dsl::make_const_f(1e-6F));
+  });
+  k.par_for("i2", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j2", ic(0), ic(int(n)), [&](Val j) {
+      k.store(data, at(i, n, j),
+              (k.load(data, at(i, n, j)) - k.load(mean, j)) /
+                  k.load(stddev, j));
+    });
+  });
+  k.par_for("i3", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j3", i, ic(int(n)), [&](Val j) {
+      auto acc = k.decl("acc3", k.ec(0));
+      k.for_("kk", ic(0), ic(int(n)), [&](Val kk) {
+        k.assign(acc,
+                 acc + k.load(data, at(kk, n, i)) * k.load(data, at(kk, n, j)));
+      });
+      k.store(corr, at(i, n, j), div_const(k, acc, int(n)));
+      k.store(corr, at(j, n, i), div_const(k, acc, int(n)));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec cholesky(DType t, std::uint32_t size) {
+  KernelBuilder k("cholesky", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 1);
+  auto a = k.buffer("A", n * n, InitKind::RandomPos);
+  k.for_("kk", ic(0), ic(int(n)), [&](Val kk) {
+    k.store(a, at(kk, n, kk), dsl::vsqrt(k.load(a, at(kk, n, kk))));
+    k.par_for("i", kk + ic(1), ic(int(n)), [&](Val i) {
+      k.store(a, at(i, n, kk),
+              k.load(a, at(i, n, kk)) / k.load(a, at(kk, n, kk)));
+    });
+    k.par_for("i2", kk + ic(1), ic(int(n)), [&](Val i) {
+      k.for_("j", kk + ic(1), i + ic(1), [&](Val j) {
+        k.store(a, at(i, n, j),
+                k.load(a, at(i, n, j)) -
+                    k.load(a, at(i, n, kk)) * k.load(a, at(j, n, kk)));
+      });
+    });
+  });
+  return k.build();
+}
+
+KernelSpec floyd_warshall(DType t, std::uint32_t size) {
+  KernelBuilder k("floyd_warshall", "polybench", t, size);
+  const std::uint32_t n = dim2(size, 1);
+  auto path = k.buffer("path", n * n, InitKind::RandomPos);
+  k.for_("kk", ic(0), ic(int(n)), [&](Val kk) {
+    k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+      k.for_("j", ic(0), ic(int(n)), [&](Val j) {
+        k.store(path, at(i, n, j),
+                dsl::vmin(k.load(path, at(i, n, j)),
+                          k.load(path, at(i, n, kk)) +
+                              k.load(path, at(kk, n, j))));
+      });
+    });
+  });
+  return k.build();
+}
+
+KernelSpec nussinov(DType t, std::uint32_t size) {
+  KernelBuilder k("nussinov", "polybench", t, size);
+  const std::uint32_t n = dim2_vec(size, 1, 1);
+  auto table = k.buffer("table", n * n, InitKind::Zero);
+  auto seq = k.buffer("seq", n);
+  // RNA folding dynamic program: anti-diagonal dependencies keep the
+  // sweeps serial; the scoring recurrence is the heavy inner loop.
+  k.for_("ii", ic(0), ic(int(n)), [&](Val iirev) {
+    const Val i = ic(int(n) - 1) - iirev;  // reversed row index
+    k.for_("j", i + ic(1), ic(int(n)), [&](Val j) {
+      auto best = k.decl("best", k.load(table, at(i + ic(1), n, j)));
+      k.assign(best, dsl::vmax(best, k.load(table, i * ic(int(n)) + j - ic(1))));
+      auto match =
+          k.decl("match",
+                 k.load(table, at(i + ic(1), n, j - ic(1))) +
+                     ((k.load(seq, i) & k.ec(3)) == (k.load(seq, j) & k.ec(3))));
+      k.assign(best, dsl::vmax(best, match));
+      k.for_("kk", i + ic(1), j, [&](Val kk) {
+        k.assign(best, dsl::vmax(best, k.load(table, at(i, n, kk)) +
+                                           k.load(table, at(kk + ic(1), n, j))));
+      });
+      k.store(table, at(i, n, j), best);
+    });
+  });
+  return k.build();
+}
+
+}  // namespace
+
+void register_polybench(std::vector<KernelInfo>& out) {
+  const auto add = [&](const char* name, TypeSupport types,
+                       KernelSpec (*fn)(DType, std::uint32_t)) {
+    out.push_back(KernelInfo{name, "polybench", types, fn});
+  };
+  add("gemm", TypeSupport::Both, gemm);
+  add("2mm", TypeSupport::Both, two_mm);
+  add("3mm", TypeSupport::Both, three_mm);
+  add("atax", TypeSupport::Both, atax);
+  add("bicg", TypeSupport::Both, bicg);
+  add("mvt", TypeSupport::Both, mvt);
+  add("gemver", TypeSupport::Both, gemver);
+  add("gesummv", TypeSupport::Both, gesummv);
+  add("syrk", TypeSupport::Both, syrk);
+  add("syr2k", TypeSupport::Both, syr2k);
+  add("trmm", TypeSupport::Both, trmm);
+  add("symm", TypeSupport::Both, symm);
+  add("trisolv", TypeSupport::Both, trisolv);
+  add("durbin", TypeSupport::Both, durbin);
+  add("lu", TypeSupport::Both, lu);
+  add("doitgen", TypeSupport::Both, doitgen);
+  add("jacobi1d", TypeSupport::Both, jacobi1d);
+  add("jacobi2d", TypeSupport::Both, jacobi2d);
+  add("seidel2d", TypeSupport::Both, seidel2d);
+  add("fdtd2d", TypeSupport::Both, fdtd2d);
+  add("heat3d", TypeSupport::Both, heat3d);
+  add("covariance", TypeSupport::Both, covariance);
+  add("correlation", TypeSupport::FloatOnly, correlation);
+  add("cholesky", TypeSupport::FloatOnly, cholesky);
+  add("floyd_warshall", TypeSupport::IntOnly, floyd_warshall);
+  add("nussinov", TypeSupport::IntOnly, nussinov);
+}
+
+}  // namespace pulpc::kernels

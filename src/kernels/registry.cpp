@@ -1,0 +1,40 @@
+#include "kernels/registry.hpp"
+
+#include <stdexcept>
+
+namespace pulpc::kernels {
+
+const std::vector<KernelInfo>& all_kernels() {
+  static const std::vector<KernelInfo> kKernels = [] {
+    std::vector<KernelInfo> v;
+    register_polybench(v);
+    register_utdsp(v);
+    register_custom(v);
+    return v;
+  }();
+  return kKernels;
+}
+
+const KernelInfo& kernel_info(const std::string& name) {
+  for (const KernelInfo& k : all_kernels()) {
+    if (k.name == name) return k;
+  }
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+dsl::KernelSpec make_kernel(const std::string& name, kir::DType dtype,
+                            std::uint32_t size_bytes) {
+  const KernelInfo& info = kernel_info(name);
+  if (!info.supports(dtype)) {
+    throw std::invalid_argument("kernel " + name + " does not support " +
+                                std::string(kir::to_string(dtype)));
+  }
+  return info.factory(dtype, size_bytes);
+}
+
+const std::vector<std::uint32_t>& dataset_sizes() {
+  static const std::vector<std::uint32_t> kSizes = {512, 2048, 8192, 32768};
+  return kSizes;
+}
+
+}  // namespace pulpc::kernels

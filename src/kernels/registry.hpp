@@ -1,0 +1,53 @@
+// The benchmark-kernel dataset: 59 distinct kernels in three suites
+// (Polybench, UTDSP, Custom), each parametric in element type (i32 / f32)
+// and problem size in bytes, matching the paper's §IV-B dataset: 53
+// kernels support both element types and 6 are single-type, giving
+// 112 kernel-type combinations x 4 sizes = 448 samples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+
+namespace pulpc::kernels {
+
+/// Element types a kernel can be instantiated with.
+enum class TypeSupport : std::uint8_t { Both, IntOnly, FloatOnly };
+
+struct KernelInfo {
+  std::string name;
+  std::string suite;  ///< "polybench", "utdsp", "custom"
+  TypeSupport types = TypeSupport::Both;
+  std::function<dsl::KernelSpec(kir::DType, std::uint32_t)> factory;
+
+  [[nodiscard]] bool supports(kir::DType t) const noexcept {
+    if (types == TypeSupport::IntOnly) return t == kir::DType::I32;
+    if (types == TypeSupport::FloatOnly) return t == kir::DType::F32;
+    return true;
+  }
+};
+
+/// All 59 kernels (stable order: polybench, utdsp, custom).
+[[nodiscard]] const std::vector<KernelInfo>& all_kernels();
+
+/// Lookup by name; throws std::invalid_argument if unknown.
+[[nodiscard]] const KernelInfo& kernel_info(const std::string& name);
+
+/// Instantiate a kernel. Throws if the kernel does not support `dtype`.
+[[nodiscard]] dsl::KernelSpec make_kernel(const std::string& name,
+                                          kir::DType dtype,
+                                          std::uint32_t size_bytes);
+
+/// The paper's problem sizes in bytes (8192 substitutes the text's
+/// "8196", a power-of-two typo; see DESIGN.md).
+[[nodiscard]] const std::vector<std::uint32_t>& dataset_sizes();
+
+// Suite registration (internal wiring, one per translation unit).
+void register_polybench(std::vector<KernelInfo>& out);
+void register_utdsp(std::vector<KernelInfo>& out);
+void register_custom(std::vector<KernelInfo>& out);
+
+}  // namespace pulpc::kernels

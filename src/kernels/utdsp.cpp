@@ -1,0 +1,365 @@
+// UTDSP suite: 14 digital-signal-processing kernels (filters, transforms,
+// coders) in the DSL. Trigonometric twiddle/coefficient tables that the C
+// originals precompute at startup are modelled as preloaded coefficient
+// buffers, since table generation happens outside the measured kernel.
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace pulpc::kernels {
+
+namespace {
+
+using dsl::InitKind;
+using dsl::KernelBuilder;
+using dsl::KernelSpec;
+using dsl::Val;
+using kir::DType;
+
+Val ic(std::int32_t v) { return dsl::make_const_i(v); }
+
+Val at(Val i, std::uint32_t n, Val j) { return i * ic(int(n)) + j; }
+
+KernelSpec fir(DType t, std::uint32_t size) {
+  KernelBuilder k("fir", "utdsp", t, size);
+  const std::uint32_t taps = 32;
+  const std::uint32_t n = std::max(taps + 8, len1(size, 2));
+  auto x = k.buffer("x", n + taps);
+  auto c = k.buffer("c", taps);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("tap", ic(0), ic(int(taps)), [&](Val tap) {
+      k.assign(acc, acc + k.load(c, tap) * k.load(x, i + tap));
+    });
+    k.store(y, i, acc);
+  });
+  return k.build();
+}
+
+KernelSpec iir(DType t, std::uint32_t size) {
+  KernelBuilder k("iir", "utdsp", t, size);
+  const std::uint32_t n = len1(size, 2);
+  const std::uint32_t sections = 4;
+  auto x = k.buffer("x", n);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  auto coef = k.buffer("coef", sections * 4);
+  auto state = k.buffer("state", sections * 2, InitKind::Zero);
+  // Cascaded biquads: the recurrence through the filter state serialises
+  // the sample loop entirely.
+  k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+    auto sample = k.decl("sample", k.load(x, i));
+    k.for_("s", ic(0), ic(int(sections)), [&](Val s) {
+      auto w = k.decl(
+          "w", sample - k.load(coef, s * ic(4)) * k.load(state, s * ic(2)) -
+                   k.load(coef, s * ic(4) + ic(1)) *
+                       k.load(state, s * ic(2) + ic(1)));
+      k.assign(sample,
+               w + k.load(coef, s * ic(4) + ic(2)) * k.load(state, s * ic(2)) +
+                   k.load(coef, s * ic(4) + ic(3)) *
+                       k.load(state, s * ic(2) + ic(1)));
+      k.store(state, s * ic(2) + ic(1), k.load(state, s * ic(2)));
+      k.store(state, s * ic(2), w);
+    });
+    k.store(y, i, sample);
+  });
+  return k.build();
+}
+
+KernelSpec latnrm(DType t, std::uint32_t size) {
+  KernelBuilder k("latnrm", "utdsp", t, size);
+  const std::uint32_t n = len1(size, 2);
+  const std::uint32_t order = 8;
+  auto x = k.buffer("x", n);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  auto kcoef = k.buffer("kcoef", order);
+  auto state = k.buffer("state", order + 1, InitKind::Zero);
+  // Normalised lattice filter: serial over samples, short serial stage
+  // sweep inside.
+  k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+    auto f = k.decl("f", k.load(x, i));
+    k.for_("s", ic(0), ic(int(order)), [&](Val s) {
+      auto g = k.decl("g", k.load(state, s));
+      k.assign(f, f - k.load(kcoef, s) * g);
+      k.store(state, s + ic(1), g + k.load(kcoef, s) * f);
+    });
+    k.store(state, ic(0), f);
+    k.store(y, i, f);
+  });
+  return k.build();
+}
+
+KernelSpec lmsfir(DType t, std::uint32_t size) {
+  KernelBuilder k("lmsfir", "utdsp", t, size);
+  const std::uint32_t taps = 32;
+  const std::uint32_t n = std::max(taps + 8, len1(size, 2));
+  auto x = k.buffer("x", n + taps);
+  auto d = k.buffer("d", n);
+  auto w = k.buffer("w", taps, InitKind::Zero);
+  // Adaptive LMS FIR: samples are serial (each updates the weights), the
+  // tap loops are the small parallel regions -> poor parallel payoff.
+  k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("tap", ic(0), ic(int(taps)), [&](Val tap) {
+      k.assign(acc, acc + k.load(w, tap) * k.load(x, i + tap));
+    });
+    auto err = k.decl("err", div_const(k, k.load(d, i) - acc, 16));
+    k.par_for("tap2", ic(0), ic(int(taps)), [&](Val tap) {
+      k.store(w, tap, k.load(w, tap) + err * k.load(x, i + tap));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec mult(DType t, std::uint32_t size) {
+  KernelBuilder k("mult", "utdsp", t, size);
+  const std::uint32_t n = dim2(size, 3);
+  auto a = k.buffer("A", n * n);
+  auto b = k.buffer("B", n * n);
+  auto c = k.buffer("C", n * n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.for_("j", ic(0), ic(int(n)), [&](Val j) {
+      auto acc = k.decl("acc", k.ec(0));
+      k.for_("kk", ic(0), ic(int(n)), [&](Val kk) {
+        k.assign(acc, acc + k.load(a, at(i, n, kk)) * k.load(b, at(kk, n, j)));
+      });
+      k.store(c, at(i, n, j), acc);
+    });
+  });
+  return k.build();
+}
+
+KernelSpec fft(DType t, std::uint32_t size) {
+  KernelBuilder k("fft", "utdsp", t, size);
+  const std::uint32_t n = pow2_len(size, 4);
+  const int stages = ilog2(n);
+  auto re = k.buffer("re", n);
+  auto im = k.buffer("im", n);
+  // Twiddle factors indexed by butterfly position (precomputed table, as
+  // in the C original; filled with deterministic data here).
+  auto wr = k.buffer("wr", n);
+  auto wi = k.buffer("wi", n);
+  // Radix-2 stages: serial over stages, parallel over the n/2 butterflies.
+  k.for_("s", ic(0), ic(stages), [&](Val s) {
+    auto half = k.decl("half", ic(1) << s);
+    k.par_for("b", ic(0), ic(int(n / 2)), [&](Val b) {
+      auto grp = k.decl("grp", b >> s);
+      auto pos = k.decl("pos", b & (half - ic(1)));
+      auto top = k.decl("top", ((grp << s) << ic(1)) + pos);
+      auto bot = k.decl("bot", top + half);
+      auto twr = k.decl("twr", k.load(wr, pos));
+      auto twi = k.decl("twi", k.load(wi, pos));
+      auto br = k.decl("br", k.load(re, bot) * twr - k.load(im, bot) * twi);
+      auto bi = k.decl("bi", k.load(re, bot) * twi + k.load(im, bot) * twr);
+      k.store(re, bot, k.load(re, top) - br);
+      k.store(im, bot, k.load(im, top) - bi);
+      k.store(re, top, k.load(re, top) + br);
+      k.store(im, top, k.load(im, top) + bi);
+    });
+  });
+  return k.build();
+}
+
+KernelSpec histogram(DType t, std::uint32_t size) {
+  KernelBuilder k("histogram", "utdsp", t, size);
+  const std::uint32_t bins = 64;
+  const std::uint32_t n = len1(size, 1);
+  auto img = k.buffer("img", n, InitKind::RandomPos);
+  auto hist = k.buffer("hist", bins, InitKind::Zero);
+  // Shared histogram guarded by the cluster critical section: the
+  // per-element lock makes this a synchronisation-bound sample.
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto bin = k.decl("bin", k.load(img, i) & ic(int(bins) - 1));
+    k.critical([&] {
+      k.store(hist, bin, k.load(hist, bin) + ic(1));
+    });
+  });
+  return k.build();
+}
+
+KernelSpec adpcm(DType t, std::uint32_t size) {
+  KernelBuilder k("adpcm", "utdsp", t, size);
+  const std::uint32_t n = len1(size, 2);
+  auto x = k.buffer("x", n);
+  auto out = k.buffer("out", n, InitKind::Zero);
+  auto steps = k.buffer("steps", 89, InitKind::RandomPos);
+  // ADPCM encoder: predictor state carries across samples -> serial,
+  // branch-heavy integer code.
+  auto valpred = k.decl("valpred", ic(0));
+  auto index = k.decl("index", ic(0));
+  k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+    auto diff = k.decl("diff", k.load(x, i) - valpred);
+    auto sign = k.decl("sign", ic(0));
+    k.if_(diff < ic(0), [&] {
+      k.assign(sign, ic(8));
+      k.assign(diff, ic(0) - diff);
+    });
+    auto step = k.decl("step", k.load(steps, index));
+    auto delta = k.decl("delta", dsl::vmin(diff * ic(4) / dsl::vmax(step, ic(1)),
+                                           ic(7)));
+    k.assign(valpred,
+             valpred + (delta * dsl::vmax(step, ic(1))) / ic(4) - sign / ic(4));
+    k.assign(index, dsl::vmax(ic(0), dsl::vmin(index + delta - ic(3), ic(88))));
+    k.store(out, i, sign | delta);
+  });
+  return k.build();
+}
+
+KernelSpec compress(DType t, std::uint32_t size) {
+  KernelBuilder k("compress", "utdsp", t, size);
+  const std::uint32_t blk = 8;
+  std::uint32_t blocks = std::max(1U, total_elems(size) / 3 / (blk * blk));
+  auto img = k.buffer("img", blocks * blk * blk);
+  auto out = k.buffer("out", blocks * blk * blk, InitKind::Zero);
+  auto cosTab = k.buffer("cosTab", blk * blk);
+  // Block DCT compression: parallel over 8x8 blocks, dense inner MACs.
+  k.par_for("b", ic(0), ic(int(blocks)), [&](Val b) {
+    k.for_("u", ic(0), ic(int(blk)), [&](Val u) {
+      k.for_("v", ic(0), ic(int(blk)), [&](Val v) {
+        auto acc = k.decl("acc", k.ec(0));
+        k.for_("xx", ic(0), ic(int(blk)), [&](Val xx) {
+          k.for_("yy", ic(0), ic(int(blk)), [&](Val yy) {
+            k.assign(acc, acc + k.load(img, b * ic(int(blk * blk)) +
+                                                xx * ic(int(blk)) + yy) *
+                                    k.load(cosTab, u * ic(int(blk)) + xx) *
+                                    k.load(cosTab, v * ic(int(blk)) + yy));
+          });
+        });
+        k.store(out, b * ic(int(blk * blk)) + u * ic(int(blk)) + v,
+                div_const(k, acc, 4));
+      });
+    });
+  });
+  return k.build();
+}
+
+KernelSpec edge_detect(DType t, std::uint32_t size) {
+  KernelBuilder k("edge_detect", "utdsp", t, size);
+  const std::uint32_t n = dim2(size, 2);
+  auto img = k.buffer("img", n * n);
+  auto out = k.buffer("out", n * n, InitKind::Zero);
+  // Sobel gradient magnitude (|gx| + |gy|) with thresholding.
+  k.par_for("i", ic(1), ic(int(n) - 1), [&](Val i) {
+    k.for_("j", ic(1), ic(int(n) - 1), [&](Val j) {
+      auto gx = k.decl(
+          "gx", k.load(img, at(i - ic(1), n, j + ic(1))) +
+                    k.ec(2) * k.load(img, at(i, n, j + ic(1))) +
+                    k.load(img, at(i + ic(1), n, j + ic(1))) -
+                    k.load(img, at(i - ic(1), n, j - ic(1))) -
+                    k.ec(2) * k.load(img, at(i, n, j - ic(1))) -
+                    k.load(img, at(i + ic(1), n, j - ic(1))));
+      auto gy = k.decl(
+          "gy", k.load(img, at(i + ic(1), n, j - ic(1))) +
+                    k.ec(2) * k.load(img, at(i + ic(1), n, j)) +
+                    k.load(img, at(i + ic(1), n, j + ic(1))) -
+                    k.load(img, at(i - ic(1), n, j - ic(1))) -
+                    k.ec(2) * k.load(img, at(i - ic(1), n, j)) -
+                    k.load(img, at(i - ic(1), n, j + ic(1))));
+      auto mag = k.decl("mag", dsl::vabs(gx) + dsl::vabs(gy));
+      k.if_else(
+          mag > k.ec(2), [&] { k.store(out, at(i, n, j), k.ec(1)); },
+          [&] { k.store(out, at(i, n, j), k.ec(0)); });
+    });
+  });
+  return k.build();
+}
+
+KernelSpec spectral(DType t, std::uint32_t size) {
+  KernelBuilder k("spectral", "utdsp", t, size);
+  const std::uint32_t n = len1(size, 2);
+  const std::uint32_t lags = std::min(64U, n / 2);
+  auto x = k.buffer("x", n);
+  auto psd = k.buffer("psd", lags, InitKind::Zero);
+  // Power-spectrum estimation via windowed autocorrelation: few large
+  // independent reductions.
+  k.par_for("lag", ic(0), ic(int(lags)), [&](Val lag) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("i", ic(0), ic(int(n - lags)), [&](Val i) {
+      k.assign(acc, acc + k.load(x, i) * k.load(x, i + lag));
+    });
+    k.store(psd, lag, div_const(k, acc, int(n - lags)));
+  });
+  return k.build();
+}
+
+KernelSpec dct(DType t, std::uint32_t size) {
+  KernelBuilder k("dct", "utdsp", t, size);
+  const std::uint32_t n = std::min(512U, len1(size, 3));
+  auto x = k.buffer("x", n);
+  auto y = k.buffer("y", n, InitKind::Zero);
+  auto cosTab = k.buffer("cosTab", n);
+  // Naive O(n^2) DCT-II with a precomputed cosine table indexed modulo n.
+  k.par_for("u", ic(0), ic(int(n)), [&](Val u) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("i", ic(0), ic(int(n)), [&](Val i) {
+      k.assign(acc,
+               acc + k.load(x, i) * k.load(cosTab, (u * i + u) % ic(int(n))));
+    });
+    k.store(y, u, acc);
+  });
+  return k.build();
+}
+
+KernelSpec autocor(DType t, std::uint32_t size) {
+  KernelBuilder k("autocor", "utdsp", t, size);
+  const std::uint32_t n = len1(size, 1);
+  const std::uint32_t lags = 16;
+  auto x = k.buffer("x", n);
+  auto r = k.buffer("r", lags, InitKind::Zero);
+  // Only 16 independent reductions: parallelism capped well below the
+  // cluster size at every problem size.
+  k.par_for("lag", ic(0), ic(int(lags)), [&](Val lag) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("i", ic(0), ic(int(n - lags)), [&](Val i) {
+      k.assign(acc, acc + k.load(x, i) * k.load(x, i + lag));
+    });
+    k.store(r, lag, acc);
+  });
+  return k.build();
+}
+
+KernelSpec conv2d(DType t, std::uint32_t size) {
+  KernelBuilder k("conv2d", "utdsp", t, size);
+  const std::uint32_t n = dim2(size, 2);
+  const std::uint32_t kn = 5;
+  auto img = k.buffer("img", n * n);
+  auto out = k.buffer("out", n * n, InitKind::Zero);
+  auto coef = k.buffer("coef", kn * kn);
+  k.par_for("i", ic(0), ic(int(n - kn + 1)), [&](Val i) {
+    k.for_("j", ic(0), ic(int(n - kn + 1)), [&](Val j) {
+      auto acc = k.decl("acc", k.ec(0));
+      k.for_("u", ic(0), ic(int(kn)), [&](Val u) {
+        k.for_("v", ic(0), ic(int(kn)), [&](Val v) {
+          k.assign(acc, acc + k.load(img, at(i + u, n, j + v)) *
+                                  k.load(coef, u * ic(int(kn)) + v));
+        });
+      });
+      k.store(out, at(i, n, j), acc);
+    });
+  });
+  return k.build();
+}
+
+}  // namespace
+
+void register_utdsp(std::vector<KernelInfo>& out) {
+  const auto add = [&](const char* name, TypeSupport types,
+                       KernelSpec (*fn)(DType, std::uint32_t)) {
+    out.push_back(KernelInfo{name, "utdsp", types, fn});
+  };
+  add("fir", TypeSupport::Both, fir);
+  add("iir", TypeSupport::Both, iir);
+  add("latnrm", TypeSupport::Both, latnrm);
+  add("lmsfir", TypeSupport::Both, lmsfir);
+  add("mult", TypeSupport::Both, mult);
+  add("fft", TypeSupport::Both, fft);
+  add("histogram", TypeSupport::IntOnly, histogram);
+  add("adpcm", TypeSupport::IntOnly, adpcm);
+  add("compress", TypeSupport::Both, compress);
+  add("edge_detect", TypeSupport::Both, edge_detect);
+  add("spectral", TypeSupport::Both, spectral);
+  add("dct", TypeSupport::Both, dct);
+  add("autocor", TypeSupport::Both, autocor);
+  add("conv2d", TypeSupport::Both, conv2d);
+}
+
+}  // namespace pulpc::kernels

@@ -1,0 +1,111 @@
+#include "kir/analysis.hpp"
+
+#include <algorithm>
+
+namespace pulpc::kir {
+
+std::vector<double> instruction_weights(const Program& prog,
+                                        const StaticCountOptions& opt) {
+  std::vector<double> w(prog.code.size(), 1.0);
+  for (const LoopMeta& l : prog.loops) {
+    const double trip =
+        l.trip >= 0 ? static_cast<double>(l.trip) : opt.unknown_trip;
+    for (std::uint32_t i = l.body_begin; i < l.body_end; ++i) {
+      w[i] *= trip;
+    }
+  }
+  return w;
+}
+
+StaticCounts static_counts(const Program& prog,
+                           const StaticCountOptions& opt) {
+  const std::vector<double> w = instruction_weights(prog, opt);
+  StaticCounts c;
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    const Instr& ins = prog.code[i];
+    const double weight = w[i];
+    switch (ins.op_class()) {
+      case OpClass::Alu: c.alu += weight; break;
+      case OpClass::Div: c.div += weight; break;
+      case OpClass::Fp: c.fp += weight; break;
+      case OpClass::FpDiv: c.fpdiv += weight; break;
+      case OpClass::MemL1:
+        if (ins.op == Op::Lw || ins.op == Op::Flw) {
+          c.load_tcdm += weight;
+        } else {
+          c.store_tcdm += weight;
+        }
+        break;
+      case OpClass::MemL2:
+        if (ins.op == Op::Lw || ins.op == Op::Flw) {
+          c.load_l2 += weight;
+        } else {
+          c.store_l2 += weight;
+        }
+        break;
+      case OpClass::Branch: c.branch += weight; break;
+      case OpClass::Nop: c.nop += weight; break;
+      case OpClass::Sync: c.sync += weight; break;
+    }
+  }
+  return c;
+}
+
+double avg_parallel_iters(const Program& prog) {
+  if (prog.regions.empty()) return 1.0;
+  double sum = 0;
+  for (const ParallelRegionMeta& r : prog.regions) {
+    sum += r.total_iters >= 0 ? static_cast<double>(r.total_iters) : 1.0;
+  }
+  return sum / static_cast<double>(prog.regions.size());
+}
+
+double transfer_bytes(const Program& prog) {
+  double sum = 0;
+  for (const BufferInfo& b : prog.buffers) sum += b.bytes();
+  return sum;
+}
+
+std::vector<Instr> hottest_block(const Program& prog) {
+  const std::vector<double> w = instruction_weights(prog);
+
+  auto contains_loop = [&](const LoopMeta& outer) {
+    return std::any_of(prog.loops.begin(), prog.loops.end(),
+                       [&](const LoopMeta& inner) {
+                         return &inner != &outer &&
+                                outer.body_begin <= inner.body_begin &&
+                                inner.body_end <= outer.body_end;
+                       });
+  };
+
+  const LoopMeta* best = nullptr;
+  double best_weight = -1.0;
+  for (const LoopMeta& l : prog.loops) {
+    if (contains_loop(l)) continue;
+    double total = 0;
+    for (std::uint32_t i = l.body_begin; i < l.body_end; ++i) total += w[i];
+    if (total > best_weight) {
+      best_weight = total;
+      best = &l;
+    }
+  }
+
+  std::vector<Instr> block;
+  auto keep = [](const Instr& ins) {
+    const OpClass cls = ins.op_class();
+    return cls != OpClass::Branch && cls != OpClass::Sync;
+  };
+  if (best != nullptr) {
+    for (std::uint32_t i = best->body_begin; i < best->body_end; ++i) {
+      if (keep(prog.code[i])) block.push_back(prog.code[i]);
+    }
+  }
+  if (block.empty()) {
+    for (const Instr& ins : prog.code) {
+      if (keep(ins)) block.push_back(ins);
+    }
+  }
+  return block;
+}
+
+}  // namespace pulpc::kir

@@ -1,0 +1,75 @@
+// Compile-time analysis over KIR: trip-count-weighted opcode statistics,
+// hottest-block extraction (input to the machine-code analyser), and the
+// primitive quantities the paper's RAW static features are built from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kir/ir.hpp"
+
+namespace pulpc::kir {
+
+/// Trip-count-weighted static opcode statistics. Each instruction is
+/// weighted by the product of the (statically known) trip counts of the
+/// loops enclosing it, so the counts estimate the dynamic opcode mix of a
+/// full kernel execution without running it — the same information the
+/// paper reads off the LLVM-IR.
+struct StaticCounts {
+  double alu = 0;       ///< integer ALU opcodes
+  double div = 0;       ///< integer divider opcodes
+  double fp = 0;        ///< single-cycle FP opcodes
+  double fpdiv = 0;     ///< FP divide / sqrt opcodes
+  double load_tcdm = 0;
+  double store_tcdm = 0;
+  double load_l2 = 0;
+  double store_l2 = 0;
+  double branch = 0;
+  double nop = 0;
+  double sync = 0;      ///< barriers, critical sections, runtime queries
+
+  [[nodiscard]] double tcdm() const noexcept { return load_tcdm + store_tcdm; }
+  [[nodiscard]] double l2() const noexcept { return load_l2 + store_l2; }
+  /// "op" in the paper's RAW feature table: ALU + FP + JUMP opcodes.
+  [[nodiscard]] double op() const noexcept {
+    return alu + div + fp + fpdiv + branch;
+  }
+  [[nodiscard]] double total() const noexcept {
+    return op() + tcdm() + l2() + nop + sync;
+  }
+};
+
+/// Options for static counting.
+struct StaticCountOptions {
+  /// Weight assumed for a loop whose trip count is not statically known,
+  /// expressed as a fraction of the enclosing weight's per-iteration trip.
+  /// The front-end resolves most unknown trips (triangular loops) itself;
+  /// this is the last-resort fallback multiplier.
+  double unknown_trip = 8.0;
+};
+
+/// Compute trip-weighted opcode statistics for a whole program.
+[[nodiscard]] StaticCounts static_counts(const Program& prog,
+                                         const StaticCountOptions& opt = {});
+
+/// Static weight (product of enclosing trip counts) of each instruction.
+[[nodiscard]] std::vector<double> instruction_weights(
+    const Program& prog, const StaticCountOptions& opt = {});
+
+/// Average number of iterations that can be carried concurrently in
+/// parallel regions (the paper's `avgws` RAW feature): the mean of
+/// `total_iters` over all parallel regions; 1.0 for fully serial kernels.
+[[nodiscard]] double avg_parallel_iters(const Program& prog);
+
+/// Amount of data the kernel works on in bytes (the paper's `transfer`
+/// RAW feature): the sum of all buffer sizes.
+[[nodiscard]] double transfer_bytes(const Program& prog);
+
+/// The hottest straight-line block: the body of the innermost loop with
+/// the largest total static weight (header compare and latch branch
+/// excluded where possible). This is the snippet the machine-code
+/// analyser fingerprints, mirroring how the paper feeds kernels to
+/// LLVM-MCA. Falls back to the whole program when there are no loops.
+[[nodiscard]] std::vector<Instr> hottest_block(const Program& prog);
+
+}  // namespace pulpc::kir

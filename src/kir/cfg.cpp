@@ -1,0 +1,106 @@
+#include "kir/cfg.hpp"
+
+#include <algorithm>
+
+#include "kir/operands.hpp"
+
+namespace pulpc::kir {
+
+Cfg build_cfg(const Program& prog) {
+  const auto n = static_cast<std::uint32_t>(prog.code.size());
+  std::vector<bool> leader(n, false);
+  if (n == 0) return {};
+  leader[0] = true;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Instr& ins = prog.code[i];
+    if (is_branch(ins.op)) {
+      leader[static_cast<std::uint32_t>(ins.imm)] = true;
+      if (i + 1 < n) leader[i + 1] = true;
+    }
+    if (ins.op == Op::Halt && i + 1 < n) leader[i + 1] = true;
+  }
+
+  Cfg cfg;
+  cfg.block_of.assign(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (leader[i]) {
+      if (!cfg.blocks.empty()) cfg.blocks.back().end = i;
+      cfg.blocks.push_back(BasicBlock{i, n, {}});
+    }
+    cfg.block_of[i] = static_cast<std::uint32_t>(cfg.blocks.size() - 1);
+  }
+
+  for (std::uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+    BasicBlock& blk = cfg.blocks[b];
+    const Instr& last = prog.code[blk.end - 1];
+    if (last.op == Op::Halt) continue;  // no successors
+    if (is_branch(last.op)) {
+      blk.succs.push_back(
+          cfg.block_of[static_cast<std::uint32_t>(last.imm)]);
+      if (last.op != Op::Jmp && blk.end < n) {
+        blk.succs.push_back(cfg.block_of[blk.end]);
+      }
+    } else if (blk.end < n) {
+      blk.succs.push_back(cfg.block_of[blk.end]);
+    }
+  }
+  return cfg;
+}
+
+std::vector<std::uint64_t> live_out(const Program& prog, const Cfg& cfg) {
+  const std::size_t n = prog.code.size();
+  std::vector<std::uint64_t> out(n, 0);
+
+  // Per-block use (read before any write) and def masks.
+  const std::size_t nb = cfg.blocks.size();
+  std::vector<std::uint64_t> use(nb, 0);
+  std::vector<std::uint64_t> def(nb, 0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::uint32_t i = cfg.blocks[b].begin; i < cfg.blocks[b].end; ++i) {
+      const Operands o = operands_of(prog.code[i]);
+      for (int r = 0; r < o.n_reads; ++r) {
+        const std::uint64_t bit = 1ULL << o.reads[r].slot();
+        if ((def[b] & bit) == 0) use[b] |= bit;
+      }
+      for (int w = 0; w < o.n_writes; ++w) {
+        def[b] |= 1ULL << o.writes[w].slot();
+      }
+    }
+  }
+
+  // Iterate LiveIn(b) = use(b) | (LiveOut(b) & ~def(b)) to a fixpoint.
+  std::vector<std::uint64_t> live_in(nb, 0);
+  std::vector<std::uint64_t> live_out_blk(nb, 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = nb; b-- > 0;) {
+      std::uint64_t lo = 0;
+      for (const std::uint32_t s : cfg.blocks[b].succs) lo |= live_in[s];
+      const std::uint64_t li = use[b] | (lo & ~def[b]);
+      if (lo != live_out_blk[b] || li != live_in[b]) {
+        live_out_blk[b] = lo;
+        live_in[b] = li;
+        changed = true;
+      }
+    }
+  }
+
+  // Backward within each block for per-instruction live-out sets.
+  for (std::size_t b = 0; b < nb; ++b) {
+    std::uint64_t live = live_out_blk[b];
+    for (std::uint32_t i = cfg.blocks[b].end; i-- > cfg.blocks[b].begin;) {
+      out[i] = live;
+      const Operands o = operands_of(prog.code[i]);
+      for (int w = 0; w < o.n_writes; ++w) {
+        live &= ~(1ULL << o.writes[w].slot());
+      }
+      for (int r = 0; r < o.n_reads; ++r) {
+        live |= 1ULL << o.reads[r].slot();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pulpc::kir

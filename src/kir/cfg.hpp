@@ -1,0 +1,40 @@
+// Control-flow graph over a flat KIR program: basic-block boundaries,
+// successor edges, and register liveness (iterative backward dataflow).
+// Used by the optimiser; also handy for custom analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kir/ir.hpp"
+
+namespace pulpc::kir {
+
+/// One basic block: a maximal straight-line range [begin, end) of the
+/// instruction vector. The terminator (if any) is the last instruction.
+struct BasicBlock {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  /// Indices into Cfg::blocks of the possible successors.
+  std::vector<std::uint32_t> succs;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  /// blocks index of the block starting at each instruction (or the
+  /// containing block, for every instruction index).
+  std::vector<std::uint32_t> block_of;
+};
+
+/// Build the CFG. Leaders: instruction 0, every branch target, and every
+/// instruction following a branch. Halt ends a block with no successors.
+[[nodiscard]] Cfg build_cfg(const Program& prog);
+
+/// Per-instruction liveness of the 64 register slots (32 integer + 32
+/// float): live_out[i] is the set of slots whose value may still be read
+/// after instruction i executes. Computed by iterative backward dataflow
+/// over the CFG. Returned as bitmasks (bit s = slot s live).
+[[nodiscard]] std::vector<std::uint64_t> live_out(const Program& prog,
+                                                  const Cfg& cfg);
+
+}  // namespace pulpc::kir

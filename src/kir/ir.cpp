@@ -1,0 +1,405 @@
+#include "kir/ir.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <unordered_map>
+
+namespace pulpc::kir {
+
+OpClass op_class(Op op) noexcept {
+  switch (op) {
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Mac:
+    case Op::Slt:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Shl:
+    case Op::Shr:
+    case Op::Min:
+    case Op::Max:
+    case Op::Abs:
+    case Op::AddI:
+    case Op::MulI:
+    case Op::AndI:
+    case Op::OrI:
+    case Op::XorI:
+    case Op::ShlI:
+    case Op::ShrI:
+    case Op::SltI:
+    case Op::Li:
+    case Op::Mv:
+      return OpClass::Alu;
+    case Op::Div:
+    case Op::Rem:
+      return OpClass::Div;
+    case Op::FAdd:
+    case Op::FSub:
+    case Op::FMul:
+    case Op::FMac:
+    case Op::FMin:
+    case Op::FMax:
+    case Op::FAbs:
+    case Op::FNeg:
+    case Op::FMv:
+    case Op::FLi:
+    case Op::FLt:
+    case Op::FLe:
+    case Op::FEq:
+    case Op::CvtSW:
+    case Op::CvtWS:
+      return OpClass::Fp;
+    case Op::FDiv:
+    case Op::FSqrt:
+      return OpClass::FpDiv;
+    case Op::Lw:
+    case Op::Sw:
+    case Op::Flw:
+    case Op::Fsw:
+      return OpClass::MemL1;
+    case Op::Beq:
+    case Op::Bne:
+    case Op::Blt:
+    case Op::Bge:
+    case Op::Jmp:
+      return OpClass::Branch;
+    case Op::Nop:
+      return OpClass::Nop;
+    case Op::Barrier:
+    case Op::CoreId:
+    case Op::NumCores:
+    case Op::CritEnter:
+    case Op::CritExit:
+    case Op::DmaStart:
+    case Op::DmaWait:
+    case Op::MarkEnter:
+    case Op::MarkExit:
+    case Op::Halt:
+      return OpClass::Sync;
+  }
+  return OpClass::Alu;
+}
+
+OpClass Instr::op_class() const noexcept {
+  if (is_memory(op) && mem == MemSpace::L2) return OpClass::MemL2;
+  return kir::op_class(op);
+}
+
+bool is_memory(Op op) noexcept {
+  return op == Op::Lw || op == Op::Sw || op == Op::Flw || op == Op::Fsw;
+}
+
+bool is_branch(Op op) noexcept {
+  return op == Op::Beq || op == Op::Bne || op == Op::Blt || op == Op::Bge ||
+         op == Op::Jmp;
+}
+
+const char* mnemonic(Op op) noexcept {
+  switch (op) {
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Mac: return "mac";
+    case Op::Slt: return "slt";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Shl: return "sll";
+    case Op::Shr: return "sra";
+    case Op::Min: return "min";
+    case Op::Max: return "max";
+    case Op::Abs: return "abs";
+    case Op::AddI: return "addi";
+    case Op::MulI: return "muli";
+    case Op::AndI: return "andi";
+    case Op::OrI: return "ori";
+    case Op::XorI: return "xori";
+    case Op::ShlI: return "slli";
+    case Op::ShrI: return "srai";
+    case Op::SltI: return "slti";
+    case Op::Li: return "li";
+    case Op::Mv: return "mv";
+    case Op::Div: return "div";
+    case Op::Rem: return "rem";
+    case Op::FAdd: return "fadd.s";
+    case Op::FSub: return "fsub.s";
+    case Op::FMul: return "fmul.s";
+    case Op::FMac: return "fmadd.s";
+    case Op::FMin: return "fmin.s";
+    case Op::FMax: return "fmax.s";
+    case Op::FAbs: return "fabs.s";
+    case Op::FNeg: return "fneg.s";
+    case Op::FMv: return "fmv.s";
+    case Op::FLi: return "fli.s";
+    case Op::FLt: return "flt.s";
+    case Op::FLe: return "fle.s";
+    case Op::FEq: return "feq.s";
+    case Op::CvtSW: return "fcvt.s.w";
+    case Op::CvtWS: return "fcvt.w.s";
+    case Op::FDiv: return "fdiv.s";
+    case Op::FSqrt: return "fsqrt.s";
+    case Op::Lw: return "lw";
+    case Op::Sw: return "sw";
+    case Op::Flw: return "flw";
+    case Op::Fsw: return "fsw";
+    case Op::Beq: return "beq";
+    case Op::Bne: return "bne";
+    case Op::Blt: return "blt";
+    case Op::Bge: return "bge";
+    case Op::Jmp: return "j";
+    case Op::Nop: return "nop";
+    case Op::Barrier: return "barrier";
+    case Op::CoreId: return "coreid";
+    case Op::NumCores: return "numcores";
+    case Op::CritEnter: return "crit.enter";
+    case Op::CritExit: return "crit.exit";
+    case Op::DmaStart: return "dma.start";
+    case Op::DmaWait: return "dma.wait";
+    case Op::MarkEnter: return "kernel.enter";
+    case Op::MarkExit: return "kernel.exit";
+    case Op::Halt: return "halt";
+  }
+  return "?";
+}
+
+bool op_from_mnemonic(const std::string& name, Op& out) {
+  static const std::unordered_map<std::string, Op> kMap = [] {
+    std::unordered_map<std::string, Op> m;
+    for (int i = 0; i <= static_cast<int>(Op::Halt); ++i) {
+      const Op op = static_cast<Op>(i);
+      m.emplace(mnemonic(op), op);
+    }
+    return m;
+  }();
+  const auto it = kMap.find(name);
+  if (it == kMap.end()) return false;
+  out = it->second;
+  return true;
+}
+
+const char* to_string(DType t) noexcept {
+  return t == DType::I32 ? "i32" : "f32";
+}
+
+const char* to_string(MemSpace s) noexcept {
+  switch (s) {
+    case MemSpace::None: return "none";
+    case MemSpace::Tcdm: return "tcdm";
+    case MemSpace::L2: return "l2";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Operand-format category used by the printer.
+enum class Fmt {
+  RRR,      // rd, rs1, rs2
+  RRI,      // rd, rs1, imm
+  RI,       // rd, imm
+  RR,       // rd, rs1
+  MemLoad,  // rd, imm(rs1)
+  MemStore, // rs2, imm(rs1)
+  BrRR,     // rs1, rs2, target
+  Target,   // target
+  Imm,      // imm
+  R,        // rd
+  None,
+};
+
+Fmt format_of(Op op) {
+  switch (op) {
+    case Op::Add: case Op::Sub: case Op::Mul: case Op::Slt: case Op::And:
+    case Op::Or: case Op::Xor: case Op::Shl: case Op::Shr: case Op::Min:
+    case Op::Max: case Op::FAdd: case Op::FSub: case Op::FMul: case Op::FMin:
+    case Op::FMax: case Op::FDiv: case Op::Div: case Op::Rem: case Op::FLt:
+    case Op::FLe: case Op::FEq: case Op::Mac: case Op::FMac:
+      return Fmt::RRR;
+    case Op::AddI: case Op::MulI: case Op::AndI: case Op::OrI: case Op::XorI:
+    case Op::ShlI: case Op::ShrI: case Op::SltI:
+      return Fmt::RRI;
+    case Op::Li: case Op::FLi:
+      return Fmt::RI;
+    case Op::Mv: case Op::FMv: case Op::Abs: case Op::FAbs: case Op::FNeg:
+    case Op::FSqrt: case Op::CvtSW: case Op::CvtWS:
+      return Fmt::RR;
+    case Op::Lw: case Op::Flw:
+      return Fmt::MemLoad;
+    case Op::Sw: case Op::Fsw:
+      return Fmt::MemStore;
+    case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      return Fmt::BrRR;
+    case Op::Jmp:
+      return Fmt::Target;
+    case Op::CritEnter: case Op::CritExit:
+      return Fmt::Imm;
+    case Op::DmaStart:
+      return Fmt::RRR;
+    case Op::CoreId: case Op::NumCores:
+      return Fmt::R;
+    default:
+      return Fmt::None;
+  }
+}
+
+bool is_fp_regfile(Op op, int operand /*0=rd,1=rs1,2=rs2*/) {
+  const OpClass cls = op_class(op);
+  switch (op) {
+    case Op::Flw: return operand == 0;   // fd, addr in int rs1
+    case Op::Fsw: return operand == 2;   // value in fp rs2, addr int rs1
+    case Op::FLt:
+    case Op::FLe:
+    case Op::FEq: return operand != 0;   // int rd, fp sources
+    case Op::CvtSW: return operand == 0; // fd <- int rs1
+    case Op::CvtWS: return operand == 1; // rd <- fp rs1
+    default:
+      return cls == OpClass::Fp || cls == OpClass::FpDiv;
+  }
+}
+
+std::string reg_name(Op op, int operand, std::uint8_t idx) {
+  const char prefix = is_fp_regfile(op, operand) ? 'f' : 'r';
+  return std::string(1, prefix) + std::to_string(idx);
+}
+
+}  // namespace
+
+std::string to_string(const Instr& ins) {
+  std::ostringstream os;
+  os << mnemonic(ins.op);
+  switch (format_of(ins.op)) {
+    case Fmt::RRR:
+      os << ' ' << reg_name(ins.op, 0, ins.rd) << ", "
+         << reg_name(ins.op, 1, ins.rs1) << ", "
+         << reg_name(ins.op, 2, ins.rs2);
+      break;
+    case Fmt::RRI:
+      os << ' ' << reg_name(ins.op, 0, ins.rd) << ", "
+         << reg_name(ins.op, 1, ins.rs1) << ", " << ins.imm;
+      break;
+    case Fmt::RI:
+      if (ins.op == Op::FLi) {
+        os << ' ' << reg_name(ins.op, 0, ins.rd) << ", "
+           << std::bit_cast<float>(ins.imm);
+      } else {
+        os << ' ' << reg_name(ins.op, 0, ins.rd) << ", " << ins.imm;
+      }
+      break;
+    case Fmt::RR:
+      os << ' ' << reg_name(ins.op, 0, ins.rd) << ", "
+         << reg_name(ins.op, 1, ins.rs1);
+      break;
+    case Fmt::MemLoad:
+      os << ' ' << reg_name(ins.op, 0, ins.rd) << ", " << ins.imm << '('
+         << reg_name(ins.op, 1, ins.rs1) << ')';
+      if (ins.mem != MemSpace::None) os << " !" << to_string(ins.mem);
+      break;
+    case Fmt::MemStore:
+      os << ' ' << reg_name(ins.op, 2, ins.rs2) << ", " << ins.imm << '('
+         << reg_name(ins.op, 1, ins.rs1) << ')';
+      if (ins.mem != MemSpace::None) os << " !" << to_string(ins.mem);
+      break;
+    case Fmt::BrRR:
+      os << ' ' << reg_name(ins.op, 1, ins.rs1) << ", "
+         << reg_name(ins.op, 2, ins.rs2) << ", @" << ins.imm;
+      break;
+    case Fmt::Target:
+      os << " @" << ins.imm;
+      break;
+    case Fmt::Imm:
+      os << ' ' << ins.imm;
+      break;
+    case Fmt::R:
+      os << ' ' << reg_name(ins.op, 0, ins.rd);
+      break;
+    case Fmt::None:
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const Program& prog) {
+  std::ostringstream os;
+  os << "; kernel " << prog.name << '\n';
+  for (const BufferInfo& b : prog.buffers) {
+    os << "; buffer " << b.name << ": " << to_string(b.elem) << '[' << b.elems
+       << "] @" << b.base << ' ' << to_string(b.space) << '\n';
+  }
+  for (const ParallelRegionMeta& r : prog.regions) {
+    os << "; parallel region [" << r.begin << ", " << r.end
+       << ") iters=" << r.total_iters << '\n';
+  }
+  for (const LoopMeta& l : prog.loops) {
+    os << "; loop [" << l.body_begin << ", " << l.body_end
+       << ") trip=" << l.trip << (l.parallel ? " parallel" : "") << '\n';
+  }
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    os << i << ":\t" << to_string(prog.code[i]) << '\n';
+  }
+  return os.str();
+}
+
+std::string verify(const Program& prog) {
+  const auto n = static_cast<std::int64_t>(prog.code.size());
+  if (n == 0) return "empty program";
+  int mark_depth = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Instr& ins = prog.code[static_cast<std::size_t>(i)];
+    const std::string where = "instr " + std::to_string(i) + " (" +
+                              to_string(ins) + "): ";
+    if (ins.rd >= kNumRegs || ins.rs1 >= kNumRegs || ins.rs2 >= kNumRegs) {
+      return where + "register index out of range";
+    }
+    if (is_branch(ins.op) && (ins.imm < 0 || ins.imm >= n)) {
+      return where + "branch target out of range";
+    }
+    if (is_memory(ins.op) && ins.mem == MemSpace::None) {
+      return where + "memory op without a memory-space annotation";
+    }
+    if (ins.op == Op::MarkEnter) ++mark_depth;
+    if (ins.op == Op::MarkExit) {
+      if (--mark_depth < 0) return where + "kernel.exit without kernel.enter";
+    }
+  }
+  if (mark_depth != 0) return "unbalanced kernel region markers";
+  if (prog.code.back().op != Op::Halt) return "program does not end in halt";
+  for (const LoopMeta& l : prog.loops) {
+    if (l.body_begin >= l.body_end || l.body_end > prog.code.size()) {
+      return "loop range [" + std::to_string(l.body_begin) + ", " +
+             std::to_string(l.body_end) + ") malformed";
+    }
+  }
+  // Loop ranges must nest: any two ranges are disjoint or contained.
+  for (std::size_t a = 0; a < prog.loops.size(); ++a) {
+    for (std::size_t b = a + 1; b < prog.loops.size(); ++b) {
+      const LoopMeta& x = prog.loops[a];
+      const LoopMeta& y = prog.loops[b];
+      const bool disjoint =
+          x.body_end <= y.body_begin || y.body_end <= x.body_begin;
+      const bool x_in_y =
+          y.body_begin <= x.body_begin && x.body_end <= y.body_end;
+      const bool y_in_x =
+          x.body_begin <= y.body_begin && y.body_end <= x.body_end;
+      if (!disjoint && !x_in_y && !y_in_x) {
+        return "loops " + std::to_string(a) + " and " + std::to_string(b) +
+               " overlap without nesting";
+      }
+    }
+  }
+  for (const ParallelRegionMeta& r : prog.regions) {
+    if (r.begin >= r.end || r.end > prog.code.size()) {
+      return "parallel region range malformed";
+    }
+  }
+  for (const BufferInfo& b : prog.buffers) {
+    if (b.elems == 0) return "buffer " + b.name + " has zero elements";
+    if (b.base % 4 != 0) return "buffer " + b.name + " not word aligned";
+  }
+  if (prog.entry >= prog.code.size()) return "entry point out of range";
+  return {};
+}
+
+}  // namespace pulpc::kir

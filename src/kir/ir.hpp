@@ -1,0 +1,182 @@
+// Kernel IR (KIR): a small register-based, RISC-V-flavoured intermediate
+// representation. It plays the role LLVM-IR plays in the paper: the DSL
+// front-end (src/dsl) lowers kernel "source code" to KIR, the cluster
+// simulator (src/sim) executes KIR, and the static analyses (kir/analysis,
+// src/mca, src/feat) parse KIR at compile time without running it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pulpc::kir {
+
+/// Element type of a value or buffer. PULP processing elements support
+/// 32-bit integers and single-precision floats (no doubles, per the paper).
+enum class DType : std::uint8_t { I32, F32 };
+
+/// Memory space of a buffer / memory access. The paper assumes all kernel
+/// data lives in the on-cluster TCDM; L2 is exercised by a few custom
+/// kernels and by the DMA setup path.
+enum class MemSpace : std::uint8_t { None, Tcdm, L2 };
+
+/// KIR opcodes, grouped in the operating-region classes priced by the
+/// paper's Table I energy model (ALU, FP, L1/L2 access, NOP, control).
+enum class Op : std::uint8_t {
+  // Integer ALU (single cycle on RI5CY, including multiply and the
+  // DSP-extension mac/min/max/abs).
+  Add, Sub, Mul, Mac, Slt, And, Or, Xor, Shl, Shr,
+  Min, Max, Abs,
+  AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, SltI,
+  Li,   ///< rd = imm
+  Mv,   ///< rd = rs1
+  // Integer divider (serial, multi-cycle).
+  Div, Rem,
+  // Floating point (executed on the shared FPU pool).
+  FAdd, FSub, FMul, FMac, FMin, FMax, FAbs, FNeg, FMv,
+  FLi,     ///< fd = bit_cast<float>(imm)
+  FLt, FLe, FEq,  ///< integer rd = compare(fs1, fs2)
+  CvtSW,   ///< fd = float(rs1)
+  CvtWS,   ///< rd = int(fs1), truncating
+  // Floating-point divider / sqrt (multi-cycle, occupies the FPU).
+  FDiv, FSqrt,
+  // Memory. Address = int_reg[rs1] + imm. `mem` annotates the space.
+  Lw,   ///< int load
+  Sw,   ///< int store (value in rs2)
+  Flw,  ///< float load
+  Fsw,  ///< float store (value in fp reg rs2)
+  // Control flow. Branch/jump targets are absolute instruction indices
+  // stored in `imm`.
+  Beq, Bne, Blt, Bge,
+  Jmp,
+  // Active wait (priced as NOP in the energy model).
+  Nop,
+  // Runtime pseudo-ops (the OpenMP-like runtime surface).
+  Barrier,    ///< event-unit barrier; waiting cores are clock-gated
+  CoreId,     ///< rd = id of the executing core
+  NumCores,   ///< rd = number of cores running the kernel
+  CritEnter,  ///< acquire spin lock `imm` (active-wait NOPs while contended)
+  CritExit,   ///< release spin lock `imm`
+  DmaStart,   ///< start DMA copy: src = int_reg[rs1], dst = int_reg[rs2],
+              ///< word count = int_reg[rd] (rd is a *source* here)
+  DmaWait,    ///< clock-gate until the DMA engine is idle
+  MarkEnter,  ///< kernel-region entry marker (the paper's `void kernel(...)`)
+  MarkExit,   ///< kernel-region exit marker
+  Halt,       ///< core stops executing
+};
+
+/// Coarse operating-region class of an opcode; maps 1:1 onto the rows of
+/// the Table I processing-element energy model.
+enum class OpClass : std::uint8_t {
+  Alu,     ///< integer ALU, moves, compares, address math
+  Div,     ///< integer divider (ALU-priced, multi-cycle)
+  Fp,      ///< shared-FPU single-cycle ops
+  FpDiv,   ///< shared-FPU multi-cycle divide/sqrt
+  MemL1,   ///< TCDM access
+  MemL2,   ///< off-cluster L2 access
+  Branch,  ///< control flow
+  Nop,     ///< active wait
+  Sync,    ///< barrier / critical / markers / halt / runtime queries
+};
+
+/// Classify an opcode. Memory ops are classified MemL1/MemL2 from the
+/// instruction's `mem` annotation by `Instr::op_class()`; this function
+/// returns MemL1 for them by default.
+[[nodiscard]] OpClass op_class(Op op) noexcept;
+
+/// True for Lw/Sw/Flw/Fsw.
+[[nodiscard]] bool is_memory(Op op) noexcept;
+/// True for Beq/Bne/Blt/Bge/Jmp.
+[[nodiscard]] bool is_branch(Op op) noexcept;
+/// Assembly-style mnemonic ("fadd", "lw", ...).
+[[nodiscard]] const char* mnemonic(Op op) noexcept;
+/// Reverse lookup of `mnemonic`; returns false for unknown mnemonics.
+[[nodiscard]] bool op_from_mnemonic(const std::string& name, Op& out);
+
+/// Number of architectural registers in each register file.
+inline constexpr int kNumRegs = 32;
+
+/// One KIR instruction. Register fields index the integer or the
+/// floating-point register file depending on the opcode; `imm` holds
+/// immediates, memory offsets, branch targets (absolute instruction
+/// indices) and lock ids.
+struct Instr {
+  Op op = Op::Nop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+  MemSpace mem = MemSpace::None;  ///< set on memory ops by the front-end
+
+  /// Operating-region class, using `mem` to split L1 from L2 accesses.
+  [[nodiscard]] OpClass op_class() const noexcept;
+};
+
+/// Static loop metadata attached by the front-end (the analog of LLVM loop
+/// info + scalar-evolution trip counts). `body_begin..body_end` is the
+/// half-open instruction range of header + body + latch.
+struct LoopMeta {
+  std::uint32_t body_begin = 0;
+  std::uint32_t body_end = 0;
+  /// Compile-time trip count of the *whole* loop (total iterations across
+  /// all cores for parallel loops); < 0 when not statically known.
+  std::int64_t trip = -1;
+  bool parallel = false;
+};
+
+/// Static metadata for one parallel region (one `#pragma omp parallel for`
+/// in the paper's kernels).
+struct ParallelRegionMeta {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  /// Total loop iterations the region distributes over the cores;
+  /// < 0 when not statically known.
+  std::int64_t total_iters = -1;
+};
+
+/// How a buffer is filled before execution (copied from the DSL
+/// declaration so the simulator can initialise memory deterministically).
+enum class BufInit : std::uint8_t { Zero, Ramp, Random, RandomPos };
+
+/// A buffer the kernel works on. Base addresses are assigned by the
+/// front-end allocator inside the TCDM or L2 address ranges.
+struct BufferInfo {
+  std::string name;
+  DType elem = DType::I32;
+  MemSpace space = MemSpace::Tcdm;
+  std::uint32_t base = 0;    ///< byte address
+  std::uint32_t elems = 0;   ///< element count
+  BufInit init = BufInit::Random;
+  [[nodiscard]] std::uint32_t bytes() const noexcept { return elems * 4u; }
+};
+
+/// A lowered kernel: flat code plus the static metadata the paper's
+/// compile-time analysis consumes.
+struct Program {
+  std::string name;
+  std::vector<Instr> code;
+  std::vector<LoopMeta> loops;
+  std::vector<ParallelRegionMeta> regions;
+  std::vector<BufferInfo> buffers;
+  std::uint32_t entry = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return code.size(); }
+};
+
+/// Validate structural invariants (branch targets in range, register
+/// indices < kNumRegs, memory ops annotated with a space, loop ranges
+/// well-formed and properly nested, marker pairing). Returns an empty
+/// string when valid, otherwise a description of the first violation.
+[[nodiscard]] std::string verify(const Program& prog);
+
+/// Assembly-like textual dump (one instruction per line, loop/region
+/// annotations as comments).
+[[nodiscard]] std::string to_string(const Program& prog);
+
+/// One-line disassembly of a single instruction.
+[[nodiscard]] std::string to_string(const Instr& ins);
+
+[[nodiscard]] const char* to_string(DType t) noexcept;
+[[nodiscard]] const char* to_string(MemSpace s) noexcept;
+
+}  // namespace pulpc::kir

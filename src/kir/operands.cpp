@@ -1,0 +1,111 @@
+#include "kir/operands.hpp"
+
+namespace pulpc::kir {
+
+Operands operands_of(const Instr& ins) noexcept {
+  Operands o;
+  const auto read = [&](RegRef r) { o.reads[o.n_reads++] = r; };
+  const auto write = [&](RegRef r) { o.writes[o.n_writes++] = r; };
+  const auto ir = [&](std::uint8_t idx, Field f) {
+    return RegRef{false, idx, f};
+  };
+  const auto fr = [&](std::uint8_t idx, Field f) {
+    return RegRef{true, idx, f};
+  };
+  switch (ins.op) {
+    // rd = f(rs1, rs2), integer.
+    case Op::Add: case Op::Sub: case Op::Mul: case Op::Slt: case Op::And:
+    case Op::Or: case Op::Xor: case Op::Shl: case Op::Shr: case Op::Min:
+    case Op::Max: case Op::Div: case Op::Rem:
+      read(ir(ins.rs1, Field::Rs1));
+      read(ir(ins.rs2, Field::Rs2));
+      write(ir(ins.rd, Field::Rd));
+      break;
+    case Op::Mac:  // rd += rs1 * rs2
+      read(ir(ins.rs1, Field::Rs1));
+      read(ir(ins.rs2, Field::Rs2));
+      read(ir(ins.rd, Field::Rd));
+      write(ir(ins.rd, Field::Rd));
+      break;
+    case Op::AddI: case Op::MulI: case Op::AndI: case Op::OrI: case Op::XorI:
+    case Op::ShlI: case Op::ShrI: case Op::SltI:
+      read(ir(ins.rs1, Field::Rs1));
+      write(ir(ins.rd, Field::Rd));
+      break;
+    case Op::Li: case Op::CoreId: case Op::NumCores:
+      write(ir(ins.rd, Field::Rd));
+      break;
+    case Op::Mv: case Op::Abs:
+      read(ir(ins.rs1, Field::Rs1));
+      write(ir(ins.rd, Field::Rd));
+      break;
+    // Floating point.
+    case Op::FAdd: case Op::FSub: case Op::FMul: case Op::FMin: case Op::FMax:
+    case Op::FDiv:
+      read(fr(ins.rs1, Field::Rs1));
+      read(fr(ins.rs2, Field::Rs2));
+      write(fr(ins.rd, Field::Rd));
+      break;
+    case Op::FMac:
+      read(fr(ins.rs1, Field::Rs1));
+      read(fr(ins.rs2, Field::Rs2));
+      read(fr(ins.rd, Field::Rd));
+      write(fr(ins.rd, Field::Rd));
+      break;
+    case Op::FAbs: case Op::FNeg: case Op::FMv: case Op::FSqrt:
+      read(fr(ins.rs1, Field::Rs1));
+      write(fr(ins.rd, Field::Rd));
+      break;
+    case Op::FLi:
+      write(fr(ins.rd, Field::Rd));
+      break;
+    case Op::FLt: case Op::FLe: case Op::FEq:
+      read(fr(ins.rs1, Field::Rs1));
+      read(fr(ins.rs2, Field::Rs2));
+      write(ir(ins.rd, Field::Rd));
+      break;
+    case Op::CvtSW:
+      read(ir(ins.rs1, Field::Rs1));
+      write(fr(ins.rd, Field::Rd));
+      break;
+    case Op::CvtWS:
+      read(fr(ins.rs1, Field::Rs1));
+      write(ir(ins.rd, Field::Rd));
+      break;
+    // Memory.
+    case Op::Lw:
+      read(ir(ins.rs1, Field::Rs1));
+      write(ir(ins.rd, Field::Rd));
+      break;
+    case Op::Flw:
+      read(ir(ins.rs1, Field::Rs1));
+      write(fr(ins.rd, Field::Rd));
+      break;
+    case Op::Sw:
+      read(ir(ins.rs1, Field::Rs1));
+      read(ir(ins.rs2, Field::Rs2));
+      break;
+    case Op::Fsw:
+      read(ir(ins.rs1, Field::Rs1));
+      read(fr(ins.rs2, Field::Rs2));
+      break;
+    // Control flow.
+    case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      read(ir(ins.rs1, Field::Rs1));
+      read(ir(ins.rs2, Field::Rs2));
+      break;
+    // DMA descriptor: rd is a SOURCE (word count).
+    case Op::DmaStart:
+      read(ir(ins.rs1, Field::Rs1));
+      read(ir(ins.rs2, Field::Rs2));
+      read(ir(ins.rd, Field::Rd));
+      break;
+    case Op::Jmp: case Op::Nop: case Op::Barrier: case Op::CritEnter:
+    case Op::CritExit: case Op::DmaWait: case Op::MarkEnter:
+    case Op::MarkExit: case Op::Halt:
+      break;
+  }
+  return o;
+}
+
+}  // namespace pulpc::kir

@@ -1,0 +1,50 @@
+// Register operand model: which registers an instruction reads and
+// writes, and in which register file. Shared by the machine-code
+// analyser (dependency chains) and the optimiser (value numbering,
+// liveness).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "kir/ir.hpp"
+
+namespace pulpc::kir {
+
+/// Which Instr member an operand lives in (for rewriting passes).
+enum class Field : std::uint8_t { Rd, Rs1, Rs2 };
+
+/// A register reference: file + index + source field.
+struct RegRef {
+  bool fp = false;
+  std::uint8_t idx = 0;
+  Field field = Field::Rd;
+
+  /// Flat slot in the combined namespace (fp registers offset +32).
+  [[nodiscard]] int slot() const noexcept { return idx + (fp ? 32 : 0); }
+  friend bool operator==(const RegRef&, const RegRef&) = default;
+};
+
+/// Set the register index of the given field.
+inline void set_field(Instr& ins, Field f, std::uint8_t idx) noexcept {
+  switch (f) {
+    case Field::Rd: ins.rd = idx; break;
+    case Field::Rs1: ins.rs1 = idx; break;
+    case Field::Rs2: ins.rs2 = idx; break;
+  }
+}
+
+/// Operand sets of one instruction. `reads` may include the destination
+/// (mac/fmac accumulate in place; dma.start uses rd as a source).
+struct Operands {
+  std::array<RegRef, 3> reads{};
+  int n_reads = 0;
+  std::array<RegRef, 1> writes{};
+  int n_writes = 0;
+};
+
+/// Compute the operand sets. Sync pseudo-ops without register traffic
+/// (barrier, markers, halt, critical) report zero operands.
+[[nodiscard]] Operands operands_of(const Instr& ins) noexcept;
+
+}  // namespace pulpc::kir

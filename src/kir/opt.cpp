@@ -1,0 +1,396 @@
+#include "kir/opt.hpp"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "kir/cfg.hpp"
+#include "kir/operands.hpp"
+
+namespace pulpc::kir {
+
+namespace {
+
+/// Pure register computation: safe to collapse onto an available value
+/// and safe to delete when the result is dead. Memory, control flow and
+/// the runtime pseudo-ops are excluded; the integer/FP dividers ARE pure
+/// (KIR division is total).
+bool is_pure(const Instr& ins) {
+  switch (ins.op_class()) {
+    case OpClass::Alu:
+    case OpClass::Div:
+    case OpClass::Fp:
+    case OpClass::FpDiv:
+      return true;
+    default:
+      return ins.op == Op::CoreId || ins.op == Op::NumCores;
+  }
+}
+
+bool is_commutative(Op op) {
+  switch (op) {
+    case Op::Add: case Op::Mul: case Op::And: case Op::Or: case Op::Xor:
+    case Op::Min: case Op::Max: case Op::FAdd: case Op::FMul:
+    case Op::FMin: case Op::FMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One local-value-numbering + copy-propagation pass. Marks instructions
+/// whose value is already present in their destination in `kill`, and
+/// counts values collapsed onto existing registers.
+std::size_t value_number(Program& prog, const Cfg& cfg,
+                         std::vector<bool>& kill) {
+  using Key = std::tuple<int, std::int32_t, std::uint32_t, std::uint32_t,
+                         std::uint32_t>;
+  std::size_t reused = 0;
+
+  for (const BasicBlock& blk : cfg.blocks) {
+    std::uint32_t next_vn = 1;
+    std::array<std::uint32_t, 64> reg_vn{};  // 0 = unknown
+    std::map<std::uint32_t, int> home;       // vn -> slot currently holding it
+    std::map<Key, std::uint32_t> values;
+
+    const auto vn_of = [&](int slot) {
+      if (reg_vn[std::size_t(slot)] == 0) {
+        reg_vn[std::size_t(slot)] = next_vn;
+        home[next_vn] = slot;
+        ++next_vn;
+      }
+      return reg_vn[std::size_t(slot)];
+    };
+    const auto fresh = [&](int slot) {
+      reg_vn[std::size_t(slot)] = next_vn;
+      home[next_vn] = slot;
+      ++next_vn;
+    };
+
+    for (std::uint32_t i = blk.begin; i < blk.end; ++i) {
+      Instr& ins = prog.code[i];
+      Operands ops = operands_of(ins);
+      const bool writes_rd =
+          ops.n_writes > 0 && ops.writes[0].field == Field::Rd;
+
+      // Copy propagation: retarget reads to the oldest register still
+      // holding the same value (never the Rd field of an in-place op).
+      for (int r = 0; r < ops.n_reads; ++r) {
+        const RegRef ref = ops.reads[r];
+        if (ref.field == Field::Rd && writes_rd) continue;
+        const std::uint32_t vn = vn_of(ref.slot());
+        const auto it = home.find(vn);
+        if (it == home.end()) continue;
+        const int h = it->second;
+        if (h != ref.slot() && reg_vn[std::size_t(h)] == vn &&
+            (h >= 32) == ref.fp) {
+          set_field(ins, ref.field, std::uint8_t(h % 32));
+        }
+      }
+      ops = operands_of(ins);  // refresh after rewriting
+
+      if (!is_pure(ins) || ops.n_writes == 0) {
+        for (int w = 0; w < ops.n_writes; ++w) fresh(ops.writes[w].slot());
+        continue;
+      }
+
+      const int wslot = ops.writes[0].slot();
+
+      // Copies are transparent: the destination aliases the source value.
+      if (ins.op == Op::Mv || ins.op == Op::FMv) {
+        const std::uint32_t vn = vn_of(ops.reads[0].slot());
+        if (reg_vn[std::size_t(wslot)] == vn) {
+          kill[i] = true;  // copying a value onto itself
+          ++reused;
+        }
+        reg_vn[std::size_t(wslot)] = vn;
+        continue;
+      }
+
+      std::uint32_t v1 = ops.n_reads > 0 ? vn_of(ops.reads[0].slot()) : 0;
+      std::uint32_t v2 = ops.n_reads > 1 ? vn_of(ops.reads[1].slot()) : 0;
+      const std::uint32_t v3 =
+          ops.n_reads > 2 ? vn_of(ops.reads[2].slot()) : 0;
+      if (is_commutative(ins.op) && v2 < v1) std::swap(v1, v2);
+      const Key key{int(ins.op), ins.imm, v1, v2, v3};
+
+      const auto it = values.find(key);
+      if (it != values.end()) {
+        const std::uint32_t vn = it->second;
+        const auto hit = home.find(vn);
+        if (hit != home.end() &&
+            reg_vn[std::size_t(hit->second)] == vn &&
+            (hit->second >= 32) == ops.writes[0].fp) {
+          const int h = hit->second;
+          if (h == wslot) {
+            kill[i] = true;  // destination already holds this value
+          } else {
+            ins = Instr{ops.writes[0].fp ? Op::FMv : Op::Mv,
+                        std::uint8_t(wslot % 32), std::uint8_t(h % 32), 0,
+                        0, MemSpace::None};
+          }
+          reg_vn[std::size_t(wslot)] = vn;
+          ++reused;
+          continue;
+        }
+      }
+      fresh(wslot);
+      values[key] = reg_vn[std::size_t(wslot)];
+    }
+  }
+  return reused;
+}
+
+/// Liveness-based dead-write elimination.
+std::size_t eliminate_dead(const Program& prog, const Cfg& cfg,
+                           std::vector<bool>& kill) {
+  const std::vector<std::uint64_t> live = live_out(prog, cfg);
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    if (kill[i]) continue;
+    const Instr& ins = prog.code[i];
+    if (!is_pure(ins)) continue;
+    const Operands ops = operands_of(ins);
+    if (ops.n_writes == 0) continue;
+    bool dead = true;
+    for (int w = 0; w < ops.n_writes; ++w) {
+      if ((live[i] >> ops.writes[w].slot()) & 1ULL) dead = false;
+    }
+    if (dead) {
+      kill[i] = true;
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+/// Loop-invariant code motion using the front-end's trusted loop ranges.
+/// The straightforward lowering recycles a small pool of temp registers,
+/// so invariant values cannot simply be left in place: each hoisted
+/// instruction is *renamed* into a register that is unused anywhere in
+/// the program, its (block-local) uses are rewritten, and the
+/// instruction moves to just before the loop header. Candidates must be
+/// pure, read only registers never written inside the loop, sit in the
+/// body's first basic block (executed every iteration), and have a
+/// use-range fully contained in that block.
+std::size_t hoist_invariants(Program& prog) {
+  if (prog.loops.empty()) return 0;
+  const Cfg cfg = build_cfg(prog);
+  const std::size_t n = prog.code.size();
+
+  // Registers unused in the entire program are the renaming pool.
+  std::array<bool, 64> used{};
+  for (const Instr& ins : prog.code) {
+    const Operands o = operands_of(ins);
+    for (int r = 0; r < o.n_reads; ++r) used[std::size_t(o.reads[r].slot())] = true;
+    for (int w = 0; w < o.n_writes; ++w) used[std::size_t(o.writes[w].slot())] = true;
+  }
+  const auto take_free = [&](bool fp) -> int {
+    for (int idx = 0; idx < 32; ++idx) {
+      const int slot = idx + (fp ? 32 : 0);
+      if (!used[std::size_t(slot)]) {
+        used[std::size_t(slot)] = true;
+        return slot;
+      }
+    }
+    return -1;
+  };
+
+  std::vector<std::vector<Instr>> hoist_before(n);
+  std::vector<bool> moved(n, false);
+  std::size_t count = 0;
+
+  for (const LoopMeta& loop : prog.loops) {
+    bool innermost = true;
+    for (const LoopMeta& other : prog.loops) {
+      if (&other != &loop && loop.body_begin <= other.body_begin &&
+          other.body_end <= loop.body_end) {
+        innermost = false;
+      }
+    }
+    if (!innermost) continue;
+    const std::uint32_t header = loop.body_begin;
+    if (header >= n || !is_branch(prog.code[header].op)) continue;
+
+    // Writes per slot across the whole loop range.
+    std::array<int, 64> defs{};
+    for (std::uint32_t i = header; i < loop.body_end; ++i) {
+      const Operands o = operands_of(prog.code[i]);
+      for (int w = 0; w < o.n_writes; ++w) {
+        ++defs[std::size_t(o.writes[w].slot())];
+      }
+    }
+
+    const std::uint32_t first = header + 1;
+    if (first >= loop.body_end) continue;
+    const BasicBlock& blk = cfg.blocks[cfg.block_of[first]];
+    const std::uint32_t stop = std::min(blk.end, loop.body_end);
+
+    for (std::uint32_t i = first; i < stop; ++i) {
+      Instr& ins = prog.code[i];
+      if (moved[i] || !is_pure(ins)) continue;
+      const Operands o = operands_of(ins);
+      if (o.n_writes != 1) continue;
+      // Reads of the destination (mac-style in-place ops) disqualify.
+      bool self_read = false;
+      bool invariant = true;
+      for (int r = 0; r < o.n_reads; ++r) {
+        if (o.reads[r].field == Field::Rd) self_read = true;
+        if (defs[std::size_t(o.reads[r].slot())] != 0) invariant = false;
+      }
+      if (self_read || !invariant) continue;
+      const int d = o.writes[0].slot();
+      const bool fp = o.writes[0].fp;
+
+      // Collect the uses of this definition: reads of d between i+1 and
+      // the next write of d in the same block. If the block ends first,
+      // the value could escape; skip.
+      std::vector<std::pair<std::uint32_t, Field>> uses;
+      bool redefined = false;
+      for (std::uint32_t j = i + 1; j < stop && !redefined; ++j) {
+        if (moved[j]) continue;
+        const Operands oj = operands_of(prog.code[j]);
+        bool writes_d = false;
+        for (int w = 0; w < oj.n_writes; ++w) {
+          if (oj.writes[w].slot() == d) writes_d = true;
+        }
+        for (int r = 0; r < oj.n_reads; ++r) {
+          if (oj.reads[r].slot() != d) continue;
+          // In-place destinations read before the overwrite.
+          uses.emplace_back(j, oj.reads[r].field);
+        }
+        if (writes_d) redefined = true;
+      }
+      if (!redefined) continue;  // value may live past the block
+
+      const int fresh_slot = take_free(fp);
+      if (fresh_slot < 0) break;  // renaming pool exhausted
+
+      // Rename, rewrite uses, and schedule the motion.
+      ins.rd = std::uint8_t(fresh_slot % 32);
+      for (const auto& [j, field] : uses) {
+        set_field(prog.code[j], field, std::uint8_t(fresh_slot % 32));
+      }
+      hoist_before[header].push_back(ins);
+      moved[i] = true;
+      --defs[std::size_t(d)];
+      ++count;
+    }
+  }
+  if (count == 0) return 0;
+
+  // Rebuild with the permutation and remap indices.
+  std::vector<std::uint32_t> new_index(n + 1, 0);
+  std::vector<Instr> code;
+  code.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (const Instr& h : hoist_before[i]) code.push_back(h);
+    new_index[i] = static_cast<std::uint32_t>(code.size());
+    if (!moved[i]) {
+      code.push_back(prog.code[i]);
+    }
+  }
+  new_index[n] = static_cast<std::uint32_t>(code.size());
+  for (Instr& ins : code) {
+    if (is_branch(ins.op)) {
+      ins.imm = std::int32_t(new_index[std::size_t(ins.imm)]);
+    }
+  }
+  for (LoopMeta& l : prog.loops) {
+    l.body_begin = new_index[l.body_begin];
+    l.body_end = new_index[l.body_end];
+  }
+  for (ParallelRegionMeta& r : prog.regions) {
+    r.begin = new_index[r.begin];
+    r.end = new_index[r.end];
+  }
+  prog.entry = new_index[prog.entry];
+  prog.code = std::move(code);
+  return count;
+}
+
+/// Drop killed instructions and remap branch targets and metadata.
+Program compact(const Program& prog, const std::vector<bool>& kill) {
+  const std::size_t n = prog.code.size();
+  std::vector<std::uint32_t> new_index(n + 1, 0);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    new_index[i] = next;
+    if (!kill[i]) ++next;
+  }
+  new_index[n] = next;
+  // Targets of killed instructions land on the next surviving one.
+  std::vector<std::uint32_t> target(n + 1, next);
+  std::uint32_t ahead = next;
+  for (std::size_t i = n; i-- > 0;) {
+    if (!kill[i]) ahead = new_index[i];
+    target[i] = ahead;
+  }
+
+  Program out;
+  out.name = prog.name;
+  out.buffers = prog.buffers;
+  out.entry = target[prog.entry];
+  out.code.reserve(next);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kill[i]) continue;
+    Instr ins = prog.code[i];
+    if (is_branch(ins.op)) {
+      ins.imm = std::int32_t(target[std::size_t(ins.imm)]);
+    }
+    out.code.push_back(ins);
+  }
+  out.loops = prog.loops;
+  for (LoopMeta& l : out.loops) {
+    l.body_begin = target[l.body_begin];
+    l.body_end = new_index[l.body_end];
+  }
+  out.regions = prog.regions;
+  for (ParallelRegionMeta& r : out.regions) {
+    r.begin = target[r.begin];
+    r.end = new_index[r.end];
+  }
+  return out;
+}
+
+}  // namespace
+
+Program optimize(const Program& prog, const OptOptions& options,
+                 OptStats* stats) {
+  Program current = prog;
+  OptStats st;
+  st.instrs_before = prog.code.size();
+  for (int round = 0; round < options.max_rounds; ++round) {
+    std::size_t hoisted = 0;
+    if (options.licm) {
+      hoisted = hoist_invariants(current);
+      st.hoisted += hoisted;
+    }
+    const Cfg cfg = build_cfg(current);
+    std::vector<bool> kill(current.code.size(), false);
+    std::size_t reused = 0;
+    std::size_t removed = 0;
+    if (options.value_numbering) {
+      reused = value_number(current, cfg, kill);
+    }
+    if (options.dead_code) {
+      // DCE sees the post-LVN code (copies included).
+      const Cfg cfg2 = build_cfg(current);
+      removed = eliminate_dead(current, cfg2, kill);
+    }
+    st.values_reused += reused;
+    st.dead_removed += removed;
+    ++st.rounds;
+    bool any = false;
+    for (const bool k : kill) any |= k;
+    if (any) current = compact(current, kill);
+    if (!any && reused == 0 && hoisted == 0) break;
+  }
+  st.instrs_after = current.code.size();
+  if (stats != nullptr) *stats = st;
+  return current;
+}
+
+}  // namespace pulpc::kir

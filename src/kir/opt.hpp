@@ -1,0 +1,45 @@
+// KIR optimiser: local value numbering with copy propagation, followed by
+// liveness-based dead-code elimination and program compaction. Pure
+// register computation that recomputes an available value (the address
+// shifts the straightforward lowering emits per access, re-materialised
+// constants, repeated subexpressions) collapses onto the existing
+// register; writes nobody reads disappear.
+//
+// Deliberately NOT part of the default pipeline: the paper's dataset is
+// built from the straightforward (-O0-style) lowering, and the
+// ablation_compiler_opt bench quantifies how optimisation shifts the
+// energy landscape and the static features.
+#pragma once
+
+#include <cstddef>
+
+#include "kir/ir.hpp"
+
+namespace pulpc::kir {
+
+struct OptOptions {
+  bool value_numbering = true;  ///< LVN + copy propagation per block
+  bool dead_code = true;        ///< liveness-based dead write removal
+  bool licm = true;             ///< hoist loop-invariant pure computation
+  /// Maximum optimisation rounds (each round can expose more work).
+  int max_rounds = 4;
+};
+
+struct OptStats {
+  std::size_t instrs_before = 0;
+  std::size_t instrs_after = 0;
+  std::size_t values_reused = 0;   ///< instructions collapsed to copies
+  std::size_t dead_removed = 0;    ///< dead writes eliminated
+  std::size_t hoisted = 0;         ///< loop-invariant instructions moved
+  int rounds = 0;
+};
+
+/// Optimise a program. The result passes kir::verify and computes the
+/// same memory state as the input on every core count (validated by the
+/// optimiser fuzz tests). Loop/region metadata and branch targets are
+/// remapped across the compaction.
+[[nodiscard]] Program optimize(const Program& prog,
+                               const OptOptions& options = {},
+                               OptStats* stats = nullptr);
+
+}  // namespace pulpc::kir

@@ -1,0 +1,245 @@
+#include "mca/analyzer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <vector>
+
+#include "kir/analysis.hpp"
+#include "kir/operands.hpp"
+
+namespace pulpc::mca {
+
+namespace {
+
+using kir::Instr;
+using kir::Op;
+using kir::OpClass;
+
+/// Register slot in the combined dataflow namespace (fp regs offset +32).
+constexpr int kSlots = 64;
+
+struct Deps {
+  int reads[3] = {-1, -1, -1};
+  int writes[2] = {-1, -1};
+};
+
+/// Register read/write sets (for the dependency-chain estimate; memory
+/// disambiguation is ignored, as in LLVM-MCA).
+Deps deps_of(const Instr& ins) {
+  const kir::Operands o = kir::operands_of(ins);
+  Deps d;
+  for (int i = 0; i < o.n_reads; ++i) d.reads[i] = o.reads[i].slot();
+  for (int i = 0; i < o.n_writes; ++i) d.writes[i] = o.writes[i].slot();
+  return d;
+}
+
+unsigned latency_of(const Instr& ins, const MachineModel& m) {
+  switch (ins.op) {
+    case Op::Mul: case Op::MulI: case Op::Mac: return m.lat_mul;
+    case Op::Div: case Op::Rem: return m.lat_div;
+    case Op::FDiv: return m.lat_fpdiv;
+    case Op::FSqrt: return m.lat_fpsqrt;
+    case Op::Lw: case Op::Flw: return m.lat_load;
+    case Op::Sw: case Op::Fsw: return m.lat_store;
+    default:
+      switch (kir::op_class(ins.op)) {
+        case OpClass::Fp: case OpClass::FpDiv: return m.lat_fp;
+        default: return m.lat_alu;
+      }
+  }
+}
+
+/// Water-fill `cycles` units of load onto the candidate ports of `mask`,
+/// equalising the resulting loads as a fair dispatcher would.
+void waterfill(std::array<double, kNumPorts>& load, std::uint8_t mask,
+               double cycles) {
+  std::vector<int> ports;
+  for (int p = 0; p < kNumPorts; ++p) {
+    if ((mask >> p & 1) != 0) ports.push_back(p);
+  }
+  if (ports.empty()) return;
+  std::sort(ports.begin(), ports.end(),
+            [&](int a, int b) { return load[a] < load[b]; });
+  // Find the fill level: raise the k lowest-loaded ports to a common level.
+  double remaining = cycles;
+  std::size_t k = 1;
+  while (k < ports.size()) {
+    const double gap =
+        (load[ports[k]] - load[ports[k - 1]]) * static_cast<double>(k);
+    if (gap >= remaining) break;
+    remaining -= gap;
+    for (std::size_t j = 0; j < k; ++j) load[ports[j]] = load[ports[k]];
+    ++k;
+  }
+  const double level = load[ports[0]] + remaining / static_cast<double>(k);
+  for (std::size_t j = 0; j < k; ++j) load[ports[j]] = level;
+}
+
+}  // namespace
+
+std::size_t decompose(const Instr& ins, const MachineModel& m,
+                      std::array<Uop, 2>& out) {
+  switch (ins.op) {
+    case Op::Mul: case Op::MulI:
+      out[0] = Uop{.port_mask = m.int_mul_ports};
+      return 1;
+    case Op::Mac:  // multiply + accumulate
+      out[0] = Uop{.port_mask = m.int_mul_ports};
+      out[1] = Uop{.port_mask = m.int_alu_ports};
+      return 2;
+    case Op::Div: case Op::Rem:
+      out[0] = Uop{.port_mask = m.div_port, .div_cycles = m.div_occupancy};
+      return 1;
+    case Op::FDiv:
+      out[0] = Uop{.port_mask = m.div_port, .fpdiv_cycles = m.fpdiv_occupancy};
+      return 1;
+    case Op::FSqrt:
+      out[0] =
+          Uop{.port_mask = m.div_port, .fpdiv_cycles = m.fpsqrt_occupancy};
+      return 1;
+    case Op::Lw: case Op::Flw:
+      out[0] = Uop{.port_mask = m.load_ports};
+      return 1;
+    case Op::Sw: case Op::Fsw:
+      out[0] = Uop{.port_mask = m.store_data_ports};
+      out[1] = Uop{.port_mask = m.store_agu_ports};
+      return 2;
+    case Op::Nop:
+      out[0] = Uop{.port_mask = 0};  // dispatch slot only
+      return 1;
+    default:
+      switch (kir::op_class(ins.op)) {
+        case OpClass::Alu:
+          out[0] = Uop{.port_mask = m.int_alu_ports};
+          return 1;
+        case OpClass::Fp:
+          out[0] = Uop{.port_mask = m.fp_ports};
+          return 1;
+        case OpClass::Branch:
+          out[0] = Uop{.port_mask = m.branch_ports};
+          return 1;
+        default:
+          return 0;  // sync pseudo-ops are invisible to the engine
+      }
+  }
+}
+
+McaResult analyze(std::span<const Instr> block, const MachineModel& model) {
+  McaResult r;
+  if (block.empty()) return r;
+
+  // ---- uop decomposition and per-candidate-set cycle totals ----
+  std::array<double, 256> group_cycles{};  // indexed by port mask
+  double total_uops = 0;
+  double div_cycles = 0;
+  double fpdiv_cycles = 0;
+  double instrs = 0;
+  for (const Instr& ins : block) {
+    std::array<Uop, 2> uops{};
+    const std::size_t n = decompose(ins, model, uops);
+    if (n == 0) continue;
+    instrs += 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      total_uops += 1;
+      group_cycles[uops[i].port_mask] += 1;
+      div_cycles += uops[i].div_cycles;
+      fpdiv_cycles += uops[i].fpdiv_cycles;
+    }
+  }
+  if (instrs == 0) return r;
+
+  // ---- resource-bound throughput: optimal max port load ----
+  // For restricted assignment, the optimum equals
+  //   max over port subsets U of (sum of cycles whose mask is within U)
+  //                              / |U|.
+  double port_bound = 0;
+  for (int u = 1; u < 256; ++u) {
+    double inside = 0;
+    for (int mask = 1; mask < 256; ++mask) {
+      if ((mask & ~u) == 0) inside += group_cycles[mask];
+    }
+    if (inside > 0) {
+      port_bound =
+          std::max(port_bound, inside / std::popcount(unsigned(u)));
+    }
+  }
+  const double rthroughput =
+      std::max({port_bound, div_cycles, fpdiv_cycles,
+                total_uops / model.dispatch_width});
+
+  // ---- per-port pressure via fair water-filling ----
+  std::array<double, kNumPorts> load{};
+  std::vector<int> masks;
+  for (int mask = 1; mask < 256; ++mask) {
+    if (group_cycles[mask] > 0) masks.push_back(mask);
+  }
+  std::sort(masks.begin(), masks.end(), [](int a, int b) {
+    return std::popcount(unsigned(a)) < std::popcount(unsigned(b));
+  });
+  for (const int mask : masks) {
+    waterfill(load, static_cast<std::uint8_t>(mask), group_cycles[mask]);
+  }
+
+  // ---- dependency-chain steady state (register dataflow only) ----
+  std::array<double, kSlots> ready{};
+  double prev_finish = 0;
+  double dep_delta = 0;
+  for (int pass = 0; pass < 8; ++pass) {
+    double finish = prev_finish;
+    for (const Instr& ins : block) {
+      std::array<Uop, 2> uops{};
+      if (decompose(ins, model, uops) == 0) continue;
+      const Deps d = deps_of(ins);
+      double start = 0;
+      for (const int rd : d.reads) {
+        if (rd >= 0) start = std::max(start, ready[rd]);
+      }
+      const double done = start + latency_of(ins, model);
+      for (const int wr : d.writes) {
+        if (wr >= 0) ready[wr] = done;
+      }
+      finish = std::max(finish, done);
+    }
+    dep_delta = finish - prev_finish;
+    prev_finish = finish;
+  }
+
+  const double cycles = std::max(rthroughput, dep_delta);
+
+  r.instrs = instrs;
+  r.uops = total_uops;
+  r.cycles_per_iter = cycles;
+  r.rthroughput = rthroughput;
+  r.ipc = instrs / cycles;
+  r.uops_per_cycle = total_uops / cycles;
+  r.rp_div = div_cycles > 0 ? std::min(1.0, div_cycles / cycles) : 0.0;
+  r.rp_fpdiv = fpdiv_cycles > 0 ? std::min(1.0, fpdiv_cycles / cycles) : 0.0;
+  for (int p = 0; p < kNumPorts; ++p) {
+    r.rp[p] = std::min(1.0, load[p] / cycles);
+  }
+  return r;
+}
+
+McaResult analyze_program(const kir::Program& prog,
+                          const MachineModel& model) {
+  const std::vector<Instr> block = kir::hottest_block(prog);
+  return analyze(block, model);
+}
+
+std::string report(const McaResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "block: %.0f instrs, %.0f uops\n"
+                "cycles/iter: %.2f  (rthroughput %.2f)\n"
+                "IPC: %.2f  uops/cycle: %.2f\n"
+                "pressure: div=%.2f fpdiv=%.2f\n"
+                "ports:    0=%.2f 1=%.2f 2=%.2f 3=%.2f 4=%.2f 5=%.2f "
+                "6=%.2f 7=%.2f\n",
+                r.instrs, r.uops, r.cycles_per_iter, r.rthroughput, r.ipc,
+                r.uops_per_cycle, r.rp_div, r.rp_fpdiv, r.rp[0], r.rp[1],
+                r.rp[2], r.rp[3], r.rp[4], r.rp[5], r.rp[6], r.rp[7]);
+  return buf;
+}
+
+}  // namespace pulpc::mca

@@ -1,0 +1,50 @@
+// Static machine-code analysis producing the paper's Table IIb MCA
+// features: micro-ops per cycle, IPC, reverse block throughput and
+// per-port resource pressures. The analysed snippet is the kernel's
+// hottest straight-line block (kir::hottest_block), repeated
+// `iterations` times under ideal-cache / perfect-branch assumptions,
+// exactly how the paper runs LLVM-MCA over kernels.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "kir/ir.hpp"
+#include "mca/machine.hpp"
+
+namespace pulpc::mca {
+
+/// Analysis summary (one row of MCA features).
+struct McaResult {
+  double instrs = 0;       ///< instructions per block iteration
+  double uops = 0;         ///< micro-ops per block iteration
+  double cycles_per_iter = 0;  ///< steady-state cycles per iteration
+  double ipc = 0;          ///< instructions per cycle
+  double uops_per_cycle = 0;
+  /// Reverse block throughput: resource-bound cycles per iteration
+  /// (LLVM-MCA's Block RThroughput).
+  double rthroughput = 0;
+  double rp_div = 0;    ///< divider-resource pressure in [0, 1]
+  double rp_fpdiv = 0;  ///< FP-divider pressure in [0, 1]
+  std::array<double, kNumPorts> rp{};  ///< per-port pressure in [0, 1]
+};
+
+/// Decompose one instruction into micro-ops under the model. Sync-class
+/// pseudo-ops produce no uops.
+[[nodiscard]] std::size_t decompose(const kir::Instr& ins,
+                                    const MachineModel& m,
+                                    std::array<Uop, 2>& out);
+
+/// Analyse a straight-line block.
+[[nodiscard]] McaResult analyze(std::span<const kir::Instr> block,
+                                const MachineModel& model = {});
+
+/// Convenience: analyse a whole program's hottest block.
+[[nodiscard]] McaResult analyze_program(const kir::Program& prog,
+                                        const MachineModel& model = {});
+
+/// Pretty-printed summary (similar in spirit to llvm-mca's report).
+[[nodiscard]] std::string report(const McaResult& r);
+
+}  // namespace pulpc::mca

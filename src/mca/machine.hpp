@@ -1,0 +1,56 @@
+// Machine model for the machine-code analyser. The paper feeds kernels to
+// LLVM-MCA, which models a generic out-of-order x86-like execution engine
+// and reports *port pressures* as a static fingerprint of the code; it is
+// deliberately NOT a PULP model. This model mirrors that setup: an 8-port
+// dispatch engine (Table IIb's RP0..RP7 port roles) plus serial divider
+// and FP-divider resources.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pulpc::mca {
+
+/// Number of execution ports (Table IIb lists ports 0..7).
+inline constexpr int kNumPorts = 8;
+
+/// One micro-operation: a set of candidate ports (bit i = port i may
+/// execute it) plus optional occupancy of a serial divider resource.
+struct Uop {
+  std::uint8_t port_mask = 0;
+  unsigned div_cycles = 0;    ///< integer divider occupancy
+  unsigned fpdiv_cycles = 0;  ///< FP divider occupancy
+};
+
+/// Dispatch-engine parameters. Port roles follow the paper's table:
+/// 0/1 generic compute (+ FP), 2/3 AGU + load data, 4 store data,
+/// 5 INT ALU / LEA, 6 INT ALU + branch, 7 store AGU.
+struct MachineModel {
+  unsigned dispatch_width = 4;  ///< uops dispatched per cycle
+  unsigned iterations = 100;    ///< analysed block repetitions
+
+  std::uint8_t int_alu_ports = 0b0110'0011;   ///< {0,1,5,6}
+  std::uint8_t int_mul_ports = 0b0000'0010;   ///< {1}
+  std::uint8_t fp_ports = 0b0000'0011;        ///< {0,1}
+  std::uint8_t load_ports = 0b0000'1100;      ///< {2,3}
+  std::uint8_t store_data_ports = 0b0001'0000;  ///< {4}
+  std::uint8_t store_agu_ports = 0b1000'0000;   ///< {7}
+  std::uint8_t branch_ports = 0b0100'0001;    ///< {0,6}
+  std::uint8_t div_port = 0b0000'0001;        ///< {0}
+
+  // Instruction latencies (cycles) for the dependency-chain estimate.
+  unsigned lat_alu = 1;
+  unsigned lat_mul = 3;
+  unsigned lat_div = 20;
+  unsigned lat_fp = 4;
+  unsigned lat_fpdiv = 14;
+  unsigned lat_fpsqrt = 18;
+  unsigned lat_load = 5;  ///< assumes cache hits, as LLVM-MCA does
+  unsigned lat_store = 1;
+
+  unsigned div_occupancy = 18;    ///< serial divider busy cycles per div
+  unsigned fpdiv_occupancy = 12;  ///< FP divider busy cycles per div
+  unsigned fpsqrt_occupancy = 18;
+};
+
+}  // namespace pulpc::mca

@@ -1,0 +1,150 @@
+#include "ml/cv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+
+namespace pulpc::ml {
+
+std::vector<std::vector<std::size_t>> stratified_kfold(
+    const std::vector<int>& labels, unsigned folds, std::mt19937_64& rng) {
+  if (folds < 2) {
+    throw std::invalid_argument("stratified_kfold: folds must be >= 2");
+  }
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> out(folds);
+  for (auto& [label, idx] : by_class) {
+    std::shuffle(idx.begin(), idx.end(), rng);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      out[i % folds].push_back(idx[i]);
+    }
+  }
+  return out;
+}
+
+double EvalResult::accuracy_at(double tol) const {
+  if (tolerances.empty()) return 0.0;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < tolerances.size(); ++i) {
+    if (std::abs(tolerances[i] - tol) <
+        std::abs(tolerances[best] - tol)) {
+      best = i;
+    }
+  }
+  return accuracy[best];
+}
+
+EvalResult evaluate(const Dataset& ds,
+                    const std::vector<std::string>& columns,
+                    const EvalOptions& opt) {
+  if (ds.empty()) throw std::invalid_argument("evaluate: empty dataset");
+  EvalResult res;
+  res.columns = columns;
+  res.tolerances = opt.tolerances.empty() ? default_tolerances()
+                                          : opt.tolerances;
+  res.accuracy.assign(res.tolerances.size(), 0.0);
+  res.accuracy_std.assign(res.tolerances.size(), 0.0);
+  res.importances.assign(columns.size(), 0.0);
+
+  const Matrix x = ds.matrix(columns);
+  const std::vector<int> y = ds.labels();
+  const std::vector<Sample>& samples = ds.samples();
+
+  std::vector<double> acc_sum(res.tolerances.size(), 0.0);
+  std::vector<double> acc_sq(res.tolerances.size(), 0.0);
+  std::size_t fits = 0;
+
+  for (unsigned rep = 0; rep < opt.repeats; ++rep) {
+    std::mt19937_64 rng(opt.seed + rep);
+    const auto folds = stratified_kfold(y, opt.folds, rng);
+
+    // Out-of-fold predictions for every sample of this repetition.
+    std::vector<int> predictions(samples.size(), 0);
+    for (const std::vector<std::size_t>& test : folds) {
+      if (test.empty()) continue;
+      std::vector<char> is_test(samples.size(), 0);
+      for (const std::size_t i : test) is_test[i] = 1;
+      std::vector<std::size_t> train;
+      train.reserve(samples.size() - test.size());
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (is_test[i] == 0) train.push_back(i);
+      }
+      TreeParams tp = opt.tree;
+      tp.seed = rng();
+      DecisionTree tree(tp);
+      tree.fit(x, y, train);
+      for (const std::size_t i : test) {
+        predictions[i] = tree.predict(std::span(x.row(i), x.cols));
+      }
+      const std::vector<double>& imp = tree.feature_importances();
+      for (std::size_t c = 0; c < imp.size(); ++c) {
+        res.importances[c] += imp[c];
+      }
+      ++fits;
+    }
+
+    for (std::size_t t = 0; t < res.tolerances.size(); ++t) {
+      const double a =
+          tolerance_accuracy(samples, predictions, res.tolerances[t]);
+      acc_sum[t] += a;
+      acc_sq[t] += a * a;
+    }
+  }
+
+  const auto reps = static_cast<double>(opt.repeats);
+  for (std::size_t t = 0; t < res.tolerances.size(); ++t) {
+    const double mean = acc_sum[t] / reps;
+    res.accuracy[t] = mean;
+    const double var = std::max(0.0, acc_sq[t] / reps - mean * mean);
+    res.accuracy_std[t] = std::sqrt(var);
+  }
+  if (fits > 0) {
+    for (double& v : res.importances) v /= static_cast<double>(fits);
+  }
+  return res;
+}
+
+EvalResult evaluate_constant(const Dataset& ds, int constant_label,
+                             const std::vector<double>& tolerances) {
+  EvalResult res;
+  res.tolerances = tolerances.empty() ? default_tolerances() : tolerances;
+  const std::vector<int> preds(ds.size(), constant_label);
+  for (const double t : res.tolerances) {
+    res.accuracy.push_back(tolerance_accuracy(ds.samples(), preds, t));
+  }
+  res.accuracy_std.assign(res.tolerances.size(), 0.0);
+  return res;
+}
+
+std::vector<std::pair<std::string, double>> rank_features(
+    const Dataset& ds, const std::vector<std::string>& columns,
+    const EvalOptions& opt) {
+  const Matrix x = ds.matrix(columns);
+  const std::vector<int> y = ds.labels();
+  std::vector<double> acc(columns.size(), 0.0);
+  const unsigned reps = std::max(1U, opt.repeats);
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    TreeParams tp = opt.tree;
+    tp.seed = opt.seed + rep;
+    DecisionTree tree(tp);
+    tree.fit(x, y);
+    const std::vector<double>& imp = tree.feature_importances();
+    for (std::size_t c = 0; c < imp.size(); ++c) acc[c] += imp[c];
+  }
+  std::vector<std::pair<std::string, double>> ranked;
+  ranked.reserve(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    ranked.emplace_back(columns[c], acc[c] / reps);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+}  // namespace pulpc::ml

@@ -1,0 +1,172 @@
+#include "ml/dataset.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pulpc::ml {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) out.push_back(field);
+  if (!line.empty() && line.back() == sep) out.emplace_back();
+  return out;
+}
+
+}  // namespace
+
+void Dataset::add(Sample sample) {
+  if (sample.features.size() != columns_.size()) {
+    throw std::invalid_argument(
+        "Dataset::add(" + sample.kernel + "): feature vector size " +
+        std::to_string(sample.features.size()) + " != column count " +
+        std::to_string(columns_.size()));
+  }
+  if (sample.energy.size() != sample.cycles.size()) {
+    throw std::invalid_argument("Dataset::add(" + sample.kernel +
+                                "): energy/cycle vector size mismatch");
+  }
+  samples_.push_back(std::move(sample));
+}
+
+std::vector<std::size_t> Dataset::column_indices(
+    const std::vector<std::string>& cols) const {
+  std::vector<std::size_t> idx;
+  idx.reserve(cols.size());
+  for (const std::string& name : cols) {
+    bool found = false;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i] == name) {
+        idx.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("Dataset: unknown column " + name);
+    }
+  }
+  return idx;
+}
+
+Matrix Dataset::matrix(const std::vector<std::string>& cols) const {
+  const std::vector<std::size_t> idx = column_indices(cols);
+  Matrix m;
+  m.rows = samples_.size();
+  m.cols = idx.size();
+  m.data.reserve(m.rows * m.cols);
+  for (const Sample& s : samples_) {
+    for (const std::size_t i : idx) m.data.push_back(s.features[i]);
+  }
+  return m;
+}
+
+std::vector<int> Dataset::labels() const {
+  std::vector<int> y;
+  y.reserve(samples_.size());
+  for (const Sample& s : samples_) y.push_back(s.label);
+  return y;
+}
+
+std::vector<std::size_t> Dataset::label_histogram(int max_label) const {
+  std::vector<std::size_t> h(static_cast<std::size_t>(max_label) + 1, 0);
+  for (const Sample& s : samples_) {
+    if (s.label >= 0 && s.label <= max_label) {
+      ++h[static_cast<std::size_t>(s.label)];
+    }
+  }
+  return h;
+}
+
+void Dataset::save_csv(std::ostream& out) const {
+  const std::size_t nconf =
+      samples_.empty() ? 8 : samples_.front().energy.size();
+  out << "kernel,suite,dtype,size_bytes,label";
+  for (std::size_t k = 1; k <= nconf; ++k) out << ",e" << k;
+  for (std::size_t k = 1; k <= nconf; ++k) out << ",c" << k;
+  for (const std::string& c : columns_) out << ',' << c;
+  out << '\n';
+  out.precision(17);
+  for (const Sample& s : samples_) {
+    out << s.kernel << ',' << s.suite << ',' << kir::to_string(s.dtype)
+        << ',' << s.size_bytes << ',' << s.label;
+    for (const double e : s.energy) out << ',' << e;
+    for (const double c : s.cycles) out << ',' << c;
+    for (const double f : s.features) out << ',' << f;
+    out << '\n';
+  }
+}
+
+Dataset Dataset::load_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("Dataset::load_csv: empty input");
+  }
+  const std::vector<std::string> header = split(line, ',');
+  constexpr std::size_t kMeta = 5;
+  if (header.size() < kMeta || header[0] != "kernel") {
+    throw std::runtime_error("Dataset::load_csv: bad header");
+  }
+  // Count the e1..eN / c1..cN vector columns.
+  std::size_t nconf = 0;
+  while (kMeta + nconf < header.size() &&
+         header[kMeta + nconf] == "e" + std::to_string(nconf + 1)) {
+    ++nconf;
+  }
+  const std::size_t feat_start = kMeta + 2 * nconf;
+  if (nconf == 0 || feat_start > header.size()) {
+    throw std::runtime_error("Dataset::load_csv: bad vector columns");
+  }
+  Dataset ds(std::vector<std::string>(header.begin() + feat_start,
+                                      header.end()));
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split(line, ',');
+    if (f.size() != header.size()) {
+      throw std::runtime_error("Dataset::load_csv: line " +
+                               std::to_string(line_no) + " has " +
+                               std::to_string(f.size()) + " fields");
+    }
+    Sample s;
+    s.kernel = f[0];
+    s.suite = f[1];
+    s.dtype = f[2] == "f32" ? kir::DType::F32 : kir::DType::I32;
+    s.size_bytes = static_cast<std::uint32_t>(std::stoul(f[3]));
+    s.label = std::stoi(f[4]);
+    for (std::size_t k = 0; k < nconf; ++k) {
+      s.energy.push_back(std::stod(f[kMeta + k]));
+    }
+    for (std::size_t k = 0; k < nconf; ++k) {
+      s.cycles.push_back(std::stod(f[kMeta + nconf + k]));
+    }
+    for (std::size_t k = feat_start; k < f.size(); ++k) {
+      s.features.push_back(std::stod(f[k]));
+    }
+    ds.add(std::move(s));
+  }
+  return ds;
+}
+
+void Dataset::save_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Dataset: cannot write " + path);
+  }
+  save_csv(out);
+}
+
+Dataset Dataset::load_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("Dataset: cannot read " + path);
+  }
+  return load_csv(in);
+}
+
+}  // namespace pulpc::ml

@@ -1,0 +1,86 @@
+// Dataset container for the classification task. One sample = one
+// (kernel, data type, problem size) instance carrying its feature vector,
+// its minimum-energy label, and the measured energy/cycle vectors over
+// all core-count configurations (needed for the paper's tolerance-aware
+// accuracy metric). Supports column selection by feature name and CSV
+// round-tripping (used to cache the expensive dataset build).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "kir/ir.hpp"
+
+namespace pulpc::ml {
+
+struct Sample {
+  std::string kernel;
+  std::string suite;
+  kir::DType dtype = kir::DType::I32;
+  std::uint32_t size_bytes = 0;
+  int label = 0;                 ///< minimum-energy core count (1-based)
+  std::vector<double> energy;    ///< energy [fJ] per core count (index k-1)
+  std::vector<double> cycles;    ///< kernel-region cycles per core count
+  std::vector<double> features;  ///< aligned with Dataset::columns()
+};
+
+/// Feature matrix in row-major order (the shape the tree consumes).
+struct Matrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> data;  ///< rows * cols values
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data[r * cols + c];
+  }
+  [[nodiscard]] const double* row(std::size_t r) const {
+    return data.data() + r * cols;
+  }
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Append a sample; its feature vector must match the column count.
+  void add(Sample sample);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Feature matrix restricted to the named columns (throws
+  /// std::invalid_argument for unknown names).
+  [[nodiscard]] Matrix matrix(const std::vector<std::string>& cols) const;
+  /// Indices of the named columns in columns().
+  [[nodiscard]] std::vector<std::size_t> column_indices(
+      const std::vector<std::string>& cols) const;
+
+  [[nodiscard]] std::vector<int> labels() const;
+
+  /// Histogram of labels (index = core count, 0 unused).
+  [[nodiscard]] std::vector<std::size_t> label_histogram(
+      int max_label = 8) const;
+
+  // CSV round-trip. The header encodes metadata columns followed by the
+  // energy/cycle vectors and every feature column.
+  void save_csv(std::ostream& out) const;
+  [[nodiscard]] static Dataset load_csv(std::istream& in);
+  void save_csv_file(const std::string& path) const;
+  [[nodiscard]] static Dataset load_csv_file(const std::string& path);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace pulpc::ml

@@ -1,0 +1,79 @@
+#include "ml/forest.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace pulpc::ml {
+
+void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
+  std::vector<std::size_t> rows(x.rows);
+  std::iota(rows.begin(), rows.end(), 0);
+  fit(x, y, rows);
+}
+
+void RandomForest::fit(const Matrix& x, const std::vector<int>& y,
+                       const std::vector<std::size_t>& rows) {
+  if (params_.n_trees <= 0) {
+    throw std::invalid_argument("RandomForest::fit: n_trees must be > 0");
+  }
+  trees_.clear();
+  importances_.assign(x.cols, 0.0);
+  std::mt19937_64 rng(params_.seed);
+  const int mf =
+      params_.max_features > 0
+          ? params_.max_features
+          : std::max(1, static_cast<int>(
+                            std::lround(std::sqrt(double(x.cols)))));
+  std::uniform_int_distribution<std::size_t> pick(0, rows.size() - 1);
+  for (int t = 0; t < params_.n_trees; ++t) {
+    TreeParams tp = params_.tree;
+    tp.max_features = mf;
+    tp.seed = rng();
+    DecisionTree tree(tp);
+    if (params_.bootstrap) {
+      std::vector<std::size_t> sample(rows.size());
+      for (std::size_t& r : sample) r = rows[pick(rng)];
+      tree.fit(x, y, sample);
+    } else {
+      tree.fit(x, y, rows);
+    }
+    const std::vector<double>& imp = tree.feature_importances();
+    for (std::size_t i = 0; i < imp.size(); ++i) importances_[i] += imp[i];
+    trees_.push_back(std::move(tree));
+  }
+  for (double& v : importances_) v /= params_.n_trees;
+}
+
+int RandomForest::predict(std::span<const double> row) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict: not trained");
+  }
+  std::vector<int> votes;
+  for (const DecisionTree& t : trees_) {
+    const int label = t.predict(row);
+    if (static_cast<std::size_t>(label) >= votes.size()) {
+      votes.resize(static_cast<std::size_t>(label) + 1, 0);
+    }
+    ++votes[static_cast<std::size_t>(label)];
+  }
+  int best = 0;
+  for (std::size_t k = 0; k < votes.size(); ++k) {
+    if (votes[k] > votes[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+std::vector<int> RandomForest::predict(const Matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    out.push_back(predict(std::span(x.row(r), x.cols)));
+  }
+  return out;
+}
+
+}  // namespace pulpc::ml

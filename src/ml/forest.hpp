@@ -1,0 +1,53 @@
+// Random forest (bagged CART trees with feature subsampling). Not used
+// by the paper's headline results but implemented as the natural
+// extension: related work ([7] Benedict et al.) models OpenMP energy with
+// random forests, and the ablation benches compare it against the single
+// decision tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/tree.hpp"
+
+namespace pulpc::ml {
+
+struct ForestParams {
+  int n_trees = 50;
+  /// 0 = use sqrt(#columns) features per split.
+  int max_features = 0;
+  bool bootstrap = true;
+  std::uint64_t seed = 0;
+  TreeParams tree;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestParams params = {}) : params_(params) {}
+
+  void fit(const Matrix& x, const std::vector<int>& y);
+  void fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<std::size_t>& rows);
+
+  /// Majority vote over the ensemble (ties break to the smaller label).
+  [[nodiscard]] int predict(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+
+  /// Mean of the member trees' normalised Gini importances.
+  [[nodiscard]] const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return trees_.size();
+  }
+
+ private:
+  ForestParams params_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> importances_;
+};
+
+}  // namespace pulpc::ml

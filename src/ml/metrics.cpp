@@ -1,0 +1,76 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pulpc::ml {
+
+double energy_waste(const Sample& sample, int predicted) {
+  if (predicted < 1 ||
+      static_cast<std::size_t>(predicted) > sample.energy.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double best =
+      *std::min_element(sample.energy.begin(), sample.energy.end());
+  if (best <= 0) return std::numeric_limits<double>::infinity();
+  const double got = sample.energy[static_cast<std::size_t>(predicted - 1)];
+  return (got - best) / best;
+}
+
+bool within_tolerance(const Sample& sample, int predicted, double tol) {
+  return energy_waste(sample, predicted) <= tol + 1e-12;
+}
+
+double tolerance_accuracy(const std::vector<Sample>& samples,
+                          const std::vector<int>& predictions, double tol) {
+  if (samples.size() != predictions.size()) {
+    throw std::invalid_argument("tolerance_accuracy: size mismatch");
+  }
+  if (samples.empty()) return 0.0;
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (within_tolerance(samples[i], predictions[i], tol)) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(samples.size());
+}
+
+double tolerance_accuracy(const std::vector<Sample>& samples,
+                          const std::vector<std::size_t>& indices,
+                          const std::vector<int>& predictions, double tol) {
+  if (indices.size() != predictions.size()) {
+    throw std::invalid_argument("tolerance_accuracy: size mismatch");
+  }
+  if (indices.empty()) return 0.0;
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (within_tolerance(samples[indices[i]], predictions[i], tol)) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(indices.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<int>& truth, const std::vector<int>& predictions,
+    int max_label) {
+  if (truth.size() != predictions.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  const auto n = static_cast<std::size_t>(max_label) + 1;
+  std::vector<std::vector<std::size_t>> m(n, std::vector<std::size_t>(n, 0));
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const int t = truth[i];
+    const int p = predictions[i];
+    if (t >= 0 && t <= max_label && p >= 0 && p <= max_label) {
+      ++m[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+    }
+  }
+  return m;
+}
+
+std::vector<double> default_tolerances() {
+  std::vector<double> t;
+  for (int i = 0; i <= 20; ++i) t.push_back(i / 100.0);
+  return t;
+}
+
+}  // namespace pulpc::ml

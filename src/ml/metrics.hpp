@@ -1,0 +1,42 @@
+// Evaluation metrics: plain accuracy, the paper's tolerance-aware
+// accuracy ("a prediction is correct if the energy wasted running the
+// kernel with the predicted core count instead of the optimum is lower
+// than t%"), and confusion matrices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace pulpc::ml {
+
+/// Is `predicted` (1-based core count) acceptable for this sample at
+/// relative energy tolerance `tol` (e.g. 0.05 for 5%)?
+[[nodiscard]] bool within_tolerance(const Sample& sample, int predicted,
+                                    double tol);
+
+/// Fraction of samples whose prediction is within `tol` of the optimum.
+/// `predictions[i]` pairs with `samples[indices[i]]` when `indices` is
+/// given, otherwise with `samples[i]`.
+[[nodiscard]] double tolerance_accuracy(const std::vector<Sample>& samples,
+                                        const std::vector<int>& predictions,
+                                        double tol);
+[[nodiscard]] double tolerance_accuracy(
+    const std::vector<Sample>& samples,
+    const std::vector<std::size_t>& indices,
+    const std::vector<int>& predictions, double tol);
+
+/// confusion[t][p] = count of samples with true label t predicted p.
+[[nodiscard]] std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<int>& truth, const std::vector<int>& predictions,
+    int max_label);
+
+/// Relative energy waste of running `sample` at `predicted` cores instead
+/// of its optimum (0 when predicted is optimal; +inf for invalid labels).
+[[nodiscard]] double energy_waste(const Sample& sample, int predicted);
+
+/// Default tolerance sweep: 0%, 1%, ..., 20% (Figure 2's x-axis).
+[[nodiscard]] std::vector<double> default_tolerances();
+
+}  // namespace pulpc::ml

@@ -1,0 +1,225 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace pulpc::ml {
+
+void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  std::vector<std::size_t> rows(x.rows);
+  std::iota(rows.begin(), rows.end(), 0);
+  fit(x, y, rows);
+}
+
+void MlpClassifier::fit(const Matrix& x, const std::vector<int>& y,
+                        const std::vector<std::size_t>& rows) {
+  if (x.rows != y.size()) {
+    throw std::invalid_argument("MlpClassifier::fit: label count mismatch");
+  }
+  if (rows.empty() || x.cols == 0) {
+    throw std::invalid_argument("MlpClassifier::fit: empty training set");
+  }
+  inputs_ = x.cols;
+
+  // Class set (stable order).
+  classes_.clear();
+  for (const std::size_t r : rows) {
+    if (std::find(classes_.begin(), classes_.end(), y[r]) ==
+        classes_.end()) {
+      classes_.push_back(y[r]);
+    }
+  }
+  std::sort(classes_.begin(), classes_.end());
+  const std::size_t n_classes = classes_.size();
+  const auto class_index = [&](int label) {
+    return std::size_t(std::lower_bound(classes_.begin(), classes_.end(),
+                                        label) -
+                       classes_.begin());
+  };
+
+  // Standardisation statistics over the training rows.
+  mean_.assign(inputs_, 0.0);
+  scale_.assign(inputs_, 1.0);
+  for (const std::size_t r : rows) {
+    for (std::size_t c = 0; c < inputs_; ++c) mean_[c] += x.at(r, c);
+  }
+  for (double& m : mean_) m /= double(rows.size());
+  std::vector<double> var(inputs_, 0.0);
+  for (const std::size_t r : rows) {
+    for (std::size_t c = 0; c < inputs_; ++c) {
+      const double d = x.at(r, c) - mean_[c];
+      var[c] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < inputs_; ++c) {
+    scale_[c] = std::sqrt(var[c] / double(rows.size()));
+    if (scale_[c] < 1e-12) scale_[c] = 1.0;  // constant feature
+  }
+
+  const auto h = std::size_t(params_.hidden);
+  std::mt19937_64 rng(params_.seed);
+  std::normal_distribution<double> init(0.0, 1.0);
+  w1_.assign(h * inputs_, 0.0);
+  b1_.assign(h, 0.0);
+  w2_.assign(n_classes * h, 0.0);
+  b2_.assign(n_classes, 0.0);
+  const double s1 = std::sqrt(2.0 / double(inputs_));
+  const double s2 = std::sqrt(2.0 / double(h));
+  for (double& w : w1_) w = init(rng) * s1;
+  for (double& w : w2_) w = init(rng) * s2;
+
+  std::vector<double> vw1(w1_.size(), 0.0);
+  std::vector<double> vb1(b1_.size(), 0.0);
+  std::vector<double> vw2(w2_.size(), 0.0);
+  std::vector<double> vb2(b2_.size(), 0.0);
+
+  std::vector<std::size_t> order = rows;
+  std::vector<double> xin(inputs_);
+  std::vector<double> hid(h);
+  std::vector<double> probs(n_classes);
+  std::vector<double> dhid(h);
+
+  std::vector<double> gw1(w1_.size());
+  std::vector<double> gb1(b1_.size());
+  std::vector<double> gw2(w2_.size());
+  std::vector<double> gb2(b2_.size());
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double loss = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += std::size_t(params_.batch)) {
+      const std::size_t stop =
+          std::min(order.size(), start + std::size_t(params_.batch));
+      std::fill(gw1.begin(), gw1.end(), 0.0);
+      std::fill(gb1.begin(), gb1.end(), 0.0);
+      std::fill(gw2.begin(), gw2.end(), 0.0);
+      std::fill(gb2.begin(), gb2.end(), 0.0);
+
+      for (std::size_t s = start; s < stop; ++s) {
+        const std::size_t r = order[s];
+        for (std::size_t c = 0; c < inputs_; ++c) {
+          xin[c] = (x.at(r, c) - mean_[c]) / scale_[c];
+        }
+        // Forward.
+        for (std::size_t j = 0; j < h; ++j) {
+          double a = b1_[j];
+          for (std::size_t c = 0; c < inputs_; ++c) {
+            a += w1_[j * inputs_ + c] * xin[c];
+          }
+          hid[j] = a > 0 ? a : 0;  // ReLU
+        }
+        double maxz = -1e300;
+        for (std::size_t k = 0; k < n_classes; ++k) {
+          double z = b2_[k];
+          for (std::size_t j = 0; j < h; ++j) z += w2_[k * h + j] * hid[j];
+          probs[k] = z;
+          maxz = std::max(maxz, z);
+        }
+        double denom = 0;
+        for (double& p : probs) {
+          p = std::exp(p - maxz);
+          denom += p;
+        }
+        for (double& p : probs) p /= denom;
+        const std::size_t target = class_index(y[r]);
+        loss += -std::log(std::max(probs[target], 1e-12));
+
+        // Backward (softmax cross-entropy).
+        std::fill(dhid.begin(), dhid.end(), 0.0);
+        for (std::size_t k = 0; k < n_classes; ++k) {
+          const double dz = probs[k] - (k == target ? 1.0 : 0.0);
+          gb2[k] += dz;
+          for (std::size_t j = 0; j < h; ++j) {
+            gw2[k * h + j] += dz * hid[j];
+            dhid[j] += dz * w2_[k * h + j];
+          }
+        }
+        for (std::size_t j = 0; j < h; ++j) {
+          if (hid[j] <= 0) continue;  // ReLU gate
+          gb1[j] += dhid[j];
+          for (std::size_t c = 0; c < inputs_; ++c) {
+            gw1[j * inputs_ + c] += dhid[j] * xin[c];
+          }
+        }
+      }
+
+      // SGD with momentum + weight decay.
+      const double bs = double(stop - start);
+      const double lr = params_.learning_rate;
+      const auto step = [&](std::vector<double>& w, std::vector<double>& v,
+                            const std::vector<double>& g) {
+        for (std::size_t i = 0; i < w.size(); ++i) {
+          v[i] = params_.momentum * v[i] -
+                 lr * (g[i] / bs + params_.l2 * w[i]);
+          w[i] += v[i];
+        }
+      };
+      step(w1_, vw1, gw1);
+      step(b1_, vb1, gb1);
+      step(w2_, vw2, gw2);
+      step(b2_, vb2, gb2);
+    }
+    final_loss_ = loss / double(order.size());
+  }
+}
+
+void MlpClassifier::forward(std::span<const double> row,
+                            std::vector<double>& hidden,
+                            std::vector<double>& probs) const {
+  const auto h = std::size_t(params_.hidden);
+  hidden.assign(h, 0.0);
+  for (std::size_t j = 0; j < h; ++j) {
+    double a = b1_[j];
+    for (std::size_t c = 0; c < inputs_; ++c) {
+      a += w1_[j * inputs_ + c] * (row[c] - mean_[c]) / scale_[c];
+    }
+    hidden[j] = a > 0 ? a : 0;
+  }
+  probs.assign(classes_.size(), 0.0);
+  double maxz = -1e300;
+  for (std::size_t k = 0; k < classes_.size(); ++k) {
+    double z = b2_[k];
+    for (std::size_t j = 0; j < h; ++j) z += w2_[k * h + j] * hidden[j];
+    probs[k] = z;
+    maxz = std::max(maxz, z);
+  }
+  double denom = 0;
+  for (double& p : probs) {
+    p = std::exp(p - maxz);
+    denom += p;
+  }
+  for (double& p : probs) p /= denom;
+}
+
+std::vector<double> MlpClassifier::predict_proba(
+    std::span<const double> row) const {
+  if (!trained()) {
+    throw std::logic_error("MlpClassifier::predict_proba: not trained");
+  }
+  std::vector<double> hidden;
+  std::vector<double> probs;
+  forward(row, hidden, probs);
+  return probs;
+}
+
+int MlpClassifier::predict(std::span<const double> row) const {
+  const std::vector<double> probs = predict_proba(row);
+  const auto best =
+      std::max_element(probs.begin(), probs.end()) - probs.begin();
+  return classes_[std::size_t(best)];
+}
+
+std::vector<int> MlpClassifier::predict(const Matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    out.push_back(predict(std::span(x.row(r), x.cols)));
+  }
+  return out;
+}
+
+}  // namespace pulpc::ml

@@ -1,0 +1,69 @@
+// Multi-layer-perceptron classifier: the "deep learning models able to
+// enhance the prediction capabilities" the paper leaves to future work,
+// scaled to this dataset (one hidden layer, softmax output, SGD with
+// momentum, per-feature standardisation). Implemented from scratch like
+// the rest of the ML substrate; compared against the paper's decision
+// tree in bench/ablation_models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace pulpc::ml {
+
+struct MlpParams {
+  int hidden = 32;        ///< hidden-layer width (ReLU)
+  int epochs = 300;
+  int batch = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double l2 = 1e-4;       ///< weight decay
+  std::uint64_t seed = 1; ///< init + shuffling
+};
+
+class MlpClassifier {
+ public:
+  explicit MlpClassifier(MlpParams params = {}) : params_(params) {}
+
+  /// Fit on a feature matrix and integer labels. Features are
+  /// standardised internally (zero mean, unit variance per column).
+  void fit(const Matrix& x, const std::vector<int>& y);
+  void fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<std::size_t>& rows);
+
+  [[nodiscard]] int predict(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+
+  /// Per-class probabilities for one row (softmax outputs), ordered as
+  /// classes().
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> row) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !w1_.empty(); }
+  [[nodiscard]] const std::vector<int>& classes() const noexcept {
+    return classes_;
+  }
+  /// Mean cross-entropy on the training set after the final epoch.
+  [[nodiscard]] double final_loss() const noexcept { return final_loss_; }
+
+ private:
+  void forward(std::span<const double> row, std::vector<double>& hidden,
+               std::vector<double>& probs) const;
+
+  MlpParams params_;
+  std::size_t inputs_ = 0;
+  std::vector<int> classes_;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  // Row-major weights: w1_[h * inputs_ + i], w2_[c * hidden + h].
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  std::vector<double> w2_;
+  std::vector<double> b2_;
+  double final_loss_ = 0;
+};
+
+}  // namespace pulpc::ml

@@ -1,0 +1,277 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace pulpc::ml {
+
+namespace {
+
+/// Gini impurity from class counts.
+double gini(const std::vector<std::size_t>& counts, double n) {
+  if (n <= 0) return 0.0;
+  double sum_sq = 0;
+  for (const std::size_t c : counts) {
+    const auto cd = static_cast<double>(c);
+    sum_sq += cd * cd;
+  }
+  return 1.0 - sum_sq / (n * n);
+}
+
+int majority_label(const std::vector<std::size_t>& counts) {
+  std::size_t best = 0;
+  int label = 0;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] > best) {
+      best = counts[k];
+      label = static_cast<int>(k);
+    }
+  }
+  return label;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& y) {
+  std::vector<std::size_t> rows(x.rows);
+  std::iota(rows.begin(), rows.end(), 0);
+  fit(x, y, rows);
+}
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& y,
+                       const std::vector<std::size_t>& rows) {
+  if (x.rows != y.size()) {
+    throw std::invalid_argument("DecisionTree::fit: label count mismatch");
+  }
+  if (rows.empty() || x.cols == 0) {
+    throw std::invalid_argument("DecisionTree::fit: empty training set");
+  }
+  nodes_.clear();
+  importances_.assign(x.cols, 0.0);
+  depth_ = 0;
+  fit_rows_ = rows.size();
+  std::vector<std::size_t> work = rows;
+  build(x, y, work, 0, work.size(), 0);
+  const double total =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0) {
+    for (double& v : importances_) v /= total;
+  }
+}
+
+int DecisionTree::build(const Matrix& x, const std::vector<int>& y,
+                        std::vector<std::size_t>& rows, std::size_t begin,
+                        std::size_t end, int depth) {
+  const std::size_t n = end - begin;
+  depth_ = std::max(depth_, depth);
+
+  int max_label = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    max_label = std::max(max_label, y[rows[i]]);
+  }
+  std::vector<std::size_t> counts(static_cast<std::size_t>(max_label) + 1, 0);
+  for (std::size_t i = begin; i < end; ++i) ++counts[y[rows[i]]];
+  const double node_gini = gini(counts, static_cast<double>(n));
+
+  const auto make_leaf = [&] {
+    Node leaf;
+    leaf.label = majority_label(counts);
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (node_gini <= 0.0 || depth >= params_.max_depth ||
+      n < static_cast<std::size_t>(params_.min_samples_split)) {
+    return make_leaf();
+  }
+
+  // Candidate features (optionally a seeded random subset, for forests).
+  std::vector<std::size_t> feats(x.cols);
+  std::iota(feats.begin(), feats.end(), 0);
+  if (params_.max_features > 0 &&
+      static_cast<std::size_t>(params_.max_features) < x.cols) {
+    std::mt19937_64 rng(params_.seed * 0x9E3779B97F4A7C15ULL + depth * 977 +
+                        begin * 31 + end);
+    std::shuffle(feats.begin(), feats.end(), rng);
+    feats.resize(static_cast<std::size_t>(params_.max_features));
+    std::sort(feats.begin(), feats.end());  // deterministic scan order
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0;
+
+  std::vector<std::pair<double, int>> vals(n);
+  std::vector<std::size_t> left_counts(counts.size());
+  for (const std::size_t f : feats) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = rows[begin + i];
+      vals[i] = {x.at(r, f), y[r]};
+    }
+    std::sort(vals.begin(), vals.end());
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    for (std::size_t i = 1; i < n; ++i) {
+      ++left_counts[static_cast<std::size_t>(vals[i - 1].second)];
+      if (vals[i].first <= vals[i - 1].first) continue;  // same value
+      const auto nl = static_cast<double>(i);
+      const auto nr = static_cast<double>(n - i);
+      if (i < static_cast<std::size_t>(params_.min_samples_leaf) ||
+          n - i < static_cast<std::size_t>(params_.min_samples_leaf)) {
+        continue;
+      }
+      double sum_sq_l = 0;
+      for (const std::size_t c : left_counts) {
+        sum_sq_l += static_cast<double>(c) * static_cast<double>(c);
+      }
+      double sum_sq_r = 0;
+      for (std::size_t k = 0; k < counts.size(); ++k) {
+        const auto c = static_cast<double>(counts[k] - left_counts[k]);
+        sum_sq_r += c * c;
+      }
+      const double gini_l = 1.0 - sum_sq_l / (nl * nl);
+      const double gini_r = 1.0 - sum_sq_r / (nr * nr);
+      const double weighted =
+          (nl * gini_l + nr * gini_r) / static_cast<double>(n);
+      const double gain = node_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (vals[i - 1].first + vals[i].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Weighted impurity decrease -> Gini importance.
+  importances_[static_cast<std::size_t>(best_feature)] +=
+      best_gain * static_cast<double>(n) / static_cast<double>(fit_rows_);
+
+  const auto mid_it = std::stable_partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) {
+        return x.at(r, static_cast<std::size_t>(best_feature)) <=
+               best_threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - rows.begin());
+
+  Node node;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.label = majority_label(counts);
+  nodes_.push_back(node);
+  const auto self = static_cast<int>(nodes_.size() - 1);
+  const int left = build(x, y, rows, begin, mid, depth + 1);
+  const int right = build(x, y, rows, mid, end, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+int DecisionTree::predict(std::span<const double> row) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict: not trained");
+  }
+  std::size_t at = 0;
+  while (nodes_[at].feature >= 0) {
+    const Node& nd = nodes_[at];
+    const double v = row[static_cast<std::size_t>(nd.feature)];
+    const int next = v <= nd.threshold ? nd.left : nd.right;
+    if (next < 0) break;
+    at = static_cast<std::size_t>(next);
+  }
+  return nodes_[at].label;
+}
+
+std::vector<int> DecisionTree::predict(const Matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    out.push_back(predict(std::span(x.row(r), x.cols)));
+  }
+  return out;
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::save: not trained");
+  }
+  out << "pulpc-tree v1\n";
+  out << nodes_.size() << ' ' << importances_.size() << ' ' << depth_
+      << '\n';
+  out.precision(17);
+  for (const Node& n : nodes_) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.left << ' '
+        << n.right << ' ' << n.label << '\n';
+  }
+  for (std::size_t i = 0; i < importances_.size(); ++i) {
+    out << importances_[i] << (i + 1 < importances_.size() ? ' ' : '\n');
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& in) {
+  std::string magic;
+  std::string version;
+  in >> magic >> version;
+  if (magic != "pulpc-tree" || version != "v1") {
+    throw std::runtime_error("DecisionTree::load: bad header");
+  }
+  std::size_t nodes = 0;
+  std::size_t features = 0;
+  DecisionTree tree;
+  if (!(in >> nodes >> features >> tree.depth_) || nodes == 0) {
+    throw std::runtime_error("DecisionTree::load: bad shape line");
+  }
+  tree.nodes_.resize(nodes);
+  for (Node& n : tree.nodes_) {
+    if (!(in >> n.feature >> n.threshold >> n.left >> n.right >> n.label)) {
+      throw std::runtime_error("DecisionTree::load: truncated node list");
+    }
+    const auto limit = static_cast<int>(nodes);
+    if (n.feature >= static_cast<int>(features) || n.left >= limit ||
+        n.right >= limit) {
+      throw std::runtime_error("DecisionTree::load: node out of range");
+    }
+  }
+  tree.importances_.resize(features);
+  for (double& v : tree.importances_) {
+    if (!(in >> v)) {
+      throw std::runtime_error("DecisionTree::load: truncated importances");
+    }
+  }
+  return tree;
+}
+
+std::string DecisionTree::to_string(
+    const std::vector<std::string>& feature_names) const {
+  std::ostringstream os;
+  const auto name = [&](int f) {
+    const auto idx = static_cast<std::size_t>(f);
+    return idx < feature_names.size() ? feature_names[idx]
+                                      : "x" + std::to_string(f);
+  };
+  const std::function<void(int, int)> dump = [&](int node, int indent) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    if (nd.feature < 0) {
+      os << pad << "-> " << nd.label << '\n';
+      return;
+    }
+    os << pad << "if " << name(nd.feature) << " <= " << nd.threshold << '\n';
+    dump(nd.left, indent + 1);
+    os << pad << "else\n";
+    dump(nd.right, indent + 1);
+  };
+  if (!nodes_.empty()) dump(0, 0);
+  return os.str();
+}
+
+}  // namespace pulpc::ml

@@ -1,0 +1,84 @@
+// CART decision-tree classifier (Gini impurity), the model the paper
+// uses: "a standard machine learning technique that supports decisions by
+// checking a sequence of control statements", chosen over deep models
+// because it gives insight into which static features matter (feature
+// importances, Table IV).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace pulpc::ml {
+
+struct TreeParams {
+  int max_depth = 16;
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  /// Features examined per split; -1 = all (random forests use a subset).
+  int max_features = -1;
+  std::uint64_t seed = 0;  ///< feature-subsample shuffling
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeParams params = {}) : params_(params) {}
+
+  /// Fit on a feature matrix and integer class labels. Throws
+  /// std::invalid_argument on shape mismatch or empty input.
+  void fit(const Matrix& x, const std::vector<int>& y);
+  /// Fit on a row subset (bootstrap/fold training).
+  void fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<std::size_t>& rows);
+
+  [[nodiscard]] int predict(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+
+  /// Normalised Gini importance per feature column (sums to 1 unless the
+  /// tree is a single leaf).
+  [[nodiscard]] const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  [[nodiscard]] bool trained() const noexcept { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+  /// Indented textual dump of the decision rules.
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& feature_names = {}) const;
+
+  /// Persist the fitted tree as a small text format ("pulpc-tree v1").
+  /// Throws std::logic_error when not trained.
+  void save(std::ostream& out) const;
+  /// Rebuild a tree saved with save(). Throws std::runtime_error on
+  /// malformed input.
+  [[nodiscard]] static DecisionTree load(std::istream& in);
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    double threshold = 0.0;  ///< go left when value <= threshold
+    int left = -1;
+    int right = -1;
+    int label = 0;  ///< majority class (used at leaves)
+  };
+
+  int build(const Matrix& x, const std::vector<int>& y,
+            std::vector<std::size_t>& rows, std::size_t begin,
+            std::size_t end, int depth);
+
+  TreeParams params_;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  int depth_ = 0;
+  std::size_t fit_rows_ = 0;
+};
+
+}  // namespace pulpc::ml

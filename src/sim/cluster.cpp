@@ -1,0 +1,778 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace pulpc::sim {
+
+namespace {
+
+using kir::Instr;
+using kir::Op;
+
+// 32-bit two's-complement arithmetic without UB.
+std::int32_t add32(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+std::int32_t sub32(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
+                                   static_cast<std::uint32_t>(b));
+}
+std::int32_t mul32(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::int64_t>(a) *
+                                   static_cast<std::int64_t>(b));
+}
+// RISC-V division semantics: x/0 == -1, INT_MIN/-1 == INT_MIN.
+std::int32_t div32(std::int32_t a, std::int32_t b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return a;
+  return a / b;
+}
+std::int32_t rem32(std::int32_t a, std::int32_t b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return 0;
+  return a % b;
+}
+
+std::uint32_t fnv1a(const std::string& s) {
+  std::uint32_t h = 2166136261U;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619U;
+  }
+  return h;
+}
+
+std::uint32_t xorshift(std::uint32_t& x) {
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return x;
+}
+
+std::string hex_addr(std::uint32_t addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", addr);
+  return buf;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg),
+      tcdm_(cfg.tcdm_bytes / 4, 0U),
+      l2mem_(cfg.l2_bytes / 4, 0U),
+      cores_(cfg.num_cores),
+      l1_banks_(cfg.l1_banks),
+      l2_banks_(cfg.l2_banks),
+      fpus_(cfg.num_fpus) {
+  for (unsigned i = 0; i < cfg_.num_cores; ++i) cores_[i].id = i;
+}
+
+void Cluster::load(const kir::Program& prog) {
+  const std::string err = kir::verify(prog);
+  if (!err.empty()) {
+    throw std::invalid_argument("Cluster::load(" + prog.name + "): " + err);
+  }
+  for (const kir::BufferInfo& b : prog.buffers) {
+    const bool fits =
+        b.space == kir::MemSpace::Tcdm
+            ? (cfg_.in_tcdm(b.base) && cfg_.in_tcdm(b.base + b.bytes() - 1))
+            : (cfg_.in_l2(b.base) && cfg_.in_l2(b.base + b.bytes() - 1));
+    if (!fits) {
+      throw std::invalid_argument("Cluster::load(" + prog.name +
+                                  "): buffer " + b.name +
+                                  " outside its memory space");
+    }
+  }
+  prog_ = prog;
+  const std::size_t lines = prog_.code.size() / cfg_.icache_line + 1;
+  icache_lines_.assign(cfg_.icache_private ? lines * cfg_.num_cores : lines,
+                       false);
+}
+
+std::uint32_t& Cluster::word_at(std::uint32_t addr) {
+  return const_cast<std::uint32_t&>(std::as_const(*this).word_at(addr));
+}
+
+const std::uint32_t& Cluster::word_at(std::uint32_t addr) const {
+  if ((addr & 3U) != 0U) {
+    throw SimError{"misaligned access at " + hex_addr(addr)};
+  }
+  if (cfg_.in_tcdm(addr)) return tcdm_[(addr - cfg_.tcdm_base) / 4];
+  if (cfg_.in_l2(addr)) return l2mem_[(addr - cfg_.l2_base) / 4];
+  throw SimError{"unmapped access at " + hex_addr(addr)};
+}
+
+std::int32_t Cluster::read_i32(std::uint32_t addr) const {
+  try {
+    return static_cast<std::int32_t>(word_at(addr));
+  } catch (const SimError& e) {
+    throw std::out_of_range(e.message);
+  }
+}
+
+float Cluster::read_f32(std::uint32_t addr) const {
+  try {
+    return std::bit_cast<float>(word_at(addr));
+  } catch (const SimError& e) {
+    throw std::out_of_range(e.message);
+  }
+}
+
+void Cluster::write_i32(std::uint32_t addr, std::int32_t value) {
+  try {
+    word_at(addr) = static_cast<std::uint32_t>(value);
+  } catch (const SimError& e) {
+    throw std::out_of_range(e.message);
+  }
+}
+
+void Cluster::write_f32(std::uint32_t addr, float value) {
+  try {
+    word_at(addr) = std::bit_cast<std::uint32_t>(value);
+  } catch (const SimError& e) {
+    throw std::out_of_range(e.message);
+  }
+}
+
+void Cluster::init_buffers() {
+  for (const kir::BufferInfo& b : prog_.buffers) {
+    std::uint32_t seed = fnv1a(b.name) ^ (b.elems * 2654435761U);
+    if (seed == 0) seed = 1;
+    for (std::uint32_t i = 0; i < b.elems; ++i) {
+      const std::uint32_t addr = b.base + i * 4;
+      std::uint32_t word = 0;
+      const std::uint32_t r = xorshift(seed);
+      switch (b.init) {
+        case kir::BufInit::Zero:
+          break;
+        case kir::BufInit::Ramp:
+          word = b.elem == kir::DType::F32
+                     ? std::bit_cast<std::uint32_t>(static_cast<float>(i))
+                     : i;
+          break;
+        case kir::BufInit::Random:
+          if (b.elem == kir::DType::F32) {
+            const float f = static_cast<float>(r >> 8) / 16777216.0F;
+            word = std::bit_cast<std::uint32_t>(f * 2.0F - 1.0F);
+          } else {
+            word = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(r % 256U) - 128);
+          }
+          break;
+        case kir::BufInit::RandomPos:
+          if (b.elem == kir::DType::F32) {
+            const float f =
+                (static_cast<float>(r >> 8) + 1.0F) / 16777216.0F;
+            word = std::bit_cast<std::uint32_t>(f);
+          } else {
+            word = r % 127U + 1U;
+          }
+          break;
+      }
+      word_at(addr) = word;
+    }
+  }
+}
+
+void Cluster::reset(unsigned ncores) {
+  ncores_ = ncores;
+  cycle_ = 0;
+  running_ = ncores;
+  barrier_arrived_ = 0;
+  lock_owner_ = -1;
+  region_open_ = false;
+  region_begin_ = 0;
+  region_end_ = 0;
+  for (Core& c : cores_) {
+    c.pc = prog_.entry;
+    c.iregs.fill(0);
+    c.fregs.fill(0.0F);
+    c.state = c.id < ncores ? Core::State::Ready : Core::State::Halted;
+    c.stall_remaining = 0;
+    c.waiting_barrier = false;
+    c.waiting_dma = false;
+    c.wake_at = 0;
+    c.in_region = false;
+    c.last_trace_state = -1;
+    c.stats = CoreStats{};
+  }
+  for (Bank& b : l1_banks_) b = Bank{};
+  for (Bank& b : l2_banks_) b = Bank{};
+  for (Fpu& f : fpus_) f = Fpu{};
+  icache_lines_.assign(icache_lines_.size(), false);
+  icache_ = IcacheStats{};
+  dma_ = Dma{};
+  std::fill(tcdm_.begin(), tcdm_.end(), 0U);
+  std::fill(l2mem_.begin(), l2mem_.end(), 0U);
+  init_buffers();
+}
+
+RunResult Cluster::run(unsigned ncores, TraceSink* sink) {
+  if (prog_.code.empty()) {
+    throw std::logic_error("Cluster::run: no program loaded");
+  }
+  if (ncores == 0 || ncores > cfg_.num_cores) {
+    throw std::invalid_argument("Cluster::run: bad core count");
+  }
+  sink_ = sink;
+  reset(ncores);
+
+  RunResult res;
+  try {
+    while (running_ > 0) {
+      if (cycle_ >= cfg_.max_cycles) {
+        throw SimError{"cycle limit exceeded (deadlock or runaway kernel)"};
+      }
+      ++cycle_;
+      step_dma();
+      const auto start = static_cast<unsigned>(cycle_ % ncores_);
+      for (unsigned k = 0; k < ncores_; ++k) {
+        step_core(cores_[(start + k) % ncores_]);
+      }
+    }
+    res.ok = true;
+  } catch (const SimError& e) {
+    res.error = e.message;
+  }
+  sink_ = nullptr;
+
+  RunStats& st = res.stats;
+  st.ncores = ncores_;
+  st.total_cores = cfg_.num_cores;
+  st.total_cycles = cycle_;
+  st.region_begin = region_open_ || region_end_ > 0 ? region_begin_ : 1;
+  st.region_end = region_end_ > 0 ? region_end_ : cycle_;
+  st.core.resize(cfg_.num_cores);
+  for (unsigned i = 0; i < cfg_.num_cores; ++i) st.core[i] = cores_[i].stats;
+  st.l1.resize(cfg_.l1_banks);
+  for (unsigned i = 0; i < cfg_.l1_banks; ++i) st.l1[i] = l1_banks_[i].stats;
+  st.l2.resize(cfg_.l2_banks);
+  for (unsigned i = 0; i < cfg_.l2_banks; ++i) st.l2[i] = l2_banks_[i].stats;
+  st.fpu.resize(cfg_.num_fpus);
+  for (unsigned i = 0; i < cfg_.num_fpus; ++i) st.fpu[i] = fpus_[i].stats;
+  st.icache = icache_;
+  st.dma = dma_.stats;
+  return res;
+}
+
+void Cluster::trace(const std::string& path, const std::string& msg) {
+  if (sink_ != nullptr) sink_->event(cycle_, path, msg);
+}
+
+std::string Cluster::pe_path(unsigned core, const char* leaf) const {
+  return "/chip/cluster/pe" + std::to_string(core) + "/" + leaf;
+}
+
+void Cluster::trace_state(Core& c, CycleClass cls, bool idle) {
+  static constexpr const char* kNames[] = {"alu", "fp", "l1",
+                                           "l2",  "wait", "cg"};
+  const int code = static_cast<int>(cls) * 2 + (idle ? 1 : 0);
+  if (code == c.last_trace_state) return;
+  c.last_trace_state = code;
+  std::string msg = "state=";
+  msg += kNames[static_cast<int>(cls)];
+  if (idle) msg += "_stall";
+  sink_->event(cycle_, pe_path(c.id, "trace"), msg);
+}
+
+void Cluster::charge(Core& c, CycleClass cls, bool idle) {
+  if (sink_ != nullptr) trace_state(c, cls, idle);
+  if (!c.in_region) return;
+  switch (cls) {
+    case CycleClass::Alu: ++c.stats.cyc_alu; break;
+    case CycleClass::Fp: ++c.stats.cyc_fp; break;
+    case CycleClass::L1: ++c.stats.cyc_l1; break;
+    case CycleClass::L2: ++c.stats.cyc_l2; break;
+    case CycleClass::Wait: ++c.stats.cyc_wait; break;
+    case CycleClass::Cg: ++c.stats.cyc_cg; break;
+  }
+  if (idle) ++c.stats.idle_cycles;
+}
+
+void Cluster::begin_stall(Core& c, CycleClass issue_cls, unsigned extra,
+                          CycleClass stall_cls, bool idle) {
+  charge(c, issue_cls, false);
+  if (extra > 0) {
+    c.state = Core::State::Stalled;
+    c.stall_remaining = extra;
+    c.stall_class = stall_cls;
+    c.stall_is_idle = idle;
+  }
+}
+
+void Cluster::release_barrier() {
+  barrier_arrived_ = 0;
+  for (unsigned i = 0; i < ncores_; ++i) {
+    Core& c = cores_[i];
+    if (c.waiting_barrier) {
+      c.waiting_barrier = false;
+      c.wake_at = cycle_ + cfg_.barrier_wakeup;
+    }
+  }
+}
+
+void Cluster::step_core(Core& c) {
+  switch (c.state) {
+    case Core::State::Halted:
+      return;
+    case Core::State::Sleeping: {
+      if (c.waiting_dma && dma_.remaining == 0) {
+        c.waiting_dma = false;
+        c.wake_at = cycle_;
+      }
+      if (!c.waiting_barrier && !c.waiting_dma && cycle_ >= c.wake_at) {
+        c.state = Core::State::Ready;
+        execute(c);
+        return;
+      }
+      charge(c, CycleClass::Cg, false);
+      return;
+    }
+    case Core::State::Stalled:
+      charge(c, c.stall_class, c.stall_is_idle);
+      if (--c.stall_remaining == 0) c.state = Core::State::Ready;
+      return;
+    case Core::State::Ready:
+      execute(c);
+      return;
+  }
+}
+
+bool Cluster::bank_grant(std::uint32_t addr, Core& c, bool is_l2) {
+  std::vector<Bank>& banks = is_l2 ? l2_banks_ : l1_banks_;
+  const std::size_t idx = (addr / 4) % banks.size();
+  Bank& bank = banks[idx];
+  if (bank.claim_cycle == cycle_) {
+    ++bank.stats.conflicts;
+    if (sink_ != nullptr) {
+      trace("/chip/cluster/" + std::string(is_l2 ? "l2" : "l1") + "/bank" +
+                std::to_string(idx) + "/trace",
+            "conflict");
+    }
+    charge(c, CycleClass::Wait, true);
+    return false;
+  }
+  bank.claim_cycle = cycle_;
+  return true;
+}
+
+void Cluster::step_dma() {
+  if (dma_.remaining == 0) return;
+  word_at(dma_.dst) = word_at(dma_.src);
+  const auto count = [&](std::uint32_t addr, bool write) {
+    const bool is_l1 = cfg_.in_tcdm(addr);
+    std::vector<Bank>& banks = is_l1 ? l1_banks_ : l2_banks_;
+    const std::size_t idx = (addr / 4) % banks.size();
+    Bank& bank = banks[idx];
+    if (write) {
+      ++bank.stats.writes;
+    } else {
+      ++bank.stats.reads;
+    }
+    if (sink_ != nullptr) {
+      trace("/chip/cluster/" + std::string(is_l1 ? "l1" : "l2") + "/bank" +
+                std::to_string(idx) + "/trace",
+            std::string(write ? "write" : "read") + " addr=" +
+                hex_addr(addr));
+    }
+  };
+  count(dma_.src, /*write=*/false);
+  count(dma_.dst, /*write=*/true);
+  ++dma_.stats.busy_cycles;
+  ++dma_.stats.beats;
+  dma_.src += 4;
+  dma_.dst += 4;
+  if (--dma_.remaining == 0) trace("/chip/cluster/dma/trace", "done");
+}
+
+void Cluster::execute(Core& c) {
+  // Instruction fetch through the I-cache (private per-core slices by
+  // default, as in RI5CY clusters).
+  const std::uint32_t nlines =
+      static_cast<std::uint32_t>(prog_.code.size() / cfg_.icache_line + 1);
+  const std::uint32_t line = c.pc / cfg_.icache_line +
+                             (cfg_.icache_private ? c.id * nlines : 0U);
+  if (!icache_lines_[line]) {
+    icache_lines_[line] = true;
+    ++icache_.refills;
+    trace("/chip/cluster/icache/trace", "refill line=" + std::to_string(line));
+    if (cfg_.icache_refill_stall > 0) {
+      // All refill cycles (including this one) are contention-idle.
+      charge(c, CycleClass::Wait, true);
+      if (cfg_.icache_refill_stall > 1) {
+        c.state = Core::State::Stalled;
+        c.stall_remaining = cfg_.icache_refill_stall - 1;
+        c.stall_class = CycleClass::Wait;
+        c.stall_is_idle = true;
+      }
+      return;  // refetch once the line has arrived
+    }
+  }
+
+  const Instr ins = prog_.code[c.pc];
+  auto& ir = c.iregs;
+  auto& fr = c.fregs;
+
+  // ---- resource acquisition; denied -> active-wait retry next cycle ----
+  const kir::OpClass cls = kir::op_class(ins.op);
+  if (cls == kir::OpClass::Fp || cls == kir::OpClass::FpDiv) {
+    Fpu& fpu = fpus_[cfg_.fpu_for(c.id)];
+    if (fpu.claim_cycle == cycle_ || fpu.busy_until >= cycle_) {
+      charge(c, CycleClass::Wait, true);
+      return;
+    }
+    fpu.claim_cycle = cycle_;
+    if (cls == kir::OpClass::FpDiv) {
+      fpu.busy_until = cycle_ + cfg_.fpdiv_cycles - 1;
+      fpu.stats.busy_cycles += cfg_.fpdiv_cycles;
+      if (sink_ != nullptr) {
+        trace("/chip/cluster/fpu" + std::to_string(cfg_.fpu_for(c.id)) +
+                  "/trace",
+              "busy n=" + std::to_string(cfg_.fpdiv_cycles));
+      }
+    } else {
+      fpu.stats.busy_cycles += 1;
+      if (sink_ != nullptr) {
+        trace("/chip/cluster/fpu" + std::to_string(cfg_.fpu_for(c.id)) +
+                  "/trace",
+              "busy n=1");
+      }
+    }
+  }
+
+  std::uint32_t mem_addr = 0;
+  bool mem_is_l2 = false;
+  if (kir::is_memory(ins.op)) {
+    mem_addr = static_cast<std::uint32_t>(ir[ins.rs1]) +
+               static_cast<std::uint32_t>(ins.imm);
+    if ((mem_addr & 3U) != 0U) {
+      throw SimError{prog_.name + ": misaligned access at " +
+                     hex_addr(mem_addr) + " (pc=" + std::to_string(c.pc) +
+                     ")"};
+    }
+    if (cfg_.in_tcdm(mem_addr)) {
+      mem_is_l2 = false;
+    } else if (cfg_.in_l2(mem_addr)) {
+      mem_is_l2 = true;
+    } else {
+      throw SimError{prog_.name + ": unmapped access at " +
+                     hex_addr(mem_addr) + " (pc=" + std::to_string(c.pc) +
+                     ")"};
+    }
+    if (!bank_grant(mem_addr, c, mem_is_l2)) return;  // conflict
+  }
+
+  if (ins.op == Op::CritEnter && lock_owner_ >= 0 &&
+      lock_owner_ != static_cast<int>(c.id)) {
+    charge(c, CycleClass::Wait, true);  // spin on the contended lock
+    return;
+  }
+  if (ins.op == Op::DmaStart && dma_.remaining > 0) {
+    charge(c, CycleClass::Wait, true);  // DMA engine busy
+    return;
+  }
+
+  // ---- issue ----
+  if (c.in_region) {
+    ++c.stats.instrs;
+    ++icache_.uses;
+  }
+  if (sink_ != nullptr) trace(pe_path(c.id, "insn"), kir::to_string(ins));
+
+  std::uint32_t next_pc = c.pc + 1;
+  CycleClass charge_cls = CycleClass::Alu;
+  unsigned stall_extra = 0;
+  CycleClass stall_cls = CycleClass::Wait;
+  bool stall_idle = true;
+
+  switch (ins.op) {
+    // ---- integer ALU ----
+    case Op::Add: ir[ins.rd] = add32(ir[ins.rs1], ir[ins.rs2]); break;
+    case Op::Sub: ir[ins.rd] = sub32(ir[ins.rs1], ir[ins.rs2]); break;
+    case Op::Mul: ir[ins.rd] = mul32(ir[ins.rs1], ir[ins.rs2]); break;
+    case Op::Mac:
+      ir[ins.rd] = add32(ir[ins.rd], mul32(ir[ins.rs1], ir[ins.rs2]));
+      break;
+    case Op::Slt: ir[ins.rd] = ir[ins.rs1] < ir[ins.rs2] ? 1 : 0; break;
+    case Op::And: ir[ins.rd] = ir[ins.rs1] & ir[ins.rs2]; break;
+    case Op::Or: ir[ins.rd] = ir[ins.rs1] | ir[ins.rs2]; break;
+    case Op::Xor: ir[ins.rd] = ir[ins.rs1] ^ ir[ins.rs2]; break;
+    case Op::Shl:
+      ir[ins.rd] = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(ir[ins.rs1]) << (ir[ins.rs2] & 31));
+      break;
+    case Op::Shr: ir[ins.rd] = ir[ins.rs1] >> (ir[ins.rs2] & 31); break;
+    case Op::Min: ir[ins.rd] = std::min(ir[ins.rs1], ir[ins.rs2]); break;
+    case Op::Max: ir[ins.rd] = std::max(ir[ins.rs1], ir[ins.rs2]); break;
+    case Op::Abs:
+      ir[ins.rd] = ir[ins.rs1] < 0 ? sub32(0, ir[ins.rs1]) : ir[ins.rs1];
+      break;
+    case Op::AddI: ir[ins.rd] = add32(ir[ins.rs1], ins.imm); break;
+    case Op::MulI: ir[ins.rd] = mul32(ir[ins.rs1], ins.imm); break;
+    case Op::AndI: ir[ins.rd] = ir[ins.rs1] & ins.imm; break;
+    case Op::OrI: ir[ins.rd] = ir[ins.rs1] | ins.imm; break;
+    case Op::XorI: ir[ins.rd] = ir[ins.rs1] ^ ins.imm; break;
+    case Op::ShlI:
+      ir[ins.rd] = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(ir[ins.rs1]) << (ins.imm & 31));
+      break;
+    case Op::ShrI: ir[ins.rd] = ir[ins.rs1] >> (ins.imm & 31); break;
+    case Op::SltI: ir[ins.rd] = ir[ins.rs1] < ins.imm ? 1 : 0; break;
+    case Op::Li: ir[ins.rd] = ins.imm; break;
+    case Op::Mv: ir[ins.rd] = ir[ins.rs1]; break;
+
+    // ---- integer divider (serial, multi-cycle) ----
+    case Op::Div:
+      ir[ins.rd] = div32(ir[ins.rs1], ir[ins.rs2]);
+      charge_cls = CycleClass::Alu;
+      stall_extra = cfg_.div_cycles - 1;
+      stall_cls = CycleClass::Alu;
+      break;
+    case Op::Rem:
+      ir[ins.rd] = rem32(ir[ins.rs1], ir[ins.rs2]);
+      charge_cls = CycleClass::Alu;
+      stall_extra = cfg_.div_cycles - 1;
+      stall_cls = CycleClass::Alu;
+      break;
+
+    // ---- floating point (shared FPU) ----
+    case Op::FAdd: fr[ins.rd] = fr[ins.rs1] + fr[ins.rs2]; charge_cls = CycleClass::Fp; break;
+    case Op::FSub: fr[ins.rd] = fr[ins.rs1] - fr[ins.rs2]; charge_cls = CycleClass::Fp; break;
+    case Op::FMul: fr[ins.rd] = fr[ins.rs1] * fr[ins.rs2]; charge_cls = CycleClass::Fp; break;
+    case Op::FMac:
+      fr[ins.rd] += fr[ins.rs1] * fr[ins.rs2];
+      charge_cls = CycleClass::Fp;
+      break;
+    case Op::FMin:
+      fr[ins.rd] = std::min(fr[ins.rs1], fr[ins.rs2]);
+      charge_cls = CycleClass::Fp;
+      break;
+    case Op::FMax:
+      fr[ins.rd] = std::max(fr[ins.rs1], fr[ins.rs2]);
+      charge_cls = CycleClass::Fp;
+      break;
+    case Op::FAbs:
+      fr[ins.rd] = std::abs(fr[ins.rs1]);
+      charge_cls = CycleClass::Fp;
+      break;
+    case Op::FNeg: fr[ins.rd] = -fr[ins.rs1]; charge_cls = CycleClass::Fp; break;
+    case Op::FMv: fr[ins.rd] = fr[ins.rs1]; charge_cls = CycleClass::Fp; break;
+    case Op::FLi:
+      fr[ins.rd] = std::bit_cast<float>(ins.imm);
+      charge_cls = CycleClass::Fp;
+      break;
+    case Op::FLt:
+      ir[ins.rd] = fr[ins.rs1] < fr[ins.rs2] ? 1 : 0;
+      charge_cls = CycleClass::Fp;
+      break;
+    case Op::FLe:
+      ir[ins.rd] = fr[ins.rs1] <= fr[ins.rs2] ? 1 : 0;
+      charge_cls = CycleClass::Fp;
+      break;
+    case Op::FEq:
+      ir[ins.rd] = fr[ins.rs1] == fr[ins.rs2] ? 1 : 0;
+      charge_cls = CycleClass::Fp;
+      break;
+    case Op::CvtSW:
+      fr[ins.rd] = static_cast<float>(ir[ins.rs1]);
+      charge_cls = CycleClass::Fp;
+      break;
+    case Op::CvtWS: {
+      const float f = fr[ins.rs1];
+      constexpr float kMax = 2147483520.0F;  // largest float < 2^31
+      const float clamped = std::min(std::max(f, -kMax), kMax);
+      ir[ins.rd] = static_cast<std::int32_t>(clamped);
+      charge_cls = CycleClass::Fp;
+      break;
+    }
+    case Op::FDiv:
+      fr[ins.rd] = fr[ins.rs2] != 0.0F
+                       ? fr[ins.rs1] / fr[ins.rs2]
+                       : std::numeric_limits<float>::infinity();
+      charge_cls = CycleClass::Fp;
+      stall_extra = cfg_.fpdiv_cycles - 1;
+      stall_cls = CycleClass::Fp;
+      break;
+    case Op::FSqrt:
+      fr[ins.rd] = std::sqrt(std::max(fr[ins.rs1], 0.0F));
+      charge_cls = CycleClass::Fp;
+      stall_extra = cfg_.fpdiv_cycles - 1;
+      stall_cls = CycleClass::Fp;
+      break;
+
+    // ---- memory ----
+    case Op::Lw:
+      ir[ins.rd] = static_cast<std::int32_t>(word_at(mem_addr));
+      break;
+    case Op::Flw:
+      fr[ins.rd] = std::bit_cast<float>(word_at(mem_addr));
+      break;
+    case Op::Sw:
+      word_at(mem_addr) = static_cast<std::uint32_t>(ir[ins.rs2]);
+      break;
+    case Op::Fsw:
+      word_at(mem_addr) = std::bit_cast<std::uint32_t>(fr[ins.rs2]);
+      break;
+
+    // ---- control flow ----
+    case Op::Beq:
+    case Op::Bne:
+    case Op::Blt:
+    case Op::Bge: {
+      const std::int32_t a = ir[ins.rs1];
+      const std::int32_t b = ir[ins.rs2];
+      const bool taken = ins.op == Op::Beq   ? a == b
+                         : ins.op == Op::Bne ? a != b
+                         : ins.op == Op::Blt ? a < b
+                                             : a >= b;
+      if (taken) {
+        next_pc = static_cast<std::uint32_t>(ins.imm);
+        stall_extra = cfg_.taken_branch_penalty;
+        stall_cls = CycleClass::Wait;
+      }
+      break;
+    }
+    case Op::Jmp:
+      next_pc = static_cast<std::uint32_t>(ins.imm);
+      stall_extra = cfg_.taken_branch_penalty;
+      stall_cls = CycleClass::Wait;
+      break;
+
+    // ---- active wait ----
+    case Op::Nop:
+      charge_cls = CycleClass::Wait;
+      break;
+
+    // ---- runtime ----
+    case Op::CoreId: ir[ins.rd] = static_cast<std::int32_t>(c.id); break;
+    case Op::NumCores: ir[ins.rd] = static_cast<std::int32_t>(ncores_); break;
+    case Op::Barrier:
+      ++barrier_arrived_;
+      c.waiting_barrier = true;
+      c.state = Core::State::Sleeping;
+      if (barrier_arrived_ >= running_) release_barrier();
+      break;
+    case Op::CritEnter:
+      lock_owner_ = static_cast<int>(c.id);
+      break;
+    case Op::CritExit:
+      if (lock_owner_ != static_cast<int>(c.id)) {
+        throw SimError{prog_.name + ": crit.exit without ownership (core " +
+                       std::to_string(c.id) + ")"};
+      }
+      lock_owner_ = -1;
+      break;
+    case Op::DmaStart: {
+      const auto src = static_cast<std::uint32_t>(ir[ins.rs1]);
+      const auto dst = static_cast<std::uint32_t>(ir[ins.rs2]);
+      const std::int32_t words = ir[ins.rd];
+      if (words <= 0 || (src & 3U) != 0U || (dst & 3U) != 0U) {
+        throw SimError{prog_.name + ": bad DMA descriptor"};
+      }
+      dma_.src = src;
+      dma_.dst = dst;
+      dma_.remaining = static_cast<std::uint32_t>(words);
+      trace("/chip/cluster/dma/trace",
+            "start src=" + hex_addr(src) + " dst=" + hex_addr(dst) +
+                " words=" + std::to_string(words));
+      break;
+    }
+    case Op::DmaWait:
+      if (dma_.remaining > 0) {
+        c.waiting_dma = true;
+        c.state = Core::State::Sleeping;
+      }
+      break;
+    case Op::MarkEnter:
+      c.in_region = true;
+      ++c.stats.instrs;  // count the marker itself
+      ++icache_.uses;
+      if (!region_open_) {
+        region_open_ = true;
+        region_begin_ = cycle_;
+      }
+      trace(pe_path(c.id, "trace"), "kernel_enter");
+      break;
+    case Op::MarkExit:
+      c.in_region = false;
+      region_end_ = cycle_;
+      trace(pe_path(c.id, "trace"), "kernel_exit");
+      break;
+    case Op::Halt:
+      c.state = Core::State::Halted;
+      --running_;
+      if (c.in_region) {
+        c.in_region = false;
+        region_end_ = cycle_;
+      }
+      // A core halting while others wait must not strand the barrier.
+      if (running_ > 0 && barrier_arrived_ >= running_) release_barrier();
+      return;  // no cycle charge for the halted state
+  }
+
+  // ---- opcode accounting (dynamic PE_* features) ----
+  if (c.in_region || ins.op == Op::MarkExit) {
+    CoreStats& s = c.stats;
+    switch (ins.op_class()) {
+      case kir::OpClass::Alu: ++s.n_alu; break;
+      case kir::OpClass::Div: ++s.n_div; break;
+      case kir::OpClass::Fp: ++s.n_fp; break;
+      case kir::OpClass::FpDiv: ++s.n_fpdiv; break;
+      case kir::OpClass::MemL1:
+      case kir::OpClass::MemL2: break;  // handled below from the address
+      case kir::OpClass::Branch: ++s.n_branch; break;
+      case kir::OpClass::Nop: ++s.n_nop; break;
+      case kir::OpClass::Sync: ++s.n_sync; break;
+    }
+    if (kir::is_memory(ins.op)) {
+      if (mem_is_l2) {
+        ++s.n_l2;
+      } else {
+        ++s.n_l1;
+      }
+    }
+  }
+
+  // ---- memory access bookkeeping + cycle charge ----
+  if (kir::is_memory(ins.op)) {
+    std::vector<Bank>& banks = mem_is_l2 ? l2_banks_ : l1_banks_;
+    const std::size_t idx = (mem_addr / 4) % banks.size();
+    const bool is_store = ins.op == Op::Sw || ins.op == Op::Fsw;
+    if (is_store) {
+      ++banks[idx].stats.writes;
+    } else {
+      ++banks[idx].stats.reads;
+    }
+    if (sink_ != nullptr) {
+      trace("/chip/cluster/" + std::string(mem_is_l2 ? "l2" : "l1") +
+                "/bank" + std::to_string(idx) + "/trace",
+            std::string(is_store ? "write" : "read") +
+                " addr=" + hex_addr(mem_addr));
+    }
+    if (mem_is_l2) {
+      charge_cls = CycleClass::L2;
+      stall_extra = cfg_.l2_latency - 1;
+      stall_cls = CycleClass::L2;
+    } else {
+      charge_cls = CycleClass::L1;
+    }
+  }
+
+  c.pc = next_pc;
+  if (c.state == Core::State::Sleeping) {
+    charge(c, CycleClass::Cg, false);  // barrier / DMA wait entry cycle
+    return;
+  }
+  begin_stall(c, charge_cls, stall_extra, stall_cls, stall_idle);
+}
+
+}  // namespace pulpc::sim

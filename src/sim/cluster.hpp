@@ -1,0 +1,149 @@
+// Cycle-stepped simulator of the PULP cluster (the paper's GVSOC
+// substitute). Models, per cycle:
+//   * 8 in-order RI5CY-like cores interpreting KIR,
+//   * a 16-bank word-interleaved TCDM with per-cycle arbitration and
+//     conflict stalls,
+//   * a multi-banked L2 with 15-cycle access latency,
+//   * 4 single-stage FPUs shared between cores with a fixed mapping,
+//   * a shared I-cache (per-line cold refills),
+//   * a DMA engine (1 word / cycle),
+//   * an event unit implementing barriers with clock-gating and the
+//     cluster-wide critical-section lock (contending cores active-wait).
+//
+// Every cycle of every active core is charged to exactly one operating
+// state (alu / fp / l1 / l2 / wait / clock-gated), which is what the
+// Table I energy model prices and what the Table III dynamic features
+// summarise. With a TraceSink attached, the run also emits a GVSOC-style
+// event trace that src/trace can parse back into the same statistics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kir/ir.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace_sink.hpp"
+
+namespace pulpc::sim {
+
+/// Simulation failure (memory fault, misalignment, bad DMA descriptor).
+struct SimError {
+  std::string message;
+};
+
+struct RunResult {
+  RunStats stats;
+  bool ok = false;
+  std::string error;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg = {});
+
+  /// Load a verified program. Throws std::invalid_argument if the
+  /// program fails kir::verify or a buffer does not fit its memory.
+  void load(const kir::Program& prog);
+
+  /// Execute the loaded program on `ncores` cores (1..num_cores).
+  /// Memory is re-initialised from the program's buffer declarations, so
+  /// repeated runs at different core counts are independent, as in the
+  /// paper's eight-configuration sweep. Never throws for runtime faults;
+  /// they are reported in RunResult.
+  [[nodiscard]] RunResult run(unsigned ncores, TraceSink* sink = nullptr);
+
+  // Memory inspection (for tests and result verification). Throws
+  // std::out_of_range for unmapped addresses.
+  [[nodiscard]] std::int32_t read_i32(std::uint32_t addr) const;
+  [[nodiscard]] float read_f32(std::uint32_t addr) const;
+  void write_i32(std::uint32_t addr, std::int32_t value);
+  void write_f32(std::uint32_t addr, float value);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const kir::Program& program() const noexcept { return prog_; }
+
+ private:
+  /// Operating state a core cycle is charged to.
+  enum class CycleClass : std::uint8_t { Alu, Fp, L1, L2, Wait, Cg };
+
+  struct Core {
+    std::uint32_t pc = 0;
+    std::array<std::int32_t, kir::kNumRegs> iregs{};
+    std::array<float, kir::kNumRegs> fregs{};
+    enum class State : std::uint8_t { Ready, Stalled, Sleeping, Halted };
+    State state = State::Ready;
+    unsigned id = 0;
+    unsigned stall_remaining = 0;
+    CycleClass stall_class = CycleClass::Wait;
+    bool stall_is_idle = false;
+    bool waiting_barrier = false;
+    bool waiting_dma = false;
+    std::uint64_t wake_at = 0;
+    bool in_region = false;
+    int last_trace_state = -1;  ///< encoded (class, idle) of last state event
+    CoreStats stats;
+  };
+
+  struct Bank {
+    std::uint64_t claim_cycle = 0;  ///< cycle stamp of the current claim
+    BankStats stats;
+  };
+
+  struct Fpu {
+    std::uint64_t claim_cycle = 0;
+    std::uint64_t busy_until = 0;  ///< last cycle (inclusive) of occupancy
+    FpuStats stats;
+  };
+
+  struct Dma {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint32_t remaining = 0;
+    DmaStats stats;
+  };
+
+  void reset(unsigned ncores);
+  void init_buffers();
+  void step_core(Core& c);
+  void execute(Core& c);
+  void step_dma();
+  void charge(Core& c, CycleClass cls, bool idle);
+  void begin_stall(Core& c, CycleClass issue_cls, unsigned extra,
+                   CycleClass stall_cls, bool idle);
+  void release_barrier();
+
+  [[nodiscard]] std::uint32_t& word_at(std::uint32_t addr);
+  [[nodiscard]] const std::uint32_t& word_at(std::uint32_t addr) const;
+  [[nodiscard]] bool bank_grant(std::uint32_t addr, Core& c, bool is_l2);
+
+  void trace(const std::string& path, const std::string& msg);
+  void trace_state(Core& c, CycleClass cls, bool idle);
+  [[nodiscard]] std::string pe_path(unsigned core, const char* leaf) const;
+
+  ClusterConfig cfg_;
+  kir::Program prog_;
+  std::vector<std::uint32_t> tcdm_;
+  std::vector<std::uint32_t> l2mem_;
+  std::vector<Core> cores_;
+  std::vector<Bank> l1_banks_;
+  std::vector<Bank> l2_banks_;
+  std::vector<Fpu> fpus_;
+  std::vector<bool> icache_lines_;
+  Dma dma_;
+  IcacheStats icache_;
+
+  unsigned ncores_ = 0;        ///< cores participating in this run
+  std::uint64_t cycle_ = 0;
+  unsigned running_ = 0;       ///< non-halted participating cores
+  unsigned barrier_arrived_ = 0;
+  int lock_owner_ = -1;
+  bool region_open_ = false;
+  std::uint64_t region_begin_ = 0;
+  std::uint64_t region_end_ = 0;
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace pulpc::sim

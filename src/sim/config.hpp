@@ -1,0 +1,59 @@
+// Cluster configuration: topology and timing of the simulated PULP
+// instance. Defaults model the paper's `8c4flp` configuration: 8 RI5CY
+// cores, 16-bank 64 KiB TCDM, 32-bank 512 KiB L2 with 15-cycle latency,
+// 4 shared single-stage FPUs.
+#pragma once
+
+#include <cstdint>
+
+namespace pulpc::sim {
+
+struct ClusterConfig {
+  // ---- topology ----
+  unsigned num_cores = 8;
+  unsigned l1_banks = 16;
+  unsigned l2_banks = 32;
+  unsigned num_fpus = 4;
+
+  // ---- memory map ----
+  std::uint32_t tcdm_base = 0x1000'0000;
+  std::uint32_t tcdm_bytes = 64 * 1024;
+  std::uint32_t l2_base = 0x1C00'0000;
+  std::uint32_t l2_bytes = 512 * 1024;
+
+  // ---- timing (cycles) ----
+  /// Serial integer divider occupancy (RI5CY's divider is multi-cycle).
+  unsigned div_cycles = 12;
+  /// FP divide / sqrt occupancy of the shared FPU.
+  unsigned fpdiv_cycles = 10;
+  /// Total latency of an off-cluster L2 access (the paper: 15 cycles).
+  unsigned l2_latency = 15;
+  /// Extra bubble cycles after a taken branch.
+  unsigned taken_branch_penalty = 1;
+  /// Cycles between barrier release by the event unit and resume
+  /// (event-unit round trip).
+  unsigned barrier_wakeup = 8;
+  /// Instructions per I-cache line (refills happen on first touch).
+  unsigned icache_line = 16;
+  /// Stall cycles paid on an I-cache line refill.
+  unsigned icache_refill_stall = 5;
+  /// Private per-core I-cache slices (as in RI5CY clusters): each core
+  /// refills its own lines; false models one shared cache.
+  bool icache_private = true;
+
+  /// Safety net against runaway/deadlocked programs.
+  std::uint64_t max_cycles = 400'000'000;
+
+  /// FPU servicing a given core (fixed core-to-FPU interconnect mapping).
+  [[nodiscard]] unsigned fpu_for(unsigned core) const noexcept {
+    return core % num_fpus;
+  }
+  [[nodiscard]] bool in_tcdm(std::uint32_t addr) const noexcept {
+    return addr >= tcdm_base && addr < tcdm_base + tcdm_bytes;
+  }
+  [[nodiscard]] bool in_l2(std::uint32_t addr) const noexcept {
+    return addr >= l2_base && addr < l2_base + l2_bytes;
+  }
+};
+
+}  // namespace pulpc::sim

@@ -1,0 +1,111 @@
+// Per-component activity counters produced by a simulation run. These are
+// the quantities the paper obtains by parsing GVSOC traces: every counter
+// maps either to a Table I energy model row or to a Table III dynamic
+// feature. Counters accumulate only inside the kernel region (between the
+// kernel.enter / kernel.exit markers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pulpc::sim {
+
+/// Activity of one processing element. Cycle counters partition the
+/// core's in-region cycles by operating state (the Table I PE rows);
+/// opcode counters feed the PE_* dynamic features.
+struct CoreStats {
+  // opcode counts
+  std::uint64_t n_alu = 0;
+  std::uint64_t n_div = 0;
+  std::uint64_t n_fp = 0;
+  std::uint64_t n_fpdiv = 0;
+  std::uint64_t n_l1 = 0;
+  std::uint64_t n_l2 = 0;
+  std::uint64_t n_branch = 0;
+  std::uint64_t n_nop = 0;
+  std::uint64_t n_sync = 0;
+  std::uint64_t instrs = 0;  ///< issued instructions (I-cache uses)
+
+  // cycles by operating state
+  std::uint64_t cyc_alu = 0;
+  std::uint64_t cyc_fp = 0;
+  std::uint64_t cyc_l1 = 0;
+  std::uint64_t cyc_l2 = 0;
+  std::uint64_t cyc_wait = 0;  ///< active wait (priced as NOP)
+  std::uint64_t cyc_cg = 0;    ///< clock-gated
+
+  /// Cycles lost to resource contention or multi-cycle instructions
+  /// (the PE_idle dynamic feature's numerator). Subset of the cyc_*
+  /// counters above.
+  std::uint64_t idle_cycles = 0;
+
+  [[nodiscard]] std::uint64_t active_cycles() const noexcept {
+    return cyc_alu + cyc_fp + cyc_l1 + cyc_l2 + cyc_wait + cyc_cg;
+  }
+};
+
+/// Activity of one memory bank (TCDM or L2).
+struct BankStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Denied same-cycle requests (the L1_conflicts dynamic feature).
+  std::uint64_t conflicts = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return reads + writes;
+  }
+};
+
+struct FpuStats {
+  std::uint64_t busy_cycles = 0;
+};
+
+struct IcacheStats {
+  std::uint64_t uses = 0;  ///< instruction fetches served
+  std::uint64_t refills = 0;
+};
+
+struct DmaStats {
+  std::uint64_t busy_cycles = 0;
+  std::uint64_t beats = 0;  ///< words transferred
+};
+
+/// Complete activity record of one kernel execution at a given core count.
+struct RunStats {
+  unsigned ncores = 0;        ///< cores the kernel ran on
+  unsigned total_cores = 0;   ///< cores physically in the cluster
+  std::uint64_t total_cycles = 0;   ///< whole-program wall cycles
+  std::uint64_t region_begin = 0;   ///< first kernel.enter cycle
+  std::uint64_t region_end = 0;     ///< last kernel.exit cycle
+
+  std::vector<CoreStats> core;   ///< size total_cores (idle cores all-zero)
+  std::vector<BankStats> l1;
+  std::vector<BankStats> l2;
+  std::vector<FpuStats> fpu;
+  IcacheStats icache;
+  DmaStats dma;
+
+  /// Kernel-region wall cycles (per-cycle energy contributions integrate
+  /// over this window, as in the paper's trace filtering).
+  [[nodiscard]] std::uint64_t region_cycles() const noexcept {
+    return region_end >= region_begin ? region_end - region_begin + 1 : 0;
+  }
+
+  [[nodiscard]] std::uint64_t total_instrs() const noexcept {
+    std::uint64_t n = 0;
+    for (const CoreStats& c : core) n += c.instrs;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t l1_accesses() const noexcept {
+    std::uint64_t n = 0;
+    for (const BankStats& b : l1) n += b.accesses();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t l1_conflicts() const noexcept {
+    std::uint64_t n = 0;
+    for (const BankStats& b : l1) n += b.conflicts;
+    return n;
+  }
+};
+
+}  // namespace pulpc::sim

@@ -1,0 +1,22 @@
+// GVSOC-style trace emission interface. The simulator emits one event per
+// line-worthy occurrence (instruction issue, core state change, bank
+// access, ...) identified by the cycle number and the hierarchical path
+// of the originating component, mirroring the trace format the paper's
+// listener hierarchy parses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pulpc::sim {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Record one event. `path` is the component path (e.g.
+  /// "/chip/cluster/pe0/insn"); `message` the event payload.
+  virtual void event(std::uint64_t cycle, const std::string& path,
+                     const std::string& message) = 0;
+};
+
+}  // namespace pulpc::sim

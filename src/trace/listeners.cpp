@@ -1,0 +1,275 @@
+#include "trace/listeners.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "kir/ir.hpp"
+
+namespace pulpc::trace {
+
+namespace {
+
+/// State-code encoding shared with the simulator's trace emission:
+/// class index * 2 + (1 if a contention/multi-cycle stall cycle).
+constexpr int kNumStateCodes = 12;
+
+int state_code_from_message(const std::string& msg) {
+  static const std::array<std::pair<const char*, int>, kNumStateCodes>
+      kStates = {{{"state=alu", 0},
+                  {"state=alu_stall", 1},
+                  {"state=fp", 2},
+                  {"state=fp_stall", 3},
+                  {"state=l1", 4},
+                  {"state=l1_stall", 5},
+                  {"state=l2", 6},
+                  {"state=l2_stall", 7},
+                  {"state=wait", 8},
+                  {"state=wait_stall", 9},
+                  {"state=cg", 10},
+                  {"state=cg_stall", 11}}};
+  for (const auto& [name, code] : kStates) {
+    if (msg == name) return code;
+  }
+  return -1;
+}
+
+std::string pe_base(unsigned core) {
+  return "/chip/cluster/pe" + std::to_string(core);
+}
+
+}  // namespace
+
+// ---- TraceAnalyser ----------------------------------------------------
+
+void TraceAnalyser::add(Listener& listener) {
+  for (const std::string& p : listener.paths()) {
+    routes_[p].push_back(&listener);
+  }
+}
+
+void TraceAnalyser::feed(const TraceEvent& ev) {
+  const auto it = routes_.find(ev.path);
+  if (it == routes_.end()) {
+    ++unclaimed_;
+    return;
+  }
+  for (Listener* l : it->second) l->on_event(ev);
+}
+
+void TraceAnalyser::feed_line(const std::string& line) {
+  const std::optional<TraceEvent> ev = parse_line(line);
+  if (!ev) {
+    ++malformed_;
+    return;
+  }
+  feed(*ev);
+}
+
+std::size_t TraceAnalyser::analyse(std::istream& in) {
+  std::size_t dispatched = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t before = malformed_;
+    feed_line(line);
+    if (malformed_ == before) ++dispatched;
+  }
+  return dispatched;
+}
+
+// ---- CoreListener -----------------------------------------------------
+
+CoreListener::CoreListener(unsigned core_id) : id_(core_id) {}
+
+std::vector<std::string> CoreListener::paths() const {
+  return {pe_base(id_) + "/insn", pe_base(id_) + "/trace"};
+}
+
+void CoreListener::on_event(const TraceEvent& ev) {
+  if (ev.path.ends_with("/trace")) {
+    const int code = state_code_from_message(ev.message);
+    if (code >= 0) state_changes_.emplace_back(ev.cycle, code);
+    // kernel_enter/kernel_exit markers also appear here; the insn-level
+    // markers below drive the window so both streams stay in sync.
+    return;
+  }
+
+  // insn stream: the mnemonic is the first whitespace-delimited token.
+  const std::size_t sp = ev.message.find(' ');
+  const std::string mnem =
+      sp == std::string::npos ? ev.message : ev.message.substr(0, sp);
+  kir::Op op{};
+  if (!kir::op_from_mnemonic(mnem, op)) return;
+
+  if (op == kir::Op::MarkEnter) {
+    in_window_ = true;
+    enter_cycle_ = ev.cycle;
+  }
+  if (!in_window_) return;
+  if (op == kir::Op::MarkExit) {
+    exit_cycle_ = ev.cycle;
+    in_window_ = false;
+  }
+
+  ++ops_.instrs;
+  kir::OpClass cls = kir::op_class(op);
+  if (kir::is_memory(op) && ev.message.find("!l2") != std::string::npos) {
+    cls = kir::OpClass::MemL2;
+  }
+  switch (cls) {
+    case kir::OpClass::Alu: ++ops_.n_alu; break;
+    case kir::OpClass::Div: ++ops_.n_div; break;
+    case kir::OpClass::Fp: ++ops_.n_fp; break;
+    case kir::OpClass::FpDiv: ++ops_.n_fpdiv; break;
+    case kir::OpClass::MemL1: ++ops_.n_l1; break;
+    case kir::OpClass::MemL2: ++ops_.n_l2; break;
+    case kir::OpClass::Branch: ++ops_.n_branch; break;
+    case kir::OpClass::Nop: ++ops_.n_nop; break;
+    case kir::OpClass::Sync: ++ops_.n_sync; break;
+  }
+}
+
+sim::CoreStats CoreListener::stats() const {
+  sim::CoreStats s = ops_;
+  if (!saw_kernel()) return s;
+  // The simulator charges core cycles in [enter, exit - 1]: the marker
+  // instructions open the window inclusively and close it exclusively.
+  const std::uint64_t lo = enter_cycle_;
+  const std::uint64_t hi = exit_cycle_;  // exclusive
+  for (std::size_t i = 0; i < state_changes_.size(); ++i) {
+    const auto [start, code] = state_changes_[i];
+    const std::uint64_t end = i + 1 < state_changes_.size()
+                                  ? state_changes_[i + 1].first
+                                  : hi;  // last state runs to the exit
+    const std::uint64_t a = std::max(start, lo);
+    const std::uint64_t b = std::min(end, hi);
+    if (a >= b) continue;
+    const std::uint64_t n = b - a;
+    switch (code / 2) {
+      case 0: s.cyc_alu += n; break;
+      case 1: s.cyc_fp += n; break;
+      case 2: s.cyc_l1 += n; break;
+      case 3: s.cyc_l2 += n; break;
+      case 4: s.cyc_wait += n; break;
+      case 5: s.cyc_cg += n; break;
+      default: break;
+    }
+    if (code % 2 == 1) s.idle_cycles += n;
+  }
+  return s;
+}
+
+// ---- BankListener -----------------------------------------------------
+
+BankListener::BankListener(std::string level, unsigned bank)
+    : level_(std::move(level)), bank_(bank) {}
+
+std::vector<std::string> BankListener::paths() const {
+  return {"/chip/cluster/" + level_ + "/bank" + std::to_string(bank_) +
+          "/trace"};
+}
+
+void BankListener::on_event(const TraceEvent& ev) {
+  if (ev.message.starts_with("read")) {
+    ++stats_.reads;
+  } else if (ev.message.starts_with("write")) {
+    ++stats_.writes;
+  } else if (ev.message.starts_with("conflict")) {
+    ++stats_.conflicts;
+  }
+}
+
+// ---- FpuListener ------------------------------------------------------
+
+FpuListener::FpuListener(unsigned unit) : unit_(unit) {}
+
+std::vector<std::string> FpuListener::paths() const {
+  return {"/chip/cluster/fpu" + std::to_string(unit_) + "/trace"};
+}
+
+void FpuListener::on_event(const TraceEvent& ev) {
+  if (!ev.message.starts_with("busy")) return;
+  if (const auto n = message_field(ev.message, "n")) {
+    stats_.busy_cycles += static_cast<std::uint64_t>(*n);
+  }
+}
+
+// ---- IcacheListener ---------------------------------------------------
+
+std::vector<std::string> IcacheListener::paths() const {
+  return {"/chip/cluster/icache/trace"};
+}
+
+void IcacheListener::on_event(const TraceEvent& ev) {
+  if (ev.message.starts_with("refill")) ++refills_;
+}
+
+// ---- DmaListener ------------------------------------------------------
+
+std::vector<std::string> DmaListener::paths() const {
+  return {"/chip/cluster/dma/trace"};
+}
+
+void DmaListener::on_event(const TraceEvent& ev) {
+  if (!ev.message.starts_with("start")) return;
+  if (const auto words = message_field(ev.message, "words")) {
+    stats_.beats += static_cast<std::uint64_t>(*words);
+    stats_.busy_cycles += static_cast<std::uint64_t>(*words);
+  }
+}
+
+// ---- PulpListeners ----------------------------------------------------
+
+PulpListeners::PulpListeners(const sim::ClusterConfig& cfg) : cfg_(cfg) {
+  cores_.reserve(cfg.num_cores);
+  for (unsigned i = 0; i < cfg.num_cores; ++i) cores_.emplace_back(i);
+  l1_.reserve(cfg.l1_banks);
+  for (unsigned i = 0; i < cfg.l1_banks; ++i) l1_.emplace_back("l1", i);
+  l2_.reserve(cfg.l2_banks);
+  for (unsigned i = 0; i < cfg.l2_banks; ++i) l2_.emplace_back("l2", i);
+  fpus_.reserve(cfg.num_fpus);
+  for (unsigned i = 0; i < cfg.num_fpus; ++i) fpus_.emplace_back(i);
+}
+
+void PulpListeners::register_on(TraceAnalyser& analyser) {
+  for (CoreListener& c : cores_) analyser.add(c);
+  for (BankListener& b : l1_) analyser.add(b);
+  for (BankListener& b : l2_) analyser.add(b);
+  for (FpuListener& f : fpus_) analyser.add(f);
+  analyser.add(icache_);
+  analyser.add(dma_);
+}
+
+sim::RunStats PulpListeners::to_run_stats() const {
+  sim::RunStats st;
+  st.total_cores = cfg_.num_cores;
+  st.core.resize(cfg_.num_cores);
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  unsigned seen = 0;
+  for (unsigned i = 0; i < cfg_.num_cores; ++i) {
+    st.core[i] = cores_[i].stats();
+    if (cores_[i].saw_kernel()) {
+      ++seen;
+      const std::uint64_t e = cores_[i].enter_cycle();
+      begin = begin == 0 ? e : std::min(begin, e);
+      end = std::max(end, cores_[i].exit_cycle());
+    }
+    st.icache.uses += st.core[i].instrs;
+  }
+  st.ncores = seen;
+  st.region_begin = begin;
+  st.region_end = end;
+  st.total_cycles = end;
+  st.l1.resize(cfg_.l1_banks);
+  for (unsigned i = 0; i < cfg_.l1_banks; ++i) st.l1[i] = l1_[i].stats();
+  st.l2.resize(cfg_.l2_banks);
+  for (unsigned i = 0; i < cfg_.l2_banks; ++i) st.l2[i] = l2_[i].stats();
+  st.fpu.resize(cfg_.num_fpus);
+  for (unsigned i = 0; i < cfg_.num_fpus; ++i) st.fpu[i] = fpus_[i].stats();
+  st.icache.refills = icache_.refills();
+  st.dma = dma_.stats();
+  return st;
+}
+
+}  // namespace pulpc::trace

@@ -1,0 +1,187 @@
+// The paper's trace-analysis software: "a hierarchical set of listeners
+// and a trace-analyser. The listeners are aggregated within the
+// PULPListeners class ... PULPListeners contains 8 CoreListeners, 16
+// L1BankListeners and 32 L2BankListeners. Each listener registers itself
+// on the trace-analyser providing the path needed to capture the events
+// intended for it."
+//
+// CoreListeners parse "cluster/pe*/insn" (opcode stream) and
+// "cluster/pe*/trace" (operating-state changes, clock-gating, kernel
+// region markers); bank listeners parse read/write/conflict events. From
+// a full trace, PulpListeners reconstructs the same sim::RunStats the
+// simulator counts directly — tests assert the two are identical.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "trace/parser.hpp"
+#include "trace/sinks.hpp"
+
+namespace pulpc::trace {
+
+/// A component-level trace consumer. Registers one or more component
+/// paths; the analyser routes matching events to it.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  [[nodiscard]] virtual std::vector<std::string> paths() const = 0;
+  virtual void on_event(const TraceEvent& ev) = 0;
+};
+
+/// Reads a trace line by line and dispatches each event to the listeners
+/// registered for its component path.
+class TraceAnalyser {
+ public:
+  /// Register a listener (non-owning; must outlive the analyser).
+  void add(Listener& listener);
+
+  void feed(const TraceEvent& ev);
+  void feed_line(const std::string& line);
+  /// Parse a whole stream; returns the number of dispatched events.
+  std::size_t analyse(std::istream& in);
+
+  [[nodiscard]] std::size_t malformed_lines() const noexcept {
+    return malformed_;
+  }
+  [[nodiscard]] std::size_t unclaimed_events() const noexcept {
+    return unclaimed_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<Listener*>> routes_;
+  std::size_t malformed_ = 0;
+  std::size_t unclaimed_ = 0;
+};
+
+/// Reconstructs one processing element's opcode counts and per-state
+/// cycle counts from its insn/trace event streams, filtered to the kernel
+/// region exactly as the simulator's own counters are.
+class CoreListener final : public Listener {
+ public:
+  explicit CoreListener(unsigned core_id);
+
+  [[nodiscard]] std::vector<std::string> paths() const override;
+  void on_event(const TraceEvent& ev) override;
+
+  /// True once both kernel.enter and kernel.exit have been seen.
+  [[nodiscard]] bool saw_kernel() const noexcept {
+    return enter_cycle_ > 0 && exit_cycle_ > 0;
+  }
+  [[nodiscard]] std::uint64_t enter_cycle() const noexcept {
+    return enter_cycle_;
+  }
+  [[nodiscard]] std::uint64_t exit_cycle() const noexcept {
+    return exit_cycle_;
+  }
+
+  /// Region-filtered statistics (valid after the trace has been fed).
+  [[nodiscard]] sim::CoreStats stats() const;
+
+ private:
+  unsigned id_;
+  bool in_window_ = false;
+  std::uint64_t enter_cycle_ = 0;
+  std::uint64_t exit_cycle_ = 0;
+  sim::CoreStats ops_;  ///< opcode counters (cycle counters filled later)
+  /// (cycle, state-code) change points; state-code = class*2 + stall.
+  std::vector<std::pair<std::uint64_t, int>> state_changes_;
+};
+
+/// Counts read/write/conflict events of one TCDM or L2 bank.
+class BankListener final : public Listener {
+ public:
+  BankListener(std::string level, unsigned bank);  ///< level: "l1" or "l2"
+
+  [[nodiscard]] std::vector<std::string> paths() const override;
+  void on_event(const TraceEvent& ev) override;
+
+  [[nodiscard]] const sim::BankStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::string level_;
+  unsigned bank_;
+  sim::BankStats stats_;
+};
+
+/// Accumulates busy cycles of one shared FPU.
+class FpuListener final : public Listener {
+ public:
+  explicit FpuListener(unsigned unit);
+
+  [[nodiscard]] std::vector<std::string> paths() const override;
+  void on_event(const TraceEvent& ev) override;
+
+  [[nodiscard]] const sim::FpuStats& stats() const noexcept { return stats_; }
+
+ private:
+  unsigned unit_;
+  sim::FpuStats stats_;
+};
+
+/// Counts I-cache refills (uses are reconstructed from the cores'
+/// instruction streams).
+class IcacheListener final : public Listener {
+ public:
+  [[nodiscard]] std::vector<std::string> paths() const override;
+  void on_event(const TraceEvent& ev) override;
+
+  [[nodiscard]] std::uint64_t refills() const noexcept { return refills_; }
+
+ private:
+  std::uint64_t refills_ = 0;
+};
+
+/// Accumulates DMA transfer beats from transfer-start descriptors.
+class DmaListener final : public Listener {
+ public:
+  [[nodiscard]] std::vector<std::string> paths() const override;
+  void on_event(const TraceEvent& ev) override;
+
+  [[nodiscard]] const sim::DmaStats& stats() const noexcept { return stats_; }
+
+ private:
+  sim::DmaStats stats_;
+};
+
+/// The paper's PULPListeners aggregate: 8 CoreListeners, 16
+/// L1BankListeners, 32 L2BankListeners (plus FPU / I-cache / DMA
+/// listeners), with methods to query the status of the platform.
+class PulpListeners {
+ public:
+  explicit PulpListeners(const sim::ClusterConfig& cfg = {});
+
+  /// Register every contained listener on the analyser.
+  void register_on(TraceAnalyser& analyser);
+
+  /// Rebuild run statistics from the parsed trace. The number of cores
+  /// that executed the kernel is inferred from which cores saw region
+  /// markers.
+  [[nodiscard]] sim::RunStats to_run_stats() const;
+
+  [[nodiscard]] const CoreListener& core(unsigned i) const {
+    return cores_.at(i);
+  }
+  [[nodiscard]] const BankListener& l1_bank(unsigned i) const {
+    return l1_.at(i);
+  }
+  [[nodiscard]] const BankListener& l2_bank(unsigned i) const {
+    return l2_.at(i);
+  }
+
+ private:
+  sim::ClusterConfig cfg_;
+  std::vector<CoreListener> cores_;
+  std::vector<BankListener> l1_;
+  std::vector<BankListener> l2_;
+  std::vector<FpuListener> fpus_;
+  IcacheListener icache_;
+  DmaListener dma_;
+};
+
+}  // namespace pulpc::trace

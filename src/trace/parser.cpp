@@ -1,0 +1,34 @@
+#include "trace/parser.hpp"
+
+#include <regex>
+
+namespace pulpc::trace {
+
+std::optional<TraceEvent> parse_line(const std::string& line) {
+  static const std::regex kLine(R"(^\s*(\d+):\s*(\S+):\s*(.*?)\s*$)");
+  std::smatch m;
+  if (!std::regex_match(line, m, kLine)) return std::nullopt;
+  TraceEvent ev;
+  try {
+    ev.cycle = std::stoull(m[1].str());
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+  ev.path = m[2].str();
+  ev.message = m[3].str();
+  return ev;
+}
+
+std::optional<std::int64_t> message_field(const std::string& message,
+                                          const std::string& key) {
+  const std::regex kField(key + R"(=(-?\d+))");
+  std::smatch m;
+  if (!std::regex_search(message, m, kField)) return std::nullopt;
+  try {
+    return std::stoll(m[1].str());
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace pulpc::trace

@@ -1,0 +1,25 @@
+// Trace line parsing. As in the paper, the trace-analyser "reads the
+// GVSOC trace line by line and parses it using regular expressions to
+// obtain: the event cycle number, the path of the component that issued
+// the event, and other information that will be analysed later by a
+// listener".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/sinks.hpp"
+
+namespace pulpc::trace {
+
+/// Parse one "<cycle>: <path>: <message>" line. Returns nullopt for
+/// malformed lines (blank lines and comments starting with '#' are also
+/// rejected so callers can count them as skipped).
+[[nodiscard]] std::optional<TraceEvent> parse_line(const std::string& line);
+
+/// Extract a "key=value" integer field from an event message, e.g.
+/// n from "busy n=10" or words from "start ... words=128".
+[[nodiscard]] std::optional<std::int64_t> message_field(
+    const std::string& message, const std::string& key);
+
+}  // namespace pulpc::trace

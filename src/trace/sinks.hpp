@@ -1,0 +1,54 @@
+// Concrete trace sinks: a text writer producing the GVSOC-style
+// `cycle: path: message` line format the paper's trace-analyser parses,
+// and an in-memory sink for tests.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace_sink.hpp"
+
+namespace pulpc::trace {
+
+/// One parsed/recorded trace event.
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  std::string path;
+  std::string message;
+};
+
+/// Writes events as text lines: "<cycle>: <path>: <message>".
+class TextTraceWriter final : public sim::TraceSink {
+ public:
+  /// The stream must outlive the writer.
+  explicit TextTraceWriter(std::ostream& out) : out_(&out) {}
+
+  void event(std::uint64_t cycle, const std::string& path,
+             const std::string& message) override {
+    *out_ << cycle << ": " << path << ": " << message << '\n';
+  }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Buffers events in memory (test helper).
+class MemoryTraceSink final : public sim::TraceSink {
+ public:
+  void event(std::uint64_t cycle, const std::string& path,
+             const std::string& message) override {
+    events_.push_back(TraceEvent{cycle, path, message});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pulpc::trace

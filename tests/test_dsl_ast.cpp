@@ -1,0 +1,291 @@
+// Unit tests for the kernel source language: expression construction,
+// type rules, and the statement builder.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dsl/ast.hpp"
+#include "dsl/builder.hpp"
+#include "dsl/validate.hpp"
+
+namespace pulpc::dsl {
+namespace {
+
+Val i(std::int32_t v) { return make_const_i(v); }
+Val f(float v) { return make_const_f(v); }
+
+// ---- expression typing ------------------------------------------------
+
+TEST(DslExpr, ConstantsCarryTheirTypes) {
+  EXPECT_EQ(i(3).e->type, DType::I32);
+  EXPECT_EQ(f(1.5F).e->type, DType::F32);
+  EXPECT_EQ(i(3).e->ival, 3);
+  EXPECT_FLOAT_EQ(f(1.5F).e->fval, 1.5F);
+}
+
+TEST(DslExpr, ArithmeticPreservesType) {
+  EXPECT_EQ((i(1) + i(2)).e->type, DType::I32);
+  EXPECT_EQ((f(1) * f(2)).e->type, DType::F32);
+}
+
+TEST(DslExpr, MixedArithmeticPromotesToF32) {
+  const Val v = i(1) + f(2.0F);
+  EXPECT_EQ(v.e->type, DType::F32);
+  // The integer side gets an implicit ToF32 cast.
+  EXPECT_EQ(v.e->a->kind, Expr::Kind::Un);
+  EXPECT_EQ(v.e->a->uop, UnOp::ToF32);
+}
+
+TEST(DslExpr, ComparisonsProduceI32) {
+  EXPECT_EQ((i(1) < i(2)).e->type, DType::I32);
+  EXPECT_EQ((f(1) < f(2)).e->type, DType::I32);
+  EXPECT_EQ((f(1) == f(2)).e->type, DType::I32);
+}
+
+TEST(DslExpr, IntegerOnlyOperatorsRejectF32) {
+  EXPECT_THROW((void)(f(1) % f(2)), std::invalid_argument);
+  EXPECT_THROW((void)(f(1) << i(2)), std::invalid_argument);
+  EXPECT_THROW((void)(f(1) & f(2)), std::invalid_argument);
+  EXPECT_THROW((void)(f(1) | f(2)), std::invalid_argument);
+  EXPECT_THROW((void)(f(1) ^ f(2)), std::invalid_argument);
+}
+
+TEST(DslExpr, SqrtRequiresF32) {
+  EXPECT_THROW((void)vsqrt(i(4)), std::invalid_argument);
+  EXPECT_EQ(vsqrt(f(4)).e->type, DType::F32);
+}
+
+TEST(DslExpr, NoOpCastsCollapse) {
+  const Val v = to_f32(f(1));
+  EXPECT_EQ(v.e->kind, Expr::Kind::ConstF);
+  const Val w = to_i32(i(1));
+  EXPECT_EQ(w.e->kind, Expr::Kind::ConstI);
+}
+
+TEST(DslExpr, CastsChangeType) {
+  EXPECT_EQ(to_f32(i(1)).e->type, DType::F32);
+  EXPECT_EQ(to_i32(f(1)).e->type, DType::I32);
+}
+
+TEST(DslExpr, LoadRequiresI32Index) {
+  EXPECT_THROW((void)make_load("b", DType::I32, f(0)), std::invalid_argument);
+  const Val v = make_load("b", DType::F32, i(0));
+  EXPECT_EQ(v.e->type, DType::F32);
+  EXPECT_EQ(v.e->name, "b");
+}
+
+TEST(DslExpr, NullOperandsRejected) {
+  EXPECT_THROW((void)make_bin(BinOp::Add, Val{}, i(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_un(UnOp::Neg, Val{}), std::invalid_argument);
+  EXPECT_THROW((void)make_load("b", DType::I32, Val{}),
+               std::invalid_argument);
+}
+
+TEST(DslExpr, CoreIdAndNumCoresAreI32) {
+  EXPECT_EQ(make_core_id().e->type, DType::I32);
+  EXPECT_EQ(make_num_cores().e->type, DType::I32);
+}
+
+TEST(DslExpr, MinMaxAbsNeg) {
+  EXPECT_EQ(vmin(i(1), i(2)).e->bop, BinOp::Min);
+  EXPECT_EQ(vmax(f(1), f(2)).e->type, DType::F32);
+  EXPECT_EQ(vabs(i(-1)).e->uop, UnOp::Abs);
+  EXPECT_EQ((-f(1)).e->uop, UnOp::Neg);
+}
+
+// ---- builder -----------------------------------------------------------
+
+TEST(DslBuilder, ElemConstFollowsKernelType) {
+  KernelBuilder ki("k", "custom", DType::I32, 64);
+  EXPECT_EQ(ki.ec(3.7).e->kind, Expr::Kind::ConstI);
+  EXPECT_EQ(ki.ec(3.7).e->ival, 3);
+  KernelBuilder kf("k", "custom", DType::F32, 64);
+  EXPECT_EQ(kf.ec(3.7).e->kind, Expr::Kind::ConstF);
+}
+
+TEST(DslBuilder, BufferDefaultsToKernelElemType) {
+  KernelBuilder k("k", "custom", DType::F32, 64);
+  const Buf b = k.buffer("b", 16);
+  EXPECT_EQ(b.elem, DType::F32);
+  EXPECT_EQ(b.elems, 16U);
+  const Buf idx = k.buffer_of("idx", DType::I32, 8);
+  EXPECT_EQ(idx.elem, DType::I32);
+}
+
+TEST(DslBuilder, RejectsEmptyAndDuplicateBuffers) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  EXPECT_THROW((void)k.buffer("b", 0), std::invalid_argument);
+  (void)k.buffer("b", 8);
+  EXPECT_THROW((void)k.buffer("b", 8), std::invalid_argument);
+}
+
+TEST(DslBuilder, StoreConvertsValueToBufferType) {
+  KernelBuilder k("k", "custom", DType::F32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.store(b, i(0), i(3));  // i32 value into f32 buffer
+  const KernelSpec spec = k.build();
+  ASSERT_EQ(spec.body.size(), 1U);
+  EXPECT_EQ(spec.body[0]->value->type, DType::F32);
+}
+
+TEST(DslBuilder, DeclReturnsTypedVar) {
+  KernelBuilder k("k", "custom", DType::F32, 64);
+  const Val v = k.decl("x", f(1));
+  EXPECT_EQ(v.e->kind, Expr::Kind::Var);
+  EXPECT_EQ(v.e->type, DType::F32);
+  EXPECT_EQ(v.e->name, "x");
+}
+
+TEST(DslBuilder, AssignRequiresVarTarget) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  EXPECT_THROW(k.assign(i(1), i(2)), std::invalid_argument);
+}
+
+TEST(DslBuilder, ForBuildsNestedBody) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.for_("i", i(0), i(8), [&](Val iv) { k.store(b, iv, iv); });
+  const KernelSpec spec = k.build();
+  ASSERT_EQ(spec.body.size(), 1U);
+  const Stmt& s = *spec.body[0];
+  EXPECT_EQ(s.kind, Stmt::Kind::For);
+  EXPECT_FALSE(s.parallel);
+  EXPECT_EQ(s.loop_var, "i");
+  ASSERT_EQ(s.body.size(), 1U);
+  EXPECT_EQ(s.body[0]->kind, Stmt::Kind::Store);
+}
+
+TEST(DslBuilder, ParForSetsParallelFlag) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.par_for("i", i(0), i(8), [&](Val iv) { k.store(b, iv, iv); });
+  const KernelSpec spec = k.build();
+  EXPECT_TRUE(spec.body[0]->parallel);
+}
+
+TEST(DslBuilder, ForRejectsNonPositiveStep) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  EXPECT_THROW(k.for_("i", i(0), i(8), [](Val) {}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(k.for_("i", i(0), i(8), [](Val) {}, -1),
+               std::invalid_argument);
+}
+
+TEST(DslBuilder, IfElseBuildsBothBranches) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.if_else(
+      i(1) < i(2), [&] { k.store(b, i(0), i(1)); },
+      [&] { k.store(b, i(0), i(2)); });
+  const KernelSpec spec = k.build();
+  const Stmt& s = *spec.body[0];
+  EXPECT_EQ(s.kind, Stmt::Kind::If);
+  EXPECT_EQ(s.body.size(), 1U);
+  EXPECT_EQ(s.else_body.size(), 1U);
+}
+
+TEST(DslBuilder, CriticalAndBarrier) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.critical([&] { k.store(b, i(0), i(1)); });
+  k.barrier();
+  const KernelSpec spec = k.build();
+  ASSERT_EQ(spec.body.size(), 2U);
+  EXPECT_EQ(spec.body[0]->kind, Stmt::Kind::Critical);
+  EXPECT_EQ(spec.body[1]->kind, Stmt::Kind::Barrier);
+}
+
+TEST(DslBuilder, DmaCopyValidatesWordCount) {
+  KernelBuilder k("k", "custom", DType::I32, 256);
+  const Buf a = k.buffer("a", 8);
+  const Buf b = k.buffer("b", 16);
+  EXPECT_THROW(k.dma_copy(a, b, 0), std::invalid_argument);
+  EXPECT_THROW(k.dma_copy(a, b, 9), std::invalid_argument);  // > dst
+  k.dma_copy(a, b, 8);
+  k.dma_wait();
+  const KernelSpec spec = k.build();
+  ASSERT_EQ(spec.body.size(), 2U);
+  EXPECT_EQ(spec.body[0]->kind, Stmt::Kind::DmaCopy);
+  EXPECT_EQ(spec.body[0]->dma_words, 8U);
+  EXPECT_EQ(spec.body[1]->kind, Stmt::Kind::DmaWait);
+}
+
+TEST(DslBuilder, BuildCannotBeReused) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  (void)k.build();
+  EXPECT_THROW(k.barrier(), std::logic_error);
+}
+
+// ---- semantic validation -------------------------------------------------
+
+TEST(DslValidate, AcceptsStraightforwardParallelKernel) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 16);
+  k.par_for("i", i(0), i(16), [&](Val iv) { k.store(b, iv, iv); });
+  EXPECT_EQ(validate_spec(k.build()), "");
+}
+
+TEST(DslValidate, AcceptsReplicatedScalarFeedingParallelLoop) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 16);
+  const Val n = k.decl("n", i(16));
+  k.par_for("i", i(0), n, [&](Val iv) { k.store(b, iv, iv); });
+  EXPECT_EQ(validate_spec(k.build()), "");
+}
+
+TEST(DslValidate, RejectsMasterOnlyScalarReadInParallelRegion) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 16);
+  // The serial loop contains a store, so it is master-guarded; `acc` is
+  // then only valid on core 0 but read inside the parallel loop.
+  auto acc = k.decl("acc", i(0));
+  k.for_("j", i(0), i(4), [&](Val jv) {
+    k.assign(acc, acc + jv);
+    k.store(b, jv, acc);
+  });
+  k.par_for("i", i(0), i(16), [&](Val iv) { k.store(b, iv, acc); });
+  EXPECT_NE(validate_spec(k.build()), "");
+}
+
+TEST(DslValidate, RejectsDivergentScalarReadAfterParallelRegion) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 16);
+  auto acc = k.decl("acc", i(0));
+  k.par_for("i", i(0), i(16), [&](Val iv) { k.assign(acc, acc + iv); });
+  // Each core now holds a different `acc`.
+  k.par_for("i2", i(0), i(16), [&](Val iv) { k.store(b, iv, acc); });
+  EXPECT_NE(validate_spec(k.build()), "");
+}
+
+TEST(DslValidate, ReDeclarationClearsDivergence) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 16);
+  auto acc = k.decl("acc", i(0));
+  k.par_for("i", i(0), i(16), [&](Val iv) { k.assign(acc, acc + iv); });
+  k.assign(acc, i(7));  // replicated re-initialisation
+  k.par_for("i2", i(0), i(16), [&](Val iv) { k.store(b, iv, acc); });
+  EXPECT_EQ(validate_spec(k.build()), "");
+}
+
+TEST(DslValidate, RejectsNestedParallelism) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 16);
+  k.par_for("i", i(0), i(4), [&](Val) {
+    k.par_for("j", i(0), i(4), [&](Val jv) { k.store(b, jv, jv); });
+  });
+  EXPECT_NE(validate_spec(k.build()), "");
+}
+
+TEST(DslValidate, ScalarInsideParallelBodyIsFine) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 16);
+  k.par_for("i", i(0), i(16), [&](Val iv) {
+    auto t = k.decl("t", iv * i(2));
+    k.store(b, iv, t);
+  });
+  EXPECT_EQ(validate_spec(k.build()), "");
+}
+
+}  // namespace
+}  // namespace pulpc::dsl

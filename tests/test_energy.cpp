@@ -1,0 +1,193 @@
+// Energy-model tests: Table I constants, hand-computed integrations,
+// component breakdowns and qualitative invariants (leakage grows with
+// time, work grows with activity, unused cores cost clock-gating).
+#include <gtest/gtest.h>
+
+#include "energy/model.hpp"
+
+namespace pulpc::energy {
+namespace {
+
+/// Empty 8c4flp-shaped run of `cycles` region cycles with `ncores`
+/// participating cores.
+sim::RunStats blank_run(unsigned ncores, std::uint64_t cycles) {
+  sim::RunStats st;
+  st.ncores = ncores;
+  st.total_cores = 8;
+  st.total_cycles = cycles;
+  st.region_begin = 1;
+  st.region_end = cycles;
+  st.core.resize(8);
+  st.l1.resize(16);
+  st.l2.resize(32);
+  st.fpu.resize(4);
+  return st;
+}
+
+TEST(EnergyModel, TableOneConstantsMatchThePaper) {
+  const EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.pe_leakage, 182.0);
+  EXPECT_DOUBLE_EQ(m.pe_nop, 1212.0);
+  EXPECT_DOUBLE_EQ(m.pe_alu, 2558.0);
+  EXPECT_DOUBLE_EQ(m.pe_fp, 2468.0);
+  EXPECT_DOUBLE_EQ(m.pe_l1, 3242.0);
+  EXPECT_DOUBLE_EQ(m.pe_l2, 1011.0);
+  EXPECT_DOUBLE_EQ(m.pe_cg, 20.0);
+  EXPECT_DOUBLE_EQ(m.fpu_leakage, 191.0);
+  EXPECT_DOUBLE_EQ(m.fpu_operative, 299.0);
+  EXPECT_DOUBLE_EQ(m.fpu_idle, 0.0);
+  EXPECT_DOUBLE_EQ(m.l1_leakage, 49.0);
+  EXPECT_DOUBLE_EQ(m.l1_read, 2543.0);
+  EXPECT_DOUBLE_EQ(m.l1_write, 2568.0);
+  EXPECT_DOUBLE_EQ(m.l1_idle, 64.0);
+  EXPECT_DOUBLE_EQ(m.l2_leakage, 105.0);
+  EXPECT_DOUBLE_EQ(m.l2_read, 2942.0);
+  EXPECT_DOUBLE_EQ(m.l2_write, 3480.0);
+  EXPECT_DOUBLE_EQ(m.l2_idle, 13.0);
+  EXPECT_DOUBLE_EQ(m.icache_leakage, 774.0);
+  EXPECT_DOUBLE_EQ(m.icache_use, 4492.0);
+  EXPECT_DOUBLE_EQ(m.icache_refill, 5932.0);
+  EXPECT_DOUBLE_EQ(m.dma_leakage, 165.0);
+  EXPECT_DOUBLE_EQ(m.dma_transfer, 1750.0);
+  EXPECT_DOUBLE_EQ(m.dma_idle, 46.0);
+  EXPECT_DOUBLE_EQ(m.other_leakage, 655.0);
+  EXPECT_DOUBLE_EQ(m.other_active, 2702.0);
+}
+
+TEST(EnergyModel, IdleClusterEnergyIsHandComputable) {
+  const EnergyModel m;
+  const std::uint64_t T = 1000;
+  const sim::RunStats st = blank_run(1, T);
+  const EnergyBreakdown e = compute_energy(st, m);
+  const double t = static_cast<double>(T);
+  // 8 PEs: leakage always; the one participating core has no accounted
+  // cycles -> treated as clock-gated, like the 7 parked ones.
+  EXPECT_DOUBLE_EQ(e.pe, 8 * (m.pe_leakage + m.pe_cg) * t);
+  EXPECT_DOUBLE_EQ(e.fpu, 4 * (m.fpu_leakage + m.fpu_idle) * t);
+  EXPECT_DOUBLE_EQ(e.l1, 16 * (m.l1_leakage + m.l1_idle) * t);
+  EXPECT_DOUBLE_EQ(e.l2, 32 * (m.l2_leakage + m.l2_idle) * t);
+  EXPECT_DOUBLE_EQ(e.icache, m.icache_leakage * t);
+  EXPECT_DOUBLE_EQ(e.dma, (m.dma_leakage + m.dma_idle) * t);
+  EXPECT_DOUBLE_EQ(e.other, m.other_leakage * t);
+  EXPECT_DOUBLE_EQ(e.total_fj(),
+                   e.pe + e.fpu + e.l1 + e.l2 + e.icache + e.dma + e.other);
+}
+
+TEST(EnergyModel, PerOpcodeClassCyclesAreChargedAtTableRates) {
+  const EnergyModel m;
+  sim::RunStats st = blank_run(1, 100);
+  st.core[0].cyc_alu = 40;
+  st.core[0].cyc_fp = 10;
+  st.core[0].cyc_l1 = 20;
+  st.core[0].cyc_l2 = 15;
+  st.core[0].cyc_wait = 10;
+  st.core[0].cyc_cg = 5;
+  const EnergyBreakdown e = compute_energy(st, m);
+  const double expected_core0 =
+      m.pe_leakage * 100 + m.pe_alu * 40 + m.pe_fp * 10 + m.pe_l1 * 20 +
+      m.pe_l2 * 15 + m.pe_nop * 10 + m.pe_cg * 5;
+  const double parked = 7 * (m.pe_leakage + m.pe_cg) * 100;
+  EXPECT_DOUBLE_EQ(e.pe, expected_core0 + parked);
+}
+
+TEST(EnergyModel, MemoryAccessesChargeReadAndWriteRates) {
+  const EnergyModel m;
+  sim::RunStats st = blank_run(1, 10);
+  st.l1[3].reads = 4;
+  st.l1[3].writes = 2;
+  st.l2[7].reads = 1;
+  const EnergyBreakdown e = compute_energy(st, m);
+  const double l1_expected = 16 * m.l1_leakage * 10 +
+                             m.l1_read * 4 + m.l1_write * 2 +
+                             (16 * 10 - 6) * m.l1_idle;
+  EXPECT_DOUBLE_EQ(e.l1, l1_expected);
+  const double l2_expected = 32 * m.l2_leakage * 10 + m.l2_read * 1 +
+                             (32 * 10 - 1) * m.l2_idle;
+  EXPECT_DOUBLE_EQ(e.l2, l2_expected);
+}
+
+TEST(EnergyModel, IcacheAndDmaActivity) {
+  const EnergyModel m;
+  sim::RunStats st = blank_run(1, 10);
+  st.icache.uses = 30;
+  st.icache.refills = 2;
+  st.dma.beats = 8;
+  st.dma.busy_cycles = 8;
+  const EnergyBreakdown e = compute_energy(st, m);
+  EXPECT_DOUBLE_EQ(e.icache, m.icache_leakage * 10 + m.icache_use * 30 +
+                                 m.icache_refill * 2);
+  EXPECT_DOUBLE_EQ(e.dma, m.dma_leakage * 10 + m.dma_transfer * 8 +
+                              m.dma_idle * 2);
+}
+
+TEST(EnergyModel, InterconnectActiveScalesWithRunningCores) {
+  const EnergyModel m;
+  sim::RunStats one = blank_run(1, 100);
+  one.core[0].cyc_alu = 100;
+  sim::RunStats two = blank_run(2, 100);
+  two.core[0].cyc_alu = 100;
+  two.core[1].cyc_alu = 100;
+  const double e1 = compute_energy(one, m).other;
+  const double e2 = compute_energy(two, m).other;
+  EXPECT_DOUBLE_EQ(e2 - e1, m.other_active * 100);
+}
+
+TEST(EnergyModel, ClockGatedCyclesDoNotToggleInterconnect) {
+  const EnergyModel m;
+  sim::RunStats st = blank_run(1, 100);
+  st.core[0].cyc_cg = 100;
+  EXPECT_DOUBLE_EQ(compute_energy(st, m).other, m.other_leakage * 100);
+}
+
+TEST(EnergyModel, MoreCyclesAlwaysCostMoreEnergy) {
+  for (const std::uint64_t t : {10ULL, 100ULL, 1000ULL}) {
+    const double a = total_energy_fj(blank_run(4, t));
+    const double b = total_energy_fj(blank_run(4, t * 2));
+    EXPECT_LT(a, b) << t;
+  }
+}
+
+TEST(EnergyModel, FpuBusyCyclesAreOperative) {
+  const EnergyModel m;
+  sim::RunStats st = blank_run(1, 50);
+  st.fpu[2].busy_cycles = 20;
+  const EnergyBreakdown e = compute_energy(st, m);
+  EXPECT_DOUBLE_EQ(e.fpu, 4 * m.fpu_leakage * 50 + m.fpu_operative * 20 +
+                              m.fpu_idle * (4 * 50 - 20));
+}
+
+TEST(EnergyModel, UnitsConvertToMicrojoules) {
+  EnergyBreakdown e;
+  e.pe = 1e9;  // 1e9 fJ == 1 uJ
+  EXPECT_DOUBLE_EQ(e.total_uj(), 1.0);
+}
+
+TEST(EnergyModel, ReportMentionsEveryComponent) {
+  const EnergyBreakdown e = compute_energy(blank_run(2, 100));
+  const std::string r = report(e);
+  for (const char* name : {"processing elems", "shared FPUs", "TCDM banks",
+                           "L2 banks", "I-cache", "DMA", "other cluster",
+                           "total"}) {
+    EXPECT_NE(r.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(EnergyModel, ZeroRegionYieldsZeroEnergy) {
+  sim::RunStats st = blank_run(1, 0);
+  st.region_begin = 5;
+  st.region_end = 0;
+  EXPECT_DOUBLE_EQ(total_energy_fj(st), 0.0);
+}
+
+TEST(EnergyModel, CustomModelScalesResults) {
+  EnergyModel cheap;
+  cheap.pe_alu = 1.0;
+  sim::RunStats st = blank_run(1, 10);
+  st.core[0].cyc_alu = 10;
+  const double base = compute_energy(st, EnergyModel{}).pe;
+  const double scaled = compute_energy(st, cheap).pe;
+  EXPECT_LT(scaled, base);
+}
+
+}  // namespace
+}  // namespace pulpc::energy

@@ -1,0 +1,187 @@
+// Feature-extraction tests: the RAW/AGG formulas of Table IIa, the MCA
+// vector of Table IIb, the Table III dynamic features, and the named
+// feature sets used in Figure 2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsl/builder.hpp"
+#include "dsl/lower.hpp"
+#include "feat/features.hpp"
+#include "sim/cluster.hpp"
+
+namespace pulpc::feat {
+namespace {
+
+using dsl::Buf;
+using dsl::InitKind;
+using dsl::KernelBuilder;
+using dsl::Val;
+using kir::DType;
+
+Val ic(std::int32_t v) { return dsl::make_const_i(v); }
+
+kir::Program saxpy_prog(std::uint32_t n) {
+  KernelBuilder k("saxpy", "test", DType::F32, n * 4);
+  const Buf x = k.buffer("x", n, InitKind::Ramp);
+  const Buf y = k.buffer("y", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.store(y, i, k.ec(2) * k.load(x, i) + k.load(y, i));
+  });
+  return dsl::lower(k.build());
+}
+
+TEST(StaticFeatures, AggFormulasFollowThePaper) {
+  const StaticFeatures f = extract_static(saxpy_prog(128));
+  ASSERT_GT(f.op, 0.0);
+  ASSERT_GT(f.tcdm, 0.0);
+  EXPECT_DOUBLE_EQ(f.f1, f.transfer / (f.op + f.tcdm));
+  EXPECT_DOUBLE_EQ(f.f3, f.avgws);
+  EXPECT_DOUBLE_EQ(f.f4, f.op / f.tcdm);
+}
+
+TEST(StaticFeatures, TransferIsTotalBufferBytes) {
+  const StaticFeatures f = extract_static(saxpy_prog(128));
+  EXPECT_DOUBLE_EQ(f.transfer, 2 * 128 * 4.0);
+}
+
+TEST(StaticFeatures, AvgwsMatchesParallelIterations) {
+  const StaticFeatures f = extract_static(saxpy_prog(128));
+  EXPECT_DOUBLE_EQ(f.avgws, 128.0);
+}
+
+TEST(StaticFeatures, CountsScaleWithProblemSize) {
+  const StaticFeatures small = extract_static(saxpy_prog(64));
+  const StaticFeatures big = extract_static(saxpy_prog(256));
+  EXPECT_GT(big.op, small.op);
+  EXPECT_GT(big.tcdm, small.tcdm);
+  EXPECT_DOUBLE_EQ(big.transfer, 4 * small.transfer);
+  // Per-iteration structure is size-invariant.
+  EXPECT_NEAR(big.f4, small.f4, 0.2);
+}
+
+TEST(StaticFeatures, McaFieldsArePopulated) {
+  const StaticFeatures f = extract_static(saxpy_prog(128));
+  EXPECT_GT(f.ipc, 0.0);
+  EXPECT_GT(f.uopspc, 0.0);
+  EXPECT_GT(f.rbp, 0.0);
+  double pressure = 0;
+  for (const double p : f.rp) pressure += p;
+  EXPECT_GT(pressure, 0.0);
+}
+
+TEST(StaticFeatures, VectorMatchesNameOrder) {
+  const StaticFeatures f = extract_static(saxpy_prog(128));
+  const std::vector<double> v = f.to_vector();
+  const std::vector<std::string>& names = static_feature_names();
+  ASSERT_EQ(v.size(), names.size());
+  ASSERT_EQ(names.size(), 20U);
+  EXPECT_EQ(names[0], "op");
+  EXPECT_DOUBLE_EQ(v[0], f.op);
+  EXPECT_EQ(names[4], "F1");
+  EXPECT_DOUBLE_EQ(v[4], f.f1);
+  EXPECT_EQ(names[8], "IPC");
+  EXPECT_DOUBLE_EQ(v[8], f.ipc);
+  EXPECT_EQ(names[19], "RP7");
+  EXPECT_DOUBLE_EQ(v[19], f.rp[7]);
+}
+
+TEST(DynamicFeatures, ComputedFromSyntheticRunStats) {
+  sim::RunStats st;
+  st.ncores = 2;
+  st.total_cores = 8;
+  st.region_begin = 1;
+  st.region_end = 100;
+  st.core.resize(8);
+  st.l1.resize(16);
+  st.l2.resize(32);
+  st.fpu.resize(4);
+  st.core[0].idle_cycles = 10;
+  st.core[0].cyc_cg = 20;
+  st.core[0].n_alu = 50;
+  st.core[0].n_div = 5;
+  st.core[1].n_fp = 30;
+  st.core[1].n_fpdiv = 2;
+  st.core[0].n_l1 = 40;
+  st.core[1].n_l2 = 4;
+  st.l1[0].reads = 30;
+  st.l1[0].writes = 10;
+  st.l1[1].conflicts = 7;
+  const DynamicFeatures d = extract_dynamic(st);
+  EXPECT_DOUBLE_EQ(d.pe_idle, 10.0 / 200.0);
+  EXPECT_DOUBLE_EQ(d.pe_sleep, 20.0 / 200.0);
+  EXPECT_DOUBLE_EQ(d.pe_alu, 55.0);
+  EXPECT_DOUBLE_EQ(d.pe_fp, 32.0);
+  EXPECT_DOUBLE_EQ(d.pe_l1, 40.0);
+  EXPECT_DOUBLE_EQ(d.pe_l2, 4.0);
+  EXPECT_DOUBLE_EQ(d.l1_read, 30.0);
+  EXPECT_DOUBLE_EQ(d.l1_write, 10.0);
+  EXPECT_DOUBLE_EQ(d.l1_conflicts, 7.0);
+  // idle = 16 banks x 100 cycles - 40 accesses.
+  EXPECT_DOUBLE_EQ(d.l1_idle, 16 * 100.0 - 40.0);
+  const std::vector<double> v = d.to_vector();
+  ASSERT_EQ(v.size(), std::size_t(kDynamicPerConfig));
+  EXPECT_DOUBLE_EQ(v[1], d.pe_sleep);
+  EXPECT_DOUBLE_EQ(v[9], d.l1_conflicts);
+}
+
+TEST(DynamicFeatures, FromRealRunSleepGrowsWithCores) {
+  const kir::Program prog = saxpy_prog(64);  // small: imbalance at 8 cores
+  sim::Cluster cl;
+  cl.load(prog);
+  const sim::RunResult r1 = cl.run(1);
+  const sim::RunResult r8 = cl.run(8);
+  ASSERT_TRUE(r1.ok && r8.ok);
+  const DynamicFeatures d1 = extract_dynamic(r1.stats);
+  const DynamicFeatures d8 = extract_dynamic(r8.stats);
+  EXPECT_GT(d8.pe_sleep, d1.pe_sleep);
+  EXPECT_DOUBLE_EQ(d1.pe_l1 + d8.pe_l1, 2 * d1.pe_l1);  // same total work
+}
+
+TEST(FeatureSets, ColumnListsMatchThePaper) {
+  EXPECT_EQ(feature_set_columns(FeatureSet::Agg),
+            (std::vector<std::string>{"F1", "F3", "F4"}));
+  EXPECT_EQ(feature_set_columns(FeatureSet::RawAgg).size(), 7U);
+  EXPECT_EQ(feature_set_columns(FeatureSet::Mca).size(), 13U);
+  EXPECT_EQ(feature_set_columns(FeatureSet::AllStatic).size(), 20U);
+  EXPECT_EQ(feature_set_columns(FeatureSet::Dynamic, 8).size(), 80U);
+}
+
+TEST(FeatureSets, DynamicNamesEncodeCoreCount) {
+  const std::vector<std::string> names = dynamic_feature_names(2);
+  ASSERT_EQ(names.size(), 2U * kDynamicPerConfig);
+  EXPECT_EQ(names.front(), "PE_idle@1");
+  EXPECT_EQ(names.back(), "L1_conflicts@2");
+  EXPECT_NE(std::find(names.begin(), names.end(), "PE_sleep@2"),
+            names.end());
+}
+
+TEST(FeatureSets, NamesAreDescriptive) {
+  EXPECT_STREQ(to_string(FeatureSet::Agg), "AGG");
+  EXPECT_STREQ(to_string(FeatureSet::RawAgg), "RAW+AGG");
+  EXPECT_STREQ(to_string(FeatureSet::Mca), "MCA");
+  EXPECT_STREQ(to_string(FeatureSet::AllStatic), "ALL-STATIC");
+  EXPECT_STREQ(to_string(FeatureSet::Dynamic), "DYNAMIC");
+}
+
+TEST(StaticFeatures, SerialKernelHasUnitAvgws) {
+  KernelBuilder k("serial", "test", DType::I32, 64);
+  const Buf b = k.buffer("b", 16);
+  k.for_("i", ic(0), ic(16), [&](Val i) { k.store(b, i, i); });
+  const StaticFeatures f = extract_static(dsl::lower(k.build()));
+  EXPECT_DOUBLE_EQ(f.avgws, 1.0);
+}
+
+TEST(StaticFeatures, DivKernelShowsDividerPressure) {
+  KernelBuilder k("divs", "test", DType::I32, 64);
+  const Buf b = k.buffer("b", 16, InitKind::RandomPos);
+  k.par_for("i", ic(0), ic(16), [&](Val i) {
+    k.store(b, i, ic(1000) / (k.load(b, i) + ic(1)));
+  });
+  const StaticFeatures f = extract_static(dsl::lower(k.build()));
+  EXPECT_GT(f.rp_div, 0.5);
+}
+
+}  // namespace
+}  // namespace pulpc::feat

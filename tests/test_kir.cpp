@@ -1,0 +1,333 @@
+// Unit tests for the KIR instruction set, printer, verifier and the
+// compile-time analyses.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kir/analysis.hpp"
+#include "kir/ir.hpp"
+
+namespace pulpc::kir {
+namespace {
+
+Instr ins(Op op, std::uint8_t rd = 0, std::uint8_t rs1 = 0,
+          std::uint8_t rs2 = 0, std::int32_t imm = 0,
+          MemSpace mem = MemSpace::None) {
+  return Instr{op, rd, rs1, rs2, imm, mem};
+}
+
+/// Minimal valid program around a payload.
+Program wrap(std::vector<Instr> body) {
+  Program p;
+  p.name = "t";
+  p.code.push_back(ins(Op::MarkEnter));
+  for (const Instr& i : body) p.code.push_back(i);
+  p.code.push_back(ins(Op::MarkExit));
+  p.code.push_back(ins(Op::Halt));
+  return p;
+}
+
+// ---- opcode classification ------------------------------------------------
+
+TEST(KirOpClass, AluOpsClassifyAsAlu) {
+  for (const Op op : {Op::Add, Op::Sub, Op::Mul, Op::Mac, Op::Slt, Op::And,
+                      Op::Or, Op::Xor, Op::Shl, Op::Shr, Op::Min, Op::Max,
+                      Op::Abs, Op::AddI, Op::MulI, Op::AndI, Op::OrI,
+                      Op::XorI, Op::ShlI, Op::ShrI, Op::SltI, Op::Li,
+                      Op::Mv}) {
+    EXPECT_EQ(op_class(op), OpClass::Alu) << mnemonic(op);
+  }
+}
+
+TEST(KirOpClass, DividerOpsClassifyAsDiv) {
+  EXPECT_EQ(op_class(Op::Div), OpClass::Div);
+  EXPECT_EQ(op_class(Op::Rem), OpClass::Div);
+}
+
+TEST(KirOpClass, FpOpsClassifyAsFp) {
+  for (const Op op : {Op::FAdd, Op::FSub, Op::FMul, Op::FMac, Op::FMin,
+                      Op::FMax, Op::FAbs, Op::FNeg, Op::FMv, Op::FLi,
+                      Op::FLt, Op::FLe, Op::FEq, Op::CvtSW, Op::CvtWS}) {
+    EXPECT_EQ(op_class(op), OpClass::Fp) << mnemonic(op);
+  }
+}
+
+TEST(KirOpClass, FpDividerOps) {
+  EXPECT_EQ(op_class(Op::FDiv), OpClass::FpDiv);
+  EXPECT_EQ(op_class(Op::FSqrt), OpClass::FpDiv);
+}
+
+TEST(KirOpClass, MemoryDefaultsToL1) {
+  for (const Op op : {Op::Lw, Op::Sw, Op::Flw, Op::Fsw}) {
+    EXPECT_EQ(op_class(op), OpClass::MemL1) << mnemonic(op);
+  }
+}
+
+TEST(KirOpClass, InstrMemAnnotationSelectsL2) {
+  Instr load = ins(Op::Lw, 1, 2, 0, 0, MemSpace::L2);
+  EXPECT_EQ(load.op_class(), OpClass::MemL2);
+  load.mem = MemSpace::Tcdm;
+  EXPECT_EQ(load.op_class(), OpClass::MemL1);
+}
+
+TEST(KirOpClass, BranchesAndSync) {
+  for (const Op op : {Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Jmp}) {
+    EXPECT_EQ(op_class(op), OpClass::Branch);
+    EXPECT_TRUE(is_branch(op));
+  }
+  for (const Op op : {Op::Barrier, Op::CoreId, Op::NumCores, Op::CritEnter,
+                      Op::CritExit, Op::DmaStart, Op::DmaWait,
+                      Op::MarkEnter, Op::MarkExit, Op::Halt}) {
+    EXPECT_EQ(op_class(op), OpClass::Sync) << mnemonic(op);
+  }
+  EXPECT_EQ(op_class(Op::Nop), OpClass::Nop);
+}
+
+TEST(KirOpClass, IsMemoryOnlyForLoadsAndStores) {
+  EXPECT_TRUE(is_memory(Op::Lw));
+  EXPECT_TRUE(is_memory(Op::Fsw));
+  EXPECT_FALSE(is_memory(Op::Add));
+  EXPECT_FALSE(is_memory(Op::Barrier));
+}
+
+// ---- mnemonics ------------------------------------------------------------
+
+TEST(KirMnemonic, RoundTripsForEveryOpcode) {
+  for (int i = 0; i <= static_cast<int>(Op::Halt); ++i) {
+    const Op op = static_cast<Op>(i);
+    Op back{};
+    ASSERT_TRUE(op_from_mnemonic(mnemonic(op), back)) << mnemonic(op);
+    EXPECT_EQ(back, op);
+  }
+}
+
+TEST(KirMnemonic, UnknownMnemonicRejected) {
+  Op out{};
+  EXPECT_FALSE(op_from_mnemonic("frobnicate", out));
+  EXPECT_FALSE(op_from_mnemonic("", out));
+}
+
+TEST(KirMnemonic, MnemonicsAreUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i <= static_cast<int>(Op::Halt); ++i) {
+    EXPECT_TRUE(seen.insert(mnemonic(static_cast<Op>(i))).second)
+        << mnemonic(static_cast<Op>(i));
+  }
+}
+
+// ---- printer --------------------------------------------------------------
+
+TEST(KirPrinter, DisassemblesCommonForms) {
+  EXPECT_EQ(to_string(ins(Op::Add, 3, 1, 2)), "add r3, r1, r2");
+  EXPECT_EQ(to_string(ins(Op::AddI, 3, 1, 0, -4)), "addi r3, r1, -4");
+  EXPECT_EQ(to_string(ins(Op::Li, 5, 0, 0, 42)), "li r5, 42");
+  EXPECT_EQ(to_string(ins(Op::FAdd, 3, 1, 2)), "fadd.s f3, f1, f2");
+  EXPECT_EQ(to_string(ins(Op::Beq, 0, 1, 2, 7)), "beq r1, r2, @7");
+  EXPECT_EQ(to_string(ins(Op::Jmp, 0, 0, 0, 3)), "j @3");
+  EXPECT_EQ(to_string(ins(Op::Barrier)), "barrier");
+}
+
+TEST(KirPrinter, MemoryOpsShowSpaceAnnotation) {
+  const std::string lw =
+      to_string(ins(Op::Lw, 2, 1, 0, 256, MemSpace::Tcdm));
+  EXPECT_NE(lw.find("256(r1)"), std::string::npos);
+  EXPECT_NE(lw.find("!tcdm"), std::string::npos);
+  const std::string fsw =
+      to_string(ins(Op::Fsw, 0, 1, 9, 0, MemSpace::L2));
+  EXPECT_NE(fsw.find("f9"), std::string::npos);
+  EXPECT_NE(fsw.find("!l2"), std::string::npos);
+}
+
+TEST(KirPrinter, FpCompareUsesMixedRegisterFiles) {
+  const std::string s = to_string(ins(Op::FLt, 4, 1, 2));
+  EXPECT_NE(s.find("r4"), std::string::npos);
+  EXPECT_NE(s.find("f1"), std::string::npos);
+}
+
+TEST(KirPrinter, ProgramDumpContainsMetadata) {
+  Program p = wrap({ins(Op::Li, 1, 0, 0, 5)});
+  p.buffers.push_back(BufferInfo{"buf", DType::F32, MemSpace::Tcdm,
+                                 0x1000'0000, 16, BufInit::Zero});
+  p.loops.push_back(LoopMeta{1, 2, 16, true});
+  p.regions.push_back(ParallelRegionMeta{0, 2, 16});
+  const std::string dump = to_string(p);
+  EXPECT_NE(dump.find("buffer buf"), std::string::npos);
+  EXPECT_NE(dump.find("parallel region"), std::string::npos);
+  EXPECT_NE(dump.find("trip=16"), std::string::npos);
+}
+
+// ---- verifier -------------------------------------------------------------
+
+TEST(KirVerify, AcceptsMinimalProgram) {
+  EXPECT_EQ(verify(wrap({ins(Op::Li, 1, 0, 0, 1)})), "");
+}
+
+TEST(KirVerify, RejectsEmptyProgram) {
+  EXPECT_NE(verify(Program{}), "");
+}
+
+TEST(KirVerify, RejectsMissingHalt) {
+  Program p = wrap({});
+  p.code.pop_back();
+  EXPECT_NE(verify(p), "");
+}
+
+TEST(KirVerify, RejectsBranchTargetOutOfRange) {
+  Program p = wrap({ins(Op::Jmp, 0, 0, 0, 99)});
+  EXPECT_NE(verify(p), "");
+  p = wrap({ins(Op::Beq, 0, 1, 2, -1)});
+  EXPECT_NE(verify(p), "");
+}
+
+TEST(KirVerify, RejectsUnannotatedMemoryOp) {
+  Program p = wrap({ins(Op::Lw, 1, 2)});
+  EXPECT_NE(verify(p), "");
+}
+
+TEST(KirVerify, RejectsUnbalancedMarkers) {
+  Program p;
+  p.code = {ins(Op::MarkEnter), ins(Op::Halt)};
+  EXPECT_NE(verify(p), "");
+  Program q;
+  q.code = {ins(Op::MarkExit), ins(Op::Halt)};
+  EXPECT_NE(verify(q), "");
+}
+
+TEST(KirVerify, RejectsMalformedLoopRanges) {
+  Program p = wrap({ins(Op::Li, 1, 0, 0, 1)});
+  p.loops.push_back(LoopMeta{5, 3, 1, false});
+  EXPECT_NE(verify(p), "");
+}
+
+TEST(KirVerify, RejectsOverlappingLoops) {
+  Program p = wrap({ins(Op::Li, 1), ins(Op::Li, 2), ins(Op::Li, 3)});
+  p.loops.push_back(LoopMeta{0, 3, 1, false});
+  p.loops.push_back(LoopMeta{2, 5, 1, false});
+  EXPECT_NE(verify(p), "");
+}
+
+TEST(KirVerify, AcceptsNestedLoops) {
+  Program p = wrap({ins(Op::Li, 1), ins(Op::Li, 2), ins(Op::Li, 3)});
+  p.loops.push_back(LoopMeta{1, 4, 4, false});
+  p.loops.push_back(LoopMeta{2, 3, 2, false});
+  EXPECT_EQ(verify(p), "");
+}
+
+TEST(KirVerify, RejectsMisalignedBuffer) {
+  Program p = wrap({ins(Op::Li, 1)});
+  p.buffers.push_back(
+      BufferInfo{"b", DType::I32, MemSpace::Tcdm, 0x1000'0002, 4});
+  EXPECT_NE(verify(p), "");
+}
+
+// ---- static analysis ------------------------------------------------------
+
+TEST(KirAnalysis, WeightsMultiplyThroughNestedLoops) {
+  // enter, a, b, c, exit, halt; outer loop over {a,b,c} trip 10,
+  // inner loop over {b} trip 5.
+  Program p = wrap({ins(Op::Add, 1, 1, 1), ins(Op::Mul, 2, 2, 2),
+                    ins(Op::Sub, 3, 3, 3)});
+  p.loops.push_back(LoopMeta{1, 4, 10, false});
+  p.loops.push_back(LoopMeta{2, 3, 5, false});
+  const std::vector<double> w = instruction_weights(p);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);   // marker
+  EXPECT_DOUBLE_EQ(w[1], 10.0);  // a
+  EXPECT_DOUBLE_EQ(w[2], 50.0);  // b
+  EXPECT_DOUBLE_EQ(w[3], 10.0);  // c
+}
+
+TEST(KirAnalysis, UnknownTripUsesFallback) {
+  Program p = wrap({ins(Op::Add, 1, 1, 1)});
+  p.loops.push_back(LoopMeta{1, 2, -1, false});
+  StaticCountOptions opt;
+  opt.unknown_trip = 3.0;
+  const std::vector<double> w = instruction_weights(p, opt);
+  EXPECT_DOUBLE_EQ(w[1], 3.0);
+}
+
+TEST(KirAnalysis, StaticCountsBucketByClass) {
+  Program p = wrap({
+      ins(Op::Add, 1, 1, 1),
+      ins(Op::Div, 2, 2, 2),
+      ins(Op::FAdd, 1, 1, 1),
+      ins(Op::FSqrt, 2, 2),
+      ins(Op::Lw, 1, 2, 0, 0, MemSpace::Tcdm),
+      ins(Op::Sw, 0, 2, 1, 0, MemSpace::Tcdm),
+      ins(Op::Flw, 1, 2, 0, 0, MemSpace::L2),
+      ins(Op::Bne, 0, 1, 2, 0),
+      ins(Op::Nop),
+      ins(Op::Barrier),
+  });
+  const StaticCounts c = static_counts(p);
+  EXPECT_DOUBLE_EQ(c.alu, 1);
+  EXPECT_DOUBLE_EQ(c.div, 1);
+  EXPECT_DOUBLE_EQ(c.fp, 1);
+  EXPECT_DOUBLE_EQ(c.fpdiv, 1);
+  EXPECT_DOUBLE_EQ(c.load_tcdm, 1);
+  EXPECT_DOUBLE_EQ(c.store_tcdm, 1);
+  EXPECT_DOUBLE_EQ(c.load_l2, 1);
+  EXPECT_DOUBLE_EQ(c.branch, 1);
+  EXPECT_DOUBLE_EQ(c.nop, 1);
+  EXPECT_DOUBLE_EQ(c.tcdm(), 2);
+  EXPECT_DOUBLE_EQ(c.l2(), 1);
+  // op = ALU + FP families + branches (the paper's definition).
+  EXPECT_DOUBLE_EQ(c.op(), 5);
+  EXPECT_GT(c.sync, 0);
+}
+
+TEST(KirAnalysis, AvgParallelItersDefaultsToOne) {
+  const Program p = wrap({ins(Op::Add, 1, 1, 1)});
+  EXPECT_DOUBLE_EQ(avg_parallel_iters(p), 1.0);
+}
+
+TEST(KirAnalysis, AvgParallelItersAveragesRegions) {
+  Program p = wrap({ins(Op::Add, 1, 1, 1)});
+  p.regions.push_back(ParallelRegionMeta{0, 1, 100});
+  p.regions.push_back(ParallelRegionMeta{1, 2, 300});
+  EXPECT_DOUBLE_EQ(avg_parallel_iters(p), 200.0);
+}
+
+TEST(KirAnalysis, TransferSumsBufferBytes) {
+  Program p = wrap({ins(Op::Add, 1, 1, 1)});
+  p.buffers.push_back(BufferInfo{"a", DType::I32, MemSpace::Tcdm, 0, 100});
+  p.buffers.push_back(BufferInfo{"b", DType::F32, MemSpace::L2, 0, 28});
+  EXPECT_DOUBLE_EQ(transfer_bytes(p), 512.0);
+}
+
+TEST(KirAnalysis, HottestBlockPicksHeaviestInnermostLoop) {
+  Program p = wrap({
+      ins(Op::Add, 1, 1, 1),   // loop A body (trip 5)
+      ins(Op::FMul, 2, 2, 2),  // loop B body (trip 100)
+      ins(Op::FMac, 3, 1, 2),  // loop B body
+  });
+  p.loops.push_back(LoopMeta{1, 2, 5, false});
+  p.loops.push_back(LoopMeta{2, 4, 100, false});
+  const std::vector<Instr> block = hottest_block(p);
+  ASSERT_EQ(block.size(), 2U);
+  EXPECT_EQ(block[0].op, Op::FMul);
+  EXPECT_EQ(block[1].op, Op::FMac);
+}
+
+TEST(KirAnalysis, HottestBlockStripsBranchesAndSync) {
+  Program p = wrap({
+      ins(Op::Add, 1, 1, 1),
+      ins(Op::Bne, 0, 1, 2, 1),
+      ins(Op::Barrier),
+  });
+  p.loops.push_back(LoopMeta{1, 4, 10, false});
+  const std::vector<Instr> block = hottest_block(p);
+  ASSERT_EQ(block.size(), 1U);
+  EXPECT_EQ(block[0].op, Op::Add);
+}
+
+TEST(KirAnalysis, HottestBlockFallsBackToWholeProgram) {
+  const Program p = wrap({ins(Op::Add, 1, 1, 1), ins(Op::Lw, 1, 2, 0, 0,
+                                                     MemSpace::Tcdm)});
+  const std::vector<Instr> block = hottest_block(p);
+  EXPECT_EQ(block.size(), 2U);
+}
+
+}  // namespace
+}  // namespace pulpc::kir

@@ -1,0 +1,305 @@
+// Tests for the DSL -> KIR lowering: code shape, static metadata (trip
+// counts, parallel regions), the SPMD serial-section policy, peepholes
+// and error paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsl/builder.hpp"
+#include "dsl/lower.hpp"
+#include "kir/analysis.hpp"
+
+namespace pulpc::dsl {
+namespace {
+
+using kir::Op;
+
+Val i(std::int32_t v) { return make_const_i(v); }
+
+std::size_t count_op(const kir::Program& p, Op op) {
+  return static_cast<std::size_t>(
+      std::count_if(p.code.begin(), p.code.end(),
+                    [op](const kir::Instr& ins) { return ins.op == op; }));
+}
+
+TEST(Lower, EmptyKernelStillVerifies) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const kir::Program p = lower(k.build());
+  EXPECT_EQ(kir::verify(p), "");
+  EXPECT_EQ(count_op(p, Op::MarkEnter), 1U);
+  EXPECT_EQ(count_op(p, Op::MarkExit), 1U);
+  EXPECT_EQ(count_op(p, Op::Halt), 1U);
+}
+
+TEST(Lower, BuffersAreAllocatedSequentiallyInTcdm) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  (void)k.buffer("a", 16);
+  (void)k.buffer("b", 8);
+  const kir::Program p = lower(k.build());
+  ASSERT_EQ(p.buffers.size(), 2U);
+  const LowerOptions opt;
+  EXPECT_EQ(p.buffers[0].base, opt.tcdm_base);
+  EXPECT_EQ(p.buffers[1].base, opt.tcdm_base + 64);
+}
+
+TEST(Lower, L2BuffersGoToL2Range) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  (void)k.buffer("a", 16, InitKind::Random, MemSpace::L2);
+  const kir::Program p = lower(k.build());
+  const LowerOptions opt;
+  EXPECT_EQ(p.buffers[0].base, opt.l2_base);
+  EXPECT_EQ(p.buffers[0].space, kir::MemSpace::L2);
+}
+
+TEST(Lower, TcdmOverflowRejected) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  (void)k.buffer("a", 17 * 1024);  // 68 KiB > 64 KiB
+  EXPECT_THROW((void)lower(k.build()), std::runtime_error);
+}
+
+TEST(Lower, InitKindPropagatesToBufferInfo) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  (void)k.buffer("a", 8, InitKind::Ramp);
+  (void)k.buffer("b", 8, InitKind::Zero);
+  const kir::Program p = lower(k.build());
+  EXPECT_EQ(p.buffers[0].init, kir::BufInit::Ramp);
+  EXPECT_EQ(p.buffers[1].init, kir::BufInit::Zero);
+}
+
+TEST(Lower, SerialLoopRecordsStaticTrip) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 32);
+  k.for_("i", i(2), i(30), [&](Val iv) { k.store(b, iv, iv); }, 4);
+  const kir::Program p = lower(k.build());
+  ASSERT_EQ(p.loops.size(), 1U);
+  EXPECT_EQ(p.loops[0].trip, 7);  // ceil((30-2)/4)
+  EXPECT_FALSE(p.loops[0].parallel);
+  EXPECT_TRUE(p.regions.empty());
+}
+
+TEST(Lower, ParallelLoopRecordsRegionAndBarrier) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 32);
+  k.par_for("i", i(0), i(32), [&](Val iv) { k.store(b, iv, iv); });
+  const kir::Program p = lower(k.build());
+  ASSERT_EQ(p.loops.size(), 1U);
+  EXPECT_TRUE(p.loops[0].parallel);
+  EXPECT_EQ(p.loops[0].trip, 32);
+  ASSERT_EQ(p.regions.size(), 1U);
+  EXPECT_EQ(p.regions[0].total_iters, 32);
+  EXPECT_GE(count_op(p, Op::Barrier), 1U);  // implicit closing barrier
+  // Static chunking computes ceil(n / ncores) with the divider.
+  EXPECT_GE(count_op(p, Op::Div), 1U);
+}
+
+TEST(Lower, TriangularLoopTripUsesMidpointEstimate) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 128);
+  k.par_for("i", i(0), i(16), [&](Val iv) {
+    k.for_("j", i(0), iv, [&](Val jv) { k.store(b, jv, jv); });
+  });
+  const kir::Program p = lower(k.build());
+  ASSERT_EQ(p.loops.size(), 2U);
+  // Inner loop runs i times on average -> midpoint 8.
+  const auto inner = std::find_if(
+      p.loops.begin(), p.loops.end(),
+      [](const kir::LoopMeta& l) { return !l.parallel; });
+  ASSERT_NE(inner, p.loops.end());
+  EXPECT_EQ(inner->trip, 8);
+}
+
+TEST(Lower, AvgwsReflectsParallelIterations) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 64);
+  k.par_for("i", i(0), i(64), [&](Val iv) { k.store(b, iv, iv); });
+  k.par_for("i2", i(0), i(16), [&](Val iv) { k.store(b, iv, iv); });
+  const kir::Program p = lower(k.build());
+  EXPECT_DOUBLE_EQ(kir::avg_parallel_iters(p), 40.0);
+}
+
+TEST(Lower, MacPeepholeFiresOnAccumulation) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  auto acc = k.decl("acc", i(0));
+  k.for_("i", i(0), i(8), [&](Val iv) {
+    k.assign(acc, acc + k.load(b, iv) * k.load(b, iv));
+  });
+  const kir::Program p = lower(k.build());
+  EXPECT_GE(count_op(p, Op::Mac), 1U);
+}
+
+TEST(Lower, FmacPeepholeFiresForF32) {
+  KernelBuilder k("k", "custom", DType::F32, 64);
+  const Buf b = k.buffer("b", 8);
+  auto acc = k.decl("acc", k.ec(0));
+  k.for_("i", i(0), i(8), [&](Val iv) {
+    k.assign(acc, k.load(b, iv) * k.load(b, iv) + acc);  // either order
+  });
+  const kir::Program p = lower(k.build());
+  EXPECT_GE(count_op(p, Op::FMac), 1U);
+}
+
+TEST(Lower, ImmediateFormsUsedForConstantOperands) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.par_for("i", i(0), i(8), [&](Val iv) {
+    k.store(b, iv, (iv + i(3)) * i(5));
+  });
+  const kir::Program p = lower(k.build());
+  EXPECT_GE(count_op(p, Op::AddI), 1U);
+  EXPECT_GE(count_op(p, Op::MulI), 1U);
+}
+
+TEST(Lower, IntDivisionUsesDividerOp) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.par_for("i", i(0), i(8), [&](Val iv) {
+    k.store(b, iv, k.load(b, iv) / i(3) + k.load(b, iv) % i(3));
+  });
+  const kir::Program p = lower(k.build());
+  EXPECT_GE(count_op(p, Op::Div), 2U);  // chunking + payload
+  EXPECT_GE(count_op(p, Op::Rem), 1U);
+}
+
+TEST(Lower, F32DivisionUsesFpDivider) {
+  KernelBuilder k("k", "custom", DType::F32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.par_for("i", i(0), i(8), [&](Val iv) {
+    k.store(b, iv, k.load(b, iv) / k.ec(3));
+  });
+  const kir::Program p = lower(k.build());
+  EXPECT_GE(count_op(p, Op::FDiv), 1U);
+}
+
+TEST(Lower, CriticalSectionBracketsBody) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.par_for("i", i(0), i(8), [&](Val iv) {
+    k.critical([&] { k.store(b, i(0), k.load(b, i(0)) + iv); });
+  });
+  const kir::Program p = lower(k.build());
+  EXPECT_EQ(count_op(p, Op::CritEnter), 1U);
+  EXPECT_EQ(count_op(p, Op::CritExit), 1U);
+}
+
+TEST(Lower, SerialStoreSectionIsMasterGuarded) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.store(b, i(0), i(42));
+  const kir::Program p = lower(k.build());
+  // Guard: bne cid, zero, skip ... barrier.
+  EXPECT_GE(count_op(p, Op::Bne), 1U);
+  EXPECT_GE(count_op(p, Op::Barrier), 1U);
+}
+
+TEST(Lower, PureScalarLoopIsNotGuarded) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  auto acc = k.decl("acc", i(0));
+  k.for_("i", i(0), i(8), [&](Val iv) { k.assign(acc, acc + iv); });
+  const kir::Program p = lower(k.build());
+  // No stores -> replicated on all cores: no guard branch, no barrier.
+  EXPECT_EQ(count_op(p, Op::Barrier), 0U);
+  EXPECT_EQ(count_op(p, Op::Bne), 0U);
+}
+
+TEST(Lower, ExplicitBarrierInsideSerialStatementRejected) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.for_("i", i(0), i(4), [&](Val iv) {
+    k.store(b, iv, iv);
+    k.barrier();
+  });
+  EXPECT_THROW((void)lower(k.build()), std::invalid_argument);
+}
+
+TEST(Lower, NestedParallelismRejected) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.par_for("i", i(0), i(4), [&](Val) {
+    k.par_for("j", i(0), i(4), [&](Val jv) { k.store(b, jv, jv); });
+  });
+  EXPECT_THROW((void)lower(k.build()), std::invalid_argument);
+}
+
+TEST(Lower, UnknownScalarRejected) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.store(b, i(0), make_var("ghost", DType::I32));
+  EXPECT_THROW((void)lower(k.build()), std::invalid_argument);
+}
+
+TEST(Lower, UnknownBufferRejected) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  k.store(Buf{"ghost", DType::I32, 8}, i(0), i(1));
+  EXPECT_THROW((void)lower(k.build()), std::invalid_argument);
+}
+
+TEST(Lower, DeepExpressionsDoNotExhaustTemporaries) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 32);
+  k.par_for("i", i(0), i(8), [&](Val iv) {
+    // 16 loads in one expression: requires temp recycling.
+    Val sum = k.load(b, iv);
+    for (int t = 1; t < 16; ++t) {
+      sum = sum + k.load(b, iv + i(t));
+    }
+    k.store(b, iv, sum);
+  });
+  const kir::Program p = lower(k.build());
+  EXPECT_EQ(kir::verify(p), "");
+}
+
+TEST(Lower, MemoryOpsCarrySpaceAnnotations) {
+  KernelBuilder k("k", "custom", DType::I32, 4096);
+  const Buf a = k.buffer("a", 8);
+  const Buf b = k.buffer("b", 8, InitKind::Random, MemSpace::L2);
+  k.par_for("i", i(0), i(8), [&](Val iv) {
+    k.store(a, iv, k.load(b, iv));
+  });
+  const kir::Program p = lower(k.build());
+  bool saw_l2_load = false;
+  bool saw_tcdm_store = false;
+  for (const kir::Instr& ins : p.code) {
+    if (ins.op == Op::Lw && ins.mem == kir::MemSpace::L2) saw_l2_load = true;
+    if (ins.op == Op::Sw && ins.mem == kir::MemSpace::Tcdm) {
+      saw_tcdm_store = true;
+    }
+  }
+  EXPECT_TRUE(saw_l2_load);
+  EXPECT_TRUE(saw_tcdm_store);
+}
+
+TEST(Lower, SteppedParallelLoopScalesBounds) {
+  KernelBuilder k("k", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 32);
+  k.par_for("i", i(0), i(32), [&](Val iv) { k.store(b, iv, iv); }, 2);
+  const kir::Program p = lower(k.build());
+  ASSERT_EQ(p.loops.size(), 1U);
+  EXPECT_EQ(p.loops[0].trip, 16);
+  EXPECT_EQ(p.regions[0].total_iters, 16);
+}
+
+TEST(Lower, FloatComparisonLowersToFpCompare) {
+  KernelBuilder k("k", "custom", DType::F32, 64);
+  const Buf b = k.buffer("b", 8);
+  k.par_for("i", i(0), i(8), [&](Val iv) {
+    k.if_(k.load(b, iv) > k.ec(0), [&] { k.store(b, iv, k.ec(1)); });
+  });
+  const kir::Program p = lower(k.build());
+  EXPECT_GE(count_op(p, Op::FLt), 1U);
+}
+
+TEST(Lower, DmaStatementsLowerToDmaOps) {
+  KernelBuilder k("k", "custom", DType::I32, 4096);
+  const Buf big = k.buffer("big", 64, InitKind::Random, MemSpace::L2);
+  const Buf buf = k.buffer("buf", 64, InitKind::Zero);
+  k.dma_copy(buf, big, 64);
+  k.dma_wait();
+  const kir::Program p = lower(k.build());
+  EXPECT_EQ(count_op(p, Op::DmaStart), 1U);
+  EXPECT_EQ(count_op(p, Op::DmaWait), 1U);
+}
+
+}  // namespace
+}  // namespace pulpc::dsl

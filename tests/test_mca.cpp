@@ -1,0 +1,209 @@
+// Machine-code-analyser tests: uop decomposition, the restricted-
+// assignment resource bound, port pressures, dependency chains and the
+// Table IIb feature semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsl/builder.hpp"
+#include "dsl/lower.hpp"
+#include "mca/analyzer.hpp"
+
+namespace pulpc::mca {
+namespace {
+
+using kir::Instr;
+using kir::MemSpace;
+using kir::Op;
+
+Instr ins(Op op, std::uint8_t rd = 0, std::uint8_t rs1 = 0,
+          std::uint8_t rs2 = 0, std::int32_t imm = 0,
+          MemSpace mem = MemSpace::None) {
+  return Instr{op, rd, rs1, rs2, imm, mem};
+}
+
+// ---- decomposition -------------------------------------------------------
+
+TEST(McaDecompose, SimpleAluIsOneUopOnAluPorts) {
+  const MachineModel m;
+  std::array<Uop, 2> uops{};
+  ASSERT_EQ(decompose(ins(Op::Add, 1, 2, 3), m, uops), 1U);
+  EXPECT_EQ(uops[0].port_mask, m.int_alu_ports);
+  EXPECT_EQ(uops[0].div_cycles, 0U);
+}
+
+TEST(McaDecompose, StoresSplitIntoDataAndAguUops) {
+  const MachineModel m;
+  std::array<Uop, 2> uops{};
+  ASSERT_EQ(decompose(ins(Op::Sw, 0, 1, 2, 0, MemSpace::Tcdm), m, uops), 2U);
+  EXPECT_EQ(uops[0].port_mask, m.store_data_ports);
+  EXPECT_EQ(uops[1].port_mask, m.store_agu_ports);
+}
+
+TEST(McaDecompose, MacSplitsIntoMulAndAdd) {
+  const MachineModel m;
+  std::array<Uop, 2> uops{};
+  ASSERT_EQ(decompose(ins(Op::Mac, 1, 2, 3), m, uops), 2U);
+  EXPECT_EQ(uops[0].port_mask, m.int_mul_ports);
+  EXPECT_EQ(uops[1].port_mask, m.int_alu_ports);
+}
+
+TEST(McaDecompose, DividesOccupySerialResources) {
+  const MachineModel m;
+  std::array<Uop, 2> uops{};
+  ASSERT_EQ(decompose(ins(Op::Div, 1, 2, 3), m, uops), 1U);
+  EXPECT_EQ(uops[0].div_cycles, m.div_occupancy);
+  ASSERT_EQ(decompose(ins(Op::FDiv, 1, 2, 3), m, uops), 1U);
+  EXPECT_EQ(uops[0].fpdiv_cycles, m.fpdiv_occupancy);
+  ASSERT_EQ(decompose(ins(Op::FSqrt, 1, 2), m, uops), 1U);
+  EXPECT_EQ(uops[0].fpdiv_cycles, m.fpsqrt_occupancy);
+}
+
+TEST(McaDecompose, SyncPseudoOpsAreInvisible) {
+  const MachineModel m;
+  std::array<Uop, 2> uops{};
+  EXPECT_EQ(decompose(ins(Op::Barrier), m, uops), 0U);
+  EXPECT_EQ(decompose(ins(Op::MarkEnter), m, uops), 0U);
+  EXPECT_EQ(decompose(ins(Op::Halt), m, uops), 0U);
+}
+
+// ---- analysis -------------------------------------------------------------
+
+TEST(McaAnalyze, EmptyBlockYieldsZeros) {
+  const McaResult r = analyze({});
+  EXPECT_DOUBLE_EQ(r.ipc, 0.0);
+  EXPECT_DOUBLE_EQ(r.uops, 0.0);
+}
+
+TEST(McaAnalyze, IndependentAluOpsAreDispatchBound) {
+  // 8 independent single-uop ALU ops over 4 candidate ports with
+  // dispatch width 4: rthroughput = max(8/4 ports, 8/4 dispatch) = 2.
+  std::vector<Instr> block(8, ins(Op::Add, 1, 2, 3));
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    block[i].rd = static_cast<std::uint8_t>(i + 4);
+  }
+  const McaResult r = analyze(block);
+  EXPECT_DOUBLE_EQ(r.rthroughput, 2.0);
+  EXPECT_DOUBLE_EQ(r.ipc, 4.0);
+  EXPECT_DOUBLE_EQ(r.uops_per_cycle, 4.0);
+}
+
+TEST(McaAnalyze, SinglePortOpsSerialise) {
+  // Integer multiplies all go to port 1: rthroughput == count.
+  std::vector<Instr> block;
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    block.push_back(ins(Op::Mul, static_cast<std::uint8_t>(10 + i), 1, 2));
+  }
+  const McaResult r = analyze(block);
+  EXPECT_DOUBLE_EQ(r.rthroughput, 6.0);
+  EXPECT_NEAR(r.rp[1], 1.0, 1e-9);  // port 1 saturated
+}
+
+TEST(McaAnalyze, DividerPressureSaturatesForDivChains) {
+  const std::vector<Instr> block = {ins(Op::Div, 10, 1, 2),
+                                    ins(Op::Div, 11, 3, 4)};
+  const MachineModel m;
+  const McaResult r = analyze(block, m);
+  EXPECT_DOUBLE_EQ(r.rthroughput, 2.0 * m.div_occupancy);
+  EXPECT_NEAR(r.rp_div, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.rp_fpdiv, 0.0);
+}
+
+TEST(McaAnalyze, FpDividerTrackedSeparately) {
+  const std::vector<Instr> block = {ins(Op::FDiv, 10, 1, 2)};
+  const McaResult r = analyze(block);
+  EXPECT_GT(r.rp_fpdiv, 0.9);
+  EXPECT_DOUBLE_EQ(r.rp_div, 0.0);
+}
+
+TEST(McaAnalyze, LoopCarriedChainLimitsIpc) {
+  // acc = acc + x is a carried chain: cycles/iter >= fp latency even
+  // though resources are almost idle.
+  const MachineModel m;
+  const std::vector<Instr> chain = {ins(Op::FAdd, 5, 5, 6)};
+  const McaResult r = analyze(chain, m);
+  EXPECT_DOUBLE_EQ(r.cycles_per_iter, static_cast<double>(m.lat_fp));
+  EXPECT_LT(r.ipc, 1.0);
+  // The same op without the carried dependency is throughput-bound.
+  const std::vector<Instr> indep = {ins(Op::FAdd, 5, 6, 7)};
+  const McaResult r2 = analyze(indep, m);
+  EXPECT_GT(r2.ipc, r.ipc);
+}
+
+TEST(McaAnalyze, PortPressuresAreNormalised) {
+  const std::vector<Instr> block = {
+      ins(Op::Add, 10, 1, 2), ins(Op::Mul, 11, 3, 4),
+      ins(Op::Lw, 12, 1, 0, 0, MemSpace::Tcdm),
+      ins(Op::Sw, 0, 1, 2, 0, MemSpace::Tcdm),
+      ins(Op::FAdd, 13, 1, 2), ins(Op::Bne, 0, 1, 2, 0)};
+  const McaResult r = analyze(block);
+  for (int p = 0; p < kNumPorts; ++p) {
+    EXPECT_GE(r.rp[p], 0.0) << p;
+    EXPECT_LE(r.rp[p], 1.0) << p;
+  }
+  EXPECT_GT(r.rp[2] + r.rp[3], 0.0);  // load ports
+  EXPECT_GT(r.rp[4], 0.0);            // store data
+  EXPECT_GT(r.rp[7], 0.0);            // store AGU
+}
+
+TEST(McaAnalyze, LoadsSpreadAcrossBothAguPorts) {
+  std::vector<Instr> block;
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    block.push_back(
+        ins(Op::Lw, static_cast<std::uint8_t>(10 + i), 1, 0, 0,
+            MemSpace::Tcdm));
+  }
+  const McaResult r = analyze(block);
+  EXPECT_NEAR(r.rp[2], r.rp[3], 1e-9);  // balanced water-fill
+  EXPECT_NEAR(r.rp[2], 1.0, 1e-9);
+}
+
+TEST(McaAnalyze, UopsCountedPerInstruction) {
+  const std::vector<Instr> block = {ins(Op::Add, 10, 1, 2),
+                                    ins(Op::Sw, 0, 1, 2, 0, MemSpace::Tcdm),
+                                    ins(Op::Mac, 11, 1, 2)};
+  const McaResult r = analyze(block);
+  EXPECT_DOUBLE_EQ(r.instrs, 3.0);
+  EXPECT_DOUBLE_EQ(r.uops, 5.0);
+}
+
+TEST(McaAnalyze, ReportContainsHeadlineNumbers) {
+  const std::vector<Instr> block = {ins(Op::Add, 10, 1, 2)};
+  const McaResult r = analyze(block);
+  const std::string s = report(r);
+  EXPECT_NE(s.find("IPC"), std::string::npos);
+  EXPECT_NE(s.find("rthroughput"), std::string::npos);
+  EXPECT_NE(s.find("ports"), std::string::npos);
+}
+
+// ---- program-level analysis -----------------------------------------------
+
+TEST(McaAnalyze, AnalyzesHottestLoopOfRealKernel) {
+  dsl::KernelBuilder k("dotp", "test", kir::DType::F32, 512);
+  const dsl::Buf a = k.buffer("a", 64);
+  const dsl::Buf b = k.buffer("b", 64);
+  const dsl::Buf out = k.buffer("out", 8, dsl::InitKind::Zero);
+  k.par_for("i", dsl::make_const_i(0), dsl::make_const_i(64), [&](dsl::Val i) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.assign(acc, acc + k.load(a, i) * k.load(b, i));
+    k.store(out, dsl::make_const_i(0), acc);
+  });
+  const kir::Program prog = dsl::lower(k.build());
+  const McaResult r = analyze_program(prog);
+  EXPECT_GT(r.instrs, 0.0);
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_GT(r.rp[2] + r.rp[3], 0.0);  // the loop loads from memory
+}
+
+TEST(McaAnalyze, DeterministicForSameInput) {
+  const std::vector<Instr> block = {ins(Op::Add, 10, 1, 2),
+                                    ins(Op::FMul, 11, 1, 2),
+                                    ins(Op::Lw, 12, 1, 0, 0, MemSpace::Tcdm)};
+  const McaResult a = analyze(block);
+  const McaResult b = analyze(block);
+  EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.rp, b.rp);
+}
+
+}  // namespace
+}  // namespace pulpc::mca

@@ -1,0 +1,224 @@
+// Cross-validation protocol tests: stratified folds, the tolerance-aware
+// accuracy of the paper's Figure 2, repeated evaluation, the always-8
+// baseline and feature ranking.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "ml/cv.hpp"
+#include "ml/metrics.hpp"
+
+namespace pulpc::ml {
+namespace {
+
+/// Synthetic labelled dataset: the label (1..4) is a simple function of
+/// the features, and energies are shaped so the labelled class is the
+/// minimum with controlled margins.
+Dataset make_dataset(int n, unsigned seed, double energy_margin = 0.5) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  Dataset ds({"f0", "f1", "noise"});
+  for (int i = 0; i < n; ++i) {
+    Sample s;
+    s.kernel = "synth" + std::to_string(i);
+    s.suite = "synthetic";
+    s.dtype = kir::DType::I32;
+    s.size_bytes = 512;
+    const double a = u(rng);
+    const double b = u(rng);
+    s.features = {a, b, u(rng)};
+    s.label = 1 + (a > 0.5) * 2 + (b > 0.5);
+    for (int k = 1; k <= 4; ++k) {
+      const double dist = std::abs(k - s.label);
+      s.energy.push_back(100.0 * (1.0 + energy_margin * dist));
+      s.cycles.push_back(1000.0 / k);
+    }
+    ds.add(std::move(s));
+  }
+  return ds;
+}
+
+TEST(StratifiedKFold, PartitionsAllIndicesExactlyOnce) {
+  std::vector<int> y;
+  for (int i = 0; i < 97; ++i) y.push_back(1 + i % 5);
+  std::mt19937_64 rng(1);
+  const auto folds = stratified_kfold(y, 10, rng);
+  ASSERT_EQ(folds.size(), 10U);
+  std::set<std::size_t> seen;
+  for (const auto& f : folds) {
+    for (const std::size_t i : f) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), y.size());
+}
+
+TEST(StratifiedKFold, EachFoldGetsProportionalClassShares) {
+  std::vector<int> y(100, 1);
+  std::fill(y.begin() + 60, y.end(), 2);  // 60/40 split
+  std::mt19937_64 rng(2);
+  const auto folds = stratified_kfold(y, 10, rng);
+  for (const auto& f : folds) {
+    const auto ones = static_cast<std::size_t>(
+        std::count_if(f.begin(), f.end(), [&](std::size_t i) {
+          return y[i] == 1;
+        }));
+    EXPECT_EQ(f.size(), 10U);
+    EXPECT_EQ(ones, 6U);
+  }
+}
+
+TEST(StratifiedKFold, SeedsChangeAssignmentNotShape) {
+  std::vector<int> y;
+  for (int i = 0; i < 50; ++i) y.push_back(1 + i % 2);
+  std::mt19937_64 r1(1);
+  std::mt19937_64 r2(2);
+  const auto a = stratified_kfold(y, 5, r1);
+  const auto b = stratified_kfold(y, 5, r2);
+  EXPECT_NE(a, b);
+  for (std::size_t f = 0; f < 5; ++f) EXPECT_EQ(a[f].size(), b[f].size());
+}
+
+TEST(StratifiedKFold, RejectsSillyFoldCounts) {
+  std::vector<int> y = {1, 2};
+  std::mt19937_64 rng(1);
+  EXPECT_THROW((void)stratified_kfold(y, 1, rng), std::invalid_argument);
+}
+
+TEST(Metrics, EnergyWasteIsRelativeToTheMinimum) {
+  Sample s;
+  s.energy = {100, 120, 90, 180};
+  EXPECT_DOUBLE_EQ(energy_waste(s, 3), 0.0);
+  EXPECT_NEAR(energy_waste(s, 1), (100.0 - 90) / 90, 1e-12);
+  EXPECT_NEAR(energy_waste(s, 4), 1.0, 1e-12);
+  EXPECT_TRUE(std::isinf(energy_waste(s, 0)));
+  EXPECT_TRUE(std::isinf(energy_waste(s, 5)));
+}
+
+TEST(Metrics, WithinToleranceImplementsThePaperRule) {
+  // "if the energy wasted running that kernel with six cores instead of 4
+  // is lower than t%, the prediction is considered correct".
+  Sample s;
+  s.energy = {100, 95, 90, 92, 93, 94.5, 96, 99};
+  EXPECT_TRUE(within_tolerance(s, 3, 0.0));    // exact optimum
+  EXPECT_FALSE(within_tolerance(s, 6, 0.0));
+  EXPECT_TRUE(within_tolerance(s, 6, 0.05));   // 94.5/90 - 1 = 5%
+  EXPECT_FALSE(within_tolerance(s, 8, 0.05));  // 10% waste
+  EXPECT_TRUE(within_tolerance(s, 8, 0.10));
+}
+
+TEST(Metrics, ToleranceAccuracyCountsFraction) {
+  std::vector<Sample> samples(4);
+  for (auto& s : samples) s.energy = {100, 90, 95, 99};
+  const std::vector<int> preds = {2, 1, 3, 4};  // opt, 11%, 5.6%, 10%
+  EXPECT_DOUBLE_EQ(tolerance_accuracy(samples, preds, 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(tolerance_accuracy(samples, preds, 0.06), 0.5);
+  EXPECT_DOUBLE_EQ(tolerance_accuracy(samples, preds, 0.12), 1.0);
+}
+
+TEST(Metrics, ConfusionMatrixShape) {
+  const auto m = confusion_matrix({1, 2, 2, 3}, {1, 2, 3, 3}, 3);
+  EXPECT_EQ(m[1][1], 1U);
+  EXPECT_EQ(m[2][2], 1U);
+  EXPECT_EQ(m[2][3], 1U);
+  EXPECT_EQ(m[3][3], 1U);
+  EXPECT_EQ(m[1][2], 0U);
+}
+
+TEST(Metrics, DefaultTolerancesSpanFigureTwoAxis) {
+  const std::vector<double> t = default_tolerances();
+  ASSERT_EQ(t.size(), 21U);
+  EXPECT_DOUBLE_EQ(t.front(), 0.0);
+  EXPECT_DOUBLE_EQ(t.back(), 0.20);
+}
+
+TEST(Evaluate, LearnableDatasetScoresHighAtZeroTolerance) {
+  const Dataset ds = make_dataset(240, 1);
+  EvalOptions opt;
+  opt.repeats = 3;
+  const EvalResult res =
+      evaluate(ds, {"f0", "f1", "noise"}, opt);
+  EXPECT_GT(res.accuracy_at(0.0), 0.9);
+  // Accuracy is monotone in the tolerance.
+  for (std::size_t i = 1; i < res.accuracy.size(); ++i) {
+    EXPECT_GE(res.accuracy[i] + 1e-12, res.accuracy[i - 1]);
+  }
+}
+
+TEST(Evaluate, NoiseFeatureGetsLowImportance) {
+  const Dataset ds = make_dataset(300, 2);
+  EvalOptions opt;
+  opt.repeats = 3;
+  const EvalResult res = evaluate(ds, {"f0", "f1", "noise"}, opt);
+  ASSERT_EQ(res.importances.size(), 3U);
+  EXPECT_GT(res.importances[0], res.importances[2]);
+  EXPECT_GT(res.importances[1], res.importances[2]);
+}
+
+TEST(Evaluate, UninformativeFeaturesScoreNearBaseRate) {
+  const Dataset ds = make_dataset(240, 3);
+  EvalOptions opt;
+  opt.repeats = 3;
+  const EvalResult res = evaluate(ds, {"noise"}, opt);
+  EXPECT_LT(res.accuracy_at(0.0), 0.6);
+}
+
+TEST(Evaluate, RepeatsReduceNothingButFillStd) {
+  const Dataset ds = make_dataset(120, 4);
+  EvalOptions opt;
+  opt.repeats = 5;
+  const EvalResult res = evaluate(ds, {"f0", "f1"}, opt);
+  ASSERT_EQ(res.accuracy_std.size(), res.accuracy.size());
+  for (const double s : res.accuracy_std) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 0.5);
+  }
+}
+
+TEST(Evaluate, ConstantBaselineMatchesClassShareAtZeroTolerance) {
+  const Dataset ds = make_dataset(200, 5);
+  const EvalResult base = evaluate_constant(ds, 4);
+  const auto hist = ds.label_histogram(4);
+  const double share =
+      static_cast<double>(hist[4]) / static_cast<double>(ds.size());
+  EXPECT_NEAR(base.accuracy_at(0.0), share, 1e-12);
+  // With tight energy margins a wide tolerance makes the constant choice
+  // acceptable for the neighbouring classes too.
+  const Dataset tight = make_dataset(200, 5, /*energy_margin=*/0.1);
+  const EvalResult base2 = evaluate_constant(tight, 4);
+  EXPECT_GT(base2.accuracy.back(), base2.accuracy.front());
+}
+
+TEST(Evaluate, ClassifierBeatsConstantBaseline) {
+  const Dataset ds = make_dataset(240, 6);
+  EvalOptions opt;
+  opt.repeats = 3;
+  const EvalResult clf = evaluate(ds, {"f0", "f1"}, opt);
+  const EvalResult base = evaluate_constant(ds, 4);
+  for (std::size_t i = 0; i < clf.accuracy.size(); ++i) {
+    EXPECT_GE(clf.accuracy[i] + 1e-9, base.accuracy[i]) << i;
+  }
+}
+
+TEST(RankFeatures, OrdersByImportance) {
+  const Dataset ds = make_dataset(300, 7);
+  EvalOptions opt;
+  opt.repeats = 2;
+  const auto ranked = rank_features(ds, {"f0", "f1", "noise"}, opt);
+  ASSERT_EQ(ranked.size(), 3U);
+  EXPECT_NE(ranked[0].first, "noise");
+  EXPECT_NE(ranked[1].first, "noise");
+  EXPECT_EQ(ranked[2].first, "noise");
+  EXPECT_GE(ranked[0].second, ranked[1].second);
+}
+
+TEST(Evaluate, ThrowsOnEmptyDataset) {
+  const Dataset ds({"f0"});
+  EXPECT_THROW((void)evaluate(ds, {"f0"}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulpc::ml

@@ -1,0 +1,142 @@
+// Dataset container tests: column selection, label histograms and CSV
+// round-tripping (the dataset cache format).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "ml/dataset.hpp"
+
+namespace pulpc::ml {
+namespace {
+
+Sample sample(const std::string& name, int label,
+              std::vector<double> features) {
+  Sample s;
+  s.kernel = name;
+  s.suite = "custom";
+  s.dtype = kir::DType::F32;
+  s.size_bytes = 2048;
+  s.label = label;
+  s.features = std::move(features);
+  s.energy = {4.0, 3.0, 2.5, 2.75};
+  s.cycles = {400, 210, 150, 120};
+  return s;
+}
+
+Dataset small_dataset() {
+  Dataset ds({"a", "b", "c"});
+  ds.add(sample("k0", 3, {1, 2, 3}));
+  ds.add(sample("k1", 1, {4, 5, 6}));
+  ds.add(sample("k2", 3, {7, 8, 9}));
+  return ds;
+}
+
+TEST(Dataset, AddValidatesShapes) {
+  Dataset ds({"a", "b"});
+  EXPECT_THROW(ds.add(sample("bad", 1, {1})), std::invalid_argument);
+  Sample s = sample("bad2", 1, {1, 2});
+  s.cycles.pop_back();
+  EXPECT_THROW(ds.add(std::move(s)), std::invalid_argument);
+}
+
+TEST(Dataset, MatrixSelectsColumnsByName) {
+  const Dataset ds = small_dataset();
+  const Matrix m = ds.matrix({"c", "a"});
+  ASSERT_EQ(m.rows, 3U);
+  ASSERT_EQ(m.cols, 2U);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 9.0);
+}
+
+TEST(Dataset, UnknownColumnThrows) {
+  const Dataset ds = small_dataset();
+  EXPECT_THROW((void)ds.matrix({"zz"}), std::invalid_argument);
+}
+
+TEST(Dataset, LabelsAndHistogram) {
+  const Dataset ds = small_dataset();
+  EXPECT_EQ(ds.labels(), (std::vector<int>{3, 1, 3}));
+  const auto h = ds.label_histogram(4);
+  EXPECT_EQ(h[1], 1U);
+  EXPECT_EQ(h[3], 2U);
+  EXPECT_EQ(h[2], 0U);
+}
+
+TEST(Dataset, CsvRoundTripPreservesEverything) {
+  const Dataset ds = small_dataset();
+  std::stringstream ss;
+  ds.save_csv(ss);
+  const Dataset back = Dataset::load_csv(ss);
+  ASSERT_EQ(back.size(), ds.size());
+  EXPECT_EQ(back.columns(), ds.columns());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Sample& a = ds.samples()[i];
+    const Sample& b = back.samples()[i];
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.suite, b.suite);
+    EXPECT_EQ(a.dtype, b.dtype);
+    EXPECT_EQ(a.size_bytes, b.size_bytes);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.features, b.features);
+  }
+}
+
+TEST(Dataset, CsvPreservesFullDoublePrecision) {
+  Dataset ds({"x"});
+  Sample s = sample("precise", 2, {0.1234567890123456789});
+  s.energy = {1.0000000001, 2, 3, 4};
+  ds.add(std::move(s));
+  std::stringstream ss;
+  ds.save_csv(ss);
+  const Dataset back = Dataset::load_csv(ss);
+  EXPECT_DOUBLE_EQ(back.samples()[0].features[0], 0.1234567890123456789);
+  EXPECT_DOUBLE_EQ(back.samples()[0].energy[0], 1.0000000001);
+}
+
+TEST(Dataset, CsvHeaderIsSelfDescribing) {
+  const Dataset ds = small_dataset();
+  std::stringstream ss;
+  ds.save_csv(ss);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header,
+            "kernel,suite,dtype,size_bytes,label,e1,e2,e3,e4,c1,c2,c3,c4,"
+            "a,b,c");
+}
+
+TEST(Dataset, LoadRejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW((void)Dataset::load_csv(empty), std::runtime_error);
+  std::stringstream bad("not,a,header\n");
+  EXPECT_THROW((void)Dataset::load_csv(bad), std::runtime_error);
+  std::stringstream short_row(
+      "kernel,suite,dtype,size_bytes,label,e1,c1,a\nk,s,i32,1,1,2\n");
+  EXPECT_THROW((void)Dataset::load_csv(short_row), std::runtime_error);
+}
+
+TEST(Dataset, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "pulpc_ds_test.csv";
+  const Dataset ds = small_dataset();
+  ds.save_csv_file(path);
+  const Dataset back = Dataset::load_csv_file(path);
+  EXPECT_EQ(back.size(), 3U);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)Dataset::load_csv_file(path), std::runtime_error);
+}
+
+TEST(Dataset, I32DtypeRoundTrips) {
+  Dataset ds({"x"});
+  Sample s = sample("intk", 1, {1.0});
+  s.dtype = kir::DType::I32;
+  ds.add(std::move(s));
+  std::stringstream ss;
+  ds.save_csv(ss);
+  EXPECT_EQ(Dataset::load_csv(ss).samples()[0].dtype, kir::DType::I32);
+}
+
+}  // namespace
+}  // namespace pulpc::ml

@@ -1,0 +1,131 @@
+// Random-forest tests: ensemble behaviour, bootstrap/feature
+// subsampling, importances and robustness to label noise.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "ml/forest.hpp"
+
+namespace pulpc::ml {
+namespace {
+
+struct Problem {
+  Matrix x;
+  std::vector<int> y;
+};
+
+/// Four-class problem driven by two of four features (two are noise).
+Problem make_problem(int n, unsigned seed, double label_noise = 0.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  Problem p;
+  p.x.cols = 4;
+  for (int i = 0; i < n; ++i) {
+    const double a = u(rng);
+    const double b = u(rng);
+    p.x.data.insert(p.x.data.end(), {a, b, u(rng), u(rng)});
+    int label = 1 + (a > 0.5) * 2 + (b > 0.5);
+    if (u(rng) < label_noise) label = 1 + int(u(rng) * 4);
+    p.y.push_back(label);
+  }
+  p.x.rows = static_cast<std::size_t>(n);
+  return p;
+}
+
+double accuracy(const std::vector<int>& a, const std::vector<int>& b) {
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) ok += a[i] == b[i] ? 1 : 0;
+  return static_cast<double>(ok) / static_cast<double>(a.size());
+}
+
+TEST(RandomForest, LearnsCleanProblem) {
+  const Problem p = make_problem(300, 1);
+  RandomForest forest;
+  forest.fit(p.x, p.y);
+  EXPECT_GT(accuracy(forest.predict(p.x), p.y), 0.97);
+  EXPECT_EQ(forest.tree_count(), 50U);
+}
+
+TEST(RandomForest, RobustToLabelNoise) {
+  const Problem train = make_problem(400, 2, /*label_noise=*/0.2);
+  const Problem clean = make_problem(200, 3);
+  ForestParams fp;
+  fp.n_trees = 80;
+  fp.seed = 9;
+  RandomForest forest(fp);
+  forest.fit(train.x, train.y);
+  EXPECT_GT(accuracy(forest.predict(clean.x), clean.y), 0.85);
+}
+
+TEST(RandomForest, ImportancesFavourInformativeFeatures) {
+  const Problem p = make_problem(400, 4);
+  RandomForest forest;
+  forest.fit(p.x, p.y);
+  const std::vector<double>& imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 4U);
+  EXPECT_GT(imp[0], imp[2]);
+  EXPECT_GT(imp[0], imp[3]);
+  EXPECT_GT(imp[1], imp[2]);
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(RandomForest, DeterministicForFixedSeed) {
+  const Problem p = make_problem(200, 5);
+  ForestParams fp;
+  fp.seed = 42;
+  RandomForest a(fp);
+  RandomForest b(fp);
+  a.fit(p.x, p.y);
+  b.fit(p.x, p.y);
+  EXPECT_EQ(a.predict(p.x), b.predict(p.x));
+  EXPECT_EQ(a.feature_importances(), b.feature_importances());
+}
+
+TEST(RandomForest, DifferentSeedsGiveDifferentEnsembles) {
+  const Problem p = make_problem(200, 6, 0.3);
+  ForestParams fa;
+  fa.seed = 1;
+  ForestParams fb;
+  fb.seed = 2;
+  RandomForest a(fa);
+  RandomForest b(fb);
+  a.fit(p.x, p.y);
+  b.fit(p.x, p.y);
+  EXPECT_NE(a.feature_importances(), b.feature_importances());
+}
+
+TEST(RandomForest, WithoutBootstrapUsesFullSample) {
+  const Problem p = make_problem(150, 7);
+  ForestParams fp;
+  fp.bootstrap = false;
+  fp.n_trees = 10;
+  RandomForest forest(fp);
+  forest.fit(p.x, p.y);
+  EXPECT_GT(accuracy(forest.predict(p.x), p.y), 0.97);
+}
+
+TEST(RandomForest, ExplicitMaxFeaturesHonoured) {
+  const Problem p = make_problem(150, 8);
+  ForestParams fp;
+  fp.max_features = 1;
+  RandomForest forest(fp);
+  forest.fit(p.x, p.y);
+  EXPECT_GT(accuracy(forest.predict(p.x), p.y), 0.8);
+}
+
+TEST(RandomForest, ErrorsOnBadConfiguration) {
+  ForestParams fp;
+  fp.n_trees = 0;
+  RandomForest forest(fp);
+  const Problem p = make_problem(10, 9);
+  EXPECT_THROW(forest.fit(p.x, p.y), std::invalid_argument);
+  RandomForest untrained;
+  EXPECT_THROW((void)untrained.predict(std::vector<double>{1, 2, 3, 4}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pulpc::ml

@@ -1,0 +1,171 @@
+// MLP-classifier tests: learning capacity on linear and non-linear
+// problems (XOR needs the hidden layer), probability sanity,
+// standardisation invariance, determinism and error paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "ml/mlp.hpp"
+
+namespace pulpc::ml {
+namespace {
+
+Matrix make_matrix(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  m.rows = rows.size();
+  m.cols = rows.empty() ? 0 : rows[0].size();
+  for (const auto& r : rows) {
+    m.data.insert(m.data.end(), r.begin(), r.end());
+  }
+  return m;
+}
+
+double accuracy(const std::vector<int>& a, const std::vector<int>& b) {
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) ok += a[i] == b[i] ? 1 : 0;
+  return double(ok) / double(a.size());
+}
+
+struct Problem {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Problem blobs(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g(0, 0.5);
+  Problem p;
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < n; ++i) {
+    const int c = i % 3;
+    rows.push_back({c * 3.0 + g(rng), (c == 1 ? 3.0 : 0.0) + g(rng)});
+    p.y.push_back(c + 1);
+  }
+  p.x = make_matrix(rows);
+  return p;
+}
+
+Problem xor_problem(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  Problem p;
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < n; ++i) {
+    const double a = u(rng);
+    const double b = u(rng);
+    rows.push_back({a, b});
+    p.y.push_back(((a > 0.5) != (b > 0.5)) ? 2 : 1);
+  }
+  p.x = make_matrix(rows);
+  return p;
+}
+
+TEST(Mlp, LearnsLinearlySeparableBlobs) {
+  const Problem p = blobs(300, 1);
+  MlpClassifier mlp;
+  mlp.fit(p.x, p.y);
+  EXPECT_GT(accuracy(mlp.predict(p.x), p.y), 0.97);
+  EXPECT_LT(mlp.final_loss(), 0.2);
+}
+
+TEST(Mlp, LearnsXorWhichNeedsTheHiddenLayer) {
+  const Problem p = xor_problem(400, 2);
+  MlpParams params;
+  params.hidden = 16;
+  params.epochs = 600;
+  MlpClassifier mlp(params);
+  mlp.fit(p.x, p.y);
+  EXPECT_GT(accuracy(mlp.predict(p.x), p.y), 0.95);
+}
+
+TEST(Mlp, ProbabilitiesAreADistribution) {
+  const Problem p = blobs(150, 3);
+  MlpClassifier mlp;
+  mlp.fit(p.x, p.y);
+  const std::vector<double> probs =
+      mlp.predict_proba(std::vector<double>{0.0, 0.0});
+  ASSERT_EQ(probs.size(), 3U);
+  double sum = 0;
+  for (const double v : probs) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Mlp, ClassesAreSortedUniqueLabels) {
+  const Matrix x = make_matrix({{0}, {1}, {2}, {3}});
+  const std::vector<int> y = {7, 2, 7, 5};
+  MlpParams params;
+  params.epochs = 10;
+  MlpClassifier mlp(params);
+  mlp.fit(x, y);
+  EXPECT_EQ(mlp.classes(), (std::vector<int>{2, 5, 7}));
+}
+
+TEST(Mlp, StandardisationHandlesWildFeatureScales) {
+  // Same blobs, but feature 0 scaled by 1e6: without standardisation SGD
+  // would diverge.
+  Problem p = blobs(300, 4);
+  for (std::size_t r = 0; r < p.x.rows; ++r) {
+    p.x.data[r * p.x.cols] *= 1e6;
+  }
+  MlpClassifier mlp;
+  mlp.fit(p.x, p.y);
+  EXPECT_GT(accuracy(mlp.predict(p.x), p.y), 0.95);
+}
+
+TEST(Mlp, ConstantFeatureDoesNotProduceNans) {
+  Problem p = blobs(100, 5);
+  for (std::size_t r = 0; r < p.x.rows; ++r) {
+    p.x.data[r * p.x.cols + 1] = 42.0;  // constant column
+  }
+  MlpClassifier mlp;
+  mlp.fit(p.x, p.y);
+  for (const double v :
+       mlp.predict_proba(std::vector<double>{0.0, 42.0})) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Mlp, DeterministicForFixedSeed) {
+  const Problem p = blobs(200, 6);
+  MlpParams params;
+  params.seed = 11;
+  MlpClassifier a(params);
+  MlpClassifier b(params);
+  a.fit(p.x, p.y);
+  b.fit(p.x, p.y);
+  EXPECT_EQ(a.predict(p.x), b.predict(p.x));
+  EXPECT_DOUBLE_EQ(a.final_loss(), b.final_loss());
+}
+
+TEST(Mlp, RowSubsetTrainingIgnoresOtherRows) {
+  Problem p = blobs(120, 7);
+  std::vector<int> noisy = p.y;
+  for (std::size_t i = 90; i < noisy.size(); ++i) noisy[i] = 1;
+  std::vector<std::size_t> subset(90);
+  std::iota(subset.begin(), subset.end(), 0);
+  MlpClassifier mlp;
+  mlp.fit(p.x, noisy, subset);
+  // Evaluate on the clean prefix.
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < 90; ++i) {
+    ok += mlp.predict(std::span(p.x.row(i), p.x.cols)) == p.y[i] ? 1 : 0;
+  }
+  EXPECT_GT(double(ok) / 90.0, 0.95);
+}
+
+TEST(Mlp, ErrorsOnBadInput) {
+  MlpClassifier mlp;
+  Matrix x = make_matrix({{1.0}});
+  EXPECT_THROW(mlp.fit(x, {}), std::invalid_argument);
+  EXPECT_THROW((void)mlp.predict(std::vector<double>{1.0}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pulpc::ml

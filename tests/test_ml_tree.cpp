@@ -1,0 +1,227 @@
+// Decision-tree tests: exact fits on separable data, depth/leaf
+// constraints, Gini importances, determinism and error handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "ml/tree.hpp"
+
+namespace pulpc::ml {
+namespace {
+
+Matrix make_matrix(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  m.rows = rows.size();
+  m.cols = rows.empty() ? 0 : rows[0].size();
+  for (const auto& r : rows) {
+    m.data.insert(m.data.end(), r.begin(), r.end());
+  }
+  return m;
+}
+
+/// Two clearly separated blobs along feature 0.
+void blobs(Matrix& x, std::vector<int>& y, int per_class = 20) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> jitter(-0.4, 0.4);
+  std::vector<std::vector<double>> rows;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      rows.push_back({c * 10.0 + jitter(rng), jitter(rng)});
+      y.push_back(c + 1);
+    }
+  }
+  x = make_matrix(rows);
+}
+
+TEST(DecisionTree, SeparableDataFitsPerfectly) {
+  Matrix x;
+  std::vector<int> y;
+  blobs(x, y);
+  DecisionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.predict(x), y);
+  EXPECT_TRUE(tree.trained());
+}
+
+TEST(DecisionTree, SingleClassYieldsOneLeaf) {
+  const Matrix x = make_matrix({{1, 2}, {3, 4}, {5, 6}});
+  const std::vector<int> y = {4, 4, 4};
+  DecisionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1U);
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{9.0, 9.0}), 4);
+}
+
+TEST(DecisionTree, DepthLimitCapsTreeGrowth) {
+  Matrix x;
+  std::vector<int> y;
+  blobs(x, y, 50);
+  TreeParams p;
+  p.max_depth = 1;
+  DecisionTree tree(p);
+  tree.fit(x, y);
+  EXPECT_LE(tree.depth(), 1);
+  EXPECT_LE(tree.node_count(), 3U);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const Matrix x = make_matrix({{1}, {2}, {3}, {4}});
+  const std::vector<int> y = {1, 1, 1, 2};
+  TreeParams p;
+  p.min_samples_leaf = 2;
+  DecisionTree tree(p);
+  tree.fit(x, y);
+  // The only useful split (3|1) violates the leaf minimum; 2|2 splits at
+  // 2.5 leaving an impure right leaf.
+  for (const auto& n : {1.0, 2.0}) {
+    EXPECT_EQ(tree.predict(std::vector<double>{n}), 1);
+  }
+}
+
+TEST(DecisionTree, MinSamplesSplitStopsEarly) {
+  Matrix x;
+  std::vector<int> y;
+  blobs(x, y, 5);
+  TreeParams p;
+  p.min_samples_split = 100;
+  DecisionTree tree(p);
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1U);  // straight to a leaf
+}
+
+TEST(DecisionTree, ImportancesConcentrateOnInformativeFeature) {
+  Matrix x;
+  std::vector<int> y;
+  blobs(x, y);
+  DecisionTree tree;
+  tree.fit(x, y);
+  const std::vector<double>& imp = tree.feature_importances();
+  ASSERT_EQ(imp.size(), 2U);
+  EXPECT_GT(imp[0], 0.99);  // feature 0 separates the blobs
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, ImportancesSumToOneOnMultiwayProblems) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> u(0, 1);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = u(rng);
+    const double b = u(rng);
+    const double c = u(rng);
+    rows.push_back({a, b, c});
+    y.push_back((a > 0.5 ? 1 : 0) + (b > 0.5 ? 2 : 0) + 1);
+  }
+  DecisionTree tree;
+  tree.fit(make_matrix(rows), y);
+  const std::vector<double>& imp = tree.feature_importances();
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(imp[0], imp[2]);
+  EXPECT_GT(imp[1], imp[2]);
+}
+
+TEST(DecisionTree, DeterministicAcrossFits) {
+  Matrix x;
+  std::vector<int> y;
+  blobs(x, y);
+  DecisionTree a;
+  DecisionTree b;
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_EQ(a.predict(x), b.predict(x));
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.feature_importances(), b.feature_importances());
+}
+
+TEST(DecisionTree, RowSubsetFitIgnoresOtherRows) {
+  Matrix x;
+  std::vector<int> y;
+  blobs(x, y, 10);
+  // Poison the last rows with flipped labels, but exclude them.
+  std::vector<int> noisy = y;
+  for (std::size_t i = 15; i < noisy.size(); ++i) noisy[i] = 1;
+  std::vector<std::size_t> subset(15);
+  std::iota(subset.begin(), subset.end(), 0);
+  DecisionTree tree;
+  tree.fit(x, noisy, subset);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0, 0.0}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{10.0, 0.0}), 2);
+}
+
+TEST(DecisionTree, MaxFeaturesSubsamplingStillLearns) {
+  Matrix x;
+  std::vector<int> y;
+  blobs(x, y, 40);
+  TreeParams p;
+  p.max_features = 1;
+  p.seed = 5;
+  DecisionTree tree(p);
+  tree.fit(x, y);
+  // With only one feature considered per split it may need more depth,
+  // but the blobs stay separable.
+  const std::vector<int> pred = tree.predict(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    correct += pred[i] == y[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / y.size(), 0.9);
+}
+
+TEST(DecisionTree, ThrowsOnBadInputs) {
+  DecisionTree tree;
+  Matrix x = make_matrix({{1.0}});
+  EXPECT_THROW(tree.fit(x, {}), std::invalid_argument);
+  EXPECT_THROW(tree.fit(Matrix{}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0}),
+               std::logic_error);
+}
+
+TEST(DecisionTree, ToStringShowsRulesWithFeatureNames) {
+  Matrix x;
+  std::vector<int> y;
+  blobs(x, y);
+  DecisionTree tree;
+  tree.fit(x, y);
+  const std::string rules = tree.to_string({"alpha", "beta"});
+  EXPECT_NE(rules.find("if alpha <="), std::string::npos);
+  EXPECT_NE(rules.find("-> 1"), std::string::npos);
+  EXPECT_NE(rules.find("-> 2"), std::string::npos);
+}
+
+TEST(DecisionTree, HandlesConstantFeatures) {
+  const Matrix x = make_matrix({{1, 5}, {1, 6}, {1, 7}, {1, 8}});
+  const std::vector<int> y = {1, 1, 2, 2};
+  DecisionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0, 5.5}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0, 7.5}), 2);
+  EXPECT_DOUBLE_EQ(tree.feature_importances()[0], 0.0);
+}
+
+TEST(DecisionTree, EightClassProblemLikeThePaper) {
+  // Labels 1..8 determined by three thresholded features.
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> u(0, 1);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = u(rng);
+    const double b = u(rng);
+    const double c = u(rng);
+    rows.push_back({a, b, c});
+    y.push_back(1 + (a > 0.5) * 4 + (b > 0.5) * 2 + (c > 0.5));
+  }
+  DecisionTree tree;
+  tree.fit(make_matrix(rows), y);
+  const std::vector<int> pred = tree.predict(make_matrix(rows));
+  EXPECT_EQ(pred, y);
+}
+
+}  // namespace
+}  // namespace pulpc::ml

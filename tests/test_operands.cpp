@@ -1,0 +1,172 @@
+// Exhaustive tests for the shared operand model (kir::operands_of),
+// which the machine-code analyser, the optimiser and register liveness
+// all depend on. A wrong read/write set here silently corrupts
+// dependency chains, DCE and LICM.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kir/operands.hpp"
+
+namespace pulpc::kir {
+namespace {
+
+Instr ins(Op op) {
+  // Distinct register indices so reads/writes are distinguishable.
+  return Instr{op, 3, 1, 2, 0, is_memory(op) ? MemSpace::Tcdm
+                                             : MemSpace::None};
+}
+
+std::multiset<int> read_slots(const Instr& i) {
+  const Operands o = operands_of(i);
+  std::multiset<int> out;
+  for (int r = 0; r < o.n_reads; ++r) out.insert(o.reads[r].slot());
+  return out;
+}
+
+std::multiset<int> write_slots(const Instr& i) {
+  const Operands o = operands_of(i);
+  std::multiset<int> out;
+  for (int w = 0; w < o.n_writes; ++w) out.insert(o.writes[w].slot());
+  return out;
+}
+
+TEST(Operands, IntegerThreeOperandOps) {
+  for (const Op op : {Op::Add, Op::Sub, Op::Mul, Op::Slt, Op::And, Op::Or,
+                      Op::Xor, Op::Shl, Op::Shr, Op::Min, Op::Max, Op::Div,
+                      Op::Rem}) {
+    EXPECT_EQ(read_slots(ins(op)), (std::multiset<int>{1, 2}))
+        << mnemonic(op);
+    EXPECT_EQ(write_slots(ins(op)), (std::multiset<int>{3}))
+        << mnemonic(op);
+  }
+}
+
+TEST(Operands, MacReadsItsDestination) {
+  EXPECT_EQ(read_slots(ins(Op::Mac)), (std::multiset<int>{1, 2, 3}));
+  EXPECT_EQ(write_slots(ins(Op::Mac)), (std::multiset<int>{3}));
+  // FMac: same shape, float file (slots offset by 32).
+  EXPECT_EQ(read_slots(ins(Op::FMac)), (std::multiset<int>{33, 34, 35}));
+  EXPECT_EQ(write_slots(ins(Op::FMac)), (std::multiset<int>{35}));
+}
+
+TEST(Operands, ImmediateFormsReadOneSource) {
+  for (const Op op : {Op::AddI, Op::MulI, Op::AndI, Op::OrI, Op::XorI,
+                      Op::ShlI, Op::ShrI, Op::SltI}) {
+    EXPECT_EQ(read_slots(ins(op)), (std::multiset<int>{1})) << mnemonic(op);
+    EXPECT_EQ(write_slots(ins(op)), (std::multiset<int>{3}))
+        << mnemonic(op);
+  }
+}
+
+TEST(Operands, ConstantsAndRuntimeQueriesOnlyWrite) {
+  for (const Op op : {Op::Li, Op::CoreId, Op::NumCores}) {
+    EXPECT_TRUE(read_slots(ins(op)).empty()) << mnemonic(op);
+    EXPECT_EQ(write_slots(ins(op)), (std::multiset<int>{3}))
+        << mnemonic(op);
+  }
+  EXPECT_EQ(write_slots(ins(Op::FLi)), (std::multiset<int>{35}));
+}
+
+TEST(Operands, FloatOpsLiveInTheUpperSlots) {
+  for (const Op op : {Op::FAdd, Op::FSub, Op::FMul, Op::FMin, Op::FMax,
+                      Op::FDiv}) {
+    EXPECT_EQ(read_slots(ins(op)), (std::multiset<int>{33, 34}))
+        << mnemonic(op);
+    EXPECT_EQ(write_slots(ins(op)), (std::multiset<int>{35}))
+        << mnemonic(op);
+  }
+  for (const Op op : {Op::FAbs, Op::FNeg, Op::FMv, Op::FSqrt}) {
+    EXPECT_EQ(read_slots(ins(op)), (std::multiset<int>{33}))
+        << mnemonic(op);
+    EXPECT_EQ(write_slots(ins(op)), (std::multiset<int>{35}))
+        << mnemonic(op);
+  }
+}
+
+TEST(Operands, CrossFileOps) {
+  // FP compares read floats, write an integer.
+  for (const Op op : {Op::FLt, Op::FLe, Op::FEq}) {
+    EXPECT_EQ(read_slots(ins(op)), (std::multiset<int>{33, 34}))
+        << mnemonic(op);
+    EXPECT_EQ(write_slots(ins(op)), (std::multiset<int>{3}))
+        << mnemonic(op);
+  }
+  EXPECT_EQ(read_slots(ins(Op::CvtSW)), (std::multiset<int>{1}));
+  EXPECT_EQ(write_slots(ins(Op::CvtSW)), (std::multiset<int>{35}));
+  EXPECT_EQ(read_slots(ins(Op::CvtWS)), (std::multiset<int>{33}));
+  EXPECT_EQ(write_slots(ins(Op::CvtWS)), (std::multiset<int>{3}));
+}
+
+TEST(Operands, MemoryOps) {
+  EXPECT_EQ(read_slots(ins(Op::Lw)), (std::multiset<int>{1}));
+  EXPECT_EQ(write_slots(ins(Op::Lw)), (std::multiset<int>{3}));
+  EXPECT_EQ(read_slots(ins(Op::Flw)), (std::multiset<int>{1}));
+  EXPECT_EQ(write_slots(ins(Op::Flw)), (std::multiset<int>{35}));
+  // Stores read the address register and the value, write nothing.
+  EXPECT_EQ(read_slots(ins(Op::Sw)), (std::multiset<int>{1, 2}));
+  EXPECT_TRUE(write_slots(ins(Op::Sw)).empty());
+  EXPECT_EQ(read_slots(ins(Op::Fsw)), (std::multiset<int>{1, 34}));
+  EXPECT_TRUE(write_slots(ins(Op::Fsw)).empty());
+}
+
+TEST(Operands, BranchesReadWithoutWriting) {
+  for (const Op op : {Op::Beq, Op::Bne, Op::Blt, Op::Bge}) {
+    EXPECT_EQ(read_slots(ins(op)), (std::multiset<int>{1, 2}))
+        << mnemonic(op);
+    EXPECT_TRUE(write_slots(ins(op)).empty()) << mnemonic(op);
+  }
+  EXPECT_TRUE(read_slots(ins(Op::Jmp)).empty());
+}
+
+TEST(Operands, DmaStartTreatsRdAsASource) {
+  EXPECT_EQ(read_slots(ins(Op::DmaStart)), (std::multiset<int>{1, 2, 3}));
+  EXPECT_TRUE(write_slots(ins(Op::DmaStart)).empty());
+}
+
+TEST(Operands, RegisterFreeOpsHaveNoTraffic) {
+  for (const Op op : {Op::Nop, Op::Barrier, Op::CritEnter, Op::CritExit,
+                      Op::DmaWait, Op::MarkEnter, Op::MarkExit, Op::Halt}) {
+    EXPECT_TRUE(read_slots(ins(op)).empty()) << mnemonic(op);
+    EXPECT_TRUE(write_slots(ins(op)).empty()) << mnemonic(op);
+  }
+}
+
+TEST(Operands, FieldsIdentifyTheInstrMembers) {
+  const Operands o = operands_of(ins(Op::Add));
+  ASSERT_EQ(o.n_reads, 2);
+  EXPECT_EQ(o.reads[0].field, Field::Rs1);
+  EXPECT_EQ(o.reads[1].field, Field::Rs2);
+  ASSERT_EQ(o.n_writes, 1);
+  EXPECT_EQ(o.writes[0].field, Field::Rd);
+}
+
+TEST(Operands, SetFieldRewritesTheRightMember) {
+  Instr i = ins(Op::Add);
+  set_field(i, Field::Rs1, 9);
+  EXPECT_EQ(i.rs1, 9);
+  EXPECT_EQ(i.rs2, 2);
+  set_field(i, Field::Rd, 11);
+  EXPECT_EQ(i.rd, 11);
+  set_field(i, Field::Rs2, 13);
+  EXPECT_EQ(i.rs2, 13);
+}
+
+TEST(Operands, EveryOpcodeHasConsistentCounts) {
+  for (int v = 0; v <= int(Op::Halt); ++v) {
+    const Op op = Op(v);
+    Instr i = ins(op);
+    if (is_memory(op)) i.mem = MemSpace::Tcdm;
+    const Operands o = operands_of(i);
+    EXPECT_GE(o.n_reads, 0);
+    EXPECT_LE(o.n_reads, 3);
+    EXPECT_GE(o.n_writes, 0);
+    EXPECT_LE(o.n_writes, 1);
+    for (int r = 0; r < o.n_reads; ++r) {
+      EXPECT_LT(o.reads[r].slot(), 64) << mnemonic(op);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pulpc::kir

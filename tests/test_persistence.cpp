@@ -1,0 +1,123 @@
+// Persistence tests: trained trees and classifiers round-trip through
+// their text formats with identical predictions, and malformed inputs
+// are rejected.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <sstream>
+
+#include "core/classifier.hpp"
+#include "core/pipeline.hpp"
+#include "dsl/lower.hpp"
+#include "kernels/registry.hpp"
+#include "ml/tree.hpp"
+
+namespace pulpc {
+namespace {
+
+ml::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  ml::Matrix x;
+  x.rows = rows;
+  x.cols = cols;
+  for (std::size_t i = 0; i < rows * cols; ++i) x.data.push_back(u(rng));
+  return x;
+}
+
+TEST(TreePersistence, RoundTripPredictsIdentically) {
+  const ml::Matrix x = random_matrix(200, 5, 3);
+  std::vector<int> y;
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    y.push_back(1 + int(x.at(r, 0) > 0.5) + 2 * int(x.at(r, 3) > 0.3));
+  }
+  ml::DecisionTree tree;
+  tree.fit(x, y);
+
+  std::stringstream ss;
+  tree.save(ss);
+  const ml::DecisionTree back = ml::DecisionTree::load(ss);
+  EXPECT_EQ(back.node_count(), tree.node_count());
+  EXPECT_EQ(back.depth(), tree.depth());
+  EXPECT_EQ(back.predict(x), tree.predict(x));
+  EXPECT_EQ(back.feature_importances(), tree.feature_importances());
+}
+
+TEST(TreePersistence, UntrainedTreeCannotBeSaved) {
+  const ml::DecisionTree tree;
+  std::stringstream ss;
+  EXPECT_THROW(tree.save(ss), std::logic_error);
+}
+
+TEST(TreePersistence, RejectsCorruptedInput) {
+  std::stringstream empty;
+  EXPECT_THROW((void)ml::DecisionTree::load(empty), std::runtime_error);
+  std::stringstream wrong("other-format v9\n1 1 0\n");
+  EXPECT_THROW((void)ml::DecisionTree::load(wrong), std::runtime_error);
+  std::stringstream truncated("pulpc-tree v1\n3 2 1\n0 0.5 1 2 0\n");
+  EXPECT_THROW((void)ml::DecisionTree::load(truncated),
+               std::runtime_error);
+  std::stringstream out_of_range(
+      "pulpc-tree v1\n1 2 0\n9 0.5 -1 -1 3\n0 0\n");
+  EXPECT_THROW((void)ml::DecisionTree::load(out_of_range),
+               std::runtime_error);
+}
+
+TEST(ClassifierPersistence, RoundTripKeepsPredictions) {
+  // Tiny real dataset so train/predict are cheap.
+  ml::Dataset ds(core::dataset_columns(8));
+  for (const char* name : {"memcpy", "alu_chain", "trisolv", "autocor"}) {
+    ds.add(core::build_sample({name, kir::DType::I32, 512}));
+  }
+  core::EnergyClassifier clf;
+  clf.train(ds);
+
+  std::stringstream ss;
+  clf.save(ss);
+  const core::EnergyClassifier back = core::EnergyClassifier::load(ss);
+  EXPECT_EQ(back.columns(), clf.columns());
+  for (const char* name : {"memcpy", "stencil5", "div_chain"}) {
+    const kir::Program prog =
+        dsl::lower(kernels::make_kernel(name, kir::DType::I32, 2048));
+    EXPECT_EQ(back.predict(prog), clf.predict(prog)) << name;
+  }
+}
+
+TEST(ClassifierPersistence, FileRoundTrip) {
+  ml::Dataset ds(core::dataset_columns(8));
+  for (const char* name : {"memset", "spin_counter"}) {
+    ds.add(core::build_sample({name, kir::DType::I32, 512}));
+  }
+  core::EnergyClassifier::Options opt;
+  opt.features = feat::FeatureSet::Agg;
+  core::EnergyClassifier clf(opt);
+  clf.train(ds);
+
+  const std::string path = ::testing::TempDir() + "pulpc_clf_test.txt";
+  clf.save_file(path);
+  const core::EnergyClassifier back =
+      core::EnergyClassifier::load_file(path);
+  EXPECT_EQ(back.columns(), clf.columns());
+  std::remove(path.c_str());
+  EXPECT_THROW((void)core::EnergyClassifier::load_file(path),
+               std::runtime_error);
+}
+
+TEST(ClassifierPersistence, UntrainedClassifierCannotBeSaved) {
+  const core::EnergyClassifier clf;
+  std::stringstream ss;
+  EXPECT_THROW(clf.save(ss), std::logic_error);
+}
+
+TEST(ClassifierPersistence, RejectsUnknownColumns) {
+  std::stringstream ss(
+      "pulpc-classifier v1\n2\nF1\nnot_a_feature\npulpc-tree v1\n1 2 0\n"
+      "-1 0 -1 -1 4\n0 0\n");
+  EXPECT_THROW((void)core::EnergyClassifier::load(ss),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pulpc

@@ -1,0 +1,200 @@
+// End-to-end pipeline tests: sample building (Figure 1 steps A-F), the
+// dataset cache, and the public EnergyClassifier API.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "core/classifier.hpp"
+#include "core/pipeline.hpp"
+#include "dsl/lower.hpp"
+#include "dsl/builder.hpp"
+#include "kernels/registry.hpp"
+#include "ml/metrics.hpp"
+
+namespace pulpc::core {
+namespace {
+
+TEST(Pipeline, DatasetColumnsAreStaticPlusDynamic) {
+  const std::vector<std::string> cols = dataset_columns(8);
+  EXPECT_EQ(cols.size(), 20U + 8U * 10U);
+  EXPECT_EQ(cols[0], "op");
+  EXPECT_EQ(cols[20], "PE_idle@1");
+  EXPECT_EQ(cols.back(), "L1_conflicts@8");
+}
+
+TEST(Pipeline, DatasetConfigsEnumerateThePaperSamples) {
+  const std::vector<SampleConfig> cfgs = dataset_configs();
+  EXPECT_EQ(cfgs.size(), 448U);
+  // 59 distinct kernels, 4 sizes each combo.
+  std::set<std::string> names;
+  for (const SampleConfig& c : cfgs) names.insert(c.kernel);
+  EXPECT_EQ(names.size(), 59U);
+}
+
+TEST(Pipeline, BuildSampleProducesConsistentRecord) {
+  const ml::Sample s =
+      build_sample({"stream_triad", kir::DType::I32, 2048});
+  EXPECT_EQ(s.kernel, "stream_triad");
+  EXPECT_EQ(s.suite, "custom");
+  ASSERT_EQ(s.energy.size(), 8U);
+  ASSERT_EQ(s.cycles.size(), 8U);
+  EXPECT_EQ(s.features.size(), dataset_columns(8).size());
+  EXPECT_GE(s.label, 1);
+  EXPECT_LE(s.label, 8);
+  // The label is the argmin of the energy vector.
+  const auto best = std::min_element(s.energy.begin(), s.energy.end());
+  EXPECT_EQ(s.label, int(best - s.energy.begin()) + 1);
+  for (const double e : s.energy) {
+    EXPECT_GT(e, 0.0);
+    EXPECT_TRUE(std::isfinite(e));
+  }
+  for (const double f : s.features) EXPECT_TRUE(std::isfinite(f));
+  // Cycles shrink from 1 core to 8 for this embarrassingly parallel
+  // kernel.
+  EXPECT_LT(s.cycles[7], s.cycles[0]);
+}
+
+TEST(Pipeline, SerialKernelGetsLabelOne) {
+  const ml::Sample s = build_sample({"trisolv", kir::DType::I32, 2048});
+  EXPECT_EQ(s.label, 1);
+}
+
+TEST(Pipeline, BuildSampleRejectsUnknownKernel) {
+  EXPECT_THROW((void)build_sample({"nope", kir::DType::I32, 512}),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, MaxCoresOptionShrinksTheSweep) {
+  BuildOptions opt;
+  opt.max_cores = 3;
+  const ml::Sample s = build_sample({"memcpy", kir::DType::I32, 512}, opt);
+  EXPECT_EQ(s.energy.size(), 3U);
+  EXPECT_LE(s.label, 3);
+  EXPECT_EQ(s.features.size(), dataset_columns(3).size());
+}
+
+TEST(Pipeline, CacheRoundTripsThroughEnvPath) {
+  const std::string path = ::testing::TempDir() + "pulpc_cache_test.csv";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("PULPC_DATASET_CACHE", path.c_str(), 1), 0);
+
+  // Build a tiny dataset by hand and save it under the cache path with
+  // the pipeline's column layout; load_or_build must pick it up without
+  // rebuilding (we detect that by the sample count).
+  ml::Dataset tiny(dataset_columns(8));
+  ml::Sample s = build_sample({"memset", kir::DType::I32, 512});
+  tiny.add(s);
+  tiny.save_csv_file(path);
+
+  const ml::Dataset loaded = load_or_build_dataset();
+  EXPECT_EQ(loaded.size(), 1U);
+  EXPECT_EQ(loaded.samples()[0].kernel, "memset");
+  std::remove(path.c_str());
+  unsetenv("PULPC_DATASET_CACHE");
+}
+
+// ---- classifier API ----------------------------------------------------
+
+/// Small dataset: a few kernels at two sizes (keeps the test fast).
+ml::Dataset mini_dataset() {
+  ml::Dataset ds(dataset_columns(8));
+  for (const char* name : {"memcpy", "stream_triad", "trisolv", "autocor",
+                           "spin_counter", "alu_chain"}) {
+    for (const std::uint32_t size : {512U, 2048U}) {
+      ds.add(build_sample({name, kir::DType::I32, size}));
+    }
+  }
+  return ds;
+}
+
+TEST(EnergyClassifierApi, TrainPredictRoundTrip) {
+  const ml::Dataset ds = mini_dataset();
+  EnergyClassifier clf;
+  EXPECT_FALSE(clf.trained());
+  clf.train(ds);
+  ASSERT_TRUE(clf.trained());
+
+  // Predictions on the training kernels stay within the label range and
+  // hit the exact label for most (tree memorises the tiny set).
+  std::size_t exact = 0;
+  std::size_t i = 0;
+  for (const ml::Sample& s : ds.samples()) {
+    const int pred = clf.predict(dsl::lower(
+        kernels::make_kernel(s.kernel, s.dtype, s.size_bytes)));
+    EXPECT_GE(pred, 1);
+    EXPECT_LE(pred, 8);
+    exact += pred == s.label ? 1 : 0;
+    ++i;
+  }
+  EXPECT_GT(exact, ds.size() / 2);
+}
+
+TEST(EnergyClassifierApi, PredictsFromKernelSpecDirectly) {
+  const ml::Dataset ds = mini_dataset();
+  EnergyClassifier clf;
+  clf.train(ds);
+  const dsl::KernelSpec spec =
+      kernels::make_kernel("memcpy", kir::DType::I32, 512);
+  const int pred = clf.predict(spec);
+  EXPECT_GE(pred, 1);
+  EXPECT_LE(pred, 8);
+}
+
+TEST(EnergyClassifierApi, RejectsDynamicFeatureColumns) {
+  EnergyClassifier::Options opt;
+  opt.columns = {"PE_sleep@8"};
+  EXPECT_THROW(EnergyClassifier clf(opt), std::invalid_argument);
+}
+
+TEST(EnergyClassifierApi, PredictBeforeTrainThrows) {
+  EnergyClassifier clf;
+  EXPECT_THROW(
+      (void)clf.predict(dsl::lower(
+          kernels::make_kernel("memcpy", kir::DType::I32, 512))),
+      std::logic_error);
+}
+
+TEST(EnergyClassifierApi, CustomColumnSubsetWorks) {
+  const ml::Dataset ds = mini_dataset();
+  EnergyClassifier::Options opt;
+  opt.columns = {"avgws", "F4", "F1"};
+  EnergyClassifier clf(opt);
+  clf.train(ds);
+  EXPECT_EQ(clf.columns().size(), 3U);
+  const int pred = clf.predict(
+      dsl::lower(kernels::make_kernel("alu_chain", kir::DType::I32, 512)));
+  EXPECT_GE(pred, 1);
+  EXPECT_LE(pred, 8);
+}
+
+TEST(EnergyClassifierApi, ExplainPrintsNamedRules) {
+  const ml::Dataset ds = mini_dataset();
+  EnergyClassifier clf;
+  clf.train(ds);
+  const std::string rules = clf.explain();
+  EXPECT_FALSE(rules.empty());
+  // Rules reference real feature names, not x<N> placeholders.
+  EXPECT_EQ(rules.find("x0 <="), std::string::npos);
+}
+
+TEST(EnergyClassifierApi, OptimizedColumnsAreASubsetOfStatics) {
+  const ml::Dataset ds = mini_dataset();
+  ml::EvalOptions eval;
+  eval.repeats = 2;
+  eval.folds = 3;
+  const std::vector<std::string> cols =
+      optimized_static_columns(ds, 5, eval);
+  EXPECT_EQ(cols.size(), 5U);
+  const std::vector<std::string>& statics = feat::static_feature_names();
+  for (const std::string& c : cols) {
+    EXPECT_NE(std::find(statics.begin(), statics.end(), c), statics.end())
+        << c;
+  }
+}
+
+}  // namespace
+}  // namespace pulpc::core

@@ -1,0 +1,455 @@
+// Cluster-level behaviour: timing of memory levels and multi-cycle units,
+// bank-conflict arbitration, FPU sharing, barriers, the critical-section
+// lock, DMA, I-cache refills, kernel-region filtering, determinism and
+// error paths.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace pulpc::sim {
+namespace {
+
+using kir::DType;
+using kir::Instr;
+using kir::MemSpace;
+using kir::Op;
+
+constexpr std::uint32_t kTcdm = 0x1000'0000;
+constexpr std::uint32_t kL2 = 0x1C00'0000;
+
+Instr ins(Op op, std::uint8_t rd = 0, std::uint8_t rs1 = 0,
+          std::uint8_t rs2 = 0, std::int32_t imm = 0,
+          MemSpace mem = MemSpace::None) {
+  return Instr{op, rd, rs1, rs2, imm, mem};
+}
+
+kir::Program raw_prog(std::vector<Instr> code, bool l2_buffer = false) {
+  kir::Program p;
+  p.name = "cluster-test";
+  p.buffers.push_back(kir::BufferInfo{"m", DType::I32, MemSpace::Tcdm,
+                                      kTcdm, 256, kir::BufInit::Zero});
+  if (l2_buffer) {
+    p.buffers.push_back(kir::BufferInfo{"l2buf", DType::I32, MemSpace::L2,
+                                        kL2, 256, kir::BufInit::Ramp});
+  }
+  p.code = std::move(code);
+  return p;
+}
+
+/// enter/exit/halt wrapper.
+std::vector<Instr> wrap(std::vector<Instr> body) {
+  std::vector<Instr> code;
+  code.push_back(ins(Op::MarkEnter));
+  for (Instr& b : body) {
+    if (kir::is_branch(b.op)) b.imm += 1;
+    code.push_back(b);
+  }
+  code.push_back(ins(Op::MarkExit));
+  code.push_back(ins(Op::Halt));
+  return code;
+}
+
+RunStats run_stats(const kir::Program& p, unsigned cores,
+                   ClusterConfig cfg = {}) {
+  Cluster cl(cfg);
+  cl.load(p);
+  const RunResult r = cl.run(cores);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.stats;
+}
+
+// ---- memory-level timing ---------------------------------------------------
+
+TEST(SimCluster, L2LoadIsSlowerThanTcdmLoadByConfiguredLatency) {
+  const ClusterConfig cfg;
+  const auto tcdm = run_stats(
+      raw_prog(wrap({ins(Op::Li, 10, 0, 0, std::int32_t(kTcdm)),
+                     ins(Op::Lw, 1, 10, 0, 0, MemSpace::Tcdm)})),
+      1);
+  const auto l2 = run_stats(
+      raw_prog(wrap({ins(Op::Li, 10, 0, 0, std::int32_t(kL2)),
+                     ins(Op::Lw, 1, 10, 0, 0, MemSpace::L2)}),
+               /*l2_buffer=*/true),
+      1);
+  EXPECT_EQ(l2.region_cycles() - tcdm.region_cycles(), cfg.l2_latency - 1);
+  EXPECT_EQ(l2.core[0].n_l2, 1U);
+  EXPECT_EQ(l2.core[0].cyc_l2, cfg.l2_latency);
+  EXPECT_EQ(tcdm.core[0].n_l1, 1U);
+  EXPECT_EQ(tcdm.core[0].cyc_l1, 1U);
+}
+
+TEST(SimCluster, DividerStallsForConfiguredCycles) {
+  const ClusterConfig cfg;
+  const auto with_add = run_stats(
+      raw_prog(wrap({ins(Op::Add, 1, 1, 1)})), 1);
+  const auto with_div = run_stats(
+      raw_prog(wrap({ins(Op::Div, 1, 1, 1)})), 1);
+  EXPECT_EQ(with_div.region_cycles() - with_add.region_cycles(),
+            cfg.div_cycles - 1);
+  EXPECT_EQ(with_div.core[0].idle_cycles, cfg.div_cycles - 1);
+}
+
+TEST(SimCluster, TakenBranchPaysPenalty) {
+  const ClusterConfig cfg;
+  // Not-taken branch (r1 == r0 == 0 -> bne not taken).
+  const auto not_taken = run_stats(
+      raw_prog(wrap({ins(Op::Bne, 0, 1, 0, 1)})), 1);
+  const auto taken = run_stats(
+      raw_prog(wrap({ins(Op::Beq, 0, 1, 0, 1)})), 1);
+  EXPECT_EQ(taken.region_cycles() - not_taken.region_cycles(),
+            cfg.taken_branch_penalty);
+}
+
+// ---- bank conflicts ---------------------------------------------------------
+
+TEST(SimCluster, SameBankStoresFromTwoCoresConflict) {
+  // Both cores hammer word 0 (bank 0) 32 times.
+  const std::vector<Instr> body = {
+      ins(Op::Li, 10, 0, 0, std::int32_t(kTcdm)),  // 0
+      ins(Op::Li, 2, 0, 0, 0),                     // 1 i = 0
+      ins(Op::Li, 3, 0, 0, 32),                    // 2
+      ins(Op::Sw, 0, 10, 1, 0, MemSpace::Tcdm),    // 3 loop
+      ins(Op::AddI, 2, 2, 0, 1),                   // 4
+      ins(Op::Blt, 0, 2, 3, 3),                    // 5
+  };
+  const auto st = run_stats(raw_prog(wrap(body)), 2);
+  EXPECT_GT(st.l1_conflicts(), 0U);
+  EXPECT_EQ(st.l1[0].writes, 64U);  // all stores land on bank 0
+}
+
+TEST(SimCluster, DisjointBanksDoNotConflict) {
+  // Core c stores to word c (different banks).
+  const std::vector<Instr> body = {
+      ins(Op::Li, 10, 0, 0, std::int32_t(kTcdm)),
+      ins(Op::CoreId, 4),
+      ins(Op::ShlI, 4, 4, 0, 2),
+      ins(Op::Add, 10, 10, 4),
+      ins(Op::Li, 2, 0, 0, 0),
+      ins(Op::Li, 3, 0, 0, 32),
+      ins(Op::Sw, 0, 10, 1, 0, MemSpace::Tcdm),  // loop @6
+      ins(Op::AddI, 2, 2, 0, 1),
+      ins(Op::Blt, 0, 2, 3, 6),
+  };
+  const auto st = run_stats(raw_prog(wrap(body)), 4);
+  EXPECT_EQ(st.l1_conflicts(), 0U);
+}
+
+TEST(SimCluster, ConflictingRunIsSlowerThanDisjointRun) {
+  const std::vector<Instr> same = {
+      ins(Op::Li, 10, 0, 0, std::int32_t(kTcdm)),
+      ins(Op::Li, 2, 0, 0, 0),
+      ins(Op::Li, 3, 0, 0, 64),
+      ins(Op::Sw, 0, 10, 1, 0, MemSpace::Tcdm),  // @3
+      ins(Op::AddI, 2, 2, 0, 1),
+      ins(Op::Blt, 0, 2, 3, 3),
+  };
+  std::vector<Instr> disjoint = same;
+  disjoint.insert(disjoint.begin() + 1,
+                  {ins(Op::CoreId, 4), ins(Op::ShlI, 4, 4, 0, 2),
+                   ins(Op::Add, 10, 10, 4)});
+  // Retarget loop branch after the 3 inserted instructions.
+  disjoint[8].imm = 6;
+  const auto conflicted = run_stats(raw_prog(wrap(same)), 8);
+  const auto parallel = run_stats(raw_prog(wrap(disjoint)), 8);
+  EXPECT_GT(conflicted.region_cycles(), parallel.region_cycles());
+}
+
+// ---- FPU sharing -------------------------------------------------------------
+
+TEST(SimCluster, SharedFpuSerialisesDenseFpStreams) {
+  ClusterConfig cfg;
+  cfg.num_fpus = 1;  // all cores share one FPU
+  const std::vector<Instr> body = {
+      ins(Op::Li, 2, 0, 0, 0),
+      ins(Op::Li, 3, 0, 0, 32),
+      ins(Op::FAdd, 1, 1, 1),  // @2
+      ins(Op::AddI, 2, 2, 0, 1),
+      ins(Op::Blt, 0, 2, 3, 2),
+  };
+  const auto shared = run_stats(raw_prog(wrap(body)), 2, cfg);
+  ClusterConfig cfg2;
+  cfg2.num_fpus = 2;
+  const auto priv = run_stats(raw_prog(wrap(body)), 2, cfg2);
+  EXPECT_GT(shared.region_cycles(), priv.region_cycles());
+  std::uint64_t idle = 0;
+  for (const CoreStats& c : shared.core) idle += c.idle_cycles;
+  EXPECT_GT(idle, 0U);
+  EXPECT_EQ(shared.fpu[0].busy_cycles, 64U);
+}
+
+TEST(SimCluster, FpDivOccupiesFpuForMultipleCycles) {
+  const ClusterConfig cfg;
+  const auto st = run_stats(raw_prog(wrap({ins(Op::FDiv, 1, 1, 1)})), 1);
+  EXPECT_EQ(st.fpu[0].busy_cycles, cfg.fpdiv_cycles);
+  EXPECT_EQ(st.core[0].n_fpdiv, 1U);
+  EXPECT_EQ(st.core[0].cyc_fp, cfg.fpdiv_cycles);
+}
+
+// ---- barrier & event unit -------------------------------------------------------
+
+TEST(SimCluster, BarrierReleasesAllCores) {
+  const std::vector<Instr> body = {
+      ins(Op::Barrier),
+      ins(Op::Li, 1, 0, 0, 1),
+  };
+  for (const unsigned cores : {1U, 2U, 5U, 8U}) {
+    const auto st = run_stats(raw_prog(wrap(body)), cores);
+    EXPECT_GT(st.region_cycles(), 0U) << cores;
+  }
+}
+
+TEST(SimCluster, BarrierWaitersAreClockGated) {
+  // Core 0 runs a delay loop before the barrier; the workers sleep at it.
+  std::vector<Instr> code;
+  code.push_back(ins(Op::MarkEnter));                    // 0
+  code.push_back(ins(Op::CoreId, 2));                    // 1
+  code.push_back(ins(Op::Bne, 0, 2, 0, 7));              // 2
+  code.push_back(ins(Op::Li, 3, 0, 0, 0));               // 3
+  code.push_back(ins(Op::AddI, 3, 3, 0, 1));             // 4
+  code.push_back(ins(Op::SltI, 4, 3, 0, 64));            // 5
+  code.push_back(ins(Op::Bne, 0, 4, 0, 4));              // 6
+  code.push_back(ins(Op::Barrier));                      // 7
+  code.push_back(ins(Op::MarkExit));                     // 8
+  code.push_back(ins(Op::Halt));                         // 9
+  const auto st = run_stats(raw_prog(code), 4);
+  // Workers 1..3 spent most of the run clock-gated.
+  for (unsigned c = 1; c < 4; ++c) {
+    EXPECT_GT(st.core[c].cyc_cg, 50U) << c;
+  }
+}
+
+// ---- critical section ------------------------------------------------------------
+
+TEST(SimCluster, CriticalSectionProvidesMutualExclusion) {
+  // Every core increments m[0] sixteen times under the lock; the final
+  // count must be exact for every core count.
+  std::vector<Instr> code;
+  code.push_back(ins(Op::MarkEnter));                              // 0
+  code.push_back(ins(Op::Li, 10, 0, 0, std::int32_t(kTcdm)));      // 1
+  code.push_back(ins(Op::Li, 2, 0, 0, 0));                         // 2
+  code.push_back(ins(Op::Li, 3, 0, 0, 16));                        // 3
+  code.push_back(ins(Op::CritEnter));                              // 4 loop
+  code.push_back(ins(Op::Lw, 1, 10, 0, 0, MemSpace::Tcdm));        // 5
+  code.push_back(ins(Op::AddI, 1, 1, 0, 1));                       // 6
+  code.push_back(ins(Op::Sw, 0, 10, 1, 0, MemSpace::Tcdm));        // 7
+  code.push_back(ins(Op::CritExit));                               // 8
+  code.push_back(ins(Op::AddI, 2, 2, 0, 1));                       // 9
+  code.push_back(ins(Op::Blt, 0, 2, 3, 4));                        // 10
+  code.push_back(ins(Op::MarkExit));                               // 11
+  code.push_back(ins(Op::Halt));                                   // 12
+  for (const unsigned cores : {1U, 2U, 4U, 8U}) {
+    Cluster cl;
+    cl.load(raw_prog(code));
+    const RunResult r = cl.run(cores);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(cl.read_i32(kTcdm), std::int32_t(16 * cores)) << cores;
+  }
+}
+
+TEST(SimCluster, ContendedLockProducesIdleCycles) {
+  std::vector<Instr> code;
+  code.push_back(ins(Op::MarkEnter));
+  code.push_back(ins(Op::Li, 2, 0, 0, 0));
+  code.push_back(ins(Op::Li, 3, 0, 0, 16));
+  code.push_back(ins(Op::CritEnter));       // 3
+  code.push_back(ins(Op::Add, 1, 1, 1));
+  code.push_back(ins(Op::Add, 1, 1, 1));
+  code.push_back(ins(Op::CritExit));
+  code.push_back(ins(Op::AddI, 2, 2, 0, 1));
+  code.push_back(ins(Op::Blt, 0, 2, 3, 3));
+  code.push_back(ins(Op::MarkExit));
+  code.push_back(ins(Op::Halt));
+  const auto st = run_stats(raw_prog(code), 8);
+  std::uint64_t idle = 0;
+  for (const CoreStats& c : st.core) idle += c.idle_cycles;
+  EXPECT_GT(idle, 100U);
+}
+
+TEST(SimCluster, CritExitWithoutOwnershipFails) {
+  const auto code = wrap({ins(Op::CritExit)});
+  Cluster cl;
+  cl.load(raw_prog(code));
+  const RunResult r = cl.run(1);
+  EXPECT_FALSE(r.ok);
+}
+
+// ---- DMA ----------------------------------------------------------------------------
+
+TEST(SimCluster, DmaCopiesWordsBetweenLevels) {
+  std::vector<Instr> code;
+  code.push_back(ins(Op::MarkEnter));
+  code.push_back(ins(Op::Li, 2, 0, 0, std::int32_t(kL2)));    // src
+  code.push_back(ins(Op::Li, 3, 0, 0, std::int32_t(kTcdm)));  // dst
+  code.push_back(ins(Op::Li, 4, 0, 0, 32));                   // words
+  code.push_back(ins(Op::DmaStart, 4, 2, 3));
+  code.push_back(ins(Op::DmaWait));
+  code.push_back(ins(Op::MarkExit));
+  code.push_back(ins(Op::Halt));
+  Cluster cl;
+  cl.load(raw_prog(code, /*l2_buffer=*/true));
+  const RunResult r = cl.run(1);
+  ASSERT_TRUE(r.ok) << r.error;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(cl.read_i32(kTcdm + i * 4), std::int32_t(i)) << i;  // Ramp
+  }
+  EXPECT_EQ(r.stats.dma.beats, 32U);
+  EXPECT_EQ(r.stats.dma.busy_cycles, 32U);
+}
+
+TEST(SimCluster, BadDmaDescriptorFails) {
+  std::vector<Instr> code;
+  code.push_back(ins(Op::MarkEnter));
+  code.push_back(ins(Op::Li, 2, 0, 0, std::int32_t(kL2)));
+  code.push_back(ins(Op::Li, 3, 0, 0, std::int32_t(kTcdm)));
+  code.push_back(ins(Op::Li, 4, 0, 0, 0));  // zero words
+  code.push_back(ins(Op::DmaStart, 4, 2, 3));
+  code.push_back(ins(Op::MarkExit));
+  code.push_back(ins(Op::Halt));
+  Cluster cl;
+  cl.load(raw_prog(code, true));
+  EXPECT_FALSE(cl.run(1).ok);
+}
+
+// ---- I-cache ------------------------------------------------------------------------
+
+TEST(SimCluster, PrivateIcacheRefillsScaleWithCores) {
+  const auto body = wrap({ins(Op::Add, 1, 1, 1)});
+  const auto one = run_stats(raw_prog(body), 1);
+  const auto four = run_stats(raw_prog(body), 4);
+  EXPECT_GT(one.icache.refills, 0U);
+  EXPECT_EQ(four.icache.refills, 4 * one.icache.refills);
+}
+
+TEST(SimCluster, SharedIcacheRefillsOnce) {
+  ClusterConfig cfg;
+  cfg.icache_private = false;
+  const auto body = wrap({ins(Op::Add, 1, 1, 1)});
+  const auto one = run_stats(raw_prog(body), 1, cfg);
+  const auto four = run_stats(raw_prog(body), 4, cfg);
+  EXPECT_EQ(four.icache.refills, one.icache.refills);
+}
+
+TEST(SimCluster, IcacheUsesMatchIssuedInstructions) {
+  const auto st = run_stats(raw_prog(wrap({ins(Op::Add, 1, 1, 1)})), 2);
+  EXPECT_EQ(st.icache.uses, st.total_instrs());
+}
+
+// ---- kernel-region filtering ---------------------------------------------------------
+
+TEST(SimCluster, PrologueOutsideMarkersIsNotCounted) {
+  // 100 adds before MarkEnter, 1 add inside.
+  std::vector<Instr> code;
+  for (int i = 0; i < 100; ++i) code.push_back(ins(Op::Add, 1, 1, 1));
+  code.push_back(ins(Op::MarkEnter));
+  code.push_back(ins(Op::Add, 1, 1, 1));
+  code.push_back(ins(Op::MarkExit));
+  code.push_back(ins(Op::Halt));
+  const auto st = run_stats(raw_prog(code), 1);
+  // Only the marker + one add are counted.
+  EXPECT_LE(st.core[0].n_alu, 2U);
+  EXPECT_LT(st.region_cycles(), 20U);
+  EXPECT_GT(st.total_cycles, 100U);
+}
+
+// ---- determinism & error paths --------------------------------------------------------
+
+TEST(SimCluster, RunsAreDeterministic) {
+  const auto body = wrap({
+      ins(Op::Li, 10, 0, 0, std::int32_t(kTcdm)),
+      ins(Op::Li, 2, 0, 0, 0),
+      ins(Op::Li, 3, 0, 0, 64),
+      ins(Op::Sw, 0, 10, 1, 0, MemSpace::Tcdm),
+      ins(Op::AddI, 2, 2, 0, 1),
+      ins(Op::Blt, 0, 2, 3, 3),
+  });
+  const auto a = run_stats(raw_prog(body), 8);
+  const auto b = run_stats(raw_prog(body), 8);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.l1_conflicts(), b.l1_conflicts());
+  EXPECT_EQ(a.core[3].cyc_wait, b.core[3].cyc_wait);
+}
+
+TEST(SimCluster, UnmappedAccessReportsError) {
+  const auto body = wrap({ins(Op::Li, 10, 0, 0, 0x2000),
+                          ins(Op::Lw, 1, 10, 0, 0, MemSpace::Tcdm)});
+  Cluster cl;
+  cl.load(raw_prog(body));
+  const RunResult r = cl.run(1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unmapped"), std::string::npos);
+}
+
+TEST(SimCluster, MisalignedAccessReportsError) {
+  const auto body = wrap({ins(Op::Li, 10, 0, 0, std::int32_t(kTcdm + 2)),
+                          ins(Op::Lw, 1, 10, 0, 0, MemSpace::Tcdm)});
+  Cluster cl;
+  cl.load(raw_prog(body));
+  const RunResult r = cl.run(1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("misaligned"), std::string::npos);
+}
+
+TEST(SimCluster, RunawayProgramHitsCycleLimit) {
+  ClusterConfig cfg;
+  cfg.max_cycles = 10'000;
+  std::vector<Instr> code;
+  code.push_back(ins(Op::MarkEnter));
+  code.push_back(ins(Op::Jmp, 0, 0, 0, 1));  // spin forever
+  code.push_back(ins(Op::MarkExit));
+  code.push_back(ins(Op::Halt));
+  Cluster cl(cfg);
+  cl.load(raw_prog(code));
+  const RunResult r = cl.run(1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cycle limit"), std::string::npos);
+}
+
+TEST(SimCluster, InvalidCoreCountThrows) {
+  Cluster cl;
+  cl.load(raw_prog(wrap({ins(Op::Add, 1, 1, 1)})));
+  EXPECT_THROW((void)cl.run(0), std::invalid_argument);
+  EXPECT_THROW((void)cl.run(9), std::invalid_argument);
+}
+
+TEST(SimCluster, RunWithoutProgramThrows) {
+  Cluster cl;
+  EXPECT_THROW((void)cl.run(1), std::logic_error);
+}
+
+TEST(SimCluster, LoadRejectsInvalidProgram) {
+  Cluster cl;
+  kir::Program p;  // empty
+  EXPECT_THROW(cl.load(p), std::invalid_argument);
+}
+
+TEST(SimCluster, LoadRejectsBufferOutsideMemory) {
+  kir::Program p = raw_prog(wrap({ins(Op::Add, 1, 1, 1)}));
+  p.buffers[0].elems = 64 * 1024;  // 256 KiB > TCDM
+  Cluster cl;
+  EXPECT_THROW(cl.load(p), std::invalid_argument);
+}
+
+TEST(SimCluster, MemoryAccessorsValidateAddresses) {
+  Cluster cl;
+  cl.load(raw_prog(wrap({ins(Op::Add, 1, 1, 1)})));
+  EXPECT_THROW((void)cl.read_i32(0x123), std::out_of_range);
+  EXPECT_THROW(cl.write_f32(kTcdm + 1, 1.0F), std::out_of_range);
+  cl.write_i32(kTcdm, 5);
+  EXPECT_EQ(cl.read_i32(kTcdm), 5);
+  cl.write_f32(kTcdm + 4, 2.5F);
+  EXPECT_FLOAT_EQ(cl.read_f32(kTcdm + 4), 2.5F);
+}
+
+TEST(SimCluster, UnusedCoresReportZeroActivity) {
+  const auto st = run_stats(raw_prog(wrap({ins(Op::Add, 1, 1, 1)})), 2);
+  for (unsigned c = 2; c < st.total_cores; ++c) {
+    EXPECT_EQ(st.core[c].instrs, 0U);
+    EXPECT_EQ(st.core[c].active_cycles(), 0U);
+  }
+}
+
+}  // namespace
+}  // namespace pulpc::sim

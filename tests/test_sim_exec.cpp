@@ -1,0 +1,302 @@
+// Instruction-semantics tests: hand-written KIR programs executed on one
+// core, with results stored to TCDM and read back.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace pulpc::sim {
+namespace {
+
+using kir::DType;
+using kir::Instr;
+using kir::MemSpace;
+using kir::Op;
+
+constexpr std::uint32_t kBase = 0x1000'0000;
+
+Instr ins(Op op, std::uint8_t rd = 0, std::uint8_t rs1 = 0,
+          std::uint8_t rs2 = 0, std::int32_t imm = 0,
+          MemSpace mem = MemSpace::None) {
+  return Instr{op, rd, rs1, rs2, imm, mem};
+}
+
+/// Wrap a body into a runnable program with one zeroed TCDM buffer.
+kir::Program make_prog(std::vector<Instr> body) {
+  kir::Program p;
+  p.name = "exec-test";
+  p.buffers.push_back(kir::BufferInfo{"m", DType::I32, MemSpace::Tcdm,
+                                      kBase, 64, kir::BufInit::Zero});
+  p.code.push_back(ins(Op::MarkEnter));
+  for (const Instr& b : body) {
+    Instr fixed = b;
+    if (kir::is_branch(b.op)) fixed.imm += 1;  // account for the marker
+    p.code.push_back(fixed);
+  }
+  p.code.push_back(ins(Op::MarkExit));
+  p.code.push_back(ins(Op::Halt));
+  return p;
+}
+
+/// Run on one core and return the first word of the buffer as i32.
+std::int32_t run_i32(const std::vector<Instr>& body) {
+  Cluster cl;
+  cl.load(make_prog(body));
+  const RunResult r = cl.run(1);
+  EXPECT_TRUE(r.ok) << r.error;
+  return cl.read_i32(kBase);
+}
+
+float run_f32(const std::vector<Instr>& body) {
+  Cluster cl;
+  cl.load(make_prog(body));
+  const RunResult r = cl.run(1);
+  EXPECT_TRUE(r.ok) << r.error;
+  return cl.read_f32(kBase);
+}
+
+/// r10 holds the buffer base in every test body.
+Instr load_base() { return ins(Op::Li, 10, 0, 0, std::int32_t(kBase)); }
+Instr store_r1() {
+  return ins(Op::Sw, 0, 10, 1, 0, MemSpace::Tcdm);
+}
+Instr fstore_f1() {
+  return ins(Op::Fsw, 0, 10, 1, 0, MemSpace::Tcdm);
+}
+
+// ---- integer ALU -----------------------------------------------------
+
+struct IntBinCase {
+  Op op;
+  std::int32_t a;
+  std::int32_t b;
+  std::int32_t expect;
+};
+
+class IntBinOps : public ::testing::TestWithParam<IntBinCase> {};
+
+TEST_P(IntBinOps, ComputesExpectedValue) {
+  const IntBinCase c = GetParam();
+  const std::int32_t got = run_i32({
+      load_base(),
+      ins(Op::Li, 2, 0, 0, c.a),
+      ins(Op::Li, 3, 0, 0, c.b),
+      ins(c.op, 1, 2, 3),
+      store_r1(),
+  });
+  EXPECT_EQ(got, c.expect) << kir::mnemonic(c.op);
+}
+
+constexpr std::int32_t kIntMin = std::numeric_limits<std::int32_t>::min();
+constexpr std::int32_t kIntMax = std::numeric_limits<std::int32_t>::max();
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, IntBinOps,
+    ::testing::Values(
+        IntBinCase{Op::Add, 7, 5, 12}, IntBinCase{Op::Add, kIntMax, 1, kIntMin},
+        IntBinCase{Op::Sub, 7, 5, 2}, IntBinCase{Op::Sub, kIntMin, 1, kIntMax},
+        IntBinCase{Op::Mul, -3, 5, -15},
+        IntBinCase{Op::Mul, 1 << 20, 1 << 20, 0},  // wraps to zero
+        IntBinCase{Op::Slt, 3, 4, 1}, IntBinCase{Op::Slt, 4, 3, 0},
+        IntBinCase{Op::Slt, -1, 0, 1},
+        IntBinCase{Op::And, 0b1100, 0b1010, 0b1000},
+        IntBinCase{Op::Or, 0b1100, 0b1010, 0b1110},
+        IntBinCase{Op::Xor, 0b1100, 0b1010, 0b0110},
+        IntBinCase{Op::Shl, 3, 4, 48}, IntBinCase{Op::Shr, -16, 2, -4},
+        IntBinCase{Op::Shl, 1, 33, 2},  // shift amount masked to 5 bits
+        IntBinCase{Op::Min, -3, 7, -3}, IntBinCase{Op::Max, -3, 7, 7}));
+
+INSTANTIATE_TEST_SUITE_P(
+    RiscvDivision, IntBinOps,
+    ::testing::Values(IntBinCase{Op::Div, 17, 5, 3},
+                      IntBinCase{Op::Div, -17, 5, -3},
+                      IntBinCase{Op::Div, 17, 0, -1},     // RISC-V x/0
+                      IntBinCase{Op::Div, kIntMin, -1, kIntMin},
+                      IntBinCase{Op::Rem, 17, 5, 2},
+                      IntBinCase{Op::Rem, -17, 5, -2},
+                      IntBinCase{Op::Rem, 17, 0, 17},     // RISC-V x%0
+                      IntBinCase{Op::Rem, kIntMin, -1, 0}));
+
+TEST(SimExec, ImmediateForms) {
+  EXPECT_EQ(run_i32({load_base(), ins(Op::Li, 2, 0, 0, 10),
+                     ins(Op::AddI, 1, 2, 0, -3), store_r1()}),
+            7);
+  EXPECT_EQ(run_i32({load_base(), ins(Op::Li, 2, 0, 0, 10),
+                     ins(Op::MulI, 1, 2, 0, 4), store_r1()}),
+            40);
+  EXPECT_EQ(run_i32({load_base(), ins(Op::Li, 2, 0, 0, 5),
+                     ins(Op::ShlI, 1, 2, 0, 3), store_r1()}),
+            40);
+  EXPECT_EQ(run_i32({load_base(), ins(Op::Li, 2, 0, 0, 5),
+                     ins(Op::SltI, 1, 2, 0, 6), store_r1()}),
+            1);
+  EXPECT_EQ(run_i32({load_base(), ins(Op::Li, 2, 0, 0, 0b1100),
+                     ins(Op::XorI, 1, 2, 0, 0b1010), store_r1()}),
+            0b0110);
+}
+
+TEST(SimExec, MacAccumulates) {
+  EXPECT_EQ(run_i32({load_base(), ins(Op::Li, 1, 0, 0, 100),
+                     ins(Op::Li, 2, 0, 0, 6), ins(Op::Li, 3, 0, 0, 7),
+                     ins(Op::Mac, 1, 2, 3), store_r1()}),
+            142);
+}
+
+TEST(SimExec, AbsAndMv) {
+  EXPECT_EQ(run_i32({load_base(), ins(Op::Li, 2, 0, 0, -9),
+                     ins(Op::Abs, 1, 2), store_r1()}),
+            9);
+  EXPECT_EQ(run_i32({load_base(), ins(Op::Li, 2, 0, 0, 77),
+                     ins(Op::Mv, 1, 2), store_r1()}),
+            77);
+}
+
+// ---- floating point -----------------------------------------------------
+
+std::int32_t fbits(float f) { return std::bit_cast<std::int32_t>(f); }
+
+TEST(SimExec, FpArithmetic) {
+  EXPECT_FLOAT_EQ(run_f32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(1.5F)),
+                           ins(Op::FLi, 3, 0, 0, fbits(2.25F)),
+                           ins(Op::FAdd, 1, 2, 3), fstore_f1()}),
+                  3.75F);
+  EXPECT_FLOAT_EQ(run_f32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(1.5F)),
+                           ins(Op::FLi, 3, 0, 0, fbits(2.0F)),
+                           ins(Op::FMul, 1, 2, 3), fstore_f1()}),
+                  3.0F);
+  EXPECT_FLOAT_EQ(run_f32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(1.0F)),
+                           ins(Op::FLi, 3, 0, 0, fbits(8.0F)),
+                           ins(Op::FDiv, 1, 2, 3), fstore_f1()}),
+                  0.125F);
+  EXPECT_FLOAT_EQ(run_f32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(9.0F)),
+                           ins(Op::FSqrt, 1, 2), fstore_f1()}),
+                  3.0F);
+}
+
+TEST(SimExec, FpSqrtClampsNegativeToZero) {
+  EXPECT_FLOAT_EQ(run_f32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(-4.0F)),
+                           ins(Op::FSqrt, 1, 2), fstore_f1()}),
+                  0.0F);
+}
+
+TEST(SimExec, FpMacAndMinMax) {
+  EXPECT_FLOAT_EQ(run_f32({load_base(), ins(Op::FLi, 1, 0, 0, fbits(1.0F)),
+                           ins(Op::FLi, 2, 0, 0, fbits(2.0F)),
+                           ins(Op::FLi, 3, 0, 0, fbits(3.0F)),
+                           ins(Op::FMac, 1, 2, 3), fstore_f1()}),
+                  7.0F);
+  EXPECT_FLOAT_EQ(run_f32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(-1.0F)),
+                           ins(Op::FLi, 3, 0, 0, fbits(2.0F)),
+                           ins(Op::FMin, 1, 2, 3), fstore_f1()}),
+                  -1.0F);
+}
+
+TEST(SimExec, FpComparesWriteIntRegisters) {
+  EXPECT_EQ(run_i32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(1.0F)),
+                     ins(Op::FLi, 3, 0, 0, fbits(2.0F)),
+                     ins(Op::FLt, 1, 2, 3), store_r1()}),
+            1);
+  EXPECT_EQ(run_i32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(2.0F)),
+                     ins(Op::FLi, 3, 0, 0, fbits(2.0F)),
+                     ins(Op::FEq, 1, 2, 3), store_r1()}),
+            1);
+}
+
+TEST(SimExec, Conversions) {
+  EXPECT_FLOAT_EQ(run_f32({load_base(), ins(Op::Li, 2, 0, 0, -7),
+                           ins(Op::CvtSW, 1, 2), fstore_f1()}),
+                  -7.0F);
+  EXPECT_EQ(run_i32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(3.9F)),
+                     ins(Op::CvtWS, 1, 2), store_r1()}),
+            3);  // truncation
+  // Out-of-range conversion clamps instead of invoking UB.
+  EXPECT_GT(run_i32({load_base(), ins(Op::FLi, 2, 0, 0, fbits(1e20F)),
+                     ins(Op::CvtWS, 1, 2), store_r1()}),
+            0);
+}
+
+// ---- memory ----------------------------------------------------------------
+
+TEST(SimExec, StoreThenLoadRoundTrips) {
+  EXPECT_EQ(run_i32({
+                load_base(),
+                ins(Op::Li, 1, 0, 0, 1234),
+                ins(Op::Sw, 0, 10, 1, 8, MemSpace::Tcdm),   // m[2] = 1234
+                ins(Op::Lw, 1, 10, 0, 8, MemSpace::Tcdm),   // r1 = m[2]
+                store_r1(),
+            }),
+            1234);
+}
+
+TEST(SimExec, FloatMemoryRoundTrips) {
+  EXPECT_FLOAT_EQ(run_f32({
+                      load_base(),
+                      ins(Op::FLi, 1, 0, 0, fbits(2.5F)),
+                      ins(Op::Fsw, 0, 10, 1, 4, MemSpace::Tcdm),
+                      ins(Op::Flw, 1, 10, 0, 4, MemSpace::Tcdm),
+                      fstore_f1(),
+                  }),
+                  2.5F);
+}
+
+// ---- control flow -----------------------------------------------------------
+
+TEST(SimExec, TakenBranchSkipsInstructions) {
+  // if (r2 == r3) skip the overwrite.
+  EXPECT_EQ(run_i32({
+                load_base(),                       // 0
+                ins(Op::Li, 1, 0, 0, 1),           // 1
+                ins(Op::Li, 2, 0, 0, 5),           // 2
+                ins(Op::Li, 3, 0, 0, 5),           // 3
+                ins(Op::Beq, 0, 2, 3, 6),          // 4 -> target body idx 6
+                ins(Op::Li, 1, 0, 0, 99),          // 5 skipped
+                store_r1(),                        // 6
+            }),
+            1);
+}
+
+TEST(SimExec, LoopViaBackwardBranch) {
+  // r1 = sum of 1..5 computed with a blt loop.
+  EXPECT_EQ(run_i32({
+                load_base(),                      // 0
+                ins(Op::Li, 1, 0, 0, 0),          // 1 sum
+                ins(Op::Li, 2, 0, 0, 1),          // 2 i
+                ins(Op::Li, 3, 0, 0, 6),          // 3 limit
+                ins(Op::Add, 1, 1, 2),            // 4 loop: sum += i
+                ins(Op::AddI, 2, 2, 0, 1),        // 5 ++i
+                ins(Op::Blt, 0, 2, 3, 4),         // 6
+                store_r1(),                       // 7
+            }),
+            15);
+}
+
+TEST(SimExec, CoreIdAndNumCores) {
+  Cluster cl;
+  cl.load(make_prog({
+      load_base(),
+      ins(Op::CoreId, 1),
+      ins(Op::NumCores, 2),
+      ins(Op::Shl, 2, 2, 0),  // no-op shift, keep r2
+      store_r1(),
+      ins(Op::Sw, 0, 10, 2, 4, MemSpace::Tcdm),
+  }));
+  const RunResult r = cl.run(3);
+  ASSERT_TRUE(r.ok) << r.error;
+  const std::int32_t winner = cl.read_i32(kBase);
+  EXPECT_GE(winner, 0);  // some core's id, deterministically arbitrated
+  EXPECT_LT(winner, 3);
+  EXPECT_EQ(cl.read_i32(kBase + 4), 3);  // numcores
+}
+
+TEST(SimExec, NopExecutesAndAdvances) {
+  EXPECT_EQ(run_i32({load_base(), ins(Op::Li, 1, 0, 0, 5), ins(Op::Nop),
+                     ins(Op::Nop), store_r1()}),
+            5);
+}
+
+}  // namespace
+}  // namespace pulpc::sim

@@ -1,0 +1,239 @@
+// Parallel-execution semantics through the DSL: results must be
+// independent of the core count, chunking must cover edge cases, and the
+// SPMD serial-section policy must preserve program meaning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dsl/builder.hpp"
+#include "dsl/lower.hpp"
+#include "sim/cluster.hpp"
+
+namespace pulpc {
+namespace {
+
+using dsl::Buf;
+using dsl::InitKind;
+using dsl::KernelBuilder;
+using dsl::Val;
+using kir::DType;
+
+Val ic(std::int32_t v) { return dsl::make_const_i(v); }
+
+/// Run a spec at `cores` and return the contents of buffer `idx`.
+std::vector<std::int32_t> run_and_dump(const dsl::KernelSpec& spec,
+                                       unsigned cores, std::size_t idx) {
+  const kir::Program prog = dsl::lower(spec);
+  sim::Cluster cl;
+  cl.load(prog);
+  const sim::RunResult r = cl.run(cores);
+  EXPECT_TRUE(r.ok) << spec.name << ": " << r.error;
+  const kir::BufferInfo& b = prog.buffers.at(idx);
+  std::vector<std::int32_t> out(b.elems);
+  for (std::uint32_t i = 0; i < b.elems; ++i) {
+    out[i] = cl.read_i32(b.base + i * 4);
+  }
+  return out;
+}
+
+class ParallelCores : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelCores, VectorAddMatchesScalarReference) {
+  const unsigned cores = GetParam();
+  const std::uint32_t n = 100;  // deliberately not a multiple of 8
+  KernelBuilder k("vadd", "test", DType::I32, n * 4);
+  const Buf a = k.buffer("a", n, InitKind::Ramp);
+  const Buf b = k.buffer("b", n, InitKind::Ramp);
+  const Buf c = k.buffer("c", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.store(c, i, k.load(a, i) + k.load(b, i) * ic(3));
+  });
+  const auto out = run_and_dump(k.build(), cores, 2);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], std::int32_t(i + 3 * i)) << i;
+  }
+}
+
+TEST_P(ParallelCores, FewerIterationsThanCores) {
+  const unsigned cores = GetParam();
+  KernelBuilder k("tiny", "test", DType::I32, 64);
+  const Buf c = k.buffer("c", 8, InitKind::Zero);
+  k.par_for("i", ic(0), ic(3), [&](Val i) { k.store(c, i, i + ic(1)); });
+  const auto out = run_and_dump(k.build(), cores, 0);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_EQ(out[3], 0);
+}
+
+TEST_P(ParallelCores, EmptyIterationSpaceIsANoOp) {
+  const unsigned cores = GetParam();
+  KernelBuilder k("empty", "test", DType::I32, 64);
+  const Buf c = k.buffer("c", 8, InitKind::Zero);
+  k.par_for("i", ic(4), ic(4), [&](Val i) { k.store(c, i, ic(9)); });
+  const auto out = run_and_dump(k.build(), cores, 0);
+  for (const std::int32_t v : out) EXPECT_EQ(v, 0);
+}
+
+TEST_P(ParallelCores, SteppedLoopTouchesOnlyStridedElements) {
+  const unsigned cores = GetParam();
+  const std::uint32_t n = 64;
+  KernelBuilder k("strided", "test", DType::I32, n * 4);
+  const Buf c = k.buffer("c", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) { k.store(c, i, ic(1)); }, 4);
+  const auto out = run_and_dump(k.build(), cores, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], i % 4 == 0 ? 1 : 0) << i;
+  }
+}
+
+TEST_P(ParallelCores, CriticalReductionIsExact) {
+  const unsigned cores = GetParam();
+  const std::uint32_t n = 50;
+  KernelBuilder k("red", "test", DType::I32, n * 4);
+  const Buf x = k.buffer("x", n, InitKind::Ramp);
+  const Buf out = k.buffer("out", 8, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    auto v = k.decl("v", k.load(x, i));
+    k.critical([&] { k.store(out, ic(0), k.load(out, ic(0)) + v); });
+  });
+  const auto dump = run_and_dump(k.build(), cores, 1);
+  EXPECT_EQ(dump[0], std::int32_t(n * (n - 1) / 2));
+}
+
+TEST_P(ParallelCores, SerialSectionBetweenParallelRegions) {
+  const unsigned cores = GetParam();
+  const std::uint32_t n = 32;
+  KernelBuilder k("mix", "test", DType::I32, n * 4);
+  const Buf a = k.buffer("a", n, InitKind::Zero);
+  const Buf b = k.buffer("b", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) { k.store(a, i, i); });
+  // Serial (master-guarded) fix-up touching shared memory.
+  k.for_("j", ic(0), ic(int(n)), [&](Val j) {
+    k.store(a, j, k.load(a, j) * ic(2));
+  });
+  k.par_for("i2", ic(0), ic(int(n)), [&](Val i) {
+    k.store(b, i, k.load(a, i) + ic(1));
+  });
+  const auto out = run_and_dump(k.build(), cores, 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], std::int32_t(2 * i + 1)) << i;
+  }
+}
+
+TEST_P(ParallelCores, ReplicatedScalarLoopFeedsParallelRegion) {
+  const unsigned cores = GetParam();
+  KernelBuilder k("repl", "test", DType::I32, 256);
+  const Buf x = k.buffer("x", 16, InitKind::Ramp);
+  const Buf out = k.buffer("out", 16, InitKind::Zero);
+  // Pure scalar accumulation (no stores): replicated on every core.
+  auto acc = k.decl("acc", ic(0));
+  k.for_("j", ic(0), ic(16), [&](Val j) {
+    k.assign(acc, acc + k.load(x, j));
+  });
+  k.par_for("i", ic(0), ic(16), [&](Val i) { k.store(out, i, acc); });
+  const auto dump = run_and_dump(k.build(), cores, 1);
+  for (const std::int32_t v : dump) EXPECT_EQ(v, 120);  // sum 0..15
+}
+
+TEST_P(ParallelCores, ExplicitBarrierOrdersPhases) {
+  const unsigned cores = GetParam();
+  const std::uint32_t n = 40;
+  KernelBuilder k("phase", "test", DType::I32, n * 8);
+  const Buf a = k.buffer("a", n, InitKind::Zero);
+  const Buf b = k.buffer("b", n, InitKind::Zero);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) { k.store(a, i, i + ic(5)); });
+  // The implicit barrier of the first region makes `a` visible.
+  k.par_for("i2", ic(0), ic(int(n)), [&](Val i) {
+    k.store(b, i, k.load(a, ic(int(n) - 1) - i));
+  });
+  const auto dump = run_and_dump(k.build(), cores, 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(dump[i], std::int32_t(n - 1 - i + 5)) << i;
+  }
+}
+
+TEST_P(ParallelCores, GuardedIfWithStores) {
+  const unsigned cores = GetParam();
+  KernelBuilder k("gif", "test", DType::I32, 64);
+  const Buf c = k.buffer("c", 8, InitKind::Zero);
+  auto flag = k.decl("flag", ic(1));
+  k.if_else(
+      flag == ic(1), [&] { k.store(c, ic(0), ic(11)); },
+      [&] { k.store(c, ic(0), ic(22)); });
+  const auto dump = run_and_dump(k.build(), cores, 0);
+  EXPECT_EQ(dump[0], 11);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCoreCounts, ParallelCores,
+                         ::testing::Values(1U, 2U, 3U, 4U, 5U, 6U, 7U, 8U));
+
+TEST(ParallelSemantics, ResultsIdenticalAcrossCoreCountsForIntKernels) {
+  const std::uint32_t n = 96;
+  const auto make = [&] {
+    KernelBuilder k("sweep", "test", DType::I32, n * 4);
+    const Buf a = k.buffer("a", n, InitKind::Random);
+    const Buf out = k.buffer("out", n, InitKind::Zero);
+    k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+      auto acc = k.decl("acc", ic(0));
+      k.for_("j", ic(0), ic(8), [&](Val j) {
+        k.assign(acc, acc + k.load(a, (i + j) % ic(int(n))));
+      });
+      k.store(out, i, acc);
+    });
+    return k.build();
+  };
+  const auto ref = run_and_dump(make(), 1, 1);
+  for (unsigned cores = 2; cores <= 8; ++cores) {
+    EXPECT_EQ(run_and_dump(make(), cores, 1), ref) << cores;
+  }
+}
+
+TEST(ParallelSemantics, WallCyclesDecreaseWithCoresForParallelWork) {
+  const std::uint32_t n = 512;
+  KernelBuilder k("scal", "test", DType::I32, n * 4);
+  const Buf a = k.buffer("a", n, InitKind::Random);
+  k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+    k.store(a, i, k.load(a, i) * ic(3) + ic(1));
+  });
+  const kir::Program prog = dsl::lower(k.build());
+  sim::Cluster cl;
+  cl.load(prog);
+  std::uint64_t prev = 0;
+  for (const unsigned cores : {1U, 2U, 4U, 8U}) {
+    const sim::RunResult r = cl.run(cores);
+    ASSERT_TRUE(r.ok);
+    if (prev != 0) EXPECT_LT(r.stats.region_cycles(), prev);
+    prev = r.stats.region_cycles();
+  }
+}
+
+TEST(ParallelSemantics, F32ReductionMatchesWithinTolerance) {
+  const std::uint32_t n = 64;
+  const auto make = [&] {
+    KernelBuilder k("fred", "test", DType::F32, n * 4);
+    const Buf x = k.buffer("x", n, InitKind::Random);
+    const Buf out = k.buffer("out", 8, InitKind::Zero);
+    k.par_for("i", ic(0), ic(int(n)), [&](Val i) {
+      auto v = k.decl("v", k.load(x, i));
+      k.critical([&] { k.store(out, ic(0), k.load(out, ic(0)) + v); });
+    });
+    return k.build();
+  };
+  const auto read_sum = [&](unsigned cores) {
+    const kir::Program prog = dsl::lower(make());
+    sim::Cluster cl;
+    cl.load(prog);
+    const sim::RunResult r = cl.run(cores);
+    EXPECT_TRUE(r.ok);
+    return cl.read_f32(prog.buffers[1].base);
+  };
+  const float ref = read_sum(1);
+  for (const unsigned cores : {2U, 8U}) {
+    EXPECT_NEAR(read_sum(cores), ref, 1e-3F) << cores;
+  }
+}
+
+}  // namespace
+}  // namespace pulpc

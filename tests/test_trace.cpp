@@ -1,0 +1,211 @@
+// Trace-format tests: writer output, regex line parsing, field
+// extraction, listener routing and the analyser's bookkeeping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "trace/listeners.hpp"
+#include "trace/parser.hpp"
+#include "trace/sinks.hpp"
+
+namespace pulpc::trace {
+namespace {
+
+TEST(TraceWriter, FormatsCyclePathMessageLines) {
+  std::ostringstream os;
+  TextTraceWriter w(os);
+  w.event(12, "/chip/cluster/pe0/insn", "add r1, r2, r3");
+  w.event(13, "/chip/cluster/l1/bank4/trace", "read addr=0x10000010");
+  EXPECT_EQ(os.str(),
+            "12: /chip/cluster/pe0/insn: add r1, r2, r3\n"
+            "13: /chip/cluster/l1/bank4/trace: read addr=0x10000010\n");
+}
+
+TEST(TraceWriter, MemorySinkRecordsEvents) {
+  MemoryTraceSink sink;
+  sink.event(1, "/a", "x");
+  sink.event(2, "/b", "y");
+  ASSERT_EQ(sink.events().size(), 2U);
+  EXPECT_EQ(sink.events()[1].cycle, 2U);
+  EXPECT_EQ(sink.events()[1].path, "/b");
+  sink.clear();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(TraceParser, ParsesWellFormedLines) {
+  const auto ev = parse_line("42: /chip/cluster/pe3/insn: lw r1, 0(r10)");
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->cycle, 42U);
+  EXPECT_EQ(ev->path, "/chip/cluster/pe3/insn");
+  EXPECT_EQ(ev->message, "lw r1, 0(r10)");
+}
+
+TEST(TraceParser, ToleratesLeadingAndTrailingWhitespace) {
+  const auto ev = parse_line("  7:   /p:   msg with spaces   ");
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->cycle, 7U);
+  EXPECT_EQ(ev->message, "msg with spaces");
+}
+
+TEST(TraceParser, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_line("").has_value());
+  EXPECT_FALSE(parse_line("# comment").has_value());
+  EXPECT_FALSE(parse_line("notanumber: /p: m").has_value());
+  EXPECT_FALSE(parse_line("42 /p m").has_value());
+  EXPECT_FALSE(parse_line("42:").has_value());
+}
+
+TEST(TraceParser, RoundTripsWriterOutput) {
+  std::ostringstream os;
+  TextTraceWriter w(os);
+  w.event(99, "/chip/cluster/pe7/trace", "state=cg");
+  const auto ev = parse_line(os.str().substr(0, os.str().size() - 1));
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->cycle, 99U);
+  EXPECT_EQ(ev->path, "/chip/cluster/pe7/trace");
+  EXPECT_EQ(ev->message, "state=cg");
+}
+
+TEST(TraceParser, MessageFieldExtractsIntegers) {
+  EXPECT_EQ(message_field("busy n=10", "n"), 10);
+  EXPECT_EQ(message_field("start src=0x10 dst=0x20 words=128", "words"), 128);
+  EXPECT_FALSE(message_field("busy n=10", "m").has_value());
+  EXPECT_FALSE(message_field("busy", "n").has_value());
+}
+
+TEST(TraceAnalyser, RoutesEventsByExactPath) {
+  BankListener bank("l1", 3);
+  TraceAnalyser analyser;
+  analyser.add(bank);
+  analyser.feed(TraceEvent{1, "/chip/cluster/l1/bank3/trace", "read a"});
+  analyser.feed(TraceEvent{2, "/chip/cluster/l1/bank4/trace", "read a"});
+  analyser.feed(TraceEvent{3, "/chip/cluster/l1/bank3/trace", "write a"});
+  analyser.feed(TraceEvent{4, "/chip/cluster/l1/bank3/trace", "conflict"});
+  EXPECT_EQ(bank.stats().reads, 1U);
+  EXPECT_EQ(bank.stats().writes, 1U);
+  EXPECT_EQ(bank.stats().conflicts, 1U);
+  EXPECT_EQ(analyser.unclaimed_events(), 1U);
+}
+
+TEST(TraceAnalyser, CountsMalformedLines) {
+  TraceAnalyser analyser;
+  analyser.feed_line("garbage");
+  analyser.feed_line("1: /p: ok");  // unclaimed but well-formed
+  EXPECT_EQ(analyser.malformed_lines(), 1U);
+  EXPECT_EQ(analyser.unclaimed_events(), 1U);
+}
+
+TEST(TraceAnalyser, AnalyseStreamsWholeFiles) {
+  BankListener bank("l2", 0);
+  TraceAnalyser analyser;
+  analyser.add(bank);
+  std::istringstream in(
+      "1: /chip/cluster/l2/bank0/trace: read addr=0x1c000000\n"
+      "\n"
+      "2: /chip/cluster/l2/bank0/trace: write addr=0x1c000004\n");
+  EXPECT_EQ(analyser.analyse(in), 2U);
+  EXPECT_EQ(bank.stats().reads, 1U);
+  EXPECT_EQ(bank.stats().writes, 1U);
+}
+
+TEST(TraceListeners, FpuListenerSumsBusyCycles) {
+  FpuListener fpu(2);
+  TraceAnalyser analyser;
+  analyser.add(fpu);
+  analyser.feed(TraceEvent{1, "/chip/cluster/fpu2/trace", "busy n=1"});
+  analyser.feed(TraceEvent{2, "/chip/cluster/fpu2/trace", "busy n=10"});
+  EXPECT_EQ(fpu.stats().busy_cycles, 11U);
+}
+
+TEST(TraceListeners, DmaListenerAccumulatesBeats) {
+  DmaListener dma;
+  TraceAnalyser analyser;
+  analyser.add(dma);
+  analyser.feed(TraceEvent{
+      1, "/chip/cluster/dma/trace",
+      "start src=0x1c000000 dst=0x10000000 words=64"});
+  analyser.feed(TraceEvent{70, "/chip/cluster/dma/trace", "done"});
+  EXPECT_EQ(dma.stats().beats, 64U);
+  EXPECT_EQ(dma.stats().busy_cycles, 64U);
+}
+
+TEST(TraceListeners, IcacheListenerCountsRefills) {
+  IcacheListener ic;
+  TraceAnalyser analyser;
+  analyser.add(ic);
+  analyser.feed(TraceEvent{1, "/chip/cluster/icache/trace", "refill line=0"});
+  analyser.feed(TraceEvent{5, "/chip/cluster/icache/trace", "refill line=2"});
+  EXPECT_EQ(ic.refills(), 2U);
+}
+
+TEST(TraceListeners, CoreListenerWindowsOnKernelMarkers) {
+  CoreListener core(0);
+  TraceAnalyser analyser;
+  analyser.add(core);
+  const std::string insn = "/chip/cluster/pe0/insn";
+  const std::string tr = "/chip/cluster/pe0/trace";
+  // Prologue before the kernel: must not be counted.
+  analyser.feed(TraceEvent{1, insn, "li r0, 0"});
+  analyser.feed(TraceEvent{1, tr, "state=alu"});
+  analyser.feed(TraceEvent{2, insn, "kernel.enter"});
+  analyser.feed(TraceEvent{3, insn, "add r1, r2, r3"});
+  analyser.feed(TraceEvent{4, insn, "lw r1, 0(r10) !tcdm"});
+  analyser.feed(TraceEvent{4, tr, "state=l1"});
+  analyser.feed(TraceEvent{5, insn, "lw r1, 0(r10) !l2"});
+  analyser.feed(TraceEvent{5, tr, "state=l2"});
+  analyser.feed(TraceEvent{20, insn, "kernel.exit"});
+  analyser.feed(TraceEvent{21, insn, "add r1, r1, r1"});  // after exit
+  EXPECT_TRUE(core.saw_kernel());
+  EXPECT_EQ(core.enter_cycle(), 2U);
+  EXPECT_EQ(core.exit_cycle(), 20U);
+  const sim::CoreStats st = core.stats();
+  EXPECT_EQ(st.n_alu, 1U);
+  EXPECT_EQ(st.n_l1, 1U);
+  EXPECT_EQ(st.n_l2, 1U);
+  EXPECT_EQ(st.n_sync, 2U);  // both markers
+  EXPECT_EQ(st.instrs, 5U);
+  // State durations clipped to [enter, exit): alu 2..3, l1 4, l2 5..19.
+  EXPECT_EQ(st.cyc_alu, 2U);
+  EXPECT_EQ(st.cyc_l1, 1U);
+  EXPECT_EQ(st.cyc_l2, 15U);
+}
+
+TEST(TraceListeners, CoreListenerTracksStallStatesAsIdle) {
+  CoreListener core(1);
+  TraceAnalyser analyser;
+  analyser.add(core);
+  const std::string insn = "/chip/cluster/pe1/insn";
+  const std::string tr = "/chip/cluster/pe1/trace";
+  analyser.feed(TraceEvent{1, insn, "kernel.enter"});
+  analyser.feed(TraceEvent{1, tr, "state=alu"});
+  analyser.feed(TraceEvent{3, tr, "state=wait_stall"});
+  analyser.feed(TraceEvent{6, tr, "state=cg"});
+  analyser.feed(TraceEvent{9, insn, "kernel.exit"});
+  const sim::CoreStats st = core.stats();
+  EXPECT_EQ(st.cyc_alu, 2U);    // cycles 1-2
+  EXPECT_EQ(st.cyc_wait, 3U);   // cycles 3-5
+  EXPECT_EQ(st.cyc_cg, 3U);     // cycles 6-8
+  EXPECT_EQ(st.idle_cycles, 3U);
+}
+
+TEST(TracePulpListeners, BuildsPaperHierarchy) {
+  const sim::ClusterConfig cfg;
+  PulpListeners pulp(cfg);
+  TraceAnalyser analyser;
+  pulp.register_on(analyser);
+  // 8 cores x 2 paths + 16 + 32 banks + 4 FPUs + icache + dma routes all
+  // exist; feed one event to a few corners and expect no unclaimed ones.
+  analyser.feed(TraceEvent{1, "/chip/cluster/pe7/insn", "nop"});
+  analyser.feed(TraceEvent{1, "/chip/cluster/l1/bank15/trace", "read a"});
+  analyser.feed(TraceEvent{1, "/chip/cluster/l2/bank31/trace", "write a"});
+  analyser.feed(TraceEvent{1, "/chip/cluster/fpu3/trace", "busy n=1"});
+  analyser.feed(TraceEvent{1, "/chip/cluster/icache/trace", "refill line=1"});
+  analyser.feed(TraceEvent{1, "/chip/cluster/dma/trace", "done"});
+  EXPECT_EQ(analyser.unclaimed_events(), 0U);
+  EXPECT_EQ(pulp.l1_bank(15).stats().reads, 1U);
+  EXPECT_EQ(pulp.l2_bank(31).stats().writes, 1U);
+}
+
+}  // namespace
+}  // namespace pulpc::trace

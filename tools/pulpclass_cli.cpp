@@ -1,0 +1,228 @@
+// pulpclass command-line tool: the library's workflow without writing
+// C++. Subcommands:
+//
+//   pulpclass dataset [--out file.csv]       build/cache the 448-sample set
+//   pulpclass train   [--features SET] [--out model.txt]
+//   pulpclass predict --model model.txt <kernel> <i32|f32> <bytes>
+//   pulpclass sweep   <kernel> <i32|f32> <bytes> [--optimize]
+//   pulpclass stats                           dataset & label statistics
+//   pulpclass disasm  <kernel> <i32|f32> <bytes> [--optimize]
+//   pulpclass kernels                         list the dataset kernels
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/pipeline.hpp"
+#include "dsl/lower.hpp"
+#include "energy/model.hpp"
+#include "feat/features.hpp"
+#include "kir/opt.hpp"
+#include "kernels/registry.hpp"
+#include "ml/cv.hpp"
+#include "ml/metrics.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace pulpc;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string model = "pulpclass_model.txt";
+  std::string out;
+  std::string features = "ALL";
+  bool optimize = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      a.model = next();
+    } else if (arg == "--out") {
+      a.out = next();
+    } else if (arg == "--features") {
+      a.features = next();
+    } else if (arg == "--optimize") {
+      a.optimize = true;
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: pulpclass <command> [options]\n"
+      "  dataset [--out file.csv]          build & cache the dataset\n"
+      "  train [--features AGG|RAW|MCA|ALL] [--out model.txt]\n"
+      "  predict --model model.txt <kernel> <i32|f32> <bytes>\n"
+      "  sweep <kernel> <i32|f32> <bytes> [--optimize]\n"
+      "  stats                             dataset statistics\n"
+      "  disasm <kernel> <i32|f32> <bytes> [--optimize]\n"
+      "  kernels                           list available kernels\n");
+  return 2;
+}
+
+kir::DType parse_dtype(const std::string& s) {
+  if (s == "i32") return kir::DType::I32;
+  if (s == "f32") return kir::DType::F32;
+  std::fprintf(stderr, "bad element type '%s' (i32|f32)\n", s.c_str());
+  std::exit(2);
+}
+
+ml::Dataset load_dataset() {
+  return core::load_or_build_dataset({}, [](std::size_t d, std::size_t t) {
+    if (d % 56 == 0 || d == t) {
+      std::fprintf(stderr, "building dataset: %zu/%zu\r", d, t);
+      if (d == t) std::fprintf(stderr, "\n");
+    }
+  });
+}
+
+kir::Program lower_kernel(const Args& a) {
+  if (a.positional.size() < 3) {
+    std::exit(usage());
+  }
+  const kir::Program prog = dsl::lower(kernels::make_kernel(
+      a.positional[0], parse_dtype(a.positional[1]),
+      std::uint32_t(std::atoi(a.positional[2].c_str()))));
+  return a.optimize ? kir::optimize(prog) : prog;
+}
+
+int cmd_dataset(const Args& a) {
+  if (!a.out.empty()) setenv("PULPC_DATASET_CACHE", a.out.c_str(), 1);
+  const ml::Dataset ds = load_dataset();
+  std::printf("dataset ready: %zu samples, %zu feature columns\n",
+              ds.size(), ds.columns().size());
+  return 0;
+}
+
+int cmd_train(const Args& a) {
+  const ml::Dataset ds = load_dataset();
+  core::EnergyClassifier::Options opt;
+  if (a.features == "AGG") {
+    opt.features = feat::FeatureSet::Agg;
+  } else if (a.features == "RAW") {
+    opt.features = feat::FeatureSet::RawAgg;
+  } else if (a.features == "MCA") {
+    opt.features = feat::FeatureSet::Mca;
+  } else {
+    opt.features = feat::FeatureSet::AllStatic;
+  }
+  core::EnergyClassifier clf(opt);
+  clf.train(ds);
+  const std::string path = a.out.empty() ? a.model : a.out;
+  clf.save_file(path);
+  std::printf("trained on %zu samples (%zu features, %zu tree nodes)\n",
+              ds.size(), clf.columns().size(), clf.tree().node_count());
+  std::printf("model written to %s\n", path.c_str());
+
+  // Quick self-report with the paper's protocol.
+  ml::EvalOptions eval;
+  eval.repeats = 10;
+  const ml::EvalResult res = ml::evaluate(ds, clf.columns(), eval);
+  std::printf("10-fold CV x10: %.1f%% @0%% tolerance, %.1f%% @5%%\n",
+              100 * res.accuracy_at(0.0), 100 * res.accuracy_at(0.05));
+  return 0;
+}
+
+int cmd_predict(const Args& a) {
+  const core::EnergyClassifier clf =
+      core::EnergyClassifier::load_file(a.model);
+  const kir::Program prog = lower_kernel(a);
+  const int cores = clf.predict(prog);
+  std::printf("%s %s %s -> run on %d core%s for minimum energy\n",
+              a.positional[0].c_str(), a.positional[1].c_str(),
+              a.positional[2].c_str(), cores, cores == 1 ? "" : "s");
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  const kir::Program prog = lower_kernel(a);
+  sim::Cluster cluster;
+  cluster.load(prog);
+  std::printf("%-6s %12s %12s\n", "cores", "cycles", "energy[uJ]");
+  double best = 0;
+  unsigned best_cores = 0;
+  for (unsigned c = 1; c <= cluster.config().num_cores; ++c) {
+    const sim::RunResult r = cluster.run(c);
+    if (!r.ok) {
+      std::fprintf(stderr, "simulation failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    const double uj = energy::compute_energy(r.stats).total_uj();
+    if (best_cores == 0 || uj < best) {
+      best = uj;
+      best_cores = c;
+    }
+    std::printf("%-6u %12llu %12.3f\n", c,
+                static_cast<unsigned long long>(r.stats.region_cycles()),
+                uj);
+  }
+  std::printf("minimum energy: %u cores (%.3f uJ)\n", best_cores, best);
+  return 0;
+}
+
+int cmd_stats(const Args&) {
+  const ml::Dataset ds = load_dataset();
+  const auto hist = ds.label_histogram(8);
+  std::printf("%zu samples; label distribution:\n", ds.size());
+  for (int k = 1; k <= 8; ++k) {
+    std::printf("  %d cores: %4zu (%.1f%%)\n", k, hist[k],
+                100.0 * double(hist[k]) / double(ds.size()));
+  }
+  return 0;
+}
+
+int cmd_disasm(const Args& a) {
+  const kir::Program prog = lower_kernel(a);
+  std::printf("%s", kir::to_string(prog).c_str());
+  return 0;
+}
+
+int cmd_kernels(const Args&) {
+  std::printf("%-20s %-10s %s\n", "kernel", "suite", "types");
+  for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+    const char* types = k.types == kernels::TypeSupport::Both ? "i32 f32"
+                        : k.types == kernels::TypeSupport::IntOnly
+                            ? "i32"
+                            : "f32";
+    std::printf("%-20s %-10s %s\n", k.name.c_str(), k.suite.c_str(), types);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (cmd == "dataset") return cmd_dataset(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "disasm") return cmd_disasm(args);
+    if (cmd == "kernels") return cmd_kernels(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

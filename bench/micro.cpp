@@ -1,15 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the expensive building blocks:
 // simulator stepping throughput, trace parsing, static feature
-// extraction, MCA analysis and decision-tree training.
+// extraction, MCA analysis, decision-tree training, and the serial vs.
+// parallel wall time of the two thread-pool hot paths (dataset build,
+// repeated CV).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdlib>
 #include <random>
 #include <sstream>
 
+#include "core/pipeline.hpp"
 #include "dsl/lower.hpp"
 #include "feat/features.hpp"
 #include "kernels/registry.hpp"
 #include "mca/analyzer.hpp"
+#include "ml/cv.hpp"
 #include "ml/tree.hpp"
 #include "sim/cluster.hpp"
 #include "trace/listeners.hpp"
@@ -103,6 +109,69 @@ void BM_TreeFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TreeFit)->Arg(3)->Arg(20)->Arg(80);
+
+// Serial-vs-parallel wall time of build_dataset over a trimmed slice of
+// the 448 paper configurations (Arg = worker threads). The outputs are
+// byte-identical for every Arg; compare the real-time columns for the
+// speedup (the acceptance target is >= 2x at 4 threads).
+void BM_BuildDatasetThreads(benchmark::State& state) {
+  core::BuildOptions opt;
+  opt.threads = static_cast<unsigned>(state.range(0));
+  const std::vector<core::SampleConfig> all = core::dataset_configs();
+  std::vector<core::SampleConfig> configs;
+  for (std::size_t i = 0; i < all.size() && configs.size() < 16; i += 29) {
+    configs.push_back(all[i]);
+  }
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    const ml::Dataset ds = core::build_dataset(configs, opt);
+    samples += ds.size();
+    benchmark::DoNotOptimize(ds.size());
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(samples), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BuildDatasetThreads)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Serial-vs-parallel wall time of the repeated-CV evaluation on a
+// synthetic dataset (Arg = worker threads); results are bit-identical
+// for every Arg.
+void BM_EvaluateThreads(benchmark::State& state) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(0, 1);
+  ml::Dataset ds({"f0", "f1", "noise"});
+  for (int i = 0; i < 240; ++i) {
+    ml::Sample s;
+    s.kernel = "synth" + std::to_string(i);
+    s.suite = "synthetic";
+    const double a = u(rng);
+    const double b = u(rng);
+    s.features = {a, b, u(rng)};
+    s.label = 1 + (a > 0.5) * 2 + (b > 0.5);
+    for (int k = 1; k <= 4; ++k) {
+      s.energy.push_back(100.0 * (1.0 + 0.5 * std::abs(k - s.label)));
+      s.cycles.push_back(1000.0 / k);
+    }
+    ds.add(std::move(s));
+  }
+  ml::EvalOptions opt;
+  opt.folds = 10;
+  opt.repeats = 20;
+  opt.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const ml::EvalResult res = ml::evaluate(ds, ds.columns(), opt);
+    benchmark::DoNotOptimize(res.accuracy[0]);
+  }
+}
+BENCHMARK(BM_EvaluateThreads)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,98 @@
+#include "core/parallel.hpp"
+
+#include <cstdlib>
+
+namespace pulpc::core {
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("PULPC_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+    : workers_(resolve_thread_count(workers)) {
+  threads_.reserve(workers_ - 1);
+  for (unsigned i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_tasks() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      // Skip the undispatched remainder; in-flight tasks drain.
+      next_.store(n_, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_tasks();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    // Serial path: identical call sequence to the pre-pool code.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    busy_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_tasks();  // the caller thread is worker 0
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return busy_ == 0; });
+    fn_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pulpc::core

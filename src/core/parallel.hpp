@@ -1,0 +1,87 @@
+// Deterministic parallel execution engine. A small fixed-size thread
+// pool drives the two embarrassingly parallel hot paths of the
+// reproduction — the 448-configuration dataset build (8 simulator runs
+// each) and the repeated-CV evaluation (1000 tree fits) — while
+// guaranteeing results identical to the serial path: tasks write into
+// caller-preallocated slots by index and callers reduce partial results
+// in a fixed order (see DESIGN.md "Deterministic parallelism").
+//
+// Worker count resolution: an explicit request wins, otherwise the
+// PULPC_THREADS environment variable, otherwise
+// std::thread::hardware_concurrency(). A count of 1 degenerates to
+// inline execution on the caller thread — no threads are spawned at all.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pulpc::core {
+
+/// Worker count for a parallel region: `requested` if non-zero, else
+/// PULPC_THREADS if set to a positive integer, else
+/// hardware_concurrency() (minimum 1).
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested = 0);
+
+/// Fixed-size thread pool. The constructing ("caller") thread always
+/// participates in parallel_for, so a pool of W workers spawns W-1
+/// background threads; W == 1 runs everything inline.
+class ThreadPool {
+ public:
+  /// `workers == 0` resolves via resolve_thread_count().
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const noexcept { return workers_; }
+
+  /// Run fn(i) for every i in [0, n), distributing indices dynamically
+  /// across the pool, and block until all calls return. Each index is
+  /// dispatched exactly once. If any task throws, the first exception
+  /// (in completion order) is rethrown on the caller thread after all
+  /// in-flight tasks drain; remaining undispatched indices are skipped
+  /// and the pool stays usable. Not reentrant: fn must not call back
+  /// into the same pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for producing out[i] = fn(i) with the results in index
+  /// order, independent of execution order. T must be default- and
+  /// move-constructible.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+  void run_tasks();
+
+  unsigned workers_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: a new job is posted
+  std::condition_variable done_cv_;  ///< caller: all workers left the job
+  std::uint64_t generation_ = 0;     ///< bumped once per parallel_for
+  bool stop_ = false;
+
+  // Current job; valid from job post until the caller observes
+  // busy_ == 0.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  unsigned busy_ = 0;  ///< background workers still inside the job
+  std::exception_ptr error_;
+};
+
+}  // namespace pulpc::core

@@ -1,10 +1,13 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "dsl/lower.hpp"
 #include "kernels/registry.hpp"
 #include "sim/cluster.hpp"
@@ -83,15 +86,57 @@ std::vector<SampleConfig> dataset_configs() {
 }
 
 ml::Dataset build_dataset(
+    const std::vector<SampleConfig>& configs, const BuildOptions& opt,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  ml::Dataset ds(dataset_columns(opt.max_cores));
+  // Each task simulates one configuration with its own sim::Cluster and
+  // writes into its preallocated slot, so rows land in `configs` order
+  // regardless of task completion order and the dataset (and its CSV
+  // bytes) match the serial build exactly.
+  std::vector<ml::Sample> rows(configs.size());
+  ThreadPool pool(opt.threads);
+  std::mutex progress_mu;
+  std::size_t done = 0;
+  pool.parallel_for(configs.size(), [&](std::size_t i) {
+    rows[i] = build_sample(configs[i], opt);
+    if (progress) {
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      progress(++done, configs.size());
+    }
+  });
+  for (ml::Sample& row : rows) ds.add(std::move(row));
+  return ds;
+}
+
+ml::Dataset build_dataset(
     const BuildOptions& opt,
     const std::function<void(std::size_t, std::size_t)>& progress) {
-  const std::vector<SampleConfig> configs = dataset_configs();
-  ml::Dataset ds(dataset_columns(opt.max_cores));
-  std::size_t done = 0;
-  for (const SampleConfig& cfg : configs) {
-    ds.add(build_sample(cfg, opt));
-    ++done;
-    if (progress) progress(done, configs.size());
+  return build_dataset(dataset_configs(), opt, progress);
+}
+
+ml::Dataset load_or_build_dataset(
+    const std::vector<SampleConfig>& configs, const BuildOptions& opt,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  std::string path = "pulpclass_dataset.csv";
+  if (const char* env = std::getenv("PULPC_DATASET_CACHE")) {
+    path = env;
+  }
+  if (!path.empty() && std::filesystem::exists(path)) {
+    try {
+      ml::Dataset ds = ml::Dataset::load_csv_file(path);
+      if (ds.columns() == dataset_columns(opt.max_cores) && !ds.empty()) {
+        return ds;
+      }
+      // Stale cache layout: fall through and rebuild.
+    } catch (const std::exception& e) {
+      // Corrupt/truncated cache (e.g. an interrupted save): rebuild it.
+      std::fprintf(stderr, "pulpclass: dataset cache %s is corrupt (%s); rebuilding\n",
+                   path.c_str(), e.what());
+    }
+  }
+  ml::Dataset ds = build_dataset(configs, opt, progress);
+  if (!path.empty()) {
+    ds.save_csv_file(path);
   }
   return ds;
 }
@@ -99,22 +144,7 @@ ml::Dataset build_dataset(
 ml::Dataset load_or_build_dataset(
     const BuildOptions& opt,
     const std::function<void(std::size_t, std::size_t)>& progress) {
-  std::string path = "pulpclass_dataset.csv";
-  if (const char* env = std::getenv("PULPC_DATASET_CACHE")) {
-    path = env;
-  }
-  if (!path.empty() && std::filesystem::exists(path)) {
-    ml::Dataset ds = ml::Dataset::load_csv_file(path);
-    if (ds.columns() == dataset_columns(opt.max_cores) && !ds.empty()) {
-      return ds;
-    }
-    // Stale cache layout: fall through and rebuild.
-  }
-  ml::Dataset ds = build_dataset(opt, progress);
-  if (!path.empty()) {
-    ds.save_csv_file(path);
-  }
-  return ds;
+  return load_or_build_dataset(dataset_configs(), opt, progress);
 }
 
 }  // namespace pulpc::core

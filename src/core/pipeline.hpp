@@ -33,6 +33,10 @@ struct BuildOptions {
   energy::EnergyModel energy;
   /// Sweep configurations 1..max_cores (the paper: all 8).
   unsigned max_cores = 8;
+  /// Worker threads for build_dataset; 0 resolves via PULPC_THREADS /
+  /// hardware_concurrency (see core/parallel.hpp), 1 forces the serial
+  /// path. Any count produces a byte-identical dataset.
+  unsigned threads = 0;
 };
 
 /// Column names of the assembled dataset: the 20 static features followed
@@ -56,16 +60,31 @@ struct BuildOptions {
 /// both supported element types, 4 problem sizes).
 [[nodiscard]] std::vector<SampleConfig> dataset_configs();
 
-/// Build the full dataset. `progress(done, total)` is invoked after each
-/// sample when provided.
+/// Build a dataset over an explicit configuration list. Samples are
+/// simulated in parallel across `opt.threads` workers (one sim::Cluster
+/// per task) but always land in `configs` order, so the result — and its
+/// saved CSV — is byte-identical for every thread count. `progress(done,
+/// total)` is invoked once per completed sample with a strictly
+/// monotonic `done`; calls are serialized by a mutex.
+[[nodiscard]] ml::Dataset build_dataset(
+    const std::vector<SampleConfig>& configs, const BuildOptions& opt = {},
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+/// Build the full paper dataset (dataset_configs()).
 [[nodiscard]] ml::Dataset build_dataset(
     const BuildOptions& opt = {},
     const std::function<void(std::size_t, std::size_t)>& progress = {});
 
 /// Load the dataset from the cache file if present, otherwise build it
-/// and save it there. The path defaults to "pulpclass_dataset.csv" in the
-/// current directory and can be overridden with the PULPC_DATASET_CACHE
-/// environment variable (an empty value disables caching).
+/// (over `configs` when given, else dataset_configs()) and save it
+/// there. A cache with a stale column layout or a corrupt/truncated row
+/// is discarded and rebuilt, not fatal. The path defaults to
+/// "pulpclass_dataset.csv" in the current directory and can be
+/// overridden with the PULPC_DATASET_CACHE environment variable (an
+/// empty value disables caching).
+[[nodiscard]] ml::Dataset load_or_build_dataset(
+    const std::vector<SampleConfig>& configs, const BuildOptions& opt = {},
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
 [[nodiscard]] ml::Dataset load_or_build_dataset(
     const BuildOptions& opt = {},
     const std::function<void(std::size_t, std::size_t)>& progress = {});

@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "ml/metrics.hpp"
 
 namespace pulpc::ml {
@@ -56,11 +57,22 @@ EvalResult evaluate(const Dataset& ds,
   const std::vector<int> y = ds.labels();
   const std::vector<Sample>& samples = ds.samples();
 
-  std::vector<double> acc_sum(res.tolerances.size(), 0.0);
-  std::vector<double> acc_sq(res.tolerances.size(), 0.0);
-  std::size_t fits = 0;
-
-  for (unsigned rep = 0; rep < opt.repeats; ++rep) {
+  // One independent task per repetition: each derives its RNG from
+  // opt.seed + rep, so the fold assignment and tree seeds never depend
+  // on execution order. Partials are accumulated per repetition and
+  // reduced in repetition order below — floating-point sums are
+  // bit-identical for every thread count (see DESIGN.md).
+  struct RepPartial {
+    std::vector<double> acc;          // per tolerance
+    std::vector<double> importances;  // per column, summed over folds
+    std::size_t fits = 0;
+  };
+  std::vector<RepPartial> partials(opt.repeats);
+  core::ThreadPool pool(opt.threads);
+  pool.parallel_for(opt.repeats, [&](std::size_t rep) {
+    RepPartial& part = partials[rep];
+    part.acc.assign(res.tolerances.size(), 0.0);
+    part.importances.assign(columns.size(), 0.0);
     std::mt19937_64 rng(opt.seed + rep);
     const auto folds = stratified_kfold(y, opt.folds, rng);
 
@@ -84,17 +96,29 @@ EvalResult evaluate(const Dataset& ds,
       }
       const std::vector<double>& imp = tree.feature_importances();
       for (std::size_t c = 0; c < imp.size(); ++c) {
-        res.importances[c] += imp[c];
+        part.importances[c] += imp[c];
       }
-      ++fits;
+      ++part.fits;
     }
 
     for (std::size_t t = 0; t < res.tolerances.size(); ++t) {
-      const double a =
-          tolerance_accuracy(samples, predictions, res.tolerances[t]);
-      acc_sum[t] += a;
-      acc_sq[t] += a * a;
+      part.acc[t] = tolerance_accuracy(samples, predictions,
+                                       res.tolerances[t]);
     }
+  });
+
+  std::vector<double> acc_sum(res.tolerances.size(), 0.0);
+  std::vector<double> acc_sq(res.tolerances.size(), 0.0);
+  std::size_t fits = 0;
+  for (const RepPartial& part : partials) {
+    for (std::size_t t = 0; t < res.tolerances.size(); ++t) {
+      acc_sum[t] += part.acc[t];
+      acc_sq[t] += part.acc[t] * part.acc[t];
+    }
+    for (std::size_t c = 0; c < part.importances.size(); ++c) {
+      res.importances[c] += part.importances[c];
+    }
+    fits += part.fits;
   }
 
   const auto reps = static_cast<double>(opt.repeats);

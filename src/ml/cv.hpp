@@ -28,6 +28,12 @@ struct EvalOptions {
   std::uint64_t seed = 42;
   std::vector<double> tolerances;  ///< empty = default_tolerances()
   TreeParams tree;
+  /// Worker threads for evaluate(); repetitions are independent tasks
+  /// (each derives its RNG from seed + rep) whose partial results are
+  /// reduced in repetition order, so every thread count — 0 resolves via
+  /// PULPC_THREADS, 1 forces the serial path — yields bit-identical
+  /// accuracies, std-devs and importances.
+  unsigned threads = 0;
 };
 
 struct EvalResult {

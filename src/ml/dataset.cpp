@@ -8,12 +8,55 @@ namespace pulpc::ml {
 
 namespace {
 
+// RFC4180-style field split: a field starting with '"' runs to the
+// matching close quote, with "" unescaping to a literal quote. Plain
+// fields (the overwhelmingly common case) pass through untouched, so
+// files written before quoting existed parse identically.
 std::vector<std::string> split(const std::string& line, char sep) {
   std::vector<std::string> out;
+  if (line.empty()) return out;
   std::string field;
-  std::istringstream is(line);
-  while (std::getline(is, field, sep)) out.push_back(field);
-  if (!line.empty() && line.back() == sep) out.emplace_back();
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == sep) {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+// Quote a string field whose content would collide with the separator
+// or the quote character. Newlines cannot round-trip through the
+// line-oriented reader, so they are rejected outright.
+std::string csv_field(const std::string& s) {
+  if (s.find('\n') != std::string::npos) {
+    throw std::invalid_argument("Dataset: field contains a newline: " + s);
+  }
+  if (s.find_first_of(",\"") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
   return out;
 }
 
@@ -88,11 +131,12 @@ void Dataset::save_csv(std::ostream& out) const {
   out << "kernel,suite,dtype,size_bytes,label";
   for (std::size_t k = 1; k <= nconf; ++k) out << ",e" << k;
   for (std::size_t k = 1; k <= nconf; ++k) out << ",c" << k;
-  for (const std::string& c : columns_) out << ',' << c;
+  for (const std::string& c : columns_) out << ',' << csv_field(c);
   out << '\n';
   out.precision(17);
   for (const Sample& s : samples_) {
-    out << s.kernel << ',' << s.suite << ',' << kir::to_string(s.dtype)
+    out << csv_field(s.kernel) << ',' << csv_field(s.suite) << ','
+        << kir::to_string(s.dtype)
         << ',' << s.size_bytes << ',' << s.label;
     for (const double e : s.energy) out << ',' << e;
     for (const double c : s.cycles) out << ',' << c;

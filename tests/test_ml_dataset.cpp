@@ -128,6 +128,53 @@ TEST(Dataset, FileRoundTrip) {
   EXPECT_THROW((void)Dataset::load_csv_file(path), std::runtime_error);
 }
 
+TEST(Dataset, EmptyDatasetRoundTripsColumns) {
+  const Dataset ds({"a", "b", "c"});
+  std::stringstream ss;
+  ds.save_csv(ss);
+  const Dataset back = Dataset::load_csv(ss);
+  EXPECT_TRUE(back.empty());
+  EXPECT_EQ(back.columns(), ds.columns());
+}
+
+TEST(Dataset, KernelNameWithSeparatorRoundTrips) {
+  Dataset ds({"a", "b", "c"});
+  ds.add(sample("weird,name", 2, {1, 2, 3}));
+  Sample quoted = sample("quo\"ted", 1, {4, 5, 6});
+  quoted.suite = "suite,with,commas";
+  ds.add(std::move(quoted));
+  std::stringstream ss;
+  ds.save_csv(ss);
+  const Dataset back = Dataset::load_csv(ss);
+  ASSERT_EQ(back.size(), 2U);
+  EXPECT_EQ(back.samples()[0].kernel, "weird,name");
+  EXPECT_EQ(back.samples()[0].suite, "custom");
+  EXPECT_EQ(back.samples()[1].kernel, "quo\"ted");
+  EXPECT_EQ(back.samples()[1].suite, "suite,with,commas");
+  EXPECT_EQ(back.samples()[1].features, (std::vector<double>{4, 5, 6}));
+}
+
+TEST(Dataset, NewlineInFieldIsRejectedOnSave) {
+  Dataset ds({"a", "b", "c"});
+  ds.add(sample("multi\nline", 1, {1, 2, 3}));
+  std::stringstream ss;
+  EXPECT_THROW(ds.save_csv(ss), std::invalid_argument);
+}
+
+TEST(Dataset, LoadRejectsRowWithWrongVectorColumnCount) {
+  // Header declares e1..e4/c1..c4 plus one feature; the row carries only
+  // three energies (11 fields vs. 14 in the header).
+  std::stringstream ss(
+      "kernel,suite,dtype,size_bytes,label,e1,e2,e3,e4,c1,c2,c3,c4,x\n"
+      "k,s,i32,1,1,1.0,2.0,3.0,10,20,30,40,0.5\n");
+  EXPECT_THROW((void)Dataset::load_csv(ss), std::runtime_error);
+  // Extra vector fields are rejected just the same.
+  std::stringstream extra(
+      "kernel,suite,dtype,size_bytes,label,e1,e2,c1,c2,x\n"
+      "k,s,i32,1,1,1.0,2.0,3.0,10,20,0.5\n");
+  EXPECT_THROW((void)Dataset::load_csv(extra), std::runtime_error);
+}
+
 TEST(Dataset, I32DtypeRoundTrips) {
   Dataset ds({"x"});
   Sample s = sample("intk", 1, {1.0});

@@ -1,0 +1,157 @@
+// Thread-pool unit tests: exactly-once index dispatch, exception
+// propagation to the caller (with a pool that survives the failure),
+// PULPC_THREADS=1 degenerating to inline execution, and no deadlock for
+// degenerate task counts (n == 0, n < workers).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace pulpc::core {
+namespace {
+
+/// Scoped PULPC_THREADS override so env-sensitive tests cannot leak
+/// into each other.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    if (const char* old = std::getenv("PULPC_THREADS")) saved_ = old;
+    EXPECT_EQ(setenv("PULPC_THREADS", value, 1), 0);
+  }
+  ~ScopedThreadsEnv() {
+    if (saved_.empty()) {
+      unsetenv("PULPC_THREADS");
+    } else {
+      setenv("PULPC_THREADS", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST(ThreadPool, VisitsAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4U);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const std::vector<std::size_t> out =
+      pool.parallel_map<std::size_t>(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257U);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionAndSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) {
+                            throw std::runtime_error("task 37 failed");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool is still usable after a failed job.
+  std::atomic<int> ran{0};
+  pool.parallel_for(50, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionCarriesTheTaskMessage) {
+  ThreadPool pool(3);
+  try {
+    pool.parallel_for(8, [](std::size_t) {
+      throw std::runtime_error("boom");
+    });
+    FAIL() << "parallel_for did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, SerialPoolPropagatesExceptionsToo) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [](std::size_t i) {
+                          if (i == 2) throw std::invalid_argument("serial");
+                        }),
+      std::invalid_argument);
+}
+
+TEST(ThreadPool, EnvSingleThreadRunsInlineOnTheCaller) {
+  ScopedThreadsEnv env("1");
+  ThreadPool pool;  // resolves from PULPC_THREADS
+  EXPECT_EQ(pool.workers(), 1U);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> ids;
+  pool.parallel_for(64, [&](std::size_t) {
+    ids.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(ids.size(), 1U);
+  EXPECT_EQ(*ids.begin(), caller);
+}
+
+TEST(ThreadPool, EnvSetsTheDefaultWorkerCount) {
+  ScopedThreadsEnv env("3");
+  ThreadPool pool;
+  EXPECT_EQ(pool.workers(), 3U);
+  // An explicit request wins over the environment.
+  ThreadPool explicit_pool(2);
+  EXPECT_EQ(explicit_pool.workers(), 2U);
+}
+
+TEST(ThreadPool, GarbageEnvFallsBackToHardware) {
+  ScopedThreadsEnv env("not-a-number");
+  EXPECT_GE(resolve_thread_count(), 1U);
+}
+
+TEST(ThreadPool, NoDeadlockOnZeroTasks) {
+  ThreadPool pool(4);
+  int calls = 0;
+  for (int round = 0; round < 100; ++round) {
+    pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  }
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, NoDeadlockWithFewerTasksThanWorkers) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> ran{0};
+    pool.parallel_for(3, [&](std::size_t) { ++ran; });
+    ASSERT_EQ(ran.load(), 3);
+  }
+}
+
+TEST(ThreadPool, BackToBackJobsKeepTheSameWorkers) {
+  ThreadPool pool(4);
+  std::size_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 50U * (99U * 100U / 2U));
+}
+
+}  // namespace
+}  // namespace pulpc::core

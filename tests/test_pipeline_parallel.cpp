@@ -1,0 +1,196 @@
+// Equivalence tests for the deterministic parallel engine: a
+// multi-threaded build_dataset must produce byte-identical CSV output
+// (and identical samples/labels) to the serial path, ml::evaluate must
+// produce bit-identical accuracies/std-devs/importances for every
+// thread count, the progress callback must be strictly monotonic and
+// complete, and a corrupt dataset cache must be rebuilt rather than
+// fatal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "ml/cv.hpp"
+
+namespace pulpc::core {
+namespace {
+
+/// A cheap slice of the paper's configuration space: small sizes, mixed
+/// suites/behaviours, enough rows to exercise the pool.
+std::vector<SampleConfig> trimmed_configs() {
+  return {
+      {"memcpy", kir::DType::I32, 512},
+      {"memset", kir::DType::I32, 512},
+      {"stream_triad", kir::DType::I32, 512},
+      {"trisolv", kir::DType::I32, 512},
+      {"autocor", kir::DType::I32, 2048},
+      {"alu_chain", kir::DType::I32, 512},
+      {"spin_counter", kir::DType::I32, 512},
+      {"stream_triad", kir::DType::I32, 2048},
+  };
+}
+
+std::string csv_bytes(const ml::Dataset& ds) {
+  std::ostringstream out;
+  ds.save_csv(out);
+  return out.str();
+}
+
+TEST(ParallelBuild, DatasetIsByteIdenticalAcrossThreadCounts) {
+  const std::vector<SampleConfig> configs = trimmed_configs();
+  BuildOptions serial;
+  serial.threads = 1;
+  BuildOptions parallel;
+  parallel.threads = 4;
+  const ml::Dataset ds1 = build_dataset(configs, serial);
+  const ml::Dataset ds4 = build_dataset(configs, parallel);
+
+  ASSERT_EQ(ds1.size(), configs.size());
+  ASSERT_EQ(ds4.size(), configs.size());
+  EXPECT_EQ(ds1.columns(), ds4.columns());
+  for (std::size_t i = 0; i < ds1.size(); ++i) {
+    const ml::Sample& a = ds1.samples()[i];
+    const ml::Sample& b = ds4.samples()[i];
+    EXPECT_EQ(a.kernel, b.kernel) << i;
+    EXPECT_EQ(a.label, b.label) << i;
+    EXPECT_EQ(a.energy, b.energy) << i;
+    EXPECT_EQ(a.cycles, b.cycles) << i;
+    EXPECT_EQ(a.features, b.features) << i;
+  }
+  // The saved cache file is the contract: compare raw bytes.
+  EXPECT_EQ(csv_bytes(ds1), csv_bytes(ds4));
+}
+
+TEST(ParallelBuild, ProgressIsMonotonicAndCalledExactlyTotalTimes) {
+  const std::vector<SampleConfig> configs = trimmed_configs();
+  BuildOptions opt;
+  opt.threads = 4;
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  const ml::Dataset ds = build_dataset(
+      configs, opt,
+      [&](std::size_t done, std::size_t total) {
+        calls.emplace_back(done, total);
+      });
+  ASSERT_EQ(calls.size(), configs.size());
+  for (std::size_t k = 0; k < calls.size(); ++k) {
+    EXPECT_EQ(calls[k].first, k + 1);  // strictly monotonic, no gaps
+    EXPECT_EQ(calls[k].second, configs.size());
+  }
+}
+
+TEST(ParallelBuild, WorkerExceptionReachesTheCaller) {
+  std::vector<SampleConfig> configs = trimmed_configs();
+  configs.push_back({"no_such_kernel", kir::DType::I32, 512});
+  BuildOptions opt;
+  opt.threads = 4;
+  EXPECT_THROW((void)build_dataset(configs, opt), std::invalid_argument);
+}
+
+/// Synthetic labelled dataset (mirrors test_ml_cv) so the CV
+/// equivalence test does not pay for simulator runs.
+ml::Dataset synthetic_dataset(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  ml::Dataset ds({"f0", "f1", "noise"});
+  for (int i = 0; i < n; ++i) {
+    ml::Sample s;
+    s.kernel = "synth" + std::to_string(i);
+    s.suite = "synthetic";
+    s.dtype = kir::DType::I32;
+    s.size_bytes = 512;
+    const double a = u(rng);
+    const double b = u(rng);
+    s.features = {a, b, u(rng)};
+    s.label = 1 + (a > 0.5) * 2 + (b > 0.5);
+    for (int k = 1; k <= 4; ++k) {
+      const double dist = k > s.label ? k - s.label : s.label - k;
+      s.energy.push_back(100.0 * (1.0 + 0.5 * dist));
+      s.cycles.push_back(1000.0 / k);
+    }
+    ds.add(std::move(s));
+  }
+  return ds;
+}
+
+TEST(ParallelEvaluate, ResultsAreBitIdenticalAcrossThreadCounts) {
+  const ml::Dataset ds = synthetic_dataset(120, 11);
+  ml::EvalOptions serial;
+  serial.folds = 3;
+  serial.repeats = 5;
+  serial.threads = 1;
+  ml::EvalOptions parallel = serial;
+  parallel.threads = 4;
+
+  const ml::EvalResult r1 = ml::evaluate(ds, ds.columns(), serial);
+  const ml::EvalResult r4 = ml::evaluate(ds, ds.columns(), parallel);
+
+  // EXPECT_EQ on double vectors is deliberate: the reduction order is
+  // fixed to repetition order, so the sums must match bit for bit.
+  EXPECT_EQ(r1.tolerances, r4.tolerances);
+  EXPECT_EQ(r1.accuracy, r4.accuracy);
+  EXPECT_EQ(r1.accuracy_std, r4.accuracy_std);
+  EXPECT_EQ(r1.importances, r4.importances);
+}
+
+TEST(ParallelEvaluate, OversubscribedPoolStillMatches) {
+  const ml::Dataset ds = synthetic_dataset(60, 12);
+  ml::EvalOptions opt;
+  opt.folds = 3;
+  opt.repeats = 4;
+  opt.threads = 1;
+  const ml::EvalResult r1 = ml::evaluate(ds, ds.columns(), opt);
+  opt.threads = 16;  // more workers than repetitions
+  const ml::EvalResult r16 = ml::evaluate(ds, ds.columns(), opt);
+  EXPECT_EQ(r1.accuracy, r16.accuracy);
+  EXPECT_EQ(r1.accuracy_std, r16.accuracy_std);
+  EXPECT_EQ(r1.importances, r16.importances);
+}
+
+TEST(DatasetCache, CorruptCacheIsRebuiltNotFatal) {
+  const std::string path =
+      ::testing::TempDir() + "pulpc_corrupt_cache_test.csv";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("PULPC_DATASET_CACHE", path.c_str(), 1), 0);
+
+  const std::vector<SampleConfig> configs = {
+      {"memcpy", kir::DType::I32, 512},
+      {"memset", kir::DType::I32, 512},
+  };
+  BuildOptions opt;
+  opt.threads = 2;
+
+  // Seed a valid cache, then truncate it mid-row (an interrupted save).
+  build_dataset(configs, opt).save_csv_file(path);
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::string header;
+    std::string row;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    text = header + "\n" + row.substr(0, row.size() / 2) + "\n";
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+  EXPECT_THROW((void)ml::Dataset::load_csv_file(path), std::runtime_error);
+
+  // load_or_build must recover by rebuilding and rewriting the cache.
+  const ml::Dataset rebuilt = load_or_build_dataset(configs, opt);
+  EXPECT_EQ(rebuilt.size(), configs.size());
+  const ml::Dataset reloaded = ml::Dataset::load_csv_file(path);
+  EXPECT_EQ(reloaded.size(), configs.size());
+
+  std::remove(path.c_str());
+  unsetenv("PULPC_DATASET_CACHE");
+}
+
+}  // namespace
+}  // namespace pulpc::core

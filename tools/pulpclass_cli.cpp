@@ -35,6 +35,7 @@ struct Args {
   std::string out;
   std::string features = "ALL";
   bool optimize = false;
+  int threads = 0;  ///< 0 = PULPC_THREADS / hardware default
 };
 
 Args parse(int argc, char** argv) {
@@ -56,6 +57,12 @@ Args parse(int argc, char** argv) {
       a.features = next();
     } else if (arg == "--optimize") {
       a.optimize = true;
+    } else if (arg == "--threads") {
+      a.threads = std::atoi(next().c_str());
+      if (a.threads < 1) {
+        std::fprintf(stderr, "--threads wants a positive integer\n");
+        std::exit(2);
+      }
     } else {
       a.positional.push_back(arg);
     }
@@ -67,6 +74,11 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: pulpclass <command> [options]\n"
+      "global options:\n"
+      "  --threads N    worker threads for dataset builds and CV\n"
+      "                 (default: PULPC_THREADS or all hardware threads;\n"
+      "                 results are identical for every N)\n"
+      "commands:\n"
       "  dataset [--out file.csv]          build & cache the dataset\n"
       "  train [--features AGG|RAW|MCA|ALL] [--out model.txt]\n"
       "  predict --model model.txt <kernel> <i32|f32> <bytes>\n"
@@ -212,6 +224,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Args args = parse(argc, argv);
+  if (args.threads > 0) {
+    // Every parallel region resolves its worker count through
+    // PULPC_THREADS, so one env var wires the whole pipeline.
+    setenv("PULPC_THREADS", std::to_string(args.threads).c_str(), 1);
+  }
   try {
     if (cmd == "dataset") return cmd_dataset(args);
     if (cmd == "train") return cmd_train(args);

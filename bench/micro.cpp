@@ -7,9 +7,11 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <random>
 #include <sstream>
 
+#include "core/artifacts.hpp"
 #include "core/pipeline.hpp"
 #include "dsl/lower.hpp"
 #include "feat/features.hpp"
@@ -136,6 +138,83 @@ BENCHMARK(BM_BuildDatasetThreads)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---- staged-pipeline timings -------------------------------------------
+// The artifact store splits the dataset build into one expensive stage
+// (Simulate) and cheap pure replays (Label + Featurize). These cases
+// time each side in isolation over the same 8-sample slice so the
+// speedup of "relabel instead of rebuild" is a number, not a claim.
+
+std::vector<core::SampleConfig> stage_slice() {
+  const std::vector<core::SampleConfig> all = core::dataset_configs();
+  std::vector<core::SampleConfig> configs;
+  for (std::size_t i = 0; i < all.size() && configs.size() < 8; i += 53) {
+    configs.push_back(all[i]);
+  }
+  return configs;
+}
+
+// Simulate-only: populate_store into a fresh store every iteration —
+// the cost the artifact store lets you pay once.
+void BM_StageSimulateOnly(benchmark::State& state) {
+  const std::vector<core::SampleConfig> configs = stage_slice();
+  core::BuildOptions opt;
+  opt.threads = 1;
+  const std::string dir = "bench_artifacts_simulate";
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    const core::ArtifactStore store(dir, opt.cluster);
+    const core::StageReport r = core::populate_store(store, configs, opt);
+    runs += r.simulated_runs;
+    benchmark::DoNotOptimize(r.simulated_runs);
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["sim_runs/s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StageSimulateOnly)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Relabel-only: rebuild the labelled dataset from a warm store — the
+// per-energy-model-tweak cost after the one simulation pass.
+void BM_StageRelabelOnly(benchmark::State& state) {
+  const std::vector<core::SampleConfig> configs = stage_slice();
+  core::BuildOptions opt;
+  opt.threads = 1;
+  const std::string dir = "bench_artifacts_relabel";
+  std::filesystem::remove_all(dir);
+  const core::ArtifactStore store(dir, opt.cluster);
+  (void)core::populate_store(store, configs, opt);
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    const ml::Dataset ds = core::relabel(store, configs, opt);
+    samples += ds.size();
+    benchmark::DoNotOptimize(ds.size());
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(samples), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StageRelabelOnly)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Label + Featurize only: the pure stages over in-memory counters, no
+// store I/O — the floor relabel converges to.
+void BM_StageLabelFeaturize(benchmark::State& state) {
+  const core::SampleConfig cfg{"gemm", kir::DType::I32, 8192};
+  const kir::Program prog = core::lower_sample(cfg);
+  const std::vector<sim::RunStats> runs = core::simulate_sample(prog, cfg);
+  for (auto _ : state) {
+    const core::SampleLabel label = core::label_sample(runs);
+    std::vector<double> features = core::featurize_sample(prog, runs);
+    benchmark::DoNotOptimize(label.label);
+    benchmark::DoNotOptimize(features.data());
+  }
+}
+BENCHMARK(BM_StageLabelFeaturize);
 
 // Serial-vs-parallel wall time of the repeated-CV evaluation on a
 // synthetic dataset (Arg = worker threads); results are bit-identical

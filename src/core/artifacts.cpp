@@ -1,0 +1,295 @@
+#include "core/artifacts.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pulpc::core {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+/// Fold a numeric field into a fingerprint via its decimal rendering
+/// (field order is part of the schema).
+template <typename T>
+std::uint64_t mix(std::uint64_t h, T value) {
+  return fnv1a64(std::to_string(value), h);
+}
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream out;
+  out << std::hex << v;
+  return out.str();
+}
+
+/// Filesystem-safe rendering of a kernel name. Collisions are harmless:
+/// the file header carries the exact sample identity and is verified on
+/// load.
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+constexpr const char* kSuffix = ".runstats";
+
+struct Header {
+  std::uint32_t version = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t prog = 0;
+  std::string dtype;
+  std::uint32_t size_bytes = 0;
+  unsigned ncores = 0;
+  std::string kernel;
+};
+
+/// Parse the two artifact header lines; false on any malformation.
+bool read_header(std::istream& in, Header* h) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  {
+    std::istringstream row(line);
+    std::string magic;
+    std::string ver;
+    std::string fp;
+    std::string prog;
+    if (!(row >> magic >> ver >> fp >> prog) || magic != "pulpc-artifact" ||
+        ver.size() < 2 || ver[0] != 'v' || fp.rfind("fp=", 0) != 0 ||
+        prog.rfind("prog=", 0) != 0) {
+      return false;
+    }
+    try {
+      h->version = static_cast<std::uint32_t>(std::stoul(ver.substr(1)));
+      h->fp = std::stoull(fp.substr(3), nullptr, 16);
+      h->prog = std::stoull(prog.substr(5), nullptr, 16);
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  if (!std::getline(in, line)) return false;
+  std::istringstream row(line);
+  std::string tag;
+  if (!(row >> tag >> h->dtype >> h->size_bytes >> h->ncores) ||
+      tag != "sample") {
+    return false;
+  }
+  // The kernel name is the remainder of the line (it may contain spaces
+  // or separators that the filename sanitizer folded away).
+  std::getline(row, h->kernel);
+  if (!h->kernel.empty() && h->kernel.front() == ' ') h->kernel.erase(0, 1);
+  return true;
+}
+
+enum class FileState { Valid, Foreign, Corrupt };
+
+FileState classify(const fs::path& path, std::uint64_t store_fp) {
+  std::ifstream in(path);
+  if (!in) return FileState::Corrupt;
+  Header h;
+  if (!read_header(in, &h)) return FileState::Corrupt;
+  if (h.version != kArtifactSchemaVersion || h.fp != store_fp) {
+    return FileState::Foreign;
+  }
+  try {
+    const sim::RunStats s = sim::load_stats(in);
+    if (s.ncores != h.ncores) return FileState::Corrupt;
+  } catch (const std::exception&) {
+    return FileState::Corrupt;
+  }
+  return FileState::Valid;
+}
+
+}  // namespace
+
+std::uint64_t store_fingerprint(const sim::ClusterConfig& c) {
+  std::uint64_t h = fnv1a64("pulpc-artifact-store");
+  h = mix(h, kArtifactSchemaVersion);
+  h = mix(h, c.num_cores);
+  h = mix(h, c.l1_banks);
+  h = mix(h, c.l2_banks);
+  h = mix(h, c.num_fpus);
+  h = mix(h, c.tcdm_base);
+  h = mix(h, c.tcdm_bytes);
+  h = mix(h, c.l2_base);
+  h = mix(h, c.l2_bytes);
+  h = mix(h, c.div_cycles);
+  h = mix(h, c.fpdiv_cycles);
+  h = mix(h, c.l2_latency);
+  h = mix(h, c.taken_branch_penalty);
+  h = mix(h, c.barrier_wakeup);
+  h = mix(h, c.icache_line);
+  h = mix(h, c.icache_refill_stall);
+  h = mix(h, static_cast<unsigned>(c.icache_private));
+  h = mix(h, c.max_cycles);
+  return h;
+}
+
+std::uint64_t program_hash(const kir::Program& prog) {
+  return fnv1a64(kir::to_string(prog));
+}
+
+ArtifactStore::ArtifactStore(std::string dir,
+                             const sim::ClusterConfig& cluster)
+    : dir_(std::move(dir)), fp_(store_fingerprint(cluster)) {
+  if (dir_.empty()) {
+    throw std::runtime_error("ArtifactStore: empty directory");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("ArtifactStore: cannot create " + dir_ + ": " +
+                             ec.message());
+  }
+}
+
+std::string ArtifactStore::path_for(const SampleConfig& cfg,
+                                    unsigned ncores) const {
+  return dir_ + "/" + sanitize(cfg.kernel) + "-" +
+         kir::to_string(cfg.dtype) + "-" + std::to_string(cfg.size_bytes) +
+         "-c" + std::to_string(ncores) + kSuffix;
+}
+
+bool ArtifactStore::load(const SampleConfig& cfg, unsigned ncores,
+                         std::uint64_t prog_hash,
+                         sim::RunStats* out) const {
+  if (!enabled()) return false;
+  std::ifstream in(path_for(cfg, ncores));
+  if (!in) return false;
+  Header h;
+  if (!read_header(in, &h)) return false;
+  if (h.version != kArtifactSchemaVersion || h.fp != fp_ ||
+      h.prog != prog_hash || h.kernel != cfg.kernel ||
+      h.dtype != kir::to_string(cfg.dtype) ||
+      h.size_bytes != cfg.size_bytes || h.ncores != ncores) {
+    return false;
+  }
+  try {
+    sim::RunStats s = sim::load_stats(in);
+    if (s.ncores != ncores) return false;
+    *out = std::move(s);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool ArtifactStore::contains(const SampleConfig& cfg,
+                             unsigned ncores) const {
+  if (!enabled()) return false;
+  std::ifstream in(path_for(cfg, ncores));
+  if (!in) return false;
+  Header h;
+  if (!read_header(in, &h)) return false;
+  if (h.version != kArtifactSchemaVersion || h.fp != fp_ ||
+      h.kernel != cfg.kernel || h.dtype != kir::to_string(cfg.dtype) ||
+      h.size_bytes != cfg.size_bytes || h.ncores != ncores) {
+    return false;
+  }
+  try {
+    (void)sim::load_stats(in);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+void ArtifactStore::save(const SampleConfig& cfg, unsigned ncores,
+                         std::uint64_t prog_hash,
+                         const sim::RunStats& stats) const {
+  if (!enabled()) return;
+  const std::string path = path_for(cfg, ncores);
+  // Write-then-rename so an interrupted save never leaves a half file
+  // under the final name (half files would just be re-simulated, but gc
+  // would have to clean them up). The pid suffix keeps concurrent
+  // processes off each other's temporaries.
+  const std::string tmp = path + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw std::runtime_error("ArtifactStore: cannot write " + tmp);
+    }
+    out << "pulpc-artifact v" << kArtifactSchemaVersion << " fp=" << hex(fp_)
+        << " prog=" << hex(prog_hash) << '\n';
+    out << "sample " << kir::to_string(cfg.dtype) << ' ' << cfg.size_bytes
+        << ' ' << ncores << ' ' << cfg.kernel << '\n';
+    sim::save_stats(out, stats);
+    if (!out) {
+      throw std::runtime_error("ArtifactStore: write failed for " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("ArtifactStore: cannot rename into " + path);
+  }
+}
+
+ArtifactStore::Info ArtifactStore::scan() const {
+  Info info;
+  if (!enabled() || !fs::is_directory(dir_)) return info;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
+    if (!e.is_regular_file() || e.path().extension() != kSuffix) continue;
+    ++info.files;
+    std::error_code ec;
+    info.bytes += e.file_size(ec);
+    switch (classify(e.path(), fp_)) {
+      case FileState::Valid: ++info.valid; break;
+      case FileState::Foreign: ++info.foreign; break;
+      case FileState::Corrupt: ++info.corrupt; break;
+    }
+  }
+  return info;
+}
+
+std::size_t ArtifactStore::gc() const {
+  std::size_t removed = 0;
+  if (!enabled() || !fs::is_directory(dir_)) return removed;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
+    if (!e.is_regular_file() || e.path().extension() != kSuffix) continue;
+    if (classify(e.path(), fp_) != FileState::Valid) {
+      std::error_code ec;
+      removed += fs::remove(e.path(), ec) ? 1 : 0;
+    }
+  }
+  return removed;
+}
+
+ArtifactStore open_store(const BuildOptions& opt) {
+  std::string dir;
+  if (opt.artifact_dir) {
+    dir = *opt.artifact_dir;
+  } else if (const char* env = std::getenv("PULPC_ARTIFACT_DIR")) {
+    dir = env;
+  }
+  if (dir.empty()) return ArtifactStore{};
+  return ArtifactStore(dir, opt.cluster);
+}
+
+ml::Dataset relabel(const ArtifactStore& store,
+                    const energy::EnergyModel& model) {
+  BuildOptions opt;
+  opt.energy = model;
+  return relabel(store, dataset_configs(), opt);
+}
+
+}  // namespace pulpc::core

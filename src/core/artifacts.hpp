@@ -1,0 +1,135 @@
+// Versioned on-disk store for raw simulation counters — the expensive
+// asset of the reproduction. One artifact file holds the sim::RunStats
+// of one (kernel, dtype, size) sample at one core count, stamped with:
+//   * a store fingerprint (artifact schema version + every ClusterConfig
+//     field), so artifacts from a different simulated platform or an
+//     older schema are rejected as "foreign" and re-simulated;
+//   * the hash of the lowered program, so artifacts produced by a
+//     different lowering (e.g. the optimised variants of the compiler
+//     ablation) under the same sample name are never trusted.
+//
+// Labelling (src/energy) and dynamic-feature extraction (src/feat) are
+// pure functions over these counters, so relabel() rebuilds the labelled
+// dataset from a warm store in milliseconds instead of hours — tweak the
+// EnergyModel, replay, done. Corrupt, truncated or foreign files are
+// detected on load and transparently re-simulated (and repaired), never
+// trusted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "kir/ir.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace pulpc::core {
+
+/// Bump when the artifact file layout or the meaning of any stored
+/// counter changes; every existing store becomes foreign and rebuilds.
+inline constexpr std::uint32_t kArtifactSchemaVersion = 1;
+
+/// FNV-1a 64-bit (the fingerprint/hash primitive of the store).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
+                                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Store fingerprint: kArtifactSchemaVersion plus every ClusterConfig
+/// field (topology, memory map, timing). Any change invalidates stored
+/// counters — the simulator would produce different activity.
+[[nodiscard]] std::uint64_t store_fingerprint(const sim::ClusterConfig& cfg);
+
+/// Deterministic hash of a lowered program (its printed form).
+[[nodiscard]] std::uint64_t program_hash(const kir::Program& prog);
+
+class ArtifactStore {
+ public:
+  /// A default-constructed store is disabled: contains() is false and
+  /// save() is a no-op, so callers need no special-casing.
+  ArtifactStore() = default;
+
+  /// Open (creating if needed) the store at `dir` for the given
+  /// simulated platform. Throws std::runtime_error if the directory
+  /// cannot be created.
+  ArtifactStore(std::string dir, const sim::ClusterConfig& cluster);
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fp_; }
+
+  /// File path an artifact lives at (filesystem-sanitized; the exact
+  /// sample identity is verified from the file header, not the name).
+  [[nodiscard]] std::string path_for(const SampleConfig& cfg,
+                                     unsigned ncores) const;
+
+  /// Load the counters for (cfg, ncores). Returns false — caller
+  /// re-simulates — when the file is missing, truncated, corrupt,
+  /// foreign-fingerprinted, or was produced by a different program than
+  /// `prog_hash`.
+  [[nodiscard]] bool load(const SampleConfig& cfg, unsigned ncores,
+                          std::uint64_t prog_hash,
+                          sim::RunStats* out) const;
+
+  /// True when load() would succeed structurally (fingerprint + sample
+  /// identity match; program hash not checked without a program).
+  [[nodiscard]] bool contains(const SampleConfig& cfg,
+                              unsigned ncores) const;
+
+  /// Persist the counters for (cfg, ncores), atomically (tmp + rename).
+  void save(const SampleConfig& cfg, unsigned ncores,
+            std::uint64_t prog_hash, const sim::RunStats& stats) const;
+
+  /// Store census for `pulpclass cache info|verify`.
+  struct Info {
+    std::size_t files = 0;    ///< *.runstats files present
+    std::size_t valid = 0;    ///< parse fully and match the fingerprint
+    std::size_t foreign = 0;  ///< other fingerprint / schema version
+    std::size_t corrupt = 0;  ///< truncated or malformed
+    std::uintmax_t bytes = 0;
+  };
+  [[nodiscard]] Info scan() const;
+
+  /// Delete foreign and corrupt artifact files (`pulpclass cache gc`).
+  /// Returns the number of files removed.
+  std::size_t gc() const;
+
+ private:
+  std::string dir_;
+  std::uint64_t fp_ = 0;
+};
+
+/// Resolve the store a build should use: opt.artifact_dir if set, else
+/// the PULPC_ARTIFACT_DIR environment variable; empty (either way)
+/// yields a disabled store.
+[[nodiscard]] ArtifactStore open_store(const BuildOptions& opt);
+
+/// Stage Simulate over a configuration list: fill every missing or
+/// invalid (sample, core count) artifact, in parallel, without paying
+/// for labelling or featurization. Returns the stage totals (also sent
+/// to opt.stage_report).
+StageReport populate_store(
+    const ArtifactStore& store, const std::vector<SampleConfig>& configs,
+    const BuildOptions& opt = {},
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+/// Replay: rebuild the labelled dataset purely from stored counters —
+/// milliseconds on a warm store. Missing/corrupt/foreign artifacts are
+/// re-simulated (and the store repaired), so the result is always
+/// byte-identical (CSV) to a fresh build_dataset with the same options,
+/// for every thread count. Throws std::invalid_argument for a disabled
+/// store.
+[[nodiscard]] ml::Dataset relabel(
+    const ArtifactStore& store, const std::vector<SampleConfig>& configs,
+    const BuildOptions& opt = {},
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+/// Relabel the full paper dataset (dataset_configs()) under a different
+/// energy model — the "change the energy model without re-simulating"
+/// entry point.
+[[nodiscard]] ml::Dataset relabel(const ArtifactStore& store,
+                                  const energy::EnergyModel& model);
+
+}  // namespace pulpc::core

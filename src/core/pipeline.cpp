@@ -1,18 +1,161 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 
+#include "core/artifacts.hpp"
 #include "core/parallel.hpp"
 #include "dsl/lower.hpp"
 #include "kernels/registry.hpp"
 #include "sim/cluster.hpp"
 
 namespace pulpc::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void merge(StageReport& into, const StageReport& part) {
+  into.samples += part.samples;
+  into.simulated_runs += part.simulated_runs;
+  into.replayed_runs += part.replayed_runs;
+  into.lower_seconds += part.lower_seconds;
+  into.simulate_seconds += part.simulate_seconds;
+  into.label_seconds += part.label_seconds;
+  into.featurize_seconds += part.featurize_seconds;
+  into.assemble_seconds += part.assemble_seconds;
+}
+
+std::string sample_id(const SampleConfig& cfg) {
+  return cfg.kernel + "/" + kir::to_string(cfg.dtype) + "/" +
+         std::to_string(cfg.size_bytes);
+}
+
+/// Stage Simulate with store replay: load each (cfg, core count) from
+/// the store when a valid artifact exists, simulate (and persist) the
+/// rest. The cluster is built lazily so a fully warm sample never
+/// touches the simulator at all.
+std::vector<sim::RunStats> gather_runs(const kir::Program& prog,
+                                       const SampleConfig& cfg,
+                                       const BuildOptions& opt,
+                                       const ArtifactStore& store,
+                                       StageReport& report) {
+  const std::uint64_t phash =
+      store.enabled() ? program_hash(prog) : 0;
+  std::vector<sim::RunStats> runs;
+  runs.reserve(opt.max_cores);
+  std::optional<sim::Cluster> cluster;
+  for (unsigned c = 1; c <= opt.max_cores; ++c) {
+    sim::RunStats replayed;
+    if (store.enabled() && store.load(cfg, c, phash, &replayed)) {
+      ++report.replayed_runs;
+      runs.push_back(std::move(replayed));
+      continue;
+    }
+    if (!cluster) {
+      cluster.emplace(opt.cluster);
+      cluster->load(prog);
+    }
+    const sim::RunResult run = cluster->run(c);
+    if (!run.ok) {
+      throw std::runtime_error("build_sample(" + sample_id(cfg) + ") at " +
+                               std::to_string(c) + " cores: " + run.error);
+    }
+    if (store.enabled()) store.save(cfg, c, phash, run.stats);
+    ++report.simulated_runs;
+    runs.push_back(run.stats);
+  }
+  return runs;
+}
+
+/// Stages Simulate -> Label -> Featurize -> Assemble for one lowered
+/// sample, with per-stage wall-clock accounting.
+ml::Sample build_row(const kir::Program& prog, const SampleConfig& cfg,
+                     const std::string& suite, const BuildOptions& opt,
+                     const ArtifactStore& store, StageReport& report) {
+  Clock::time_point t = Clock::now();
+  const std::vector<sim::RunStats> runs =
+      gather_runs(prog, cfg, opt, store, report);
+  report.simulate_seconds += seconds_since(t);
+
+  t = Clock::now();
+  const SampleLabel label = label_sample(runs, opt.energy);
+  report.label_seconds += seconds_since(t);
+
+  t = Clock::now();
+  std::vector<double> features = featurize_sample(prog, runs, opt.mca);
+  report.featurize_seconds += seconds_since(t);
+
+  t = Clock::now();
+  ml::Sample sample = assemble_sample(cfg, suite, label, std::move(features));
+  report.assemble_seconds += seconds_since(t);
+  ++report.samples;
+  return sample;
+}
+
+/// Shared engine of build_dataset and relabel: parallel slot-per-config
+/// build with monotonic progress and an aggregated stage report.
+ml::Dataset build_dataset_over(
+    const ArtifactStore& store, const std::vector<SampleConfig>& configs,
+    const BuildOptions& opt,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  ml::Dataset ds(dataset_columns(opt.max_cores));
+  // Each task processes one configuration with its own sim::Cluster and
+  // writes into its preallocated slot, so rows land in `configs` order
+  // regardless of task completion order and the dataset (and its CSV
+  // bytes) match the serial build exactly.
+  std::vector<ml::Sample> rows(configs.size());
+  ThreadPool pool(opt.threads);
+  std::mutex mu;
+  std::size_t done = 0;
+  StageReport total;
+  pool.parallel_for(configs.size(), [&](std::size_t i) {
+    StageReport part;
+    const Clock::time_point t0 = Clock::now();
+    const kir::Program prog = lower_sample(configs[i]);
+    part.lower_seconds += seconds_since(t0);
+    ml::Sample row =
+        build_row(prog, configs[i], kernels::kernel_info(configs[i].kernel).suite,
+                  opt, store, part);
+    const std::lock_guard<std::mutex> lock(mu);
+    rows[i] = std::move(row);
+    merge(total, part);
+    if (progress) progress(++done, configs.size());
+  });
+  for (ml::Sample& row : rows) ds.add(std::move(row));
+  if (opt.stage_report) opt.stage_report(total);
+  return ds;
+}
+
+std::string resolve_cache_path(const BuildOptions& opt) {
+  if (opt.cache_path) return *opt.cache_path;
+  if (const char* env = std::getenv("PULPC_DATASET_CACHE")) return env;
+  return "pulpclass_dataset.csv";
+}
+
+}  // namespace
+
+std::string StageReport::summary() const {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed << samples << " samples, " << simulated_runs
+      << " simulated + " << replayed_runs << " replayed runs | lower "
+      << lower_seconds << "s, simulate " << simulate_seconds << "s, label "
+      << label_seconds << "s, featurize " << featurize_seconds
+      << "s, assemble " << assemble_seconds << "s";
+  return out.str();
+}
 
 std::vector<std::string> dataset_columns(unsigned max_cores) {
   std::vector<std::string> cols = feat::static_feature_names();
@@ -21,10 +164,64 @@ std::vector<std::string> dataset_columns(unsigned max_cores) {
   return cols;
 }
 
+kir::Program lower_sample(const SampleConfig& cfg) {
+  return dsl::lower(
+      kernels::make_kernel(cfg.kernel, cfg.dtype, cfg.size_bytes));
+}
+
+std::vector<sim::RunStats> simulate_sample(const kir::Program& prog,
+                                           const SampleConfig& cfg,
+                                           const BuildOptions& opt) {
+  StageReport unused;
+  return gather_runs(prog, cfg, opt, ArtifactStore{}, unused);
+}
+
+SampleLabel label_sample(const std::vector<sim::RunStats>& runs,
+                         const energy::EnergyModel& model) {
+  SampleLabel out;
+  out.energy.reserve(runs.size());
+  out.cycles.reserve(runs.size());
+  double best_energy = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const double e = energy::total_energy_fj(runs[i], model);
+    out.energy.push_back(e);
+    out.cycles.push_back(static_cast<double>(runs[i].region_cycles()));
+    if (out.label == 0 || e < best_energy) {
+      best_energy = e;
+      out.label = static_cast<int>(i) + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<double> featurize_sample(const kir::Program& prog,
+                                     const std::vector<sim::RunStats>& runs,
+                                     const mca::MachineModel& mm) {
+  std::vector<double> features = feat::extract_static(prog, mm).to_vector();
+  for (const sim::RunStats& run : runs) {
+    const std::vector<double> dv = feat::extract_dynamic(run).to_vector();
+    features.insert(features.end(), dv.begin(), dv.end());
+  }
+  return features;
+}
+
+ml::Sample assemble_sample(const SampleConfig& cfg, const std::string& suite,
+                           const SampleLabel& label,
+                           std::vector<double> features) {
+  ml::Sample sample;
+  sample.kernel = cfg.kernel;
+  sample.suite = suite;
+  sample.dtype = cfg.dtype;
+  sample.size_bytes = cfg.size_bytes;
+  sample.label = label.label;
+  sample.energy = label.energy;
+  sample.cycles = label.cycles;
+  sample.features = std::move(features);
+  return sample;
+}
+
 ml::Sample build_sample(const SampleConfig& cfg, const BuildOptions& opt) {
-  const dsl::KernelSpec spec =
-      kernels::make_kernel(cfg.kernel, cfg.dtype, cfg.size_bytes);
-  return build_sample_from_program(dsl::lower(spec), cfg,
+  return build_sample_from_program(lower_sample(cfg), cfg,
                                    kernels::kernel_info(cfg.kernel).suite,
                                    opt);
 }
@@ -33,43 +230,9 @@ ml::Sample build_sample_from_program(const kir::Program& prog,
                                      const SampleConfig& cfg,
                                      const std::string& suite,
                                      const BuildOptions& opt) {
-  ml::Sample sample;
-  sample.kernel = cfg.kernel;
-  sample.suite = suite;
-  sample.dtype = cfg.dtype;
-  sample.size_bytes = cfg.size_bytes;
-
-  // (A) compile-time features.
-  const feat::StaticFeatures sf = feat::extract_static(prog, opt.mca);
-  sample.features = sf.to_vector();
-
-  // (B/C/D) simulate at every core count and integrate the energy model.
-  sim::Cluster cluster(opt.cluster);
-  cluster.load(prog);
-  double best_energy = 0;
-  int best_cores = 0;
-  for (unsigned c = 1; c <= opt.max_cores; ++c) {
-    const sim::RunResult run = cluster.run(c);
-    if (!run.ok) {
-      throw std::runtime_error("build_sample(" + cfg.kernel + "/" +
-                               kir::to_string(cfg.dtype) + "/" +
-                               std::to_string(cfg.size_bytes) + ") at " +
-                               std::to_string(c) + " cores: " + run.error);
-    }
-    const double e = energy::total_energy_fj(run.stats, opt.energy);
-    sample.energy.push_back(e);
-    sample.cycles.push_back(static_cast<double>(run.stats.region_cycles()));
-    const feat::DynamicFeatures df = feat::extract_dynamic(run.stats);
-    const std::vector<double> dv = df.to_vector();
-    sample.features.insert(sample.features.end(), dv.begin(), dv.end());
-    // (E) label with the minimum-energy configuration.
-    if (best_cores == 0 || e < best_energy) {
-      best_energy = e;
-      best_cores = static_cast<int>(c);
-    }
-  }
-  sample.label = best_cores;
-  return sample;
+  const std::vector<sim::RunStats> runs = simulate_sample(prog, cfg, opt);
+  return assemble_sample(cfg, suite, label_sample(runs, opt.energy),
+                         featurize_sample(prog, runs, opt.mca));
 }
 
 std::vector<SampleConfig> dataset_configs() {
@@ -88,24 +251,7 @@ std::vector<SampleConfig> dataset_configs() {
 ml::Dataset build_dataset(
     const std::vector<SampleConfig>& configs, const BuildOptions& opt,
     const std::function<void(std::size_t, std::size_t)>& progress) {
-  ml::Dataset ds(dataset_columns(opt.max_cores));
-  // Each task simulates one configuration with its own sim::Cluster and
-  // writes into its preallocated slot, so rows land in `configs` order
-  // regardless of task completion order and the dataset (and its CSV
-  // bytes) match the serial build exactly.
-  std::vector<ml::Sample> rows(configs.size());
-  ThreadPool pool(opt.threads);
-  std::mutex progress_mu;
-  std::size_t done = 0;
-  pool.parallel_for(configs.size(), [&](std::size_t i) {
-    rows[i] = build_sample(configs[i], opt);
-    if (progress) {
-      const std::lock_guard<std::mutex> lock(progress_mu);
-      progress(++done, configs.size());
-    }
-  });
-  for (ml::Sample& row : rows) ds.add(std::move(row));
-  return ds;
+  return build_dataset_over(open_store(opt), configs, opt, progress);
 }
 
 ml::Dataset build_dataset(
@@ -114,23 +260,60 @@ ml::Dataset build_dataset(
   return build_dataset(dataset_configs(), opt, progress);
 }
 
+ml::Dataset relabel(
+    const ArtifactStore& store, const std::vector<SampleConfig>& configs,
+    const BuildOptions& opt,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  if (!store.enabled()) {
+    throw std::invalid_argument("relabel: artifact store is disabled");
+  }
+  return build_dataset_over(store, configs, opt, progress);
+}
+
+StageReport populate_store(
+    const ArtifactStore& store, const std::vector<SampleConfig>& configs,
+    const BuildOptions& opt,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  if (!store.enabled()) {
+    throw std::invalid_argument("populate_store: artifact store is disabled");
+  }
+  ThreadPool pool(opt.threads);
+  std::mutex mu;
+  std::size_t done = 0;
+  StageReport total;
+  pool.parallel_for(configs.size(), [&](std::size_t i) {
+    StageReport part;
+    Clock::time_point t = Clock::now();
+    const kir::Program prog = lower_sample(configs[i]);
+    part.lower_seconds += seconds_since(t);
+    t = Clock::now();
+    (void)gather_runs(prog, configs[i], opt, store, part);
+    part.simulate_seconds += seconds_since(t);
+    ++part.samples;
+    const std::lock_guard<std::mutex> lock(mu);
+    merge(total, part);
+    if (progress) progress(++done, configs.size());
+  });
+  if (opt.stage_report) opt.stage_report(total);
+  return total;
+}
+
 ml::Dataset load_or_build_dataset(
     const std::vector<SampleConfig>& configs, const BuildOptions& opt,
     const std::function<void(std::size_t, std::size_t)>& progress) {
-  std::string path = "pulpclass_dataset.csv";
-  if (const char* env = std::getenv("PULPC_DATASET_CACHE")) {
-    path = env;
-  }
+  const std::string path = resolve_cache_path(opt);
   if (!path.empty() && std::filesystem::exists(path)) {
     try {
       ml::Dataset ds = ml::Dataset::load_csv_file(path);
-      if (ds.columns() == dataset_columns(opt.max_cores) && !ds.empty()) {
+      if (ds.schema_version() == ml::kDatasetSchemaVersion &&
+          ds.columns() == dataset_columns(opt.max_cores) && !ds.empty()) {
         return ds;
       }
-      // Stale cache layout: fall through and rebuild.
+      // Stale schema version or column layout: fall through and rebuild.
     } catch (const std::exception& e) {
-      // Corrupt/truncated cache (e.g. an interrupted save): rebuild it.
-      std::fprintf(stderr, "pulpclass: dataset cache %s is corrupt (%s); rebuilding\n",
+      // Corrupt/truncated cache (e.g. an interrupted save) or a schema
+      // fingerprint mismatch: rebuild it.
+      std::fprintf(stderr, "pulpclass: dataset cache %s is stale or corrupt (%s); rebuilding\n",
                    path.c_str(), e.what());
     }
   }

@@ -1,14 +1,23 @@
-// The paper's end-to-end workflow (Figure 1):
-//  (A) static feature extraction on every dataset sample,
-//  (B/C) cycle-accurate simulation of each sample at 1..8 cores,
-//  (D) integration of the Table I energy model over the execution
-//      activity,
-//  (E) labelling each sample with its minimum-energy core count,
-//  (F) assembly of the labelled feature dataset for the decision tree.
+// The paper's end-to-end workflow (Figure 1), decomposed into explicit
+// first-class stages:
+//  Lower     (A)   kernel spec -> KIR program (+ static features),
+//  Simulate  (B/C) cycle-accurate runs at 1..max_cores producing raw
+//                  sim::RunStats activity counters,
+//  Label     (D/E) pure integration of the Table I energy model over the
+//                  counters + argmin-energy core count,
+//  Featurize (A/F) static Table II features of the program + dynamic
+//                  Table III features of each run's counters,
+//  Assemble  (F)   one labelled ml::Sample / the labelled ml::Dataset.
+//
+// Simulate is the only expensive stage (hours for the full 448-sample
+// sweep); its raw counters can be persisted in a core::ArtifactStore
+// (artifacts.hpp) so Label and Featurize replay in milliseconds when the
+// energy model or feature code changes (core::relabel).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +26,7 @@
 #include "mca/machine.hpp"
 #include "ml/dataset.hpp"
 #include "sim/config.hpp"
+#include "sim/stats.hpp"
 
 namespace pulpc::core {
 
@@ -25,6 +35,27 @@ struct SampleConfig {
   std::string kernel;
   kir::DType dtype = kir::DType::I32;
   std::uint32_t size_bytes = 0;
+};
+
+/// Per-stage wall-clock and throughput instrumentation of one dataset
+/// build or replay, accumulated across all worker threads and delivered
+/// once through BuildOptions::stage_report.
+struct StageReport {
+  std::size_t samples = 0;         ///< configurations processed
+  std::size_t simulated_runs = 0;  ///< (sample, core-count) pairs simulated
+  std::size_t replayed_runs = 0;   ///< pairs replayed from the artifact store
+  double lower_seconds = 0;
+  double simulate_seconds = 0;   ///< includes artifact save/load time
+  double label_seconds = 0;      ///< Table I energy integration
+  double featurize_seconds = 0;  ///< static + dynamic feature extraction
+  double assemble_seconds = 0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return lower_seconds + simulate_seconds + label_seconds +
+           featurize_seconds + assemble_seconds;
+  }
+  /// One-line summary ("59 samples, 472 sim + 0 replay, ...s").
+  [[nodiscard]] std::string summary() const;
 };
 
 struct BuildOptions {
@@ -37,12 +68,67 @@ struct BuildOptions {
   /// hardware_concurrency (see core/parallel.hpp), 1 forces the serial
   /// path. Any count produces a byte-identical dataset.
   unsigned threads = 0;
+  /// Dataset CSV cache path for load_or_build_dataset. Unset falls back
+  /// to the PULPC_DATASET_CACHE environment variable, then to
+  /// "pulpclass_dataset.csv"; an explicit (or env) empty string disables
+  /// the CSV cache.
+  std::optional<std::string> cache_path;
+  /// Raw-counter artifact store directory (see core/artifacts.hpp).
+  /// Unset falls back to the PULPC_ARTIFACT_DIR environment variable; an
+  /// empty value (explicit or env) disables the store. When enabled,
+  /// build_dataset replays any valid stored counters and persists the
+  /// ones it simulates.
+  std::optional<std::string> artifact_dir;
+  /// Invoked once at the end of build_dataset / relabel with the
+  /// per-stage wall-clock totals (the progress callback's `done/total`
+  /// companion for stage-level throughput).
+  std::function<void(const StageReport&)> stage_report;
 };
 
 /// Column names of the assembled dataset: the 20 static features followed
 /// by the Table III dynamic features for each core count.
 [[nodiscard]] std::vector<std::string> dataset_columns(
     unsigned max_cores = 8);
+
+// ---- pipeline stages ---------------------------------------------------
+
+/// Stage Lower: kernel spec -> verified KIR program. Throws
+/// std::invalid_argument for unknown kernels.
+[[nodiscard]] kir::Program lower_sample(const SampleConfig& cfg);
+
+/// Stage Simulate: run the program at 1..opt.max_cores and return the
+/// raw activity counters (index c-1). Throws std::runtime_error when a
+/// run faults.
+[[nodiscard]] std::vector<sim::RunStats> simulate_sample(
+    const kir::Program& prog, const SampleConfig& cfg,
+    const BuildOptions& opt = {});
+
+/// Stage Label output: per-core-count energy/cycles and the argmin label.
+struct SampleLabel {
+  std::vector<double> energy;  ///< femtojoules per core count (index c-1)
+  std::vector<double> cycles;  ///< kernel-region cycles per core count
+  int label = 0;               ///< minimum-energy core count (1-based)
+};
+
+/// Stage Label: pure Table I integration over stored counters — no
+/// simulation, so swapping the EnergyModel and relabelling is free.
+[[nodiscard]] SampleLabel label_sample(
+    const std::vector<sim::RunStats>& runs,
+    const energy::EnergyModel& model = {});
+
+/// Stage Featurize: static (Table II) features of the program followed by
+/// dynamic (Table III) features of every run, pure over the counters.
+[[nodiscard]] std::vector<double> featurize_sample(
+    const kir::Program& prog, const std::vector<sim::RunStats>& runs,
+    const mca::MachineModel& mm = {});
+
+/// Stage Assemble: combine the stage outputs into one dataset row.
+[[nodiscard]] ml::Sample assemble_sample(const SampleConfig& cfg,
+                                         const std::string& suite,
+                                         const SampleLabel& label,
+                                         std::vector<double> features);
+
+// ---- composed pipeline -------------------------------------------------
 
 /// Build one labelled sample. Throws std::runtime_error if the kernel
 /// fails to lower or simulate.
@@ -65,7 +151,10 @@ struct BuildOptions {
 /// per task) but always land in `configs` order, so the result — and its
 /// saved CSV — is byte-identical for every thread count. `progress(done,
 /// total)` is invoked once per completed sample with a strictly
-/// monotonic `done`; calls are serialized by a mutex.
+/// monotonic `done`; calls are serialized by a mutex. With an artifact
+/// store configured (opt.artifact_dir / PULPC_ARTIFACT_DIR), stored
+/// counters are replayed instead of re-simulated and fresh simulations
+/// are persisted.
 [[nodiscard]] ml::Dataset build_dataset(
     const std::vector<SampleConfig>& configs, const BuildOptions& opt = {},
     const std::function<void(std::size_t, std::size_t)>& progress = {});
@@ -77,11 +166,11 @@ struct BuildOptions {
 
 /// Load the dataset from the cache file if present, otherwise build it
 /// (over `configs` when given, else dataset_configs()) and save it
-/// there. A cache with a stale column layout or a corrupt/truncated row
-/// is discarded and rebuilt, not fatal. The path defaults to
-/// "pulpclass_dataset.csv" in the current directory and can be
-/// overridden with the PULPC_DATASET_CACHE environment variable (an
-/// empty value disables caching).
+/// there. A cache written by a different dataset schema version, with a
+/// stale column layout, or with a corrupt/truncated row is discarded and
+/// rebuilt, not fatal. The path resolves through opt.cache_path, then
+/// the PULPC_DATASET_CACHE environment variable, then
+/// "pulpclass_dataset.csv" (an empty value disables caching).
 [[nodiscard]] ml::Dataset load_or_build_dataset(
     const std::vector<SampleConfig>& configs, const BuildOptions& opt = {},
     const std::function<void(std::size_t, std::size_t)>& progress = {});

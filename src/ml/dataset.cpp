@@ -60,6 +60,20 @@ std::string csv_field(const std::string& s) {
   return out;
 }
 
+// FNV-1a 64-bit over the header line: the "cols=" fingerprint of the
+// schema comment. (Deliberately self-contained — ml must not depend on
+// core, where the artifact store keeps its own copy.)
+std::uint64_t header_fingerprint(const std::string& header) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : header) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr const char* kSchemaTag = "# pulpclass-dataset";
+
 }  // namespace
 
 void Dataset::add(Sample sample) {
@@ -128,11 +142,17 @@ std::vector<std::size_t> Dataset::label_histogram(int max_label) const {
 void Dataset::save_csv(std::ostream& out) const {
   const std::size_t nconf =
       samples_.empty() ? 8 : samples_.front().energy.size();
-  out << "kernel,suite,dtype,size_bytes,label";
-  for (std::size_t k = 1; k <= nconf; ++k) out << ",e" << k;
-  for (std::size_t k = 1; k <= nconf; ++k) out << ",c" << k;
-  for (const std::string& c : columns_) out << ',' << csv_field(c);
-  out << '\n';
+  std::string header = "kernel,suite,dtype,size_bytes,label";
+  for (std::size_t k = 1; k <= nconf; ++k) {
+    header += ",e" + std::to_string(k);
+  }
+  for (std::size_t k = 1; k <= nconf; ++k) {
+    header += ",c" + std::to_string(k);
+  }
+  for (const std::string& c : columns_) header += ',' + csv_field(c);
+  out << kSchemaTag << " v" << kDatasetSchemaVersion << " cols=" << std::hex
+      << header_fingerprint(header) << std::dec << '\n';
+  out << header << '\n';
   out.precision(17);
   for (const Sample& s : samples_) {
     out << csv_field(s.kernel) << ',' << csv_field(s.suite) << ','
@@ -149,6 +169,45 @@ Dataset Dataset::load_csv(std::istream& in) {
   std::string line;
   if (!std::getline(in, line)) {
     throw std::runtime_error("Dataset::load_csv: empty input");
+  }
+  // Optional schema comment: absent on legacy caches (tolerated,
+  // reported as version 0); when present, both the version and the
+  // header fingerprint must match.
+  int schema_version = 0;
+  if (line.rfind(kSchemaTag, 0) == 0) {
+    std::istringstream meta(line.substr(std::string(kSchemaTag).size()));
+    std::string ver;
+    std::string cols;
+    if (!(meta >> ver >> cols) || ver.size() < 2 || ver[0] != 'v' ||
+        cols.rfind("cols=", 0) != 0) {
+      throw std::runtime_error("Dataset::load_csv: malformed schema comment");
+    }
+    int version = 0;
+    try {
+      version = std::stoi(ver.substr(1));
+    } catch (const std::exception&) {
+      throw std::runtime_error("Dataset::load_csv: malformed schema comment");
+    }
+    if (version != kDatasetSchemaVersion) {
+      throw std::runtime_error(
+          "Dataset::load_csv: schema version v" + ver.substr(1) +
+          " does not match this build's v" +
+          std::to_string(kDatasetSchemaVersion));
+    }
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("Dataset::load_csv: missing header");
+    }
+    std::uint64_t expected = 0;
+    try {
+      expected = std::stoull(cols.substr(5), nullptr, 16);
+    } catch (const std::exception&) {
+      throw std::runtime_error("Dataset::load_csv: malformed schema comment");
+    }
+    if (header_fingerprint(line) != expected) {
+      throw std::runtime_error(
+          "Dataset::load_csv: header does not match its schema fingerprint");
+    }
+    schema_version = version;
   }
   const std::vector<std::string> header = split(line, ',');
   constexpr std::size_t kMeta = 5;
@@ -167,7 +226,8 @@ Dataset Dataset::load_csv(std::istream& in) {
   }
   Dataset ds(std::vector<std::string>(header.begin() + feat_start,
                                       header.end()));
-  std::size_t line_no = 1;
+  ds.schema_version_ = schema_version;
+  std::size_t line_no = schema_version > 0 ? 2 : 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;

@@ -15,6 +15,15 @@
 
 namespace pulpc::ml {
 
+/// Version of the CSV cache schema (the meaning of the feature columns,
+/// not just their names). save_csv stamps it, together with a
+/// fingerprint of the header line, into a leading "# pulpclass-dataset"
+/// comment; load_csv checks the stamp when present and rejects
+/// mismatches, so a cache written by an older feature schema can no
+/// longer load silently just because its header happens to parse. Bump
+/// on any semantic change to the stored columns.
+inline constexpr int kDatasetSchemaVersion = 1;
+
 struct Sample {
   std::string kernel;
   std::string suite;
@@ -71,16 +80,29 @@ class Dataset {
   [[nodiscard]] std::vector<std::size_t> label_histogram(
       int max_label = 8) const;
 
-  // CSV round-trip. The header encodes metadata columns followed by the
-  // energy/cycle vectors and every feature column.
+  // CSV round-trip. save_csv writes a "# pulpclass-dataset v<N>
+  // cols=<hex>" schema comment followed by the header (metadata columns,
+  // the energy/cycle vectors, every feature column). load_csv tolerates
+  // files without the comment (legacy caches, reported as
+  // schema_version() == 0) and throws std::runtime_error when a present
+  // comment names a different version or its header fingerprint does not
+  // match the header actually read.
   void save_csv(std::ostream& out) const;
   [[nodiscard]] static Dataset load_csv(std::istream& in);
   void save_csv_file(const std::string& path) const;
   [[nodiscard]] static Dataset load_csv_file(const std::string& path);
 
+  /// Schema version read by load_csv: kDatasetSchemaVersion for files
+  /// carrying a valid schema comment, 0 for legacy files without one.
+  /// In-memory datasets report the current version.
+  [[nodiscard]] int schema_version() const noexcept {
+    return schema_version_;
+  }
+
  private:
   std::vector<std::string> columns_;
   std::vector<Sample> samples_;
+  int schema_version_ = kDatasetSchemaVersion;
 };
 
 }  // namespace pulpc::ml

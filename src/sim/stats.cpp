@@ -1,0 +1,157 @@
+#include "sim/stats.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pulpc::sim {
+
+bool operator==(const CoreStats& a, const CoreStats& b) noexcept {
+  return a.n_alu == b.n_alu && a.n_div == b.n_div && a.n_fp == b.n_fp &&
+         a.n_fpdiv == b.n_fpdiv && a.n_l1 == b.n_l1 && a.n_l2 == b.n_l2 &&
+         a.n_branch == b.n_branch && a.n_nop == b.n_nop &&
+         a.n_sync == b.n_sync && a.instrs == b.instrs &&
+         a.cyc_alu == b.cyc_alu && a.cyc_fp == b.cyc_fp &&
+         a.cyc_l1 == b.cyc_l1 && a.cyc_l2 == b.cyc_l2 &&
+         a.cyc_wait == b.cyc_wait && a.cyc_cg == b.cyc_cg &&
+         a.idle_cycles == b.idle_cycles;
+}
+
+bool operator==(const BankStats& a, const BankStats& b) noexcept {
+  return a.reads == b.reads && a.writes == b.writes &&
+         a.conflicts == b.conflicts;
+}
+
+bool operator==(const FpuStats& a, const FpuStats& b) noexcept {
+  return a.busy_cycles == b.busy_cycles;
+}
+
+bool operator==(const IcacheStats& a, const IcacheStats& b) noexcept {
+  return a.uses == b.uses && a.refills == b.refills;
+}
+
+bool operator==(const DmaStats& a, const DmaStats& b) noexcept {
+  return a.busy_cycles == b.busy_cycles && a.beats == b.beats;
+}
+
+bool operator==(const RunStats& a, const RunStats& b) noexcept {
+  return a.ncores == b.ncores && a.total_cores == b.total_cores &&
+         a.total_cycles == b.total_cycles &&
+         a.region_begin == b.region_begin && a.region_end == b.region_end &&
+         a.core == b.core && a.l1 == b.l1 && a.l2 == b.l2 &&
+         a.fpu == b.fpu && a.icache == b.icache && a.dma == b.dma;
+}
+
+namespace {
+
+constexpr const char* kMagic = "runstats v1";
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("sim::load_stats: " + what);
+}
+
+/// Read one line and parse exactly the caller's fields from it; a short
+/// or non-numeric row is a truncation/corruption error.
+std::istringstream line_fields(std::istream& in, const char* section) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    malformed(std::string("truncated before ") + section);
+  }
+  return std::istringstream(line);
+}
+
+template <typename... Ts>
+void parse(std::istream& in, const char* section, Ts&... fields) {
+  std::istringstream row = line_fields(in, section);
+  if (!((row >> fields) && ...)) {
+    malformed(std::string("short or non-numeric row in ") + section);
+  }
+}
+
+template <typename T, typename Fn>
+std::vector<T> parse_section(std::istream& in, const char* name, Fn&& one) {
+  std::string tag;
+  std::size_t n = 0;
+  std::istringstream row = line_fields(in, name);
+  if (!(row >> tag >> n) || tag != name) {
+    malformed(std::string("expected section ") + name);
+  }
+  // An absurd element count means a corrupt length field; refuse before
+  // looping (a cluster has single-digit cores and tens of banks).
+  if (n > 4096) malformed(std::string("implausible count in ") + name);
+  std::vector<T> out(n);
+  for (T& item : out) one(item);
+  return out;
+}
+
+}  // namespace
+
+void save_stats(std::ostream& out, const RunStats& s) {
+  out << kMagic << '\n';
+  out << "run " << s.ncores << ' ' << s.total_cores << ' ' << s.total_cycles
+      << ' ' << s.region_begin << ' ' << s.region_end << '\n';
+  out << "core " << s.core.size() << '\n';
+  for (const CoreStats& c : s.core) {
+    out << c.n_alu << ' ' << c.n_div << ' ' << c.n_fp << ' ' << c.n_fpdiv
+        << ' ' << c.n_l1 << ' ' << c.n_l2 << ' ' << c.n_branch << ' '
+        << c.n_nop << ' ' << c.n_sync << ' ' << c.instrs << ' ' << c.cyc_alu
+        << ' ' << c.cyc_fp << ' ' << c.cyc_l1 << ' ' << c.cyc_l2 << ' '
+        << c.cyc_wait << ' ' << c.cyc_cg << ' ' << c.idle_cycles << '\n';
+  }
+  out << "l1 " << s.l1.size() << '\n';
+  for (const BankStats& b : s.l1) {
+    out << b.reads << ' ' << b.writes << ' ' << b.conflicts << '\n';
+  }
+  out << "l2 " << s.l2.size() << '\n';
+  for (const BankStats& b : s.l2) {
+    out << b.reads << ' ' << b.writes << ' ' << b.conflicts << '\n';
+  }
+  out << "fpu " << s.fpu.size() << '\n';
+  for (const FpuStats& f : s.fpu) out << f.busy_cycles << '\n';
+  out << "icache " << s.icache.uses << ' ' << s.icache.refills << '\n';
+  out << "dma " << s.dma.busy_cycles << ' ' << s.dma.beats << '\n';
+  out << "end\n";
+}
+
+RunStats load_stats(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    malformed("bad magic line");
+  }
+  RunStats s;
+  std::string tag;
+  {
+    std::istringstream row = line_fields(in, "run");
+    if (!(row >> tag >> s.ncores >> s.total_cores >> s.total_cycles >>
+          s.region_begin >> s.region_end) ||
+        tag != "run") {
+      malformed("bad run header");
+    }
+  }
+  s.core = parse_section<CoreStats>(in, "core", [&](CoreStats& c) {
+    parse(in, "core", c.n_alu, c.n_div, c.n_fp, c.n_fpdiv, c.n_l1, c.n_l2,
+          c.n_branch, c.n_nop, c.n_sync, c.instrs, c.cyc_alu, c.cyc_fp,
+          c.cyc_l1, c.cyc_l2, c.cyc_wait, c.cyc_cg, c.idle_cycles);
+  });
+  s.l1 = parse_section<BankStats>(in, "l1", [&](BankStats& b) {
+    parse(in, "l1", b.reads, b.writes, b.conflicts);
+  });
+  s.l2 = parse_section<BankStats>(in, "l2", [&](BankStats& b) {
+    parse(in, "l2", b.reads, b.writes, b.conflicts);
+  });
+  s.fpu = parse_section<FpuStats>(in, "fpu", [&](FpuStats& f) {
+    parse(in, "fpu", f.busy_cycles);
+  });
+  parse(in, "icache", tag, s.icache.uses, s.icache.refills);
+  if (tag != "icache") malformed("expected icache section");
+  parse(in, "dma", tag, s.dma.busy_cycles, s.dma.beats);
+  if (tag != "dma") malformed("expected dma section");
+  if (!std::getline(in, line) || line != "end") {
+    malformed("missing end marker");
+  }
+  return s;
+}
+
+}  // namespace pulpc::sim

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace pulpc::sim {
@@ -107,5 +108,26 @@ struct RunStats {
     return n;
   }
 };
+
+/// Exact field-by-field comparison (all counters are integers, so
+/// serialization round-trips are checked with plain equality).
+[[nodiscard]] bool operator==(const CoreStats& a, const CoreStats& b) noexcept;
+[[nodiscard]] bool operator==(const BankStats& a, const BankStats& b) noexcept;
+[[nodiscard]] bool operator==(const FpuStats& a, const FpuStats& b) noexcept;
+[[nodiscard]] bool operator==(const IcacheStats& a,
+                              const IcacheStats& b) noexcept;
+[[nodiscard]] bool operator==(const DmaStats& a, const DmaStats& b) noexcept;
+[[nodiscard]] bool operator==(const RunStats& a, const RunStats& b) noexcept;
+
+/// Serialize every counter of a run to a line-oriented text block
+/// ("runstats v1" ... "end"). All counters are unsigned integers, so the
+/// round trip through save_stats/load_stats is exact. This is the raw
+/// payload of the core::ArtifactStore persistence layer.
+void save_stats(std::ostream& out, const RunStats& stats);
+
+/// Parse one block written by save_stats, consuming up to and including
+/// its "end" line. Throws std::runtime_error on malformed or truncated
+/// input (wrong magic, missing section, short counter row).
+[[nodiscard]] RunStats load_stats(std::istream& in);
 
 }  // namespace pulpc::sim

@@ -1,0 +1,334 @@
+// Staged-pipeline artifact tests: RunStats serialization, the versioned
+// raw-counter store (fingerprints, corruption, gc), and the replay
+// contract — relabel from a warm store must reproduce a fresh build
+// byte-for-byte at every thread count, with zero re-simulation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/artifacts.hpp"
+#include "core/pipeline.hpp"
+#include "sim/stats.hpp"
+
+namespace pulpc::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test store directory under the gtest temp dir.
+std::string temp_store(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "pulpc_store_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// A small, fast slice: two kernels, two sizes, integer + float.
+std::vector<SampleConfig> tiny_configs() {
+  return {{"gemm", kir::DType::I32, 512},
+          {"fir", kir::DType::F32, 512},
+          {"fir", kir::DType::I32, 2048}};
+}
+
+BuildOptions tiny_options() {
+  BuildOptions opt;
+  opt.max_cores = 4;  // trims the sweep; all stages still exercised
+  opt.threads = 1;
+  opt.cache_path = "";    // no CSV cache side effects
+  opt.artifact_dir = "";  // no store unless a test opts in
+  return opt;
+}
+
+std::string csv_string(const ml::Dataset& ds) {
+  std::ostringstream out;
+  ds.save_csv(out);
+  return out.str();
+}
+
+sim::RunStats real_stats(unsigned ncores = 2) {
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  BuildOptions opt = tiny_options();
+  opt.max_cores = ncores;
+  return simulate_sample(lower_sample(cfg), cfg, opt).back();
+}
+
+TEST(RunStatsIo, RoundTripsExactly) {
+  const sim::RunStats stats = real_stats(3);
+  std::stringstream ss;
+  sim::save_stats(ss, stats);
+  const sim::RunStats back = sim::load_stats(ss);
+  EXPECT_EQ(back, stats);
+}
+
+TEST(RunStatsIo, RejectsGarbageAndTruncation) {
+  std::stringstream empty;
+  EXPECT_THROW((void)sim::load_stats(empty), std::runtime_error);
+
+  std::stringstream garbage("not a runstats file\n");
+  EXPECT_THROW((void)sim::load_stats(garbage), std::runtime_error);
+
+  std::stringstream ss;
+  sim::save_stats(ss, real_stats(2));
+  std::string text = ss.str();
+  // Drop the trailing "end" sentinel and a bit more.
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW((void)sim::load_stats(truncated), std::runtime_error);
+}
+
+TEST(ArtifactStore, DisabledStoreIsInert) {
+  const ArtifactStore store;
+  EXPECT_FALSE(store.enabled());
+  sim::RunStats out;
+  EXPECT_FALSE(store.load({"gemm", kir::DType::I32, 512}, 1, 0, &out));
+  EXPECT_FALSE(store.contains({"gemm", kir::DType::I32, 512}, 1));
+  store.save({"gemm", kir::DType::I32, 512}, 1, 0, sim::RunStats{});
+  EXPECT_THROW((void)relabel(store, tiny_configs(), tiny_options()),
+               std::invalid_argument);
+  EXPECT_THROW((void)populate_store(store, tiny_configs(), tiny_options()),
+               std::invalid_argument);
+}
+
+TEST(ArtifactStore, SaveLoadRoundTrip) {
+  const ArtifactStore store(temp_store("roundtrip"), sim::ClusterConfig{});
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  const sim::RunStats stats = real_stats(2);
+  store.save(cfg, 2, 0x1234, stats);
+  EXPECT_TRUE(store.contains(cfg, 2));
+  sim::RunStats back;
+  ASSERT_TRUE(store.load(cfg, 2, 0x1234, &back));
+  EXPECT_EQ(back, stats);
+  // Missing core count, other kernel: not found.
+  EXPECT_FALSE(store.contains(cfg, 3));
+  EXPECT_FALSE(store.load({"fir", kir::DType::I32, 512}, 2, 0x1234, &back));
+}
+
+TEST(ArtifactStore, RejectsWrongProgramHash) {
+  const ArtifactStore store(temp_store("proghash"), sim::ClusterConfig{});
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  store.save(cfg, 2, 0x1234, real_stats(2));
+  sim::RunStats back;
+  // Same sample name, different lowering (the compiler-opt ablation
+  // case) must not replay these counters.
+  EXPECT_FALSE(store.load(cfg, 2, 0x9999, &back));
+  EXPECT_TRUE(store.load(cfg, 2, 0x1234, &back));
+}
+
+TEST(ArtifactStore, ForeignClusterFingerprintIsRejected) {
+  const std::string dir = temp_store("foreign");
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  {
+    sim::ClusterConfig other;
+    other.l2_latency = 99;  // a different simulated platform
+    const ArtifactStore writer(dir, other);
+    writer.save(cfg, 1, 0x1, real_stats(1));
+  }
+  const ArtifactStore store(dir, sim::ClusterConfig{});
+  sim::RunStats back;
+  EXPECT_FALSE(store.load(cfg, 1, 0x1, &back));
+  EXPECT_FALSE(store.contains(cfg, 1));
+  const ArtifactStore::Info info = store.scan();
+  EXPECT_EQ(info.files, 1U);
+  EXPECT_EQ(info.foreign, 1U);
+  EXPECT_EQ(info.valid, 0U);
+}
+
+TEST(ArtifactStore, CorruptFileIsDetectedAndCollected) {
+  const std::string dir = temp_store("corrupt");
+  const ArtifactStore store(dir, sim::ClusterConfig{});
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  store.save(cfg, 1, 0x1, real_stats(1));
+  store.save(cfg, 2, 0x1, real_stats(2));
+
+  // Truncate one artifact mid-file.
+  const std::string victim = store.path_for(cfg, 2);
+  const auto size = fs::file_size(victim);
+  fs::resize_file(victim, size / 2);
+
+  sim::RunStats back;
+  EXPECT_FALSE(store.load(cfg, 2, 0x1, &back));
+  EXPECT_TRUE(store.load(cfg, 1, 0x1, &back));
+
+  ArtifactStore::Info info = store.scan();
+  EXPECT_EQ(info.files, 2U);
+  EXPECT_EQ(info.valid, 1U);
+  EXPECT_EQ(info.corrupt, 1U);
+
+  EXPECT_EQ(store.gc(), 1U);
+  info = store.scan();
+  EXPECT_EQ(info.files, 1U);
+  EXPECT_EQ(info.corrupt, 0U);
+}
+
+TEST(ArtifactStore, PopulateFillsEveryConfiguredRun) {
+  const BuildOptions opt = tiny_options();
+  const ArtifactStore store(temp_store("populate"), opt.cluster);
+  const std::vector<SampleConfig> configs = tiny_configs();
+  const StageReport first = populate_store(store, configs, opt);
+  EXPECT_EQ(first.samples, configs.size());
+  EXPECT_EQ(first.simulated_runs, configs.size() * opt.max_cores);
+  EXPECT_EQ(first.replayed_runs, 0U);
+  for (const SampleConfig& cfg : configs) {
+    for (unsigned c = 1; c <= opt.max_cores; ++c) {
+      EXPECT_TRUE(store.contains(cfg, c)) << cfg.kernel << " @" << c;
+    }
+  }
+  // Second pass is a pure replay.
+  const StageReport second = populate_store(store, configs, opt);
+  EXPECT_EQ(second.simulated_runs, 0U);
+  EXPECT_EQ(second.replayed_runs, configs.size() * opt.max_cores);
+}
+
+TEST(ArtifactStore, BuildDatasetPopulatesTheStore) {
+  BuildOptions opt = tiny_options();
+  opt.artifact_dir = temp_store("viabuild");
+  const std::vector<SampleConfig> configs = tiny_configs();
+  StageReport report;
+  opt.stage_report = [&](const StageReport& r) { report = r; };
+  (void)build_dataset(configs, opt);
+  EXPECT_EQ(report.simulated_runs, configs.size() * opt.max_cores);
+  const ArtifactStore store(*opt.artifact_dir, opt.cluster);
+  const ArtifactStore::Info info = store.scan();
+  EXPECT_EQ(info.valid, configs.size() * opt.max_cores);
+  EXPECT_EQ(info.foreign + info.corrupt, 0U);
+}
+
+TEST(Replay, RelabelMatchesFreshBuildByteForByte) {
+  const std::vector<SampleConfig> configs = tiny_configs();
+  BuildOptions opt = tiny_options();
+  const std::string fresh_csv = csv_string(build_dataset(configs, opt));
+
+  const ArtifactStore store(temp_store("replay"), opt.cluster);
+  (void)populate_store(store, configs, opt);
+
+  for (const unsigned threads : {1U, 4U}) {
+    BuildOptions ropt = tiny_options();
+    ropt.threads = threads;
+    StageReport report;
+    ropt.stage_report = [&](const StageReport& r) { report = r; };
+    const ml::Dataset replayed = relabel(store, configs, ropt);
+    EXPECT_EQ(csv_string(replayed), fresh_csv) << threads << " threads";
+    EXPECT_EQ(report.simulated_runs, 0U) << threads << " threads";
+    EXPECT_EQ(report.replayed_runs, configs.size() * ropt.max_cores);
+  }
+}
+
+TEST(Replay, CorruptArtifactIsResimulatedAndRepaired) {
+  const std::vector<SampleConfig> configs = tiny_configs();
+  const BuildOptions opt = tiny_options();
+  const std::string fresh_csv = csv_string(build_dataset(configs, opt));
+
+  const ArtifactStore store(temp_store("repair"), opt.cluster);
+  (void)populate_store(store, configs, opt);
+
+  // Corrupt one artifact; replay must fall back to simulation for that
+  // run only, still produce identical bytes, and repair the file.
+  const std::string victim = store.path_for(configs[1], 3);
+  std::ofstream(victim, std::ios::trunc) << "ruined\n";
+
+  BuildOptions ropt = tiny_options();
+  StageReport report;
+  ropt.stage_report = [&](const StageReport& r) { report = r; };
+  EXPECT_EQ(csv_string(relabel(store, configs, ropt)), fresh_csv);
+  EXPECT_EQ(report.simulated_runs, 1U);
+  EXPECT_EQ(report.replayed_runs, configs.size() * ropt.max_cores - 1);
+
+  sim::RunStats back;
+  EXPECT_TRUE(store.load(configs[1], 3,
+                         program_hash(lower_sample(configs[1])), &back));
+}
+
+TEST(Replay, PerturbedEnergyModelNeedsNoSimulation) {
+  const std::vector<SampleConfig> configs = tiny_configs();
+  const BuildOptions opt = tiny_options();
+  const ArtifactStore store(temp_store("perturb"), opt.cluster);
+  (void)populate_store(store, configs, opt);
+
+  BuildOptions perturbed = tiny_options();
+  perturbed.energy.pe_leakage *= 10.0;
+  StageReport report;
+  perturbed.stage_report = [&](const StageReport& r) { report = r; };
+  const ml::Dataset ds = relabel(store, configs, perturbed);
+  EXPECT_EQ(report.simulated_runs, 0U);
+  ASSERT_EQ(ds.size(), configs.size());
+
+  // The perturbed labels must equal a (slow) fresh build under the same
+  // model — replay changes where the numbers come from, not the numbers.
+  BuildOptions fresh = tiny_options();
+  fresh.energy.pe_leakage *= 10.0;
+  EXPECT_EQ(csv_string(ds), csv_string(build_dataset(configs, fresh)));
+}
+
+TEST(Stages, ComposeToBuildSample) {
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  const BuildOptions opt = tiny_options();
+
+  const kir::Program prog = lower_sample(cfg);
+  const std::vector<sim::RunStats> runs = simulate_sample(prog, cfg, opt);
+  ASSERT_EQ(runs.size(), opt.max_cores);
+  const SampleLabel label = label_sample(runs, opt.energy);
+  const ml::Sample staged = assemble_sample(
+      cfg, "polybench", label, featurize_sample(prog, runs, opt.mca));
+
+  const ml::Sample fused = build_sample(cfg, opt);
+  EXPECT_EQ(staged.label, fused.label);
+  EXPECT_EQ(staged.energy, fused.energy);
+  EXPECT_EQ(staged.cycles, fused.cycles);
+  EXPECT_EQ(staged.features, fused.features);
+  EXPECT_EQ(staged.kernel, fused.kernel);
+}
+
+TEST(Stages, LabelIsArgminWithFirstWinTies) {
+  std::vector<sim::RunStats> runs(2);
+  // Identical counters at both core counts -> identical energy -> the
+  // lower core count must win the tie.
+  runs[0] = real_stats(1);
+  runs[1] = runs[0];
+  const SampleLabel label = label_sample(runs);
+  EXPECT_EQ(label.label, 1);
+  EXPECT_EQ(label.energy[0], label.energy[1]);
+}
+
+TEST(CsvCache, LegacySchemaCacheIsRebuilt) {
+  const std::string path =
+      ::testing::TempDir() + "pulpc_legacy_cache_test.csv";
+  fs::remove(path);
+  // A structurally valid pre-schema-comment cache: right header shape,
+  // but legacy (version 0) and a stale column set.
+  std::ofstream(path) << "kernel,suite,dtype,size_bytes,label,e1,c1,x\n"
+                         "k,s,i32,1,1,2.0,10,0.5\n";
+  BuildOptions opt = tiny_options();
+  opt.cache_path = path;
+  const std::vector<SampleConfig> configs = tiny_configs();
+  const ml::Dataset ds = load_or_build_dataset(configs, opt);
+  EXPECT_EQ(ds.size(), configs.size());
+  EXPECT_EQ(ds.columns(), dataset_columns(opt.max_cores));
+  // The cache file was upgraded in place to the stamped schema.
+  std::ifstream upgraded(path);
+  std::string first;
+  std::getline(upgraded, first);
+  EXPECT_EQ(first.rfind("# pulpclass-dataset v", 0), 0U) << first;
+  fs::remove(path);
+}
+
+TEST(CsvCache, ExplicitCachePathBeatsEnvironment) {
+  const std::string good =
+      ::testing::TempDir() + "pulpc_explicit_cache_test.csv";
+  const std::string decoy =
+      ::testing::TempDir() + "pulpc_env_decoy_cache_test.csv";
+  fs::remove(good);
+  fs::remove(decoy);
+  ASSERT_EQ(setenv("PULPC_DATASET_CACHE", decoy.c_str(), 1), 0);
+  BuildOptions opt = tiny_options();
+  opt.cache_path = good;
+  (void)load_or_build_dataset(tiny_configs(), opt);
+  unsetenv("PULPC_DATASET_CACHE");
+  EXPECT_TRUE(fs::exists(good));
+  EXPECT_FALSE(fs::exists(decoy));
+  fs::remove(good);
+}
+
+}  // namespace
+}  // namespace pulpc::core

@@ -101,11 +101,60 @@ TEST(Dataset, CsvHeaderIsSelfDescribing) {
   const Dataset ds = small_dataset();
   std::stringstream ss;
   ds.save_csv(ss);
+  std::string schema;
+  std::getline(ss, schema);
+  EXPECT_EQ(schema.rfind("# pulpclass-dataset v1 cols=", 0), 0U) << schema;
   std::string header;
   std::getline(ss, header);
   EXPECT_EQ(header,
             "kernel,suite,dtype,size_bytes,label,e1,e2,e3,e4,c1,c2,c3,c4,"
             "a,b,c");
+}
+
+TEST(Dataset, SchemaCommentRoundTripsVersion) {
+  const Dataset ds = small_dataset();
+  EXPECT_EQ(ds.schema_version(), kDatasetSchemaVersion);
+  std::stringstream ss;
+  ds.save_csv(ss);
+  EXPECT_EQ(Dataset::load_csv(ss).schema_version(), kDatasetSchemaVersion);
+}
+
+TEST(Dataset, LegacyCsvWithoutCommentLoadsAsVersionZero) {
+  std::stringstream ss(
+      "kernel,suite,dtype,size_bytes,label,e1,c1,x\n"
+      "k,s,i32,1,1,2.0,10,0.5\n");
+  const Dataset back = Dataset::load_csv(ss);
+  ASSERT_EQ(back.size(), 1U);
+  EXPECT_EQ(back.schema_version(), 0);
+}
+
+TEST(Dataset, SchemaVersionMismatchThrows) {
+  std::stringstream ss(
+      "# pulpclass-dataset v999 cols=0\n"
+      "kernel,suite,dtype,size_bytes,label,e1,c1,x\n"
+      "k,s,i32,1,1,2.0,10,0.5\n");
+  EXPECT_THROW((void)Dataset::load_csv(ss), std::runtime_error);
+}
+
+TEST(Dataset, SchemaFingerprintMismatchThrows) {
+  // Write a valid file, then rename a feature column without updating
+  // the cols= fingerprint — the stale-schema case the comment exists for.
+  const Dataset ds = small_dataset();
+  std::stringstream ss;
+  ds.save_csv(ss);
+  std::string text = ss.str();
+  const std::size_t pos = text.find(",a,b,c\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, ",a,b,z\n");
+  std::stringstream tampered(text);
+  EXPECT_THROW((void)Dataset::load_csv(tampered), std::runtime_error);
+}
+
+TEST(Dataset, MalformedSchemaCommentThrows) {
+  std::stringstream ss(
+      "# pulpclass-dataset vX cols=zz\n"
+      "kernel,suite,dtype,size_bytes,label,e1,c1,x\n");
+  EXPECT_THROW((void)Dataset::load_csv(ss), std::runtime_error);
 }
 
 TEST(Dataset, LoadRejectsGarbage) {

@@ -2,6 +2,8 @@
 // C++. Subcommands:
 //
 //   pulpclass dataset [--out file.csv]       build/cache the 448-sample set
+//   pulpclass relabel [--out file.csv]       replay labels from the store
+//   pulpclass cache   <info|verify|gc>       raw-counter artifact store
 //   pulpclass train   [--features SET] [--out model.txt]
 //   pulpclass predict --model model.txt <kernel> <i32|f32> <bytes>
 //   pulpclass sweep   <kernel> <i32|f32> <bytes> [--optimize]
@@ -14,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/artifacts.hpp"
 #include "core/classifier.hpp"
 #include "core/pipeline.hpp"
 #include "dsl/lower.hpp"
@@ -33,8 +36,10 @@ struct Args {
   std::vector<std::string> positional;
   std::string model = "pulpclass_model.txt";
   std::string out;
+  std::string store;  ///< artifact store dir (--store / PULPC_ARTIFACT_DIR)
   std::string features = "ALL";
   bool optimize = false;
+  bool verbose_stages = false;  ///< print the per-stage timing report
   int threads = 0;  ///< 0 = PULPC_THREADS / hardware default
 };
 
@@ -55,8 +60,12 @@ Args parse(int argc, char** argv) {
       a.out = next();
     } else if (arg == "--features") {
       a.features = next();
+    } else if (arg == "--store") {
+      a.store = next();
     } else if (arg == "--optimize") {
       a.optimize = true;
+    } else if (arg == "--stages") {
+      a.verbose_stages = true;
     } else if (arg == "--threads") {
       a.threads = std::atoi(next().c_str());
       if (a.threads < 1) {
@@ -78,8 +87,18 @@ int usage() {
       "  --threads N    worker threads for dataset builds and CV\n"
       "                 (default: PULPC_THREADS or all hardware threads;\n"
       "                 results are identical for every N)\n"
+      "  --store DIR    raw-counter artifact store directory\n"
+      "                 (default: PULPC_ARTIFACT_DIR, else\n"
+      "                 pulpclass_artifacts for cache/relabel)\n"
+      "  --stages       print the per-stage wall-clock report\n"
       "commands:\n"
       "  dataset [--out file.csv]          build & cache the dataset\n"
+      "  relabel [--out file.csv]          rebuild labels/features by\n"
+      "                                    replaying stored raw counters\n"
+      "                                    (no re-simulation on a warm store)\n"
+      "  cache info                        artifact store census\n"
+      "  cache verify                      exit 1 on foreign/corrupt files\n"
+      "  cache gc                          delete foreign/corrupt files\n"
       "  train [--features AGG|RAW|MCA|ALL] [--out model.txt]\n"
       "  predict --model model.txt <kernel> <i32|f32> <bytes>\n"
       "  sweep <kernel> <i32|f32> <bytes> [--optimize]\n"
@@ -96,13 +115,40 @@ kir::DType parse_dtype(const std::string& s) {
   std::exit(2);
 }
 
-ml::Dataset load_dataset() {
-  return core::load_or_build_dataset({}, [](std::size_t d, std::size_t t) {
-    if (d % 56 == 0 || d == t) {
-      std::fprintf(stderr, "building dataset: %zu/%zu\r", d, t);
-      if (d == t) std::fprintf(stderr, "\n");
-    }
-  });
+void print_progress(std::size_t d, std::size_t t) {
+  if (d % 56 == 0 || d == t) {
+    std::fprintf(stderr, "building dataset: %zu/%zu\r", d, t);
+    if (d == t) std::fprintf(stderr, "\n");
+  }
+}
+
+/// Build options shared by the dataset-consuming commands: the CSV cache
+/// path comes from --out (not from mutating the environment), the
+/// artifact store from --store, and --stages wires the per-stage report.
+core::BuildOptions build_options(const Args& a) {
+  core::BuildOptions opt;
+  if (!a.out.empty()) opt.cache_path = a.out;
+  if (!a.store.empty()) opt.artifact_dir = a.store;
+  if (a.verbose_stages) {
+    opt.stage_report = [](const core::StageReport& r) {
+      std::fprintf(stderr, "stages: %s\n", r.summary().c_str());
+    };
+  }
+  return opt;
+}
+
+/// Artifact store directory for the commands that require one: --store,
+/// then PULPC_ARTIFACT_DIR, then ./pulpclass_artifacts.
+std::string store_dir(const Args& a) {
+  if (!a.store.empty()) return a.store;
+  if (const char* env = std::getenv("PULPC_ARTIFACT_DIR")) {
+    if (*env) return env;
+  }
+  return "pulpclass_artifacts";
+}
+
+ml::Dataset load_dataset(const core::BuildOptions& opt = {}) {
+  return core::load_or_build_dataset(opt, print_progress);
 }
 
 kir::Program lower_kernel(const Args& a) {
@@ -116,11 +162,64 @@ kir::Program lower_kernel(const Args& a) {
 }
 
 int cmd_dataset(const Args& a) {
-  if (!a.out.empty()) setenv("PULPC_DATASET_CACHE", a.out.c_str(), 1);
-  const ml::Dataset ds = load_dataset();
+  const ml::Dataset ds = load_dataset(build_options(a));
   std::printf("dataset ready: %zu samples, %zu feature columns\n",
               ds.size(), ds.columns().size());
   return 0;
+}
+
+int cmd_relabel(const Args& a) {
+  core::BuildOptions opt = build_options(a);
+  core::StageReport report;
+  const auto chained = opt.stage_report;
+  opt.stage_report = [&](const core::StageReport& r) {
+    report = r;
+    if (chained) chained(r);
+  };
+  const core::ArtifactStore store(store_dir(a), opt.cluster);
+  const ml::Dataset ds =
+      core::relabel(store, core::dataset_configs(), opt, print_progress);
+  const std::string out = a.out.empty() ? "pulpclass_dataset.csv" : a.out;
+  ds.save_csv_file(out);
+  std::printf("relabelled %zu samples from %s -> %s\n", ds.size(),
+              store.dir().c_str(), out.c_str());
+  std::printf("replayed %zu runs, simulated %zu (%.3fs total, %.3fs in "
+              "label+featurize)\n",
+              report.replayed_runs, report.simulated_runs,
+              report.total_seconds(),
+              report.label_seconds + report.featurize_seconds);
+  return 0;
+}
+
+int cmd_cache(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const std::string verb = a.positional[0];
+  const core::ArtifactStore store(store_dir(a), core::BuildOptions{}.cluster);
+  if (verb == "info" || verb == "verify") {
+    const core::ArtifactStore::Info info = store.scan();
+    std::printf("store:       %s\n", store.dir().c_str());
+    std::printf("fingerprint: %016llx (schema v%u)\n",
+                static_cast<unsigned long long>(store.fingerprint()),
+                core::kArtifactSchemaVersion);
+    std::printf("artifacts:   %zu (%.1f KiB)\n", info.files,
+                double(info.bytes) / 1024.0);
+    std::printf("  valid:     %zu\n", info.valid);
+    std::printf("  foreign:   %zu\n", info.foreign);
+    std::printf("  corrupt:   %zu\n", info.corrupt);
+    if (verb == "verify") {
+      const bool ok = info.foreign == 0 && info.corrupt == 0;
+      std::printf("verify: %s\n", ok ? "OK" : "FAILED");
+      return ok ? 0 : 1;
+    }
+    return 0;
+  }
+  if (verb == "gc") {
+    const std::size_t removed = store.gc();
+    std::printf("removed %zu foreign/corrupt artifact file%s from %s\n",
+                removed, removed == 1 ? "" : "s", store.dir().c_str());
+    return 0;
+  }
+  return usage();
 }
 
 int cmd_train(const Args& a) {
@@ -231,6 +330,8 @@ int main(int argc, char** argv) {
   }
   try {
     if (cmd == "dataset") return cmd_dataset(args);
+    if (cmd == "relabel") return cmd_relabel(args);
+    if (cmd == "cache") return cmd_cache(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "sweep") return cmd_sweep(args);

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_compiler_opt"
+  "../bench/ablation_compiler_opt.pdb"
+  "CMakeFiles/ablation_compiler_opt.dir/ablation_compiler_opt.cpp.o"
+  "CMakeFiles/ablation_compiler_opt.dir/ablation_compiler_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compiler_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

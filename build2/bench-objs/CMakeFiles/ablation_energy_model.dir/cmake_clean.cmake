@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_energy_model"
+  "../bench/ablation_energy_model.pdb"
+  "CMakeFiles/ablation_energy_model.dir/ablation_energy_model.cpp.o"
+  "CMakeFiles/ablation_energy_model.dir/ablation_energy_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

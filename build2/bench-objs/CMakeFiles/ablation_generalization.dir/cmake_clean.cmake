@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_generalization"
+  "../bench/ablation_generalization.pdb"
+  "CMakeFiles/ablation_generalization.dir/ablation_generalization.cpp.o"
+  "CMakeFiles/ablation_generalization.dir/ablation_generalization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/claim_energy_vs_speed"
+  "../bench/claim_energy_vs_speed.pdb"
+  "CMakeFiles/claim_energy_vs_speed.dir/claim_energy_vs_speed.cpp.o"
+  "CMakeFiles/claim_energy_vs_speed.dir/claim_energy_vs_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_energy_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_energy_vs_speed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dataset_stats"
+  "../bench/dataset_stats.pdb"
+  "CMakeFiles/dataset_stats.dir/dataset_stats.cpp.o"
+  "CMakeFiles/dataset_stats.dir/dataset_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

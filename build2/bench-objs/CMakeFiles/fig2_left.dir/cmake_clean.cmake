@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_left"
+  "../bench/fig2_left.pdb"
+  "CMakeFiles/fig2_left.dir/fig2_left.cpp.o"
+  "CMakeFiles/fig2_left.dir/fig2_left.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_left.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

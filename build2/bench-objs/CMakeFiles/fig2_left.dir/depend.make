@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_left.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_right"
+  "../bench/fig2_right.pdb"
+  "CMakeFiles/fig2_right.dir/fig2_right.cpp.o"
+  "CMakeFiles/fig2_right.dir/fig2_right.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_right.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

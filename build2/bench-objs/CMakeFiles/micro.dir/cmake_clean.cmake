@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro"
+  "../bench/micro.pdb"
+  "CMakeFiles/micro.dir/micro.cpp.o"
+  "CMakeFiles/micro.dir/micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

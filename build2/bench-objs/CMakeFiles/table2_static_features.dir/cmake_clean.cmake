@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_static_features"
+  "../bench/table2_static_features.pdb"
+  "CMakeFiles/table2_static_features.dir/table2_static_features.cpp.o"
+  "CMakeFiles/table2_static_features.dir/table2_static_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_static_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

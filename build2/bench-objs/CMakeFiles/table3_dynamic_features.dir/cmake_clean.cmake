@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_dynamic_features"
+  "../bench/table3_dynamic_features.pdb"
+  "CMakeFiles/table3_dynamic_features.dir/table3_dynamic_features.cpp.o"
+  "CMakeFiles/table3_dynamic_features.dir/table3_dynamic_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dynamic_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_importance"
+  "../bench/table4_importance.pdb"
+  "CMakeFiles/table4_importance.dir/table4_importance.cpp.o"
+  "CMakeFiles/table4_importance.dir/table4_importance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

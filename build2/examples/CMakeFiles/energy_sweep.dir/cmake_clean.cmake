@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_sweep.dir/energy_sweep.cpp.o"
+  "CMakeFiles/energy_sweep.dir/energy_sweep.cpp.o.d"
+  "energy_sweep"
+  "energy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_core.dir/artifacts.cpp.o"
+  "CMakeFiles/pulpc_core.dir/artifacts.cpp.o.d"
+  "CMakeFiles/pulpc_core.dir/classifier.cpp.o"
+  "CMakeFiles/pulpc_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/pulpc_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pulpc_core.dir/pipeline.cpp.o.d"
+  "libpulpc_core.a"
+  "libpulpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

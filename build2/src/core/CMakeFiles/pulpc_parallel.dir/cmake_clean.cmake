@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_parallel.dir/parallel.cpp.o"
+  "CMakeFiles/pulpc_parallel.dir/parallel.cpp.o.d"
+  "libpulpc_parallel.a"
+  "libpulpc_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

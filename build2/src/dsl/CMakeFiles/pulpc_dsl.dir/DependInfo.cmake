@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/ast.cpp" "src/dsl/CMakeFiles/pulpc_dsl.dir/ast.cpp.o" "gcc" "src/dsl/CMakeFiles/pulpc_dsl.dir/ast.cpp.o.d"
+  "/root/repo/src/dsl/builder.cpp" "src/dsl/CMakeFiles/pulpc_dsl.dir/builder.cpp.o" "gcc" "src/dsl/CMakeFiles/pulpc_dsl.dir/builder.cpp.o.d"
+  "/root/repo/src/dsl/lower.cpp" "src/dsl/CMakeFiles/pulpc_dsl.dir/lower.cpp.o" "gcc" "src/dsl/CMakeFiles/pulpc_dsl.dir/lower.cpp.o.d"
+  "/root/repo/src/dsl/validate.cpp" "src/dsl/CMakeFiles/pulpc_dsl.dir/validate.cpp.o" "gcc" "src/dsl/CMakeFiles/pulpc_dsl.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/kir/CMakeFiles/pulpc_kir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_dsl.dir/ast.cpp.o"
+  "CMakeFiles/pulpc_dsl.dir/ast.cpp.o.d"
+  "CMakeFiles/pulpc_dsl.dir/builder.cpp.o"
+  "CMakeFiles/pulpc_dsl.dir/builder.cpp.o.d"
+  "CMakeFiles/pulpc_dsl.dir/lower.cpp.o"
+  "CMakeFiles/pulpc_dsl.dir/lower.cpp.o.d"
+  "CMakeFiles/pulpc_dsl.dir/validate.cpp.o"
+  "CMakeFiles/pulpc_dsl.dir/validate.cpp.o.d"
+  "libpulpc_dsl.a"
+  "libpulpc_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

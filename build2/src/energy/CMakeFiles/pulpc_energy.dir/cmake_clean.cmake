@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_energy.dir/model.cpp.o"
+  "CMakeFiles/pulpc_energy.dir/model.cpp.o.d"
+  "libpulpc_energy.a"
+  "libpulpc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_feat.dir/features.cpp.o"
+  "CMakeFiles/pulpc_feat.dir/features.cpp.o.d"
+  "libpulpc_feat.a"
+  "libpulpc_feat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_feat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/custom.cpp" "src/kernels/CMakeFiles/pulpc_kernels.dir/custom.cpp.o" "gcc" "src/kernels/CMakeFiles/pulpc_kernels.dir/custom.cpp.o.d"
+  "/root/repo/src/kernels/polybench.cpp" "src/kernels/CMakeFiles/pulpc_kernels.dir/polybench.cpp.o" "gcc" "src/kernels/CMakeFiles/pulpc_kernels.dir/polybench.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/kernels/CMakeFiles/pulpc_kernels.dir/registry.cpp.o" "gcc" "src/kernels/CMakeFiles/pulpc_kernels.dir/registry.cpp.o.d"
+  "/root/repo/src/kernels/utdsp.cpp" "src/kernels/CMakeFiles/pulpc_kernels.dir/utdsp.cpp.o" "gcc" "src/kernels/CMakeFiles/pulpc_kernels.dir/utdsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/dsl/CMakeFiles/pulpc_dsl.dir/DependInfo.cmake"
+  "/root/repo/build2/src/kir/CMakeFiles/pulpc_kir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

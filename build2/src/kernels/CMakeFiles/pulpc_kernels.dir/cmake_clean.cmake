@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_kernels.dir/custom.cpp.o"
+  "CMakeFiles/pulpc_kernels.dir/custom.cpp.o.d"
+  "CMakeFiles/pulpc_kernels.dir/polybench.cpp.o"
+  "CMakeFiles/pulpc_kernels.dir/polybench.cpp.o.d"
+  "CMakeFiles/pulpc_kernels.dir/registry.cpp.o"
+  "CMakeFiles/pulpc_kernels.dir/registry.cpp.o.d"
+  "CMakeFiles/pulpc_kernels.dir/utdsp.cpp.o"
+  "CMakeFiles/pulpc_kernels.dir/utdsp.cpp.o.d"
+  "libpulpc_kernels.a"
+  "libpulpc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpulpc_kernels.a"
+)

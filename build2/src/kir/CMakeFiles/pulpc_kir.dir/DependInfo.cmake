@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kir/analysis.cpp" "src/kir/CMakeFiles/pulpc_kir.dir/analysis.cpp.o" "gcc" "src/kir/CMakeFiles/pulpc_kir.dir/analysis.cpp.o.d"
+  "/root/repo/src/kir/cfg.cpp" "src/kir/CMakeFiles/pulpc_kir.dir/cfg.cpp.o" "gcc" "src/kir/CMakeFiles/pulpc_kir.dir/cfg.cpp.o.d"
+  "/root/repo/src/kir/ir.cpp" "src/kir/CMakeFiles/pulpc_kir.dir/ir.cpp.o" "gcc" "src/kir/CMakeFiles/pulpc_kir.dir/ir.cpp.o.d"
+  "/root/repo/src/kir/operands.cpp" "src/kir/CMakeFiles/pulpc_kir.dir/operands.cpp.o" "gcc" "src/kir/CMakeFiles/pulpc_kir.dir/operands.cpp.o.d"
+  "/root/repo/src/kir/opt.cpp" "src/kir/CMakeFiles/pulpc_kir.dir/opt.cpp.o" "gcc" "src/kir/CMakeFiles/pulpc_kir.dir/opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_kir.dir/analysis.cpp.o"
+  "CMakeFiles/pulpc_kir.dir/analysis.cpp.o.d"
+  "CMakeFiles/pulpc_kir.dir/cfg.cpp.o"
+  "CMakeFiles/pulpc_kir.dir/cfg.cpp.o.d"
+  "CMakeFiles/pulpc_kir.dir/ir.cpp.o"
+  "CMakeFiles/pulpc_kir.dir/ir.cpp.o.d"
+  "CMakeFiles/pulpc_kir.dir/operands.cpp.o"
+  "CMakeFiles/pulpc_kir.dir/operands.cpp.o.d"
+  "CMakeFiles/pulpc_kir.dir/opt.cpp.o"
+  "CMakeFiles/pulpc_kir.dir/opt.cpp.o.d"
+  "libpulpc_kir.a"
+  "libpulpc_kir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_kir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

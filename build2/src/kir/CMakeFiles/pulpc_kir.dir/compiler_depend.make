@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pulpc_kir.
+# This may be replaced when dependencies are built.

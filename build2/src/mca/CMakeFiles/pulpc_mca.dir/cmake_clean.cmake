@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_mca.dir/analyzer.cpp.o"
+  "CMakeFiles/pulpc_mca.dir/analyzer.cpp.o.d"
+  "libpulpc_mca.a"
+  "libpulpc_mca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_mca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_ml.dir/cv.cpp.o"
+  "CMakeFiles/pulpc_ml.dir/cv.cpp.o.d"
+  "CMakeFiles/pulpc_ml.dir/dataset.cpp.o"
+  "CMakeFiles/pulpc_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/pulpc_ml.dir/forest.cpp.o"
+  "CMakeFiles/pulpc_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/pulpc_ml.dir/metrics.cpp.o"
+  "CMakeFiles/pulpc_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/pulpc_ml.dir/mlp.cpp.o"
+  "CMakeFiles/pulpc_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/pulpc_ml.dir/tree.cpp.o"
+  "CMakeFiles/pulpc_ml.dir/tree.cpp.o.d"
+  "libpulpc_ml.a"
+  "libpulpc_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

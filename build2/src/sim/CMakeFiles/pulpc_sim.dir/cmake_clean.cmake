@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_sim.dir/cluster.cpp.o"
+  "CMakeFiles/pulpc_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/pulpc_sim.dir/stats.cpp.o"
+  "CMakeFiles/pulpc_sim.dir/stats.cpp.o.d"
+  "libpulpc_sim.a"
+  "libpulpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpc_trace.dir/listeners.cpp.o"
+  "CMakeFiles/pulpc_trace.dir/listeners.cpp.o.d"
+  "CMakeFiles/pulpc_trace.dir/parser.cpp.o"
+  "CMakeFiles/pulpc_trace.dir/parser.cpp.o.d"
+  "libpulpc_trace.a"
+  "libpulpc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsl_ast.dir/test_dsl_ast.cpp.o"
+  "CMakeFiles/test_dsl_ast.dir/test_dsl_ast.cpp.o.d"
+  "test_dsl_ast"
+  "test_dsl_ast.pdb"
+  "test_dsl_ast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsl_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/test_golden.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/test_golden.dir/test_golden.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/pulpc_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/kernels/CMakeFiles/pulpc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ml/CMakeFiles/pulpc_ml.dir/DependInfo.cmake"
+  "/root/repo/build2/src/feat/CMakeFiles/pulpc_feat.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mca/CMakeFiles/pulpc_mca.dir/DependInfo.cmake"
+  "/root/repo/build2/src/energy/CMakeFiles/pulpc_energy.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/pulpc_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/pulpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/dsl/CMakeFiles/pulpc_dsl.dir/DependInfo.cmake"
+  "/root/repo/build2/src/kir/CMakeFiles/pulpc_kir.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/pulpc_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lower.dir/test_lower.cpp.o"
+  "CMakeFiles/test_lower.dir/test_lower.cpp.o.d"
+  "test_lower"
+  "test_lower.pdb"
+  "test_lower[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

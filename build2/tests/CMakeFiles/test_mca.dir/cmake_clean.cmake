@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mca.dir/test_mca.cpp.o"
+  "CMakeFiles/test_mca.dir/test_mca.cpp.o.d"
+  "test_mca"
+  "test_mca.pdb"
+  "test_mca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

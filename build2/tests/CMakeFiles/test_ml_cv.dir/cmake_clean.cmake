@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_cv.dir/test_ml_cv.cpp.o"
+  "CMakeFiles/test_ml_cv.dir/test_ml_cv.cpp.o.d"
+  "test_ml_cv"
+  "test_ml_cv.pdb"
+  "test_ml_cv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_dataset.dir/test_ml_dataset.cpp.o"
+  "CMakeFiles/test_ml_dataset.dir/test_ml_dataset.cpp.o.d"
+  "test_ml_dataset"
+  "test_ml_dataset.pdb"
+  "test_ml_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

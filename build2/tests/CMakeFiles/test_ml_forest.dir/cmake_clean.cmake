@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_forest.dir/test_ml_forest.cpp.o"
+  "CMakeFiles/test_ml_forest.dir/test_ml_forest.cpp.o.d"
+  "test_ml_forest"
+  "test_ml_forest.pdb"
+  "test_ml_forest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_tree.dir/test_ml_tree.cpp.o"
+  "CMakeFiles/test_ml_tree.dir/test_ml_tree.cpp.o.d"
+  "test_ml_tree"
+  "test_ml_tree.pdb"
+  "test_ml_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operands.dir/test_operands.cpp.o"
+  "CMakeFiles/test_operands.dir/test_operands.cpp.o.d"
+  "test_operands"
+  "test_operands.pdb"
+  "test_operands[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

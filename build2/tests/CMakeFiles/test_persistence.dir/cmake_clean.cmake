@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persistence.dir/test_persistence.cpp.o"
+  "CMakeFiles/test_persistence.dir/test_persistence.cpp.o.d"
+  "test_persistence"
+  "test_persistence.pdb"
+  "test_persistence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

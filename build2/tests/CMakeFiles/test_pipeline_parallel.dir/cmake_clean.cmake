@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_parallel.dir/test_pipeline_parallel.cpp.o"
+  "CMakeFiles/test_pipeline_parallel.dir/test_pipeline_parallel.cpp.o.d"
+  "test_pipeline_parallel"
+  "test_pipeline_parallel.pdb"
+  "test_pipeline_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_cluster.dir/test_sim_cluster.cpp.o"
+  "CMakeFiles/test_sim_cluster.dir/test_sim_cluster.cpp.o.d"
+  "test_sim_cluster"
+  "test_sim_cluster.pdb"
+  "test_sim_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_exec.dir/test_sim_exec.cpp.o"
+  "CMakeFiles/test_sim_exec.dir/test_sim_exec.cpp.o.d"
+  "test_sim_exec"
+  "test_sim_exec.pdb"
+  "test_sim_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_parallel.dir/test_sim_parallel.cpp.o"
+  "CMakeFiles/test_sim_parallel.dir/test_sim_parallel.cpp.o.d"
+  "test_sim_parallel"
+  "test_sim_parallel.pdb"
+  "test_sim_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/test_kir[1]_include.cmake")
+include("/root/repo/build2/tests/test_dsl_ast[1]_include.cmake")
+include("/root/repo/build2/tests/test_lower[1]_include.cmake")
+include("/root/repo/build2/tests/test_sim_exec[1]_include.cmake")
+include("/root/repo/build2/tests/test_sim_cluster[1]_include.cmake")
+include("/root/repo/build2/tests/test_sim_parallel[1]_include.cmake")
+include("/root/repo/build2/tests/test_trace[1]_include.cmake")
+include("/root/repo/build2/tests/test_trace_consistency[1]_include.cmake")
+include("/root/repo/build2/tests/test_energy[1]_include.cmake")
+include("/root/repo/build2/tests/test_mca[1]_include.cmake")
+include("/root/repo/build2/tests/test_features[1]_include.cmake")
+include("/root/repo/build2/tests/test_ml_tree[1]_include.cmake")
+include("/root/repo/build2/tests/test_ml_forest[1]_include.cmake")
+include("/root/repo/build2/tests/test_ml_mlp[1]_include.cmake")
+include("/root/repo/build2/tests/test_ml_cv[1]_include.cmake")
+include("/root/repo/build2/tests/test_ml_dataset[1]_include.cmake")
+include("/root/repo/build2/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build2/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build2/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build2/tests/test_artifacts[1]_include.cmake")
+include("/root/repo/build2/tests/test_pipeline_parallel[1]_include.cmake")
+include("/root/repo/build2/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build2/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build2/tests/test_golden[1]_include.cmake")
+include("/root/repo/build2/tests/test_persistence[1]_include.cmake")
+include("/root/repo/build2/tests/test_opt[1]_include.cmake")
+include("/root/repo/build2/tests/test_operands[1]_include.cmake")

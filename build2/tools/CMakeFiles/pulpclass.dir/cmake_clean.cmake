@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulpclass.dir/pulpclass_cli.cpp.o"
+  "CMakeFiles/pulpclass.dir/pulpclass_cli.cpp.o.d"
+  "pulpclass"
+  "pulpclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulpclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -244,6 +244,39 @@ void ArtifactStore::save(const SampleConfig& cfg, unsigned ncores,
   }
 }
 
+std::string ArtifactStore::diag_path_for(const SampleConfig& cfg) const {
+  return dir_ + "/" + sanitize(cfg.kernel) + "-" +
+         kir::to_string(cfg.dtype) + "-" + std::to_string(cfg.size_bytes) +
+         ".diag";
+}
+
+void ArtifactStore::save_diag(const SampleConfig& cfg,
+                              const std::string& text) const {
+  if (!enabled()) return;
+  const std::string path = diag_path_for(cfg);
+  std::error_code ec;
+  if (text.empty()) {
+    fs::remove(path, ec);
+    return;
+  }
+  const std::string tmp = path + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw std::runtime_error("ArtifactStore: cannot write " + tmp);
+    }
+    out << text;
+    if (!out) {
+      throw std::runtime_error("ArtifactStore: write failed for " + tmp);
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("ArtifactStore: cannot rename into " + path);
+  }
+}
+
 ArtifactStore::Info ArtifactStore::scan() const {
   Info info;
   if (!enabled() || !fs::is_directory(dir_)) return info;

@@ -82,6 +82,14 @@ class ArtifactStore {
   void save(const SampleConfig& cfg, unsigned ncores,
             std::uint64_t prog_hash, const sim::RunStats& stats) const;
 
+  /// Sidecar path for the sample's verifier report. Not an artifact:
+  /// scan()/gc() key on the .runstats suffix and ignore .diag files.
+  [[nodiscard]] std::string diag_path_for(const SampleConfig& cfg) const;
+
+  /// Persist the verifier report text for `cfg` (atomic tmp + rename).
+  /// An empty text removes any stale sidecar instead of writing one.
+  void save_diag(const SampleConfig& cfg, const std::string& text) const;
+
   /// Store census for `pulpclass cache info|verify`.
   struct Info {
     std::size_t files = 0;    ///< *.runstats files present

@@ -14,6 +14,7 @@
 #include "core/parallel.hpp"
 #include "dsl/lower.hpp"
 #include "kernels/registry.hpp"
+#include "kir/verify.hpp"
 #include "sim/cluster.hpp"
 
 namespace pulpc::core {
@@ -30,7 +31,11 @@ void merge(StageReport& into, const StageReport& part) {
   into.samples += part.samples;
   into.simulated_runs += part.simulated_runs;
   into.replayed_runs += part.replayed_runs;
+  into.verify_errors += part.verify_errors;
+  into.verify_warnings += part.verify_warnings;
+  into.verify_notes += part.verify_notes;
   into.lower_seconds += part.lower_seconds;
+  into.verify_seconds += part.verify_seconds;
   into.simulate_seconds += part.simulate_seconds;
   into.label_seconds += part.label_seconds;
   into.featurize_seconds += part.featurize_seconds;
@@ -79,12 +84,41 @@ std::vector<sim::RunStats> gather_runs(const kir::Program& prog,
   return runs;
 }
 
+/// Stage Verify: run the KIR verifier, refuse to label a program with
+/// error diagnostics, and surviving warnings/notes into the report (and
+/// into a .diag sidecar when a store is configured).
+kir::VerifyReport verify_row(const kir::Program& prog,
+                             const SampleConfig& cfg,
+                             const ArtifactStore& store,
+                             StageReport& report) {
+  kir::VerifyReport vr = kir::verify_program(prog);
+  if (!vr.ok()) {
+    throw std::runtime_error(
+        "build_sample(" + sample_id(cfg) +
+        "): refusing to label a kernel the verifier rejects\n" +
+        vr.to_string());
+  }
+  report.verify_errors += vr.errors();
+  report.verify_warnings += vr.warnings();
+  report.verify_notes += vr.notes();
+  if (store.enabled()) {
+    store.save_diag(cfg, vr.diags.empty() ? std::string{} : vr.to_string());
+  }
+  return vr;
+}
+
 /// Stages Simulate -> Label -> Featurize -> Assemble for one lowered
 /// sample, with per-stage wall-clock accounting.
 ml::Sample build_row(const kir::Program& prog, const SampleConfig& cfg,
                      const std::string& suite, const BuildOptions& opt,
                      const ArtifactStore& store, StageReport& report) {
   Clock::time_point t = Clock::now();
+  if (opt.verify) {
+    (void)verify_row(prog, cfg, store, report);
+    report.verify_seconds += seconds_since(t);
+  }
+
+  t = Clock::now();
   const std::vector<sim::RunStats> runs =
       gather_runs(prog, cfg, opt, store, report);
   report.simulate_seconds += seconds_since(t);
@@ -151,9 +185,13 @@ std::string StageReport::summary() const {
   out.precision(3);
   out << std::fixed << samples << " samples, " << simulated_runs
       << " simulated + " << replayed_runs << " replayed runs | lower "
-      << lower_seconds << "s, simulate " << simulate_seconds << "s, label "
-      << label_seconds << "s, featurize " << featurize_seconds
-      << "s, assemble " << assemble_seconds << "s";
+      << lower_seconds << "s, verify " << verify_seconds << "s, simulate "
+      << simulate_seconds << "s, label " << label_seconds << "s, featurize "
+      << featurize_seconds << "s, assemble " << assemble_seconds << "s";
+  if (verify_warnings + verify_notes > 0) {
+    out << " | verifier: " << verify_warnings << " warning(s), "
+        << verify_notes << " note(s)";
+  }
   return out.str();
 }
 
@@ -230,6 +268,10 @@ ml::Sample build_sample_from_program(const kir::Program& prog,
                                      const SampleConfig& cfg,
                                      const std::string& suite,
                                      const BuildOptions& opt) {
+  if (opt.verify) {
+    StageReport unused;
+    (void)verify_row(prog, cfg, ArtifactStore{}, unused);
+  }
   const std::vector<sim::RunStats> runs = simulate_sample(prog, cfg, opt);
   return assemble_sample(cfg, suite, label_sample(runs, opt.energy),
                          featurize_sample(prog, runs, opt.mca));

@@ -44,15 +44,22 @@ struct StageReport {
   std::size_t samples = 0;         ///< configurations processed
   std::size_t simulated_runs = 0;  ///< (sample, core-count) pairs simulated
   std::size_t replayed_runs = 0;   ///< pairs replayed from the artifact store
+  /// KIR verifier diagnostics across all lowered programs (see
+  /// BuildOptions::verify; errors abort the sample, so a completed build
+  /// always reports verify_errors == 0).
+  std::size_t verify_errors = 0;
+  std::size_t verify_warnings = 0;
+  std::size_t verify_notes = 0;
   double lower_seconds = 0;
+  double verify_seconds = 0;     ///< KIR verifier passes
   double simulate_seconds = 0;   ///< includes artifact save/load time
   double label_seconds = 0;      ///< Table I energy integration
   double featurize_seconds = 0;  ///< static + dynamic feature extraction
   double assemble_seconds = 0;
 
   [[nodiscard]] double total_seconds() const noexcept {
-    return lower_seconds + simulate_seconds + label_seconds +
-           featurize_seconds + assemble_seconds;
+    return lower_seconds + verify_seconds + simulate_seconds +
+           label_seconds + featurize_seconds + assemble_seconds;
   }
   /// One-line summary ("59 samples, 472 sim + 0 replay, ...s").
   [[nodiscard]] std::string summary() const;
@@ -83,6 +90,13 @@ struct BuildOptions {
   /// per-stage wall-clock totals (the progress callback's `done/total`
   /// companion for stage-level throughput).
   std::function<void(const StageReport&)> stage_report;
+  /// Run the KIR verifier (kir::verify_program) on every lowered program
+  /// before simulation. A sample whose program carries error-severity
+  /// diagnostics is refused — std::runtime_error with the full report —
+  /// rather than silently labelled; warning/note counts land in the
+  /// StageReport and, with an artifact store configured, each diagnosed
+  /// sample gets a .diag sidecar next to its counters.
+  bool verify = true;
 };
 
 /// Column names of the assembled dataset: the 20 static features followed

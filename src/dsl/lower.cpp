@@ -1,6 +1,7 @@
 #include "dsl/lower.hpp"
 
 #include "dsl/validate.hpp"
+#include "kir/verify.hpp"
 
 #include <bit>
 #include <cmath>
@@ -62,9 +63,31 @@ class Lowering {
     emit({.op = Op::Halt});
     const std::string err = kir::verify(prog_);
     if (!err.empty()) {
-      throw std::runtime_error("lower(" + spec_.name + "): " + err);
+      throw std::runtime_error(where() + ": " + err);
+    }
+    if (opt_.verify) {
+      const kir::VerifyReport report = kir::verify_program(prog_);
+      if (!report.ok()) {
+        throw std::runtime_error(where() + ": verifier rejected the lowered kernel\n" +
+                                 report.to_string());
+      }
     }
     return std::move(prog_);
+  }
+
+  /// "lower(<kernel>) [stmt path]" prefix for error messages, so a deep
+  /// expression-lowering failure names the statement it came from.
+  [[nodiscard]] std::string where() const {
+    std::string out = "lower(" + spec_.name + ")";
+    if (!frames_.empty()) {
+      out += " [";
+      for (std::size_t i = 0; i < frames_.size(); ++i) {
+        if (i != 0) out += " > ";
+        out += frames_[i];
+      }
+      out += "]";
+    }
+    return out;
   }
 
  private:
@@ -102,15 +125,13 @@ class Lowering {
       const std::uint32_t bytes = b.elems * 4U;
       if (b.space == MemSpace::Tcdm) {
         if (tcdm_off + bytes > opt_.tcdm_bytes) {
-          throw std::runtime_error("lower(" + spec_.name +
-                                   "): TCDM overflow at buffer " + b.name);
+          throw std::runtime_error(where() + ": TCDM overflow at buffer " + b.name);
         }
         info.base = opt_.tcdm_base + tcdm_off;
         tcdm_off += bytes;
       } else {
         if (l2_off + bytes > opt_.l2_bytes) {
-          throw std::runtime_error("lower(" + spec_.name +
-                                   "): L2 overflow at buffer " + b.name);
+          throw std::runtime_error(where() + ": L2 overflow at buffer " + b.name);
         }
         info.base = opt_.l2_base + l2_off;
         l2_off += bytes;
@@ -123,8 +144,7 @@ class Lowering {
   [[nodiscard]] const kir::BufferInfo& buffer(const std::string& name) const {
     const auto it = buffers_.find(name);
     if (it == buffers_.end()) {
-      throw std::invalid_argument("lower(" + spec_.name +
-                                  "): unknown buffer " + name);
+      throw std::invalid_argument(where() + ": unknown buffer " + name);
     }
     return it->second;
   }
@@ -135,8 +155,7 @@ class Lowering {
     const auto it = ivars_.find(name);
     if (it != ivars_.end()) return it->second;
     if (next_ivar_ > itemp_cur_) {
-      throw std::runtime_error("lower(" + spec_.name +
-                               "): integer register pressure at " + name);
+      throw std::runtime_error(where() + ": integer register pressure at " + name);
     }
     const auto reg = static_cast<std::uint8_t>(next_ivar_++);
     ivars_[name] = reg;
@@ -147,8 +166,7 @@ class Lowering {
     const auto it = fvars_.find(name);
     if (it != fvars_.end()) return it->second;
     if (next_fvar_ > ftemp_cur_) {
-      throw std::runtime_error("lower(" + spec_.name +
-                               "): float register pressure at " + name);
+      throw std::runtime_error(where() + ": float register pressure at " + name);
     }
     const auto reg = static_cast<std::uint8_t>(next_fvar_++);
     fvars_[name] = reg;
@@ -157,15 +175,14 @@ class Lowering {
 
   std::uint8_t alloc_itemp() {
     if (itemp_cur_ < next_ivar_) {
-      throw std::runtime_error("lower(" + spec_.name +
-                               "): integer temp pressure");
+      throw std::runtime_error(where() + ": integer temp pressure");
     }
     return static_cast<std::uint8_t>(itemp_cur_--);
   }
 
   std::uint8_t alloc_ftemp() {
     if (ftemp_cur_ < next_fvar_) {
-      throw std::runtime_error("lower(" + spec_.name + "): float temp pressure");
+      throw std::runtime_error(where() + ": float temp pressure");
     }
     return static_cast<std::uint8_t>(ftemp_cur_--);
   }
@@ -193,8 +210,7 @@ class Lowering {
   [[nodiscard]] std::uint8_t ivar(const std::string& name) const {
     const auto it = ivars_.find(name);
     if (it == ivars_.end()) {
-      throw std::invalid_argument("lower(" + spec_.name +
-                                  "): unknown integer scalar " + name);
+      throw std::invalid_argument(where() + ": unknown integer scalar " + name);
     }
     return it->second;
   }
@@ -202,8 +218,7 @@ class Lowering {
   [[nodiscard]] std::uint8_t fvar(const std::string& name) const {
     const auto it = fvars_.find(name);
     if (it == fvars_.end()) {
-      throw std::invalid_argument("lower(" + spec_.name +
-                                  "): unknown float scalar " + name);
+      throw std::invalid_argument(where() + ": unknown float scalar " + name);
     }
     return it->second;
   }
@@ -301,7 +316,7 @@ class Lowering {
       case Expr::Kind::Bin:
         return eval_bin_i(e);
       default:
-        throw std::invalid_argument("lower: non-i32 expression in i32 context");
+        throw std::invalid_argument(where() + ": non-i32 expression in i32 context");
     }
   }
 
@@ -321,7 +336,7 @@ class Lowering {
       case Expr::Kind::Bin:
         return eval_bin_f(e);
       default:
-        throw std::invalid_argument("lower: non-f32 expression in f32 context");
+        throw std::invalid_argument(where() + ": non-f32 expression in f32 context");
     }
   }
 
@@ -385,7 +400,7 @@ class Lowering {
         return t;
       }
       default:
-        throw std::invalid_argument("lower: bad i32 unary op");
+        throw std::invalid_argument(where() + ": bad i32 unary op");
     }
   }
 
@@ -421,7 +436,7 @@ class Lowering {
         return t;
       }
       default:
-        throw std::invalid_argument("lower: bad f32 unary op");
+        throw std::invalid_argument(where() + ": bad f32 unary op");
     }
   }
 
@@ -515,7 +530,7 @@ class Lowering {
         emit({.op = Op::XorI, .rd = t, .rs1 = t, .imm = 1});
         break;
       default:
-        throw std::invalid_argument("lower: bad f32 comparison");
+        throw std::invalid_argument(where() + ": bad f32 comparison");
     }
     return t;
   }
@@ -534,7 +549,7 @@ class Lowering {
       case BinOp::Min: emit({.op = Op::FMin, .rd = t, .rs1 = a, .rs2 = b}); break;
       case BinOp::Max: emit({.op = Op::FMax, .rd = t, .rs1 = a, .rs2 = b}); break;
       default:
-        throw std::invalid_argument("lower: bad f32 binary op");
+        throw std::invalid_argument(where() + ": bad f32 binary op");
     }
     return t;
   }
@@ -574,8 +589,7 @@ class Lowering {
     const auto push_guarded = [&](const StmtP& s) {
       if (contains_barrier(*s)) {
         throw std::invalid_argument(
-            "lower(" + spec_.name +
-            "): explicit barrier inside a serial statement");
+            where() + ": explicit barrier inside a serial statement");
       }
       guarded.push_back(s);
     };
@@ -606,10 +620,14 @@ class Lowering {
         case Stmt::Kind::For:
           if (s->parallel) {
             flush();
+            frames_.push_back(stmt_label(*s));
             lower_parallel_for(*s);
+            frames_.pop_back();
           } else if (stmt_contains_parallel(*s)) {
             flush();
+            frames_.push_back(stmt_label(*s));
             lower_serial_for(*s, /*serial_context=*/true);
+            frames_.pop_back();
           } else if (stmt_has_side_effects(*s)) {
             push_guarded(s);
           } else {
@@ -622,8 +640,7 @@ class Lowering {
         case Stmt::Kind::If:
           if (stmt_contains_parallel(*s)) {
             throw std::invalid_argument(
-                "lower(" + spec_.name +
-                "): parallel loop inside `if` is not supported");
+                where() + ": parallel loop inside `if` is not supported");
           }
           if (stmt_has_side_effects(*s)) {
             push_guarded(s);
@@ -643,6 +660,7 @@ class Lowering {
   /// Lower a statement in plain SPMD context (inside a parallel body, or
   /// inside a core-0 guard).
   void lower_stmt(const Stmt& s) {
+    frames_.push_back(stmt_label(s));
     reset_temps();
     switch (s.kind) {
       case Stmt::Kind::Decl:
@@ -657,8 +675,7 @@ class Lowering {
       case Stmt::Kind::For:
         if (s.parallel) {
           throw std::invalid_argument(
-              "lower(" + spec_.name +
-              "): nested parallelism is not supported by the PULP runtime");
+              where() + ": nested parallelism is not supported by the PULP runtime");
         }
         lower_serial_for(s, /*serial_context=*/false);
         break;
@@ -693,6 +710,7 @@ class Lowering {
         emit({.op = Op::DmaWait});
         break;
     }
+    frames_.pop_back();
   }
 
   void lower_decl_or_assign(const Stmt& s, bool declare) {
@@ -950,6 +968,9 @@ class Lowering {
   int itemp_cur_ = kir::kNumRegs - 1;
   int ftemp_cur_ = kir::kNumRegs - 1;
   std::vector<LoopEnv> loop_env_;
+  /// Statement path to the construct being lowered, for error messages.
+  /// No pop on throw: an exception abandons the whole Lowering object.
+  std::vector<std::string> frames_;
 };
 
 }  // namespace

@@ -28,6 +28,12 @@ struct LowerOptions {
   std::uint32_t tcdm_bytes = 64 * 1024;
   std::uint32_t l2_base = 0x1C00'0000;
   std::uint32_t l2_bytes = 512 * 1024;
+  /// Run the semantic KIR verifier (kir::verify_program — barrier, race,
+  /// bounds and register-use passes) on the lowered program and throw
+  /// std::runtime_error with the full report when it finds an
+  /// error-severity diagnostic. Off by default: the dataset pipeline runs
+  /// the verifier itself so it can also record warning/note counts.
+  bool verify = false;
 };
 
 /// Compile `spec` to KIR. Throws std::invalid_argument /

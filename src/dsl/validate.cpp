@@ -14,10 +14,45 @@ enum class Ctx {
   Parallel,    ///< every core, on its own chunk (values may diverge)
 };
 
+}  // namespace
+
+std::string stmt_label(const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::Decl: return "decl(" + s.name + ")";
+    case Stmt::Kind::Assign: return "assign(" + s.name + ")";
+    case Stmt::Kind::Store: return "store(" + s.name + ")";
+    case Stmt::Kind::For:
+      return (s.parallel ? "par_for(" : "for(") + s.loop_var + ")";
+    case Stmt::Kind::If: return "if";
+    case Stmt::Kind::Barrier: return "barrier";
+    case Stmt::Kind::Critical: return "critical";
+    case Stmt::Kind::DmaCopy:
+      return "dma_copy(" + s.dma_src + "->" + s.dma_dst + ")";
+    case Stmt::Kind::DmaWait: return "dma_wait";
+  }
+  return "?";
+}
+
+namespace {
+
 struct Checker {
   /// Scalars whose value is NOT consistent across all cores.
   std::set<std::string> tainted;
-  std::string error;
+  std::vector<kir::Diagnostic> diags;
+  /// Statement path from the kernel body to the current statement.
+  std::vector<std::string> frames;
+  /// (location, scalar) pairs already reported, to keep one diagnostic
+  /// per offending read site.
+  std::set<std::string> reported;
+
+  [[nodiscard]] std::string location() const {
+    std::string out;
+    for (const std::string& f : frames) {
+      if (!out.empty()) out += " > ";
+      out += f;
+    }
+    return out;
+  }
 
   void collect_expr_reads(const ExprP& e, std::set<std::string>& out) {
     if (!e) return;
@@ -27,12 +62,14 @@ struct Checker {
   }
 
   void fail(const std::string& what, const std::string& name) {
-    if (error.empty()) {
-      error = what + ": scalar '" + name +
-              "' was computed on a single core (or diverged across cores) "
-              "and is read where all cores need a consistent value; hoist "
-              "the computation or pass it through a buffer";
-    }
+    const std::string loc = location();
+    if (!reported.insert(loc + "\x1f" + name).second) return;
+    diags.push_back({kir::Severity::Error, "spmd", loc, -1,
+                     what + ": scalar '" + name +
+                         "' was computed on a single core (or diverged "
+                         "across cores) and is read where all cores need a "
+                         "consistent value; hoist the computation or pass "
+                         "it through a buffer"});
   }
 
   /// Check the reads of one expression in a context that requires
@@ -48,10 +85,16 @@ struct Checker {
 
   /// Walk a statement list in `ctx`. `local_writes` accumulates scalars
   /// written within the enclosing parallel/guarded body (reads of those
-  /// are fine inside the same body, in program order).
+  /// are fine inside the same body, in program order). `list` names the
+  /// child list ("body"/"else") in diagnostic paths.
   void walk(const std::vector<StmtP>& stmts, Ctx ctx,
-            std::set<std::string>& local_writes) {
-    for (const StmtP& sp : stmts) walk_stmt(*sp, ctx, local_writes);
+            std::set<std::string>& local_writes, const char* list = "body") {
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+      frames.push_back(std::string(list) + "[" + std::to_string(i) +
+                       "]:" + stmt_label(*stmts[i]));
+      walk_stmt(*stmts[i], ctx, local_writes);
+      frames.pop_back();
+    }
   }
 
   void walk_stmt(const Stmt& s, Ctx ctx, std::set<std::string>& local) {
@@ -79,9 +122,8 @@ struct Checker {
         check(s.hi, "loop bound");
         if (s.parallel) {
           if (ctx == Ctx::Parallel) {
-            if (error.empty()) {
-              error = "nested parallel loops are not supported";
-            }
+            diags.push_back({kir::Severity::Error, "spmd", location(), -1,
+                             "nested parallel loops are not supported"});
             return;
           }
           std::set<std::string> body_writes;
@@ -123,7 +165,7 @@ struct Checker {
           check_reads(s.cond, local, "if condition");
         }
         walk(s.body, body_ctx, local);
-        walk(s.else_body, body_ctx, local);
+        walk(s.else_body, body_ctx, local, "else");
         if (body_ctx == Ctx::MasterOnly && ctx == Ctx::Replicated) {
           // Conservatively taint scalars written under the guard.
           std::set<std::string> writes;
@@ -185,14 +227,20 @@ bool stmt_has_side_effects(const Stmt& s) {
   return false;
 }
 
-std::string validate_spec(const KernelSpec& spec) {
+std::vector<kir::Diagnostic> validate_spec_diags(const KernelSpec& spec) {
   Checker checker;
   std::set<std::string> top;
   checker.walk(spec.body, Ctx::Replicated, top);
-  if (!checker.error.empty()) {
-    return "kernel " + spec.name + ": " + checker.error;
-  }
-  return {};
+  return std::move(checker.diags);
+}
+
+std::string validate_spec(const KernelSpec& spec) {
+  const std::vector<kir::Diagnostic> diags = validate_spec_diags(spec);
+  if (diags.empty()) return {};
+  const kir::Diagnostic& d = diags.front();
+  std::string out = "kernel " + spec.name + ": " + d.message;
+  if (!d.location.empty()) out += " [at " + d.location + "]";
+  return out;
 }
 
 }  // namespace pulpc::dsl

@@ -12,15 +12,28 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "dsl/ast.hpp"
+#include "kir/passes.hpp"
 
 namespace pulpc::dsl {
 
-/// Returns an empty string when the kernel is sound under the SPMD
-/// lowering rules, otherwise a description of the first violation.
-/// lower() calls this automatically.
+/// Structured validation: one Error-severity Diagnostic (pass "spmd")
+/// per violation, with a statement-path location such as
+/// `body[1]:for(i) > body[0]:store(out)` pointing into the spec's
+/// statement tree. Empty when the kernel is sound.
+[[nodiscard]] std::vector<kir::Diagnostic> validate_spec_diags(
+    const KernelSpec& spec);
+
+/// String shim over validate_spec_diags: empty when the kernel is sound
+/// under the SPMD lowering rules, otherwise a description of the first
+/// violation. lower() calls this automatically.
 [[nodiscard]] std::string validate_spec(const KernelSpec& spec);
+
+/// Short label for a statement ("par_for(i)", "store(out)", ...), used in
+/// diagnostic statement paths by both validation and lowering.
+[[nodiscard]] std::string stmt_label(const Stmt& s);
 
 /// True if the statement (recursively) contains a parallel loop.
 [[nodiscard]] bool stmt_contains_parallel(const Stmt& s);

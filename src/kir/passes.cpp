@@ -1,0 +1,300 @@
+#include "kir/passes.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "kir/operands.hpp"
+
+namespace pulpc::kir {
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << kir::to_string(severity) << " [" << pass << "] ";
+  if (!location.empty()) os << location << ": ";
+  os << message;
+  return os.str();
+}
+
+std::size_t VerifyReport::count(Severity s) const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags) n += (d.severity == s);
+  return n;
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  os << program << ": " << errors() << " error(s), " << warnings()
+     << " warning(s), " << notes() << " note(s)\n";
+  for (const Severity want :
+       {Severity::Error, Severity::Warning, Severity::Note}) {
+    for (const auto& d : diags) {
+      if (d.severity == want) os << "  " << d.to_string() << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string instr_location(const Program& prog, std::uint32_t pc) {
+  std::ostringstream os;
+  os << "instr " << pc;
+  if (pc < prog.code.size()) os << " (" << to_string(prog.code[pc]) << ")";
+  return os.str();
+}
+
+const Cfg& AnalysisContext::cfg() {
+  if (!cfg_) cfg_ = build_cfg(prog_);
+  return *cfg_;
+}
+
+std::uint32_t AnalysisContext::kernel_begin() {
+  if (!kernel_begin_) {
+    std::uint32_t k = 0;
+    for (std::uint32_t i = 0; i < prog_.code.size(); ++i) {
+      if (prog_.code[i].op == Op::MarkEnter) {
+        k = i;
+        break;
+      }
+    }
+    kernel_begin_ = k;
+  }
+  return *kernel_begin_;
+}
+
+namespace {
+
+/// Dense bitset over basic blocks (row of the postdominator matrix).
+class BlockSet {
+ public:
+  explicit BlockSet(std::size_t n) : words_((n + 63) / 64, 0) {}
+  void set(std::size_t i) { words_[i / 64] |= 1ull << (i % 64); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+  void fill() {
+    for (auto& w : words_) w = ~0ull;
+  }
+  /// *this &= other; returns true when *this changed.
+  bool intersect(const BlockSet& other) {
+    bool changed = false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t nw = words_[w] & other.words_[w];
+      changed |= nw != words_[w];
+      words_[w] = nw;
+    }
+    return changed;
+  }
+  [[nodiscard]] std::size_t popcount() const {
+    std::size_t n = 0;
+    for (const auto w : words_) n += std::popcount(w);
+    return n;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace
+
+const std::vector<std::uint32_t>& AnalysisContext::ipostdom() {
+  if (ipostdom_) return *ipostdom_;
+  const Cfg& g = cfg();
+  const std::size_t nb = g.blocks.size();
+  // Postdominator sets by iterative intersection: pdom(exit) = {exit};
+  // pdom(b) = {b} ∪ ∩ pdom(succ). Blocks without successors (Halt) act
+  // as exits of a virtual sink.
+  std::vector<BlockSet> pdom(nb, BlockSet(nb));
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (g.blocks[b].succs.empty()) {
+      pdom[b].set(b);
+    } else {
+      pdom[b].fill();
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = nb; b-- > 0;) {
+      if (g.blocks[b].succs.empty()) continue;
+      BlockSet next(nb);
+      next.fill();
+      for (const auto s : g.blocks[b].succs) next.intersect(pdom[s]);
+      next.set(b);
+      changed |= pdom[b].intersect(next);
+    }
+  }
+  // The immediate postdominator of b is the postdominator whose own set
+  // is exactly pdom(b) minus b itself (the chain element nearest to b).
+  std::vector<std::uint32_t> ipdom(nb, kNoBlock);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t want = pdom[b].popcount() - 1;
+    for (std::size_t p = 0; p < nb; ++p) {
+      if (p == b || !pdom[b].test(p)) continue;
+      if (pdom[p].popcount() == want) {
+        ipdom[b] = static_cast<std::uint32_t>(p);
+        break;
+      }
+    }
+  }
+  ipostdom_ = std::move(ipdom);
+  return *ipostdom_;
+}
+
+namespace {
+
+/// Register slots (int r = bit r, float f = bit 32 + f) an instruction
+/// makes divergent or uniform, given the divergence of its inputs.
+bool writes_divergent(const Instr& ins, std::uint64_t in_mask,
+                      bool control_divergent) {
+  if (ins.op == Op::CoreId) return true;
+  // Loads may observe per-core data (chunk-local buffer contents).
+  if (ins.op == Op::Lw || ins.op == Op::Flw) return true;
+  if (control_divergent) return true;
+  const Operands ops = operands_of(ins);
+  for (int i = 0; i < ops.n_reads; ++i) {
+    if ((in_mask >> ops.reads[i].slot()) & 1u) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const DivergenceInfo& AnalysisContext::divergence() {
+  if (divergence_) return *divergence_;
+  const Program& p = prog_;
+  const Cfg& g = cfg();
+  const auto& ipdom = ipostdom();
+  const std::size_t nb = g.blocks.size();
+
+  std::vector<std::vector<std::uint32_t>> preds(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (const auto s : g.blocks[b].succs) {
+      preds[s].push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+
+  DivergenceInfo info;
+  info.divergent_block.assign(nb, false);
+  info.divergent_branch.assign(nb, false);
+  std::vector<std::uint64_t> block_in(nb, 0), block_out(nb, 0);
+
+  // Mutual fixpoint: register divergence feeds branch divergence feeds
+  // control (block) divergence feeds register divergence. All three only
+  // grow except register masks, which are recomputed from scratch each
+  // outer round against the monotone divergent_block set, so the outer
+  // iteration terminates.
+  bool outer_changed = true;
+  while (outer_changed) {
+    outer_changed = false;
+    // Inner fixpoint: forward register-divergence dataflow.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 0; b < nb; ++b) {
+        std::uint64_t in = 0;
+        for (const auto pr : preds[b]) in |= block_out[pr];
+        std::uint64_t m = in;
+        const bool cdiv = info.divergent_block[b];
+        for (std::uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end;
+             ++pc) {
+          const Instr& ins = p.code[pc];
+          const Operands ops = operands_of(ins);
+          if (ops.n_writes == 0) continue;
+          const int slot = ops.writes[0].slot();
+          if (writes_divergent(ins, m, cdiv)) {
+            m |= 1ull << slot;
+          } else {
+            m &= ~(1ull << slot);
+          }
+        }
+        if (in != block_in[b] || m != block_out[b]) {
+          block_in[b] = in;
+          block_out[b] = m;
+          changed = true;
+        }
+      }
+    }
+    // Branch divergence + control-divergent regions (blocks reachable
+    // from a divergent branch's successors before its reconvergence
+    // point, the immediate postdominator).
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (g.blocks[b].succs.size() < 2) continue;
+      const Instr& term = p.code[g.blocks[b].end - 1];
+      if (!is_branch(term.op) || term.op == Op::Jmp) continue;
+      // In-state at the terminator.
+      std::uint64_t m = block_in[b];
+      for (std::uint32_t pc = g.blocks[b].begin; pc + 1 < g.blocks[b].end;
+           ++pc) {
+        const Instr& ins = p.code[pc];
+        const Operands ops = operands_of(ins);
+        if (ops.n_writes == 0) continue;
+        const int slot = ops.writes[0].slot();
+        if (writes_divergent(ins, m, info.divergent_block[b])) {
+          m |= 1ull << slot;
+        } else {
+          m &= ~(1ull << slot);
+        }
+      }
+      const bool div = ((m >> term.rs1) & 1u) || ((m >> term.rs2) & 1u);
+      if (div && !info.divergent_branch[b]) {
+        info.divergent_branch[b] = true;
+        outer_changed = true;
+      }
+      if (!info.divergent_branch[b]) continue;
+      // Mark the divergent region: DFS from each successor, stopping at
+      // the reconvergence block.
+      const std::uint32_t stop = ipdom[b];
+      std::vector<std::uint32_t> work(g.blocks[b].succs.begin(),
+                                      g.blocks[b].succs.end());
+      while (!work.empty()) {
+        const std::uint32_t cur = work.back();
+        work.pop_back();
+        if (cur == stop || info.divergent_block[cur]) continue;
+        info.divergent_block[cur] = true;
+        outer_changed = true;
+        for (const auto s : g.blocks[cur].succs) work.push_back(s);
+      }
+    }
+  }
+
+  // Final per-instruction IN states.
+  info.div_in.assign(p.code.size(), 0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    std::uint64_t m = block_in[b];
+    for (std::uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+      info.div_in[pc] = m;
+      const Instr& ins = p.code[pc];
+      const Operands ops = operands_of(ins);
+      if (ops.n_writes == 0) continue;
+      const int slot = ops.writes[0].slot();
+      if (writes_divergent(ins, m, info.divergent_block[b])) {
+        m |= 1ull << slot;
+      } else {
+        m &= ~(1ull << slot);
+      }
+    }
+  }
+  divergence_ = std::move(info);
+  return *divergence_;
+}
+
+VerifyReport PassManager::run(const Program& prog) {
+  VerifyReport report;
+  report.program = prog.name;
+  AnalysisContext ctx(prog);
+  for (const auto& pass : passes_) {
+    pass->run(ctx, report.diags);
+  }
+  return report;
+}
+
+}  // namespace pulpc::kir

@@ -1,0 +1,140 @@
+// Static-analysis pass framework over lowered KIR. A PassManager runs a
+// sequence of analysis passes against one Program; each pass appends
+// structured Diagnostic records (severity + pass name + location) to a
+// shared VerifyReport. The AnalysisContext lazily builds and caches the
+// facts several passes share: the CFG, immediate postdominators, and the
+// SPMD divergence analysis (which registers / branches / blocks may
+// behave differently across cores under the lowering conventions).
+//
+// The framework is the substrate for kir/verify.hpp (barrier, race,
+// bounds, and register-use passes) but is deliberately generic: the DSL
+// layer reuses Diagnostic for validate_spec, and future passes (feature
+// extractors, cost checkers) can plug in without touching the driver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kir/cfg.hpp"
+#include "kir/ir.hpp"
+
+namespace pulpc::kir {
+
+/// Diagnostic severity. `Error` marks a proven defect (verification
+/// fails); `Warning` marks a likely defect (fails under --werror);
+/// `Note` records an analysis-precision loss (never fails the build).
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// One structured finding. `location` is human-readable ("instr 42: sw
+/// ..." for KIR passes, a statement path like "body[2].for(i)" for DSL
+/// validation); `instr` is the instruction index when one applies.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string pass;
+  std::string location;
+  std::int32_t instr = -1;  ///< instruction index, -1 when not applicable
+  std::string message;
+
+  /// "error [race] instr 42 (sw ...): overlapping chunks ..."
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Aggregated result of a verification run.
+struct VerifyReport {
+  std::string program;  ///< Program::name of the verified kernel
+  std::vector<Diagnostic> diags;
+
+  [[nodiscard]] std::size_t count(Severity s) const noexcept;
+  [[nodiscard]] std::size_t errors() const noexcept {
+    return count(Severity::Error);
+  }
+  [[nodiscard]] std::size_t warnings() const noexcept {
+    return count(Severity::Warning);
+  }
+  [[nodiscard]] std::size_t notes() const noexcept {
+    return count(Severity::Note);
+  }
+  /// No error-severity diagnostics (warnings/notes allowed).
+  [[nodiscard]] bool ok() const noexcept { return errors() == 0; }
+  /// Multi-line dump, one diagnostic per line, errors first.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// SPMD divergence facts: which values and control edges may differ
+/// across cores. Computed by a mutual fixpoint of (a) register taint
+/// from CoreId / TCDM loads and (b) control-dependence on divergent
+/// branches bounded by the branch block's immediate postdominator.
+struct DivergenceInfo {
+  /// Per-instruction IN-state: bit r (r < 32) set = integer register r,
+  /// bit 32+f set = fp register f, may hold different values on
+  /// different cores when this instruction executes.
+  std::vector<std::uint64_t> div_in;
+  /// Per-block: block executes under divergent control (some cores may
+  /// run it while others do not, before reconvergence).
+  std::vector<bool> divergent_block;
+  /// Per-block: the block's terminator is a conditional branch whose
+  /// condition registers are divergent.
+  std::vector<bool> divergent_branch;
+};
+
+/// Shared lazily-computed analysis facts for one program. Passes request
+/// what they need; results are cached for the lifetime of the context.
+class AnalysisContext {
+ public:
+  explicit AnalysisContext(const Program& prog) : prog_(prog) {}
+
+  [[nodiscard]] const Program& prog() const noexcept { return prog_; }
+  [[nodiscard]] const Cfg& cfg();
+  /// Immediate postdominator of each block (index into cfg().blocks);
+  /// kNoBlock for blocks whose only postdominator is the virtual exit.
+  [[nodiscard]] const std::vector<std::uint32_t>& ipostdom();
+  [[nodiscard]] const DivergenceInfo& divergence();
+
+  /// First MarkEnter index (0 when absent). Instructions before it form
+  /// the runtime prologue (zero-reg / core-id setup) that several passes
+  /// exempt from style checks.
+  [[nodiscard]] std::uint32_t kernel_begin();
+
+  static constexpr std::uint32_t kNoBlock = 0xffff'ffffu;
+
+ private:
+  const Program& prog_;
+  std::optional<Cfg> cfg_;
+  std::optional<std::vector<std::uint32_t>> ipostdom_;
+  std::optional<DivergenceInfo> divergence_;
+  std::optional<std::uint32_t> kernel_begin_;
+};
+
+/// One analysis pass. Implementations must be reusable across programs:
+/// all per-program state lives in the AnalysisContext or on the stack.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  virtual void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) = 0;
+};
+
+/// Runs registered passes in order and aggregates their diagnostics.
+class PassManager {
+ public:
+  void add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+  [[nodiscard]] std::size_t size() const noexcept { return passes_.size(); }
+
+  /// Run every pass over `prog`. Diagnostics keep pass registration
+  /// order; the report is deterministic for a given program.
+  [[nodiscard]] VerifyReport run(const Program& prog);
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Helper for pass implementations: "instr 42 (sw ...)".
+[[nodiscard]] std::string instr_location(const Program& prog,
+                                         std::uint32_t pc);
+
+}  // namespace pulpc::kir

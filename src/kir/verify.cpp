@@ -1,0 +1,1191 @@
+// Implementation of the four standard verifier passes. The race and
+// bounds passes share a symbolic memory model: every integer register is
+// tracked as a linear form over "symbols" (loop induction variables with
+// symbolic bound forms, the core id, uniform unknowns, interval-bounded
+// opaque values). Buffer accesses become linear byte-offset forms that
+// the bounds pass evaluates against extents (with relational
+// substitution of loop bounds, so triangular loops like `for j < i`
+// stay precise) and the race pass compares across per-core instances by
+// solving a small bounded linear Diophantine feasibility problem.
+#include "kir/verify.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "kir/operands.hpp"
+
+namespace pulpc::kir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Saturating int64 interval arithmetic.
+
+constexpr long long kInf = 1ll << 60;
+
+long long sat(long long v) { return std::clamp(v, -kInf, kInf); }
+
+long long sadd(long long a, long long b) {
+  return sat(sat(a) + sat(b));  // |a|,|b| <= 2^60 so the sum cannot wrap
+}
+
+long long smul(long long a, long long b) {
+  const __int128 p = static_cast<__int128>(sat(a)) * sat(b);
+  if (p > kInf) return kInf;
+  if (p < -kInf) return -kInf;
+  return static_cast<long long>(p);
+}
+
+struct Ival {
+  long long lo = -kInf;
+  long long hi = kInf;
+};
+
+Ival iadd(Ival a, Ival b) { return {sadd(a.lo, b.lo), sadd(a.hi, b.hi)}; }
+
+Ival iscale(Ival a, long long k) {
+  if (k >= 0) return {smul(a.lo, k), smul(a.hi, k)};
+  return {smul(a.hi, k), smul(a.lo, k)};
+}
+
+Ival imul(Ival a, Ival b) {
+  const long long c[4] = {smul(a.lo, b.lo), smul(a.lo, b.hi),
+                          smul(a.hi, b.lo), smul(a.hi, b.hi)};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+// ---------------------------------------------------------------------------
+// Linear forms over symbols.
+
+struct SymExpr {
+  /// Sorted (symbol id, coefficient) pairs; zero coefficients removed.
+  std::vector<std::pair<int, long long>> terms;
+  long long c0 = 0;
+
+  [[nodiscard]] bool is_const() const { return terms.empty(); }
+
+  void add_term(int sym, long long c) {
+    if (c == 0) return;
+    auto it = std::lower_bound(
+        terms.begin(), terms.end(), sym,
+        [](const auto& t, int s) { return t.first < s; });
+    if (it != terms.end() && it->first == sym) {
+      it->second = sadd(it->second, c);
+      if (it->second == 0) terms.erase(it);
+    } else {
+      terms.insert(it, {sym, c});
+    }
+  }
+};
+
+SymExpr form_const(long long c) { return {.terms = {}, .c0 = sat(c)}; }
+
+SymExpr form_sym(int sym) {
+  SymExpr f;
+  f.add_term(sym, 1);
+  return f;
+}
+
+SymExpr form_add(const SymExpr& a, const SymExpr& b) {
+  SymExpr r = a;
+  for (const auto& [s, c] : b.terms) r.add_term(s, c);
+  r.c0 = sadd(r.c0, b.c0);
+  return r;
+}
+
+SymExpr form_scale(const SymExpr& a, long long k) {
+  SymExpr r;
+  for (const auto& [s, c] : a.terms) {
+    const long long sc = smul(c, k);
+    if (sc != 0) r.add_term(s, sc);
+  }
+  r.c0 = smul(a.c0, k);
+  return r;
+}
+
+SymExpr form_sub(const SymExpr& a, const SymExpr& b) {
+  return form_add(a, form_scale(b, -1));
+}
+
+// ---------------------------------------------------------------------------
+// Symbols.
+
+struct Sym {
+  enum class Kind : std::uint8_t { Cid, NumCores, LoopVar, Free, Rem };
+  Kind kind = Kind::Free;
+  /// Same value on every core at any given execution point.
+  bool uniform = false;
+  int loop = -1;  ///< LoopMeta index for LoopVar symbols
+  bool parallel = false;
+  long long step = 1;
+  SymExpr lo, hi;  ///< LoopVar value range [lo, hi - 1] as symbolic forms
+  Ival range;      ///< concrete value interval
+  /// Attained ("witness") value range: values the symbol provably takes
+  /// at runtime. Distinguishes proven defects from may-defects.
+  bool wvalid = false;
+  long long wlo = 0, whi = 0;
+  /// Rem symbols: value = rem_src % rem_mod (rem_src a prior form).
+  SymExpr rem_src;
+  long long rem_mod = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The symbolic memory model: one linear walk over the program.
+
+struct Access {
+  std::uint32_t pc = 0;
+  bool store = false;
+  int buf = -1;          ///< Program::buffers index, -1 if unresolved
+  SymExpr addr;          ///< byte offset from the buffer base
+  int region = -1;       ///< Program::regions index containing pc
+  int crit_depth = 0;    ///< nesting depth of critical sections at pc
+};
+
+class Model {
+ public:
+  Model(AnalysisContext& ctx, const VerifyOptions& opt)
+      : prog_(ctx.prog()), opt_(opt), div_(ctx.divergence()) {
+    build();
+  }
+
+  const Program& prog_;
+  const VerifyOptions& opt_;
+  const DivergenceInfo& div_;
+  std::vector<Sym> syms;
+  std::vector<Access> accesses;
+  int cid_sym = -1;
+
+  [[nodiscard]] const Sym& sym(int id) const { return syms[std::size_t(id)]; }
+
+  /// Concrete interval of a form, substituting loop-variable symbols by
+  /// their symbolic bounds innermost-first (this keeps correlated bounds
+  /// like `for i < kk: use kk - i - 1` precise).
+  [[nodiscard]] Ival eval(const SymExpr& f, int depth = 0) const {
+    int pick = -1;
+    long long coeff = 0;
+    for (const auto& [s, c] : f.terms) {
+      if (syms[std::size_t(s)].kind == Sym::Kind::LoopVar && s > pick) {
+        pick = s;
+        coeff = c;
+      }
+    }
+    if (pick < 0 || depth > 16) {
+      Ival r{f.c0, f.c0};
+      for (const auto& [s, c] : f.terms) {
+        r = iadd(r, iscale(syms[std::size_t(s)].range, c));
+      }
+      return r;
+    }
+    SymExpr base = f;
+    base.terms.erase(std::find_if(
+        base.terms.begin(), base.terms.end(),
+        [&](const auto& t) { return t.first == pick; }));
+    const Sym& s = syms[std::size_t(pick)];
+    SymExpr top = s.hi;  // value range is [lo, hi - 1]
+    top.c0 = sadd(top.c0, -1);
+    const SymExpr at_min =
+        form_add(base, form_scale(coeff > 0 ? s.lo : top, coeff));
+    const SymExpr at_max =
+        form_add(base, form_scale(coeff > 0 ? top : s.lo, coeff));
+    const long long lo = eval(at_min, depth + 1).lo;
+    const long long hi = eval(at_max, depth + 1).hi;
+    return {std::min(lo, hi), std::max(lo, hi)};
+  }
+
+  /// Range of values `f` provably attains at runtime. Only forms over at
+  /// most one witnessed symbol qualify (independence is not tracked).
+  [[nodiscard]] bool witness(const SymExpr& f, Ival& out) const {
+    if (f.terms.empty()) {
+      out = {f.c0, f.c0};
+      return true;
+    }
+    if (f.terms.size() != 1) return false;
+    const auto [sid, c] = f.terms.front();
+    const Sym& s = syms[std::size_t(sid)];
+    long long wlo = 0, whi = 0;
+    if (s.kind == Sym::Kind::Cid) {
+      wlo = 0;
+      whi = opt_.max_cores - 1;
+    } else if (s.kind == Sym::Kind::LoopVar && s.wvalid) {
+      wlo = s.wlo;
+      whi = s.whi;
+    } else {
+      return false;
+    }
+    const long long a = sadd(smul(c, wlo), f.c0);
+    const long long b = sadd(smul(c, whi), f.c0);
+    out = {std::min(a, b), std::max(a, b)};
+    return true;
+  }
+
+  [[nodiscard]] const char* buffer_name(int buf) const {
+    return buf >= 0 ? prog_.buffers[std::size_t(buf)].name.c_str() : "?";
+  }
+
+ private:
+  int fresh(Sym s) {
+    syms.push_back(std::move(s));
+    return static_cast<int>(syms.size()) - 1;
+  }
+
+  int fresh_free(Ival range, bool uniform) {
+    return fresh(
+        Sym{.kind = Sym::Kind::Free, .uniform = uniform, .range = range});
+  }
+
+  [[nodiscard]] bool is_uniform(const SymExpr& f) const {
+    for (const auto& [s, c] : f.terms) {
+      (void)c;
+      if (!syms[std::size_t(s)].uniform) return false;
+    }
+    return true;
+  }
+
+  /// Opaque result of a non-linear operation: keep the interval, keep
+  /// uniformity, lose the linear structure.
+  SymExpr opaque(Ival range, bool uniform) {
+    return form_sym(fresh_free(range, uniform));
+  }
+
+  [[nodiscard]] int find_buffer(std::int32_t imm) const {
+    for (std::size_t b = 0; b < prog_.buffers.size(); ++b) {
+      if (static_cast<std::int64_t>(prog_.buffers[b].base) == imm) {
+        return static_cast<int>(b);
+      }
+    }
+    return -1;
+  }
+
+  /// Interval of values a load from `buf` may observe: derived from the
+  /// declared initialiser when nothing in the program stores to the
+  /// buffer, unconstrained otherwise.
+  [[nodiscard]] Ival content_range(int buf,
+                                   const std::vector<bool>& stored) const {
+    if (buf < 0 || stored[std::size_t(buf)]) return {};
+    const BufferInfo& b = prog_.buffers[std::size_t(buf)];
+    switch (b.init) {
+      case BufInit::Zero: return {0, 0};
+      case BufInit::Ramp: return {0, std::max<long long>(0, b.elems - 1)};
+      case BufInit::RandomPos: return {1, kInf};
+      case BufInit::Random: return {};
+    }
+    return {};
+  }
+
+  void build();
+};
+
+void Model::build() {
+  const Program& p = prog_;
+  // Which buffers are written anywhere (stores or DMA): their contents
+  // are unknown, others keep their initialiser-derived range.
+  std::vector<bool> stored(p.buffers.size(), false);
+  bool has_dma = false;
+  for (const Instr& ins : p.code) {
+    if (ins.op == Op::Sw || ins.op == Op::Fsw) {
+      const int b = find_buffer(ins.imm);
+      if (b >= 0) stored[std::size_t(b)] = true;
+    }
+    if (ins.op == Op::DmaStart) has_dma = true;
+  }
+  if (has_dma) stored.assign(stored.size(), true);
+
+  // Loop headers and enclosing region per instruction.
+  std::map<std::uint32_t, int> loop_at_header;
+  for (std::size_t l = 0; l < p.loops.size(); ++l) {
+    loop_at_header[p.loops[l].body_begin] = static_cast<int>(l);
+  }
+  std::vector<int> region_of(p.code.size(), -1);
+  for (std::size_t r = 0; r < p.regions.size(); ++r) {
+    for (std::uint32_t i = p.regions[r].begin;
+         i < p.regions[r].end && i < p.code.size(); ++i) {
+      region_of[i] = static_cast<int>(r);
+    }
+  }
+
+  std::array<SymExpr, kNumRegs> reg{};
+  std::array<bool, kNumRegs> has{};
+  std::uint32_t cur_pc = 0;
+  const auto read_reg = [&](std::uint8_t r) -> SymExpr {
+    if (!has[r]) {
+      const bool uni =
+          cur_pc < div_.div_in.size() && !((div_.div_in[cur_pc] >> r) & 1u);
+      reg[r] = opaque({}, uni);
+      has[r] = true;
+    }
+    return reg[r];
+  };
+  const auto write_reg = [&](std::uint8_t r, SymExpr f) {
+    reg[r] = std::move(f);
+    has[r] = true;
+  };
+
+  int crit = 0;
+  for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+    cur_pc = pc;
+    // Entering a loop: registers mutated by the body no longer hold
+    // their pre-loop values on iterations past the first; replace them
+    // with opaque symbols (uniform when the divergence analysis proves
+    // the value core-invariant). The induction variable itself becomes
+    // a LoopVar symbol bounded by its current init form and the bound
+    // register's current form.
+    if (const auto it = loop_at_header.find(pc); it != loop_at_header.end()) {
+      const LoopMeta& lm = p.loops[std::size_t(it->second)];
+      const Instr& head = p.code[pc];
+      const std::uint8_t var = head.rs1;
+      const std::uint8_t bound = head.rs2;
+      if (head.op == Op::Bge && lm.body_end >= pc + 3 &&
+          lm.body_end <= p.code.size()) {
+        std::vector<bool> written(kNumRegs, false);
+        for (std::uint32_t i = pc; i < lm.body_end; ++i) {
+          const Operands ops = operands_of(p.code[i]);
+          for (int w = 0; w < ops.n_writes; ++w) {
+            if (!ops.writes[w].fp) written[ops.writes[w].idx] = true;
+          }
+        }
+        for (int r = 0; r < kNumRegs; ++r) {
+          if (!written[std::size_t(r)] || r == var) continue;
+          const bool uni = !((div_.div_in[pc] >> r) & 1u);
+          write_reg(static_cast<std::uint8_t>(r), opaque({}, uni));
+        }
+        // Latch step: AddI var, var, step (serial/chunked) or
+        // Add var, var, stride with stride = step * NumCores (cyclic).
+        long long step = 1;
+        const Instr& latch = p.code[lm.body_end - 2];
+        if (latch.op == Op::AddI && latch.rd == var) {
+          step = latch.imm;
+        } else if (latch.op == Op::Add && latch.rd == var) {
+          const SymExpr stride = read_reg(latch.rs2);
+          if (stride.terms.size() == 1 && stride.c0 == 0 &&
+              syms[std::size_t(stride.terms[0].first)].kind ==
+                  Sym::Kind::NumCores) {
+            step = stride.terms[0].second;
+          }
+        }
+        Sym iv{.kind = Sym::Kind::LoopVar,
+               .uniform = false,
+               .loop = it->second,
+               .parallel = lm.parallel,
+               .step = step == 0 ? 1 : step,
+               .lo = read_reg(var),
+               .hi = read_reg(bound)};
+        iv.uniform = is_uniform(iv.lo) && is_uniform(iv.hi) && !lm.parallel;
+        const Ival lo_r = eval(iv.lo);
+        iv.range = {lo_r.lo, sadd(eval(iv.hi).hi, -1)};
+        if (iv.range.hi < iv.range.lo) iv.range.hi = iv.range.lo;
+        if (lm.parallel) {
+          // Lowering contract: across all cores the loop collectively
+          // executes exactly `trip` iterations lo, lo+step, ... where lo
+          // is the minimum of the per-core start (chunked: lo +
+          // cid*chunk with min 0 offset; cyclic: lo + cid*step). The
+          // per-instance start is symbolic, but the collective coverage
+          // witness only needs that minimum to be finite.
+          if (lm.trip >= 1 && lo_r.lo > -kInf) {
+            iv.wvalid = true;
+            iv.wlo = lo_r.lo;
+            iv.whi = sadd(iv.wlo, smul(lm.trip - 1, iv.step));
+          }
+        } else if (iv.lo.is_const() && iv.hi.is_const() &&
+                   iv.hi.c0 - 1 >= iv.lo.c0) {
+          iv.wvalid = true;
+          iv.wlo = iv.lo.c0;
+          iv.whi = iv.hi.c0 - 1;
+        }
+        write_reg(var, form_sym(fresh(std::move(iv))));
+      }
+    }
+
+    const Instr& ins = p.code[pc];
+    const auto uni2 = [&](std::uint8_t a, std::uint8_t b) {
+      return is_uniform(read_reg(a)) && is_uniform(read_reg(b));
+    };
+    switch (ins.op) {
+      case Op::Li: write_reg(ins.rd, form_const(ins.imm)); break;
+      case Op::Mv: write_reg(ins.rd, read_reg(ins.rs1)); break;
+      case Op::Add:
+        write_reg(ins.rd, form_add(read_reg(ins.rs1), read_reg(ins.rs2)));
+        break;
+      case Op::Sub:
+        write_reg(ins.rd, form_sub(read_reg(ins.rs1), read_reg(ins.rs2)));
+        break;
+      case Op::AddI:
+        write_reg(ins.rd, form_add(read_reg(ins.rs1), form_const(ins.imm)));
+        break;
+      case Op::MulI:
+        write_reg(ins.rd, form_scale(read_reg(ins.rs1), ins.imm));
+        break;
+      case Op::Mul: {
+        const SymExpr a = read_reg(ins.rs1), b = read_reg(ins.rs2);
+        if (a.is_const()) {
+          write_reg(ins.rd, form_scale(b, a.c0));
+        } else if (b.is_const()) {
+          write_reg(ins.rd, form_scale(a, b.c0));
+        } else {
+          write_reg(ins.rd, opaque(imul(eval(a), eval(b)),
+                                   is_uniform(a) && is_uniform(b)));
+        }
+        break;
+      }
+      case Op::Mac: {
+        const SymExpr a = read_reg(ins.rs1), b = read_reg(ins.rs2);
+        SymExpr prod;
+        if (a.is_const()) {
+          prod = form_scale(b, a.c0);
+        } else if (b.is_const()) {
+          prod = form_scale(a, b.c0);
+        } else {
+          prod = opaque(imul(eval(a), eval(b)),
+                        is_uniform(a) && is_uniform(b));
+        }
+        write_reg(ins.rd, form_add(read_reg(ins.rd), prod));
+        break;
+      }
+      case Op::ShlI: {
+        if (ins.imm >= 0 && ins.imm < 62) {
+          write_reg(ins.rd, form_scale(read_reg(ins.rs1), 1ll << ins.imm));
+        } else {
+          write_reg(ins.rd, opaque({}, is_uniform(read_reg(ins.rs1))));
+        }
+        break;
+      }
+      case Op::ShrI: {
+        const SymExpr a = read_reg(ins.rs1);
+        const Ival r = eval(a);
+        Ival out{};
+        if (r.lo >= 0 && ins.imm >= 0 && ins.imm < 62) {
+          out = {r.lo >> ins.imm, r.hi >= kInf ? kInf : r.hi >> ins.imm};
+        }
+        write_reg(ins.rd, opaque(out, is_uniform(a)));
+        break;
+      }
+      case Op::Shl: {
+        const SymExpr a = read_reg(ins.rs1), b = read_reg(ins.rs2);
+        if (b.is_const() && b.c0 >= 0 && b.c0 < 62) {
+          write_reg(ins.rd, form_scale(a, 1ll << b.c0));
+        } else {
+          const Ival ra = eval(a), rb = eval(b);
+          Ival out{};
+          if (ra.lo >= 0 && rb.lo >= 0 && rb.hi < 62) {
+            out = {smul(ra.lo, 1ll << rb.lo), smul(ra.hi, 1ll << rb.hi)};
+          }
+          write_reg(ins.rd, opaque(out, is_uniform(a) && is_uniform(b)));
+        }
+        break;
+      }
+      case Op::Shr: {
+        const SymExpr a = read_reg(ins.rs1), b = read_reg(ins.rs2);
+        const Ival ra = eval(a), rb = eval(b);
+        Ival out{};
+        if (ra.lo >= 0 && rb.lo >= 0) {
+          out = {ra.hi >= kInf ? 0 : ra.lo >> std::min<long long>(rb.hi, 62),
+                 ra.hi >= kInf ? kInf
+                               : ra.hi >> std::min<long long>(rb.lo, 62)};
+        }
+        write_reg(ins.rd, opaque(out, uni2(ins.rs1, ins.rs2)));
+        break;
+      }
+      case Op::AndI: {
+        const Ival ra = eval(read_reg(ins.rs1));
+        Ival out{};
+        if (ins.imm >= 0) {
+          out = {0,
+                 ra.lo >= 0 ? std::min<long long>(ra.hi, ins.imm) : ins.imm};
+        }
+        write_reg(ins.rd, opaque(out, is_uniform(read_reg(ins.rs1))));
+        break;
+      }
+      case Op::And: {
+        const Ival ra = eval(read_reg(ins.rs1));
+        const Ival rb = eval(read_reg(ins.rs2));
+        Ival out{};
+        if (ra.lo >= 0 && rb.lo >= 0) {
+          out = {0, std::min(ra.hi, rb.hi)};
+        } else if (ra.lo >= 0) {
+          out = {0, ra.hi};
+        } else if (rb.lo >= 0) {
+          out = {0, rb.hi};
+        }
+        write_reg(ins.rd, opaque(out, uni2(ins.rs1, ins.rs2)));
+        break;
+      }
+      case Op::Or: case Op::Xor: {
+        const Ival ra = eval(read_reg(ins.rs1));
+        const Ival rb = eval(read_reg(ins.rs2));
+        Ival out{};
+        if (ra.lo >= 0 && rb.lo >= 0) out = {0, sadd(ra.hi, rb.hi)};
+        write_reg(ins.rd, opaque(out, uni2(ins.rs1, ins.rs2)));
+        break;
+      }
+      case Op::OrI: case Op::XorI: {
+        const Ival ra = eval(read_reg(ins.rs1));
+        Ival out{};
+        if (ra.lo >= 0 && ins.imm >= 0) out = {0, sadd(ra.hi, ins.imm)};
+        write_reg(ins.rd, opaque(out, is_uniform(read_reg(ins.rs1))));
+        break;
+      }
+      case Op::Slt: case Op::SltI: case Op::FLt: case Op::FLe: case Op::FEq:
+        write_reg(ins.rd, opaque({0, 1}, false));
+        break;
+      case Op::Min: {
+        const Ival ra = eval(read_reg(ins.rs1));
+        const Ival rb = eval(read_reg(ins.rs2));
+        write_reg(ins.rd,
+                  opaque({std::min(ra.lo, rb.lo), std::min(ra.hi, rb.hi)},
+                         uni2(ins.rs1, ins.rs2)));
+        break;
+      }
+      case Op::Max: {
+        const Ival ra = eval(read_reg(ins.rs1));
+        const Ival rb = eval(read_reg(ins.rs2));
+        write_reg(ins.rd,
+                  opaque({std::max(ra.lo, rb.lo), std::max(ra.hi, rb.hi)},
+                         uni2(ins.rs1, ins.rs2)));
+        break;
+      }
+      case Op::Abs: {
+        const Ival ra = eval(read_reg(ins.rs1));
+        const long long m =
+            std::max(ra.hi < 0 ? -ra.hi : ra.hi, ra.lo < 0 ? -ra.lo : 0ll);
+        write_reg(ins.rd, opaque({0, m}, is_uniform(read_reg(ins.rs1))));
+        break;
+      }
+      case Op::Div: {
+        const SymExpr a = read_reg(ins.rs1), b = read_reg(ins.rs2);
+        const Ival ra = eval(a), rb = eval(b);
+        Ival out{};
+        if (rb.lo >= 1) {
+          const long long c[4] = {ra.lo / rb.lo, ra.lo / rb.hi,
+                                  ra.hi / rb.lo, ra.hi / rb.hi};
+          out = {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+        }
+        write_reg(ins.rd, opaque(out, is_uniform(a) && is_uniform(b)));
+        break;
+      }
+      case Op::Rem: {
+        const SymExpr a = read_reg(ins.rs1), b = read_reg(ins.rs2);
+        const Ival ra = eval(a), rb = eval(b);
+        if (b.is_const() && b.c0 >= 1 && ra.lo >= 0) {
+          Sym rem{.kind = Sym::Kind::Rem,
+                  .uniform = is_uniform(a),
+                  .range = {0, std::min(ra.hi, b.c0 - 1)},
+                  .rem_src = a,
+                  .rem_mod = b.c0};
+          write_reg(ins.rd, form_sym(fresh(std::move(rem))));
+        } else if (rb.lo >= 1 && ra.lo >= 0) {
+          write_reg(ins.rd, opaque({0, sadd(rb.hi, -1)},
+                                   is_uniform(a) && is_uniform(b)));
+        } else {
+          write_reg(ins.rd, opaque({}, is_uniform(a) && is_uniform(b)));
+        }
+        break;
+      }
+      case Op::CoreId: {
+        if (cid_sym < 0) {
+          cid_sym = fresh(Sym{.kind = Sym::Kind::Cid,
+                              .uniform = false,
+                              .range = {0, opt_.max_cores - 1}});
+        }
+        write_reg(ins.rd, form_sym(cid_sym));
+        break;
+      }
+      case Op::NumCores:
+        write_reg(ins.rd, form_sym(fresh(Sym{.kind = Sym::Kind::NumCores,
+                                             .uniform = true,
+                                             .range = {1, opt_.max_cores}})));
+        break;
+      case Op::CvtWS:
+        write_reg(ins.rd, opaque({}, false));
+        break;
+      case Op::Lw: case Op::Flw: case Op::Sw: case Op::Fsw: {
+        const int buf = find_buffer(ins.imm);
+        Access a{.pc = pc,
+                 .store = ins.op == Op::Sw || ins.op == Op::Fsw,
+                 .buf = buf,
+                 .addr = read_reg(ins.rs1),
+                 .region = region_of[pc],
+                 .crit_depth = crit};
+        // `imm` carries the buffer base, so for resolved buffers `addr`
+        // is already base-relative.
+        if (buf < 0) a.addr = form_add(a.addr, form_const(ins.imm));
+        accesses.push_back(std::move(a));
+        if (ins.op == Op::Lw) {
+          write_reg(ins.rd, opaque(content_range(buf, stored), false));
+        }
+        break;
+      }
+      case Op::CritEnter: ++crit; break;
+      case Op::CritExit: crit = std::max(0, crit - 1); break;
+      default:
+        // Float ops, branches, sync: no integer register effects
+        // tracked by this model.
+        break;
+    }
+  }
+}
+
+std::string offset_str(const Ival& r) {
+  std::ostringstream os;
+  os << "[";
+  if (r.lo <= -kInf) os << "-inf"; else os << r.lo;
+  os << ", ";
+  if (r.hi >= kInf) os << "+inf"; else os << r.hi;
+  os << "]";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: barrier matching / barrier divergence.
+
+class BarrierPass final : public Pass {
+ public:
+  explicit BarrierPass(VerifyOptions opt) : opt_(opt) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "barrier";
+  }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    const Program& p = ctx.prog();
+    int emitted = 0;
+    const auto diag = [&](Severity sev, std::uint32_t pc, std::string msg) {
+      if (emitted++ >= opt_.max_diags_per_pass) return;
+      out.push_back({sev, name(), instr_location(p, pc),
+                     static_cast<std::int32_t>(pc), std::move(msg)});
+    };
+    // Structural: every parallel region must be closed by its implicit
+    // barrier (the lowering contract the race analysis relies on).
+    for (const ParallelRegionMeta& r : p.regions) {
+      if (r.end == 0 || r.end > p.code.size() ||
+          p.code[r.end - 1].op != Op::Barrier) {
+        diag(Severity::Error, r.end > 0 ? r.end - 1 : 0,
+             "parallel region [" + std::to_string(r.begin) + ", " +
+                 std::to_string(r.end) +
+                 ") is not closed by a barrier; chunks of the next "
+                 "statement may observe unfinished writes");
+      }
+    }
+    // Semantic: a barrier reached under divergent control deadlocks the
+    // cluster (some cores wait at the barrier, others never arrive).
+    const Cfg& g = ctx.cfg();
+    const DivergenceInfo& div = ctx.divergence();
+    for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+      if (p.code[pc].op != Op::Barrier) continue;
+      const std::uint32_t b = g.block_of[pc];
+      if (div.divergent_block[b]) {
+        diag(Severity::Error, pc,
+             "barrier executes under divergent control (a master-guarded "
+             "or core-dependent branch reaches it); cores that skip the "
+             "barrier deadlock the cluster");
+      }
+    }
+  }
+
+ private:
+  VerifyOptions opt_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass 2: cross-core data races inside parallel regions.
+
+class RacePass final : public Pass {
+ public:
+  explicit RacePass(VerifyOptions opt) : opt_(opt) {}
+  [[nodiscard]] const char* name() const noexcept override { return "race"; }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    const Model m(ctx, opt_);
+    const Program& p = ctx.prog();
+    int emitted = 0;
+    const auto diag = [&](Severity sev, const Access& a, const Access& b,
+                          const std::string& what) {
+      if (emitted++ >= opt_.max_diags_per_pass) return;
+      std::ostringstream os;
+      os << (a.store && b.store ? "write-write" : "read-write") << " " << what
+         << " on buffer '" << m.buffer_name(a.buf)
+         << "': " << (a.store ? "store" : "load") << " at instr " << a.pc;
+      if (b.pc != a.pc) {
+        os << " vs " << (b.store ? "store" : "load") << " at instr " << b.pc;
+      } else {
+        os << " (same instruction, different cores)";
+      }
+      out.push_back({sev, name(), instr_location(p, a.pc),
+                     static_cast<std::int32_t>(a.pc), os.str()});
+    };
+
+    for (std::size_t r = 0; r < p.regions.size(); ++r) {
+      // A region with a statically known total of 0 or 1 iterations
+      // cannot race with itself across cores.
+      if (p.regions[r].total_iters >= 0 && p.regions[r].total_iters <= 1) {
+        continue;
+      }
+      std::vector<const Access*> acc;
+      for (const Access& a : m.accesses) {
+        if (a.region == static_cast<int>(r) && a.buf >= 0) acc.push_back(&a);
+      }
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        for (std::size_t j = i; j < acc.size(); ++j) {
+          const Access& a = *acc[i];
+          const Access& b = *acc[j];
+          if (!a.store && !b.store) continue;
+          if (a.buf != b.buf) continue;
+          if (a.crit_depth > 0 && b.crit_depth > 0) continue;
+          check_pair(m, static_cast<int>(r), a.store ? a : b,
+                     a.store ? b : a, diag);
+        }
+      }
+    }
+  }
+
+ private:
+  template <typename DiagFn>
+  void check_pair(const Model& m, int region, const Access& a,
+                  const Access& b, DiagFn& diag) {
+    // Identical single-symbol remainder forms: x[(c*iv + k) % mod].
+    // Two iterations collide iff mod/gcd(c, mod) divides their distance;
+    // when that period exceeds the iteration span the accesses are
+    // pairwise disjoint.
+    if (a.addr.terms.size() == 1 && a.addr.terms == b.addr.terms &&
+        a.addr.c0 == b.addr.c0) {
+      const int sid = a.addr.terms.front().first;
+      const Sym& s = m.sym(sid);
+      if (s.kind == Sym::Kind::Rem && s.rem_mod > 1) {
+        if (s.rem_src.terms.size() == 1) {
+          const auto [iv_id, iv_c] = s.rem_src.terms.front();
+          const Sym& iv = m.sym(iv_id);
+          if (iv.kind == Sym::Kind::LoopVar && iv.parallel) {
+            const long long g = std::gcd(std::abs(iv_c), s.rem_mod);
+            const long long period = s.rem_mod / g;
+            const long long width = sat(iv.range.hi) - sat(iv.range.lo);
+            if (period > width) return;  // disjoint: safe
+          }
+        }
+        diag(Severity::Note, a, b,
+             "possible overlap (modular index not provably injective)");
+        return;
+      }
+    }
+
+    // Build the collision equation expand(B, core1) - expand(A, core0) = 0
+    // over bounded integer variables.
+    std::map<std::pair<int, int>, long long> terms;
+    long long c0 = 0;
+    bool precise = true;
+    const int iv_sym = region_iv(m, region);
+    expand(m, region, iv_sym, b.addr, 1, 1, terms, c0, precise, 0);
+    expand(m, region, iv_sym, a.addr, 0, -1, terms, c0, precise, 0);
+    for (auto it = terms.begin(); it != terms.end();) {
+      it = it->second == 0 ? terms.erase(it) : std::next(it);
+    }
+
+    // Try to merge the two instances of a must-be-distinct symbol (the
+    // parallel induction variable, or the core id) into one nonzero
+    // difference variable d.
+    long long cd = 0, d_step = 1, d_width = 0;
+    bool d_witnessed = false;
+    for (const int cand : {iv_sym, m.cid_sym}) {
+      if (cand < 0) continue;
+      const auto ia = terms.find({cand, 0});
+      const auto ib = terms.find({cand, 1});
+      if (ia == terms.end() || ib == terms.end()) continue;
+      if (ia->second != -ib->second) continue;
+      const Sym& s = m.sym(cand);
+      cd = ib->second;
+      d_step = s.kind == Sym::Kind::Cid ? 1 : std::abs(s.step);
+      if (d_step == 0) d_step = 1;
+      if (s.kind == Sym::Kind::Cid) {
+        d_width = opt_.max_cores - 1;
+        d_witnessed = true;
+      } else if (s.wvalid) {
+        d_width = s.whi - s.wlo;
+        d_witnessed = true;
+      } else {
+        d_width = sat(s.range.hi) - sat(s.range.lo);
+      }
+      terms.erase(ia);
+      terms.erase(ib);
+      break;
+    }
+
+    // Remaining variables with boxes.
+    std::vector<std::pair<long long, Ival>> vars;
+    bool distinct_core_possible = cd != 0;
+    for (const auto& [key, c] : terms) {
+      const Sym& s = m.sym(key.first);
+      Ival box = s.range;
+      if (key.second >= 0 && s.kind == Sym::Kind::LoopVar &&
+          key.first != iv_sym) {
+        // Relational offset variable: v = lo + y, y in [0, width - 1].
+        const long long w = sat(m.eval(form_sub(s.hi, s.lo)).hi);
+        box = {0, std::max<long long>(0, w - 1)};
+      }
+      if (key.first == iv_sym || s.kind == Sym::Kind::Cid) {
+        distinct_core_possible = true;
+      }
+      vars.push_back({c, box});
+    }
+
+    Ival sum{c0, c0};
+    long long g = 0;
+    for (const auto& [c, box] : vars) {
+      sum = iadd(sum, iscale(box, c));
+      g = std::gcd(g, std::abs(c));
+    }
+
+    if (cd == 0) {
+      // No distinct-instance variable: either the index is uniform
+      // across cores (all cores touch the same element -> proven race)
+      // or precision was lost.
+      if (!distinct_core_possible && vars.empty() && precise) {
+        if (c0 == 0) {
+          diag(Severity::Error, a, b,
+               "race: every core accesses the same element (no per-core "
+               "partitioning in the index and no critical section)");
+        }
+        return;  // constant nonzero distance: disjoint
+      }
+      if (sum.lo > 0 || sum.hi < 0) return;  // safe
+      if (g != 0 && c0 % g != 0) return;     // gcd lattice: safe
+      diag(Severity::Note, a, b,
+           "possible overlap (unable to prove per-core footprints "
+           "disjoint; index distance range " +
+               offset_str(sum) + ")");
+      return;
+    }
+
+    // d-iteration: for each candidate distance d of the distinct
+    // variable, the rest must cover -cd*d. Necessary conditions: the
+    // target lies in the reachable interval and matches the gcd lattice.
+    const long long reach =
+        std::max(std::abs(sat(sum.lo)), std::abs(sat(sum.hi)));
+    const long long d_cap = std::min(d_width, reach / std::abs(cd) + 1);
+    bool any_feasible = false;
+    bool capped = false;
+    long long feasible_d = 0;
+    long long iters = 0;
+    for (long long d = d_step; d <= d_cap && !any_feasible; d += d_step) {
+      if (++iters > (1 << 16)) {
+        capped = true;
+        break;
+      }
+      for (const long long sd : {d, -d}) {
+        // Achievable sums form the lattice c0 + g*Z clipped to `sum`
+        // (exactly {c0} when no variables remain).
+        const long long target = -smul(cd, sd);
+        if (target < sum.lo || target > sum.hi) continue;
+        if (g == 0) {
+          if (target != c0) continue;
+        } else if (((target - c0) % g) != 0) {
+          continue;
+        }
+        any_feasible = true;
+        feasible_d = sd;
+        break;
+      }
+    }
+    if (!any_feasible) {
+      if (!capped) return;  // every distance proven disjoint: safe
+      diag(Severity::Note, a, b,
+           "possible overlap (iteration-distance search capped)");
+      return;
+    }
+
+    // A witnessed collision is a proven race only if the two iterations
+    // can land on *different* cores under some core count in
+    // [2, max_cores]. Chunked scheduling splits any distance d >= 1
+    // across a chunk boundary for some pair; cyclic puts d apart on the
+    // same core exactly when every admissible core count divides d, i.e.
+    // when lcm(2..max_cores) does.
+    long long same_core_lcm = 1;
+    for (long long c = 2; c <= opt_.max_cores; ++c) {
+      same_core_lcm = std::lcm(same_core_lcm, c);
+    }
+    const bool cross_core = std::abs(feasible_d) % same_core_lcm != 0;
+    if (vars.empty() && precise && d_witnessed && cross_core &&
+        opt_.max_cores >= 2) {
+      std::ostringstream os;
+      os << "race: chunks overlap (iterations " << std::abs(feasible_d)
+         << " apart touch the same address)";
+      diag(Severity::Error, a, b, os.str());
+      return;
+    }
+    diag(Severity::Note, a, b,
+         "possible overlap (unable to prove per-core footprints disjoint)");
+  }
+
+  /// Symbol id of the region's parallel induction variable, -1 if the
+  /// model never bound one.
+  static int region_iv(const Model& m, int region) {
+    for (std::size_t s = 0; s < m.syms.size(); ++s) {
+      const Sym& sym = m.syms[s];
+      if (sym.kind != Sym::Kind::LoopVar || !sym.parallel) continue;
+      const LoopMeta& lm = m.prog_.loops[std::size_t(sym.loop)];
+      const ParallelRegionMeta& r = m.prog_.regions[std::size_t(region)];
+      if (lm.body_begin >= r.begin && lm.body_end <= r.end) {
+        return static_cast<int>(s);
+      }
+    }
+    return -1;
+  }
+
+  /// Flatten a form into per-instance / shared equation variables. Loop
+  /// variables of loops inside the region are per-instance; the region
+  /// IV stays a direct variable, other in-region loop variables are
+  /// rewritten relationally as lo + offset so bounds referencing outer
+  /// symbols stay linked. Uniform symbols are shared between the two
+  /// instances (their coefficients cancel for identical index forms).
+  void expand(const Model& m, int region, int iv_sym, const SymExpr& f,
+              int inst, long long mult,
+              std::map<std::pair<int, int>, long long>& terms, long long& c0,
+              bool& precise, int depth) {
+    c0 = sadd(c0, smul(f.c0, mult));
+    if (depth > 8) {
+      precise = false;
+      return;
+    }
+    const ParallelRegionMeta& r = m.prog_.regions[std::size_t(region)];
+    for (const auto& [sid, c] : f.terms) {
+      const long long cc = smul(c, mult);
+      const Sym& s = m.sym(sid);
+      const bool in_region =
+          s.kind == Sym::Kind::LoopVar &&
+          m.prog_.loops[std::size_t(s.loop)].body_begin >= r.begin &&
+          m.prog_.loops[std::size_t(s.loop)].body_end <= r.end;
+      if (in_region && sid != iv_sym) {
+        expand(m, region, iv_sym, s.lo, inst, cc, terms, c0, precise,
+               depth + 1);
+        terms[{sid, inst}] = sadd(terms[{sid, inst}], cc);
+      } else if (sid == iv_sym || s.kind == Sym::Kind::Cid || !s.uniform) {
+        // Per-instance: different cores may observe different values.
+        terms[{sid, inst}] = sadd(terms[{sid, inst}], cc);
+        if (sid != iv_sym && s.kind != Sym::Kind::Cid) precise = false;
+      } else {
+        // Uniform symbol: both instances observe the same value at a
+        // given region execution.
+        terms[{sid, -1}] = sadd(terms[{sid, -1}], cc);
+      }
+    }
+  }
+
+  VerifyOptions opt_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass 3: out-of-bounds buffer accesses.
+
+class BoundsPass final : public Pass {
+ public:
+  explicit BoundsPass(VerifyOptions opt) : opt_(opt) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "bounds";
+  }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    const Model m(ctx, opt_);
+    const Program& p = ctx.prog();
+    int emitted = 0;
+    for (const Access& a : m.accesses) {
+      if (a.buf < 0) continue;  // unresolved base: hand-written KIR
+      const BufferInfo& buf = p.buffers[std::size_t(a.buf)];
+      const long long limit = static_cast<long long>(buf.bytes()) - 4;
+      const Ival r = m.eval(a.addr);
+      if (r.lo >= 0 && r.hi <= limit) continue;
+      if (emitted >= opt_.max_diags_per_pass) break;
+      std::ostringstream os;
+      Severity sev = Severity::Note;
+      if (r.hi < 0 || r.lo > limit) {
+        sev = Severity::Error;
+        os << "access always out of bounds: byte offset " << offset_str(r)
+           << " vs buffer '" << buf.name << "' (" << buf.bytes() << " bytes)";
+      } else {
+        Ival w{};
+        if (m.witness(a.addr, w) && (w.lo < 0 || w.hi > limit)) {
+          sev = Severity::Error;
+          os << "out-of-bounds access: byte offset reaches "
+             << (w.hi > limit ? w.hi : w.lo) << " on buffer '" << buf.name
+             << "' (" << buf.bytes() << " bytes)";
+        } else {
+          os << "may access out of bounds: byte offset range "
+             << offset_str(r) << " vs buffer '" << buf.name << "' ("
+             << buf.bytes() << " bytes); analysis imprecise";
+        }
+      }
+      ++emitted;
+      out.push_back({sev, name(), instr_location(p, a.pc),
+                     static_cast<std::int32_t>(a.pc), os.str()});
+    }
+  }
+
+ private:
+  VerifyOptions opt_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass 4: use-before-def and dead stores on registers.
+
+class RegUsePass final : public Pass {
+ public:
+  explicit RegUsePass(VerifyOptions opt) : opt_(opt) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "reguse";
+  }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override {
+    const Program& p = ctx.prog();
+    const Cfg& g = ctx.cfg();
+    const std::size_t nb = g.blocks.size();
+    int emitted = 0;
+    const auto diag = [&](Severity sev, std::uint32_t pc, std::string msg) {
+      if (emitted++ >= opt_.max_diags_per_pass) return;
+      out.push_back({sev, name(), instr_location(p, pc),
+                     static_cast<std::int32_t>(pc), std::move(msg)});
+    };
+
+    // Initialised-slot dataflow, two lattices over the same transfer
+    // function: "must" (intersection at joins) and "may" (union). A read
+    // outside must-init is a use-before-def; whether any definition can
+    // reach it at all decides the severity — the simulator zero-fills
+    // registers, so a loop-carried first-iteration read of the implicit
+    // zero (a pattern the optimiser's accumulator rotation produces) is
+    // defined behaviour and only warned about, while a register no path
+    // ever writes is a hard defect.
+    std::vector<std::vector<std::uint32_t>> preds(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (const auto s : g.blocks[b].succs) {
+        preds[s].push_back(static_cast<std::uint32_t>(b));
+      }
+    }
+    const std::uint32_t entry =
+        p.entry < g.block_of.size() ? g.block_of[p.entry] : 0;
+    std::vector<std::uint64_t> must_in(nb, ~0ull), must_out(nb, ~0ull);
+    std::vector<std::uint64_t> may_in(nb, 0), may_out(nb, 0);
+    std::vector<std::uint64_t> gen(nb, 0);
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+        const Operands ops = operands_of(p.code[pc]);
+        for (int w = 0; w < ops.n_writes; ++w) {
+          gen[b] |= 1ull << ops.writes[w].slot();
+        }
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 0; b < nb; ++b) {
+        std::uint64_t must = ~0ull, may = 0;
+        if (b == entry) {
+          must = 0;
+        } else {
+          for (const auto pr : preds[b]) {
+            must &= must_out[pr];
+            may |= may_out[pr];
+          }
+        }
+        const std::uint64_t mo = must | gen[b];
+        const std::uint64_t yo = may | gen[b];
+        if (must != must_in[b] || mo != must_out[b] || may != may_in[b] ||
+            yo != may_out[b]) {
+          must_in[b] = must;
+          must_out[b] = mo;
+          may_in[b] = may;
+          may_out[b] = yo;
+          changed = true;
+        }
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      std::uint64_t m = must_in[b];
+      std::uint64_t y = may_in[b];
+      for (std::uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+        const Operands ops = operands_of(p.code[pc]);
+        for (int rd = 0; rd < ops.n_reads; ++rd) {
+          const RegRef r = ops.reads[rd];
+          if (!((m >> r.slot()) & 1u)) {
+            const std::string reg_name =
+                std::string(r.fp ? "f" : "r") + std::to_string(r.idx);
+            if ((y >> r.slot()) & 1u) {
+              diag(Severity::Warning, pc,
+                   "register " + reg_name +
+                       " may be read before initialisation (some path "
+                       "reaches this read without a definition; the "
+                       "implicit zero is observed)");
+            } else {
+              diag(Severity::Error, pc,
+                   "use of register " + reg_name +
+                       " that no path ever defines");
+            }
+            m |= 1ull << r.slot();  // report each slot once per block
+            y |= 1ull << r.slot();
+          }
+        }
+        for (int w = 0; w < ops.n_writes; ++w) {
+          m |= 1ull << ops.writes[w].slot();
+          y |= 1ull << ops.writes[w].slot();
+        }
+      }
+    }
+
+    // Dead stores: register results never read. The runtime prologue
+    // (zero / core-id / core-count setup before MarkEnter) is exempt —
+    // it is part of the calling convention, not the kernel. Plain
+    // register-to-register moves are also exempt: the DSL materialises
+    // every named variable with a final mv/fmv, and an unread variable
+    // holding an already-consumed value is lowering idiom, not lost
+    // computation.
+    if (!opt_.dead_stores) return;
+    const std::uint32_t kbegin = ctx.kernel_begin();
+    const std::vector<std::uint64_t> live = live_out(p, g);
+    for (std::uint32_t pc = kbegin; pc < p.code.size(); ++pc) {
+      if (p.code[pc].op == Op::Mv || p.code[pc].op == Op::FMv) continue;
+      const Operands ops = operands_of(p.code[pc]);
+      if (ops.n_writes != 1) continue;
+      const int slot = ops.writes[0].slot();
+      if ((live[pc] >> slot) & 1u) continue;
+      diag(Severity::Warning, pc,
+           std::string("dead store: ") + (ops.writes[0].fp ? "f" : "r") +
+               std::to_string(ops.writes[0].idx) +
+               " is written but never read afterwards");
+    }
+  }
+
+ private:
+  VerifyOptions opt_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_barrier_pass(const VerifyOptions& opt) {
+  return std::make_unique<BarrierPass>(opt);
+}
+std::unique_ptr<Pass> make_race_pass(const VerifyOptions& opt) {
+  return std::make_unique<RacePass>(opt);
+}
+std::unique_ptr<Pass> make_bounds_pass(const VerifyOptions& opt) {
+  return std::make_unique<BoundsPass>(opt);
+}
+std::unique_ptr<Pass> make_reguse_pass(const VerifyOptions& opt) {
+  return std::make_unique<RegUsePass>(opt);
+}
+
+void add_standard_passes(PassManager& pm, const VerifyOptions& opt) {
+  pm.add(make_barrier_pass(opt));
+  pm.add(make_race_pass(opt));
+  pm.add(make_bounds_pass(opt));
+  pm.add(make_reguse_pass(opt));
+}
+
+VerifyReport verify_program(const Program& prog, const VerifyOptions& opt) {
+  if (const std::string err = verify(prog); !err.empty()) {
+    VerifyReport report;
+    report.program = prog.name;
+    report.diags.push_back({Severity::Error, "structure", "", -1, err});
+    return report;
+  }
+  PassManager pm;
+  add_standard_passes(pm, opt);
+  return pm.run(prog);
+}
+
+}  // namespace pulpc::kir

@@ -1,0 +1,50 @@
+// The KIR verifier: a standard pass pipeline over lowered kernels that
+// proves (or refutes) the SPMD well-formedness properties the dataset
+// relies on — uniform barrier execution, race-free parallel chunks,
+// in-bounds buffer accesses, and sane register use. See DESIGN.md for
+// the analysis domains and their soundness assumptions.
+//
+//   kir::VerifyReport report = kir::verify_program(prog);
+//   if (!report.ok()) throw std::runtime_error(report.to_string());
+//
+// Severity policy: Error = proven defect under the lowering contract;
+// Warning = likely defect (promoted to failure by --werror consumers);
+// Note = the analysis lost precision and could not prove safety (never
+// fails a build — non-affine index arithmetic such as FFT bit twiddling
+// lands here by design).
+#pragma once
+
+#include <memory>
+
+#include "kir/passes.hpp"
+
+namespace pulpc::kir {
+
+struct VerifyOptions {
+  /// Largest core count the kernel may run with (the paper's cluster
+  /// has 8). Bounds CoreId/NumCores intervals in the analyses.
+  int max_cores = 8;
+  /// Report dead stores (register results never read). Style-level;
+  /// disable for hand-written KIR that keeps scratch registers around.
+  bool dead_stores = true;
+  /// Cap on diagnostics emitted per pass, so a single systematic defect
+  /// does not flood the report.
+  int max_diags_per_pass = 32;
+};
+
+/// Individual pass factories (exposed for targeted tests).
+[[nodiscard]] std::unique_ptr<Pass> make_barrier_pass(const VerifyOptions& opt);
+[[nodiscard]] std::unique_ptr<Pass> make_race_pass(const VerifyOptions& opt);
+[[nodiscard]] std::unique_ptr<Pass> make_bounds_pass(const VerifyOptions& opt);
+[[nodiscard]] std::unique_ptr<Pass> make_reguse_pass(const VerifyOptions& opt);
+
+/// Register the standard pipeline: barrier, race, bounds, reguse.
+void add_standard_passes(PassManager& pm, const VerifyOptions& opt = {});
+
+/// Run the standard pipeline. Structurally invalid programs (failing
+/// kir::verify) yield a single "structure" Error and skip the semantic
+/// passes rather than analysing garbage.
+[[nodiscard]] VerifyReport verify_program(const Program& prog,
+                                          const VerifyOptions& opt = {});
+
+}  // namespace pulpc::kir

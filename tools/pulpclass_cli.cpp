@@ -23,6 +23,7 @@
 #include "energy/model.hpp"
 #include "feat/features.hpp"
 #include "kir/opt.hpp"
+#include "kir/verify.hpp"
 #include "kernels/registry.hpp"
 #include "ml/cv.hpp"
 #include "ml/metrics.hpp"
@@ -38,6 +39,9 @@ struct Args {
   std::string out;
   std::string store;  ///< artifact store dir (--store / PULPC_ARTIFACT_DIR)
   std::string features = "ALL";
+  std::string kernel;           ///< lint: restrict to one kernel
+  bool all = false;             ///< lint: whole registry
+  bool werror = false;          ///< lint: warnings fail the run
   bool optimize = false;
   bool verbose_stages = false;  ///< print the per-stage timing report
   int threads = 0;  ///< 0 = PULPC_THREADS / hardware default
@@ -62,6 +66,12 @@ Args parse(int argc, char** argv) {
       a.features = next();
     } else if (arg == "--store") {
       a.store = next();
+    } else if (arg == "--kernel") {
+      a.kernel = next();
+    } else if (arg == "--all") {
+      a.all = true;
+    } else if (arg == "--werror") {
+      a.werror = true;
     } else if (arg == "--optimize") {
       a.optimize = true;
     } else if (arg == "--stages") {
@@ -104,7 +114,12 @@ int usage() {
       "  sweep <kernel> <i32|f32> <bytes> [--optimize]\n"
       "  stats                             dataset statistics\n"
       "  disasm <kernel> <i32|f32> <bytes> [--optimize]\n"
-      "  kernels                           list available kernels\n");
+      "  kernels                           list available kernels\n"
+      "  lint [--kernel NAME|--all] [--werror] [--optimize]\n"
+      "                                    run the KIR verifier over\n"
+      "                                    lowered registry kernels;\n"
+      "                                    non-zero exit on errors (and\n"
+      "                                    on warnings with --werror)\n");
   return 2;
 }
 
@@ -305,6 +320,48 @@ int cmd_disasm(const Args& a) {
   return 0;
 }
 
+int cmd_lint(const Args& a) {
+  // Every (kernel, dtype, size) combination the dataset would lower.
+  std::vector<const kernels::KernelInfo*> todo;
+  for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+    if (!a.kernel.empty() && k.name != a.kernel) continue;
+    todo.push_back(&k);
+  }
+  if (!a.kernel.empty() && todo.empty()) {
+    std::fprintf(stderr, "unknown kernel '%s' (see `pulpclass kernels`)\n",
+                 a.kernel.c_str());
+    return 2;
+  }
+  std::size_t programs = 0, errors = 0, warnings = 0, notes = 0;
+  for (const kernels::KernelInfo* k : todo) {
+    for (const kir::DType t : {kir::DType::I32, kir::DType::F32}) {
+      if (!k->supports(t)) continue;
+      for (const std::uint32_t bytes : kernels::dataset_sizes()) {
+        kir::Program prog =
+            dsl::lower(kernels::make_kernel(k->name, t, bytes));
+        if (a.optimize) prog = kir::optimize(prog);
+        const kir::VerifyReport report = kir::verify_program(prog);
+        ++programs;
+        errors += report.errors();
+        warnings += report.warnings();
+        notes += report.notes();
+        if (!report.diags.empty()) {
+          std::printf("%s", report.to_string().c_str());
+        }
+      }
+    }
+  }
+  std::printf("linted %zu lowered program%s: %zu error(s), %zu warning(s), "
+              "%zu note(s)\n",
+              programs, programs == 1 ? "" : "s", errors, warnings, notes);
+  if (errors > 0) return 1;
+  if (a.werror && warnings > 0) {
+    std::printf("treating warnings as errors (--werror)\n");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_kernels(const Args&) {
   std::printf("%-20s %-10s %s\n", "kernel", "suite", "types");
   for (const kernels::KernelInfo& k : kernels::all_kernels()) {
@@ -338,6 +395,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "disasm") return cmd_disasm(args);
     if (cmd == "kernels") return cmd_kernels(args);
+    if (cmd == "lint") return cmd_lint(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "core/classifier.hpp"
+#include "core/env.hpp"
 #include "core/pipeline.hpp"
 #include "ml/cv.hpp"
 #include "ml/metrics.hpp"
@@ -33,11 +33,7 @@ namespace pulpc::bench {
 [[nodiscard]] inline ml::EvalOptions eval_options() {
   ml::EvalOptions opt;
   opt.folds = 10;
-  opt.repeats = 100;
-  if (const char* env = std::getenv("PULPC_CV_REPS")) {
-    const int reps = std::atoi(env);
-    if (reps > 0) opt.repeats = static_cast<unsigned>(reps);
-  }
+  opt.repeats = core::env_or(0U, "PULPC_CV_REPS", 100U);
   return opt;
 }
 

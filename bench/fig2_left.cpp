@@ -8,20 +8,21 @@
 
 #include "common.hpp"
 #include "feat/features.hpp"
+#include "pulpclass.hpp"
 
 int main() {
   using namespace pulpc;
   std::printf("== Figure 2 (left): static vs dynamic vs always-8 ==\n");
-  const ml::Dataset ds = bench::dataset();
-  const ml::EvalOptions opt = bench::eval_options();
+  const pulpclass::Dataset ds = bench::dataset();
+  const pulpclass::EvalOptions opt = bench::eval_options();
   std::printf("dataset: %zu samples, %u-fold CV x %u repetitions\n\n",
               ds.size(), opt.folds, opt.repeats);
 
-  const ml::EvalResult agg = ml::evaluate(
+  const pulpclass::EvalResult agg = pulpclass::evaluate(
       ds, feat::feature_set_columns(feat::FeatureSet::Agg), opt);
-  const ml::EvalResult dyn = ml::evaluate(
+  const pulpclass::EvalResult dyn = pulpclass::evaluate(
       ds, feat::feature_set_columns(feat::FeatureSet::Dynamic), opt);
-  const ml::EvalResult always8 = ml::evaluate_constant(ds, 8);
+  const pulpclass::EvalResult always8 = pulpclass::evaluate_constant(ds, 8);
 
   std::printf("accuracy [%%] by energy tolerance threshold:\n");
   bench::print_series_header();

@@ -7,30 +7,32 @@
 
 #include "common.hpp"
 #include "feat/features.hpp"
+#include "pulpclass.hpp"
 
 int main() {
   using namespace pulpc;
   std::printf("== Figure 2 (right): static feature sets ==\n");
-  const ml::Dataset ds = bench::dataset();
-  const ml::EvalOptions opt = bench::eval_options();
+  const pulpclass::Dataset ds = bench::dataset();
+  const pulpclass::EvalOptions opt = bench::eval_options();
   std::printf("dataset: %zu samples, %u-fold CV x %u repetitions\n\n",
               ds.size(), opt.folds, opt.repeats);
 
   const auto run_set = [&](feat::FeatureSet set) {
-    return ml::evaluate(ds, feat::feature_set_columns(set), opt);
+    return pulpclass::evaluate(ds, feat::feature_set_columns(set), opt);
   };
-  const ml::EvalResult agg = run_set(feat::FeatureSet::Agg);
-  const ml::EvalResult raw_agg = run_set(feat::FeatureSet::RawAgg);
-  const ml::EvalResult mca = run_set(feat::FeatureSet::Mca);
-  const ml::EvalResult all = run_set(feat::FeatureSet::AllStatic);
+  const pulpclass::EvalResult agg = run_set(feat::FeatureSet::Agg);
+  const pulpclass::EvalResult raw_agg = run_set(feat::FeatureSet::RawAgg);
+  const pulpclass::EvalResult mca = run_set(feat::FeatureSet::Mca);
+  const pulpclass::EvalResult all = run_set(feat::FeatureSet::AllStatic);
 
   // The paper's "optimised" classifier: score features by importance and
   // prune the least informative ones.
-  ml::EvalOptions rank_opt = opt;
+  pulpclass::EvalOptions rank_opt = opt;
   rank_opt.repeats = std::min(opt.repeats, 10U);
   const std::vector<std::string> pruned =
-      core::optimized_static_columns(ds, 8, rank_opt);
-  const ml::EvalResult optimised = ml::evaluate(ds, pruned, opt);
+      pulpclass::optimized_static_columns(ds, 8, rank_opt);
+  const pulpclass::EvalResult optimised = pulpclass::evaluate(ds, pruned,
+                                                              opt);
 
   std::printf("accuracy [%%] by energy tolerance threshold:\n");
   bench::print_series_header();
@@ -60,7 +62,8 @@ int main() {
 
   // Tolerance rescues every set (accuracy rises substantially by 5%).
   bool rises = true;
-  for (const ml::EvalResult* r : {&agg, &raw_agg, &mca, &all, &optimised}) {
+  for (const pulpclass::EvalResult* r :
+       {&agg, &raw_agg, &mca, &all, &optimised}) {
     rises &= r->accuracy_at(0.05) > r->accuracy_at(0.0);
   }
   std::printf("  [%s] accuracy grows with the tolerance for every set\n",

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/env.hpp"
+
 namespace pulpc::core {
 
 namespace fs = std::filesystem;
@@ -308,12 +310,7 @@ std::size_t ArtifactStore::gc() const {
 }
 
 ArtifactStore open_store(const BuildOptions& opt) {
-  std::string dir;
-  if (opt.artifact_dir) {
-    dir = *opt.artifact_dir;
-  } else if (const char* env = std::getenv("PULPC_ARTIFACT_DIR")) {
-    dir = env;
-  }
+  const std::string dir = env_or(opt.artifact_dir, "PULPC_ARTIFACT_DIR", "");
   if (dir.empty()) return ArtifactStore{};
   return ArtifactStore(dir, opt.cluster);
 }

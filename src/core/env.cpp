@@ -1,0 +1,25 @@
+#include "core/env.hpp"
+
+#include <cstdlib>
+
+namespace pulpc::core {
+
+std::string env_or(const std::optional<std::string>& explicit_value,
+                   const char* env_var, const std::string& fallback) {
+  if (explicit_value) return *explicit_value;
+  if (const char* env = std::getenv(env_var)) return env;
+  return fallback;
+}
+
+unsigned env_or(unsigned explicit_value, const char* env_var,
+                unsigned fallback) {
+  if (explicit_value > 0) return explicit_value;
+  if (const char* env = std::getenv(env_var)) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<unsigned>(v);
+  }
+  return fallback;
+}
+
+}  // namespace pulpc::core

@@ -1,0 +1,36 @@
+// Shared resolution of configurable settings against their PULPC_*
+// environment fallbacks. One precedence order, applied everywhere:
+//
+//   explicit options field  >  CLI flag  >  PULPC_* env var  >  default
+//
+// A CLI flag never bypasses this chain: flags write the corresponding
+// options field (BuildOptions / EvalOptions), so by the time a value is
+// resolved here only three tiers remain. Call sites:
+//
+//   BuildOptions::threads       PULPC_THREADS        hardware threads
+//   BuildOptions::cache_path    PULPC_DATASET_CACHE  "pulpclass_dataset.csv"
+//   BuildOptions::artifact_dir  PULPC_ARTIFACT_DIR   disabled (empty)
+//   EvalOptions::repeats (bench) PULPC_CV_REPS       100
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace pulpc::core {
+
+/// Resolve a string setting: `explicit_value` when set (even to ""),
+/// else the `env_var` environment variable when set (even to ""), else
+/// `fallback`. The empty string is a meaningful value ("disable"), which
+/// is why the explicit tier is an optional rather than sentinel-based.
+[[nodiscard]] std::string env_or(
+    const std::optional<std::string>& explicit_value, const char* env_var,
+    const std::string& fallback);
+
+/// Resolve a positive-count setting where 0 means "unset": returns
+/// `explicit_value` when > 0, else `env_var` parsed as a base-10 integer
+/// when it parses to >= 1 (malformed or non-positive values are ignored,
+/// not fatal), else `fallback`.
+[[nodiscard]] unsigned env_or(unsigned explicit_value, const char* env_var,
+                              unsigned fallback);
+
+}  // namespace pulpc::core

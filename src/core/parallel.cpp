@@ -1,18 +1,12 @@
 #include "core/parallel.hpp"
 
-#include <cstdlib>
+#include "core/env.hpp"
 
 namespace pulpc::core {
 
 unsigned resolve_thread_count(unsigned requested) {
-  if (requested > 0) return requested;
-  if (const char* env = std::getenv("PULPC_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<unsigned>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  return env_or(requested, "PULPC_THREADS", hw > 0 ? hw : 1);
 }
 
 ThreadPool::ThreadPool(unsigned workers)

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "core/artifacts.hpp"
+#include "core/env.hpp"
 #include "core/parallel.hpp"
 #include "dsl/lower.hpp"
 #include "kernels/registry.hpp"
@@ -34,6 +35,8 @@ void merge(StageReport& into, const StageReport& part) {
   into.verify_errors += part.verify_errors;
   into.verify_warnings += part.verify_warnings;
   into.verify_notes += part.verify_notes;
+  into.simulated_cycles += part.simulated_cycles;
+  into.ff_cycles += part.ff_cycles;
   into.lower_seconds += part.lower_seconds;
   into.verify_seconds += part.verify_seconds;
   into.simulate_seconds += part.simulate_seconds;
@@ -69,7 +72,7 @@ std::vector<sim::RunStats> gather_runs(const kir::Program& prog,
       continue;
     }
     if (!cluster) {
-      cluster.emplace(opt.cluster);
+      cluster.emplace(opt.cluster, opt.sim);
       cluster->load(prog);
     }
     const sim::RunResult run = cluster->run(c);
@@ -79,6 +82,8 @@ std::vector<sim::RunStats> gather_runs(const kir::Program& prog,
     }
     if (store.enabled()) store.save(cfg, c, phash, run.stats);
     ++report.simulated_runs;
+    report.simulated_cycles += run.stats.total_cycles;
+    report.ff_cycles += run.ff_cycles;
     runs.push_back(run.stats);
   }
   return runs;
@@ -173,9 +178,8 @@ ml::Dataset build_dataset_over(
 }
 
 std::string resolve_cache_path(const BuildOptions& opt) {
-  if (opt.cache_path) return *opt.cache_path;
-  if (const char* env = std::getenv("PULPC_DATASET_CACHE")) return env;
-  return "pulpclass_dataset.csv";
+  return env_or(opt.cache_path, "PULPC_DATASET_CACHE",
+                "pulpclass_dataset.csv");
 }
 
 }  // namespace
@@ -188,6 +192,15 @@ std::string StageReport::summary() const {
       << lower_seconds << "s, verify " << verify_seconds << "s, simulate "
       << simulate_seconds << "s, label " << label_seconds << "s, featurize "
       << featurize_seconds << "s, assemble " << assemble_seconds << "s";
+  if (simulated_cycles > 0 && simulate_seconds > 0) {
+    out.precision(2);
+    out << " | sim " << simulated_cycles / simulate_seconds / 1e6
+        << " Mcyc/s, ff "
+        << 100.0 * static_cast<double>(ff_cycles) /
+               static_cast<double>(simulated_cycles)
+        << "%";
+    out.precision(3);
+  }
   if (verify_warnings + verify_notes > 0) {
     out << " | verifier: " << verify_warnings << " warning(s), "
         << verify_notes << " note(s)";

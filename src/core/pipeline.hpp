@@ -50,6 +50,13 @@ struct StageReport {
   std::size_t verify_errors = 0;
   std::size_t verify_warnings = 0;
   std::size_t verify_notes = 0;
+  /// Total cluster cycles produced by fresh simulations (replays add
+  /// nothing here), and the subset covered by event-driven fast-forward
+  /// jumps (sim::SimOptions::fast_forward). simulated_cycles /
+  /// simulate_seconds is the headline simulated-cycles-per-second figure
+  /// in summary().
+  std::uint64_t simulated_cycles = 0;
+  std::uint64_t ff_cycles = 0;
   double lower_seconds = 0;
   double verify_seconds = 0;     ///< KIR verifier passes
   double simulate_seconds = 0;   ///< includes artifact save/load time
@@ -67,6 +74,9 @@ struct StageReport {
 
 struct BuildOptions {
   sim::ClusterConfig cluster;
+  /// Simulator execution options (fast-forwarding etc.). Speed-only:
+  /// every combination produces byte-identical counters and labels.
+  sim::SimOptions sim;
   mca::MachineModel mca;
   energy::EnergyModel energy;
   /// Sweep configurations 1..max_cores (the paper: all 8).

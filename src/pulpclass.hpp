@@ -1,0 +1,76 @@
+// Stable public facade of the pulpclass toolkit. Everything an external
+// consumer — the CLI, the benchmark harnesses, a downstream toolchain —
+// needs lives in namespace pulpclass::; the pulpc::{sim,core,ml,kir,...}
+// layer namespaces remain internal and free to move.
+//
+//   #include "pulpclass.hpp"
+//
+//   pulpclass::BuildOptions opt;
+//   opt.sim.fast_forward = true;                  // the default
+//   pulpclass::Dataset ds = pulpclass::load_or_build_dataset({}, opt);
+//   pulpclass::EnergyClassifier clf;
+//   clf.train(ds);
+//
+// The facade is alias-only: no new types, no ABI of its own. A name is
+// re-exported here once its spelling is considered stable; anything not
+// in this header may change between versions without notice.
+#pragma once
+
+#include "core/artifacts.hpp"
+#include "core/classifier.hpp"
+#include "core/pipeline.hpp"
+#include "energy/model.hpp"
+#include "kir/verify.hpp"
+#include "ml/cv.hpp"
+#include "ml/dataset.hpp"
+#include "sim/config.hpp"
+
+namespace pulpclass {
+
+// ---- configuration ------------------------------------------------------
+
+/// Cluster hardware parameters (cores, TCDM banks, latencies).
+using ClusterConfig = pulpc::sim::ClusterConfig;
+/// Simulator execution options (event-driven fast-forwarding). Speed
+/// only: stats are bit-identical for every setting.
+using SimOptions = pulpc::sim::SimOptions;
+/// Dataset build / replay options (threads, caches, artifact store).
+using BuildOptions = pulpc::core::BuildOptions;
+/// Cross-validation protocol options (folds, repeats, seed).
+using EvalOptions = pulpc::ml::EvalOptions;
+/// Table I energy model coefficients.
+using EnergyModel = pulpc::energy::EnergyModel;
+
+// ---- data types ---------------------------------------------------------
+
+using SampleConfig = pulpc::core::SampleConfig;
+using StageReport = pulpc::core::StageReport;
+using Dataset = pulpc::ml::Dataset;
+using EvalResult = pulpc::ml::EvalResult;
+using ArtifactStore = pulpc::core::ArtifactStore;
+using EnergyClassifier = pulpc::core::EnergyClassifier;
+using VerifyOptions = pulpc::kir::VerifyOptions;
+using VerifyReport = pulpc::kir::VerifyReport;
+
+// ---- operations ---------------------------------------------------------
+
+/// KIR verifier: prove/refute SPMD well-formedness of a lowered program.
+using pulpc::kir::verify_program;
+
+/// Build the labelled dataset (full paper sweep or an explicit
+/// configuration list); load_or_build_dataset adds the CSV cache.
+using pulpc::core::build_dataset;
+using pulpc::core::load_or_build_dataset;
+using pulpc::core::dataset_configs;
+
+/// Replay the labelled dataset from stored raw counters (no simulation).
+using pulpc::core::relabel;
+using pulpc::core::open_store;
+using pulpc::core::populate_store;
+
+/// Repeated stratified-CV evaluation (the paper's Figure 2 protocol).
+using pulpc::ml::evaluate;
+using pulpc::ml::evaluate_constant;
+using pulpc::core::optimized_static_columns;
+
+}  // namespace pulpclass

@@ -65,8 +65,9 @@ std::string hex_addr(std::uint32_t addr) {
 
 }  // namespace
 
-Cluster::Cluster(ClusterConfig cfg)
+Cluster::Cluster(ClusterConfig cfg, SimOptions opt)
     : cfg_(cfg),
+      opt_(opt),
       tcdm_(cfg.tcdm_bytes / 4, 0U),
       l2mem_(cfg.l2_bytes / 4, 0U),
       cores_(cfg.num_cores),
@@ -94,8 +95,29 @@ void Cluster::load(const kir::Program& prog) {
   }
   prog_ = prog;
   const std::size_t lines = prog_.code.size() / cfg_.icache_line + 1;
+  icache_nlines_ = static_cast<std::uint32_t>(lines);
   icache_lines_.assign(cfg_.icache_private ? lines * cfg_.num_cores : lines,
                        false);
+  // Build the dispatch cache: resolve the per-opcode classification
+  // switches and the fetch-line division once per program instead of
+  // once per executed cycle.
+  decoded_.clear();
+  decoded_.reserve(prog_.code.size());
+  for (std::uint32_t pc = 0; pc < prog_.code.size(); ++pc) {
+    const Instr& ins = prog_.code[pc];
+    Decoded d;
+    d.op = ins.op;
+    d.rd = ins.rd;
+    d.rs1 = ins.rs1;
+    d.rs2 = ins.rs2;
+    d.imm = ins.imm;
+    d.unit = kir::op_class(ins.op);
+    d.acct = ins.op_class();
+    d.is_mem = kir::is_memory(ins.op);
+    d.is_store = ins.op == Op::Sw || ins.op == Op::Fsw;
+    d.line = pc / cfg_.icache_line;
+    decoded_.push_back(d);
+  }
 }
 
 std::uint32_t& Cluster::word_at(std::uint32_t addr) {
@@ -205,6 +227,11 @@ void Cluster::reset(unsigned ncores) {
     c.last_trace_state = -1;
     c.stats = CoreStats{};
   }
+  single_requester_ = false;
+  ready_count_ = ncores;
+  sleeping_count_ = 0;
+  ff_cycles_ = 0;
+  ff_jumps_ = 0;
   for (Bank& b : l1_banks_) b = Bank{};
   for (Bank& b : l2_banks_) b = Bank{};
   for (Fpu& f : fpus_) f = Fpu{};
@@ -226,14 +253,34 @@ RunResult Cluster::run(unsigned ncores, TraceSink* sink) {
   sink_ = sink;
   reset(ncores);
 
+  // Fast-forwarding is a pure-speed path: it must not change stats (see
+  // try_fast_forward) and is disabled under tracing, where the per-cycle
+  // DMA/bank event stream has to stay complete.
+  const bool fast_forward = opt_.fast_forward && sink_ == nullptr;
   RunResult res;
   try {
     while (running_ > 0) {
       if (cycle_ >= cfg_.max_cycles) {
         throw SimError{"cycle limit exceeded (deadlock or runaway kernel)"};
       }
+      // The fast-forward attempt is gated on the O(1) ready-core count;
+      // the expect-hint keeps the stepped path branch-free in compute
+      // phases (the helper call otherwise costs ~15% wall clock on long
+      // compute-bound kernels).
+      if (__builtin_expect(fast_forward && ready_count_ == 0, 0) &&
+          try_fast_forward()) {
+        continue;
+      }
       ++cycle_;
       step_dma();
+      // TCDM/L2 arbitration fast path. ready + sleeping bounds from above
+      // the cores that can issue a request this cycle (a sleeper may wake
+      // and execute, a stalled or halted core cannot), so below two no
+      // same-cycle bank conflict is possible and bank_grant skips claim
+      // bookkeeping. Deliberately conservative and branchless: counting
+      // which sleepers can actually wake costs more in this loop than the
+      // bypass saves.
+      single_requester_ = ready_count_ + sleeping_count_ < 2;
       const auto start = static_cast<unsigned>(cycle_ % ncores_);
       for (unsigned k = 0; k < ncores_; ++k) {
         step_core(cores_[(start + k) % ncores_]);
@@ -244,6 +291,8 @@ RunResult Cluster::run(unsigned ncores, TraceSink* sink) {
     res.error = e.message;
   }
   sink_ = nullptr;
+  res.ff_cycles = ff_cycles_;
+  res.ff_jumps = ff_jumps_;
 
   RunStats& st = res.stats;
   st.ncores = ncores_;
@@ -298,11 +347,127 @@ void Cluster::charge(Core& c, CycleClass cls, bool idle) {
   if (idle) ++c.stats.idle_cycles;
 }
 
+/// Bulk form of charge() for fast-forwarded stretches. Only ever called
+/// with the trace sink detached (fast-forward is disabled under tracing),
+/// so there is no state event to emit.
+void Cluster::charge_n(Core& c, CycleClass cls, bool idle, std::uint64_t n) {
+  if (!c.in_region) return;
+  switch (cls) {
+    case CycleClass::Alu: c.stats.cyc_alu += n; break;
+    case CycleClass::Fp: c.stats.cyc_fp += n; break;
+    case CycleClass::L1: c.stats.cyc_l1 += n; break;
+    case CycleClass::L2: c.stats.cyc_l2 += n; break;
+    case CycleClass::Wait: c.stats.cyc_wait += n; break;
+    case CycleClass::Cg: c.stats.cyc_cg += n; break;
+  }
+  if (idle) c.stats.idle_cycles += n;
+}
+
+/// Replay `n` inert cycles for every core at once: a Stalled core charges
+/// its recorded stall class (becoming Ready when the stall drains, exactly
+/// as n single-cycle steps would), a Sleeping core charges clock-gated.
+/// Callers guarantee n never exceeds any core's stall_remaining.
+void Cluster::bulk_charge(std::uint64_t n) {
+  if (n == 0) return;
+  for (unsigned i = 0; i < ncores_; ++i) {
+    Core& c = cores_[i];
+    if (c.state == Core::State::Stalled) {
+      charge_n(c, c.stall_class, c.stall_is_idle, n);
+      c.stall_remaining -= static_cast<unsigned>(n);
+      if (c.stall_remaining == 0) {
+        c.state = Core::State::Ready;
+        ++ready_count_;
+      }
+    } else if (c.state == Core::State::Sleeping) {
+      charge_n(c, CycleClass::Cg, false, n);
+    }
+  }
+}
+
+/// Event-driven idle fast-forward (SimOptions::fast_forward). When every
+/// running core is inert — Stalled (a fixed-class charge per cycle until
+/// the stall drains) or Sleeping (clock-gated until its wake event) — no
+/// per-cycle work can change the machine state except the DMA engine
+/// moving words, so the clock can jump to the cycle before the earliest
+/// wake event and the skipped cycles can be charged in bulk. Wake events:
+///   * a stall draining: the core executes at cycle_ + stall_remaining + 1,
+///   * a timed sleep (barrier wakeup latency): the core executes at wake_at,
+///   * the DMA engine draining: a DMA waiter executes the same cycle the
+///     last word lands (step_dma runs before the cores),
+///   * the cycle limit: the jump clamps to max_cycles so the deadlock
+///     check fires exactly where the stepped loop would.
+/// Cores blocked on a barrier whose release is still pending have no wake
+/// event of their own. Returns false (leaving all state untouched) when
+/// any core is Ready or an event is due next cycle.
+bool Cluster::try_fast_forward() {
+  if (ready_count_ > 0) return false;  // O(1) out on any runnable core
+  constexpr std::uint64_t kNoWake = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t wake = kNoWake;  ///< earliest cycle needing the stepped loop
+  for (unsigned i = 0; i < ncores_; ++i) {
+    const Core& c = cores_[i];
+    switch (c.state) {
+      case Core::State::Halted:
+        continue;
+      case Core::State::Ready:
+        return false;
+      case Core::State::Stalled:
+        wake = std::min(wake, cycle_ + c.stall_remaining + 1);
+        continue;
+      case Core::State::Sleeping:
+        if (c.waiting_dma) {
+          if (dma_.remaining == 0) return false;  // wakes next cycle
+          wake = std::min(wake, cycle_ + dma_.remaining);
+        } else if (!c.waiting_barrier) {
+          if (c.wake_at <= cycle_ + 1) return false;
+          wake = std::min(wake, c.wake_at);
+        }
+        continue;
+    }
+  }
+  // Jump to the last inert cycle. An all-barrier deadlock has no wake
+  // event at all and rides the max_cycles clamp into the same SimError
+  // (with the same charged stats) the stepped loop would produce.
+  const std::uint64_t last = std::min(wake - 1, cfg_.max_cycles);
+  if (last <= cycle_) return false;
+  const std::uint64_t n = last - cycle_;
+  // Short jumps lose: the scan + bulk_charge above costs about two
+  // stepped cycles, so 1-cycle hops (a taken-branch bubble on a lone
+  // running core) would be pure overhead. Thresholding is speed-only —
+  // the stepped cycles produce the same stats by construction.
+  if (n < 4) return false;
+  if (dma_.remaining > 0) {
+    // The DMA engine keeps moving one word per skipped cycle; its beats
+    // mutate memory and bank counters, so they replay individually (still
+    // far cheaper than stepping every core alongside them).
+    const auto beats = std::min<std::uint64_t>(n, dma_.remaining);
+    std::uint64_t beat = 0;
+    try {
+      while (beat < beats) {
+        ++beat;
+        step_dma();
+      }
+    } catch (...) {
+      // A DMA fault at relative cycle `beat`: the stepped loop would have
+      // charged every core for the beat-1 preceding cycles and faulted in
+      // step_dma before stepping any core at cycle_ + beat.
+      bulk_charge(beat - 1);
+      cycle_ += beat;
+      throw;
+    }
+  }
+  bulk_charge(n);
+  cycle_ += n;
+  ff_cycles_ += n;
+  ++ff_jumps_;
+  return true;
+}
+
 void Cluster::begin_stall(Core& c, CycleClass issue_cls, unsigned extra,
                           CycleClass stall_cls, bool idle) {
   charge(c, issue_cls, false);
   if (extra > 0) {
     c.state = Core::State::Stalled;
+    --ready_count_;
     c.stall_remaining = extra;
     c.stall_class = stall_cls;
     c.stall_is_idle = idle;
@@ -331,6 +496,8 @@ void Cluster::step_core(Core& c) {
       }
       if (!c.waiting_barrier && !c.waiting_dma && cycle_ >= c.wake_at) {
         c.state = Core::State::Ready;
+        ++ready_count_;
+        --sleeping_count_;
         execute(c);
         return;
       }
@@ -339,7 +506,10 @@ void Cluster::step_core(Core& c) {
     }
     case Core::State::Stalled:
       charge(c, c.stall_class, c.stall_is_idle);
-      if (--c.stall_remaining == 0) c.state = Core::State::Ready;
+      if (--c.stall_remaining == 0) {
+        c.state = Core::State::Ready;
+        ++ready_count_;
+      }
       return;
     case Core::State::Ready:
       execute(c);
@@ -348,6 +518,10 @@ void Cluster::step_core(Core& c) {
 }
 
 bool Cluster::bank_grant(std::uint32_t addr, Core& c, bool is_l2) {
+  // Single-requester fast path: nobody else can claim a bank this cycle,
+  // so the request is granted without touching the claim stamps (a stale
+  // stamp from an earlier cycle can never read as a conflict later).
+  if (single_requester_) return true;
   std::vector<Bank>& banks = is_l2 ? l2_banks_ : l1_banks_;
   const std::size_t idx = (addr / 4) % banks.size();
   Bank& bank = banks[idx];
@@ -395,12 +569,17 @@ void Cluster::step_dma() {
 }
 
 void Cluster::execute(Core& c) {
+  // The dispatch cache resolved opcode classification and the fetch line
+  // at load() time; `ins` carries the same operand fields as the Instr.
+  // Copied by value: a reference into decoded_ would force the compiler
+  // to reload every field after each store (possible aliasing), wrecking
+  // register allocation across the dispatch switch.
+  const Decoded ins = decoded_[c.pc];
+
   // Instruction fetch through the I-cache (private per-core slices by
   // default, as in RI5CY clusters).
-  const std::uint32_t nlines =
-      static_cast<std::uint32_t>(prog_.code.size() / cfg_.icache_line + 1);
-  const std::uint32_t line = c.pc / cfg_.icache_line +
-                             (cfg_.icache_private ? c.id * nlines : 0U);
+  const std::uint32_t line =
+      ins.line + (cfg_.icache_private ? c.id * icache_nlines_ : 0U);
   if (!icache_lines_[line]) {
     icache_lines_[line] = true;
     ++icache_.refills;
@@ -410,6 +589,7 @@ void Cluster::execute(Core& c) {
       charge(c, CycleClass::Wait, true);
       if (cfg_.icache_refill_stall > 1) {
         c.state = Core::State::Stalled;
+        --ready_count_;
         c.stall_remaining = cfg_.icache_refill_stall - 1;
         c.stall_class = CycleClass::Wait;
         c.stall_is_idle = true;
@@ -418,20 +598,18 @@ void Cluster::execute(Core& c) {
     }
   }
 
-  const Instr ins = prog_.code[c.pc];
   auto& ir = c.iregs;
   auto& fr = c.fregs;
 
   // ---- resource acquisition; denied -> active-wait retry next cycle ----
-  const kir::OpClass cls = kir::op_class(ins.op);
-  if (cls == kir::OpClass::Fp || cls == kir::OpClass::FpDiv) {
+  if (ins.unit == kir::OpClass::Fp || ins.unit == kir::OpClass::FpDiv) {
     Fpu& fpu = fpus_[cfg_.fpu_for(c.id)];
     if (fpu.claim_cycle == cycle_ || fpu.busy_until >= cycle_) {
       charge(c, CycleClass::Wait, true);
       return;
     }
     fpu.claim_cycle = cycle_;
-    if (cls == kir::OpClass::FpDiv) {
+    if (ins.unit == kir::OpClass::FpDiv) {
       fpu.busy_until = cycle_ + cfg_.fpdiv_cycles - 1;
       fpu.stats.busy_cycles += cfg_.fpdiv_cycles;
       if (sink_ != nullptr) {
@@ -451,7 +629,7 @@ void Cluster::execute(Core& c) {
 
   std::uint32_t mem_addr = 0;
   bool mem_is_l2 = false;
-  if (kir::is_memory(ins.op)) {
+  if (ins.is_mem) {
     mem_addr = static_cast<std::uint32_t>(ir[ins.rs1]) +
                static_cast<std::uint32_t>(ins.imm);
     if ((mem_addr & 3U) != 0U) {
@@ -486,7 +664,9 @@ void Cluster::execute(Core& c) {
     ++c.stats.instrs;
     ++icache_.uses;
   }
-  if (sink_ != nullptr) trace(pe_path(c.id, "insn"), kir::to_string(ins));
+  if (sink_ != nullptr) {
+    trace(pe_path(c.id, "insn"), kir::to_string(prog_.code[c.pc]));
+  }
 
   std::uint32_t next_pc = c.pc + 1;
   CycleClass charge_cls = CycleClass::Alu;
@@ -659,6 +839,8 @@ void Cluster::execute(Core& c) {
       ++barrier_arrived_;
       c.waiting_barrier = true;
       c.state = Core::State::Sleeping;
+      --ready_count_;
+      ++sleeping_count_;
       if (barrier_arrived_ >= running_) release_barrier();
       break;
     case Op::CritEnter:
@@ -690,6 +872,8 @@ void Cluster::execute(Core& c) {
       if (dma_.remaining > 0) {
         c.waiting_dma = true;
         c.state = Core::State::Sleeping;
+        --ready_count_;
+        ++sleeping_count_;
       }
       break;
     case Op::MarkEnter:
@@ -709,6 +893,7 @@ void Cluster::execute(Core& c) {
       break;
     case Op::Halt:
       c.state = Core::State::Halted;
+      --ready_count_;
       --running_;
       if (c.in_region) {
         c.in_region = false;
@@ -722,7 +907,7 @@ void Cluster::execute(Core& c) {
   // ---- opcode accounting (dynamic PE_* features) ----
   if (c.in_region || ins.op == Op::MarkExit) {
     CoreStats& s = c.stats;
-    switch (ins.op_class()) {
+    switch (ins.acct) {
       case kir::OpClass::Alu: ++s.n_alu; break;
       case kir::OpClass::Div: ++s.n_div; break;
       case kir::OpClass::Fp: ++s.n_fp; break;
@@ -733,7 +918,7 @@ void Cluster::execute(Core& c) {
       case kir::OpClass::Nop: ++s.n_nop; break;
       case kir::OpClass::Sync: ++s.n_sync; break;
     }
-    if (kir::is_memory(ins.op)) {
+    if (ins.is_mem) {
       if (mem_is_l2) {
         ++s.n_l2;
       } else {
@@ -743,10 +928,10 @@ void Cluster::execute(Core& c) {
   }
 
   // ---- memory access bookkeeping + cycle charge ----
-  if (kir::is_memory(ins.op)) {
+  if (ins.is_mem) {
     std::vector<Bank>& banks = mem_is_l2 ? l2_banks_ : l1_banks_;
     const std::size_t idx = (mem_addr / 4) % banks.size();
-    const bool is_store = ins.op == Op::Sw || ins.op == Op::Fsw;
+    const bool is_store = ins.is_store;
     if (is_store) {
       ++banks[idx].stats.writes;
     } else {

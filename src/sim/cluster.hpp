@@ -15,6 +15,14 @@
 // Table I energy model prices and what the Table III dynamic features
 // summarise. With a TraceSink attached, the run also emits a GVSOC-style
 // event trace that src/trace can parse back into the same statistics.
+//
+// The engine is event-driven where the modelled hardware is idle: when
+// every running core is blocked (barrier wait, DMA wait, L2 access in
+// flight, multi-cycle divider/FPU occupancy) the clock jumps straight to
+// the next wake event and the skipped cycles are bulk-charged to each
+// core's current operating state — see SimOptions::fast_forward and
+// DESIGN.md "Event-driven simulator". Stats are bit-identical to the
+// cycle-stepped path by construction and by test.
 #pragma once
 
 #include <array>
@@ -38,11 +46,18 @@ struct RunResult {
   RunStats stats;
   bool ok = false;
   std::string error;
+  /// Cycles advanced by event-driven fast-forward jumps instead of being
+  /// stepped one by one (see SimOptions::fast_forward). Diagnostic only:
+  /// deliberately kept out of RunStats so persisted artifacts and their
+  /// fingerprints are identical whichever path produced them.
+  std::uint64_t ff_cycles = 0;
+  /// Number of fast-forward jumps taken.
+  std::uint64_t ff_jumps = 0;
 };
 
 class Cluster {
  public:
-  explicit Cluster(ClusterConfig cfg = {});
+  explicit Cluster(ClusterConfig cfg = {}, SimOptions opt = {});
 
   /// Load a verified program. Throws std::invalid_argument if the
   /// program fails kir::verify or a buffer does not fit its memory.
@@ -63,6 +78,7 @@ class Cluster {
   void write_f32(std::uint32_t addr, float value);
 
   [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const SimOptions& options() const noexcept { return opt_; }
   [[nodiscard]] const kir::Program& program() const noexcept { return prog_; }
 
  private:
@@ -105,15 +121,36 @@ class Cluster {
     DmaStats stats;
   };
 
+  /// Predecoded instruction: a flat per-pc record carrying everything the
+  /// per-cycle dispatch needs — operand fields, the execution-unit and
+  /// accounting classes, memory/store flags and the I-cache line — so
+  /// execute() never re-derives them through the kir::op_class /
+  /// kir::is_memory switches. Built once per load().
+  struct Decoded {
+    kir::Op op = kir::Op::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int32_t imm = 0;
+    kir::OpClass unit = kir::OpClass::Nop;  ///< op_class(op): resource gate
+    kir::OpClass acct = kir::OpClass::Nop;  ///< Instr::op_class(): accounting
+    bool is_mem = false;
+    bool is_store = false;
+    std::uint32_t line = 0;  ///< I-cache line of this pc (per-core offset added at fetch)
+  };
+
   void reset(unsigned ncores);
   void init_buffers();
   void step_core(Core& c);
   void execute(Core& c);
   void step_dma();
   void charge(Core& c, CycleClass cls, bool idle);
+  void charge_n(Core& c, CycleClass cls, bool idle, std::uint64_t n);
   void begin_stall(Core& c, CycleClass issue_cls, unsigned extra,
                    CycleClass stall_cls, bool idle);
   void release_barrier();
+  [[nodiscard]] bool try_fast_forward();
+  void bulk_charge(std::uint64_t n);
 
   [[nodiscard]] std::uint32_t& word_at(std::uint32_t addr);
   [[nodiscard]] const std::uint32_t& word_at(std::uint32_t addr) const;
@@ -124,7 +161,10 @@ class Cluster {
   [[nodiscard]] std::string pe_path(unsigned core, const char* leaf) const;
 
   ClusterConfig cfg_;
+  SimOptions opt_;
   kir::Program prog_;
+  std::vector<Decoded> decoded_;   ///< dispatch cache, parallel to prog_.code
+  std::uint32_t icache_nlines_ = 0;  ///< lines per core slice
   std::vector<std::uint32_t> tcdm_;
   std::vector<std::uint32_t> l2mem_;
   std::vector<Core> cores_;
@@ -138,11 +178,22 @@ class Cluster {
   unsigned ncores_ = 0;        ///< cores participating in this run
   std::uint64_t cycle_ = 0;
   unsigned running_ = 0;       ///< non-halted participating cores
+  /// Exact counts of cores in Ready / Sleeping state, maintained at every
+  /// transition so the per-cycle fast-forward and arbitration-mode checks
+  /// are O(1) instead of an O(ncores) scan (the scan showed up as ~50%
+  /// overhead on long compute-bound kernels).
+  unsigned ready_count_ = 0;
+  unsigned sleeping_count_ = 0;
   unsigned barrier_arrived_ = 0;
   int lock_owner_ = -1;
   bool region_open_ = false;
   std::uint64_t region_begin_ = 0;
   std::uint64_t region_end_ = 0;
+  /// At most one core can issue a TCDM/L2 request this cycle, so
+  /// bank_grant skips claim bookkeeping (no same-cycle conflict possible).
+  bool single_requester_ = false;
+  std::uint64_t ff_cycles_ = 0;  ///< cycles covered by fast-forward jumps
+  std::uint64_t ff_jumps_ = 0;
   TraceSink* sink_ = nullptr;
 };
 

@@ -56,4 +56,22 @@ struct ClusterConfig {
   }
 };
 
+/// Execution options of a simulation run. Unlike ClusterConfig these do
+/// not describe the modelled hardware: toggling any of them changes how
+/// fast the simulator reaches its answer, never the answer itself —
+/// sim::RunStats are bit-identical for every combination (enforced by
+/// tests/test_sim_fastpath.cpp over the whole kernel registry).
+struct SimOptions {
+  /// Event-driven idle fast-forwarding: when every running core is
+  /// blocked (barrier wait, DMA wait, L2 access in flight, multi-cycle
+  /// divider/FPU occupancy) the simulator computes the next wake event
+  /// across core, DMA and FPU timestamps and jumps the clock there in
+  /// one step, bulk-charging the skipped cycles to each core's current
+  /// operating state so the Table I energy integration is unchanged.
+  /// Keep the escape hatch `false` to A/B the cycle-stepped path.
+  /// Automatically disabled for runs with a TraceSink attached, whose
+  /// per-cycle event stream must stay complete.
+  bool fast_forward = true;
+};
+
 }  // namespace pulpc::sim

@@ -3,6 +3,14 @@
 // maps either to a Table I energy model row or to a Table III dynamic
 // feature. Counters accumulate only inside the kernel region (between the
 // kernel.enter / kernel.exit markers).
+//
+// Engine-path independence: everything in this header — and therefore
+// every save_stats text, dataset CSV and artifact fingerprint derived
+// from it — is byte-identical whichever execution path produced it
+// (event-driven fast-forward on or off, traced or untraced, any thread
+// count). tests/test_sim_fastpath.cpp enforces this; diagnostics that do
+// depend on the path (fast-forward coverage) live on sim::RunResult, not
+// here.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,83 @@
+// The one precedence order every configurable setting follows
+// (core/env.hpp): explicit options field > CLI flag (which writes the
+// field) > PULPC_* environment variable > built-in default.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+
+#include "core/env.hpp"
+#include "core/parallel.hpp"
+
+namespace {
+
+using pulpc::core::env_or;
+
+constexpr const char* kVar = "PULPC_TEST_ENV_OR";
+
+class EnvOr : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv(kVar); }
+  void TearDown() override { unsetenv(kVar); }
+};
+
+TEST_F(EnvOr, StringFallsBackToDefault) {
+  EXPECT_EQ(env_or(std::nullopt, kVar, "fallback"), "fallback");
+}
+
+TEST_F(EnvOr, StringEnvBeatsDefault) {
+  setenv(kVar, "from-env", 1);
+  EXPECT_EQ(env_or(std::nullopt, kVar, "fallback"), "from-env");
+}
+
+TEST_F(EnvOr, StringExplicitBeatsEnv) {
+  setenv(kVar, "from-env", 1);
+  EXPECT_EQ(env_or(std::optional<std::string>("explicit"), kVar, "fallback"),
+            "explicit");
+}
+
+TEST_F(EnvOr, StringEmptyIsMeaningful) {
+  // "" means "disable" at several call sites (artifact store, CSV
+  // cache); both the explicit and env tiers must be able to say it.
+  setenv(kVar, "from-env", 1);
+  EXPECT_EQ(env_or(std::optional<std::string>(""), kVar, "fallback"), "");
+  unsetenv(kVar);
+  setenv(kVar, "", 1);
+  EXPECT_EQ(env_or(std::nullopt, kVar, "fallback"), "");
+}
+
+TEST_F(EnvOr, UnsignedFallsBackToDefault) {
+  EXPECT_EQ(env_or(0U, kVar, 7U), 7U);
+}
+
+TEST_F(EnvOr, UnsignedEnvBeatsDefault) {
+  setenv(kVar, "3", 1);
+  EXPECT_EQ(env_or(0U, kVar, 7U), 3U);
+}
+
+TEST_F(EnvOr, UnsignedExplicitBeatsEnv) {
+  setenv(kVar, "3", 1);
+  EXPECT_EQ(env_or(5U, kVar, 7U), 5U);
+}
+
+TEST_F(EnvOr, UnsignedRejectsMalformedEnv) {
+  for (const char* bad : {"", "0", "-2", "abc", "4x"}) {
+    setenv(kVar, bad, 1);
+    EXPECT_EQ(env_or(0U, kVar, 7U), 7U) << "env='" << bad << "'";
+  }
+  // Leading whitespace is strtol territory and accepted.
+  setenv(kVar, " 8", 1);
+  EXPECT_EQ(env_or(0U, kVar, 7U), 8U);
+}
+
+TEST_F(EnvOr, ThreadCountResolvesThroughHelper) {
+  // resolve_thread_count is the oldest call site of the chain; pin that
+  // it still honours it end to end.
+  setenv("PULPC_THREADS", "2", 1);
+  EXPECT_EQ(pulpc::core::resolve_thread_count(0), 2U);
+  EXPECT_EQ(pulpc::core::resolve_thread_count(5), 5U);
+  unsetenv("PULPC_THREADS");
+  EXPECT_GE(pulpc::core::resolve_thread_count(0), 1U);
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+// The event-driven fast-forward contract (SimOptions::fast_forward):
+// skipping idle stretches is a pure wall-clock optimisation. Every
+// counter the pipeline consumes — and therefore every label, feature and
+// persisted artifact — must be byte-identical with the optimisation on
+// and off, including on the error paths (max_cycles) and under tracing
+// (where fast-forward auto-disables to keep the event stream complete).
+//
+// The golden fingerprints below were captured from the pre-fast-forward,
+// purely cycle-stepped simulator, so they also pin today's engine to the
+// original one: a change that shifts any counter of these kernels fails
+// here before it silently re-labels the dataset.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "dsl/lower.hpp"
+#include "kernels/registry.hpp"
+#include "sim/cluster.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace pulpc;
+
+std::uint64_t fnv64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string stats_text(const sim::RunStats& stats) {
+  std::ostringstream os;
+  sim::save_stats(os, stats);
+  return os.str();
+}
+
+kir::Program lower(const std::string& kernel, kir::DType t,
+                   std::uint32_t bytes) {
+  return dsl::lower(kernels::make_kernel(kernel, t, bytes));
+}
+
+sim::RunResult run_one(const kir::Program& prog, unsigned cores,
+                       bool fast_forward,
+                       sim::ClusterConfig cfg = {},
+                       sim::TraceSink* sink = nullptr) {
+  sim::SimOptions opt;
+  opt.fast_forward = fast_forward;
+  sim::Cluster cluster(cfg, opt);
+  cluster.load(prog);
+  return cluster.run(cores, sink);
+}
+
+/// save_stats fingerprints of the cycle-stepped engine that predates
+/// fast-forwarding, for three idle-heavy kernels at 4096 bytes: one
+/// barrier-dominated, one DMA-double-buffering, one TCDM-conflict-heavy.
+struct Golden {
+  const char* kernel;
+  kir::DType dtype;
+  unsigned cores;
+  std::uint64_t fingerprint;
+};
+
+constexpr Golden kGolden[] = {
+    {"barrier_sweep", kir::DType::I32, 1, 0x61901b355a552bffULL},
+    {"barrier_sweep", kir::DType::I32, 4, 0x24f675e9f0cb9a40ULL},
+    {"barrier_sweep", kir::DType::I32, 8, 0xe6622096f2db4070ULL},
+    {"barrier_sweep", kir::DType::F32, 1, 0xf65286ec4f47044cULL},
+    {"barrier_sweep", kir::DType::F32, 4, 0x89624f1a07169f89ULL},
+    {"barrier_sweep", kir::DType::F32, 8, 0xd1f584b935ec6480ULL},
+    {"dma_pingpong", kir::DType::I32, 1, 0x1ccb97c2130bfc8eULL},
+    {"dma_pingpong", kir::DType::I32, 4, 0xdea1b64fb036f1b9ULL},
+    {"dma_pingpong", kir::DType::I32, 8, 0xfacf904d34abae2eULL},
+    {"dma_pingpong", kir::DType::F32, 1, 0x2648da0c5a0877ddULL},
+    {"dma_pingpong", kir::DType::F32, 4, 0x42faf433172f9aacULL},
+    {"dma_pingpong", kir::DType::F32, 8, 0xefc92ab8d39759aeULL},
+    {"stride_conflict", kir::DType::I32, 1, 0xfdcf6b30dcec51b7ULL},
+    {"stride_conflict", kir::DType::I32, 4, 0x627c58324d9c68c2ULL},
+    {"stride_conflict", kir::DType::I32, 8, 0x0a1adf9ceb78f686ULL},
+    {"stride_conflict", kir::DType::F32, 1, 0x57d63c655bde1202ULL},
+    {"stride_conflict", kir::DType::F32, 4, 0x93837247b3f3d5e5ULL},
+    {"stride_conflict", kir::DType::F32, 8, 0xf345421d69e5908bULL},
+};
+
+TEST(SimFastpath, GoldenFingerprintsBothPaths) {
+  for (const Golden& g : kGolden) {
+    SCOPED_TRACE(std::string(g.kernel) + "/" + kir::to_string(g.dtype) +
+                 " c=" + std::to_string(g.cores));
+    const kir::Program prog = lower(g.kernel, g.dtype, 4096);
+    for (const bool ff : {false, true}) {
+      const sim::RunResult r = run_one(prog, g.cores, ff);
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(fnv64(stats_text(r.stats)), g.fingerprint)
+          << "fast_forward=" << ff;
+    }
+  }
+}
+
+TEST(SimFastpath, FastForwardActuallyEngages) {
+  // The contract would hold vacuously if no jump ever fired; pin the
+  // optimisation itself on the kernels it was built for.
+  const kir::Program dma = lower("dma_pingpong", kir::DType::I32, 4096);
+  const sim::RunResult r = run_one(dma, 8, true);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.ff_jumps, 0u);
+  EXPECT_GT(r.ff_cycles, 0u);
+  EXPECT_LT(r.ff_cycles, r.stats.total_cycles);
+}
+
+TEST(SimFastpath, EscapeHatchDisablesJumps) {
+  const kir::Program dma = lower("dma_pingpong", kir::DType::I32, 4096);
+  const sim::RunResult r = run_one(dma, 8, false);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ff_cycles, 0u);
+  EXPECT_EQ(r.ff_jumps, 0u);
+}
+
+// Every (kernel, dtype, size) the dataset lowers, both engines, all core
+// counts. The full 448-configuration sweep takes minutes, so the default
+// run checks a deterministic sample and PULPC_FULL_FF_CHECK=1 (used by
+// the nightly/CI bench lane) widens it to the whole registry.
+TEST(SimFastpath, RegistrySweepBitIdentical) {
+  const bool full = std::getenv("PULPC_FULL_FF_CHECK") != nullptr;
+  const std::vector<core::SampleConfig> configs = core::dataset_configs();
+  const std::size_t stride = full ? 1 : 37;
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < configs.size(); i += stride) {
+    const core::SampleConfig& cfg = configs[i];
+    SCOPED_TRACE(cfg.kernel + "/" + kir::to_string(cfg.dtype) + "/" +
+                 std::to_string(cfg.size_bytes));
+    const kir::Program prog = lower(cfg.kernel, cfg.dtype, cfg.size_bytes);
+    for (const unsigned c : {1u, 4u, 8u}) {
+      const sim::RunResult slow = run_one(prog, c, false);
+      const sim::RunResult fast = run_one(prog, c, true);
+      ASSERT_EQ(slow.ok, fast.ok) << "c=" << c;
+      ASSERT_EQ(slow.error, fast.error) << "c=" << c;
+      EXPECT_EQ(stats_text(slow.stats), stats_text(fast.stats))
+          << "c=" << c;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, full ? configs.size() : 12u);
+}
+
+TEST(SimFastpath, MaxCyclesClampBitIdentical) {
+  // Cut the run off at several points (mid-compute, mid-DMA, mid-wait):
+  // the jump clamps to max_cycles, so the fast path must produce the
+  // same SimError and the same partially-charged counters the stepped
+  // loop does.
+  const kir::Program dma = lower("dma_pingpong", kir::DType::I32, 32768);
+  // dma_pingpong/i32/32768 on 8 cores runs ~4.7k cycles; all three
+  // limits land inside the run (early compute, mid-DMA, late wait).
+  for (const std::uint64_t limit : {500u, 2000u, 4111u}) {
+    SCOPED_TRACE("max_cycles=" + std::to_string(limit));
+    sim::ClusterConfig cfg;
+    cfg.max_cycles = limit;
+    const sim::RunResult slow = run_one(dma, 8, false, cfg);
+    const sim::RunResult fast = run_one(dma, 8, true, cfg);
+    ASSERT_FALSE(slow.ok);
+    ASSERT_FALSE(fast.ok);
+    EXPECT_EQ(slow.error, fast.error);
+    EXPECT_EQ(fast.stats.total_cycles, limit);
+    EXPECT_EQ(stats_text(slow.stats), stats_text(fast.stats));
+  }
+}
+
+/// Sink that just accumulates the full event stream as text.
+struct CollectSink final : sim::TraceSink {
+  std::string events;
+  void event(std::uint64_t cycle, const std::string& path,
+             const std::string& message) override {
+    events += std::to_string(cycle) + " " + path + " " + message + "\n";
+  }
+};
+
+TEST(SimFastpath, TraceSinkAutoDisables) {
+  // A trace consumer needs the complete per-cycle event stream, so an
+  // attached sink overrides fast_forward=true: no jumps fire and the
+  // trace matches the fast_forward=false run byte for byte.
+  const kir::Program prog = lower("barrier_sweep", kir::DType::I32, 4096);
+  CollectSink with_ff;
+  CollectSink without_ff;
+  const sim::RunResult on = run_one(prog, 4, true, {}, &with_ff);
+  const sim::RunResult off = run_one(prog, 4, false, {}, &without_ff);
+  ASSERT_TRUE(on.ok) << on.error;
+  ASSERT_TRUE(off.ok) << off.error;
+  EXPECT_EQ(on.ff_cycles, 0u);
+  EXPECT_EQ(on.ff_jumps, 0u);
+  EXPECT_FALSE(with_ff.events.empty());
+  EXPECT_EQ(with_ff.events, without_ff.events);
+  EXPECT_EQ(stats_text(on.stats), stats_text(off.stats));
+}
+
+TEST(SimFastpath, PipelineReportsFastForwardCoverage) {
+  // The StageReport surfaces simulated cycles and the fast-forwarded
+  // share so dataset builds can report simulated-cycles-per-second.
+  core::BuildOptions opt;
+  core::StageReport report;
+  opt.stage_report = [&](const core::StageReport& r) { report = r; };
+  const std::vector<core::SampleConfig> configs = {
+      {"dma_pingpong", kir::DType::I32, 4096}};
+  const ml::Dataset ds = core::build_dataset(configs, opt);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_GT(report.simulated_cycles, 0u);
+  EXPECT_GT(report.ff_cycles, 0u);
+  EXPECT_LE(report.ff_cycles, report.simulated_cycles);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("Mcyc/s"), std::string::npos) << summary;
+
+  // And the escape hatch flows through BuildOptions::sim.
+  opt.sim.fast_forward = false;
+  const ml::Dataset ds_slow = core::build_dataset(configs, opt);
+  EXPECT_EQ(report.ff_cycles, 0u);
+  ASSERT_EQ(ds_slow.size(), 1u);
+  EXPECT_EQ(ds.samples()[0].features, ds_slow.samples()[0].features);
+  EXPECT_EQ(ds.samples()[0].label, ds_slow.samples()[0].label);
+}
+
+}  // namespace

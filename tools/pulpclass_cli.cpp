@@ -1,32 +1,39 @@
 // pulpclass command-line tool: the library's workflow without writing
-// C++. Subcommands:
+// C++. Commands follow a verb-noun scheme; the machine-facing ones also
+// speak JSON (--json prints one object per invocation on stdout).
 //
-//   pulpclass dataset [--out file.csv]       build/cache the 448-sample set
-//   pulpclass relabel [--out file.csv]       replay labels from the store
-//   pulpclass cache   <info|verify|gc>       raw-counter artifact store
+//   pulpclass dataset build   [--out file.csv] [--json]
+//   pulpclass dataset relabel [--out file.csv] [--json]
+//   pulpclass cache   <info|verify|gc> [--json]
+//   pulpclass lint    [--kernel NAME|--all] [--werror] [--json]
 //   pulpclass train   [--features SET] [--out model.txt]
 //   pulpclass predict --model model.txt <kernel> <i32|f32> <bytes>
 //   pulpclass sweep   <kernel> <i32|f32> <bytes> [--optimize]
 //   pulpclass stats                           dataset & label statistics
 //   pulpclass disasm  <kernel> <i32|f32> <bytes> [--optimize]
 //   pulpclass kernels                         list the dataset kernels
+//
+// The pre-verb-noun spellings (`pulpclass dataset`, `pulpclass relabel`)
+// keep working as hidden aliases: they print a one-line deprecation note
+// on stderr and run the new command, exit status unchanged.
+//
+// Implemented against the stable pulpclass:: facade (src/pulpclass.hpp);
+// the pulpc::{kir,dsl,kernels,sim,...} layer namespaces are used only
+// for the developer-facing inspection commands (disasm, sweep).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/artifacts.hpp"
-#include "core/classifier.hpp"
-#include "core/pipeline.hpp"
+#include "core/env.hpp"
 #include "dsl/lower.hpp"
 #include "energy/model.hpp"
 #include "feat/features.hpp"
-#include "kir/opt.hpp"
-#include "kir/verify.hpp"
 #include "kernels/registry.hpp"
-#include "ml/cv.hpp"
-#include "ml/metrics.hpp"
+#include "kir/opt.hpp"
+#include "pulpclass.hpp"
 #include "sim/cluster.hpp"
 
 namespace {
@@ -43,6 +50,7 @@ struct Args {
   bool all = false;             ///< lint: whole registry
   bool werror = false;          ///< lint: warnings fail the run
   bool optimize = false;
+  bool json = false;            ///< machine-readable one-object output
   bool verbose_stages = false;  ///< print the per-stage timing report
   int threads = 0;  ///< 0 = PULPC_THREADS / hardware default
 };
@@ -74,6 +82,8 @@ Args parse(int argc, char** argv) {
       a.werror = true;
     } else if (arg == "--optimize") {
       a.optimize = true;
+    } else if (arg == "--json") {
+      a.json = true;
     } else if (arg == "--stages") {
       a.verbose_stages = true;
     } else if (arg == "--threads") {
@@ -101,9 +111,10 @@ int usage() {
       "                 (default: PULPC_ARTIFACT_DIR, else\n"
       "                 pulpclass_artifacts for cache/relabel)\n"
       "  --stages       print the per-stage wall-clock report\n"
+      "  --json         one JSON object on stdout (dataset/cache/lint)\n"
       "commands:\n"
-      "  dataset [--out file.csv]          build & cache the dataset\n"
-      "  relabel [--out file.csv]          rebuild labels/features by\n"
+      "  dataset build [--out file.csv]    build & cache the dataset\n"
+      "  dataset relabel [--out file.csv]  rebuild labels/features by\n"
       "                                    replaying stored raw counters\n"
       "                                    (no re-simulation on a warm store)\n"
       "  cache info                        artifact store census\n"
@@ -123,6 +134,35 @@ int usage() {
   return 2;
 }
 
+/// One-line note for the hidden pre-verb-noun aliases. Deliberately on
+/// stderr so scripted consumers of stdout are unaffected, and the exit
+/// status stays that of the new command (CI asserts the aliases still
+/// exit 0).
+void deprecated(const char* old_spelling, const char* new_spelling) {
+  std::fprintf(stderr,
+               "note: `pulpclass %s` is deprecated, use `pulpclass %s`\n",
+               old_spelling, new_spelling);
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) for
+/// the paths that end up in --json output.
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
+
 kir::DType parse_dtype(const std::string& s) {
   if (s == "i32") return kir::DType::I32;
   if (s == "f32") return kir::DType::F32;
@@ -140,12 +180,12 @@ void print_progress(std::size_t d, std::size_t t) {
 /// Build options shared by the dataset-consuming commands: the CSV cache
 /// path comes from --out (not from mutating the environment), the
 /// artifact store from --store, and --stages wires the per-stage report.
-core::BuildOptions build_options(const Args& a) {
-  core::BuildOptions opt;
+pulpclass::BuildOptions build_options(const Args& a) {
+  pulpclass::BuildOptions opt;
   if (!a.out.empty()) opt.cache_path = a.out;
   if (!a.store.empty()) opt.artifact_dir = a.store;
   if (a.verbose_stages) {
-    opt.stage_report = [](const core::StageReport& r) {
+    opt.stage_report = [](const pulpclass::StageReport& r) {
       std::fprintf(stderr, "stages: %s\n", r.summary().c_str());
     };
   }
@@ -153,17 +193,19 @@ core::BuildOptions build_options(const Args& a) {
 }
 
 /// Artifact store directory for the commands that require one: --store,
-/// then PULPC_ARTIFACT_DIR, then ./pulpclass_artifacts.
+/// then PULPC_ARTIFACT_DIR, then ./pulpclass_artifacts. (These commands
+/// always need a directory, so an empty env value falls through to the
+/// default instead of meaning "disabled" as it does for builds.)
 std::string store_dir(const Args& a) {
-  if (!a.store.empty()) return a.store;
-  if (const char* env = std::getenv("PULPC_ARTIFACT_DIR")) {
-    if (*env) return env;
-  }
-  return "pulpclass_artifacts";
+  const std::string dir = core::env_or(
+      a.store.empty() ? std::nullopt
+                      : std::optional<std::string>(a.store),
+      "PULPC_ARTIFACT_DIR", "");
+  return dir.empty() ? "pulpclass_artifacts" : dir;
 }
 
-ml::Dataset load_dataset(const core::BuildOptions& opt = {}) {
-  return core::load_or_build_dataset(opt, print_progress);
+pulpclass::Dataset load_dataset(const pulpclass::BuildOptions& opt = {}) {
+  return pulpclass::load_or_build_dataset(opt, print_progress);
 }
 
 kir::Program lower_kernel(const Args& a) {
@@ -176,26 +218,40 @@ kir::Program lower_kernel(const Args& a) {
   return a.optimize ? kir::optimize(prog) : prog;
 }
 
-int cmd_dataset(const Args& a) {
-  const ml::Dataset ds = load_dataset(build_options(a));
-  std::printf("dataset ready: %zu samples, %zu feature columns\n",
-              ds.size(), ds.columns().size());
+int cmd_dataset_build(const Args& a) {
+  const pulpclass::Dataset ds = load_dataset(build_options(a));
+  if (a.json) {
+    std::printf("{\"command\":\"dataset build\",\"samples\":%zu,"
+                "\"columns\":%zu}\n",
+                ds.size(), ds.columns().size());
+  } else {
+    std::printf("dataset ready: %zu samples, %zu feature columns\n",
+                ds.size(), ds.columns().size());
+  }
   return 0;
 }
 
-int cmd_relabel(const Args& a) {
-  core::BuildOptions opt = build_options(a);
-  core::StageReport report;
+int cmd_dataset_relabel(const Args& a) {
+  pulpclass::BuildOptions opt = build_options(a);
+  pulpclass::StageReport report;
   const auto chained = opt.stage_report;
-  opt.stage_report = [&](const core::StageReport& r) {
+  opt.stage_report = [&](const pulpclass::StageReport& r) {
     report = r;
     if (chained) chained(r);
   };
-  const core::ArtifactStore store(store_dir(a), opt.cluster);
-  const ml::Dataset ds =
-      core::relabel(store, core::dataset_configs(), opt, print_progress);
+  const pulpclass::ArtifactStore store(store_dir(a), opt.cluster);
+  const pulpclass::Dataset ds = pulpclass::relabel(
+      store, pulpclass::dataset_configs(), opt, print_progress);
   const std::string out = a.out.empty() ? "pulpclass_dataset.csv" : a.out;
   ds.save_csv_file(out);
+  if (a.json) {
+    std::printf("{\"command\":\"dataset relabel\",\"samples\":%zu,"
+                "\"replayed_runs\":%zu,\"simulated_runs\":%zu,"
+                "\"store\":%s,\"out\":%s}\n",
+                ds.size(), report.replayed_runs, report.simulated_runs,
+                json_str(store.dir()).c_str(), json_str(out).c_str());
+    return 0;
+  }
   std::printf("relabelled %zu samples from %s -> %s\n", ds.size(),
               store.dir().c_str(), out.c_str());
   std::printf("replayed %zu runs, simulated %zu (%.3fs total, %.3fs in "
@@ -209,9 +265,23 @@ int cmd_relabel(const Args& a) {
 int cmd_cache(const Args& a) {
   if (a.positional.empty()) return usage();
   const std::string verb = a.positional[0];
-  const core::ArtifactStore store(store_dir(a), core::BuildOptions{}.cluster);
+  const pulpclass::ArtifactStore store(store_dir(a),
+                                       pulpclass::BuildOptions{}.cluster);
   if (verb == "info" || verb == "verify") {
-    const core::ArtifactStore::Info info = store.scan();
+    const pulpclass::ArtifactStore::Info info = store.scan();
+    const bool ok = info.foreign == 0 && info.corrupt == 0;
+    if (a.json) {
+      std::printf("{\"command\":\"cache %s\",\"store\":%s,"
+                  "\"fingerprint\":\"%016llx\",\"schema\":%u,"
+                  "\"files\":%zu,\"bytes\":%zu,\"valid\":%zu,"
+                  "\"foreign\":%zu,\"corrupt\":%zu,\"ok\":%s}\n",
+                  verb.c_str(), json_str(store.dir()).c_str(),
+                  static_cast<unsigned long long>(store.fingerprint()),
+                  core::kArtifactSchemaVersion, info.files, info.bytes,
+                  info.valid, info.foreign, info.corrupt,
+                  ok ? "true" : "false");
+      return verb == "verify" && !ok ? 1 : 0;
+    }
     std::printf("store:       %s\n", store.dir().c_str());
     std::printf("fingerprint: %016llx (schema v%u)\n",
                 static_cast<unsigned long long>(store.fingerprint()),
@@ -222,7 +292,6 @@ int cmd_cache(const Args& a) {
     std::printf("  foreign:   %zu\n", info.foreign);
     std::printf("  corrupt:   %zu\n", info.corrupt);
     if (verb == "verify") {
-      const bool ok = info.foreign == 0 && info.corrupt == 0;
       std::printf("verify: %s\n", ok ? "OK" : "FAILED");
       return ok ? 0 : 1;
     }
@@ -230,6 +299,12 @@ int cmd_cache(const Args& a) {
   }
   if (verb == "gc") {
     const std::size_t removed = store.gc();
+    if (a.json) {
+      std::printf("{\"command\":\"cache gc\",\"store\":%s,"
+                  "\"removed\":%zu}\n",
+                  json_str(store.dir()).c_str(), removed);
+      return 0;
+    }
     std::printf("removed %zu foreign/corrupt artifact file%s from %s\n",
                 removed, removed == 1 ? "" : "s", store.dir().c_str());
     return 0;
@@ -238,8 +313,8 @@ int cmd_cache(const Args& a) {
 }
 
 int cmd_train(const Args& a) {
-  const ml::Dataset ds = load_dataset();
-  core::EnergyClassifier::Options opt;
+  const pulpclass::Dataset ds = load_dataset();
+  pulpclass::EnergyClassifier::Options opt;
   if (a.features == "AGG") {
     opt.features = feat::FeatureSet::Agg;
   } else if (a.features == "RAW") {
@@ -249,7 +324,7 @@ int cmd_train(const Args& a) {
   } else {
     opt.features = feat::FeatureSet::AllStatic;
   }
-  core::EnergyClassifier clf(opt);
+  pulpclass::EnergyClassifier clf(opt);
   clf.train(ds);
   const std::string path = a.out.empty() ? a.model : a.out;
   clf.save_file(path);
@@ -258,17 +333,18 @@ int cmd_train(const Args& a) {
   std::printf("model written to %s\n", path.c_str());
 
   // Quick self-report with the paper's protocol.
-  ml::EvalOptions eval;
+  pulpclass::EvalOptions eval;
   eval.repeats = 10;
-  const ml::EvalResult res = ml::evaluate(ds, clf.columns(), eval);
+  const pulpclass::EvalResult res = pulpclass::evaluate(ds, clf.columns(),
+                                                        eval);
   std::printf("10-fold CV x10: %.1f%% @0%% tolerance, %.1f%% @5%%\n",
               100 * res.accuracy_at(0.0), 100 * res.accuracy_at(0.05));
   return 0;
 }
 
 int cmd_predict(const Args& a) {
-  const core::EnergyClassifier clf =
-      core::EnergyClassifier::load_file(a.model);
+  const pulpclass::EnergyClassifier clf =
+      pulpclass::EnergyClassifier::load_file(a.model);
   const kir::Program prog = lower_kernel(a);
   const int cores = clf.predict(prog);
   std::printf("%s %s %s -> run on %d core%s for minimum energy\n",
@@ -304,7 +380,7 @@ int cmd_sweep(const Args& a) {
 }
 
 int cmd_stats(const Args&) {
-  const ml::Dataset ds = load_dataset();
+  const pulpclass::Dataset ds = load_dataset();
   const auto hist = ds.label_histogram(8);
   std::printf("%zu samples; label distribution:\n", ds.size());
   for (int k = 1; k <= 8; ++k) {
@@ -340,16 +416,25 @@ int cmd_lint(const Args& a) {
         kir::Program prog =
             dsl::lower(kernels::make_kernel(k->name, t, bytes));
         if (a.optimize) prog = kir::optimize(prog);
-        const kir::VerifyReport report = kir::verify_program(prog);
+        const pulpclass::VerifyReport report =
+            pulpclass::verify_program(prog);
         ++programs;
         errors += report.errors();
         warnings += report.warnings();
         notes += report.notes();
-        if (!report.diags.empty()) {
+        if (!report.diags.empty() && !a.json) {
           std::printf("%s", report.to_string().c_str());
         }
       }
     }
+  }
+  const bool failed = errors > 0 || (a.werror && warnings > 0);
+  if (a.json) {
+    std::printf("{\"command\":\"lint\",\"programs\":%zu,\"errors\":%zu,"
+                "\"warnings\":%zu,\"notes\":%zu,\"werror\":%s,\"ok\":%s}\n",
+                programs, errors, warnings, notes,
+                a.werror ? "true" : "false", failed ? "false" : "true");
+    return failed ? 1 : 0;
   }
   std::printf("linted %zu lowered program%s: %zu error(s), %zu warning(s), "
               "%zu note(s)\n",
@@ -374,6 +459,19 @@ int cmd_kernels(const Args&) {
   return 0;
 }
 
+int cmd_dataset(const Args& a) {
+  if (!a.positional.empty()) {
+    Args sub = a;
+    sub.positional.erase(sub.positional.begin());
+    if (a.positional[0] == "build") return cmd_dataset_build(sub);
+    if (a.positional[0] == "relabel") return cmd_dataset_relabel(sub);
+    return usage();
+  }
+  // Pre-verb-noun alias: bare `dataset` meant "build".
+  deprecated("dataset", "dataset build");
+  return cmd_dataset_build(a);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -387,7 +485,11 @@ int main(int argc, char** argv) {
   }
   try {
     if (cmd == "dataset") return cmd_dataset(args);
-    if (cmd == "relabel") return cmd_relabel(args);
+    if (cmd == "relabel") {
+      // Pre-verb-noun alias for `dataset relabel`.
+      deprecated("relabel", "dataset relabel");
+      return cmd_dataset_relabel(args);
+    }
     if (cmd == "cache") return cmd_cache(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "predict") return cmd_predict(args);

@@ -20,6 +20,7 @@
 #include "mca/analyzer.hpp"
 #include "ml/cv.hpp"
 #include "ml/tree.hpp"
+#include "serve/service.hpp"
 #include "sim/cluster.hpp"
 #include "trace/listeners.hpp"
 #include "trace/sinks.hpp"
@@ -303,6 +304,110 @@ void BM_StageLabelFeaturize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StageLabelFeaturize);
+
+// ---- prediction service -------------------------------------------------
+// Cold vs cached predict latency and batched throughput through the
+// serve::PredictionService. The acceptance target is a >= 10x speedup of
+// a cache hit over a cold predict (the hit skips lowering and
+// featurization and goes straight to the tree walk); CI extracts the
+// ratio from BENCH_serve.json.
+
+const core::EnergyClassifier& bench_classifier() {
+  static const core::EnergyClassifier* clf = [] {
+    ml::Dataset ds(core::dataset_columns(8));
+    for (const char* name : {"memcpy", "alu_chain", "trisolv", "autocor"}) {
+      ds.add(core::build_sample({name, kir::DType::I32, 512}));
+    }
+    auto* c = new core::EnergyClassifier();
+    c->train(ds);
+    return c;
+  }();
+  return *clf;
+}
+
+serve::Request bench_request() {
+  serve::Request req;
+  req.kernel = "gemm";
+  req.dtype = kir::DType::I32;
+  req.size_bytes = 8192;
+  return req;
+}
+
+// Cold path: caching disabled, every predict lowers + featurizes.
+void BM_PredictCold(benchmark::State& state) {
+  serve::PredictionService::Options opt;
+  opt.cache_capacity = 0;
+  opt.threads = 1;
+  opt.batch_linger = std::chrono::microseconds(0);
+  serve::PredictionService svc(bench_classifier(), opt);
+  const serve::Request req = bench_request();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    const serve::Result r = svc.predict(req);
+    ++n;
+    benchmark::DoNotOptimize(r.cores);
+  }
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PredictCold)->UseRealTime();
+
+// Warm path: same request against a warmed LRU — the row comes from the
+// cache and only the tree walk runs.
+void BM_PredictCached(benchmark::State& state) {
+  serve::PredictionService::Options opt;
+  opt.threads = 1;
+  opt.batch_linger = std::chrono::microseconds(0);
+  serve::PredictionService svc(bench_classifier(), opt);
+  const serve::Request req = bench_request();
+  (void)svc.predict(req);  // warm the cache
+  std::size_t n = 0;
+  for (auto _ : state) {
+    const serve::Result r = svc.predict(req);
+    ++n;
+    benchmark::DoNotOptimize(r.cores);
+  }
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsRate);
+  state.counters["cache_hit"] = 1;
+}
+BENCHMARK(BM_PredictCached)->UseRealTime();
+
+// Burst throughput: submit a burst of distinct cold requests and drain
+// it — the micro-batcher coalesces them onto the featurization pool.
+void BM_ServeBatch(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  serve::PredictionService::Options opt;
+  opt.cache_capacity = 0;  // keep every request on the featurize path
+  opt.max_batch = burst;
+  serve::PredictionService svc(bench_classifier(), opt);
+  const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+      if (k.supports(kir::DType::I32)) out.push_back(k.name);
+    }
+    return out;
+  }();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    std::vector<std::future<serve::Result>> futures;
+    futures.reserve(burst);
+    for (std::size_t i = 0; i < burst; ++i) {
+      serve::Request req;
+      req.kernel = names[i % names.size()];
+      req.dtype = kir::DType::I32;
+      req.size_bytes = 1024;
+      futures.push_back(svc.submit(std::move(req)));
+    }
+    for (std::future<serve::Result>& f : futures) {
+      benchmark::DoNotOptimize(f.get().ok);
+    }
+    n += burst;
+  }
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeBatch)->Arg(16)->UseRealTime();
 
 // Serial-vs-parallel wall time of the repeated-CV evaluation on a
 // synthetic dataset (Arg = worker threads); results are bit-identical

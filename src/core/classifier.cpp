@@ -38,14 +38,23 @@ void EnergyClassifier::train(const ml::Dataset& dataset) {
 }
 
 int EnergyClassifier::predict(const kir::Program& prog) const {
-  if (!trained()) {
-    throw std::logic_error("EnergyClassifier::predict: train() first");
-  }
+  return predict_row(feature_row(prog));
+}
+
+std::vector<double> EnergyClassifier::feature_row(
+    const kir::Program& prog) const {
   const feat::StaticFeatures sf = feat::extract_static(prog, options_.mca);
   const std::vector<double> all = sf.to_vector();
   std::vector<double> row;
   row.reserve(column_indices_.size());
   for (const std::size_t i : column_indices_) row.push_back(all[i]);
+  return row;
+}
+
+int EnergyClassifier::predict_row(std::span<const double> row) const {
+  if (!trained()) {
+    throw std::logic_error("EnergyClassifier::predict: train() first");
+  }
   return tree_.predict(row);
 }
 
@@ -75,28 +84,57 @@ void EnergyClassifier::save_file(const std::string& path) const {
   save(out);
 }
 
-EnergyClassifier EnergyClassifier::load(std::istream& in) {
+EnergyClassifier EnergyClassifier::load(std::istream& in,
+                                        const std::string& source) {
+  // Every failure names the source and the byte offset where parsing
+  // stopped, so a truncated or hand-edited model file is diagnosable
+  // instead of a bare "bad header". tellg() needs a clean stream, so
+  // clear error bits before querying it.
+  const auto offset = [&in]() -> long long {
+    in.clear();
+    const auto pos = in.tellg();
+    return pos < 0 ? 0 : static_cast<long long>(pos);
+  };
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("EnergyClassifier::load: " + source + ": " +
+                             what + " at offset " +
+                             std::to_string(offset()));
+  };
+
   std::string line;
-  if (!std::getline(in, line) || line != "pulpc-classifier v1") {
-    throw std::runtime_error("EnergyClassifier::load: bad header");
+  if (!std::getline(in, line)) fail("empty or unreadable model");
+  if (line != "pulpc-classifier v1") {
+    if (line.rfind("pulpc-classifier", 0) == 0) {
+      fail("unsupported model version '" + line + "' (this build reads v1)");
+    }
+    fail("bad header (not a pulpclass model)");
   }
   std::size_t ncols = 0;
   in >> ncols;
   if (!in || ncols == 0 || ncols > feat::static_feature_names().size()) {
-    throw std::runtime_error("EnergyClassifier::load: bad column count");
+    fail("bad column count");
   }
   Options opt;
   opt.columns.reserve(ncols);
   for (std::size_t i = 0; i < ncols; ++i) {
     std::string col;
     in >> col;
+    if (!in || col.empty()) {
+      fail("truncated column list (" + std::to_string(i) + " of " +
+           std::to_string(ncols) + " names)");
+    }
     opt.columns.push_back(col);
   }
-  EnergyClassifier clf(opt);  // validates the column names
-  clf.tree_ = ml::DecisionTree::load(in);
+  EnergyClassifier clf(opt);  // std::invalid_argument on unknown columns
+  try {
+    clf.tree_ = ml::DecisionTree::load(in);
+  } catch (const std::runtime_error& e) {
+    fail(std::string("bad tree section (") + e.what() + ")");
+  }
   if (clf.tree_.feature_importances().size() != ncols) {
-    throw std::runtime_error(
-        "EnergyClassifier::load: tree/column shape mismatch");
+    fail("tree/column shape mismatch (tree has " +
+         std::to_string(clf.tree_.feature_importances().size()) +
+         " features, header lists " + std::to_string(ncols) + ")");
   }
   return clf;
 }
@@ -106,7 +144,7 @@ EnergyClassifier EnergyClassifier::load_file(const std::string& path) {
   if (!in) {
     throw std::runtime_error("EnergyClassifier: cannot read " + path);
   }
-  return load(in);
+  return load(in, path);
 }
 
 std::vector<std::string> optimized_static_columns(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,14 @@ class EnergyClassifier {
   /// Convenience: lowers the kernel source first.
   [[nodiscard]] int predict(const dsl::KernelSpec& spec) const;
 
+  /// The two halves of predict(prog), split so callers (the serve
+  /// subsystem's feature cache) can persist the expensive half and
+  /// replay the cheap one with bit-identical results:
+  /// predict(prog) == predict_row(feature_row(prog)) by construction.
+  [[nodiscard]] std::vector<double> feature_row(
+      const kir::Program& prog) const;
+  [[nodiscard]] int predict_row(std::span<const double> row) const;
+
   [[nodiscard]] bool trained() const noexcept { return tree_.trained(); }
   [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
     return columns_;
@@ -61,7 +70,13 @@ class EnergyClassifier {
   /// text, so a toolchain can train once and configure kernels offline.
   void save(std::ostream& out) const;
   void save_file(const std::string& path) const;
-  [[nodiscard]] static EnergyClassifier load(std::istream& in);
+  /// Rebuild a saved classifier. Truncated, corrupt or wrong-version
+  /// input throws std::runtime_error naming `source` (the file path for
+  /// load_file) and the byte offset where parsing stopped; a model that
+  /// references non-static feature columns throws std::invalid_argument.
+  [[nodiscard]] static EnergyClassifier load(std::istream& in,
+                                             const std::string& source =
+                                                 "<stream>");
   [[nodiscard]] static EnergyClassifier load_file(const std::string& path);
 
  private:

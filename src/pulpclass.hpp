@@ -23,6 +23,8 @@
 #include "kir/verify.hpp"
 #include "ml/cv.hpp"
 #include "ml/dataset.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "sim/config.hpp"
 
 namespace pulpclass {
@@ -51,6 +53,21 @@ using ArtifactStore = pulpc::core::ArtifactStore;
 using EnergyClassifier = pulpc::core::EnergyClassifier;
 using VerifyOptions = pulpc::kir::VerifyOptions;
 using VerifyReport = pulpc::kir::VerifyReport;
+
+// ---- prediction service -------------------------------------------------
+
+/// Batched in-process prediction service over a trained classifier:
+/// bounded queue, micro-batching, LRU feature cache, metrics. Served
+/// predictions are bit-identical to EnergyClassifier::predict.
+using PredictionService = pulpc::serve::PredictionService;
+/// One prediction request (kernel spec or lowered program).
+using PredictRequest = pulpc::serve::Request;
+/// One prediction outcome (cores, cache/shed status, latency).
+using PredictResult = pulpc::serve::Result;
+/// Line-delimited-JSON TCP front end (`pulpclass serve --port N`).
+using PredictionServer = pulpc::serve::Server;
+/// Service counters + latency histogram, snapshot-able as one JSON object.
+using ServeMetrics = pulpc::serve::Metrics;
 
 // ---- operations ---------------------------------------------------------
 

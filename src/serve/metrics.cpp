@@ -1,0 +1,87 @@
+#include "serve/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pulpc::serve {
+
+void Metrics::on_reply(bool ok, double micros) noexcept {
+  (ok ? ok_ : errors_).fetch_add(1, relaxed);
+  latency_count_.fetch_add(1, relaxed);
+  if (micros < 0) micros = 0;
+  latency_sum_ns_.fetch_add(
+      static_cast<std::uint64_t>(std::llround(micros * 1000.0)), relaxed);
+  std::size_t b = 0;
+  while (b < kLatencyBucketUs.size() && micros > kLatencyBucketUs[b]) ++b;
+  latency_buckets_[b].fetch_add(1, relaxed);
+}
+
+void Metrics::on_batch(std::size_t size) noexcept {
+  batches_.fetch_add(1, relaxed);
+  std::uint64_t prev = max_batch_.load(relaxed);
+  while (prev < size &&
+         !max_batch_.compare_exchange_weak(prev, size, relaxed, relaxed)) {
+  }
+}
+
+Metrics::Snapshot Metrics::snapshot() const {
+  Snapshot s;
+  s.requests = requests_.load(relaxed);
+  s.ok = ok_.load(relaxed);
+  s.errors = errors_.load(relaxed);
+  s.shed = shed_.load(relaxed);
+  s.batches = batches_.load(relaxed);
+  s.max_batch = max_batch_.load(relaxed);
+  s.cache_hits = cache_hits_.load(relaxed);
+  s.cache_misses = cache_misses_.load(relaxed);
+  s.cache_evictions = cache_evictions_.load(relaxed);
+  s.in_flight = in_flight_.load(relaxed);
+  s.latency_count = latency_count_.load(relaxed);
+  s.latency_sum_us =
+      static_cast<double>(latency_sum_ns_.load(relaxed)) / 1000.0;
+  for (std::size_t i = 0; i < s.latency_buckets.size(); ++i) {
+    s.latency_buckets[i] = latency_buckets_[i].load(relaxed);
+  }
+  return s;
+}
+
+std::string Metrics::Snapshot::to_json() const {
+  char buf[256];
+  std::string out = "{";
+  const auto field = [&](const char* key, std::uint64_t v) {
+    std::snprintf(buf, sizeof buf, "\"%s\":%llu,", key,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  field("requests", requests);
+  field("ok", ok);
+  field("errors", errors);
+  field("shed", shed);
+  field("batches", batches);
+  field("max_batch", max_batch);
+  field("cache_hits", cache_hits);
+  field("cache_misses", cache_misses);
+  field("cache_evictions", cache_evictions);
+  field("in_flight", in_flight);
+  std::snprintf(buf, sizeof buf,
+                "\"latency_us\":{\"count\":%llu,\"sum\":%.3f,\"buckets\":[",
+                static_cast<unsigned long long>(latency_count),
+                latency_sum_us);
+  out += buf;
+  for (std::size_t i = 0; i < latency_buckets.size(); ++i) {
+    if (i < kLatencyBucketUs.size()) {
+      std::snprintf(buf, sizeof buf, "{\"le\":%.0f,\"count\":%llu}",
+                    kLatencyBucketUs[i],
+                    static_cast<unsigned long long>(latency_buckets[i]));
+    } else {
+      std::snprintf(buf, sizeof buf, "{\"le\":\"inf\",\"count\":%llu}",
+                    static_cast<unsigned long long>(latency_buckets[i]));
+    }
+    out += buf;
+    if (i + 1 < latency_buckets.size()) out += ',';
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace pulpc::serve

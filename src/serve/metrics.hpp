@@ -1,0 +1,83 @@
+// Built-in observability of the prediction service: monotonically
+// increasing request/batch/cache counters plus a fixed-bucket latency
+// histogram, all lock-free atomics so the hot path never serializes on a
+// metrics mutex. A Snapshot is one consistent-enough read of every
+// counter (individual loads are relaxed; exact cross-counter atomicity
+// is not promised and not needed for monitoring) that serializes to a
+// single JSON object — the `pulpclass serve` shutdown report and the
+// service-level tests consume the same snapshot.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pulpc::serve {
+
+/// Latency histogram bucket upper bounds in microseconds (cumulative
+/// style: a sample lands in the first bucket whose bound it does not
+/// exceed; the extra last slot of Snapshot::latency_buckets is +inf).
+inline constexpr std::array<double, 12> kLatencyBucketUs = {
+    50,    100,   250,    500,    1000,   2500,
+    5000, 10000, 25000, 50000, 100000, 250000};
+
+class Metrics {
+ public:
+  struct Snapshot {
+    std::uint64_t requests = 0;  ///< submitted, including shed ones
+    std::uint64_t ok = 0;        ///< replies carrying a prediction
+    std::uint64_t errors = 0;    ///< replies carrying an error (not shed)
+    std::uint64_t shed = 0;      ///< rejected at max in-flight
+    std::uint64_t batches = 0;   ///< micro-batches executed
+    std::uint64_t max_batch = 0; ///< largest batch seen
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t in_flight = 0;  ///< gauge: queued + executing now
+    std::uint64_t latency_count = 0;  ///< == ok + errors
+    double latency_sum_us = 0;
+    /// Per-bucket counts; index kLatencyBucketUs.size() is the +inf
+    /// overflow bucket. Sums to latency_count.
+    std::array<std::uint64_t, kLatencyBucketUs.size() + 1> latency_buckets{};
+
+    /// The whole snapshot as one JSON object (stable key order).
+    [[nodiscard]] std::string to_json() const;
+  };
+
+  void on_request() noexcept { requests_.fetch_add(1, relaxed); }
+  void on_shed() noexcept { shed_.fetch_add(1, relaxed); }
+  /// Record a completed (non-shed) reply and its service-side latency.
+  void on_reply(bool ok, double micros) noexcept;
+  void on_batch(std::size_t size) noexcept;
+  void on_cache(bool hit) noexcept {
+    (hit ? cache_hits_ : cache_misses_).fetch_add(1, relaxed);
+  }
+  void on_eviction() noexcept { cache_evictions_.fetch_add(1, relaxed); }
+  void set_in_flight(std::uint64_t n) noexcept {
+    in_flight_.store(n, relaxed);
+  }
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  static constexpr std::memory_order relaxed = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> cache_evictions_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> latency_count_{0};
+  std::atomic<std::uint64_t> latency_sum_ns_{0};  ///< integer ns: portable add
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketUs.size() + 1>
+      latency_buckets_{};
+};
+
+}  // namespace pulpc::serve

@@ -1,0 +1,284 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace pulpc::serve {
+
+namespace {
+
+/// One parsed scalar value of a flat JSON object.
+struct Value {
+  enum class Kind { String, Number, Bool, Null } kind = Kind::Null;
+  std::string str;
+  double num = 0;
+  bool b = false;
+};
+
+/// Minimal recursive-descent parser for exactly one flat JSON object.
+/// `err` is set to a message on failure; positions are byte offsets.
+class FlatParser {
+ public:
+  explicit FlatParser(std::string_view s) : s_(s) {}
+
+  bool parse(std::map<std::string, Value>* out, std::string* err) {
+    skip_ws();
+    if (!eat('{')) return fail("expected '{'", err);
+    skip_ws();
+    if (eat('}')) return finish(err);
+    for (;;) {
+      Value key;
+      if (!parse_string(&key.str)) return fail("expected key string", err);
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'", err);
+      Value val;
+      if (!parse_value(&val)) return fail("bad value", err);
+      (*out)[key.str] = std::move(val);
+      skip_ws();
+      if (eat(',')) {
+        skip_ws();
+        continue;
+      }
+      if (eat('}')) return finish(err);
+      return fail("expected ',' or '}'", err);
+    }
+  }
+
+ private:
+  bool finish(std::string* err) {
+    skip_ws();
+    if (i_ != s_.size()) return fail("trailing bytes after object", err);
+    return true;
+  }
+
+  bool fail(const char* what, std::string* err) {
+    *err = std::string(what) + " at byte " + std::to_string(i_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+
+  bool eat(char c) {
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (!eat('"')) return false;
+    out->clear();
+    while (i_ < s_.size()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i_ >= s_.size()) return false;
+        const char e = s_[i_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (i_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s_[i_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else return false;
+            }
+            // Protocol strings are ASCII identifiers; anything above
+            // is replaced rather than UTF-8 encoded.
+            *out += code < 0x80 ? char(code) : '?';
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      } else {
+        *out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(Value* out) {
+    skip_ws();
+    if (i_ >= s_.size()) return false;
+    const char c = s_[i_];
+    if (c == '"') {
+      out->kind = Value::Kind::String;
+      return parse_string(&out->str);
+    }
+    if (c == 't') {
+      if (s_.substr(i_, 4) != "true") return false;
+      i_ += 4;
+      out->kind = Value::Kind::Bool;
+      out->b = true;
+      return true;
+    }
+    if (c == 'f') {
+      if (s_.substr(i_, 5) != "false") return false;
+      i_ += 5;
+      out->kind = Value::Kind::Bool;
+      out->b = false;
+      return true;
+    }
+    if (c == 'n') {
+      if (s_.substr(i_, 4) != "null") return false;
+      i_ += 4;
+      out->kind = Value::Kind::Null;
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const std::size_t start = i_;
+      ++i_;
+      while (i_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+              s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+              s_[i_] == '+' || s_[i_] == '-')) {
+        ++i_;
+      }
+      const std::string text(s_.substr(start, i_ - start));
+      char* end = nullptr;
+      out->num = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) return false;
+      out->kind = Value::Kind::Number;
+      return true;
+    }
+    return false;  // nested objects/arrays are not part of the protocol
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+bool parse_dtype(std::string_view s, kir::DType* out) {
+  if (s == "i32") {
+    *out = kir::DType::I32;
+    return true;
+  }
+  if (s == "f32") {
+    *out = kir::DType::F32;
+    return true;
+  }
+  return false;
+}
+
+std::string parse_request(std::string_view line, WireRequest* out) {
+  std::map<std::string, Value> obj;
+  std::string err;
+  if (!FlatParser(line).parse(&obj, &err)) return "parse: " + err;
+  *out = WireRequest{};
+  for (const auto& [key, v] : obj) {
+    if (key == "id") {
+      if (v.kind != Value::Kind::Number) return "'id' must be a number";
+      out->id = static_cast<long long>(v.num);
+    } else if (key == "kernel") {
+      if (v.kind != Value::Kind::String) return "'kernel' must be a string";
+      out->kernel = v.str;
+    } else if (key == "dtype") {
+      if (v.kind != Value::Kind::String) return "'dtype' must be a string";
+      out->dtype = v.str;
+    } else if (key == "bytes") {
+      if (v.kind != Value::Kind::Number || v.num < 1 ||
+          v.num > 4294967295.0 || v.num != std::floor(v.num)) {
+        return "'bytes' must be a positive integer";
+      }
+      out->bytes = static_cast<std::uint32_t>(v.num);
+    } else if (key == "optimize") {
+      if (v.kind != Value::Kind::Bool) return "'optimize' must be a bool";
+      out->optimize = v.b;
+    }
+    // Unknown keys: ignored (forward compatibility).
+  }
+  if (out->kernel.empty()) return "missing 'kernel'";
+  kir::DType dt;
+  if (!parse_dtype(out->dtype, &dt)) return "'dtype' must be \"i32\" or \"f32\"";
+  if (out->bytes == 0) return "missing 'bytes'";
+  return "";
+}
+
+std::string parse_reply(std::string_view line, WireReply* out) {
+  std::map<std::string, Value> obj;
+  std::string err;
+  if (!FlatParser(line).parse(&obj, &err)) return "parse: " + err;
+  *out = WireReply{};
+  for (const auto& [key, v] : obj) {
+    if (key == "id" && v.kind == Value::Kind::Number) {
+      out->id = static_cast<long long>(v.num);
+    } else if (key == "ok" && v.kind == Value::Kind::Bool) {
+      out->ok = v.b;
+    } else if (key == "cores" && v.kind == Value::Kind::Number) {
+      out->cores = static_cast<int>(v.num);
+    } else if (key == "cached" && v.kind == Value::Kind::Bool) {
+      out->cached = v.b;
+    } else if (key == "error" && v.kind == Value::Kind::String) {
+      out->error = v.str;
+    } else if (key == "micros" && v.kind == Value::Kind::Number) {
+      out->micros = v.num;
+    }
+  }
+  if (obj.find("ok") == obj.end()) return "missing 'ok'";
+  return "";
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_reply(long long id, const Result& result) {
+  char buf[160];
+  if (result.ok) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"id\":%lld,\"ok\":true,\"cores\":%d,\"cached\":%s,"
+                  "\"micros\":%.1f}",
+                  id, result.cores, result.cached ? "true" : "false",
+                  result.micros);
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "{\"id\":%lld,\"ok\":false,\"error\":\"", id);
+  return std::string(buf) + json_escape(result.error) + "\"}";
+}
+
+std::string format_error_reply(long long id, const std::string& message) {
+  Result r;
+  r.error = message;
+  return format_reply(id, r);
+}
+
+}  // namespace pulpc::serve

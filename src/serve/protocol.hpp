@@ -1,0 +1,67 @@
+// Line-delimited JSON wire protocol of `pulpclass serve`, dependency
+// free: one flat JSON object per line in each direction.
+//
+//   -> {"id":7,"kernel":"gemm","dtype":"i32","bytes":8192}
+//   <- {"id":7,"ok":true,"cores":4,"cached":false,"micros":812.4}
+//   -> {"kernel":"nope","dtype":"i32","bytes":64}
+//   <- {"id":-1,"ok":false,"error":"unknown kernel 'nope'"}
+//   -> not json at all
+//   <- {"id":-1,"ok":false,"error":"parse: expected '{'"}
+//
+// Requests: kernel (string, required), dtype ("i32"|"f32", required),
+// bytes (positive integer, required), id (integer, echoed, default -1),
+// optimize (bool, default false). Unknown keys are ignored for forward
+// compatibility. Values never nest, so the parser accepts exactly flat
+// objects of strings / numbers / booleans — small enough to audit, and
+// a malformed line yields an error reply, never a dead server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/service.hpp"
+
+namespace pulpc::serve {
+
+/// A request as it appears on the wire (dtype still a string).
+struct WireRequest {
+  long long id = -1;
+  std::string kernel;
+  std::string dtype;
+  std::uint32_t bytes = 0;
+  bool optimize = false;
+};
+
+/// A reply as it appears on the wire (for clients and tests).
+struct WireReply {
+  long long id = -1;
+  bool ok = false;
+  int cores = 0;
+  bool cached = false;
+  std::string error;
+  double micros = 0;
+};
+
+/// Parse one request line. Returns an empty string on success, else the
+/// parse/validation error message.
+[[nodiscard]] std::string parse_request(std::string_view line,
+                                        WireRequest* out);
+
+/// Parse one reply line (the client side of the protocol).
+[[nodiscard]] std::string parse_reply(std::string_view line, WireReply* out);
+
+/// "i32"/"f32" -> kir::DType. Returns false on anything else.
+[[nodiscard]] bool parse_dtype(std::string_view s, kir::DType* out);
+
+/// One reply line (no trailing newline) for a service Result.
+[[nodiscard]] std::string format_reply(long long id, const Result& result);
+
+/// One reply line for a request that never reached the service.
+[[nodiscard]] std::string format_error_reply(long long id,
+                                             const std::string& message);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace pulpc::serve

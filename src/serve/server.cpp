@@ -1,0 +1,209 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace pulpc::serve {
+
+namespace {
+
+/// send(2) the whole buffer, riding out short writes and EINTR.
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_line(int fd, const std::string& line) {
+  return send_all(fd, line + "\n");
+}
+
+}  // namespace
+
+Server::Server(PredictionService& service, Options options)
+    : service_(service), opt_(options) {}
+
+Server::~Server() {
+  request_stop();
+  // run() joins the threads; if run() was never reached, the accept
+  // loop never started and there are none. Close what start() opened.
+  {
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+}
+
+std::uint16_t Server::start() {
+  if (::pipe(stop_pipe_) != 0) {
+    throw std::runtime_error("serve: pipe() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opt_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    throw std::runtime_error(
+        "serve: cannot bind 127.0.0.1:" + std::to_string(opt_.port) + ": " +
+        std::strerror(errno));
+  }
+  if (::listen(listen_fd_, opt_.backlog) != 0) {
+    throw std::runtime_error("serve: listen() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    throw std::runtime_error("serve: getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  return port_;
+}
+
+void Server::request_stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+  if (stop_pipe_[1] >= 0) {
+    // The byte is never drained: every poller keeps seeing POLLIN, so
+    // one write wakes the accept loop and all connection threads.
+    const char b = 1;
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &b, 1);
+  }
+}
+
+bool Server::wait_readable(int fd) {
+  for (;;) {
+    pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (stop_.load(std::memory_order_acquire) || (fds[1].revents & POLLIN)) {
+      return false;
+    }
+    if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) return true;
+  }
+}
+
+void Server::run() {
+  if (listen_fd_ < 0) {
+    throw std::logic_error("Server::run: start() first");
+  }
+  while (wait_readable(listen_fd_)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        opt_.max_connections) {
+      (void)send_line(fd, format_error_reply(-1, "overloaded"));
+      ::close(fd);
+      continue;
+    }
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(threads_mu_);
+    threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  // Release the listening port the moment the accept loop exits:
+  // connects must be refused once run() returns, not only when the
+  // Server object is destroyed.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::lock_guard<std::mutex> lk(threads_mu_);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void Server::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (wait_readable(fd)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: client went away
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > opt_.max_line_bytes &&
+        buffer.find('\n') == std::string::npos) {
+      (void)send_line(fd, format_error_reply(-1, "request line too long"));
+      break;
+    }
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (line.empty()) continue;
+
+      WireRequest wire;
+      const std::string parse_err = parse_request(line, &wire);
+      if (!parse_err.empty()) {
+        if (!send_line(fd, format_error_reply(wire.id, parse_err))) goto out;
+        continue;  // the connection (and server) survive bad requests
+      }
+      Request req;
+      req.kernel = wire.kernel;
+      (void)parse_dtype(wire.dtype, &req.dtype);  // validated by parse
+      req.size_bytes = wire.bytes;
+      req.optimize = wire.optimize;
+
+      std::future<Result> future = service_.submit(std::move(req));
+      if (future.wait_for(std::chrono::milliseconds(
+              opt_.request_timeout_ms)) != std::future_status::ready) {
+        // The service will still finish the work (and count it); this
+        // client just stops waiting for it.
+        if (!send_line(fd, format_error_reply(wire.id, "timeout"))) goto out;
+        continue;
+      }
+      if (!send_line(fd, format_reply(wire.id, future.get()))) goto out;
+    }
+    buffer.erase(0, start);
+  }
+out:
+  ::close(fd);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace pulpc::serve

@@ -1,0 +1,83 @@
+// Dependency-free TCP front end for a PredictionService: line-delimited
+// JSON over a loopback socket (see serve/protocol.hpp), exposed as
+// `pulpclass serve --port N`.
+//
+//  * One accept loop + one thread per connection, both parked on
+//    poll(2) over {socket, stop pipe} so request_stop() — a single
+//    async-signal-safe byte written from e.g. a SIGINT handler — wakes
+//    everything immediately and run() returns after joining all
+//    connection threads (graceful shutdown: accepted requests finish).
+//  * Per-request timeout: the connection thread waits bounded time for
+//    the service future and answers {"error":"timeout"} if it expires;
+//    the server itself never blocks forever on one request.
+//  * Backpressure is layered: the service sheds beyond max_in_flight
+//    ("overloaded" reply), and the server refuses connections beyond
+//    Options::max_connections the same way — explicit rejection, never
+//    unbounded queueing.
+//  * A malformed request line yields an error reply on that connection;
+//    it can never take down the server (or even the connection).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace pulpc::serve {
+
+class Server {
+ public:
+  struct Options {
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (tests) —
+    /// start() returns the bound one.
+    std::uint16_t port = 0;
+    int backlog = 16;
+    /// Concurrent connections beyond which accept() answers one
+    /// "overloaded" error reply and closes.
+    int max_connections = 64;
+    /// Wait budget per request before the "timeout" error reply.
+    int request_timeout_ms = 5000;
+    /// A connection buffering more than this many bytes without a
+    /// newline is answered with an error and closed (bounds memory).
+    std::size_t max_line_bytes = 1 << 16;
+  };
+
+  Server(PredictionService& service, Options options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind 127.0.0.1:port and listen. Throws std::runtime_error on
+  /// failure. Returns the bound port (useful with port 0).
+  std::uint16_t start();
+
+  /// Accept and serve until request_stop(); joins every connection
+  /// thread before returning. Requires start().
+  void run();
+
+  /// Async-signal-safe stop request (safe from a SIGINT handler).
+  void request_stop() noexcept;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void handle_connection(int fd);
+  /// poll(2) on {fd, stop pipe}; false on stop/error, true when fd is
+  /// readable.
+  bool wait_readable(int fd);
+
+  PredictionService& service_;
+  Options opt_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> open_connections_{0};
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pulpc::serve

@@ -1,0 +1,221 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+
+#include "core/artifacts.hpp"
+#include "dsl/lower.hpp"
+#include "kernels/registry.hpp"
+#include "kir/opt.hpp"
+
+namespace pulpc::serve {
+
+namespace {
+
+/// Cache key of a spec-form request (kernel name, dtype, size, lowering
+/// variant) — FNV-1a over an unambiguous rendering, the same primitive
+/// core/artifacts keys files with.
+std::uint64_t spec_key(const Request& req) {
+  std::string s = "spec|";
+  s += req.kernel;
+  s += '|';
+  s += req.dtype == kir::DType::I32 ? "i32" : "f32";
+  s += '|';
+  s += std::to_string(req.size_bytes);
+  s += '|';
+  s += req.optimize ? '1' : '0';
+  return core::fnv1a64(s);
+}
+
+}  // namespace
+
+PredictionService::PredictionService(core::EnergyClassifier classifier,
+                                     Options options)
+    : clf_(std::move(classifier)),
+      opt_(std::move(options)),
+      pool_(opt_.threads),
+      rows_(opt_.cache_capacity),
+      spec_index_(opt_.cache_capacity),
+      batcher_([this] { batcher_loop(); }) {
+  if (!clf_.trained()) {
+    // The batcher is already running; shut it down before throwing so
+    // the half-built object never leaks a thread.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    batcher_.join();
+    throw std::invalid_argument(
+        "PredictionService: classifier is not trained");
+  }
+}
+
+PredictionService::PredictionService(const std::string& model_path,
+                                     Options options)
+    : PredictionService(core::EnergyClassifier::load_file(model_path),
+                        std::move(options)) {}
+
+PredictionService::~PredictionService() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+std::future<Result> PredictionService::submit(Request req) {
+  metrics_.on_request();
+  std::promise<Result> promise;
+  std::future<Result> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) {
+      Result r;
+      r.error = "shutting down";
+      metrics_.on_reply(false, 0);
+      promise.set_value(std::move(r));
+      return future;
+    }
+    if (in_flight_ >= opt_.max_in_flight) {
+      Result r;
+      r.shed = true;
+      r.error = "overloaded";
+      metrics_.on_shed();
+      promise.set_value(std::move(r));
+      return future;
+    }
+    ++in_flight_;
+    metrics_.set_in_flight(in_flight_);
+    queue_.push_back(Pending{std::move(req), std::move(promise),
+                             std::chrono::steady_clock::now()});
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Result PredictionService::predict(const Request& req) {
+  return submit(req).get();
+}
+
+void PredictionService::batcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      // Linger briefly so a burst coalesces into one batch; a full
+      // batch or shutdown cuts the wait short.
+      if (queue_.size() < opt_.max_batch && !stop_ &&
+          opt_.batch_linger.count() > 0) {
+        cv_.wait_for(lk, opt_.batch_linger, [&] {
+          return stop_ || queue_.size() >= opt_.max_batch;
+        });
+      }
+      const std::size_t n = std::min(queue_.size(), opt_.max_batch);
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (opt_.on_batch) opt_.on_batch(batch.size());
+    metrics_.on_batch(batch.size());
+
+    // Featurize (and predict: the tree walk is read-only) the whole
+    // batch in parallel. Per-request failures land in the request's own
+    // Result — one bad kernel never poisons its batch-mates.
+    std::vector<Result> results(batch.size());
+    pool_.parallel_for(batch.size(), [&](std::size_t i) {
+      results[i] = process_one(batch[i].req);
+    });
+
+    // Account the batch (latency, ok/error counters, in-flight) BEFORE
+    // fulfilling the promises: a caller that snapshots metrics right
+    // after predict() returns must see its own request fully counted.
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      results[i].micros =
+          std::chrono::duration<double, std::micro>(now - batch[i].enqueued)
+              .count();
+      metrics_.on_reply(results[i].ok, results[i].micros);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      in_flight_ -= batch.size();
+      metrics_.set_in_flight(in_flight_);
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+bool PredictionService::cached_row(std::uint64_t prog_hash,
+                                   std::vector<double>* row) {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return rows_.get(prog_hash, row);
+}
+
+void PredictionService::store_row(std::uint64_t prog_hash,
+                                  const std::vector<double>& row) {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  if (rows_.put(prog_hash, row)) metrics_.on_eviction();
+}
+
+Result PredictionService::process_one(const Request& req) {
+  Result r;
+  try {
+    std::vector<double> row;
+    bool hit = false;
+    if (req.program) {
+      // Program-form request: the program hash is directly computable.
+      const std::uint64_t h = core::program_hash(*req.program);
+      hit = cached_row(h, &row);
+      if (!hit) {
+        row = clf_.feature_row(*req.program);
+        store_row(h, row);
+      }
+    } else {
+      if (req.kernel.empty()) {
+        throw std::invalid_argument("empty kernel name");
+      }
+      // Spec-form request: resolve spec -> program hash -> row without
+      // lowering when both LRUs are warm.
+      const std::uint64_t skey = spec_key(req);
+      std::uint64_t h = 0;
+      {
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        if (spec_index_.get(skey, &h)) hit = rows_.get(h, &row);
+      }
+      if (!hit) {
+        kir::Program prog = dsl::lower(kernels::make_kernel(
+            req.kernel, req.dtype, req.size_bytes));
+        if (req.optimize) prog = kir::optimize(prog);
+        h = core::program_hash(prog);
+        // The row may still be warm under the program hash (e.g. the
+        // spec index was evicted first, or a program-form request
+        // already featurized this lowering) — that still counts as a
+        // hit: featurization was skipped.
+        hit = cached_row(h, &row);
+        if (!hit) {
+          row = clf_.feature_row(prog);
+          store_row(h, row);
+        }
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        spec_index_.put(skey, h);
+      }
+    }
+    metrics_.on_cache(hit);
+    r.cached = hit;
+    r.cores = clf_.predict_row(row);
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  return r;
+}
+
+}  // namespace pulpc::serve

@@ -1,0 +1,205 @@
+// In-process prediction service: the paper's end product (static
+// features -> energy-optimal core count) packaged for repeated,
+// concurrent use instead of one-shot CLI invocations.
+//
+//   core::EnergyClassifier clf = core::EnergyClassifier::load_file(path);
+//   serve::PredictionService svc(std::move(clf));
+//   serve::Result r = svc.predict({.kernel = "gemm",
+//                                  .dtype = kir::DType::I32,
+//                                  .size_bytes = 8192});
+//   // r.cores == EnergyClassifier::predict for the same kernel, always.
+//
+// Architecture (see DESIGN.md "Prediction service"):
+//  * submit() pushes into a bounded queue; beyond Options::max_in_flight
+//    the request is shed immediately with Result::shed (an explicit
+//    "overloaded" answer instead of unbounded queueing).
+//  * A single batcher thread pops micro-batches (up to Options::max_batch,
+//    lingering Options::batch_linger after the first request to let a
+//    burst coalesce) and featurizes the batch members in parallel on a
+//    core::ThreadPool.
+//  * An LRU cache keyed by the lowered-program FNV-1a hash
+//    (core::program_hash — the same identity core/artifacts trusts) maps
+//    program -> extracted feature row; a hit skips lowering and
+//    featurization entirely and goes straight to the decision tree. A
+//    second, same-capacity LRU maps (kernel, dtype, size, optimize) ->
+//    program hash so spec-form requests hit without lowering at all.
+//
+// Bit-identity: the service routes through EnergyClassifier::feature_row
+// + predict_row — the exact decomposition of EnergyClassifier::predict —
+// and cached rows are the doubles a cold request computed, so a served
+// prediction can never drift from the offline one.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/parallel.hpp"
+#include "kir/ir.hpp"
+#include "serve/metrics.hpp"
+
+namespace pulpc::serve {
+
+/// One prediction request: either a kernel spec from the registry
+/// (kernel/dtype/size_bytes, optionally optimised lowering) or an
+/// already-lowered program (takes precedence when set).
+struct Request {
+  std::string kernel;
+  kir::DType dtype = kir::DType::I32;
+  std::uint32_t size_bytes = 0;
+  bool optimize = false;
+  std::shared_ptr<const kir::Program> program;
+};
+
+struct Result {
+  bool ok = false;
+  bool shed = false;    ///< rejected at max in-flight ("overloaded")
+  bool cached = false;  ///< feature row came from the LRU cache
+  int cores = 0;        ///< the prediction (valid when ok)
+  std::string error;    ///< why not ok (shed, bad kernel, shutdown, ...)
+  double micros = 0;    ///< service-side latency: submit -> reply
+};
+
+namespace detail {
+
+/// Single-threaded LRU map (callers hold the service cache mutex);
+/// capacity 0 disables every operation.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : cap_(capacity) {}
+
+  /// Copies the value into *out and refreshes recency on hit.
+  bool get(std::uint64_t key, V* out) {
+    if (cap_ == 0) return false;
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    *out = it->second->second;
+    return true;
+  }
+
+  /// Insert or refresh; returns true when a cold entry was evicted.
+  bool put(std::uint64_t key, V value) {
+    if (cap_ == 0) return false;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return false;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+    if (map_.size() <= cap_) return false;
+    map_.erase(order_.back().first);
+    order_.pop_back();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::size_t cap_;
+  std::list<std::pair<std::uint64_t, V>> order_;  ///< front = most recent
+  std::unordered_map<std::uint64_t,
+                     typename std::list<std::pair<std::uint64_t, V>>::iterator>
+      map_;
+};
+
+}  // namespace detail
+
+class PredictionService {
+ public:
+  struct Options {
+    /// LRU entries for the feature-row cache (and the spec->hash index);
+    /// 0 disables caching entirely.
+    std::size_t cache_capacity = 1024;
+    /// Largest micro-batch the batcher pops at once.
+    std::size_t max_batch = 16;
+    /// Queued + executing requests beyond which submit() sheds with an
+    /// "overloaded" Result instead of queueing.
+    std::size_t max_in_flight = 256;
+    /// Featurization pool workers; 0 resolves via PULPC_THREADS /
+    /// hardware_concurrency (core::resolve_thread_count).
+    unsigned threads = 0;
+    /// After the first request of a batch arrives, wait this long for a
+    /// burst to coalesce before executing a partial batch.
+    std::chrono::microseconds batch_linger{200};
+    /// Test instrumentation: invoked on the batcher thread with the
+    /// batch size before the batch executes (lets tests hold the batcher
+    /// to provoke backpressure / timeouts deterministically).
+    std::function<void(std::size_t)> on_batch;
+  };
+
+  /// Own an already-trained classifier. Throws std::invalid_argument if
+  /// it is not trained. (Overloads instead of an `Options options = {}`
+  /// default argument: a nested aggregate's default member initializers
+  /// are not usable in default arguments of its enclosing class.)
+  PredictionService(core::EnergyClassifier classifier, Options options);
+  explicit PredictionService(core::EnergyClassifier classifier)
+      : PredictionService(std::move(classifier), Options{}) {}
+  /// Load the model bundle from `model_path` (EnergyClassifier text
+  /// format). Throws std::runtime_error on unreadable/corrupt bundles.
+  PredictionService(const std::string& model_path, Options options);
+  explicit PredictionService(const std::string& model_path)
+      : PredictionService(model_path, Options{}) {}
+  ~PredictionService();
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Asynchronous entry point. Always returns a valid future: shed and
+  /// shutdown requests resolve immediately with ok=false.
+  [[nodiscard]] std::future<Result> submit(Request req);
+
+  /// Synchronous convenience: submit + wait.
+  [[nodiscard]] Result predict(const Request& req);
+
+  [[nodiscard]] Metrics::Snapshot metrics() const { return metrics_.snapshot(); }
+  [[nodiscard]] const core::EnergyClassifier& classifier() const noexcept {
+    return clf_;
+  }
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+ private:
+  struct Pending {
+    Request req;
+    std::promise<Result> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void batcher_loop();
+  [[nodiscard]] Result process_one(const Request& req);
+  bool cached_row(std::uint64_t prog_hash, std::vector<double>* row);
+  void store_row(std::uint64_t prog_hash, const std::vector<double>& row);
+
+  core::EnergyClassifier clf_;
+  Options opt_;
+  Metrics metrics_;
+  core::ThreadPool pool_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + executing
+  bool stop_ = false;
+
+  std::mutex cache_mu_;
+  detail::LruCache<std::vector<double>> rows_;     ///< program hash -> row
+  detail::LruCache<std::uint64_t> spec_index_;     ///< spec key -> program hash
+
+  std::thread batcher_;  ///< last member: starts after everything is built
+};
+
+}  // namespace pulpc::serve

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <random>
 #include <sstream>
+#include <string>
 
 #include "core/classifier.hpp"
 #include "core/pipeline.hpp"
@@ -109,6 +111,69 @@ TEST(ClassifierPersistence, UntrainedClassifierCannotBeSaved) {
   const core::EnergyClassifier clf;
   std::stringstream ss;
   EXPECT_THROW(clf.save(ss), std::logic_error);
+}
+
+/// Writes `content` to a temp model file, asserts load_file throws a
+/// std::runtime_error whose message names the file, the byte offset, and
+/// every expected substring.
+void expect_load_error(const std::string& content,
+                       const std::vector<std::string>& expected) {
+  const std::string path = ::testing::TempDir() + "pulpc_clf_corrupt.txt";
+  {
+    std::ofstream out(path);
+    out << content;
+  }
+  try {
+    (void)core::EnergyClassifier::load_file(path);
+    FAIL() << "load_file accepted a corrupt model";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("at offset"), std::string::npos) << msg;
+    for (const std::string& s : expected) {
+      EXPECT_NE(msg.find(s), std::string::npos)
+          << "missing '" << s << "' in: " << msg;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ClassifierPersistence, TruncatedFileNamesPathAndOffset) {
+  expect_load_error("", {"empty or unreadable"});
+  expect_load_error("pulpc-classifier v1\n", {"bad column count"});
+  expect_load_error("pulpc-classifier v1\n3\nF1\nF2\n",
+                    {"truncated column list", "2 of 3"});
+}
+
+TEST(ClassifierPersistence, WrongVersionIsDiagnosedAsSuch) {
+  expect_load_error("pulpc-classifier v9\n1\nF1\n",
+                    {"unsupported model version", "v9"});
+}
+
+TEST(ClassifierPersistence, GarbageFileIsNotAModel) {
+  expect_load_error("PK\x03\x04 definitely a zip\n",
+                    {"bad header", "not a pulpclass model"});
+}
+
+TEST(ClassifierPersistence, CorruptTreeSectionIsWrapped) {
+  expect_load_error("pulpc-classifier v1\n1\nF1\nnot-a-tree v1\n",
+                    {"bad tree section"});
+  // Header promises 2 features but the (valid) tree only knows 1.
+  expect_load_error(
+      "pulpc-classifier v1\n2\nF1\nF3\npulpc-tree v1\n1 1 0\n"
+      "-1 0 -1 -1 4\n0\n",
+      {"tree/column shape mismatch"});
+}
+
+TEST(ClassifierPersistence, StreamLoadReportsDefaultSource) {
+  std::stringstream ss("junk\n");
+  try {
+    (void)core::EnergyClassifier::load(ss);
+    FAIL() << "load accepted junk";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("<stream>"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ClassifierPersistence, RejectsUnknownColumns) {

@@ -7,7 +7,9 @@
 //   pulpclass cache   <info|verify|gc> [--json]
 //   pulpclass lint    [--kernel NAME|--all] [--werror] [--json]
 //   pulpclass train   [--features SET] [--out model.txt]
-//   pulpclass predict --model model.txt <kernel> <i32|f32> <bytes>
+//   pulpclass predict --model model.txt <kernel> <i32|f32> <bytes> [--json]
+//   pulpclass serve   --port N [--model model.txt]    batched TCP service
+//   pulpclass query   --port N <kernel> <i32|f32> <bytes> [--json]
 //   pulpclass sweep   <kernel> <i32|f32> <bytes> [--optimize]
 //   pulpclass stats                           dataset & label statistics
 //   pulpclass disasm  <kernel> <i32|f32> <bytes> [--optimize]
@@ -20,6 +22,12 @@
 // Implemented against the stable pulpclass:: facade (src/pulpclass.hpp);
 // the pulpc::{kir,dsl,kernels,sim,...} layer namespaces are used only
 // for the developer-facing inspection commands (disasm, sweep).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +42,7 @@
 #include "kernels/registry.hpp"
 #include "kir/opt.hpp"
 #include "pulpclass.hpp"
+#include "serve/protocol.hpp"
 #include "sim/cluster.hpp"
 
 namespace {
@@ -53,6 +62,10 @@ struct Args {
   bool json = false;            ///< machine-readable one-object output
   bool verbose_stages = false;  ///< print the per-stage timing report
   int threads = 0;  ///< 0 = PULPC_THREADS / hardware default
+  int port = 0;           ///< serve/query: TCP port on 127.0.0.1
+  int max_inflight = 0;   ///< serve: backpressure shed threshold
+  int batch = 0;          ///< serve: micro-batch size cap
+  int timeout_ms = 0;     ///< serve: per-request wait budget
 };
 
 Args parse(int argc, char** argv) {
@@ -92,6 +105,30 @@ Args parse(int argc, char** argv) {
         std::fprintf(stderr, "--threads wants a positive integer\n");
         std::exit(2);
       }
+    } else if (arg == "--port") {
+      a.port = std::atoi(next().c_str());
+      if (a.port < 1 || a.port > 65535) {
+        std::fprintf(stderr, "--port wants 1..65535\n");
+        std::exit(2);
+      }
+    } else if (arg == "--max-inflight") {
+      a.max_inflight = std::atoi(next().c_str());
+      if (a.max_inflight < 1) {
+        std::fprintf(stderr, "--max-inflight wants a positive integer\n");
+        std::exit(2);
+      }
+    } else if (arg == "--batch") {
+      a.batch = std::atoi(next().c_str());
+      if (a.batch < 1) {
+        std::fprintf(stderr, "--batch wants a positive integer\n");
+        std::exit(2);
+      }
+    } else if (arg == "--timeout-ms") {
+      a.timeout_ms = std::atoi(next().c_str());
+      if (a.timeout_ms < 1) {
+        std::fprintf(stderr, "--timeout-ms wants a positive integer\n");
+        std::exit(2);
+      }
     } else {
       a.positional.push_back(arg);
     }
@@ -121,7 +158,15 @@ int usage() {
       "  cache verify                      exit 1 on foreign/corrupt files\n"
       "  cache gc                          delete foreign/corrupt files\n"
       "  train [--features AGG|RAW|MCA|ALL] [--out model.txt]\n"
-      "  predict --model model.txt <kernel> <i32|f32> <bytes>\n"
+      "  predict --model model.txt <kernel> <i32|f32> <bytes> [--json]\n"
+      "  serve --port N [--model model.txt] [--max-inflight K]\n"
+      "        [--batch B] [--timeout-ms T]\n"
+      "                                    batched TCP prediction service\n"
+      "                                    (line-delimited JSON; Ctrl-C\n"
+      "                                    stops and prints metrics)\n"
+      "  query --port N <kernel> <i32|f32> <bytes> [--json]\n"
+      "                                    one request against a running\n"
+      "                                    `pulpclass serve`\n"
       "  sweep <kernel> <i32|f32> <bytes> [--optimize]\n"
       "  stats                             dataset statistics\n"
       "  disasm <kernel> <i32|f32> <bytes> [--optimize]\n"
@@ -342,14 +387,151 @@ int cmd_train(const Args& a) {
   return 0;
 }
 
-int cmd_predict(const Args& a) {
-  const pulpclass::EnergyClassifier clf =
-      pulpclass::EnergyClassifier::load_file(a.model);
-  const kir::Program prog = lower_kernel(a);
-  const int cores = clf.predict(prog);
+/// Shared output of `predict` and `query`, so a served reply can be
+/// byte-compared against the offline prediction (the CI serve-smoke job
+/// diffs exactly these lines). Cache/latency details deliberately stay
+/// out of the --json object: they vary run to run, the prediction must
+/// not.
+void print_prediction(const Args& a, int cores) {
+  if (a.json) {
+    std::printf("{\"command\":\"predict\",\"kernel\":%s,\"dtype\":%s,"
+                "\"bytes\":%s,\"cores\":%d}\n",
+                json_str(a.positional[0]).c_str(),
+                json_str(a.positional[1]).c_str(),
+                a.positional[2].c_str(), cores);
+    return;
+  }
   std::printf("%s %s %s -> run on %d core%s for minimum energy\n",
               a.positional[0].c_str(), a.positional[1].c_str(),
               a.positional[2].c_str(), cores, cores == 1 ? "" : "s");
+}
+
+/// SIGINT/SIGTERM -> Server::request_stop (async-signal-safe: one
+/// atomic pointer read plus a pipe write).
+serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void install_sigint(serve::Server& server) {
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
+
+int cmd_predict(const Args& a) {
+  if (a.positional.size() < 3) return usage();
+  // Offline prediction routes through the same serve::PredictionService
+  // code path as `pulpclass serve`, so the two can never drift.
+  pulpclass::PredictionService::Options sopt;
+  sopt.threads = 1;
+  pulpclass::PredictionService svc(
+      pulpclass::EnergyClassifier::load_file(a.model), sopt);
+  pulpclass::PredictRequest req;
+  req.kernel = a.positional[0];
+  req.dtype = parse_dtype(a.positional[1]);
+  req.size_bytes = std::uint32_t(std::atoi(a.positional[2].c_str()));
+  req.optimize = a.optimize;
+  const pulpclass::PredictResult r = svc.predict(req);
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  print_prediction(a, r.cores);
+  return 0;
+}
+
+int cmd_serve(const Args& a) {
+  if (a.port == 0) {
+    std::fprintf(stderr, "serve: --port is required\n");
+    return 2;
+  }
+  pulpclass::PredictionService::Options sopt;
+  if (a.threads > 0) sopt.threads = unsigned(a.threads);
+  if (a.max_inflight > 0) sopt.max_in_flight = std::size_t(a.max_inflight);
+  if (a.batch > 0) sopt.max_batch = std::size_t(a.batch);
+  pulpclass::PredictionService svc(
+      pulpclass::EnergyClassifier::load_file(a.model), sopt);
+  serve::Server::Options wopt;
+  wopt.port = std::uint16_t(a.port);
+  if (a.timeout_ms > 0) wopt.request_timeout_ms = a.timeout_ms;
+  pulpclass::PredictionServer server(svc, wopt);
+  const std::uint16_t port = server.start();
+  install_sigint(server);
+  std::fprintf(stderr,
+               "pulpclass serve: listening on 127.0.0.1:%u (model %s, %zu "
+               "feature columns); Ctrl-C stops\n",
+               unsigned(port), a.model.c_str(),
+               svc.classifier().columns().size());
+  server.run();
+  // Final metrics snapshot: one JSON object, the same shape the tests
+  // and monitoring consume.
+  std::printf("%s\n", svc.metrics().to_json().c_str());
+  return 0;
+}
+
+int cmd_query(const Args& a) {
+  if (a.port == 0) {
+    std::fprintf(stderr, "query: --port is required\n");
+    return 2;
+  }
+  if (a.positional.size() < 3) return usage();
+  (void)parse_dtype(a.positional[1]);  // validate before dialing out
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "query: socket() failed\n");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(std::uint16_t(a.port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "query: cannot connect to 127.0.0.1:%d\n", a.port);
+    ::close(fd);
+    return 1;
+  }
+  const std::string line =
+      "{\"id\":1,\"kernel\":" + json_str(a.positional[0]) +
+      ",\"dtype\":" + json_str(a.positional[1]) +
+      ",\"bytes\":" + a.positional[2] +
+      (a.optimize ? ",\"optimize\":true}" : "}") + "\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
+    if (n <= 0) {
+      std::fprintf(stderr, "query: send failed\n");
+      ::close(fd);
+      return 1;
+    }
+    off += std::size_t(n);
+  }
+  std::string reply;
+  char chunk[1024];
+  while (reply.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      std::fprintf(stderr, "query: connection closed without a reply\n");
+      ::close(fd);
+      return 1;
+    }
+    reply.append(chunk, std::size_t(n));
+  }
+  ::close(fd);
+  reply.resize(reply.find('\n'));
+  serve::WireReply wire;
+  const std::string err = serve::parse_reply(reply, &wire);
+  if (!err.empty()) {
+    std::fprintf(stderr, "query: bad reply '%s': %s\n", reply.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  if (!wire.ok) {
+    std::fprintf(stderr, "error: %s\n", wire.error.c_str());
+    return 1;
+  }
+  print_prediction(a, wire.cores);
   return 0;
 }
 
@@ -493,6 +675,8 @@ int main(int argc, char** argv) {
     if (cmd == "cache") return cmd_cache(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "query") return cmd_query(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "disasm") return cmd_disasm(args);

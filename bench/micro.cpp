@@ -19,6 +19,8 @@
 #include "kernels/registry.hpp"
 #include "mca/analyzer.hpp"
 #include "ml/cv.hpp"
+#include "ml/flat.hpp"
+#include "ml/forest.hpp"
 #include "ml/tree.hpp"
 #include "serve/service.hpp"
 #include "sim/cluster.hpp"
@@ -408,6 +410,184 @@ void BM_ServeBatch(benchmark::State& state) {
       static_cast<double>(n), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ServeBatch)->Arg(16)->UseRealTime();
+
+// ---- flat inference engine ----------------------------------------------
+// Node-chasing baseline vs the flattened branchless batch engine
+// (ml/flat.hpp) on a synthetic model shaped like the paper's (448
+// training rows, 20 static features, labels 1..8). The acceptance
+// target is >= 10x single-thread predictions/s for the flat forest over
+// the per-row node-chasing forest walk; CI extracts the ratio from
+// BENCH_predict.json. Correctness is NOT what these measure —
+// tests/test_flat_predict.cpp proves bit-identity separately.
+
+struct PredictFixture {
+  ml::Matrix train;
+  std::vector<int> labels;
+  ml::Matrix query;
+  ml::DecisionTree tree;
+  ml::RandomForest forest;
+  ml::FlatTree flat_tree;
+  ml::FlatForest flat_forest;
+  ml::FlatTreeQuant quant_tree;
+  ml::FlatForestQuant quant_forest;
+};
+
+const PredictFixture& predict_fixture() {
+  static const PredictFixture* fx = [] {
+    auto* f = new PredictFixture;
+    std::mt19937 rng(1);
+    std::uniform_real_distribution<double> u(0, 1);
+    f->train.rows = 448;
+    f->train.cols = 20;
+    for (std::size_t i = 0; i < f->train.rows * f->train.cols; ++i) {
+      f->train.data.push_back(u(rng));
+    }
+    for (std::size_t r = 0; r < f->train.rows; ++r) {
+      f->labels.push_back(1 + int(u(rng) * 8));
+    }
+    f->query.rows = 4096;
+    f->query.cols = 20;
+    for (std::size_t i = 0; i < f->query.rows * f->query.cols; ++i) {
+      f->query.data.push_back(u(rng));
+    }
+    f->tree.fit(f->train, f->labels);
+    ml::ForestParams fp;
+    fp.n_trees = 50;
+    f->forest = ml::RandomForest(fp);
+    f->forest.fit(f->train, f->labels);
+    f->flat_tree = ml::FlatTree(f->tree);
+    f->flat_forest = ml::FlatForest(f->forest);
+    f->quant_tree = ml::FlatTreeQuant(f->flat_tree, &f->train);
+    f->quant_forest = ml::FlatForestQuant(f->flat_forest, &f->train);
+    return f;
+  }();
+  return *fx;
+}
+
+void predictions_per_s(benchmark::State& state, std::size_t n) {
+  state.counters["predictions/s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+
+// Baseline: the training-side structures walked row by row — one
+// dependent-load chain per level plus a loop-exit branch per node.
+void BM_NodePredictTree(benchmark::State& state) {
+  const PredictFixture& fx = predict_fixture();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    int acc = 0;
+    for (std::size_t r = 0; r < fx.query.rows; ++r) {
+      acc += fx.tree.predict({fx.query.row(r), fx.query.cols});
+    }
+    benchmark::DoNotOptimize(acc);
+    n += fx.query.rows;
+  }
+  predictions_per_s(state, n);
+}
+BENCHMARK(BM_NodePredictTree);
+
+void BM_NodePredictForest(benchmark::State& state) {
+  const PredictFixture& fx = predict_fixture();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    int acc = 0;
+    for (std::size_t r = 0; r < fx.query.rows; ++r) {
+      acc += fx.forest.predict({fx.query.row(r), fx.query.cols});
+    }
+    benchmark::DoNotOptimize(acc);
+    n += fx.query.rows;
+  }
+  predictions_per_s(state, n);
+}
+BENCHMARK(BM_NodePredictForest);
+
+// Flat engine: SoA arrays, branchless fixed-depth walk, a block of rows
+// in flight per tree level (the dependent loads of different rows
+// overlap instead of serialising).
+void BM_FlatPredictTree(benchmark::State& state) {
+  const PredictFixture& fx = predict_fixture();
+  std::vector<int> out(fx.query.rows);
+  std::size_t n = 0;
+  for (auto _ : state) {
+    fx.flat_tree.predict_batch(fx.query, out);
+    benchmark::DoNotOptimize(out.data());
+    n += fx.query.rows;
+  }
+  predictions_per_s(state, n);
+}
+BENCHMARK(BM_FlatPredictTree);
+
+void BM_FlatPredictForest(benchmark::State& state) {
+  const PredictFixture& fx = predict_fixture();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.flat_forest.predict_batch(fx.query));
+    n += fx.query.rows;
+  }
+  predictions_per_s(state, n);
+}
+BENCHMARK(BM_FlatPredictForest);
+
+// Quantized variant: int16 thresholds + encoded rows (cache density);
+// divergence from exact is measured/bounded, not assumed (see the
+// FlatQuant tests).
+void BM_FlatPredictQuant(benchmark::State& state) {
+  const PredictFixture& fx = predict_fixture();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.quant_forest.predict_batch(fx.query));
+    n += fx.query.rows;
+  }
+  predictions_per_s(state, n);
+}
+BENCHMARK(BM_FlatPredictQuant);
+
+// End-to-end: warm-cache burst through the serve micro-batcher with the
+// flat engine on/off (Arg). Rows come from the LRU, so the A/B isolates
+// the classification stage the flat path replaced.
+void BM_ServeBatchFlat(benchmark::State& state) {
+  const bool use_flat = state.range(0) != 0;
+  serve::PredictionService::Options opt;
+  opt.threads = 1;
+  opt.max_batch = 32;
+  opt.use_flat = use_flat;
+  serve::PredictionService svc(bench_classifier(), opt);
+  const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+      if (k.supports(kir::DType::I32)) out.push_back(k.name);
+    }
+    return out;
+  }();
+  const auto burst_of = [&](std::size_t burst) {
+    std::vector<std::future<serve::Result>> futures;
+    futures.reserve(burst);
+    for (std::size_t i = 0; i < burst; ++i) {
+      serve::Request req;
+      req.kernel = names[i % names.size()];
+      req.dtype = kir::DType::I32;
+      req.size_bytes = 1024;
+      futures.push_back(svc.submit(std::move(req)));
+    }
+    for (std::future<serve::Result>& f : futures) {
+      benchmark::DoNotOptimize(f.get().ok);
+    }
+  };
+  burst_of(32);  // warm both LRUs
+  std::size_t n = 0;
+  for (auto _ : state) {
+    burst_of(32);
+    n += 32;
+  }
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsRate);
+  state.counters["flat"] = use_flat ? 1 : 0;
+}
+BENCHMARK(BM_ServeBatchFlat)
+    ->ArgNames({"flat"})
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime();
 
 // Serial-vs-parallel wall time of the repeated-CV evaluation on a
 // synthetic dataset (Arg = worker threads); results are bit-identical

@@ -6,12 +6,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/env.hpp"
 #include "dsl/lower.hpp"
 
 namespace pulpc::core {
 
 EnergyClassifier::EnergyClassifier(Options options)
     : options_(std::move(options)) {
+  use_flat_ = env_flag(options_.use_flat, "PULPC_FLAT_PREDICT", true);
   columns_ = options_.columns.empty()
                  ? feat::feature_set_columns(options_.features)
                  : options_.columns;
@@ -35,6 +37,7 @@ void EnergyClassifier::train(const ml::Dataset& dataset) {
   ml::DecisionTree tree(options_.tree);
   tree.fit(x, dataset.labels());
   tree_ = std::move(tree);
+  flat_ = ml::FlatTree(tree_);
 }
 
 int EnergyClassifier::predict(const kir::Program& prog) const {
@@ -55,7 +58,22 @@ int EnergyClassifier::predict_row(std::span<const double> row) const {
   if (!trained()) {
     throw std::logic_error("EnergyClassifier::predict: train() first");
   }
+  if (use_flat_ && flat_.trained()) return flat_.predict(row);
   return tree_.predict(row);
+}
+
+std::vector<int> EnergyClassifier::predict_rows(const ml::Matrix& x) const {
+  if (!trained()) {
+    throw std::logic_error("EnergyClassifier::predict_rows: train() first");
+  }
+  if (x.cols != columns_.size()) {
+    throw std::invalid_argument(
+        "EnergyClassifier::predict_rows: matrix has " +
+        std::to_string(x.cols) + " columns, classifier expects " +
+        std::to_string(columns_.size()));
+  }
+  if (use_flat_ && flat_.trained()) return flat_.predict_batch(x);
+  return tree_.predict_batch(x);
 }
 
 int EnergyClassifier::predict(const dsl::KernelSpec& spec) const {
@@ -70,10 +88,14 @@ void EnergyClassifier::save(std::ostream& out) const {
   if (!trained()) {
     throw std::logic_error("EnergyClassifier::save: train() first");
   }
-  out << "pulpc-classifier v1\n";
+  // v2 = v1 (columns + tree) plus the flattened inference section, so a
+  // loaded model serves from the flat path without a re-flatten and the
+  // loader can cross-check the two sections against each other.
+  out << "pulpc-classifier v2\n";
   out << columns_.size() << '\n';
   for (const std::string& c : columns_) out << c << '\n';
   tree_.save(out);
+  flat_.save(out);
 }
 
 void EnergyClassifier::save_file(const std::string& path) const {
@@ -103,9 +125,11 @@ EnergyClassifier EnergyClassifier::load(std::istream& in,
 
   std::string line;
   if (!std::getline(in, line)) fail("empty or unreadable model");
-  if (line != "pulpc-classifier v1") {
+  const bool v2 = line == "pulpc-classifier v2";
+  if (!v2 && line != "pulpc-classifier v1") {
     if (line.rfind("pulpc-classifier", 0) == 0) {
-      fail("unsupported model version '" + line + "' (this build reads v1)");
+      fail("unsupported model version '" + line +
+           "' (this build reads v1/v2)");
     }
     fail("bad header (not a pulpclass model)");
   }
@@ -135,6 +159,23 @@ EnergyClassifier EnergyClassifier::load(std::istream& in,
     fail("tree/column shape mismatch (tree has " +
          std::to_string(clf.tree_.feature_importances().size()) +
          " features, header lists " + std::to_string(ncols) + ")");
+  }
+  // The flat twin must agree with the tree node-for-node: re-flattening
+  // the just-loaded tree is cheap, and for v2 it doubles as an integrity
+  // check on the stored flat section (a hand-edited threshold in one
+  // section but not the other is caught here, not at predict time).
+  clf.flat_ = ml::FlatTree(clf.tree_);
+  if (v2) {
+    ml::FlatTree stored;
+    try {
+      stored = ml::FlatTree::load(in);
+    } catch (const std::runtime_error& e) {
+      fail(std::string("bad flat section (") + e.what() + ")");
+    }
+    if (stored != clf.flat_) {
+      fail("flat/tree section mismatch (stored flat engine does not "
+           "match the tree section)");
+    }
   }
   return clf;
 }

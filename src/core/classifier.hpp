@@ -9,6 +9,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "kir/ir.hpp"
 #include "ml/cv.hpp"
 #include "ml/dataset.hpp"
+#include "ml/flat.hpp"
 #include "ml/tree.hpp"
 
 namespace pulpc::core {
@@ -33,6 +35,11 @@ class EnergyClassifier {
     std::vector<std::string> columns;
     ml::TreeParams tree;
     mca::MachineModel mca;
+    /// Route predict_row/predict_rows through the flattened branchless
+    /// engine (ml::FlatTree). Unset means "consult PULPC_FLAT_PREDICT,
+    /// default on". Predictions are bit-identical either way; the knob
+    /// exists for benchmarking and as an escape hatch.
+    std::optional<bool> use_flat;
   };
 
   EnergyClassifier() : EnergyClassifier(Options{}) {}
@@ -54,6 +61,10 @@ class EnergyClassifier {
   [[nodiscard]] std::vector<double> feature_row(
       const kir::Program& prog) const;
   [[nodiscard]] int predict_row(std::span<const double> row) const;
+  /// Batch prediction over pre-extracted feature rows: one flat-engine
+  /// predict_batch call instead of x.rows node-chasing walks. Rows must
+  /// have columns().size() columns. Bit-identical to predict_row per row.
+  [[nodiscard]] std::vector<int> predict_rows(const ml::Matrix& x) const;
 
   [[nodiscard]] bool trained() const noexcept { return tree_.trained(); }
   [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
@@ -62,6 +73,12 @@ class EnergyClassifier {
   [[nodiscard]] const ml::DecisionTree& tree() const noexcept {
     return tree_;
   }
+  /// The flattened inference engine built alongside the tree.
+  [[nodiscard]] const ml::FlatTree& flat() const noexcept { return flat_; }
+  /// Whether predictions route through the flat engine (resolved from
+  /// Options::use_flat / PULPC_FLAT_PREDICT at construction).
+  [[nodiscard]] bool use_flat() const noexcept { return use_flat_; }
+  void set_use_flat(bool on) noexcept { use_flat_ = on; }
   /// Decision rules with feature names (for inspection, as the paper
   /// motivates choosing a tree over deep models).
   [[nodiscard]] std::string explain() const;
@@ -84,6 +101,8 @@ class EnergyClassifier {
   std::vector<std::string> columns_;
   std::vector<std::size_t> column_indices_;  ///< into the static vector
   ml::DecisionTree tree_;
+  ml::FlatTree flat_;  ///< flattened twin of tree_, kept in sync
+  bool use_flat_ = true;
 };
 
 /// The paper's "optimised" static feature set: rank all static features

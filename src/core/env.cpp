@@ -22,4 +22,15 @@ unsigned env_or(unsigned explicit_value, const char* env_var,
   return fallback;
 }
 
+bool env_flag(std::optional<bool> explicit_value, const char* env_var,
+              bool fallback) {
+  if (explicit_value) return *explicit_value;
+  if (const char* env = std::getenv(env_var)) {
+    const std::string v(env);
+    if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+    if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  }
+  return fallback;
+}
+
 }  // namespace pulpc::core

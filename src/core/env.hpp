@@ -33,4 +33,13 @@ namespace pulpc::core {
 [[nodiscard]] unsigned env_or(unsigned explicit_value, const char* env_var,
                               unsigned fallback);
 
+/// Resolve an on/off setting: `explicit_value` when set, else `env_var`
+/// interpreted as a flag ("0", "false", "off", "no" disable; "1",
+/// "true", "on", "yes" enable; anything else is ignored, not fatal),
+/// else `fallback`. Used for PULPC_FLAT_PREDICT. Named env_flag rather
+/// than an env_or overload: a string-literal fallback would otherwise
+/// prefer the bool overload via pointer->bool conversion.
+[[nodiscard]] bool env_flag(std::optional<bool> explicit_value,
+                            const char* env_var, bool fallback);
+
 }  // namespace pulpc::core

@@ -1,0 +1,820 @@
+#include "ml/flat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <new>
+#include <iostream>
+#include <limits>
+#include <stdexcept>
+
+namespace pulpc::ml {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Row-block size for ensemble batches: 512 double rows of typical
+/// width (~20 features) is ~80 KB, comfortably L2-resident.
+constexpr std::size_t kRowBlock = 512;
+
+/// Monotone (order-preserving) integer key of a double row value:
+/// key(a) <= key(b) under UNSIGNED comparison iff a <= b under double
+/// comparison, for every pair the walk can meet. The standard IEEE-754
+/// bit trick (positives shift into the upper half, negatives flip)
+/// handles ±inf and subnormals; -0 collapses onto +0 first so the two
+/// zeros stay equal; NaN pins to the maximum key, above every
+/// threshold key, so NaN rows fail `v <= thr` and take the right edge —
+/// exactly what DecisionTree::predict does.
+inline std::uint64_t walk_key(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  // Branchless on purpose: encode runs once per matrix value, and the
+  // ternaries compile to cmovs/blends that auto-vectorize. Negatives
+  // map through two's-complement negation (not plain ~b) so that -0
+  // lands exactly on +0's key — the one pair of distinct bit patterns
+  // that compares equal as doubles.
+  const bool nan = (b & 0x7FFFFFFFFFFFFFFFull) > 0x7FF0000000000000ull;
+  const std::uint64_t key =
+      (b >> 63) != 0 ? ~b + 1 : b | (std::uint64_t{1} << 63);
+  return nan ? std::numeric_limits<std::uint64_t>::max() : key;
+}
+
+/// Threshold-side key. A NaN threshold (never produced by training,
+/// but representable) fails `v <= thr` for every v, so it keys below
+/// every value key; NaN values still key to the maximum, above it.
+inline std::uint64_t walk_threshold_key(double t) {
+  return std::isnan(t) ? 0 : walk_key(t);
+}
+/// Quantized thresholds are already integers; compare as-is.
+inline std::int16_t walk_threshold_key(std::int16_t t) { return t; }
+
+/// Encode a run of doubles onto the walk-key space.
+inline void encode_keys(const double* data, std::size_t count,
+                        std::uint64_t* out) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = walk_key(data[i]);
+}
+
+/// Record at byte offset `off` from the array base (offsets are record
+/// indices pre-shifted by R::kShift, so the add folds into the load's
+/// addressing mode).
+template <typename R>
+inline const R& node_at(const R* base, std::uint32_t off) {
+  return *reinterpret_cast<const R*>(reinterpret_cast<const char*>(base) +
+                                     off);
+}
+
+/// Walk one row from the root record until the traversal parks on a
+/// self-edge; returns the final record's INDEX. The comparison is
+/// spelled !(v <= thr) — the exact negation DecisionTree::predict
+/// branches on — so NaN values take the same (right) edge in both
+/// engines. The feature index and left offset arrive in one load, the
+/// comparison picks left or right with a conditional move: the next
+/// load address never depends on a branch. Terminates because child
+/// links point at the node itself or strictly forward (construction
+/// invariant, enforced by load()).
+template <typename R, typename V>
+inline std::uint32_t walk_one(const R* nodes, const V* row) {
+  std::uint32_t at = 0;
+  for (;;) {
+    const R& n = node_at(nodes, at);
+    // Both select arms are halves of the one children qword, so the
+    // ternary if-converts to a register cmov (see Decide).
+    const std::uint64_t ch = n.children;
+    const std::uint32_t left = static_cast<std::uint32_t>(ch);
+    const std::uint32_t right = static_cast<std::uint32_t>(ch >> 32);
+    const std::uint32_t nx =
+        !(row[n.feat / detail::kLane] <= n.thr) ? right : left;
+    if (nx == at) return at >> R::kShift;
+    at = nx;
+  }
+}
+
+/// One row-group (kLane rows) in flight, stepped in lockstep for the
+/// tree's full depth. Each row's traversal is a chain of dependent
+/// loads; one chain serialises on load latency, kLane independent
+/// chains overlap. The loop body has no data-dependent branches (the
+/// comparison becomes a cmov), so nothing mispredicts: parked chains
+/// keep re-selecting their self-edge until the step count runs out.
+/// Retiring chains individually would walk ~1/3 fewer steps (mean
+/// leaf depth is about 2/3 of a group's deepest leaf) but costs a
+/// mispredicted branch per retire, which measures strictly slower —
+/// see DESIGN "Flat inference engine".
+///
+/// `grp` is the group's lane-interleaved values (feature f of lane b
+/// at grp[f*kLane + b], with feat pre-scaled): every chain addresses
+/// its value off the one shared base with a constant lane offset, so
+/// no per-chain row pointers exist to spill.
+template <std::size_t B, typename R, typename V>
+inline void walk_block(const R* nodes, const V* grp, std::uint32_t* at,
+                       int steps) {
+  static_assert(B == detail::kLane);
+  for (std::size_t b = 0; b < B; ++b) at[b] = 0;
+#pragma GCC unroll 4
+  for (int d = 0; d < steps; ++d) {
+    for (std::size_t b = 0; b < B; ++b) {
+      const R& n = node_at(nodes, at[b]);
+      const std::uint64_t ch = n.children;
+      const std::uint32_t left = static_cast<std::uint32_t>(ch);
+      const std::uint32_t right = static_cast<std::uint32_t>(ch >> 32);
+      at[b] = !(grp[n.feat + b] <= n.thr) ? right : left;
+    }
+  }
+}
+
+/// Batch driver over a lane-interleaved value block: one walk_block
+/// per row-group, leaf labels scattered to out. A partial final group
+/// walks its unused tail lanes on whatever the buffer holds (any
+/// value keys to a valid child; the walk still terminates) and their
+/// labels are simply not read out.
+template <typename R, typename V>
+[[gnu::noinline]] void batch_walk(const R* nodes, const std::int32_t* label, int depth,
+                const V* ilv, std::size_t rows, std::size_t stride,
+                int* out) {
+  constexpr std::size_t B = detail::kLane;
+  const std::size_t gbytes = stride * B * sizeof(V);
+  std::uint32_t at[B];
+  for (std::size_t g = 0; g * B < rows; ++g) {
+    const V* grp = ilv + g * stride * B;
+    // The next group's value slice was last touched a whole
+    // tree-pass ago; pull its lines back toward L1 while this
+    // group's chains are in flight so the first-touch value loads
+    // of the next call don't stall on L2.
+    if ((g + 1) * B < rows) {
+      const char* nx = reinterpret_cast<const char*>(grp) + gbytes;
+      for (std::size_t o = 0; o < gbytes; o += 64) __builtin_prefetch(nx + o);
+    }
+    walk_block<B>(nodes, grp, at, depth);
+    const std::size_t nb = std::min(B, rows - g * B);
+    for (std::size_t b = 0; b < nb; ++b) {
+      out[g * B + b] = label[at[b] >> R::kShift];
+    }
+  }
+}
+
+/// Rows of a walk-key block in the lane-interleaved layout batch_walk
+/// consumes: feature f of block row r lands at
+/// out[(r/kLane)*stride*kLane + f*kLane + r%kLane]. The buffer must
+/// hold ceil(rows/kLane) full groups.
+inline void encode_keys_interleaved(const double* data, std::size_t rows,
+                                    std::size_t stride, std::uint64_t* out) {
+  constexpr std::size_t B = detail::kLane;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* src = data + r * stride;
+    std::uint64_t* dst = out + (r / B) * stride * B + r % B;
+    for (std::size_t f = 0; f < stride; ++f) {
+      dst[f * B] = walk_key(src[f]);
+    }
+  }
+}
+
+/// Quantized counterpart: rows [r0, r0+rows) of x onto the int16 grid,
+/// lane-interleaved.
+void encode_quant_interleaved(const Quantizer& quant, const Matrix& x,
+                              std::size_t r0, std::size_t rows,
+                              std::int16_t* out) {
+  constexpr std::size_t B = detail::kLane;
+  const std::size_t nf = quant.features();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* src = x.row(r0 + r);
+    std::int16_t* dst = out + (r / B) * nf * B + r % B;
+    for (std::size_t f = 0; f < nf; ++f) {
+      dst[f * B] = quant.encode(f, src[f]);
+    }
+  }
+}
+
+/// Interleaved group count covering `rows`.
+inline std::size_t lane_groups(std::size_t rows) {
+  return (rows + detail::kLane - 1) / detail::kLane;
+}
+
+/// Cache-line-aligned scratch for interleaved value blocks. A group's
+/// per-feature slab is kLane values (64 bytes for walk keys); aligning
+/// the buffer keeps each slab on one line instead of straddling two.
+template <typename V>
+struct AlignedBuf {
+  explicit AlignedBuf(std::size_t n)
+      : p(static_cast<V*>(::operator new(n * sizeof(V),
+                                         std::align_val_t(64)))) {}
+  ~AlignedBuf() { ::operator delete(p, std::align_val_t(64)); }
+  AlignedBuf(const AlignedBuf&) = delete;
+  AlignedBuf& operator=(const AlignedBuf&) = delete;
+  [[nodiscard]] V* data() const noexcept { return p; }
+  V* p;
+};
+
+/// Forest batch driver: like batch_walk, but folds each chain's leaf
+/// label straight into the per-row vote counters instead of staging
+/// labels through a scratch array.
+template <typename R, typename V>
+[[gnu::noinline]] void batch_walk_vote(const R* nodes, const std::int32_t* label, int depth,
+                     const V* ilv, std::size_t rows, std::size_t stride,
+                     int* votes, std::size_t vstride) {
+  constexpr std::size_t B = detail::kLane;
+  const std::size_t gbytes = stride * B * sizeof(V);
+  std::uint32_t at[B];
+  for (std::size_t g = 0; g * B < rows; ++g) {
+    const V* grp = ilv + g * stride * B;
+    if ((g + 1) * B < rows) {
+      const char* nx = reinterpret_cast<const char*>(grp) + gbytes;
+      for (std::size_t o = 0; o < gbytes; o += 64) __builtin_prefetch(nx + o);
+    }
+    walk_block<B>(nodes, grp, at, depth);
+    const std::size_t nb = std::min(B, rows - g * B);
+    for (std::size_t b = 0; b < nb; ++b) {
+      ++votes[(g * B + b) * vstride +
+              static_cast<std::size_t>(label[at[b] >> R::kShift])];
+    }
+  }
+}
+
+/// Build the packed traversal records from SoA node storage. Both
+/// children become pre-shifted byte offsets sharing one qword (see
+/// Decide).
+template <typename R, typename T>
+void pack_walk(const std::vector<std::int32_t>& feat, const std::vector<T>& thr,
+               const std::vector<std::int32_t>& children,
+               std::vector<R>* decide) {
+  const std::size_t n = feat.size();
+  decide->assign(n, R{});
+  R* base = decide->data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto left =
+        static_cast<std::uint64_t>(children[2 * i]) << R::kShift;
+    const auto right =
+        static_cast<std::uint64_t>(children[2 * i + 1]) << R::kShift;
+    base[i].children = left | (right << 32);
+    base[i].thr = walk_threshold_key(thr[i]);
+    base[i].feat =
+        static_cast<std::uint32_t>(feat[i]) * detail::kLane;
+  }
+}
+
+/// First-max argmax over per-row vote counts: identical tie-breaking to
+/// RandomForest::predict (ties go to the smaller label).
+void vote_argmax(const std::vector<int>& votes, std::size_t rows,
+                 std::size_t stride, std::vector<int>* out) {
+  out->assign(rows, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int* row = votes.data() + r * stride;
+    int best = 0;
+    for (std::size_t k = 1; k < stride; ++k) {
+      if (row[k] > row[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(k);
+      }
+    }
+    (*out)[r] = best;
+  }
+}
+
+}  // namespace
+
+// ---- FlatTree -----------------------------------------------------------
+
+FlatTree::FlatTree(const DecisionTree& tree) {
+  if (!tree.trained()) {
+    throw std::invalid_argument("FlatTree: tree is not trained");
+  }
+  const std::vector<DecisionTree::Node>& nodes = tree.nodes();
+  n_features_ = tree.feature_importances().size();
+
+  // BFS from the root: siblings end up adjacent, shallow (hot) levels
+  // contiguous at the front. Unreachable nodes are dropped.
+  std::vector<std::int32_t> order;   ///< new index -> old index
+  std::vector<std::int32_t> level;   ///< new index -> depth
+  std::vector<std::int32_t> new_of(nodes.size(), -1);
+  order.push_back(0);
+  level.push_back(0);
+  new_of[0] = 0;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const DecisionTree::Node& nd =
+        nodes[static_cast<std::size_t>(order[head])];
+    if (nd.feature < 0) continue;
+    for (const int child : {nd.left, nd.right}) {
+      if (child < 0 || new_of[static_cast<std::size_t>(child)] >= 0) {
+        continue;
+      }
+      new_of[static_cast<std::size_t>(child)] =
+          static_cast<std::int32_t>(order.size());
+      order.push_back(child);
+      level.push_back(level[head] + 1);
+    }
+  }
+
+  const std::size_t n = order.size();
+  feature_.resize(n);
+  threshold_.resize(n);
+  children_.resize(2 * n);
+  label_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DecisionTree::Node& nd =
+        nodes[static_cast<std::size_t>(order[i])];
+    label_[i] = nd.label;
+    depth_ = std::max(depth_, static_cast<int>(level[i]));
+    if (nd.feature < 0) {
+      // Leaf: any value goes "left" into the node itself, so the
+      // fixed-depth walk parks here.
+      feature_[i] = 0;
+      threshold_[i] = kInf;
+      children_[2 * i] = static_cast<std::int32_t>(i);
+      children_[2 * i + 1] = static_cast<std::int32_t>(i);
+    } else {
+      feature_[i] = nd.feature;
+      threshold_[i] = nd.threshold;
+      // A negative child in the source tree makes predict() stop at
+      // this node and answer its majority label; a self-edge replicates
+      // that exactly under the fixed-depth walk.
+      children_[2 * i] =
+          nd.left >= 0 ? new_of[static_cast<std::size_t>(nd.left)]
+                       : static_cast<std::int32_t>(i);
+      children_[2 * i + 1] =
+          nd.right >= 0 ? new_of[static_cast<std::size_t>(nd.right)]
+                        : static_cast<std::int32_t>(i);
+    }
+  }
+  build_walk();
+}
+
+void FlatTree::build_walk() {
+  pack_walk(feature_, threshold_, children_, &decide_);
+}
+
+bool operator==(const FlatTree& a, const FlatTree& b) {
+  return a.depth_ == b.depth_ && a.n_features_ == b.n_features_ &&
+         a.feature_ == b.feature_ && a.threshold_ == b.threshold_ &&
+         a.children_ == b.children_ && a.label_ == b.label_;
+}
+
+int FlatTree::predict(std::span<const double> row) const {
+  if (feature_.empty()) {
+    throw std::logic_error("FlatTree::predict: not trained");
+  }
+  std::uint64_t stack_keys[64];
+  std::vector<std::uint64_t> heap_keys;
+  std::uint64_t* keys = stack_keys;
+  if (n_features_ > std::size(stack_keys)) {
+    heap_keys.resize(n_features_);
+    keys = heap_keys.data();
+  }
+  encode_keys(row.data(), n_features_, keys);
+  return label_[walk_one(decide_.data(), keys)];
+}
+
+void FlatTree::predict_batch(const Matrix& x, std::span<int> out) const {
+  if (feature_.empty()) {
+    throw std::logic_error("FlatTree::predict_batch: not trained");
+  }
+  if (out.size() < x.rows) {
+    throw std::invalid_argument("FlatTree::predict_batch: out too small");
+  }
+  AlignedBuf<std::uint64_t> keys(lane_groups(x.rows) * detail::kLane *
+                                 x.cols);
+  encode_keys_interleaved(x.data.data(), x.rows, x.cols, keys.data());
+  batch_walk(decide_.data(), label_.data(), depth_, keys.data(), x.rows,
+             x.cols, out.data());
+}
+
+std::vector<int> FlatTree::predict_batch(const Matrix& x) const {
+  std::vector<int> out(x.rows);
+  predict_batch(x, out);
+  return out;
+}
+
+void FlatTree::save(std::ostream& out) const {
+  if (feature_.empty()) {
+    throw std::logic_error("FlatTree::save: not trained");
+  }
+  out << "pulpc-flat v1\n";
+  out << feature_.size() << ' ' << n_features_ << ' ' << depth_ << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < feature_.size(); ++i) {
+    // Leaves (infinite threshold) serialise with a flag instead of the
+    // non-finite value, so the format never depends on the stream
+    // library round-tripping "inf".
+    const bool leaf = !std::isfinite(threshold_[i]);
+    out << (leaf ? 1 : 0) << ' ' << feature_[i] << ' '
+        << (leaf ? 0.0 : threshold_[i]) << ' ' << children_[2 * i] << ' '
+        << children_[2 * i + 1] << ' ' << label_[i] << '\n';
+  }
+}
+
+FlatTree FlatTree::load(std::istream& in) {
+  std::string magic;
+  std::string version;
+  in >> magic >> version;
+  if (magic != "pulpc-flat" || version != "v1") {
+    throw std::runtime_error("FlatTree::load: bad header");
+  }
+  std::size_t n = 0;
+  FlatTree t;
+  // The node-count cap keeps a corrupted shape line a clean parse error
+  // instead of a giant allocation.
+  constexpr std::size_t kMaxNodes = std::size_t{1} << 26;
+  if (!(in >> n >> t.n_features_ >> t.depth_) || n == 0 || n > kMaxNodes ||
+      t.n_features_ == 0 || t.n_features_ > kMaxNodes || t.depth_ < 0 ||
+      static_cast<std::size_t>(t.depth_) > n) {
+    throw std::runtime_error("FlatTree::load: bad shape line");
+  }
+  t.feature_.resize(n);
+  t.threshold_.resize(n);
+  t.children_.resize(2 * n);
+  t.label_.resize(n);
+  const auto limit = static_cast<std::int32_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int leaf = 0;
+    if (!(in >> leaf >> t.feature_[i] >> t.threshold_[i] >>
+          t.children_[2 * i] >> t.children_[2 * i + 1] >> t.label_[i])) {
+      throw std::runtime_error("FlatTree::load: truncated node list");
+    }
+    if (leaf != 0 && leaf != 1) {
+      throw std::runtime_error("FlatTree::load: bad leaf flag");
+    }
+    if (leaf) t.threshold_[i] = kInf;
+    if (t.feature_[i] < 0 ||
+        static_cast<std::size_t>(t.feature_[i]) >= t.n_features_ ||
+        t.children_[2 * i] < 0 || t.children_[2 * i] >= limit ||
+        t.children_[2 * i + 1] < 0 || t.children_[2 * i + 1] >= limit) {
+      throw std::runtime_error("FlatTree::load: node out of range");
+    }
+    // BFS layout invariant: every child link points at the node itself
+    // (a park edge: leaves on both sides, clipped subtrees on one) or
+    // strictly forward. This is what guarantees every traversal
+    // terminates — indices can only increase until they repeat — so the
+    // walk kernels need no depth bound even on adversarial files.
+    const auto self = static_cast<std::int32_t>(i);
+    if (t.children_[2 * i] < self || t.children_[2 * i + 1] < self ||
+        (leaf && (t.children_[2 * i] != self ||
+                  t.children_[2 * i + 1] != self))) {
+      throw std::runtime_error("FlatTree::load: non-forward child link");
+    }
+  }
+  t.build_walk();
+  return t;
+}
+
+// ---- FlatForest ---------------------------------------------------------
+
+FlatForest::FlatForest(const RandomForest& forest) {
+  if (!forest.trained()) {
+    throw std::invalid_argument("FlatForest: forest is not trained");
+  }
+  trees_.reserve(forest.tree_count());
+  for (const DecisionTree& t : forest.trees()) {
+    trees_.emplace_back(t);
+    for (const std::int32_t l : trees_.back().labels()) {
+      max_label_ = std::max(max_label_, static_cast<int>(l));
+    }
+  }
+}
+
+int FlatForest::predict(std::span<const double> row) const {
+  if (trees_.empty()) {
+    throw std::logic_error("FlatForest::predict: not trained");
+  }
+  // Encode the row once; every member tree walks the same key row.
+  std::uint64_t stack_keys[64];
+  std::vector<std::uint64_t> heap_keys;
+  std::uint64_t* keys = stack_keys;
+  const std::size_t nf = trees_.front().feature_count();
+  if (nf > std::size(stack_keys)) {
+    heap_keys.resize(nf);
+    keys = heap_keys.data();
+  }
+  encode_keys(row.data(), nf, keys);
+  std::vector<int> votes(static_cast<std::size_t>(max_label_) + 1, 0);
+  for (const FlatTree& t : trees_) {
+    const std::uint32_t leaf = walk_one(t.decide_.data(), keys);
+    ++votes[static_cast<std::size_t>(t.label_[leaf])];
+  }
+  int best = 0;
+  for (std::size_t k = 1; k < votes.size(); ++k) {
+    if (votes[k] > votes[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+std::vector<int> FlatForest::predict_batch(const Matrix& x) const {
+  if (trees_.empty()) {
+    throw std::logic_error("FlatForest::predict_batch: not trained");
+  }
+  const std::size_t stride = static_cast<std::size_t>(max_label_) + 1;
+  std::vector<int> votes(x.rows * stride, 0);
+  // Block over rows so one block's encoded keys stay cache-resident
+  // while every member tree walks it (streaming the whole matrix once
+  // per tree would pull rows*trees worth of memory traffic). The block
+  // buffer is reused; a shorter final block leaves stale tail lanes,
+  // which the walk traverses but never reads labels from.
+  AlignedBuf<std::uint64_t> ibuf(lane_groups(std::min(x.rows, kRowBlock)) *
+                                 detail::kLane * x.cols);
+  for (std::size_t r0 = 0; r0 < x.rows; r0 += kRowBlock) {
+    const std::size_t nb = std::min(kRowBlock, x.rows - r0);
+    encode_keys_interleaved(x.data.data() + r0 * x.cols, nb, x.cols,
+                            ibuf.data());
+    int* bvotes = votes.data() + r0 * stride;
+    for (const FlatTree& a : trees_) {
+      batch_walk_vote(a.decide_.data(), a.label_.data(), a.depth_,
+                      ibuf.data(), nb, x.cols, bvotes, stride);
+    }
+  }
+  std::vector<int> out;
+  vote_argmax(votes, x.rows, stride, &out);
+  return out;
+}
+
+// ---- Quantizer ----------------------------------------------------------
+
+Quantizer::Quantizer(const std::vector<std::vector<double>>& values) {
+  const std::size_t nf = values.size();
+  ref_.resize(nf);
+  step_.resize(nf);
+  inv_step_.resize(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    double lo = kInf;
+    double hi = -kInf;
+    for (const double v : values[f]) {
+      if (!std::isfinite(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(lo <= hi)) {  // no finite values at all
+      lo = 0.0;
+      hi = 0.0;
+    }
+    // 60000 cells across the covered range leaves ~2700 cells of
+    // headroom on either side before the int16 clamp saturates, so
+    // mildly out-of-range values still quantize monotonically.
+    const double range = hi - lo;
+    step_[f] = range > 0 ? range / 60000.0 : 1.0;
+    inv_step_[f] = 1.0 / step_[f];
+    ref_[f] = (lo + hi) / 2.0;
+  }
+}
+
+std::int16_t Quantizer::encode(std::size_t f, double v) const {
+  const double q = (v - ref_[f]) * inv_step_[f];
+  // NaN and -inf both land on the bottom clamp; +inf on the top. The
+  // ordering of encoded values is monotone in v for finite inputs.
+  if (!(q > -32768.0)) return std::numeric_limits<std::int16_t>::min();
+  if (q >= 32767.0) return std::numeric_limits<std::int16_t>::max();
+  return static_cast<std::int16_t>(std::lround(q));
+}
+
+void Quantizer::encode_row(std::span<const double> row,
+                           std::int16_t* out) const {
+  const std::size_t nf = ref_.size();
+  for (std::size_t f = 0; f < nf; ++f) out[f] = encode(f, row[f]);
+}
+
+// ---- FlatTreeQuant ------------------------------------------------------
+
+namespace {
+
+/// Collect per-feature finite threshold values of one flat tree into
+/// `vals` (shared by the tree- and forest-level quantizer builds).
+void collect_thresholds(const FlatTree& tree,
+                        std::vector<std::vector<double>>* vals) {
+  const std::vector<std::int32_t>& feats = tree.features();
+  const std::vector<double>& thrs = tree.thresholds();
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    if (std::isfinite(thrs[i])) {
+      (*vals)[static_cast<std::size_t>(feats[i])].push_back(thrs[i]);
+    }
+  }
+}
+
+void collect_calibration(const Matrix& calib, std::size_t nf,
+                         std::vector<std::vector<double>>* vals) {
+  if (calib.cols != nf) {
+    throw std::invalid_argument(
+        "Quantizer: calibration matrix column count does not match the "
+        "tree's feature count");
+  }
+  for (std::size_t r = 0; r < calib.rows; ++r) {
+    for (std::size_t f = 0; f < nf; ++f) {
+      (*vals)[f].push_back(calib.at(r, f));
+    }
+  }
+}
+
+/// Quantize one flat tree's thresholds onto an already-built grid.
+/// Leaves (infinite thresholds) pin to the top clamp: every encoded
+/// value compares <= it, so the walk keeps self-looping left.
+std::vector<std::int16_t> quantize_thresholds(const FlatTree& tree,
+                                              const Quantizer& quant) {
+  const std::vector<std::int32_t>& feats = tree.features();
+  const std::vector<double>& thrs = tree.thresholds();
+  std::vector<std::int16_t> out(thrs.size());
+  for (std::size_t i = 0; i < thrs.size(); ++i) {
+    out[i] = std::isfinite(thrs[i])
+                 ? quant.encode(static_cast<std::size_t>(feats[i]), thrs[i])
+                 : std::numeric_limits<std::int16_t>::max();
+  }
+  return out;
+}
+
+/// Walk the EXACT tree while checking every comparison on that path
+/// against its quantized counterpart. Returns true when any comparison
+/// disagrees — the witness for a possible prediction divergence: if no
+/// comparison on the exact path flips, the quantized walk follows the
+/// identical path and cannot diverge. Updates gap/step watermarks for
+/// the report.
+bool flipped_on_exact_path(const FlatTree& exact,
+                           const std::vector<std::int16_t>& qthr,
+                           const Quantizer& quant,
+                           std::span<const double> row,
+                           const std::int16_t* qrow, QuantDivergence* d) {
+  const std::vector<std::int32_t>& feat = exact.features();
+  const std::vector<double>& thr = exact.thresholds();
+  const std::vector<std::int32_t>& child = exact.children();
+  bool flip = false;
+  std::uint32_t at = 0;
+  for (int depth = 0; depth < exact.depth(); ++depth) {
+    const std::uint32_t i = at;
+    const auto f = static_cast<std::size_t>(feat[i]);
+    if (std::isfinite(thr[i])) {
+      const double v = row[f];
+      const bool exact_right = !(v <= thr[i]);
+      const bool quant_right = !(qrow[f] <= qthr[i]);
+      if (exact_right != quant_right) {
+        flip = true;
+        d->max_step = std::max(d->max_step, quant.step(f));
+        if (std::isfinite(v)) {
+          d->max_flip_gap = std::max(d->max_flip_gap, std::abs(v - thr[i]));
+        }
+      }
+      at = static_cast<std::uint32_t>(child[2 * i + (exact_right ? 1 : 0)]);
+    } else {
+      at = static_cast<std::uint32_t>(child[2 * i]);
+    }
+  }
+  return flip;
+}
+
+}  // namespace
+
+FlatTreeQuant::FlatTreeQuant(const FlatTree& tree, const Matrix* calibration) {
+  if (!tree.trained()) {
+    throw std::invalid_argument("FlatTreeQuant: tree is not trained");
+  }
+  std::vector<std::vector<double>> vals(tree.feature_count());
+  collect_thresholds(tree, &vals);
+  if (calibration != nullptr) {
+    collect_calibration(*calibration, tree.feature_count(), &vals);
+  }
+  quant_ = Quantizer(vals);
+  feature_ = tree.feature_;
+  children_ = tree.children_;
+  label_ = tree.label_;
+  depth_ = tree.depth_;
+  threshold_ = quantize_thresholds(tree, quant_);
+  pack_walk(feature_, threshold_, children_, &decide_);
+}
+
+int FlatTreeQuant::predict(std::span<const double> row) const {
+  if (feature_.empty()) {
+    throw std::logic_error("FlatTreeQuant::predict: not trained");
+  }
+  std::vector<std::int16_t> qrow(quant_.features());
+  quant_.encode_row(row, qrow.data());
+  return label_[walk_one(decide_.data(), qrow.data())];
+}
+
+std::vector<int> FlatTreeQuant::predict_batch(const Matrix& x) const {
+  if (feature_.empty()) {
+    throw std::logic_error("FlatTreeQuant::predict_batch: not trained");
+  }
+  const std::size_t nf = quant_.features();
+  AlignedBuf<std::int16_t> enc(lane_groups(x.rows) * detail::kLane * nf);
+  encode_quant_interleaved(quant_, x, 0, x.rows, enc.data());
+  std::vector<int> out(x.rows);
+  batch_walk(decide_.data(), label_.data(), depth_, enc.data(), x.rows, nf,
+             out.data());
+  return out;
+}
+
+QuantDivergence FlatTreeQuant::measure(const FlatTree& exact,
+                                       const Matrix& x) const {
+  if (exact.node_count() != node_count() ||
+      exact.feature_count() != quant_.features() || x.cols != quant_.features()) {
+    throw std::invalid_argument("FlatTreeQuant::measure: shape mismatch");
+  }
+  QuantDivergence d;
+  d.rows = x.rows;
+  const std::vector<int> exact_labels = exact.predict_batch(x);
+  const std::vector<int> quant_labels = predict_batch(x);
+  std::vector<std::int16_t> qrow(quant_.features());
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    const std::span<const double> row(x.row(r), x.cols);
+    quant_.encode_row(row, qrow.data());
+    if (flipped_on_exact_path(exact, threshold_, quant_, row, qrow.data(),
+                              &d)) {
+      ++d.flipped;
+    }
+    if (exact_labels[r] != quant_labels[r]) ++d.diverged;
+  }
+  return d;
+}
+
+// ---- FlatForestQuant ----------------------------------------------------
+
+FlatForestQuant::FlatForestQuant(const FlatForest& forest,
+                                 const Matrix* calibration) {
+  if (!forest.trained()) {
+    throw std::invalid_argument("FlatForestQuant: forest is not trained");
+  }
+  n_features_ = forest.trees().front().feature_count();
+  std::vector<std::vector<double>> vals(n_features_);
+  for (const FlatTree& t : forest.trees()) collect_thresholds(t, &vals);
+  if (calibration != nullptr) {
+    collect_calibration(*calibration, n_features_, &vals);
+  }
+  quant_ = Quantizer(vals);
+  trees_.reserve(forest.tree_count());
+  for (const FlatTree& t : forest.trees()) {
+    Nodes n;
+    n.feature = t.feature_;
+    n.children = t.children_;
+    n.label = t.label_;
+    n.depth = t.depth_;
+    n.threshold = quantize_thresholds(t, quant_);
+    pack_walk(n.feature, n.threshold, n.children, &n.decide);
+    trees_.push_back(std::move(n));
+    for (const std::int32_t l : t.labels()) {
+      max_label_ = std::max(max_label_, static_cast<int>(l));
+    }
+  }
+}
+
+int FlatForestQuant::predict(std::span<const double> row) const {
+  if (trees_.empty()) {
+    throw std::logic_error("FlatForestQuant::predict: not trained");
+  }
+  std::vector<std::int16_t> qrow(n_features_);
+  quant_.encode_row(row, qrow.data());
+  std::vector<int> votes(static_cast<std::size_t>(max_label_) + 1, 0);
+  for (const Nodes& t : trees_) {
+    const std::uint32_t leaf = walk_one(t.decide.data(), qrow.data());
+    ++votes[static_cast<std::size_t>(t.label[leaf])];
+  }
+  int best = 0;
+  for (std::size_t k = 1; k < votes.size(); ++k) {
+    if (votes[k] > votes[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+std::vector<int> FlatForestQuant::predict_batch(const Matrix& x) const {
+  if (trees_.empty()) {
+    throw std::logic_error("FlatForestQuant::predict_batch: not trained");
+  }
+  const std::size_t stride = static_cast<std::size_t>(max_label_) + 1;
+  std::vector<int> votes(x.rows * stride, 0);
+  // Same blocked, lane-interleaved scheme as FlatForest::predict_batch,
+  // on the shared int16 grid (rows encoded once per block, not per
+  // tree).
+  AlignedBuf<std::int16_t> ibuf(lane_groups(std::min(x.rows, kRowBlock)) *
+                                 detail::kLane * n_features_);
+  for (std::size_t r0 = 0; r0 < x.rows; r0 += kRowBlock) {
+    const std::size_t nb = std::min(kRowBlock, x.rows - r0);
+    encode_quant_interleaved(quant_, x, r0, nb, ibuf.data());
+    int* bvotes = votes.data() + r0 * stride;
+    for (const Nodes& a : trees_) {
+      batch_walk_vote(a.decide.data(), a.label.data(), a.depth, ibuf.data(),
+                      nb, n_features_, bvotes, stride);
+    }
+  }
+  std::vector<int> out;
+  vote_argmax(votes, x.rows, stride, &out);
+  return out;
+}
+
+QuantDivergence FlatForestQuant::measure(const FlatForest& exact,
+                                         const Matrix& x) const {
+  if (exact.tree_count() != trees_.size() || x.cols != n_features_) {
+    throw std::invalid_argument("FlatForestQuant::measure: shape mismatch");
+  }
+  QuantDivergence d;
+  d.rows = x.rows;
+  const std::vector<int> exact_labels = exact.predict_batch(x);
+  const std::vector<int> quant_labels = predict_batch(x);
+  std::vector<std::int16_t> qrow(n_features_);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    const std::span<const double> row(x.row(r), x.cols);
+    quant_.encode_row(row, qrow.data());
+    bool flip = false;
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      flip |= flipped_on_exact_path(exact.trees()[t], trees_[t].threshold,
+                                    quant_, row, qrow.data(), &d);
+    }
+    if (flip) ++d.flipped;
+    if (exact_labels[r] != quant_labels[r]) ++d.diverged;
+  }
+  return d;
+}
+
+}  // namespace pulpc::ml

@@ -1,0 +1,322 @@
+// Flattened, branchless tree inference. The training-side structures
+// (ml::DecisionTree / ml::RandomForest) keep their pointer-chasing
+// vector<Node> layout, which is convenient to build but slow to
+// evaluate: every node visit is a dependent load plus a data-dependent
+// loop-exit branch. This header provides the raw-speed evaluation
+// layout the serve hot path uses instead (ROADMAP item 3, grounded in
+// PULP-NN's contiguous/quantized-layout discipline):
+//
+//  * FlatTree / FlatForest — structure-of-arrays node storage
+//    (feature/threshold/children/label in separate contiguous arrays)
+//    plus derived packed walk records (detail::Decide), traversed with
+//    a branchless loop: every node, leaves included, has two children
+//    (leaves point at themselves), each comparison picks the next
+//    record with a conditional move, and the walk runs until every
+//    in-flight row has parked on a self-edge — no data-dependent
+//    branch ever mispredicts. predict_batch keeps several rows in
+//    flight per step, turning the dependent-load chain into
+//    independent chains that pipeline.
+//
+//  * FlatTreeQuant / FlatForestQuant — the same layout with int16
+//    thresholds on a per-feature affine grid (Quantizer). Rows are
+//    encoded once per batch, then every comparison is an int16 compare.
+//    Quantization is monotone, so a comparison can only flip from
+//    "right" to "left" when the value lands within one grid step of the
+//    threshold; measure() counts exactly those flips, making the
+//    divergence from the exact tree a measured, bounded quantity
+//    instead of a hope (see DESIGN "Flat inference engine").
+//
+// Bit-exactness contract: FlatTree(tree).predict(row) ==
+// tree.predict(row) for every row, including NaN inputs (both sides
+// evaluate `!(v <= threshold)`), and predict_batch at any batch size
+// equals the per-row loop. tests/test_flat_predict.cpp is the
+// differential harness that enforces this over the whole registry.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/forest.hpp"
+#include "ml/tree.hpp"
+
+namespace pulpc::ml {
+
+namespace detail {
+
+/// Row-group interleave factor of the batch walk (chains in flight per
+/// group, and the lane stride of the interleaved row encoding).
+inline constexpr std::size_t kLane = 8;
+
+/// Derived traversal records, rebuilt from the SoA arrays (never
+/// serialized). Everything one walk step reads — threshold, feature
+/// index and both child links — lives in a single power-of-two-sized,
+/// alignment-matched record, so a step touches exactly one cache line.
+/// Children are stored as BYTE OFFSETS into the record array (index
+/// << kShift), which keeps the records position-independent and the
+/// offset-to-address step a single add folded into the load.
+///
+/// The walk kernels are load-port bound (two loads per cycle on the
+/// machines this targets), so the layout is chosen to make one step
+/// exactly FOUR load micro-ops: both child offsets share one 8-byte
+/// field (`children`, left in the low half, right in the high half)
+/// loaded together, then the feature index, the row value, and the
+/// threshold compare against memory. Splitting the children into
+/// separate fields costs a fifth load. Crucially the child select is
+/// a register-register pick of two halves of the SAME loaded qword:
+/// give the ternary a memory arm (a separate left or right field) and
+/// GCC refuses to speculate the load, emitting a mispredicting branch
+/// instead of the cmov.
+///
+/// `feat` is pre-scaled by kLane, the interleave factor of the batch
+/// row encoding: a block's rows are stored lane-interleaved (feature
+/// f of row-group lane b at group[f*kLane + b]), so a walk step
+/// addresses its row value as base + feat + constant lane offset —
+/// one shared base register for the whole group where a row-major
+/// layout needs a live pointer per in-flight row (they spill, and the
+/// per-step stack reload is the fifth load again).
+///
+/// The threshold is stored as a monotone integer KEY of the double
+/// (see walk_key in flat.cpp), and rows are encoded onto the same key
+/// space once per batch. An integer compare decides exactly like the
+/// double compare would — and, unlike a double ternary, compilers
+/// if-convert it to a cmov instead of a mispredicting branch.
+struct alignas(32) Decide {
+  std::uint64_t thr = 0;       ///< walk_key of the split threshold
+  std::uint64_t children = 0;  ///< left byte offset | right byte offset << 32
+  std::uint32_t feat = 0;      ///< feature index, pre-scaled by kLane
+  std::uint32_t pad = 0;
+  std::uint64_t pad2 = 0;
+  /// log2(sizeof): converts a record index to a byte offset and back.
+  static constexpr unsigned kShift = 5;
+
+  friend bool operator==(const Decide&, const Decide&) = default;
+};
+static_assert(sizeof(Decide) == 32);
+
+/// int16-threshold variant, for pre-encoded int16 rows.
+struct alignas(16) DecideQ {
+  std::uint64_t children = 0;  ///< left byte offset | right byte offset << 32
+  std::int16_t thr = 0;
+  std::int16_t pad = 0;
+  std::uint32_t feat = 0;  ///< feature index, pre-scaled by kLane
+  static constexpr unsigned kShift = 4;
+
+  friend bool operator==(const DecideQ&, const DecideQ&) = default;
+};
+static_assert(sizeof(DecideQ) == 16);
+
+}  // namespace detail
+
+class FlatTree {
+ public:
+  FlatTree() = default;
+  /// Flatten a trained tree (BFS order, so siblings are adjacent).
+  /// Throws std::invalid_argument when the tree is not trained.
+  explicit FlatTree(const DecisionTree& tree);
+
+  [[nodiscard]] int predict(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict_batch(const Matrix& x) const;
+  /// Allocation-free variant; out.size() must be >= x.rows.
+  void predict_batch(const Matrix& x, std::span<int> out) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !feature_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return feature_.size();
+  }
+  /// Traversal iterations (max leaf depth); 0 for a single-leaf tree.
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return n_features_;
+  }
+
+  // SoA views (persistence, quantization, tests). Leaves carry
+  // feature 0, threshold +inf and self-referential children, so the
+  // branchless walk parks on them.
+  [[nodiscard]] const std::vector<std::int32_t>& features() const noexcept {
+    return feature_;
+  }
+  [[nodiscard]] const std::vector<double>& thresholds() const noexcept {
+    return threshold_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& children() const noexcept {
+    return children_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& labels() const noexcept {
+    return label_;
+  }
+
+  /// Persist as a small text section ("pulpc-flat v1"), embeddable in a
+  /// larger model file. Throws std::logic_error when not trained.
+  void save(std::ostream& out) const;
+  /// Rebuild a saved flat tree. Throws std::runtime_error on malformed
+  /// input (bad header, truncation, out-of-range indices).
+  [[nodiscard]] static FlatTree load(std::istream& in);
+
+  /// Content equality over the serialized state (the derived walk
+  /// records are a pure function of it, so they are excluded).
+  friend bool operator==(const FlatTree& a, const FlatTree& b);
+
+ private:
+  friend class FlatForest;
+  friend class FlatTreeQuant;
+  friend class FlatForestQuant;
+
+  /// Rebuild decide_ from the SoA arrays (ctor, load()).
+  void build_walk();
+
+  std::vector<std::int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> children_;  ///< 2*n: [left0,right0,left1,...]
+  std::vector<std::int32_t> label_;
+  // Derived packed traversal layout, a deterministic function of the
+  // SoA arrays above (excluded from operator==).
+  std::vector<detail::Decide> decide_;
+  int depth_ = 0;
+  std::size_t n_features_ = 0;
+};
+
+class FlatForest {
+ public:
+  FlatForest() = default;
+  /// Flatten every member tree of a trained forest.
+  explicit FlatForest(const RandomForest& forest);
+
+  /// Majority vote over the ensemble; identical tie-breaking to
+  /// RandomForest::predict (ties go to the smaller label).
+  [[nodiscard]] int predict(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict_batch(const Matrix& x) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return trees_.size();
+  }
+  [[nodiscard]] const std::vector<FlatTree>& trees() const noexcept {
+    return trees_;
+  }
+
+ private:
+  friend class FlatForestQuant;
+
+  std::vector<FlatTree> trees_;
+  int max_label_ = 0;
+};
+
+/// Per-feature affine int16 grid: encode(f, v) maps v onto
+/// round((v - ref[f]) / step[f]) clamped to the int16 range, with ref
+/// the midpoint of the covered range so the grid spans it symmetrically
+/// with headroom on both sides. Monotone non-decreasing in v by
+/// construction, which is what bounds the quantized tree's divergence
+/// (see flat.cpp).
+class Quantizer {
+ public:
+  Quantizer() = default;
+  /// Build grids covering `values[f]` for each feature f (thresholds
+  /// plus optional calibration data). A feature with no spread gets a
+  /// unit step.
+  explicit Quantizer(const std::vector<std::vector<double>>& values);
+
+  [[nodiscard]] std::int16_t encode(std::size_t f, double v) const;
+  /// Encode one row into out[0..features).
+  void encode_row(std::span<const double> row, std::int16_t* out) const;
+
+  [[nodiscard]] std::size_t features() const noexcept { return ref_.size(); }
+  [[nodiscard]] double step(std::size_t f) const { return step_[f]; }
+  [[nodiscard]] double ref(std::size_t f) const { return ref_[f]; }
+
+ private:
+  std::vector<double> ref_;
+  std::vector<double> step_;
+  std::vector<double> inv_step_;
+};
+
+/// Divergence report of a quantized tree/forest against its exact
+/// source, measured over a matrix of rows. `flipped` counts rows whose
+/// exact traversal contains at least one comparison the quantized grid
+/// decides differently — every diverging row is such a row (the
+/// asserted bound), and outside grid saturation a flip requires
+/// value - threshold <= step(feature) (max_flip_gap records the worst
+/// observed gap).
+struct QuantDivergence {
+  std::size_t rows = 0;
+  std::size_t diverged = 0;      ///< predictions that differ
+  std::size_t flipped = 0;       ///< rows with >= 1 flipped comparison
+  double max_flip_gap = 0;       ///< max (v - thr) over non-saturated flips
+  double max_step = 0;           ///< coarsest grid step actually hit
+};
+
+class FlatTreeQuant {
+ public:
+  FlatTreeQuant() = default;
+  /// Quantize a flat tree's thresholds. The grid covers the tree's own
+  /// thresholds plus, when given, the calibration matrix's values, so
+  /// in-distribution values never saturate the grid.
+  explicit FlatTreeQuant(const FlatTree& tree,
+                         const Matrix* calibration = nullptr);
+
+  [[nodiscard]] int predict(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict_batch(const Matrix& x) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !feature_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return feature_.size();
+  }
+  [[nodiscard]] const Quantizer& quantizer() const noexcept { return quant_; }
+
+  /// Measure divergence against the exact tree this was built from.
+  /// Throws std::invalid_argument when shapes do not match.
+  [[nodiscard]] QuantDivergence measure(const FlatTree& exact,
+                                        const Matrix& x) const;
+
+ private:
+  Quantizer quant_;
+  std::vector<std::int32_t> feature_;
+  std::vector<std::int16_t> threshold_;
+  std::vector<std::int32_t> children_;
+  std::vector<std::int32_t> label_;
+  std::vector<detail::DecideQ> decide_;
+  int depth_ = 0;
+};
+
+class FlatForestQuant {
+ public:
+  FlatForestQuant() = default;
+  /// One shared quantizer for the whole ensemble (grids cover every
+  /// member tree's thresholds plus optional calibration rows), so a row
+  /// is encoded once per batch, not once per tree.
+  explicit FlatForestQuant(const FlatForest& forest,
+                           const Matrix* calibration = nullptr);
+
+  [[nodiscard]] int predict(std::span<const double> row) const;
+  [[nodiscard]] std::vector<int> predict_batch(const Matrix& x) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return trees_.size();
+  }
+  [[nodiscard]] const Quantizer& quantizer() const noexcept { return quant_; }
+
+  /// Vote-level divergence against the exact forest.
+  [[nodiscard]] QuantDivergence measure(const FlatForest& exact,
+                                        const Matrix& x) const;
+
+ private:
+  /// SoA node arrays of one quantized member tree.
+  struct Nodes {
+    std::vector<std::int32_t> feature;
+    std::vector<std::int16_t> threshold;
+    std::vector<std::int32_t> children;
+    std::vector<std::int32_t> label;
+    std::vector<detail::DecideQ> decide;
+    int depth = 0;
+  };
+
+  Quantizer quant_;
+  std::vector<Nodes> trees_;
+  std::size_t n_features_ = 0;
+  int max_label_ = 0;
+};
+
+}  // namespace pulpc::ml

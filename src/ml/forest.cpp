@@ -1,5 +1,6 @@
 #include "ml/forest.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <random>
@@ -67,13 +68,45 @@ int RandomForest::predict(std::span<const double> row) const {
   return best;
 }
 
-std::vector<int> RandomForest::predict(const Matrix& x) const {
-  std::vector<int> out;
-  out.reserve(x.rows);
+std::vector<int> RandomForest::predict_batch(const Matrix& x) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict: not trained");
+  }
+  // Tree-major: each member tree walks the whole batch while its node
+  // array is hot, then its labels fold into the per-row vote counts.
+  // First-max argmax over labels 0..max matches the per-row predict's
+  // tie-breaking (ties go to the smaller label); labels no tree ever
+  // emitted stay at count zero and cannot win.
+  int max_label = 0;
+  std::vector<std::vector<int>> labels;
+  labels.reserve(trees_.size());
+  for (const DecisionTree& t : trees_) {
+    labels.push_back(t.predict_batch(x));
+    for (const int l : labels.back()) max_label = std::max(max_label, l);
+  }
+  const std::size_t stride = static_cast<std::size_t>(max_label) + 1;
+  std::vector<int> votes(x.rows * stride, 0);
+  for (const std::vector<int>& per_tree : labels) {
+    for (std::size_t r = 0; r < x.rows; ++r) {
+      ++votes[r * stride + static_cast<std::size_t>(per_tree[r])];
+    }
+  }
+  std::vector<int> out(x.rows, 0);
   for (std::size_t r = 0; r < x.rows; ++r) {
-    out.push_back(predict(std::span(x.row(r), x.cols)));
+    const int* row = votes.data() + r * stride;
+    int best = 0;
+    for (std::size_t k = 1; k < stride; ++k) {
+      if (row[k] > row[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(k);
+      }
+    }
+    out[r] = best;
   }
   return out;
+}
+
+std::vector<int> RandomForest::predict(const Matrix& x) const {
+  return predict_batch(x);
 }
 
 }  // namespace pulpc::ml

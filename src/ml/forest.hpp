@@ -32,7 +32,13 @@ class RandomForest {
 
   /// Majority vote over the ensemble (ties break to the smaller label).
   [[nodiscard]] int predict(std::span<const double> row) const;
+  /// Thin wrapper over predict_batch (kept for source compatibility).
   [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+  /// Batch prediction: per-tree batch walks (tree-major for node-array
+  /// locality) + one vote accumulation pass; identical results to the
+  /// per-row predict, including tie-breaking. Reference implementation
+  /// for ml::FlatForest.
+  [[nodiscard]] std::vector<int> predict_batch(const Matrix& x) const;
 
   /// Mean of the member trees' normalised Gini importances.
   [[nodiscard]] const std::vector<double>& feature_importances() const {
@@ -42,6 +48,10 @@ class RandomForest {
   [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
   [[nodiscard]] std::size_t tree_count() const noexcept {
     return trees_.size();
+  }
+  /// Read-only view of the fitted member trees (flattening, tests).
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const noexcept {
+    return trees_;
   }
 
  private:

@@ -213,13 +213,25 @@ int MlpClassifier::predict(std::span<const double> row) const {
   return classes_[std::size_t(best)];
 }
 
-std::vector<int> MlpClassifier::predict(const Matrix& x) const {
+std::vector<int> MlpClassifier::predict_batch(const Matrix& x) const {
+  if (!trained()) {
+    throw std::logic_error("MlpClassifier::predict_batch: not trained");
+  }
   std::vector<int> out;
   out.reserve(x.rows);
+  std::vector<double> hidden;
+  std::vector<double> probs;
   for (std::size_t r = 0; r < x.rows; ++r) {
-    out.push_back(predict(std::span(x.row(r), x.cols)));
+    forward(std::span(x.row(r), x.cols), hidden, probs);
+    const auto best =
+        std::max_element(probs.begin(), probs.end()) - probs.begin();
+    out.push_back(classes_[std::size_t(best)]);
   }
   return out;
+}
+
+std::vector<int> MlpClassifier::predict(const Matrix& x) const {
+  return predict_batch(x);
 }
 
 }  // namespace pulpc::ml

@@ -35,7 +35,11 @@ class MlpClassifier {
            const std::vector<std::size_t>& rows);
 
   [[nodiscard]] int predict(std::span<const double> row) const;
+  /// Thin wrapper over predict_batch (kept for source compatibility).
   [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+  /// Batch prediction: the argmax class per row, scratch buffers reused
+  /// across the batch instead of reallocated per row.
+  [[nodiscard]] std::vector<int> predict_batch(const Matrix& x) const;
 
   /// Per-class probabilities for one row (softmax outputs), ordered as
   /// classes().

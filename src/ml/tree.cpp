@@ -191,13 +191,17 @@ int DecisionTree::predict(std::span<const double> row) const {
   return nodes_[at].label;
 }
 
-std::vector<int> DecisionTree::predict(const Matrix& x) const {
+std::vector<int> DecisionTree::predict_batch(const Matrix& x) const {
   std::vector<int> out;
   out.reserve(x.rows);
   for (std::size_t r = 0; r < x.rows; ++r) {
     out.push_back(predict(std::span(x.row(r), x.cols)));
   }
   return out;
+}
+
+std::vector<int> DecisionTree::predict(const Matrix& x) const {
+  return predict_batch(x);
 }
 
 void DecisionTree::save(std::ostream& out) const {

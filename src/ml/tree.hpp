@@ -35,8 +35,16 @@ class DecisionTree {
   void fit(const Matrix& x, const std::vector<int>& y,
            const std::vector<std::size_t>& rows);
 
+  /// The single node-chasing traversal implementation; every other
+  /// predict entry point (matrix overload, batch path, the flat-engine
+  /// differential baseline) funnels through this walk.
   [[nodiscard]] int predict(std::span<const double> row) const;
+  /// Thin wrapper over predict_batch (kept for source compatibility).
   [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+  /// Batch prediction: one call per feature matrix. Reference
+  /// (node-chasing) implementation — ml::FlatTree is the fast layout,
+  /// proven bit-identical to this one by tests/test_flat_predict.cpp.
+  [[nodiscard]] std::vector<int> predict_batch(const Matrix& x) const;
 
   /// Normalised Gini importance per feature column (sums to 1 unless the
   /// tree is a single leaf).
@@ -61,7 +69,9 @@ class DecisionTree {
   /// malformed input.
   [[nodiscard]] static DecisionTree load(std::istream& in);
 
- private:
+  /// One stored node. Public, read-only via nodes(): the flat inference
+  /// engine (ml/flat.hpp) and the persistence layer re-lay this
+  /// structure out without re-implementing training.
   struct Node {
     int feature = -1;        ///< -1 for leaves
     double threshold = 0.0;  ///< go left when value <= threshold
@@ -70,6 +80,12 @@ class DecisionTree {
     int label = 0;  ///< majority class (used at leaves)
   };
 
+  /// Read-only view of the trained node array (index 0 is the root).
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+
+ private:
   int build(const Matrix& x, const std::vector<int>& y,
             std::vector<std::size_t>& rows, std::size_t begin,
             std::size_t end, int depth);

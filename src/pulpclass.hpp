@@ -23,6 +23,7 @@
 #include "kir/verify.hpp"
 #include "ml/cv.hpp"
 #include "ml/dataset.hpp"
+#include "ml/flat.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "sim/config.hpp"
@@ -53,6 +54,18 @@ using ArtifactStore = pulpc::core::ArtifactStore;
 using EnergyClassifier = pulpc::core::EnergyClassifier;
 using VerifyOptions = pulpc::kir::VerifyOptions;
 using VerifyReport = pulpc::kir::VerifyReport;
+
+// ---- flat inference engine ----------------------------------------------
+
+/// Flattened branchless tree/forest evaluation (SoA node arrays, batch
+/// prediction). Bit-identical to the training-side structures; the
+/// quantized variants trade exactness for int16 thresholds with
+/// measured, bounded divergence.
+using FlatTree = pulpc::ml::FlatTree;
+using FlatForest = pulpc::ml::FlatForest;
+using FlatTreeQuant = pulpc::ml::FlatTreeQuant;
+using FlatForestQuant = pulpc::ml::FlatForestQuant;
+using QuantDivergence = pulpc::ml::QuantDivergence;
 
 // ---- prediction service -------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/artifacts.hpp"
+#include "core/env.hpp"
 #include "dsl/lower.hpp"
 #include "kernels/registry.hpp"
 #include "kir/opt.hpp"
@@ -36,6 +37,10 @@ PredictionService::PredictionService(core::EnergyClassifier classifier,
       rows_(opt_.cache_capacity),
       spec_index_(opt_.cache_capacity),
       batcher_([this] { batcher_loop(); }) {
+  // One knob controls both layers: the classifier's engine selection and
+  // the (identical) default for any per-row fallback path.
+  clf_.set_use_flat(
+      core::env_flag(opt_.use_flat, "PULPC_FLAT_PREDICT", true));
   if (!clf_.trained()) {
     // The batcher is already running; shut it down before throwing so
     // the half-built object never leaks a thread.
@@ -123,13 +128,36 @@ void PredictionService::batcher_loop() {
     if (opt_.on_batch) opt_.on_batch(batch.size());
     metrics_.on_batch(batch.size());
 
-    // Featurize (and predict: the tree walk is read-only) the whole
-    // batch in parallel. Per-request failures land in the request's own
-    // Result — one bad kernel never poisons its batch-mates.
+    // Featurize the whole batch in parallel. Per-request failures land
+    // in the request's own Result — one bad kernel never poisons its
+    // batch-mates.
     std::vector<Result> results(batch.size());
+    std::vector<std::vector<double>> rows(batch.size());
     pool_.parallel_for(batch.size(), [&](std::size_t i) {
-      results[i] = process_one(batch[i].req);
+      results[i] = resolve_row(batch[i].req, &rows[i]);
     });
+
+    // Classify every cleanly-resolved row with ONE batched tree walk
+    // (the flat engine keeps the rows' traversals in flight together;
+    // see ml/flat.hpp) instead of a node-chasing walk per request.
+    std::vector<std::size_t> resolved;
+    resolved.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results[i].ok) resolved.push_back(i);
+    }
+    if (!resolved.empty()) {
+      ml::Matrix m;
+      m.rows = resolved.size();
+      m.cols = clf_.columns().size();
+      m.data.reserve(m.rows * m.cols);
+      for (const std::size_t i : resolved) {
+        m.data.insert(m.data.end(), rows[i].begin(), rows[i].end());
+      }
+      const std::vector<int> cores = clf_.predict_rows(m);
+      for (std::size_t k = 0; k < resolved.size(); ++k) {
+        results[resolved[k]].cores = cores[k];
+      }
+    }
 
     // Account the batch (latency, ok/error counters, in-flight) BEFORE
     // fulfilling the promises: a caller that snapshots metrics right
@@ -164,10 +192,11 @@ void PredictionService::store_row(std::uint64_t prog_hash,
   if (rows_.put(prog_hash, row)) metrics_.on_eviction();
 }
 
-Result PredictionService::process_one(const Request& req) {
+Result PredictionService::resolve_row(const Request& req,
+                                      std::vector<double>* out_row) {
   Result r;
   try {
-    std::vector<double> row;
+    std::vector<double>& row = *out_row;
     bool hit = false;
     if (req.program) {
       // Program-form request: the program hash is directly computable.
@@ -209,8 +238,7 @@ Result PredictionService::process_one(const Request& req) {
     }
     metrics_.on_cache(hit);
     r.cached = hit;
-    r.cores = clf_.predict_row(row);
-    r.ok = true;
+    r.ok = true;  // row resolved; the batcher fills in cores
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();

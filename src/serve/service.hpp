@@ -16,7 +16,12 @@
 //  * A single batcher thread pops micro-batches (up to Options::max_batch,
 //    lingering Options::batch_linger after the first request to let a
 //    burst coalesce) and featurizes the batch members in parallel on a
-//    core::ThreadPool.
+//    core::ThreadPool. The resolved feature rows are then classified
+//    with ONE EnergyClassifier::predict_rows call per micro-batch — the
+//    flattened branchless engine (ml::FlatTree) walks the whole batch
+//    with rows pipelined in flight, instead of one node-chasing walk
+//    per request (Options::use_flat / PULPC_FLAT_PREDICT toggle the
+//    engine; predictions are bit-identical either way).
 //  * An LRU cache keyed by the lowered-program FNV-1a hash
 //    (core::program_hash — the same identity core/artifacts trusts) maps
 //    program -> extracted feature row; a hit skips lowering and
@@ -25,9 +30,10 @@
 //    program hash so spec-form requests hit without lowering at all.
 //
 // Bit-identity: the service routes through EnergyClassifier::feature_row
-// + predict_row — the exact decomposition of EnergyClassifier::predict —
-// and cached rows are the doubles a cold request computed, so a served
-// prediction can never drift from the offline one.
+// + predict_rows — the exact decomposition of EnergyClassifier::predict
+// (predict_rows per-row equals predict_row; the flat engine per-row
+// equals the tree walk) — and cached rows are the doubles a cold request
+// computed, so a served prediction can never drift from the offline one.
 #pragma once
 
 #include <chrono>
@@ -39,6 +45,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -137,6 +144,11 @@ class PredictionService {
     /// After the first request of a batch arrives, wait this long for a
     /// burst to coalesce before executing a partial batch.
     std::chrono::microseconds batch_linger{200};
+    /// Classify batches with the flattened branchless engine. Unset
+    /// means "consult PULPC_FLAT_PREDICT, default on". Either setting
+    /// yields bit-identical predictions (tests/test_serve.cpp proves
+    /// it); off exists for A/B benchmarking and as an escape hatch.
+    std::optional<bool> use_flat;
     /// Test instrumentation: invoked on the batcher thread with the
     /// batch size before the batch executes (lets tests hold the batcher
     /// to provoke backpressure / timeouts deterministically).
@@ -180,7 +192,11 @@ class PredictionService {
   };
 
   void batcher_loop();
-  [[nodiscard]] Result process_one(const Request& req);
+  /// Featurization half of a request (lower + extract + cache); on
+  /// success fills *row and returns ok=true with cores still unset —
+  /// the batcher classifies all resolved rows in one predict_rows call.
+  [[nodiscard]] Result resolve_row(const Request& req,
+                                   std::vector<double>* row);
   bool cached_row(std::uint64_t prog_hash, std::vector<double>* row);
   void store_row(std::uint64_t prog_hash, const std::vector<double>& row);
 

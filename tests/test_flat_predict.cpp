@@ -1,0 +1,344 @@
+// Differential harness for the flat inference engine: ml::FlatTree /
+// ml::FlatForest must be bit-identical to the node-chasing training
+// structures for every input — the whole kernel registry, randomized
+// trees/matrices, threshold-exact values, NaN/inf — at every batch
+// size. The quantized variants are NOT exact; for them the harness
+// measures divergence and asserts the structural bound instead (a
+// diverging row always contains a flipped comparison, and a
+// non-saturated flip always lands within one grid step of the
+// threshold).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/pipeline.hpp"
+#include "ml/flat.hpp"
+#include "ml/forest.hpp"
+#include "ml/mlp.hpp"
+#include "ml/tree.hpp"
+
+namespace pulpc {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Batch sizes the issue pins: single row, odd remainder, the engine's
+/// internal block multiple, and the whole matrix at once.
+const std::size_t kBatchSizes[] = {1, 7, 64, std::size_t(-1)};
+
+std::span<const double> row_of(const ml::Matrix& x, std::size_t r) {
+  return {x.row(r), x.cols};
+}
+
+/// Sub-matrix rows [start, start+n).
+ml::Matrix slice(const ml::Matrix& x, std::size_t start, std::size_t n) {
+  ml::Matrix out;
+  out.rows = n;
+  out.cols = x.cols;
+  out.data.assign(x.data.begin() + long(start * x.cols),
+                  x.data.begin() + long((start + n) * x.cols));
+  return out;
+}
+
+/// Assert predictor(batch) == per_row(row) for every row of x, with the
+/// matrix chopped into each of kBatchSizes.
+template <typename BatchFn, typename RowFn>
+void expect_batches_match(const ml::Matrix& x, BatchFn&& batch_predict,
+                          RowFn&& row_predict, const char* what) {
+  for (const std::size_t bs : kBatchSizes) {
+    const std::size_t step = bs == std::size_t(-1) ? x.rows : bs;
+    for (std::size_t start = 0; start < x.rows; start += step) {
+      const std::size_t n = std::min(step, x.rows - start);
+      const ml::Matrix part = slice(x, start, n);
+      const std::vector<int> got = batch_predict(part);
+      ASSERT_EQ(got.size(), n) << what;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], row_predict(row_of(x, start + i)))
+            << what << ": row " << (start + i) << " at batch size "
+            << step;
+      }
+    }
+  }
+}
+
+ml::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-2, 2);
+  ml::Matrix x;
+  x.rows = rows;
+  x.cols = cols;
+  x.data.reserve(rows * cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) x.data.push_back(u(rng));
+  return x;
+}
+
+std::vector<int> synthetic_labels(const ml::Matrix& x) {
+  std::vector<int> y;
+  y.reserve(x.rows);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    y.push_back(1 + int(x.at(r, 0) > 0.25) + 2 * int(x.at(r, 1) < -0.5) +
+                4 * int(x.at(r, 2) > x.at(r, 3)));
+  }
+  return y;
+}
+
+/// One tiny trained classifier shared by every registry test (training
+/// simulates 4 kernels x 8 core counts; do it once).
+const core::EnergyClassifier& test_classifier() {
+  static const core::EnergyClassifier* clf = [] {
+    ml::Dataset ds(core::dataset_columns(8));
+    for (const char* name : {"memcpy", "alu_chain", "trisolv", "autocor"}) {
+      ds.add(core::build_sample({name, kir::DType::I32, 512}));
+    }
+    auto* c = new core::EnergyClassifier();
+    c->train(ds);
+    return c;
+  }();
+  return *clf;
+}
+
+/// Feature rows of EVERY configuration in the paper's dataset (59
+/// kernels x types x sizes = 448 rows). Static features only, so this
+/// needs lowering + extraction, not simulation — cheap enough to sweep
+/// the full registry in a unit test.
+const ml::Matrix& registry_matrix() {
+  static const ml::Matrix* m = [] {
+    const core::EnergyClassifier& clf = test_classifier();
+    auto* x = new ml::Matrix;
+    x->cols = clf.columns().size();
+    for (const core::SampleConfig& cfg : core::dataset_configs()) {
+      const std::vector<double> row =
+          clf.feature_row(core::lower_sample(cfg));
+      x->data.insert(x->data.end(), row.begin(), row.end());
+      ++x->rows;
+    }
+    return x;
+  }();
+  return *m;
+}
+
+TEST(FlatPredict, RegistryDifferentialEveryConfigEveryBatchSize) {
+  const core::EnergyClassifier& clf = test_classifier();
+  const ml::Matrix& x = registry_matrix();
+  ASSERT_EQ(x.rows, core::dataset_configs().size());
+
+  const ml::FlatTree flat(clf.tree());
+  EXPECT_TRUE(flat.trained());
+  EXPECT_EQ(flat.feature_count(), clf.columns().size());
+
+  // Per-row: flat walk == node-chasing walk for all 448 configurations.
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    ASSERT_EQ(flat.predict(row_of(x, r)), clf.tree().predict(row_of(x, r)))
+        << "config " << r;
+  }
+  // Batched, at every pinned batch size.
+  expect_batches_match(
+      x, [&](const ml::Matrix& m) { return flat.predict_batch(m); },
+      [&](std::span<const double> row) { return clf.tree().predict(row); },
+      "registry flat tree");
+}
+
+TEST(FlatPredict, ClassifierRowsMatchOnBothEngines) {
+  const ml::Matrix& x = registry_matrix();
+  core::EnergyClassifier clf = test_classifier();  // copy: knob flipping
+
+  clf.set_use_flat(true);
+  const std::vector<int> flat_rows = clf.predict_rows(x);
+  clf.set_use_flat(false);
+  const std::vector<int> tree_rows = clf.predict_rows(x);
+  EXPECT_EQ(flat_rows, tree_rows);
+
+  clf.set_use_flat(true);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    ASSERT_EQ(flat_rows[r], clf.predict_row(row_of(x, r))) << r;
+  }
+}
+
+TEST(FlatPredict, RandomizedTreesIncludingThresholdExactValues) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    const ml::Matrix train = random_matrix(160, 6, seed);
+    const std::vector<int> y = synthetic_labels(train);
+    ml::TreeParams tp;
+    tp.max_depth = 3 + int(seed % 5);
+    ml::DecisionTree tree(tp);
+    tree.fit(train, y);
+    const ml::FlatTree flat(tree);
+    EXPECT_EQ(flat.depth(), tree.depth());
+
+    // Queries: fresh random rows PLUS rows built from the tree's own
+    // split thresholds, so the v <= threshold boundary itself is hit
+    // (the case where `v > thr` vs `!(v <= thr)` disagreement or an
+    // off-by-one child index would show up).
+    ml::Matrix query = random_matrix(96, 6, seed + 100);
+    std::mt19937 rng(seed + 200);
+    std::uniform_int_distribution<std::size_t> pick_col(0, 5);
+    for (const double thr : flat.thresholds()) {
+      if (!std::isfinite(thr)) continue;
+      std::vector<double> row(6, 0.0);
+      for (double& v : row) {
+        v = std::uniform_real_distribution<double>(-2, 2)(rng);
+      }
+      row[pick_col(rng)] = thr;  // exactly on a decision boundary
+      query.data.insert(query.data.end(), row.begin(), row.end());
+      ++query.rows;
+    }
+    expect_batches_match(
+        query, [&](const ml::Matrix& m) { return flat.predict_batch(m); },
+        [&](std::span<const double> row) { return tree.predict(row); },
+        "randomized tree");
+    // The batch path of the training-side tree is the same walk.
+    EXPECT_EQ(tree.predict_batch(query), flat.predict_batch(query));
+    EXPECT_EQ(tree.predict(query), tree.predict_batch(query));
+  }
+}
+
+TEST(FlatPredict, NonFiniteFeatureValuesAgree) {
+  const ml::Matrix train = random_matrix(120, 4, 7);
+  ml::DecisionTree tree;
+  tree.fit(train, synthetic_labels(train));
+  const ml::FlatTree flat(tree);
+
+  ml::Matrix query;
+  query.cols = 4;
+  const double specials[] = {kNan, kInf, -kInf, 0.0, -0.0, 1e308, -1e308};
+  for (const double a : specials) {
+    for (const double b : specials) {
+      query.data.insert(query.data.end(), {a, b, a, b});
+      ++query.rows;
+    }
+  }
+  expect_batches_match(
+      query, [&](const ml::Matrix& m) { return flat.predict_batch(m); },
+      [&](std::span<const double> row) { return tree.predict(row); },
+      "non-finite inputs");
+}
+
+TEST(FlatPredict, ForestMatchesPerRowVoting) {
+  const ml::Matrix train = random_matrix(200, 6, 11);
+  ml::ForestParams fp;
+  fp.n_trees = 17;  // odd but ties still possible with >2 classes
+  ml::RandomForest forest(fp);
+  forest.fit(train, synthetic_labels(train));
+  const ml::FlatForest flat(forest);
+  EXPECT_EQ(flat.tree_count(), forest.trees().size());
+
+  const ml::Matrix query = random_matrix(300, 6, 12);
+  expect_batches_match(
+      query, [&](const ml::Matrix& m) { return flat.predict_batch(m); },
+      [&](std::span<const double> row) { return forest.predict(row); },
+      "flat forest");
+  // Training-side batch voting must agree with its own per-row voting
+  // (identical tie-breaking), and with the flat ensemble.
+  const std::vector<int> batch = forest.predict_batch(query);
+  for (std::size_t r = 0; r < query.rows; ++r) {
+    ASSERT_EQ(batch[r], forest.predict(row_of(query, r))) << r;
+    ASSERT_EQ(batch[r], flat.predict(row_of(query, r))) << r;
+  }
+}
+
+TEST(FlatPredict, MlpBatchMatchesPerRow) {
+  const ml::Matrix train = random_matrix(150, 5, 21);
+  ml::MlpParams mp;
+  mp.epochs = 40;
+  ml::MlpClassifier mlp(mp);
+  mlp.fit(train, synthetic_labels(train));
+
+  const ml::Matrix query = random_matrix(128, 5, 22);
+  const std::vector<int> batch = mlp.predict_batch(query);
+  ASSERT_EQ(batch.size(), query.rows);
+  for (std::size_t r = 0; r < query.rows; ++r) {
+    ASSERT_EQ(batch[r], mlp.predict(row_of(query, r))) << r;
+  }
+  EXPECT_EQ(mlp.predict(query), batch);
+}
+
+TEST(FlatPredict, UntrainedAndShapeErrors) {
+  EXPECT_THROW(ml::FlatTree{ml::DecisionTree{}}, std::invalid_argument);
+  const ml::FlatTree flat;
+  EXPECT_FALSE(flat.trained());
+  std::stringstream ss;
+  EXPECT_THROW(flat.save(ss), std::logic_error);
+
+  const core::EnergyClassifier& clf = test_classifier();
+  ml::Matrix wrong = random_matrix(3, 2, 1);
+  EXPECT_THROW((void)clf.predict_rows(wrong), std::invalid_argument);
+}
+
+TEST(FlatPredict, FlatTreeSaveLoadRoundTripsExactly) {
+  const core::EnergyClassifier& clf = test_classifier();
+  const ml::FlatTree flat(clf.tree());
+  std::stringstream ss;
+  flat.save(ss);
+  const ml::FlatTree back = ml::FlatTree::load(ss);
+  // Defaulted operator== : every array, threshold bit pattern included
+  // (thresholds round-trip via max_digits10 precision).
+  EXPECT_EQ(back, flat);
+}
+
+// ---- quantized engine ---------------------------------------------------
+
+TEST(FlatQuant, TreeDivergenceIsMeasuredAndBounded) {
+  const core::EnergyClassifier& clf = test_classifier();
+  const ml::Matrix& x = registry_matrix();
+  const ml::FlatTree flat(clf.tree());
+  const ml::FlatTreeQuant quant(flat, &x);  // calibrated on the registry
+
+  const ml::QuantDivergence d = quant.measure(flat, x);
+  EXPECT_EQ(d.rows, x.rows);
+  // The bound: a diverging row MUST contain a flipped comparison on its
+  // exact decision path — divergence is witnessed, never mysterious.
+  EXPECT_LE(d.diverged, d.flipped);
+  // And a non-saturated flip only happens within one grid step of the
+  // threshold (monotone quantization), so the worst observed gap is
+  // bounded by the coarsest step actually hit.
+  EXPECT_LE(d.max_flip_gap, d.max_step * (1 + 1e-12));
+  // Calibrated on in-distribution data, most rows must survive intact.
+  EXPECT_LE(d.diverged * 10, d.rows)
+      << "quantization diverged on >10% of the registry";
+}
+
+TEST(FlatQuant, QuantBatchMatchesQuantPerRow) {
+  const ml::Matrix train = random_matrix(200, 6, 31);
+  ml::DecisionTree tree;
+  tree.fit(train, synthetic_labels(train));
+  const ml::FlatTree flat(tree);
+  const ml::FlatTreeQuant quant(flat, &train);
+
+  const ml::Matrix query = random_matrix(257, 6, 32);
+  expect_batches_match(
+      query, [&](const ml::Matrix& m) { return quant.predict_batch(m); },
+      [&](std::span<const double> row) { return quant.predict(row); },
+      "quantized tree batch-vs-row");
+}
+
+TEST(FlatQuant, ForestDivergenceIsMeasuredAndBounded) {
+  const ml::Matrix train = random_matrix(220, 6, 41);
+  ml::ForestParams fp;
+  fp.n_trees = 9;
+  ml::RandomForest forest(fp);
+  forest.fit(train, synthetic_labels(train));
+  const ml::FlatForest flat(forest);
+  const ml::FlatForestQuant quant(flat, &train);
+
+  const ml::Matrix query = random_matrix(400, 6, 42);
+  const ml::QuantDivergence d = quant.measure(flat, query);
+  EXPECT_EQ(d.rows, query.rows);
+  EXPECT_LE(d.diverged, d.flipped);
+  EXPECT_LE(d.max_flip_gap, d.max_step * (1 + 1e-12));
+
+  // Batch == per-row for the quantized ensemble too.
+  const std::vector<int> batch = quant.predict_batch(query);
+  for (std::size_t r = 0; r < query.rows; ++r) {
+    ASSERT_EQ(batch[r], quant.predict(row_of(query, r))) << r;
+  }
+}
+
+}  // namespace
+}  // namespace pulpc

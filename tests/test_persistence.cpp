@@ -13,6 +13,7 @@
 #include "core/pipeline.hpp"
 #include "dsl/lower.hpp"
 #include "kernels/registry.hpp"
+#include "ml/flat.hpp"
 #include "ml/tree.hpp"
 
 namespace pulpc {
@@ -174,6 +175,114 @@ TEST(ClassifierPersistence, StreamLoadReportsDefaultSource) {
     EXPECT_NE(std::string(e.what()).find("<stream>"), std::string::npos)
         << e.what();
   }
+}
+
+/// Text of a real trained v2 model (header + columns + tree + flat
+/// sections), the base the corruption tests mutate.
+const std::string& trained_model_text() {
+  static const std::string* text = [] {
+    ml::Dataset ds(core::dataset_columns(8));
+    for (const char* name : {"memcpy", "alu_chain"}) {
+      ds.add(core::build_sample({name, kir::DType::I32, 512}));
+    }
+    core::EnergyClassifier clf;
+    clf.train(ds);
+    std::stringstream ss;
+    clf.save(ss);
+    return new std::string(ss.str());
+  }();
+  return *text;
+}
+
+TEST(ClassifierPersistence, SavedModelIsV2WithFlatSection) {
+  const std::string& text = trained_model_text();
+  EXPECT_EQ(text.rfind("pulpc-classifier v2\n", 0), 0u);
+  EXPECT_NE(text.find("pulpc-flat v1\n"), std::string::npos);
+
+  std::stringstream ss(text);
+  const core::EnergyClassifier back = core::EnergyClassifier::load(ss);
+  // The stored flat section was parsed and cross-checked; the loaded
+  // classifier's engine equals a fresh flatten of its tree.
+  EXPECT_EQ(back.flat(), ml::FlatTree(back.tree()));
+}
+
+TEST(ClassifierPersistence, V1ModelWithoutFlatSectionStillLoads) {
+  // Back-compat: a v1 file (no flat section) loads and the flat engine
+  // is rebuilt from the tree section.
+  const std::string& text = trained_model_text();
+  const std::size_t flat_at = text.find("pulpc-flat v1\n");
+  ASSERT_NE(flat_at, std::string::npos);
+  std::string v1 = text.substr(0, flat_at);
+  v1.replace(0, std::string("pulpc-classifier v2").size(),
+             "pulpc-classifier v1");
+  std::stringstream ss(v1);
+  const core::EnergyClassifier back = core::EnergyClassifier::load(ss);
+  EXPECT_TRUE(back.flat().trained());
+  EXPECT_EQ(back.flat(), ml::FlatTree(back.tree()));
+}
+
+TEST(ClassifierPersistence, MissingFlatSectionInV2IsDiagnosed) {
+  const std::string& text = trained_model_text();
+  const std::size_t flat_at = text.find("pulpc-flat v1\n");
+  ASSERT_NE(flat_at, std::string::npos);
+  // v2 header promises a flat section; chopping it off must fail with
+  // the file and offset named, not silently degrade.
+  expect_load_error(text.substr(0, flat_at), {"bad flat section"});
+}
+
+TEST(ClassifierPersistence, TruncatedFlatSectionIsDiagnosed) {
+  // Drop the final node line: the shape line then promises more nodes
+  // than the file holds, whatever the tree's size.
+  const std::string& text = trained_model_text();
+  ASSERT_EQ(text.back(), '\n');
+  const std::size_t cut = text.rfind('\n', text.size() - 2);
+  ASSERT_NE(cut, std::string::npos);
+  expect_load_error(text.substr(0, cut + 1),
+                    {"bad flat section", "truncated node list"});
+}
+
+TEST(ClassifierPersistence, WrongFlatVersionIsDiagnosed) {
+  std::string text = trained_model_text();
+  const std::size_t flat_at = text.find("pulpc-flat v1\n");
+  ASSERT_NE(flat_at, std::string::npos);
+  text.replace(flat_at, std::string("pulpc-flat v1").size(),
+               "pulpc-flat v9");
+  expect_load_error(text, {"bad flat section", "bad header"});
+}
+
+TEST(ClassifierPersistence, FlatShapeMismatchIsDiagnosed) {
+  // A structurally valid flat section that does not match the tree
+  // section (here: one leaf label edited) must be rejected — the two
+  // engines may never disagree inside one model file.
+  std::string text = trained_model_text();
+  ASSERT_EQ(text.back(), '\n');
+  const std::size_t last_space = text.find_last_of(' ');
+  ASSERT_NE(last_space, std::string::npos);
+  text.replace(last_space + 1, text.size() - last_space - 2, "97");
+  expect_load_error(text, {"flat/tree section mismatch"});
+}
+
+TEST(ClassifierPersistence, OutOfRangeFlatChildIsDiagnosed) {
+  // Corrupt a child index in the first flat node line to point past the
+  // node array; FlatTree::load must refuse (range-checked up front, so
+  // the branchless walk can skip per-step bounds checks).
+  std::string text = trained_model_text();
+  const std::size_t flat_at = text.find("pulpc-flat v1\n");
+  ASSERT_NE(flat_at, std::string::npos);
+  const std::size_t shape_end = text.find('\n', flat_at + 14);
+  const std::size_t node_end = text.find('\n', shape_end + 1);
+  ASSERT_NE(node_end, std::string::npos);
+  std::string node = text.substr(shape_end + 1, node_end - shape_end - 1);
+  // Node line: <leaf> <feature> <thr> <left> <right> <label>.
+  std::istringstream fields(node);
+  int leaf = 0, feature = 0, left = 0, right = 0, label = 0;
+  double thr = 0;
+  ASSERT_TRUE(fields >> leaf >> feature >> thr >> left >> right >> label);
+  std::ostringstream corrupted;
+  corrupted << leaf << ' ' << feature << ' ' << thr << ' ' << 999999
+            << ' ' << right << ' ' << label;
+  text.replace(shape_end + 1, node_end - shape_end - 1, corrupted.str());
+  expect_load_error(text, {"bad flat section", "node out of range"});
 }
 
 TEST(ClassifierPersistence, RejectsUnknownColumns) {

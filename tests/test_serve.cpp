@@ -109,6 +109,60 @@ TEST(PredictionService, MatchesOfflinePredict) {
   EXPECT_EQ(f.cores, offline_predict("gemm", kir::DType::F32, 1024));
 }
 
+TEST(PredictionService, MatchesOfflineWithFlatPathEnabledAndDisabled) {
+  // The issue's contract: served replies equal the offline prediction
+  // with the flat engine ON (batched branchless walk) and OFF (per-row
+  // node-chasing tree) — the knob changes speed, never answers.
+  for (const bool use_flat : {true, false}) {
+    PredictionService::Options opt;
+    opt.use_flat = use_flat;
+    PredictionService svc(test_classifier(), opt);
+    EXPECT_EQ(svc.classifier().use_flat(), use_flat);
+    for (const char* kernel :
+         {"memcpy", "stencil5", "div_chain", "alu_chain", "trisolv",
+          "autocor", "gemm", "fir"}) {
+      const Result r =
+          svc.predict(spec_request(kernel, kir::DType::I32, 2048));
+      ASSERT_TRUE(r.ok) << kernel << ": " << r.error;
+      EXPECT_EQ(r.cores, offline_predict(kernel, kir::DType::I32, 2048))
+          << kernel << " use_flat=" << use_flat;
+    }
+  }
+}
+
+TEST(PredictionService, WholeBatchGetsOneFlatWalkAndCorrectAnswers) {
+  // Submit a burst that coalesces into one micro-batch: every reply
+  // must match offline even though the batch was classified by a
+  // single predict_rows call (including a poisoned batch-mate).
+  Gate gate;
+  PredictionService::Options opt;
+  opt.max_batch = 16;
+  opt.batch_linger = std::chrono::microseconds(20000);
+  opt.on_batch = [&](std::size_t) { gate.enter(); };
+  PredictionService svc(test_classifier(), opt);
+
+  const char* kernels[] = {"memcpy",  "stencil5", "div_chain", "gemm",
+                           "trisolv", "autocor",  "fir",       "memset"};
+  std::vector<std::future<Result>> futures;
+  futures.push_back(
+      svc.submit(spec_request("no_such_kernel", kir::DType::I32, 1024)));
+  for (const char* k : kernels) {
+    futures.push_back(svc.submit(spec_request(k, kir::DType::I32, 1024)));
+  }
+  gate.wait_entered(1);
+  gate.release();
+
+  const Result bad = futures[0].get();
+  EXPECT_FALSE(bad.ok);
+  for (std::size_t i = 0; i < std::size(kernels); ++i) {
+    const Result r = futures[i + 1].get();
+    ASSERT_TRUE(r.ok) << kernels[i] << ": " << r.error;
+    EXPECT_EQ(r.cores,
+              offline_predict(kernels[i], kir::DType::I32, 1024))
+        << kernels[i];
+  }
+}
+
 TEST(PredictionService, ProgramFormRequestsShareTheRowCache) {
   PredictionService svc(test_classifier());
   const auto prog = std::make_shared<const kir::Program>(

@@ -59,6 +59,7 @@ struct Args {
   bool all = false;             ///< lint: whole registry
   bool werror = false;          ///< lint: warnings fail the run
   bool optimize = false;
+  bool no_flat = false;  ///< predict/serve: disable the flat tree engine
   bool json = false;            ///< machine-readable one-object output
   bool verbose_stages = false;  ///< print the per-stage timing report
   int threads = 0;  ///< 0 = PULPC_THREADS / hardware default
@@ -95,6 +96,8 @@ Args parse(int argc, char** argv) {
       a.werror = true;
     } else if (arg == "--optimize") {
       a.optimize = true;
+    } else if (arg == "--no-flat") {
+      a.no_flat = true;
     } else if (arg == "--json") {
       a.json = true;
     } else if (arg == "--stages") {
@@ -159,8 +162,13 @@ int usage() {
       "  cache gc                          delete foreign/corrupt files\n"
       "  train [--features AGG|RAW|MCA|ALL] [--out model.txt]\n"
       "  predict --model model.txt <kernel> <i32|f32> <bytes> [--json]\n"
+      "          [--no-flat]                 classify with the original\n"
+      "                                    node-chasing tree instead of\n"
+      "                                    the flat engine (identical\n"
+      "                                    predictions; A/B escape hatch,\n"
+      "                                    also PULPC_FLAT_PREDICT=0)\n"
       "  serve --port N [--model model.txt] [--max-inflight K]\n"
-      "        [--batch B] [--timeout-ms T]\n"
+      "        [--batch B] [--timeout-ms T] [--no-flat]\n"
       "                                    batched TCP prediction service\n"
       "                                    (line-delimited JSON; Ctrl-C\n"
       "                                    stops and prints metrics)\n"
@@ -426,6 +434,7 @@ int cmd_predict(const Args& a) {
   // code path as `pulpclass serve`, so the two can never drift.
   pulpclass::PredictionService::Options sopt;
   sopt.threads = 1;
+  if (a.no_flat) sopt.use_flat = false;
   pulpclass::PredictionService svc(
       pulpclass::EnergyClassifier::load_file(a.model), sopt);
   pulpclass::PredictRequest req;
@@ -451,6 +460,7 @@ int cmd_serve(const Args& a) {
   if (a.threads > 0) sopt.threads = unsigned(a.threads);
   if (a.max_inflight > 0) sopt.max_in_flight = std::size_t(a.max_inflight);
   if (a.batch > 0) sopt.max_batch = std::size_t(a.batch);
+  if (a.no_flat) sopt.use_flat = false;
   pulpclass::PredictionService svc(
       pulpclass::EnergyClassifier::load_file(a.model), sopt);
   serve::Server::Options wopt;

@@ -268,16 +268,25 @@ BENCHMARK(BM_StageSimulateOnly)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+core::StoreFormat bench_format(std::int64_t arg) {
+  return arg != 0 ? core::StoreFormat::v2 : core::StoreFormat::v1;
+}
+
 // Relabel-only: rebuild the labelled dataset from a warm store — the
-// per-energy-model-tweak cost after the one simulation pass.
+// per-energy-model-tweak cost after the one simulation pass. Arg picks
+// the store backend (0 = v1 text files, 1 = v2 packed segments); the
+// output CSV is byte-identical either way.
 void BM_StageRelabelOnly(benchmark::State& state) {
+  const core::StoreFormat fmt = bench_format(state.range(0));
   const std::vector<core::SampleConfig> configs = stage_slice();
   core::BuildOptions opt;
   opt.threads = 1;
-  const std::string dir = "bench_artifacts_relabel";
+  const std::string dir =
+      std::string("bench_artifacts_relabel_") + core::to_string(fmt);
   std::filesystem::remove_all(dir);
-  const core::ArtifactStore store(dir, opt.cluster);
+  const core::ArtifactStore store(dir, opt.cluster, fmt);
   (void)core::populate_store(store, configs, opt);
+  store.flush();
   std::size_t samples = 0;
   for (auto _ : state) {
     const ml::Dataset ds = core::relabel(store, configs, opt);
@@ -289,8 +298,74 @@ void BM_StageRelabelOnly(benchmark::State& state) {
       static_cast<double>(samples), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_StageRelabelOnly)
+    ->ArgNames({"v2"})
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---- artifact store backends --------------------------------------------
+// v1 (one parsed text file per run) against v2 (packed page-aligned
+// records in mmap'd segments) on the two operations the refactor
+// targets: the full-registry integrity scan (`pulpclass cache verify`)
+// and a cold open. The acceptance target is a >= 10x scan speedup for
+// v2 over v1 on the same artifact population; CI extracts the ratio
+// from BENCH_store.json. Replay byte-identity across backends is NOT
+// what these measure — tests/test_store_v2.cpp proves it separately.
+
+// Full integrity scan of a warm store: v1 re-parses every text file,
+// v2 checksums mmap'd slots without parsing a single number.
+void BM_StoreScan(benchmark::State& state) {
+  const core::StoreFormat fmt = bench_format(state.range(0));
+  const std::vector<core::SampleConfig> configs = stage_slice();
+  core::BuildOptions opt;
+  opt.threads = 1;
+  const std::string dir =
+      std::string("bench_store_scan_") + core::to_string(fmt);
+  std::filesystem::remove_all(dir);
+  const core::ArtifactStore store(dir, opt.cluster, fmt);
+  (void)core::populate_store(store, configs, opt);
+  store.flush();
+  std::size_t artifacts = 0;
+  for (auto _ : state) {
+    const core::ArtifactStore::Info info = store.scan();
+    artifacts += info.valid;
+    benchmark::DoNotOptimize(info.valid);
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["artifacts/s"] = benchmark::Counter(
+      static_cast<double>(artifacts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StoreScan)->ArgNames({"v2"})->Arg(0)->Arg(1)->UseRealTime();
+
+// Cold start: open the store fresh and answer one membership probe —
+// the serve-priming entry cost. v2 resolves through the mmap'd index
+// (O(1) in the record count); v1 stats one file.
+void BM_StoreColdStart(benchmark::State& state) {
+  const core::StoreFormat fmt = bench_format(state.range(0));
+  const std::vector<core::SampleConfig> configs = stage_slice();
+  core::BuildOptions opt;
+  opt.threads = 1;
+  const std::string dir =
+      std::string("bench_store_cold_") + core::to_string(fmt);
+  std::filesystem::remove_all(dir);
+  {
+    const core::ArtifactStore writer(dir, opt.cluster, fmt);
+    (void)core::populate_store(writer, configs, opt);
+    writer.flush();
+  }
+  const core::SampleConfig probe = configs.front();
+  std::size_t opens = 0;
+  for (auto _ : state) {
+    const core::ArtifactStore store(dir, opt.cluster, fmt);
+    benchmark::DoNotOptimize(store.contains(probe, 1));
+    ++opens;
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["opens/s"] = benchmark::Counter(
+      static_cast<double>(opens), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StoreColdStart)->ArgNames({"v2"})->Arg(0)->Arg(1)->UseRealTime();
 
 // Label + Featurize only: the pure stages over in-memory counters, no
 // store I/O — the floor relabel converges to.

@@ -6,8 +6,11 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/env.hpp"
+#include "core/segment_store.hpp"
 
 namespace pulpc::core {
 
@@ -20,6 +23,17 @@ std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+StoreFormat parse_store_format(std::string_view name) {
+  if (name == "v1") return StoreFormat::v1;
+  if (name == "v2") return StoreFormat::v2;
+  throw std::invalid_argument("unknown store format '" + std::string(name) +
+                              "' (expected v1 or v2)");
+}
+
+const char* to_string(StoreFormat format) noexcept {
+  return format == StoreFormat::v1 ? "v1" : "v2";
 }
 
 namespace {
@@ -120,6 +134,55 @@ FileState classify(const fs::path& path, std::uint64_t store_fp) {
   return FileState::Valid;
 }
 
+SegmentKey segment_key(const SampleConfig& cfg, unsigned ncores) {
+  SegmentKey key;
+  key.kernel = cfg.kernel;
+  key.dtype = kir::to_string(cfg.dtype);
+  key.size_bytes = cfg.size_bytes;
+  key.ncores = ncores;
+  return key;
+}
+
+/// Strip "-c<digits>.runstats" off a v1 artifact filename, leaving the
+/// sample stem its .diag sidecar shares. Empty when the name does not
+/// match the v1 layout.
+std::string sample_stem(const std::string& filename) {
+  const std::string suffix = kSuffix;
+  if (filename.size() <= suffix.size() ||
+      filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return {};
+  }
+  std::size_t i = filename.size() - suffix.size();
+  std::size_t digits = 0;
+  while (i > 0 && filename[i - 1] >= '0' && filename[i - 1] <= '9') {
+    --i;
+    ++digits;
+  }
+  if (digits == 0 || i < 2 || filename[i - 1] != 'c' ||
+      filename[i - 2] != '-') {
+    return {};
+  }
+  return filename.substr(0, i - 2);
+}
+
+/// Auto-detect the backend of an existing directory: v2 furniture wins,
+/// then v1 text artifacts, then the v2 default for fresh stores.
+StoreFormat detect_format(const std::string& dir) {
+  std::error_code ec;
+  bool saw_v1 = false;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file()) continue;
+    const std::string name = e.path().filename().string();
+    if (name == "store.idx" || e.path().extension() == ".pseg" ||
+        e.path().extension() == ".pdia") {
+      return StoreFormat::v2;
+    }
+    if (e.path().extension() == kSuffix) saw_v1 = true;
+  }
+  return saw_v1 ? StoreFormat::v1 : StoreFormat::v2;
+}
+
 }  // namespace
 
 std::uint64_t store_fingerprint(const sim::ClusterConfig& c) {
@@ -150,7 +213,8 @@ std::uint64_t program_hash(const kir::Program& prog) {
 }
 
 ArtifactStore::ArtifactStore(std::string dir,
-                             const sim::ClusterConfig& cluster)
+                             const sim::ClusterConfig& cluster,
+                             std::optional<StoreFormat> format)
     : dir_(std::move(dir)), fp_(store_fingerprint(cluster)) {
   if (dir_.empty()) {
     throw std::runtime_error("ArtifactStore: empty directory");
@@ -160,6 +224,18 @@ ArtifactStore::ArtifactStore(std::string dir,
   if (ec || !fs::is_directory(dir_)) {
     throw std::runtime_error("ArtifactStore: cannot create " + dir_ + ": " +
                              ec.message());
+  }
+  if (format.has_value()) {
+    format_ = *format;
+  } else {
+    const std::string env = env_or({}, "PULPC_STORE_FORMAT", "");
+    format_ = env.empty() ? detect_format(dir_) : parse_store_format(env);
+  }
+  if (format_ == StoreFormat::v2) {
+    seg_ = std::make_shared<SegmentStore>(
+        dir_, fp_,
+        packed_stats_words(cluster.num_cores, cluster.l1_banks,
+                           cluster.l2_banks, cluster.num_fpus));
   }
 }
 
@@ -174,6 +250,10 @@ bool ArtifactStore::load(const SampleConfig& cfg, unsigned ncores,
                          std::uint64_t prog_hash,
                          sim::RunStats* out) const {
   if (!enabled()) return false;
+  if (seg_) {
+    return seg_->load(segment_key(cfg, ncores), prog_hash,
+                      /*check_prog=*/true, out);
+  }
   std::ifstream in(path_for(cfg, ncores));
   if (!in) return false;
   Header h;
@@ -197,6 +277,7 @@ bool ArtifactStore::load(const SampleConfig& cfg, unsigned ncores,
 bool ArtifactStore::contains(const SampleConfig& cfg,
                              unsigned ncores) const {
   if (!enabled()) return false;
+  if (seg_) return seg_->contains(segment_key(cfg, ncores));
   std::ifstream in(path_for(cfg, ncores));
   if (!in) return false;
   Header h;
@@ -218,6 +299,10 @@ void ArtifactStore::save(const SampleConfig& cfg, unsigned ncores,
                          std::uint64_t prog_hash,
                          const sim::RunStats& stats) const {
   if (!enabled()) return;
+  if (seg_) {
+    seg_->save(segment_key(cfg, ncores), prog_hash, stats);
+    return;
+  }
   const std::string path = path_for(cfg, ncores);
   // Write-then-rename so an interrupted save never leaves a half file
   // under the final name (half files would just be re-simulated, but gc
@@ -255,6 +340,10 @@ std::string ArtifactStore::diag_path_for(const SampleConfig& cfg) const {
 void ArtifactStore::save_diag(const SampleConfig& cfg,
                               const std::string& text) const {
   if (!enabled()) return;
+  if (seg_) {
+    seg_->save_diag(segment_key(cfg, /*ncores=*/0), text);
+    return;
+  }
   const std::string path = diag_path_for(cfg);
   std::error_code ec;
   if (text.empty()) {
@@ -282,8 +371,28 @@ void ArtifactStore::save_diag(const SampleConfig& cfg,
 ArtifactStore::Info ArtifactStore::scan() const {
   Info info;
   if (!enabled() || !fs::is_directory(dir_)) return info;
+  info.format = format_;
+  if (seg_) {
+    const SegmentStore::Census c = seg_->scan();
+    info.files = c.records;
+    info.valid = c.valid;
+    info.foreign = c.foreign;
+    info.corrupt = c.corrupt;
+    info.diags = c.diag_records;
+    info.bytes = c.bytes;
+    for (const SegmentStore::SegmentInfo& s : c.segments) {
+      info.segments.push_back(
+          {s.name, s.records, s.valid, s.foreign, s.corrupt, s.bytes});
+    }
+    return info;
+  }
   for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
-    if (!e.is_regular_file() || e.path().extension() != kSuffix) continue;
+    if (!e.is_regular_file()) continue;
+    if (e.path().extension() == ".diag") {
+      ++info.diags;
+      continue;
+    }
+    if (e.path().extension() != kSuffix) continue;
     ++info.files;
     std::error_code ec;
     info.bytes += e.file_size(ec);
@@ -299,9 +408,23 @@ ArtifactStore::Info ArtifactStore::scan() const {
 std::size_t ArtifactStore::gc() const {
   std::size_t removed = 0;
   if (!enabled() || !fs::is_directory(dir_)) return removed;
+  if (seg_) return seg_->compact();
+  std::unordered_set<std::string> live_stems;
   for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
     if (!e.is_regular_file() || e.path().extension() != kSuffix) continue;
     if (classify(e.path(), fp_) != FileState::Valid) {
+      std::error_code ec;
+      removed += fs::remove(e.path(), ec) ? 1 : 0;
+    } else {
+      live_stems.insert(sample_stem(e.path().filename().string()));
+    }
+  }
+  // A report is only as alive as its sample: once every core count of a
+  // sample is gone, its .diag sidecar goes too.
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
+    if (!e.is_regular_file() || e.path().extension() != ".diag") continue;
+    const std::string stem = e.path().filename().stem().string();
+    if (live_stems.count(stem) == 0) {
       std::error_code ec;
       removed += fs::remove(e.path(), ec) ? 1 : 0;
     }
@@ -309,10 +432,131 @@ std::size_t ArtifactStore::gc() const {
   return removed;
 }
 
+std::size_t ArtifactStore::compact() const {
+  if (!enabled()) return 0;
+  if (seg_) return seg_->compact();
+  return gc();
+}
+
+std::size_t ArtifactStore::import_v1() const {
+  if (!enabled() || !seg_ || !fs::is_directory(dir_)) return 0;
+  std::size_t imported = 0;
+  // Sample stems that imported cleanly — their sidecars follow; stems of
+  // files left behind (foreign, corrupt) keep their sidecars too.
+  std::unordered_map<std::string, SegmentKey> diag_owner;
+  std::unordered_set<std::string> surviving_stems;
+  std::vector<fs::path> artifacts;
+  std::vector<fs::path> sidecars;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
+    if (!e.is_regular_file()) continue;
+    if (e.path().extension() == kSuffix) artifacts.push_back(e.path());
+    if (e.path().extension() == ".diag") sidecars.push_back(e.path());
+  }
+  for (const fs::path& p : artifacts) {
+    const std::string stem = sample_stem(p.filename().string());
+    std::ifstream in(p);
+    Header h;
+    bool ok = static_cast<bool>(in) && read_header(in, &h) &&
+              h.version == kArtifactSchemaVersion && h.fp == fp_;
+    sim::RunStats s;
+    if (ok) {
+      try {
+        s = sim::load_stats(in);
+        ok = s.ncores == h.ncores;
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      // Foreign or corrupt text artifacts are not ours to destroy; gc
+      // remains the explicit way to drop them.
+      if (!stem.empty()) surviving_stems.insert(stem);
+      continue;
+    }
+    SegmentKey key;
+    key.kernel = h.kernel;
+    key.dtype = h.dtype;
+    key.size_bytes = h.size_bytes;
+    key.ncores = h.ncores;
+    seg_->save(key, h.prog, s);
+    ++imported;
+    if (!stem.empty()) {
+      key.ncores = 0;
+      diag_owner.emplace(stem, std::move(key));
+    }
+    std::error_code ec;
+    fs::remove(p, ec);
+  }
+  for (const fs::path& p : sidecars) {
+    const std::string stem = p.filename().stem().string();
+    const auto it = diag_owner.find(stem);
+    if (it != diag_owner.end()) {
+      std::ifstream in(p);
+      std::ostringstream text;
+      text << in.rdbuf();
+      seg_->save_diag(it->second, text.str());
+    } else if (surviving_stems.count(stem) != 0) {
+      continue;  // its artifact stayed v1 text; leave the sidecar with it
+    }
+    // Migrated or orphaned either way, the text file goes (orphans are
+    // exactly what gc() drops).
+    std::error_code ec;
+    fs::remove(p, ec);
+  }
+  seg_->flush();
+  return imported;
+}
+
+void ArtifactStore::flush() const {
+  if (seg_) seg_->flush();
+}
+
+void ArtifactStore::for_each(
+    const std::function<void(const StoredSample&)>& fn) const {
+  if (!enabled()) return;
+  if (seg_) {
+    seg_->for_each([&](const SegmentKey& key, std::uint64_t prog) {
+      StoredSample s;
+      s.kernel = key.kernel;
+      s.dtype = key.dtype;
+      s.size_bytes = key.size_bytes;
+      s.ncores = key.ncores;
+      s.prog_hash = prog;
+      fn(s);
+    });
+    return;
+  }
+  if (!fs::is_directory(dir_)) return;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
+    if (!e.is_regular_file() || e.path().extension() != kSuffix) continue;
+    std::ifstream in(e.path());
+    if (!in) continue;
+    Header h;
+    if (!read_header(in, &h)) continue;
+    if (h.version != kArtifactSchemaVersion || h.fp != fp_) continue;
+    try {
+      const sim::RunStats s = sim::load_stats(in);
+      if (s.ncores != h.ncores) continue;
+    } catch (const std::exception&) {
+      continue;
+    }
+    StoredSample s;
+    s.kernel = h.kernel;
+    s.dtype = h.dtype;
+    s.size_bytes = h.size_bytes;
+    s.ncores = h.ncores;
+    s.prog_hash = h.prog;
+    fn(s);
+  }
+}
+
 ArtifactStore open_store(const BuildOptions& opt) {
   const std::string dir = env_or(opt.artifact_dir, "PULPC_ARTIFACT_DIR", "");
   if (dir.empty()) return ArtifactStore{};
-  return ArtifactStore(dir, opt.cluster);
+  std::optional<StoreFormat> format;
+  const std::string fmt = env_or(opt.store_format, "PULPC_STORE_FORMAT", "");
+  if (!fmt.empty()) format = parse_store_format(fmt);
+  return ArtifactStore(dir, opt.cluster, format);
 }
 
 ml::Dataset relabel(const ArtifactStore& store,

@@ -1,6 +1,6 @@
 // Versioned on-disk store for raw simulation counters — the expensive
-// asset of the reproduction. One artifact file holds the sim::RunStats
-// of one (kernel, dtype, size) sample at one core count, stamped with:
+// asset of the reproduction. One artifact holds the sim::RunStats of one
+// (kernel, dtype, size) sample at one core count, stamped with:
 //   * a store fingerprint (artifact schema version + every ClusterConfig
 //     field), so artifacts from a different simulated platform or an
 //     older schema are rejected as "foreign" and re-simulated;
@@ -8,16 +8,27 @@
 //     different lowering (e.g. the optimised variants of the compiler
 //     ablation) under the same sample name are never trusted.
 //
+// Two interchangeable backends sit behind this API (DESIGN.md §10):
+//   * v1 — one text file per (sample, core count) plus .diag sidecars;
+//     human-greppable, O(files) everything.
+//   * v2 — append-only binary segments of fixed-size mmap'd records with
+//     an on-disk index: O(1) open and contains(), zero parsing on the
+//     load path, `compact` instead of per-file gc. The default for new
+//     stores; `import_v1()` migrates a v1 directory in place with
+//     byte-identical relabel output.
+//
 // Labelling (src/energy) and dynamic-feature extraction (src/feat) are
 // pure functions over these counters, so relabel() rebuilds the labelled
 // dataset from a warm store in milliseconds instead of hours — tweak the
-// EnergyModel, replay, done. Corrupt, truncated or foreign files are
+// EnergyModel, replay, done. Corrupt, truncated or foreign artifacts are
 // detected on load and transparently re-simulated (and repaired), never
 // trusted.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,9 +40,22 @@
 
 namespace pulpc::core {
 
-/// Bump when the artifact file layout or the meaning of any stored
-/// counter changes; every existing store becomes foreign and rebuilds.
+class SegmentStore;
+
+/// Bump when the artifact layout or the meaning of any stored counter
+/// changes; every existing store becomes foreign and rebuilds.
 inline constexpr std::uint32_t kArtifactSchemaVersion = 1;
+
+/// On-disk backend of an ArtifactStore.
+enum class StoreFormat {
+  v1,  ///< one text file per (sample, core count) + .diag sidecars
+  v2,  ///< packed binary segments + index, mmap reads (the default)
+};
+
+/// Parse "v1"/"v2" (the PULPC_STORE_FORMAT / --format vocabulary).
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] StoreFormat parse_store_format(std::string_view name);
+[[nodiscard]] const char* to_string(StoreFormat format) noexcept;
 
 /// FNV-1a 64-bit (the fingerprint/hash primitive of the store).
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
@@ -52,21 +76,28 @@ class ArtifactStore {
   ArtifactStore() = default;
 
   /// Open (creating if needed) the store at `dir` for the given
-  /// simulated platform. Throws std::runtime_error if the directory
-  /// cannot be created.
-  ArtifactStore(std::string dir, const sim::ClusterConfig& cluster);
+  /// simulated platform. The backend is `format` when given, else the
+  /// PULPC_STORE_FORMAT environment variable, else auto-detected from
+  /// the directory contents (existing v2 segments or index → v2,
+  /// existing v1 text artifacts → v1, empty → v2). Throws
+  /// std::runtime_error if the directory cannot be created.
+  ArtifactStore(std::string dir, const sim::ClusterConfig& cluster,
+                std::optional<StoreFormat> format = std::nullopt);
 
   [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
   [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fp_; }
+  [[nodiscard]] StoreFormat format() const noexcept { return format_; }
 
-  /// File path an artifact lives at (filesystem-sanitized; the exact
+  /// File path a v1 artifact lives at (filesystem-sanitized; the exact
   /// sample identity is verified from the file header, not the name).
+  /// In v2 records live inside segments and have no path of their own;
+  /// this still names where an un-imported v1 file would sit.
   [[nodiscard]] std::string path_for(const SampleConfig& cfg,
                                      unsigned ncores) const;
 
   /// Load the counters for (cfg, ncores). Returns false — caller
-  /// re-simulates — when the file is missing, truncated, corrupt,
+  /// re-simulates — when the artifact is missing, truncated, corrupt,
   /// foreign-fingerprinted, or was produced by a different program than
   /// `prog_hash`.
   [[nodiscard]] bool load(const SampleConfig& cfg, unsigned ncores,
@@ -75,43 +106,97 @@ class ArtifactStore {
 
   /// True when load() would succeed structurally (fingerprint + sample
   /// identity match; program hash not checked without a program).
+  /// O(1) in v2 (index probe), O(parse one file) in v1.
   [[nodiscard]] bool contains(const SampleConfig& cfg,
                               unsigned ncores) const;
 
-  /// Persist the counters for (cfg, ncores), atomically (tmp + rename).
+  /// Persist the counters for (cfg, ncores): atomic tmp + rename in v1,
+  /// one whole-slot segment append in v2.
   void save(const SampleConfig& cfg, unsigned ncores,
             std::uint64_t prog_hash, const sim::RunStats& stats) const;
 
-  /// Sidecar path for the sample's verifier report. Not an artifact:
+  /// v1 sidecar path for the sample's verifier report. Not an artifact:
   /// scan()/gc() key on the .runstats suffix and ignore .diag files.
+  /// v2 keeps reports inside dedicated diag segments instead.
   [[nodiscard]] std::string diag_path_for(const SampleConfig& cfg) const;
 
-  /// Persist the verifier report text for `cfg` (atomic tmp + rename).
-  /// An empty text removes any stale sidecar instead of writing one.
+  /// Persist the verifier report text for `cfg`. An empty text removes
+  /// (v1) or tombstones (v2) any stale report instead of writing one.
   void save_diag(const SampleConfig& cfg, const std::string& text) const;
 
-  /// Store census for `pulpclass cache info|verify`.
+  /// One v2 segment file's census (`pulpclass cache info --json`).
+  struct SegmentInfo {
+    std::string name;
+    std::size_t records = 0;
+    std::size_t valid = 0;
+    std::size_t foreign = 0;
+    std::size_t corrupt = 0;
+    std::uintmax_t bytes = 0;
+  };
+
+  /// Store census for `pulpclass cache info|verify`. `files` counts
+  /// artifacts: *.runstats files in v1, segment record slots in v2.
   struct Info {
-    std::size_t files = 0;    ///< *.runstats files present
+    StoreFormat format = StoreFormat::v1;
+    std::size_t files = 0;    ///< artifacts present (files or records)
     std::size_t valid = 0;    ///< parse fully and match the fingerprint
     std::size_t foreign = 0;  ///< other fingerprint / schema version
     std::size_t corrupt = 0;  ///< truncated or malformed
+    std::size_t diags = 0;    ///< verifier-report entries
     std::uintmax_t bytes = 0;
+    std::vector<SegmentInfo> segments;  ///< v2 only; empty in v1
   };
   [[nodiscard]] Info scan() const;
 
-  /// Delete foreign and corrupt artifact files (`pulpclass cache gc`).
-  /// Returns the number of files removed.
+  /// Reclaim dead data (`pulpclass cache gc`): in v1, delete foreign and
+  /// corrupt artifact files plus .diag sidecars whose sample no longer
+  /// has any artifact; in v2, alias of compact(). Returns the number of
+  /// files (v1) or entries (v2) removed.
   std::size_t gc() const;
+
+  /// Rewrite the store keeping only live data (`pulpclass cache
+  /// compact`): the latest valid record per key, and reports whose
+  /// sample still exists. In v1 this is the same cleanup as gc().
+  /// Returns the number of entries dropped. Not safe concurrently with
+  /// writers in other processes.
+  std::size_t compact() const;
+
+  /// Migrate v1 text artifacts found in the directory into the v2
+  /// backend (load → re-save → delete the text file; orphaned .diag
+  /// sidecars are dropped, matching gc()). Relabel output from the
+  /// migrated store is byte-identical to the v1 original. Returns the
+  /// number of artifacts imported. No-op on a v1-format store.
+  std::size_t import_v1() const;
+
+  /// Seal any in-flight v2 segment and rewrite the index so the next
+  /// open is O(1). No-op in v1 (every save is already durable).
+  void flush() const;
+
+  /// One stored artifact's identity, as enumerated by for_each().
+  struct StoredSample {
+    std::string kernel;
+    std::string dtype;  ///< canonical rendering, e.g. "i32"
+    std::uint32_t size_bytes = 0;
+    unsigned ncores = 0;
+    std::uint64_t prog_hash = 0;
+  };
+
+  /// Invoke `fn` for every valid own-fingerprint artifact (one pass over
+  /// the store; enumeration order is unspecified). Feeds the serve
+  /// cold-start cache priming.
+  void for_each(const std::function<void(const StoredSample&)>& fn) const;
 
  private:
   std::string dir_;
   std::uint64_t fp_ = 0;
+  StoreFormat format_ = StoreFormat::v1;
+  std::shared_ptr<SegmentStore> seg_;  ///< engine shared across copies (v2)
 };
 
 /// Resolve the store a build should use: opt.artifact_dir if set, else
 /// the PULPC_ARTIFACT_DIR environment variable; empty (either way)
-/// yields a disabled store.
+/// yields a disabled store. The backend follows opt.store_format /
+/// PULPC_STORE_FORMAT / auto-detection, in that order.
 [[nodiscard]] ArtifactStore open_store(const BuildOptions& opt);
 
 /// Stage Simulate over a configuration list: fill every missing or

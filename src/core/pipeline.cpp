@@ -173,6 +173,9 @@ ml::Dataset build_dataset_over(
     if (progress) progress(++done, configs.size());
   });
   for (ml::Sample& row : rows) ds.add(std::move(row));
+  // Seal any in-flight v2 segment and refresh the index so the next open
+  // of this directory — possibly by another process — is O(1).
+  store.flush();
   if (opt.stage_report) opt.stage_report(total);
   return ds;
 }
@@ -349,6 +352,7 @@ StageReport populate_store(
     merge(total, part);
     if (progress) progress(++done, configs.size());
   });
+  store.flush();
   if (opt.stage_report) opt.stage_report(total);
   return total;
 }

@@ -96,6 +96,11 @@ struct BuildOptions {
   /// build_dataset replays any valid stored counters and persists the
   /// ones it simulates.
   std::optional<std::string> artifact_dir;
+  /// Artifact store backend, "v1" (per-file text) or "v2" (binary
+  /// segments; see core/artifacts.hpp). Unset falls back to the
+  /// PULPC_STORE_FORMAT environment variable, then to auto-detection
+  /// from the store directory contents.
+  std::optional<std::string> store_format;
   /// Invoked once at the end of build_dataset / relabel with the
   /// per-stage wall-clock totals (the progress callback's `done/total`
   /// companion for stage-level throughput).

@@ -1,0 +1,1298 @@
+#include "core/segment_store.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pulpc::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kPage = 4096;
+constexpr std::uint64_t kFormatVersion = 2;
+// ASCII tags read back as "PULPSEG2" / "PULPREC2" / "PULPDIA2" / "PULPIDX2"
+// in a little-endian hex dump — greppable when debugging a raw segment.
+constexpr std::uint64_t kSegMagic = 0x32474553504C5550ULL;
+constexpr std::uint64_t kRecMagic = 0x32434552504C5550ULL;
+constexpr std::uint64_t kDiagMagic = 0x32414944504C5550ULL;
+constexpr std::uint64_t kIdxMagic = 0x32584449504C5550ULL;
+constexpr std::size_t kRecHeaderBytes = 64;
+constexpr std::size_t kNameCap = 256;  ///< kernel + dtype bytes per record
+constexpr std::size_t kSealEvery = 256;
+constexpr std::uint32_t kActiveSeg = 0xFFFFFFFFu;
+constexpr std::size_t kIdxSegEntry = 64;  ///< name[48] + size + records
+constexpr std::size_t kIdxNameCap = 48;
+constexpr std::size_t kMaxCounts = 4096;  ///< per-section cap, as in load_stats
+
+std::uint64_t fnv64(const void* data, std::size_t n,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv64(std::string_view s,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  return fnv64(s.data(), s.size(), seed);
+}
+
+std::uint64_t rd64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+std::uint32_t rd32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+void wr64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
+void wr32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, sizeof v); }
+
+std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool starts_with(std::string_view s, std::string_view pre) {
+  return s.size() >= pre.size() && s.compare(0, pre.size(), pre) == 0;
+}
+bool ends_with(std::string_view s, std::string_view suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+/// Pack every RunStats counter into u64 words (the record payload). The
+/// word order is part of the record format; all fields are unsigned
+/// integers so the round trip is exact.
+void encode_stats(const sim::RunStats& s, std::vector<std::uint64_t>* out) {
+  out->clear();
+  out->push_back(s.ncores);
+  out->push_back(s.total_cores);
+  out->push_back(s.total_cycles);
+  out->push_back(s.region_begin);
+  out->push_back(s.region_end);
+  out->push_back(s.core.size());
+  for (const sim::CoreStats& c : s.core) {
+    const std::uint64_t w[17] = {c.n_alu,    c.n_div,   c.n_fp,
+                                 c.n_fpdiv,  c.n_l1,    c.n_l2,
+                                 c.n_branch, c.n_nop,   c.n_sync,
+                                 c.instrs,   c.cyc_alu, c.cyc_fp,
+                                 c.cyc_l1,   c.cyc_l2,  c.cyc_wait,
+                                 c.cyc_cg,   c.idle_cycles};
+    out->insert(out->end(), std::begin(w), std::end(w));
+  }
+  out->push_back(s.l1.size());
+  for (const sim::BankStats& b : s.l1) {
+    out->push_back(b.reads);
+    out->push_back(b.writes);
+    out->push_back(b.conflicts);
+  }
+  out->push_back(s.l2.size());
+  for (const sim::BankStats& b : s.l2) {
+    out->push_back(b.reads);
+    out->push_back(b.writes);
+    out->push_back(b.conflicts);
+  }
+  out->push_back(s.fpu.size());
+  for (const sim::FpuStats& f : s.fpu) out->push_back(f.busy_cycles);
+  out->push_back(s.icache.uses);
+  out->push_back(s.icache.refills);
+  out->push_back(s.dma.busy_cycles);
+  out->push_back(s.dma.beats);
+}
+
+/// Inverse of encode_stats with full bounds checking; false on any
+/// malformation (short payload, absurd section count, trailing words).
+bool decode_stats(const std::uint64_t* w, std::size_t n,
+                  sim::RunStats* out) {
+  std::size_t i = 0;
+  const auto take = [&](std::uint64_t* v) {
+    if (i >= n) return false;
+    *v = w[i++];
+    return true;
+  };
+  std::uint64_t v = 0;
+  sim::RunStats s;
+  if (!take(&v)) return false;
+  s.ncores = static_cast<unsigned>(v);
+  if (!take(&v)) return false;
+  s.total_cores = static_cast<unsigned>(v);
+  if (!take(&s.total_cycles) || !take(&s.region_begin) ||
+      !take(&s.region_end)) {
+    return false;
+  }
+  if (!take(&v) || v > kMaxCounts) return false;
+  s.core.resize(static_cast<std::size_t>(v));
+  for (sim::CoreStats& c : s.core) {
+    std::uint64_t* f[17] = {&c.n_alu,    &c.n_div,   &c.n_fp,
+                            &c.n_fpdiv,  &c.n_l1,    &c.n_l2,
+                            &c.n_branch, &c.n_nop,   &c.n_sync,
+                            &c.instrs,   &c.cyc_alu, &c.cyc_fp,
+                            &c.cyc_l1,   &c.cyc_l2,  &c.cyc_wait,
+                            &c.cyc_cg,   &c.idle_cycles};
+    for (std::uint64_t* p : f) {
+      if (!take(p)) return false;
+    }
+  }
+  for (std::vector<sim::BankStats>* banks : {&s.l1, &s.l2}) {
+    if (!take(&v) || v > kMaxCounts) return false;
+    banks->resize(static_cast<std::size_t>(v));
+    for (sim::BankStats& b : *banks) {
+      if (!take(&b.reads) || !take(&b.writes) || !take(&b.conflicts)) {
+        return false;
+      }
+    }
+  }
+  if (!take(&v) || v > kMaxCounts) return false;
+  s.fpu.resize(static_cast<std::size_t>(v));
+  for (sim::FpuStats& f : s.fpu) {
+    if (!take(&f.busy_cycles)) return false;
+  }
+  if (!take(&s.icache.uses) || !take(&s.icache.refills) ||
+      !take(&s.dma.busy_cycles) || !take(&s.dma.beats)) {
+    return false;
+  }
+  if (i != n) return false;
+  *out = std::move(s);
+  return true;
+}
+
+/// Checksum of one record slot: header words w0..w5, the reserved word
+/// w7, then name + payload bytes (zero slack past the payload excluded —
+/// it is never read). Eight interleaved FNV-1a lanes folded into one
+/// word: a single FNV chain is latency-bound on the 64-bit multiply
+/// (~4-5 cycles/byte), which would make the integrity scan the slow
+/// parse it is meant to replace; independent lanes let the multiplies
+/// overlap and the scan runs near memory speed. The lane assignment
+/// (byte i of the covered stream goes to lane i mod 8) is part of the
+/// record format. Both covered ranges are multiples of 8 bytes by
+/// construction (48, then 264 + 8 * payload_words), so the 8-wide inner
+/// loop needs no remainder handling.
+std::uint64_t record_checksum(const std::uint8_t* p,
+                              std::size_t payload_words) {
+  const std::size_t end =
+      kRecHeaderBytes + kNameCap + payload_words * sizeof(std::uint64_t);
+  constexpr std::uint64_t kBasis = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t lane[8];
+  for (int j = 0; j < 8; ++j) {
+    lane[j] = kBasis + static_cast<std::uint64_t>(j);
+  }
+  const auto mix8 = [&lane](const std::uint8_t* q, std::size_t n) {
+    for (std::size_t i = 0; i + 8 <= n; i += 8) {
+      for (int j = 0; j < 8; ++j) {
+        lane[j] = (lane[j] ^ q[i + j]) * kPrime;
+      }
+    }
+  };
+  mix8(p, 48);
+  mix8(p + 56, end - 56);
+  return fnv64(lane, sizeof lane);
+}
+
+/// Parsed view into one record slot (string_views alias the slot bytes).
+struct RecView {
+  std::uint64_t fp = 0;
+  std::uint64_t prog = 0;
+  std::uint64_t key_hash = 0;
+  std::uint32_t size_bytes = 0;
+  unsigned ncores = 0;
+  std::string_view kernel;
+  std::string_view dtype;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_words = 0;
+};
+
+enum class RecState { Valid, Foreign, Corrupt };
+
+RecState parse_record(const std::uint8_t* p, std::size_t slot_bytes,
+                      std::uint64_t store_fp, RecView* v) {
+  if (rd64(p) != kRecMagic) return RecState::Corrupt;
+  const std::uint64_t w4 = rd64(p + 32);
+  const std::uint64_t w5 = rd64(p + 40);
+  const std::size_t kernel_len = static_cast<std::size_t>(w4 >> 48);
+  const std::size_t dtype_len = static_cast<std::size_t>((w5 >> 32) & 0xFF);
+  const std::size_t payload_words =
+      static_cast<std::size_t>(w5 & 0xFFFFFFFFu);
+  if (kernel_len + dtype_len > kNameCap) return RecState::Corrupt;
+  if (kRecHeaderBytes + kNameCap + payload_words * sizeof(std::uint64_t) >
+      slot_bytes) {
+    return RecState::Corrupt;
+  }
+  if (record_checksum(p, payload_words) != rd64(p + 48)) {
+    return RecState::Corrupt;
+  }
+  v->fp = rd64(p + 8);
+  v->prog = rd64(p + 16);
+  v->key_hash = rd64(p + 24);
+  v->size_bytes = static_cast<std::uint32_t>(w4 & 0xFFFFFFFFu);
+  v->ncores = static_cast<unsigned>((w4 >> 32) & 0xFFFF);
+  v->kernel = std::string_view(
+      reinterpret_cast<const char*>(p + kRecHeaderBytes), kernel_len);
+  v->dtype = std::string_view(
+      reinterpret_cast<const char*>(p + kRecHeaderBytes + kernel_len),
+      dtype_len);
+  v->payload = p + kRecHeaderBytes + kNameCap;
+  v->payload_words = payload_words;
+  return v->fp == store_fp ? RecState::Valid : RecState::Foreign;
+}
+
+/// Fill one record slot (buf is slot_bytes, pre-zeroed by the caller).
+void build_record(std::uint8_t* buf, std::uint64_t fp, std::uint64_t prog,
+                  const SegmentKey& key,
+                  const std::vector<std::uint64_t>& payload) {
+  wr64(buf + 0, kRecMagic);
+  wr64(buf + 8, fp);
+  wr64(buf + 16, prog);
+  wr64(buf + 24, segment_key_hash(key));
+  wr64(buf + 32, static_cast<std::uint64_t>(key.size_bytes) |
+                     (static_cast<std::uint64_t>(key.ncores & 0xFFFF) << 32) |
+                     (static_cast<std::uint64_t>(key.kernel.size()) << 48));
+  wr64(buf + 40, static_cast<std::uint64_t>(payload.size()) |
+                     (static_cast<std::uint64_t>(key.dtype.size()) << 32));
+  wr64(buf + 56, 0);
+  std::memcpy(buf + kRecHeaderBytes, key.kernel.data(), key.kernel.size());
+  std::memcpy(buf + kRecHeaderBytes + key.kernel.size(), key.dtype.data(),
+              key.dtype.size());
+  std::memcpy(buf + kRecHeaderBytes + kNameCap, payload.data(),
+              payload.size() * sizeof(std::uint64_t));
+  wr64(buf + 48, record_checksum(buf, payload.size()));
+}
+
+void build_segment_header(std::uint8_t* page, std::uint64_t fp,
+                          std::size_t slot_bytes) {
+  std::memset(page, 0, kPage);
+  wr64(page + 0, kSegMagic);
+  wr64(page + 8, kFormatVersion);
+  wr64(page + 16, fp);
+  wr64(page + 24, slot_bytes);
+  wr64(page + 32, static_cast<std::uint64_t>(::getpid()));
+}
+
+void pwrite_all(int fd, const void* data, std::size_t n, off_t off,
+                const std::string& what) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::pwrite(fd, p, n, off);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      throw std::runtime_error("SegmentStore: write failed for " + what);
+    }
+    p += w;
+    off += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+bool pread_all(int fd, void* data, std::size_t n, off_t off) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, p, n, off);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    p += r;
+    off += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t segment_key_hash(const SegmentKey& key) {
+  std::uint64_t h = fnv64(std::string_view("rec|"));
+  h = fnv64(key.kernel, h);
+  h = fnv64(std::string_view("|"), h);
+  h = fnv64(key.dtype, h);
+  h = fnv64(std::string_view("|"), h);
+  h = fnv64(std::to_string(key.size_bytes), h);
+  h = fnv64(std::string_view("|"), h);
+  return fnv64(std::to_string(key.ncores), h);
+}
+
+std::uint64_t segment_diag_hash(const SegmentKey& key) {
+  std::uint64_t h = fnv64(std::string_view("diag|"));
+  h = fnv64(key.kernel, h);
+  h = fnv64(std::string_view("|"), h);
+  h = fnv64(key.dtype, h);
+  h = fnv64(std::string_view("|"), h);
+  return fnv64(std::to_string(key.size_bytes), h);
+}
+
+std::size_t packed_stats_words(std::size_t cores, std::size_t l1,
+                               std::size_t l2, std::size_t fpus) {
+  return 13 + 17 * cores + 3 * l1 + 3 * l2 + fpus;
+}
+
+/// A read-only mmap of one file; data stays null when the file cannot be
+/// opened or mapped (callers treat that as "segment unreadable").
+struct SegmentStore::Mapping {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+
+  explicit Mapping(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return;
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                       PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p != MAP_FAILED) {
+        data = static_cast<const std::uint8_t*>(p);
+        len = static_cast<std::size_t>(st.st_size);
+      }
+    }
+    ::close(fd);
+  }
+  ~Mapping() {
+    if (data != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(data), len);
+    }
+  }
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+};
+
+SegmentStore::SegmentStore(std::string dir, std::uint64_t fingerprint,
+                           std::size_t payload_capacity)
+    : dir_(std::move(dir)), fp_(fingerprint) {
+  slot_ = align_up(kRecHeaderBytes + kNameCap +
+                       payload_capacity * sizeof(std::uint64_t),
+                   kPage);
+  std::lock_guard<std::mutex> lk(mu_);
+  open_dir_locked();
+}
+
+SegmentStore::~SegmentStore() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor flush is best-effort: a failed index rewrite only costs
+    // the next open a rescan.
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (active_fd_ >= 0) ::close(active_fd_);
+  if (diag_fd_ >= 0) ::close(diag_fd_);
+}
+
+std::string SegmentStore::path(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::uint64_t SegmentStore::next_seq_locked() {
+  std::uint64_t max_seq = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    const std::string name = e.path().filename().string();
+    std::size_t off = 0;
+    if (starts_with(name, "seg-")) {
+      off = 4;
+    } else if (starts_with(name, "diag-")) {
+      off = 5;
+    } else {
+      continue;
+    }
+    if (name.size() < off + 16) continue;
+    std::uint64_t seq = 0;
+    bool ok = true;
+    for (std::size_t i = 0; i < 16; ++i) {
+      const char c = name[off + i];
+      unsigned d = 0;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<unsigned>(c - 'a') + 10;
+      } else {
+        ok = false;
+        break;
+      }
+      seq = (seq << 4) | d;
+    }
+    if (ok && seq > max_seq) max_seq = seq;
+  }
+  return max_seq + 1;
+}
+
+void SegmentStore::open_dir_locked() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("SegmentStore: cannot create " + dir_ + ": " +
+                             ec.message());
+  }
+
+  std::vector<std::pair<std::string, std::uintmax_t>> sealed;
+  std::vector<std::pair<std::string, std::uintmax_t>> live_active;
+  std::vector<std::string> orphan_active;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    if (!e.is_regular_file()) continue;
+    const std::string name = e.path().filename().string();
+    if (!ends_with(name, ".pseg")) continue;
+    std::error_code sec;
+    const std::uintmax_t size = e.file_size(sec);
+    if (starts_with(name, "seg-")) {
+      sealed.emplace_back(name, size);
+    } else if (starts_with(name, "active-")) {
+      // Crash leftovers get adopted (sealed in place); a live writer's
+      // active segment is scanned read-only instead.
+      long pid = 0;
+      const char* s = name.c_str() + 7;
+      while (*s >= '0' && *s <= '9') pid = pid * 10 + (*s++ - '0');
+      const bool dead =
+          pid <= 0 || (::kill(static_cast<pid_t>(pid), 0) != 0 &&
+                       errno == ESRCH);
+      if (dead) {
+        orphan_active.push_back(name);
+      } else {
+        live_active.emplace_back(name, size);
+      }
+    }
+  }
+  if (!orphan_active.empty()) {
+    std::uint64_t seq = next_seq_locked();
+    for (const std::string& name : orphan_active) {
+      const std::string sealed_name = "seg-" + hex16(seq++) + "-adopted.pseg";
+      std::error_code rec;
+      fs::rename(path(name), path(sealed_name), rec);
+      if (!rec) {
+        std::error_code sec;
+        sealed.emplace_back(sealed_name, fs::file_size(path(sealed_name), sec));
+      }
+    }
+  }
+  std::sort(sealed.begin(), sealed.end());
+  std::sort(live_active.begin(), live_active.end());
+
+  segs_.clear();
+  for (const auto& [name, size] : sealed) {
+    Seg s;
+    s.name = name;
+    s.size = size;
+    segs_.push_back(std::move(s));
+  }
+  for (const auto& [name, size] : live_active) {
+    Seg s;
+    s.name = name;
+    s.size = size;
+    segs_.push_back(std::move(s));
+  }
+
+  overlay_.clear();
+  index_.reset();
+  index_segments_ = 0;
+  if (load_index_locked()) {
+    for (std::uint32_t i = static_cast<std::uint32_t>(index_segments_);
+         i < segs_.size(); ++i) {
+      scan_segment_into_overlay_locked(i);
+    }
+  } else {
+    index_.reset();
+    index_segments_ = 0;
+    for (std::uint32_t i = 0; i < segs_.size(); ++i) {
+      scan_segment_into_overlay_locked(i);
+    }
+  }
+}
+
+bool SegmentStore::load_index_locked() {
+  auto map = std::make_shared<Mapping>(path("store.idx"));
+  const std::uint8_t* b = map->data;
+  if (b == nullptr || map->len < kPage) return false;
+  if (rd64(b) != kIdxMagic || rd64(b + 8) != kFormatVersion ||
+      rd64(b + 16) != fp_ || rd64(b + 24) != slot_) {
+    return false;
+  }
+  const std::uint64_t nsegments = rd64(b + 32);
+  const std::uint64_t nbuckets = rd64(b + 40);
+  if (nbuckets == 0 || (nbuckets & (nbuckets - 1)) != 0) return false;
+  if (nsegments > segs_.size()) return false;
+  const std::size_t need =
+      kPage + static_cast<std::size_t>(nsegments) * kIdxSegEntry +
+      static_cast<std::size_t>(nbuckets) * 16;
+  if (need > map->len) return false;
+  // The index is trusted only when the segments it lists are exactly the
+  // first nsegments of the sorted directory listing, byte-for-byte the
+  // size it recorded (sealed segments are immutable, so size equality
+  // means content equality for locating slots).
+  for (std::uint64_t i = 0; i < nsegments; ++i) {
+    const std::uint8_t* e = b + kPage + i * kIdxSegEntry;
+    const char* nm = reinterpret_cast<const char*>(e);
+    const std::size_t len = ::strnlen(nm, kIdxNameCap);
+    if (len == kIdxNameCap) return false;
+    if (segs_[i].name != std::string_view(nm, len)) return false;
+    if (segs_[i].size != rd64(e + kIdxNameCap)) return false;
+    segs_[i].records = static_cast<std::size_t>(rd64(e + kIdxNameCap + 8));
+  }
+  index_ = std::move(map);
+  index_segments_ = static_cast<std::size_t>(nsegments);
+  return true;
+}
+
+const std::uint8_t* SegmentStore::map_segment_locked(std::uint32_t seg_idx) {
+  Seg& s = segs_[seg_idx];
+  if (!s.map) {
+    s.map = std::make_shared<Mapping>(path(s.name));
+    const std::uint8_t* b = s.map->data;
+    if (b != nullptr && s.map->len >= kPage && rd64(b) == kSegMagic &&
+        rd64(b + 8) == kFormatVersion) {
+      const std::uint64_t seg_slot = rd64(b + 24);
+      if (seg_slot >= kRecHeaderBytes + kNameCap && seg_slot % kPage == 0) {
+        s.readable = true;
+        s.foreign = rd64(b + 16) != fp_;
+        s.slot = static_cast<std::size_t>(seg_slot);
+        s.size = s.map->len;
+        s.records = (s.map->len - kPage) / s.slot;
+      }
+    }
+  }
+  return s.readable ? s.map->data : nullptr;
+}
+
+void SegmentStore::scan_segment_into_overlay_locked(std::uint32_t seg_idx) {
+  const std::uint8_t* base = map_segment_locked(seg_idx);
+  const Seg& s = segs_[seg_idx];
+  if (base == nullptr || s.foreign || s.slot != slot_) return;
+  for (std::size_t j = 0; j < s.records; ++j) {
+    const std::uint8_t* p = base + kPage + j * slot_;
+    // The key hash is taken on faith here; a record whose content is torn
+    // fails its checksum at load time and gets re-simulated, exactly like
+    // a corrupt v1 file.
+    if (rd64(p) != kRecMagic) continue;
+    overlay_[rd64(p + 24)] =
+        Loc{seg_idx, static_cast<std::uint32_t>(j)};
+  }
+}
+
+bool SegmentStore::lookup_locked(std::uint64_t key_hash, Loc* out) const {
+  const auto it = overlay_.find(key_hash);
+  if (it != overlay_.end()) {
+    *out = it->second;
+    return true;
+  }
+  if (!index_) return false;
+  const std::uint8_t* b = index_->data;
+  const std::uint64_t nsegments = rd64(b + 32);
+  const std::uint64_t nbuckets = rd64(b + 40);
+  const std::size_t boff =
+      kPage + static_cast<std::size_t>(nsegments) * kIdxSegEntry;
+  const std::uint64_t mask = nbuckets - 1;
+  for (std::uint64_t probe = 0; probe < nbuckets; ++probe) {
+    const std::uint8_t* e =
+        b + boff + static_cast<std::size_t>((key_hash + probe) & mask) * 16;
+    const std::uint32_t seg_plus1 = rd32(e + 8);
+    if (seg_plus1 == 0) return false;
+    if (rd64(e) == key_hash) {
+      out->seg = seg_plus1 - 1;
+      out->slot = rd32(e + 12);
+      return out->seg < index_segments_;
+    }
+  }
+  return false;
+}
+
+bool SegmentStore::fetch_locked(const Loc& loc, std::vector<std::uint8_t>* buf,
+                                const std::uint8_t** out) {
+  if (loc.seg == kActiveSeg) {
+    if (active_fd_ < 0) return false;
+    buf->resize(slot_);
+    if (!pread_all(active_fd_, buf->data(), slot_,
+                   static_cast<off_t>(kPage + loc.slot * slot_))) {
+      return false;
+    }
+    *out = buf->data();
+    return true;
+  }
+  if (loc.seg >= segs_.size()) return false;
+  const std::uint8_t* base = map_segment_locked(loc.seg);
+  const Seg& s = segs_[loc.seg];
+  if (base == nullptr || s.slot != slot_) return false;
+  const std::size_t off = kPage + static_cast<std::size_t>(loc.slot) * slot_;
+  if (off + slot_ > s.map->len) return false;
+  *out = base + off;
+  return true;
+}
+
+bool SegmentStore::load(const SegmentKey& key, std::uint64_t prog_hash,
+                        bool check_prog, sim::RunStats* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Loc loc;
+  if (!lookup_locked(segment_key_hash(key), &loc)) return false;
+  std::vector<std::uint8_t> buf;
+  const std::uint8_t* p = nullptr;
+  if (!fetch_locked(loc, &buf, &p)) return false;
+  RecView v;
+  if (parse_record(p, slot_, fp_, &v) != RecState::Valid) return false;
+  if (v.kernel != key.kernel || v.dtype != key.dtype ||
+      v.size_bytes != key.size_bytes || v.ncores != key.ncores) {
+    return false;
+  }
+  if (check_prog && v.prog != prog_hash) return false;
+  std::vector<std::uint64_t> words(v.payload_words);
+  std::memcpy(words.data(), v.payload,
+              v.payload_words * sizeof(std::uint64_t));
+  sim::RunStats s;
+  if (!decode_stats(words.data(), words.size(), &s)) return false;
+  if (s.ncores != key.ncores) return false;
+  *out = std::move(s);
+  return true;
+}
+
+bool SegmentStore::contains(const SegmentKey& key) {
+  sim::RunStats scratch;
+  return load(key, 0, /*check_prog=*/false, &scratch);
+}
+
+void SegmentStore::save(const SegmentKey& key, std::uint64_t prog_hash,
+                        const sim::RunStats& stats) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (key.kernel.size() + key.dtype.size() > kNameCap ||
+      key.kernel.size() > 0xFFFF || key.dtype.size() > 0xFF) {
+    throw std::runtime_error("SegmentStore: sample name too long for " +
+                             key.kernel);
+  }
+  std::vector<std::uint64_t> payload;
+  encode_stats(stats, &payload);
+  if (kRecHeaderBytes + kNameCap + payload.size() * sizeof(std::uint64_t) >
+      slot_) {
+    throw std::runtime_error(
+        "SegmentStore: stats payload exceeds the record slot for " +
+        key.kernel);
+  }
+
+  if (active_fd_ < 0) {
+    // Active segments are per-writer: the pid plus a process-wide counter
+    // keeps two engines in one process (or a pid-recycled crash leftover)
+    // off each other's file.
+    static std::atomic<std::uint64_t> counter{0};
+    for (;;) {
+      const std::uint64_t n = counter.fetch_add(1);
+      std::string name = "active-" + std::to_string(::getpid());
+      if (n != 0) name += "-" + std::to_string(n);
+      name += ".pseg";
+      const int fd = ::open(path(name).c_str(),
+                            O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+      if (fd >= 0) {
+        std::vector<std::uint8_t> page(kPage);
+        build_segment_header(page.data(), fp_, slot_);
+        pwrite_all(fd, page.data(), kPage, 0, name);
+        active_fd_ = fd;
+        active_name_ = name;
+        active_records_ = 0;
+        break;
+      }
+      if (errno != EEXIST) {
+        throw std::runtime_error("SegmentStore: cannot create " + name);
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> slot(slot_, 0);
+  build_record(slot.data(), fp_, prog_hash, key, payload);
+  pwrite_all(active_fd_, slot.data(), slot_,
+             static_cast<off_t>(kPage + active_records_ * slot_),
+             active_name_);
+  overlay_[segment_key_hash(key)] = Loc{kActiveSeg, active_records_};
+  ++active_records_;
+  if (active_records_ >= kSealEvery) seal_active_locked();
+}
+
+void SegmentStore::seal_active_locked() {
+  if (active_fd_ < 0) return;
+  if (active_records_ == 0) {
+    ::close(active_fd_);
+    std::error_code ec;
+    fs::remove(path(active_name_), ec);
+    active_fd_ = -1;
+    active_name_.clear();
+    return;
+  }
+  ::fsync(active_fd_);
+  ::close(active_fd_);
+  const std::string sealed =
+      "seg-" + hex16(next_seq_locked()) + "-" + std::to_string(::getpid()) +
+      ".pseg";
+  std::error_code ec;
+  fs::rename(path(active_name_), path(sealed), ec);
+  if (ec) {
+    throw std::runtime_error("SegmentStore: cannot seal " + active_name_);
+  }
+  Seg s;
+  s.name = sealed;
+  s.size = kPage + static_cast<std::uintmax_t>(active_records_) * slot_;
+  s.records = active_records_;
+  s.slot = slot_;
+  s.readable = true;
+  segs_.push_back(std::move(s));
+  const auto seg_idx = static_cast<std::uint32_t>(segs_.size() - 1);
+  for (auto& [kh, loc] : overlay_) {
+    if (loc.seg == kActiveSeg) loc.seg = seg_idx;
+  }
+  active_fd_ = -1;
+  active_name_.clear();
+  active_records_ = 0;
+}
+
+void SegmentStore::write_index_locked() {
+  // Merge the mmap'd index (older segments) with the overlay (newer ones);
+  // the overlay wins, mirroring lookup precedence.
+  std::unordered_map<std::uint64_t, Loc> merged;
+  if (index_) {
+    const std::uint8_t* b = index_->data;
+    const std::uint64_t nsegments = rd64(b + 32);
+    const std::uint64_t nbuckets = rd64(b + 40);
+    const std::size_t boff =
+        kPage + static_cast<std::size_t>(nsegments) * kIdxSegEntry;
+    for (std::uint64_t i = 0; i < nbuckets; ++i) {
+      const std::uint8_t* e = b + boff + static_cast<std::size_t>(i) * 16;
+      const std::uint32_t seg_plus1 = rd32(e + 8);
+      if (seg_plus1 == 0) continue;
+      merged[rd64(e)] = Loc{seg_plus1 - 1, rd32(e + 12)};
+    }
+  }
+  for (const auto& [kh, loc] : overlay_) {
+    if (loc.seg != kActiveSeg) merged[kh] = loc;
+  }
+
+  for (const Seg& s : segs_) {
+    if (s.name.size() >= kIdxNameCap) return;  // unindexable; rescan on open
+  }
+  std::uint64_t nbuckets = 1;
+  while (nbuckets < 2 * std::max<std::size_t>(merged.size(), 1)) {
+    nbuckets <<= 1;
+  }
+  std::vector<std::uint8_t> file(
+      kPage + segs_.size() * kIdxSegEntry +
+          static_cast<std::size_t>(nbuckets) * 16,
+      0);
+  wr64(file.data() + 0, kIdxMagic);
+  wr64(file.data() + 8, kFormatVersion);
+  wr64(file.data() + 16, fp_);
+  wr64(file.data() + 24, slot_);
+  wr64(file.data() + 32, segs_.size());
+  wr64(file.data() + 40, nbuckets);
+  wr64(file.data() + 48, merged.size());
+  for (std::size_t i = 0; i < segs_.size(); ++i) {
+    std::uint8_t* e = file.data() + kPage + i * kIdxSegEntry;
+    std::memcpy(e, segs_[i].name.data(), segs_[i].name.size());
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path(segs_[i].name), ec);
+    wr64(e + kIdxNameCap, ec ? segs_[i].size : size);
+    wr64(e + kIdxNameCap + 8, segs_[i].records);
+  }
+  std::uint8_t* buckets = file.data() + kPage + segs_.size() * kIdxSegEntry;
+  const std::uint64_t mask = nbuckets - 1;
+  for (const auto& [kh, loc] : merged) {
+    std::uint64_t i = kh & mask;
+    while (rd32(buckets + static_cast<std::size_t>(i) * 16 + 8) != 0) {
+      i = (i + 1) & mask;
+    }
+    std::uint8_t* e = buckets + static_cast<std::size_t>(i) * 16;
+    wr64(e, kh);
+    wr32(e + 8, loc.seg + 1);
+    wr32(e + 12, loc.slot);
+  }
+
+  const std::string tmp =
+      path("store.idx.tmp" + std::to_string(::getpid()));
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("SegmentStore: cannot write " + tmp);
+  }
+  try {
+    pwrite_all(fd, file.data(), file.size(), 0, tmp);
+  } catch (...) {
+    ::close(fd);
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, path("store.idx"), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("SegmentStore: cannot rename index into place");
+  }
+}
+
+void SegmentStore::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  seal_active_locked();
+  if (diag_fd_ >= 0) {
+    ::fsync(diag_fd_);
+    ::close(diag_fd_);
+    diag_fd_ = -1;
+    diag_active_name_.clear();
+  }
+  write_index_locked();
+}
+
+void SegmentStore::for_each(
+    const std::function<void(const SegmentKey&, std::uint64_t)>& fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::unordered_map<std::uint64_t, std::pair<SegmentKey, std::uint64_t>>
+      live;
+  const auto visit = [&](const std::uint8_t* p) {
+    RecView v;
+    if (parse_record(p, slot_, fp_, &v) != RecState::Valid) return;
+    SegmentKey key;
+    key.kernel = std::string(v.kernel);
+    key.dtype = std::string(v.dtype);
+    key.size_bytes = v.size_bytes;
+    key.ncores = v.ncores;
+    live[v.key_hash] = {std::move(key), v.prog};
+  };
+  for (std::uint32_t i = 0; i < segs_.size(); ++i) {
+    const std::uint8_t* base = map_segment_locked(i);
+    const Seg& s = segs_[i];
+    if (base == nullptr || s.foreign || s.slot != slot_) continue;
+    for (std::size_t j = 0; j < s.records; ++j) {
+      visit(base + kPage + j * slot_);
+    }
+  }
+  if (active_fd_ >= 0) {
+    std::vector<std::uint8_t> buf(slot_);
+    for (std::uint32_t j = 0; j < active_records_; ++j) {
+      if (pread_all(active_fd_, buf.data(), slot_,
+                    static_cast<off_t>(kPage + j * slot_))) {
+        visit(buf.data());
+      }
+    }
+  }
+  for (const auto& [kh, rec] : live) {
+    (void)kh;
+    fn(rec.first, rec.second);
+  }
+}
+
+SegmentStore::Census SegmentStore::scan() {
+  std::lock_guard<std::mutex> lk(mu_);
+  Census c;
+  const auto census_slot = [&](const std::uint8_t* p, SegmentInfo* si) {
+    ++si->records;
+    RecView v;
+    switch (parse_record(p, slot_, fp_, &v)) {
+      case RecState::Valid: ++si->valid; break;
+      case RecState::Foreign: ++si->foreign; break;
+      case RecState::Corrupt: ++si->corrupt; break;
+    }
+  };
+  for (std::uint32_t i = 0; i < segs_.size(); ++i) {
+    const std::uint8_t* base = map_segment_locked(i);
+    const Seg& s = segs_[i];
+    SegmentInfo si;
+    si.name = s.name;
+    si.bytes = s.size;
+    if (base == nullptr) {
+      si.records = 1;
+      si.corrupt = 1;
+    } else if (s.foreign || s.slot != slot_) {
+      si.records = s.records;
+      si.foreign = s.records;
+    } else {
+      for (std::size_t j = 0; j < s.records; ++j) {
+        census_slot(base + kPage + j * slot_, &si);
+      }
+    }
+    c.records += si.records;
+    c.valid += si.valid;
+    c.foreign += si.foreign;
+    c.corrupt += si.corrupt;
+    c.bytes += si.bytes;
+    c.segments.push_back(std::move(si));
+  }
+  if (active_fd_ >= 0 && active_records_ > 0) {
+    SegmentInfo si;
+    si.name = active_name_;
+    si.bytes = kPage + static_cast<std::uintmax_t>(active_records_) * slot_;
+    std::vector<std::uint8_t> buf(slot_);
+    for (std::uint32_t j = 0; j < active_records_; ++j) {
+      if (pread_all(active_fd_, buf.data(), slot_,
+                    static_cast<off_t>(kPage + j * slot_))) {
+        census_slot(buf.data(), &si);
+      } else {
+        ++si.records;
+        ++si.corrupt;
+      }
+    }
+    c.records += si.records;
+    c.valid += si.valid;
+    c.foreign += si.foreign;
+    c.corrupt += si.corrupt;
+    c.bytes += si.bytes;
+    c.segments.push_back(std::move(si));
+  }
+  ensure_diags_loaded_locked();
+  c.diag_records = diag_file_records_;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    if (e.is_regular_file() &&
+        ends_with(e.path().filename().string(), ".pdia")) {
+      std::error_code sec;
+      c.bytes += e.file_size(sec);
+    }
+  }
+  return c;
+}
+
+void SegmentStore::ensure_diags_loaded_locked() {
+  if (diags_loaded_) return;
+  diags_loaded_ = true;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    if (e.is_regular_file() &&
+        ends_with(e.path().filename().string(), ".pdia")) {
+      files.push_back(e.path().filename().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& name : files) {
+    Mapping m(path(name));
+    if (m.data == nullptr) continue;
+    std::size_t off = 0;
+    while (off + kRecHeaderBytes <= m.len) {
+      const std::uint8_t* p = m.data + off;
+      if (rd64(p) != kDiagMagic) break;
+      const std::uint64_t total_len = rd64(p + 32);
+      if (total_len < kRecHeaderBytes || total_len % 8 != 0 ||
+          off + total_len > m.len) {
+        break;  // torn tail: stop at the first malformed record
+      }
+      std::uint64_t h = fnv64(p, 24);
+      h = fnv64(p + 32, static_cast<std::size_t>(total_len) - 32, h);
+      if (h != rd64(p + 24)) break;
+      const std::uint64_t w5 = rd64(p + 40);
+      const std::uint64_t w6 = rd64(p + 48);
+      const auto flags = static_cast<std::uint32_t>(w5 & 0xFFFF);
+      const auto name_len = static_cast<std::size_t>((w5 >> 16) & 0xFFFF);
+      const auto text_len = static_cast<std::size_t>(w5 >> 32);
+      const auto dtype_len = static_cast<std::size_t>((w6 >> 32) & 0xFF);
+      if (kRecHeaderBytes + name_len + dtype_len + text_len > total_len) {
+        break;
+      }
+      if (rd64(p + 8) == fp_) {
+        DiagState st;
+        st.key.kernel.assign(
+            reinterpret_cast<const char*>(p + kRecHeaderBytes), name_len);
+        st.key.dtype.assign(
+            reinterpret_cast<const char*>(p + kRecHeaderBytes + name_len),
+            dtype_len);
+        st.key.size_bytes = static_cast<std::uint32_t>(w6 & 0xFFFFFFFFu);
+        st.text.assign(reinterpret_cast<const char*>(
+                           p + kRecHeaderBytes + name_len + dtype_len),
+                       text_len);
+        st.tombstone = (flags & 1u) != 0;
+        diags_[rd64(p + 16)] = std::move(st);
+        ++diag_file_records_;
+      }
+      off += static_cast<std::size_t>(total_len);
+    }
+  }
+}
+
+void SegmentStore::append_diag_locked(const SegmentKey& key,
+                                      const std::string& text,
+                                      bool tombstone) {
+  if (key.kernel.size() > 0xFFFF || key.dtype.size() > 0xFF) {
+    throw std::runtime_error("SegmentStore: diag sample name too long");
+  }
+  if (diag_fd_ < 0) {
+    for (;;) {
+      const std::string name =
+          "diag-" + hex16(next_seq_locked()) + "-" +
+          std::to_string(::getpid()) + ".pdia";
+      const int fd = ::open(path(name).c_str(),
+                            O_WRONLY | O_CREAT | O_EXCL | O_APPEND |
+                                O_CLOEXEC,
+                            0644);
+      if (fd >= 0) {
+        diag_fd_ = fd;
+        diag_active_name_ = name;
+        break;
+      }
+      if (errno != EEXIST) {
+        throw std::runtime_error("SegmentStore: cannot create " + name);
+      }
+    }
+  }
+  const std::size_t total_len = align_up(
+      kRecHeaderBytes + key.kernel.size() + key.dtype.size() + text.size(),
+      8);
+  std::vector<std::uint8_t> rec(total_len, 0);
+  wr64(rec.data() + 0, kDiagMagic);
+  wr64(rec.data() + 8, fp_);
+  wr64(rec.data() + 16, segment_diag_hash(key));
+  wr64(rec.data() + 32, total_len);
+  wr64(rec.data() + 40,
+       (tombstone ? 1ULL : 0ULL) |
+           (static_cast<std::uint64_t>(key.kernel.size()) << 16) |
+           (static_cast<std::uint64_t>(text.size()) << 32));
+  wr64(rec.data() + 48, static_cast<std::uint64_t>(key.size_bytes) |
+                            (static_cast<std::uint64_t>(key.dtype.size())
+                             << 32));
+  std::memcpy(rec.data() + kRecHeaderBytes, key.kernel.data(),
+              key.kernel.size());
+  std::memcpy(rec.data() + kRecHeaderBytes + key.kernel.size(),
+              key.dtype.data(), key.dtype.size());
+  std::memcpy(
+      rec.data() + kRecHeaderBytes + key.kernel.size() + key.dtype.size(),
+      text.data(), text.size());
+  std::uint64_t h = fnv64(rec.data(), 24);
+  h = fnv64(rec.data() + 32, total_len - 32, h);
+  wr64(rec.data() + 24, h);
+  // O_APPEND + a single write keeps the record contiguous even if another
+  // writer shares the file; a torn tail is cut off by the checksum walk.
+  std::size_t n = total_len;
+  const std::uint8_t* p = rec.data();
+  while (n > 0) {
+    const ssize_t w = ::write(diag_fd_, p, n);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      throw std::runtime_error("SegmentStore: diag write failed for " +
+                               diag_active_name_);
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  DiagState st;
+  st.key = key;
+  st.text = text;
+  st.tombstone = tombstone;
+  diags_[segment_diag_hash(key)] = std::move(st);
+  ++diag_file_records_;
+}
+
+void SegmentStore::save_diag(const SegmentKey& key, const std::string& text) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ensure_diags_loaded_locked();
+  const std::uint64_t h = segment_diag_hash(key);
+  const auto it = diags_.find(h);
+  if (text.empty()) {
+    // Tombstones are only worth appending over a live report; a clean
+    // sample on a clean store must not grow the diag segment.
+    if (it != diags_.end() && !it->second.tombstone) {
+      append_diag_locked(key, "", /*tombstone=*/true);
+    }
+    return;
+  }
+  if (it != diags_.end() && !it->second.tombstone &&
+      it->second.text == text) {
+    return;  // identical report already stored
+  }
+  append_diag_locked(key, text, /*tombstone=*/false);
+}
+
+std::size_t SegmentStore::compact() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ensure_diags_loaded_locked();
+  seal_active_locked();
+
+  struct LiveRec {
+    SegmentKey key;
+    std::uint64_t prog = 0;
+    std::vector<std::uint64_t> payload;
+  };
+  std::unordered_map<std::uint64_t, LiveRec> live;
+  std::size_t total_slots = 0;
+  std::vector<std::string> old_files;
+  for (std::uint32_t i = 0; i < segs_.size(); ++i) {
+    const std::uint8_t* base = map_segment_locked(i);
+    const Seg& s = segs_[i];
+    old_files.push_back(s.name);
+    if (base == nullptr) {
+      ++total_slots;
+      continue;
+    }
+    total_slots += s.records;
+    if (s.foreign || s.slot != slot_) continue;
+    for (std::size_t j = 0; j < s.records; ++j) {
+      RecView v;
+      if (parse_record(base + kPage + j * slot_, slot_, fp_, &v) !=
+          RecState::Valid) {
+        continue;
+      }
+      LiveRec r;
+      r.key.kernel = std::string(v.kernel);
+      r.key.dtype = std::string(v.dtype);
+      r.key.size_bytes = v.size_bytes;
+      r.key.ncores = v.ncores;
+      r.prog = v.prog;
+      r.payload.resize(v.payload_words);
+      std::memcpy(r.payload.data(), v.payload,
+                  v.payload_words * sizeof(std::uint64_t));
+      live[v.key_hash] = std::move(r);
+    }
+  }
+
+  std::unordered_set<std::uint64_t> live_samples;
+  for (const auto& [kh, r] : live) {
+    (void)kh;
+    live_samples.insert(segment_diag_hash(r.key));
+  }
+  std::vector<const DiagState*> kept_diags;
+  for (const auto& [dh, st] : diags_) {
+    if (!st.tombstone && live_samples.count(dh) != 0) {
+      kept_diags.push_back(&st);
+    }
+  }
+  const std::size_t dropped =
+      (total_slots - live.size()) + (diag_file_records_ - kept_diags.size());
+
+  // Deterministic rewrite order: records by key hash, reports likewise.
+  std::vector<std::uint64_t> order;
+  order.reserve(live.size());
+  for (const auto& [kh, r] : live) {
+    (void)r;
+    order.push_back(kh);
+  }
+  std::sort(order.begin(), order.end());
+  std::sort(kept_diags.begin(), kept_diags.end(),
+            [](const DiagState* a, const DiagState* b) {
+              return segment_diag_hash(a->key) < segment_diag_hash(b->key);
+            });
+
+  if (diag_fd_ >= 0) {
+    ::close(diag_fd_);
+    diag_fd_ = -1;
+    diag_active_name_.clear();
+  }
+
+  std::uint64_t seq = next_seq_locked();
+  std::string new_seg_name;
+  if (!live.empty()) {
+    new_seg_name =
+        "seg-" + hex16(seq++) + "-" + std::to_string(::getpid()) + ".pseg";
+    const std::string tmp = path(new_seg_name + ".tmp");
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      throw std::runtime_error("SegmentStore: cannot write " + tmp);
+    }
+    try {
+      std::vector<std::uint8_t> page(kPage);
+      build_segment_header(page.data(), fp_, slot_);
+      pwrite_all(fd, page.data(), kPage, 0, tmp);
+      std::vector<std::uint8_t> slot(slot_);
+      for (std::size_t j = 0; j < order.size(); ++j) {
+        const LiveRec& r = live.at(order[j]);
+        std::fill(slot.begin(), slot.end(), 0);
+        build_record(slot.data(), fp_, r.prog, r.key, r.payload);
+        pwrite_all(fd, slot.data(), slot_,
+                   static_cast<off_t>(kPage + j * slot_), tmp);
+      }
+    } catch (...) {
+      ::close(fd);
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw;
+    }
+    ::fsync(fd);
+    ::close(fd);
+    std::error_code ec;
+    fs::rename(tmp, path(new_seg_name), ec);
+    if (ec) {
+      throw std::runtime_error("SegmentStore: cannot seal compacted segment");
+    }
+  }
+
+  std::string new_diag_name;
+  if (!kept_diags.empty()) {
+    new_diag_name =
+        "diag-" + hex16(seq++) + "-" + std::to_string(::getpid()) + ".pdia";
+    // Route the rewrites through the normal append path, then seal by
+    // closing; append_diag_locked creates the file on first use.
+    std::unordered_map<std::uint64_t, DiagState> rewritten;
+    std::size_t count = 0;
+    diag_active_name_ = new_diag_name;
+    const int fd = ::open(path(new_diag_name).c_str(),
+                          O_WRONLY | O_CREAT | O_EXCL | O_APPEND | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+      throw std::runtime_error("SegmentStore: cannot write " + new_diag_name);
+    }
+    diag_fd_ = fd;
+    for (const DiagState* st : kept_diags) {
+      rewritten[segment_diag_hash(st->key)] = *st;
+      ++count;
+    }
+    const std::size_t before = diag_file_records_;
+    for (const DiagState* st : kept_diags) {
+      append_diag_locked(st->key, st->text, /*tombstone=*/false);
+    }
+    diag_file_records_ = before;  // recomputed below
+    ::fsync(diag_fd_);
+    ::close(diag_fd_);
+    diag_fd_ = -1;
+    diag_active_name_.clear();
+    diags_ = std::move(rewritten);
+    diag_file_records_ = count;
+  } else {
+    diags_.clear();
+    diag_file_records_ = 0;
+  }
+
+  // Remove every superseded file: old segments, old diag files, and any
+  // stray temporaries — everything except the two files just written.
+  std::error_code ec;
+  std::vector<std::string> doomed;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+    if (!e.is_regular_file()) continue;
+    const std::string name = e.path().filename().string();
+    if (name == new_seg_name || name == new_diag_name) continue;
+    if (ends_with(name, ".pseg") || ends_with(name, ".pdia")) {
+      doomed.push_back(name);
+    }
+  }
+  for (const std::string& name : doomed) {
+    std::error_code rec;
+    fs::remove(path(name), rec);
+  }
+
+  segs_.clear();
+  overlay_.clear();
+  index_.reset();
+  index_segments_ = 0;
+  if (!live.empty()) {
+    Seg s;
+    s.name = new_seg_name;
+    s.size = kPage + static_cast<std::uintmax_t>(order.size()) * slot_;
+    s.records = order.size();
+    s.slot = slot_;
+    s.readable = true;
+    segs_.push_back(std::move(s));
+    for (std::size_t j = 0; j < order.size(); ++j) {
+      overlay_[order[j]] = Loc{0, static_cast<std::uint32_t>(j)};
+    }
+  }
+  write_index_locked();
+  return dropped;
+}
+
+}  // namespace pulpc::core

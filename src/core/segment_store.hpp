@@ -1,0 +1,210 @@
+// Segment engine of the v2 artifact store: append-only single-file
+// segments of fixed-size, page-aligned binary records read via mmap.
+//
+// On-disk layout (all integers little-endian/native u64 words; the store
+// is a cache of locally produced counters, not an interchange format):
+//
+//   <dir>/seg-<seq:016x>-<pid>.pseg     sealed, immutable record segments
+//   <dir>/active-<pid>.pseg             this process's unsealed segment
+//   <dir>/diag-<seq:016x>-<pid>.pdia    verifier-report (diag) segments
+//   <dir>/store.idx                     open-addressed key -> slot index
+//
+// A record segment starts with one 4 KiB header page (magic, record
+// format version, store fingerprint, slot size, record count hint)
+// followed by records at fixed slot_bytes strides, each slot one or more
+// whole pages. A record carries the store fingerprint, the lowered
+// program hash, its full sample identity (kernel name, dtype, size,
+// core count), an 8-lane interleaved FNV-1a checksum over
+// header+payload (independent lanes overlap the FNV multiplies so the
+// integrity scan runs near memory speed), and the packed
+// sim::RunStats counters as raw u64 words — loading is an index probe,
+// an identity/checksum verify and a word-copy; no text parsing.
+//
+// Durability/crash-safety argument (DESIGN.md §10):
+//  * save() appends one whole slot to the active segment. A crash can
+//    only truncate the *tail* slot; a partial or torn slot fails its
+//    checksum and is ignored (re-simulated), never trusted.
+//  * Sealing is a rename (atomic on POSIX); sealed segments are
+//    immutable thereafter.
+//  * The index is advisory: it is rewritten via tmp+rename on flush and
+//    validated against the directory on open (fingerprint, listed
+//    segment names and byte sizes). Any mismatch falls back to scanning
+//    the unindexed segments — a stale index is a slower open, never a
+//    wrong answer.
+//  * compact() writes replacement segments and a fresh index before
+//    deleting the originals; a crash in between leaves duplicates that
+//    last-write-wins resolution and the next compact clean up.
+//
+// Concurrency: one mutex serializes every operation on a SegmentStore;
+// core::ArtifactStore shares one engine across copies. Concurrent
+// *processes* append to distinct active segments (pid-suffixed names)
+// and see each other's sealed records on (re)open.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace pulpc::core {
+
+/// Full identity of one stored record. The dtype travels as its
+/// canonical rendering ("i32"/"f32") so this layer needs no KIR types.
+struct SegmentKey {
+  std::string kernel;
+  std::string dtype;
+  std::uint32_t size_bytes = 0;
+  unsigned ncores = 0;  ///< 0 for diag entries (keyed per sample, not per run)
+};
+
+class SegmentStore {
+ public:
+  /// Open (creating if needed) the segment store at `dir`. `fingerprint`
+  /// is the ArtifactStore platform fingerprint every record is stamped
+  /// with; `payload_capacity` is the largest packed-RunStats word count
+  /// a record slot must hold (derived from the cluster geometry, which
+  /// the fingerprint pins — every record of one store has one size).
+  /// Throws std::runtime_error when the directory cannot be created.
+  SegmentStore(std::string dir, std::uint64_t fingerprint,
+               std::size_t payload_capacity);
+  ~SegmentStore();
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Load the record for `key`. False — caller re-simulates — when the
+  /// record is missing, fails its checksum, carries another fingerprint
+  /// or (with `check_prog`) another program hash.
+  [[nodiscard]] bool load(const SegmentKey& key, std::uint64_t prog_hash,
+                          bool check_prog, sim::RunStats* out);
+
+  /// True when load() would succeed structurally (identity + checksum;
+  /// program hash not consulted).
+  [[nodiscard]] bool contains(const SegmentKey& key);
+
+  /// Append one record (last write wins for duplicate keys). Throws
+  /// std::runtime_error on I/O failure or a payload beyond capacity.
+  void save(const SegmentKey& key, std::uint64_t prog_hash,
+            const sim::RunStats& stats);
+
+  /// Append a verifier-report record for the sample (key.ncores == 0).
+  /// Empty text appends a tombstone only when a live report exists.
+  void save_diag(const SegmentKey& key, const std::string& text);
+
+  /// Per-segment census row.
+  struct SegmentInfo {
+    std::string name;
+    std::size_t records = 0;
+    std::size_t valid = 0;
+    std::size_t foreign = 0;
+    std::size_t corrupt = 0;
+    std::uintmax_t bytes = 0;
+  };
+  struct Census {
+    std::size_t records = 0;  ///< record slots across every segment
+    std::size_t valid = 0;
+    std::size_t foreign = 0;
+    std::size_t corrupt = 0;
+    std::size_t diag_records = 0;  ///< diag entries incl. tombstones
+    std::uintmax_t bytes = 0;      ///< total segment file bytes
+    std::vector<SegmentInfo> segments;
+  };
+  [[nodiscard]] Census scan();
+
+  /// Rewrite every live record (latest valid version per key) into fresh
+  /// segments, dropping foreign/corrupt/superseded records, diag
+  /// tombstones and diag entries whose sample no longer exists. Returns
+  /// the number of records dropped. Not safe concurrently with writers
+  /// in other processes.
+  std::size_t compact();
+
+  /// Seal the active segment (if any) and rewrite the index so another
+  /// process — or a crash-interrupted successor — opens in O(1).
+  void flush();
+
+  /// Invoke `fn` for every live record's identity and program hash (one
+  /// sequential pass over the mmap'd segments; diag entries excluded).
+  void for_each(
+      const std::function<void(const SegmentKey&, std::uint64_t)>& fn);
+
+  [[nodiscard]] std::size_t slot_bytes() const noexcept { return slot_; }
+
+ private:
+  struct Mapping;
+  struct Seg {
+    std::string name;
+    std::uintmax_t size = 0;
+    std::size_t records = 0;
+    std::size_t slot = 0;        ///< from the segment header page
+    bool readable = false;       ///< header page parsed successfully
+    bool foreign = false;        ///< header fingerprint != ours
+    std::shared_ptr<Mapping> map;  ///< lazily established
+  };
+  struct Loc {
+    std::uint32_t seg = 0;  ///< kActiveSeg -> active file, else segs_ index
+    std::uint32_t slot = 0;
+  };
+
+  [[nodiscard]] std::string path(const std::string& name) const;
+  void open_dir_locked();
+  bool load_index_locked();
+  void scan_segment_into_overlay_locked(std::uint32_t seg_idx);
+  const std::uint8_t* map_segment_locked(std::uint32_t seg_idx);
+  [[nodiscard]] bool fetch_locked(const Loc& loc,
+                                  std::vector<std::uint8_t>* buf,
+                                  const std::uint8_t** out);
+  [[nodiscard]] bool lookup_locked(std::uint64_t key_hash, Loc* out) const;
+  void seal_active_locked();
+  void write_index_locked();
+  void ensure_diags_loaded_locked();
+  void append_diag_locked(const SegmentKey& key, const std::string& text,
+                          bool tombstone);
+  [[nodiscard]] std::uint64_t next_seq_locked();
+
+  std::string dir_;
+  std::uint64_t fp_ = 0;
+  std::size_t slot_ = 0;
+
+  std::mutex mu_;
+  std::vector<Seg> segs_;
+  std::shared_ptr<Mapping> index_;  ///< validated store.idx (may be null)
+  std::size_t index_segments_ = 0;  ///< prefix of segs_ the index covers
+  std::unordered_map<std::uint64_t, Loc> overlay_;  ///< beats the index
+
+  int active_fd_ = -1;
+  std::string active_name_;
+  std::uint32_t active_records_ = 0;
+
+  // Diag state, loaded lazily on the first diag operation (keeps open
+  // O(1) for stores that never carry verifier reports).
+  struct DiagState {
+    SegmentKey key;
+    std::string text;
+    bool tombstone = false;
+  };
+  bool diags_loaded_ = false;
+  std::unordered_map<std::uint64_t, DiagState> diags_;
+  int diag_fd_ = -1;
+  std::string diag_active_name_;
+  std::size_t diag_file_records_ = 0;  ///< records in on-disk .pdia files
+};
+
+/// FNV-1a hash of a record key ("rec|kernel|dtype|size|ncores") — the
+/// probe key of the index and overlay.
+[[nodiscard]] std::uint64_t segment_key_hash(const SegmentKey& key);
+
+/// Diag variant ("diag|kernel|dtype|size"; ncores ignored).
+[[nodiscard]] std::uint64_t segment_diag_hash(const SegmentKey& key);
+
+/// Packed size (in u64 words) of a RunStats with the given geometry —
+/// what SegmentStore's payload_capacity should be for a cluster with
+/// `cores` cores, `l1`/`l2` banks and `fpus` FPUs.
+[[nodiscard]] std::size_t packed_stats_words(std::size_t cores,
+                                             std::size_t l1, std::size_t l2,
+                                             std::size_t fpus);
+
+}  // namespace pulpc::core

@@ -103,6 +103,51 @@ Result PredictionService::predict(const Request& req) {
   return submit(req).get();
 }
 
+std::size_t PredictionService::prime_from_store(
+    const core::ArtifactStore& store) {
+  if (!store.enabled() || opt_.cache_capacity == 0) return 0;
+  // One pass over the store collapses per-core-count artifacts into the
+  // distinct (kernel, dtype, size) specs the cache is keyed by.
+  struct Spec {
+    std::string kernel;
+    kir::DType dtype;
+    std::uint32_t size_bytes;
+  };
+  std::vector<Spec> specs;
+  std::unordered_map<std::uint64_t, bool> seen;
+  store.for_each([&](const core::ArtifactStore::StoredSample& s) {
+    kir::DType dtype;
+    if (s.dtype == "i32") {
+      dtype = kir::DType::I32;
+    } else if (s.dtype == "f32") {
+      dtype = kir::DType::F32;
+    } else {
+      return;  // a dtype this service cannot lower
+    }
+    Request probe;
+    probe.kernel = s.kernel;
+    probe.dtype = dtype;
+    probe.size_bytes = s.size_bytes;
+    if (!seen.emplace(spec_key(probe), true).second) return;
+    specs.push_back(Spec{s.kernel, dtype, s.size_bytes});
+  });
+  // Featurize on the service pool; resolve_row fills both LRU layers
+  // exactly as a cold request would, so the first live request for any
+  // primed spec is a pure cache hit.
+  std::vector<char> primed(specs.size(), 0);
+  pool_.parallel_for(specs.size(), [&](std::size_t i) {
+    Request req;
+    req.kernel = specs[i].kernel;
+    req.dtype = specs[i].dtype;
+    req.size_bytes = specs[i].size_bytes;
+    std::vector<double> row;
+    primed[i] = resolve_row(req, &row).ok ? 1 : 0;
+  });
+  std::size_t n = 0;
+  for (const char p : primed) n += p != 0 ? 1 : 0;
+  return n;
+}
+
 void PredictionService::batcher_loop() {
   for (;;) {
     std::vector<Pending> batch;

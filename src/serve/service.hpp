@@ -57,6 +57,10 @@
 #include "kir/ir.hpp"
 #include "serve/metrics.hpp"
 
+namespace pulpc::core {
+class ArtifactStore;
+}  // namespace pulpc::core
+
 namespace pulpc::serve {
 
 /// One prediction request: either a kernel spec from the registry
@@ -177,6 +181,14 @@ class PredictionService {
 
   /// Synchronous convenience: submit + wait.
   [[nodiscard]] Result predict(const Request& req);
+
+  /// Cold-start priming: enumerate the artifact store (one mmap pass in
+  /// the v2 backend) and pre-fill both LRU layers — feature rows and the
+  /// spec -> program-hash index — for every stored sample, so the first
+  /// real request for known work is a cache hit before the listener ever
+  /// opens. Samples that fail to lower are skipped. Returns the number
+  /// of distinct samples primed.
+  std::size_t prime_from_store(const core::ArtifactStore& store);
 
   [[nodiscard]] Metrics::Snapshot metrics() const { return metrics_.snapshot(); }
   [[nodiscard]] const core::EnergyClassifier& classifier() const noexcept {

@@ -136,8 +136,11 @@ TEST(ArtifactStore, ForeignClusterFingerprintIsRejected) {
 }
 
 TEST(ArtifactStore, CorruptFileIsDetectedAndCollected) {
+  // Pinned to the v1 per-file backend: this test does surgery on the
+  // path_for() file, which only exists in the one-file-per-run layout.
+  // test_store_v2.cpp carries the equivalent v2 corruption coverage.
   const std::string dir = temp_store("corrupt");
-  const ArtifactStore store(dir, sim::ClusterConfig{});
+  const ArtifactStore store(dir, sim::ClusterConfig{}, StoreFormat::v1);
   const SampleConfig cfg{"gemm", kir::DType::I32, 512};
   store.save(cfg, 1, 0x1, real_stats(1));
   store.save(cfg, 2, 0x1, real_stats(2));
@@ -160,6 +163,28 @@ TEST(ArtifactStore, CorruptFileIsDetectedAndCollected) {
   info = store.scan();
   EXPECT_EQ(info.files, 1U);
   EXPECT_EQ(info.corrupt, 0U);
+}
+
+TEST(ArtifactStore, GcDropsOrphanedDiagSidecars) {
+  // v1: deleting a sample's artifacts must let gc() reap the .diag
+  // sidecar too, while a live sample keeps its report.
+  const std::string dir = temp_store("orphandiag");
+  const ArtifactStore store(dir, sim::ClusterConfig{}, StoreFormat::v1);
+  const SampleConfig live{"gemm", kir::DType::I32, 512};
+  const SampleConfig dead{"fir", kir::DType::F32, 512};
+  store.save(live, 1, 0x1, real_stats(1));
+  store.save(dead, 1, 0x1, real_stats(1));
+  store.save_diag(live, "live report\n");
+  store.save_diag(dead, "dead report\n");
+  ASSERT_TRUE(fs::exists(store.diag_path_for(live)));
+  ASSERT_TRUE(fs::exists(store.diag_path_for(dead)));
+
+  // Remove the dead sample's only artifact; its sidecar is now orphaned.
+  fs::remove(store.path_for(dead, 1));
+  EXPECT_EQ(store.gc(), 1U);  // the orphan sidecar is the one dead entry
+  EXPECT_FALSE(fs::exists(store.diag_path_for(dead)));
+  EXPECT_TRUE(fs::exists(store.diag_path_for(live)));
+  EXPECT_TRUE(store.contains(live, 1));
 }
 
 TEST(ArtifactStore, PopulateFillsEveryConfiguredRun) {
@@ -220,7 +245,10 @@ TEST(Replay, CorruptArtifactIsResimulatedAndRepaired) {
   const BuildOptions opt = tiny_options();
   const std::string fresh_csv = csv_string(build_dataset(configs, opt));
 
-  const ArtifactStore store(temp_store("repair"), opt.cluster);
+  // v1-pinned for the same reason as CorruptFileIsDetectedAndCollected:
+  // the corruption is injected through path_for(), a v1-only handle.
+  const ArtifactStore store(temp_store("repair"), opt.cluster,
+                            StoreFormat::v1);
   (void)populate_store(store, configs, opt);
 
   // Corrupt one artifact; replay must fall back to simulation for that

@@ -9,15 +9,22 @@
 //   * the emitted trace reconstructs the direct counters exactly.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/artifacts.hpp"
+#include "core/pipeline.hpp"
 #include "dsl/builder.hpp"
 #include "dsl/lower.hpp"
 #include "energy/model.hpp"
 #include "feat/features.hpp"
 #include "sim/cluster.hpp"
+#include "sim/stats.hpp"
 #include "trace/listeners.hpp"
 #include "trace/sinks.hpp"
 
@@ -270,6 +277,87 @@ TEST_P(FuzzKernels, StaticFeaturesAreFiniteAndStable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzKernels,
                          ::testing::Range<std::uint64_t>(1, 33));
+
+// Segment-store fuzz: random byte flips anywhere in a sealed v2 store
+// (segment files and the index alike) must never crash the reader, and
+// a load must either fail cleanly or return the exact original counters
+// — a flipped bit can cost a replay, never corrupt a label.
+TEST(FuzzSegmentStore, ByteFlipsFailCleanlyOrRoundTrip) {
+  namespace fs = std::filesystem;
+  using core::ArtifactStore;
+  using core::SampleConfig;
+
+  const std::string pristine =
+      ::testing::TempDir() + "pulpc_segfuzz_pristine";
+  fs::remove_all(pristine);
+  const std::vector<SampleConfig> cfgs = {{"gemm", kir::DType::I32, 512},
+                                          {"fir", kir::DType::F32, 512},
+                                          {"fir", kir::DType::I32, 2048}};
+  constexpr unsigned kCores = 2;
+  core::BuildOptions opt;
+  opt.max_cores = kCores;
+  opt.threads = 1;
+  opt.cache_path = "";
+  std::vector<std::pair<std::uint64_t, sim::RunStats>> truth;  // cfg x core
+  {
+    const ArtifactStore store(pristine, opt.cluster, core::StoreFormat::v2);
+    for (const SampleConfig& cfg : cfgs) {
+      const kir::Program prog = core::lower_sample(cfg);
+      const std::uint64_t h = core::program_hash(prog);
+      const std::vector<sim::RunStats> runs =
+          core::simulate_sample(prog, cfg, opt);
+      for (unsigned c = 1; c <= kCores; ++c) {
+        store.save(cfg, c, h, runs[c - 1]);
+        truth.emplace_back(h, runs[c - 1]);
+      }
+    }
+    store.flush();
+  }
+
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    std::mt19937_64 rng(seed);
+    const std::string scratch =
+        ::testing::TempDir() + "pulpc_segfuzz_scratch";
+    fs::remove_all(scratch);
+    fs::copy(pristine, scratch, fs::copy_options::recursive);
+
+    std::vector<fs::path> files;
+    for (const fs::directory_entry& e : fs::directory_iterator(scratch)) {
+      if (e.is_regular_file()) files.push_back(e.path());
+    }
+    ASSERT_FALSE(files.empty());
+    const int flips = 1 + int(rng() % 6);
+    for (int f = 0; f < flips; ++f) {
+      const fs::path& victim = files[rng() % files.size()];
+      const std::uintmax_t size = fs::file_size(victim);
+      if (size == 0) continue;
+      const std::uintmax_t off = rng() % size;
+      std::fstream io(victim, std::ios::in | std::ios::out |
+                                  std::ios::binary);
+      ASSERT_TRUE(io) << victim;
+      io.seekg(static_cast<std::streamoff>(off));
+      char c = 0;
+      io.read(&c, 1);
+      c = static_cast<char>(c ^ char(1 + rng() % 255));
+      io.seekp(static_cast<std::streamoff>(off));
+      io.write(&c, 1);
+    }
+
+    const ArtifactStore store(scratch, opt.cluster, core::StoreFormat::v2);
+    std::size_t t = 0;
+    for (const SampleConfig& cfg : cfgs) {
+      for (unsigned c = 1; c <= kCores; ++c, ++t) {
+        sim::RunStats back;
+        if (store.load(cfg, c, truth[t].first, &back)) {
+          EXPECT_EQ(back, truth[t].second)
+              << "seed " << seed << " " << cfg.kernel << " @" << c;
+        }
+      }
+    }
+    (void)store.scan();  // census over damaged segments must not crash
+    store.for_each([](const ArtifactStore::StoredSample&) {});
+  }
+}
 
 }  // namespace
 }  // namespace pulpc

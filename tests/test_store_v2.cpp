@@ -1,0 +1,393 @@
+// Segment store (v2) tests: hostile on-disk inputs (torn tails, flipped
+// bytes, foreign fingerprints), duplicate-key last-write-wins across
+// sealed segments, v1 -> v2 import with byte-identical relabel replay,
+// diag lifecycle under compact, and serve-side cold-start priming.
+//
+// The tests do surgery on real .pseg files through the filesystem — the
+// same way a crash, a bit flip, or a stray writer would — and assert the
+// store degrades exactly like a corrupt v1 text file did: the damaged
+// record fails to load (and is re-simulated upstream), everything else
+// keeps working.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/artifacts.hpp"
+#include "core/pipeline.hpp"
+#include "serve/service.hpp"
+#include "sim/stats.hpp"
+
+namespace pulpc {
+namespace {
+
+namespace fs = std::filesystem;
+using core::ArtifactStore;
+using core::BuildOptions;
+using core::SampleConfig;
+using core::StoreFormat;
+
+constexpr std::size_t kPage = 4096;  ///< segment header page (format v2)
+
+// This suite pins formats explicitly or tests auto-detection on its own
+// terms; an ambient PULPC_STORE_FORMAT (the CI replay matrix exports
+// one) must not leak into the defaults under test.
+const int kEnvGuard = [] {
+  unsetenv("PULPC_STORE_FORMAT");
+  return 0;
+}();
+
+std::string temp_store(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "pulpc_segstore_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<SampleConfig> tiny_configs() {
+  return {{"gemm", kir::DType::I32, 512},
+          {"fir", kir::DType::F32, 512},
+          {"fir", kir::DType::I32, 2048}};
+}
+
+BuildOptions tiny_options() {
+  BuildOptions opt;
+  opt.max_cores = 4;
+  opt.threads = 1;
+  opt.cache_path = "";
+  opt.artifact_dir = "";
+  return opt;
+}
+
+std::string csv_string(const ml::Dataset& ds) {
+  std::ostringstream out;
+  ds.save_csv(out);
+  return out.str();
+}
+
+sim::RunStats real_stats(unsigned ncores = 2) {
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  BuildOptions opt = tiny_options();
+  opt.max_cores = ncores;
+  return core::simulate_sample(core::lower_sample(cfg), cfg, opt).back();
+}
+
+/// The sealed segment files of a v2 store directory, sorted by name
+/// (i.e. by sequence number — the store's own precedence order).
+std::vector<fs::path> sealed_segments(const std::string& dir) {
+  std::vector<fs::path> segs;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("seg-", 0) == 0 && e.path().extension() == ".pseg") {
+      segs.push_back(e.path());
+    }
+  }
+  std::sort(segs.begin(), segs.end());
+  return segs;
+}
+
+/// Record slot stride of a sealed segment, recovered from the file
+/// itself (header page + records * slot).
+std::size_t slot_of(const fs::path& seg, std::size_t records) {
+  return (static_cast<std::size_t>(fs::file_size(seg)) - kPage) / records;
+}
+
+void flip_byte(const fs::path& p, std::uintmax_t off) {
+  std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f) << p;
+  f.seekg(static_cast<std::streamoff>(off));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5A);
+  f.seekp(static_cast<std::streamoff>(off));
+  f.write(&c, 1);
+}
+
+TEST(SegmentStore, DefaultsToV2AndSurvivesReopenViaIndex) {
+  const std::string dir = temp_store("reopen");
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  const sim::RunStats stats = real_stats(2);
+  {
+    const ArtifactStore store(dir, sim::ClusterConfig{});
+    EXPECT_EQ(store.format(), StoreFormat::v2);
+    store.save(cfg, 2, 0x1234, stats);
+    store.flush();
+  }
+  ASSERT_TRUE(fs::exists(dir + "/store.idx"));
+  ASSERT_EQ(sealed_segments(dir).size(), 1U);
+
+  // A fresh handle auto-detects v2 and answers from the mmap'd index.
+  const ArtifactStore store(dir, sim::ClusterConfig{});
+  EXPECT_EQ(store.format(), StoreFormat::v2);
+  EXPECT_TRUE(store.contains(cfg, 2));
+  sim::RunStats back;
+  ASSERT_TRUE(store.load(cfg, 2, 0x1234, &back));
+  EXPECT_EQ(back, stats);
+  EXPECT_FALSE(store.load(cfg, 2, 0x9999, &back));  // wrong lowering
+  EXPECT_FALSE(store.contains(cfg, 3));
+}
+
+TEST(SegmentStore, TruncatedTailDropsOnlyTheTornRecord) {
+  const std::string dir = temp_store("torntail");
+  const SampleConfig first{"gemm", kir::DType::I32, 512};
+  const SampleConfig second{"fir", kir::DType::F32, 512};
+  const sim::RunStats stats = real_stats(1);
+  {
+    const ArtifactStore store(dir, sim::ClusterConfig{});
+    store.save(first, 1, 0x1, stats);
+    store.save(second, 1, 0x1, stats);
+    store.flush();
+  }
+  const std::vector<fs::path> segs = sealed_segments(dir);
+  ASSERT_EQ(segs.size(), 1U);
+  const std::size_t slot = slot_of(segs[0], 2);
+
+  // Cut the second record in half — the shape of a crash mid-append.
+  fs::resize_file(segs[0], kPage + slot + slot / 2);
+
+  const ArtifactStore store(dir, sim::ClusterConfig{});
+  sim::RunStats back;
+  EXPECT_TRUE(store.load(first, 1, 0x1, &back));
+  EXPECT_EQ(back, stats);
+  EXPECT_FALSE(store.load(second, 1, 0x1, &back));
+  const ArtifactStore::Info info = store.scan();
+  EXPECT_EQ(info.valid, 1U);
+  EXPECT_EQ(info.corrupt, 0U);  // the torn slot is gone, not corrupt
+}
+
+TEST(SegmentStore, FlippedChecksumByteFailsOnlyThatRecord) {
+  const std::string dir = temp_store("bitflip");
+  const SampleConfig first{"gemm", kir::DType::I32, 512};
+  const SampleConfig second{"fir", kir::DType::F32, 512};
+  const sim::RunStats stats = real_stats(1);
+  {
+    const ArtifactStore store(dir, sim::ClusterConfig{});
+    store.save(first, 1, 0x1, stats);
+    store.save(second, 1, 0x1, stats);
+    store.flush();
+  }
+  const std::vector<fs::path> segs = sealed_segments(dir);
+  ASSERT_EQ(segs.size(), 1U);
+
+  // Record 0 (the first save) sits right after the header page; byte 48
+  // is its stored checksum. The file size is unchanged, so the index
+  // still trusts the segment — the damage must surface at load time.
+  flip_byte(segs[0], kPage + 48);
+
+  const ArtifactStore store(dir, sim::ClusterConfig{});
+  sim::RunStats back;
+  EXPECT_FALSE(store.load(first, 1, 0x1, &back));
+  EXPECT_FALSE(store.contains(first, 1));
+  EXPECT_TRUE(store.load(second, 1, 0x1, &back));
+  EXPECT_EQ(back, stats);
+  const ArtifactStore::Info info = store.scan();
+  EXPECT_EQ(info.files, 2U);
+  EXPECT_EQ(info.valid, 1U);
+  EXPECT_EQ(info.corrupt, 1U);
+  ASSERT_EQ(info.segments.size(), 1U);
+  EXPECT_EQ(info.segments[0].corrupt, 1U);
+}
+
+TEST(SegmentStore, ForeignFingerprintIsRejectedWholesale) {
+  const std::string dir = temp_store("foreign");
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  {
+    sim::ClusterConfig other;
+    other.l2_latency = 99;  // different simulated platform, same geometry
+    const ArtifactStore writer(dir, other, StoreFormat::v2);
+    writer.save(cfg, 1, 0x1, real_stats(1));
+    writer.flush();
+  }
+  const ArtifactStore store(dir, sim::ClusterConfig{}, StoreFormat::v2);
+  sim::RunStats back;
+  EXPECT_FALSE(store.load(cfg, 1, 0x1, &back));
+  EXPECT_FALSE(store.contains(cfg, 1));
+  const ArtifactStore::Info info = store.scan();
+  EXPECT_EQ(info.files, 1U);
+  EXPECT_EQ(info.foreign, 1U);
+  EXPECT_EQ(info.valid, 0U);
+}
+
+TEST(SegmentStore, DuplicateKeyLastWriteWinsAcrossSegments) {
+  const std::string dir = temp_store("lastwrite");
+  const SampleConfig cfg{"gemm", kir::DType::I32, 512};
+  const sim::RunStats old_stats = real_stats(2);
+  sim::RunStats new_stats = old_stats;
+  new_stats.total_cycles += 7;  // distinguishable, same shape
+
+  {
+    const ArtifactStore store(dir, sim::ClusterConfig{});
+    store.save(cfg, 2, 0x1, old_stats);
+    store.flush();  // seals segment #1
+    store.save(cfg, 2, 0x1, new_stats);
+    // Same handle: the overlay must already prefer the rewrite.
+    sim::RunStats back;
+    ASSERT_TRUE(store.load(cfg, 2, 0x1, &back));
+    EXPECT_EQ(back, new_stats);
+    store.flush();  // seals segment #2
+  }
+  ASSERT_EQ(sealed_segments(dir).size(), 2U);
+
+  // Across a reopen the later segment (higher sequence number) wins.
+  const ArtifactStore store(dir, sim::ClusterConfig{});
+  sim::RunStats back;
+  ASSERT_TRUE(store.load(cfg, 2, 0x1, &back));
+  EXPECT_EQ(back, new_stats);
+
+  // Compact folds both segments into one and keeps only the winner.
+  EXPECT_EQ(store.compact(), 1U);
+  ASSERT_TRUE(store.load(cfg, 2, 0x1, &back));
+  EXPECT_EQ(back, new_stats);
+  const ArtifactStore::Info info = store.scan();
+  EXPECT_EQ(info.files, 1U);
+  EXPECT_EQ(info.valid, 1U);
+}
+
+TEST(SegmentStore, CompactDropsDiagsOfDeadSamples) {
+  const ArtifactStore store(temp_store("diagcompact"), sim::ClusterConfig{});
+  const SampleConfig live{"gemm", kir::DType::I32, 512};
+  const SampleConfig dead{"fir", kir::DType::F32, 512};
+  store.save(live, 1, 0x1, real_stats(1));
+  store.save_diag(live, "live report\n");
+  store.save_diag(dead, "orphan report\n");  // no stats: sample is dead
+  store.save_diag(live, "live report\n");    // identical text: no new entry
+  ArtifactStore::Info info = store.scan();
+  EXPECT_EQ(info.diags, 2U);
+
+  // Compact keeps the live sample's report, drops the orphan.
+  EXPECT_EQ(store.compact(), 1U);
+  info = store.scan();
+  EXPECT_EQ(info.diags, 1U);
+  EXPECT_EQ(info.valid, 1U);
+  sim::RunStats back;
+  EXPECT_TRUE(store.load(live, 1, 0x1, &back));
+}
+
+TEST(SegmentStore, RelabelFromV2MatchesFreshBuildByteForByte) {
+  const std::vector<SampleConfig> configs = tiny_configs();
+  BuildOptions opt = tiny_options();
+  const std::string fresh_csv =
+      csv_string(core::build_dataset(configs, opt));
+
+  const std::string dir = temp_store("relabel");
+  {
+    const ArtifactStore store(dir, opt.cluster, StoreFormat::v2);
+    const core::StageReport r = core::populate_store(store, configs, opt);
+    EXPECT_EQ(r.simulated_runs, configs.size() * opt.max_cores);
+  }
+  for (const unsigned threads : {1U, 4U}) {
+    // A fresh handle per thread count: every replay is a cold open that
+    // must resolve purely from the packed segments.
+    const ArtifactStore store(dir, opt.cluster, StoreFormat::v2);
+    BuildOptions ropt = tiny_options();
+    ropt.threads = threads;
+    core::StageReport report;
+    ropt.stage_report = [&](const core::StageReport& r) { report = r; };
+    const ml::Dataset replayed = core::relabel(store, configs, ropt);
+    EXPECT_EQ(csv_string(replayed), fresh_csv) << threads << " threads";
+    EXPECT_EQ(report.simulated_runs, 0U) << threads << " threads";
+    EXPECT_EQ(report.replayed_runs, configs.size() * ropt.max_cores);
+  }
+}
+
+TEST(SegmentStore, ImportedV1StoreReplaysByteForByte) {
+  const std::vector<SampleConfig> configs = tiny_configs();
+  BuildOptions opt = tiny_options();
+  const std::string fresh_csv =
+      csv_string(core::build_dataset(configs, opt));
+
+  // Populate a v1 text store, with one verifier report riding along.
+  const std::string dir = temp_store("import");
+  {
+    const ArtifactStore v1(dir, opt.cluster, StoreFormat::v1);
+    (void)core::populate_store(v1, configs, opt);
+    v1.save_diag(configs[0], "migrated report\n");
+  }
+
+  // Import in place: every artifact moves into packed segments, the text
+  // files (and the sidecar) disappear.
+  const ArtifactStore store(dir, opt.cluster, StoreFormat::v2);
+  EXPECT_EQ(store.import_v1(), configs.size() * opt.max_cores);
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    EXPECT_NE(e.path().extension(), ".runstats") << e.path();
+    EXPECT_NE(e.path().extension(), ".diag") << e.path();
+  }
+  ArtifactStore::Info info = store.scan();
+  EXPECT_EQ(info.valid, configs.size() * opt.max_cores);
+  EXPECT_EQ(info.diags, 1U);
+
+  // Replay from the imported store: identical bytes, zero simulation,
+  // at both thread counts.
+  for (const unsigned threads : {1U, 4U}) {
+    BuildOptions ropt = tiny_options();
+    ropt.threads = threads;
+    core::StageReport report;
+    ropt.stage_report = [&](const core::StageReport& r) { report = r; };
+    EXPECT_EQ(csv_string(core::relabel(store, configs, ropt)), fresh_csv)
+        << threads << " threads";
+    EXPECT_EQ(report.simulated_runs, 0U) << threads << " threads";
+  }
+  // A second import is a no-op, not a duplication.
+  EXPECT_EQ(store.import_v1(), 0U);
+}
+
+TEST(SegmentStore, EnvironmentSelectsTheBackend) {
+  const std::string dir = temp_store("envpick");
+  ASSERT_EQ(setenv("PULPC_STORE_FORMAT", "v1", 1), 0);
+  {
+    const ArtifactStore store(dir, sim::ClusterConfig{});
+    EXPECT_EQ(store.format(), StoreFormat::v1);
+    store.save({"gemm", kir::DType::I32, 512}, 1, 0x1, real_stats(1));
+  }
+  unsetenv("PULPC_STORE_FORMAT");
+  // Explicit format beats the environment; detection sees the v1 files.
+  ASSERT_EQ(setenv("PULPC_STORE_FORMAT", "v2", 1), 0);
+  const ArtifactStore pinned(dir, sim::ClusterConfig{}, StoreFormat::v1);
+  EXPECT_EQ(pinned.format(), StoreFormat::v1);
+  unsetenv("PULPC_STORE_FORMAT");
+  const ArtifactStore detected(dir, sim::ClusterConfig{});
+  EXPECT_EQ(detected.format(), StoreFormat::v1);
+  EXPECT_TRUE(detected.contains({"gemm", kir::DType::I32, 512}, 1));
+  EXPECT_THROW((void)core::parse_store_format("v3"), std::invalid_argument);
+}
+
+TEST(SegmentStore, PrimeFromStoreWarmsTheServiceCaches) {
+  const std::vector<SampleConfig> configs = tiny_configs();
+  BuildOptions opt = tiny_options();
+  const ArtifactStore store(temp_store("prime"), opt.cluster,
+                            StoreFormat::v2);
+  (void)core::populate_store(store, configs, opt);
+
+  ml::Dataset ds(core::dataset_columns(opt.max_cores));
+  for (const SampleConfig& cfg : configs) {
+    ds.add(core::build_sample(cfg, opt));
+  }
+  core::EnergyClassifier clf;
+  clf.train(ds);
+
+  serve::PredictionService::Options sopt;
+  sopt.threads = 2;
+  serve::PredictionService svc(std::move(clf), sopt);
+  EXPECT_EQ(svc.prime_from_store(store), configs.size());
+
+  // The very first live request for a stored sample is already a cache
+  // hit — the point of priming before the listener opens.
+  for (const SampleConfig& cfg : configs) {
+    serve::Request req;
+    req.kernel = cfg.kernel;
+    req.dtype = cfg.dtype;
+    req.size_bytes = cfg.size_bytes;
+    const serve::Result r = svc.predict(req);
+    EXPECT_TRUE(r.ok) << cfg.kernel;
+    EXPECT_TRUE(r.cached) << cfg.kernel;
+  }
+  // A disabled store primes nothing.
+  EXPECT_EQ(svc.prime_from_store(ArtifactStore{}), 0U);
+}
+
+}  // namespace
+}  // namespace pulpc

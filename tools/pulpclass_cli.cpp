@@ -54,6 +54,7 @@ struct Args {
   std::string model = "pulpclass_model.txt";
   std::string out;
   std::string store;  ///< artifact store dir (--store / PULPC_ARTIFACT_DIR)
+  std::string format;  ///< artifact store backend (--format v1|v2)
   std::string features = "ALL";
   std::string kernel;           ///< lint: restrict to one kernel
   bool all = false;             ///< lint: whole registry
@@ -88,6 +89,12 @@ Args parse(int argc, char** argv) {
       a.features = next();
     } else if (arg == "--store") {
       a.store = next();
+    } else if (arg == "--format") {
+      a.format = next();
+      if (a.format != "v1" && a.format != "v2") {
+        std::fprintf(stderr, "--format wants v1 or v2\n");
+        std::exit(2);
+      }
     } else if (arg == "--kernel") {
       a.kernel = next();
     } else if (arg == "--all") {
@@ -150,6 +157,9 @@ int usage() {
       "  --store DIR    raw-counter artifact store directory\n"
       "                 (default: PULPC_ARTIFACT_DIR, else\n"
       "                 pulpclass_artifacts for cache/relabel)\n"
+      "  --format v1|v2 artifact store backend (default:\n"
+      "                 PULPC_STORE_FORMAT, else auto-detected; v2 is\n"
+      "                 the packed mmap segment store)\n"
       "  --stages       print the per-stage wall-clock report\n"
       "  --json         one JSON object on stdout (dataset/cache/lint)\n"
       "commands:\n"
@@ -158,8 +168,14 @@ int usage() {
       "                                    replaying stored raw counters\n"
       "                                    (no re-simulation on a warm store)\n"
       "  cache info                        artifact store census\n"
-      "  cache verify                      exit 1 on foreign/corrupt files\n"
-      "  cache gc                          delete foreign/corrupt files\n"
+      "  cache verify                      exit 1 on foreign/corrupt data\n"
+      "  cache gc                          drop foreign/corrupt artifacts\n"
+      "                                    (and reports whose sample is\n"
+      "                                    gone); in v2 same as compact\n"
+      "  cache compact                     rewrite the store keeping only\n"
+      "                                    live records (v2 segments)\n"
+      "  cache import                      migrate v1 text artifacts into\n"
+      "                                    the v2 segment store in place\n"
       "  train [--features AGG|RAW|MCA|ALL] [--out model.txt]\n"
       "  predict --model model.txt <kernel> <i32|f32> <bytes> [--json]\n"
       "          [--no-flat]                 classify with the original\n"
@@ -237,6 +253,7 @@ pulpclass::BuildOptions build_options(const Args& a) {
   pulpclass::BuildOptions opt;
   if (!a.out.empty()) opt.cache_path = a.out;
   if (!a.store.empty()) opt.artifact_dir = a.store;
+  if (!a.format.empty()) opt.store_format = a.format;
   if (a.verbose_stages) {
     opt.stage_report = [](const pulpclass::StageReport& r) {
       std::fprintf(stderr, "stages: %s\n", r.summary().c_str());
@@ -255,6 +272,13 @@ std::string store_dir(const Args& a) {
                       : std::optional<std::string>(a.store),
       "PULPC_ARTIFACT_DIR", "");
   return dir.empty() ? "pulpclass_artifacts" : dir;
+}
+
+/// Explicit --format selection, or nullopt to let the store resolve via
+/// PULPC_STORE_FORMAT / auto-detection.
+std::optional<core::StoreFormat> store_format(const Args& a) {
+  if (a.format.empty()) return std::nullopt;
+  return core::parse_store_format(a.format);
 }
 
 pulpclass::Dataset load_dataset(const pulpclass::BuildOptions& opt = {}) {
@@ -292,7 +316,8 @@ int cmd_dataset_relabel(const Args& a) {
     report = r;
     if (chained) chained(r);
   };
-  const pulpclass::ArtifactStore store(store_dir(a), opt.cluster);
+  const pulpclass::ArtifactStore store(store_dir(a), opt.cluster,
+                                       store_format(a));
   const pulpclass::Dataset ds = pulpclass::relabel(
       store, pulpclass::dataset_configs(), opt, print_progress);
   const std::string out = a.out.empty() ? "pulpclass_dataset.csv" : a.out;
@@ -318,24 +343,43 @@ int cmd_dataset_relabel(const Args& a) {
 int cmd_cache(const Args& a) {
   if (a.positional.empty()) return usage();
   const std::string verb = a.positional[0];
-  const pulpclass::ArtifactStore store(store_dir(a),
-                                       pulpclass::BuildOptions{}.cluster);
+  const pulpclass::ArtifactStore store(
+      store_dir(a), pulpclass::BuildOptions{}.cluster, store_format(a));
   if (verb == "info" || verb == "verify") {
     const pulpclass::ArtifactStore::Info info = store.scan();
     const bool ok = info.foreign == 0 && info.corrupt == 0;
     if (a.json) {
+      // One object per invocation, like the other verb-nouns; v2 adds a
+      // per-segment census array (empty for the per-file v1 backend).
+      std::string segments = "[";
+      for (std::size_t i = 0; i < info.segments.size(); ++i) {
+        const pulpclass::ArtifactStore::SegmentInfo& s = info.segments[i];
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":%s,\"records\":%zu,\"valid\":%zu,"
+                      "\"foreign\":%zu,\"corrupt\":%zu,\"bytes\":%zu}",
+                      i == 0 ? "" : ",", json_str(s.name).c_str(),
+                      s.records, s.valid, s.foreign, s.corrupt,
+                      std::size_t(s.bytes));
+        segments += buf;
+      }
+      segments += "]";
       std::printf("{\"command\":\"cache %s\",\"store\":%s,"
-                  "\"fingerprint\":\"%016llx\",\"schema\":%u,"
-                  "\"files\":%zu,\"bytes\":%zu,\"valid\":%zu,"
-                  "\"foreign\":%zu,\"corrupt\":%zu,\"ok\":%s}\n",
+                  "\"format\":\"%s\",\"fingerprint\":\"%016llx\","
+                  "\"schema\":%u,\"files\":%zu,\"bytes\":%zu,"
+                  "\"valid\":%zu,\"foreign\":%zu,\"corrupt\":%zu,"
+                  "\"diags\":%zu,\"segments\":%s,\"ok\":%s}\n",
                   verb.c_str(), json_str(store.dir()).c_str(),
+                  core::to_string(store.format()),
                   static_cast<unsigned long long>(store.fingerprint()),
-                  core::kArtifactSchemaVersion, info.files, info.bytes,
-                  info.valid, info.foreign, info.corrupt,
+                  core::kArtifactSchemaVersion, info.files,
+                  std::size_t(info.bytes), info.valid, info.foreign,
+                  info.corrupt, info.diags, segments.c_str(),
                   ok ? "true" : "false");
       return verb == "verify" && !ok ? 1 : 0;
     }
-    std::printf("store:       %s\n", store.dir().c_str());
+    std::printf("store:       %s (format %s)\n", store.dir().c_str(),
+                core::to_string(store.format()));
     std::printf("fingerprint: %016llx (schema v%u)\n",
                 static_cast<unsigned long long>(store.fingerprint()),
                 core::kArtifactSchemaVersion);
@@ -344,22 +388,50 @@ int cmd_cache(const Args& a) {
     std::printf("  valid:     %zu\n", info.valid);
     std::printf("  foreign:   %zu\n", info.foreign);
     std::printf("  corrupt:   %zu\n", info.corrupt);
+    std::printf("  reports:   %zu\n", info.diags);
+    for (const pulpclass::ArtifactStore::SegmentInfo& s : info.segments) {
+      std::printf("  segment %-28s %zu record%s (%zu valid)\n",
+                  s.name.c_str(), s.records, s.records == 1 ? "" : "s",
+                  s.valid);
+    }
     if (verb == "verify") {
       std::printf("verify: %s\n", ok ? "OK" : "FAILED");
       return ok ? 0 : 1;
     }
     return 0;
   }
-  if (verb == "gc") {
-    const std::size_t removed = store.gc();
+  if (verb == "gc" || verb == "compact") {
+    const std::size_t removed =
+        verb == "gc" ? store.gc() : store.compact();
     if (a.json) {
-      std::printf("{\"command\":\"cache gc\",\"store\":%s,"
-                  "\"removed\":%zu}\n",
-                  json_str(store.dir()).c_str(), removed);
+      std::printf("{\"command\":\"cache %s\",\"store\":%s,"
+                  "\"format\":\"%s\",\"removed\":%zu}\n",
+                  verb.c_str(), json_str(store.dir()).c_str(),
+                  core::to_string(store.format()), removed);
       return 0;
     }
-    std::printf("removed %zu foreign/corrupt artifact file%s from %s\n",
-                removed, removed == 1 ? "" : "s", store.dir().c_str());
+    std::printf("removed %zu dead entr%s from %s\n", removed,
+                removed == 1 ? "y" : "ies", store.dir().c_str());
+    return 0;
+  }
+  if (verb == "import") {
+    // Import targets the v2 backend by definition: a directory full of
+    // v1 text auto-detects as v1, so reopen it as v2 before migrating.
+    const pulpclass::ArtifactStore target =
+        store.format() == core::StoreFormat::v2
+            ? store
+            : pulpclass::ArtifactStore(store_dir(a),
+                                       pulpclass::BuildOptions{}.cluster,
+                                       core::StoreFormat::v2);
+    const std::size_t imported = target.import_v1();
+    if (a.json) {
+      std::printf("{\"command\":\"cache import\",\"store\":%s,"
+                  "\"format\":\"v2\",\"imported\":%zu}\n",
+                  json_str(store.dir()).c_str(), imported);
+      return 0;
+    }
+    std::printf("imported %zu v1 artifact%s into the segment store at %s\n",
+                imported, imported == 1 ? "" : "s", store.dir().c_str());
     return 0;
   }
   return usage();
@@ -463,6 +535,23 @@ int cmd_serve(const Args& a) {
   if (a.no_flat) sopt.use_flat = false;
   pulpclass::PredictionService svc(
       pulpclass::EnergyClassifier::load_file(a.model), sopt);
+  // Cold-start priming: with an artifact store configured, one pass over
+  // it (an mmap walk in the v2 backend) pre-fills the feature cache so
+  // known samples are cache hits from the very first request. Like the
+  // build pipeline — and unlike cache/relabel — serve treats an unset
+  // store as "no store", not the default directory.
+  const std::string prime_dir = core::env_or(
+      a.store.empty() ? std::nullopt : std::optional<std::string>(a.store),
+      "PULPC_ARTIFACT_DIR", "");
+  if (!prime_dir.empty()) {
+    const pulpclass::ArtifactStore store(
+        prime_dir, pulpclass::BuildOptions{}.cluster, store_format(a));
+    const std::size_t primed = svc.prime_from_store(store);
+    std::fprintf(stderr,
+                 "pulpclass serve: primed %zu sample%s from %s (format %s)\n",
+                 primed, primed == 1 ? "" : "s", store.dir().c_str(),
+                 core::to_string(store.format()));
+  }
   serve::Server::Options wopt;
   wopt.port = std::uint16_t(a.port);
   if (a.timeout_ms > 0) wopt.request_timeout_ms = a.timeout_ms;

@@ -17,6 +17,7 @@
 #include "dsl/lower.hpp"
 #include "feat/features.hpp"
 #include "kernels/registry.hpp"
+#include "kir/costmodel.hpp"
 #include "mca/analyzer.hpp"
 #include "ml/cv.hpp"
 #include "ml/flat.hpp"
@@ -182,6 +183,22 @@ void BM_McaAnalyze(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_McaAnalyze);
+
+// The static cost analyzer prices all 8 core counts per call; compare
+// against BM_SimulateGemm for the analyze-vs-simulate gap the
+// analyze-soundness CI job asserts on (>= 100x over the registry).
+void BM_AnalyzeCost(benchmark::State& state) {
+  const kir::Program prog = dsl::lower(kernels::make_kernel(
+      "gemm", kir::DType::I32, 8192));
+  double tightness = 0;
+  for (auto _ : state) {
+    const kir::CostReport rep = kir::analyze_cost(prog);
+    tightness = rep.config(8)->tightness();
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["tightness_n8"] = tightness;
+}
+BENCHMARK(BM_AnalyzeCost);
 
 void BM_TreeFit(benchmark::State& state) {
   const auto cols = static_cast<std::size_t>(state.range(0));

@@ -99,4 +99,48 @@ std::string report(const EnergyBreakdown& e) {
   return out;
 }
 
+kir::CostParams cost_params(const sim::ClusterConfig& cfg,
+                            const EnergyModel& m) {
+  kir::CostParams p;
+  p.max_cores = cfg.num_cores;
+  p.total_cores = cfg.num_cores;
+  p.div_cycles = cfg.div_cycles;
+  p.fpdiv_cycles = cfg.fpdiv_cycles;
+  p.l2_latency = cfg.l2_latency;
+  p.taken_branch_penalty = cfg.taken_branch_penalty;
+  p.barrier_wakeup = cfg.barrier_wakeup;
+  p.icache_line = cfg.icache_line;
+  p.icache_refill_stall = cfg.icache_refill_stall;
+  p.l1_banks = cfg.l1_banks;
+  p.l2_banks = cfg.l2_banks;
+  p.num_fpus = cfg.num_fpus;
+  p.pe_leakage = m.pe_leakage;
+  p.pe_nop = m.pe_nop;
+  p.pe_alu = m.pe_alu;
+  p.pe_fp = m.pe_fp;
+  p.pe_l1 = m.pe_l1;
+  p.pe_l2 = m.pe_l2;
+  p.pe_cg = m.pe_cg;
+  p.fpu_leakage = m.fpu_leakage;
+  p.fpu_operative = m.fpu_operative;
+  p.fpu_idle = m.fpu_idle;
+  p.l1_leakage = m.l1_leakage;
+  p.l1_read = m.l1_read;
+  p.l1_write = m.l1_write;
+  p.l1_idle = m.l1_idle;
+  p.l2_leakage = m.l2_leakage;
+  p.l2_read = m.l2_read;
+  p.l2_write = m.l2_write;
+  p.l2_idle = m.l2_idle;
+  p.icache_leakage = m.icache_leakage;
+  p.icache_use = m.icache_use;
+  p.icache_refill = m.icache_refill;
+  p.dma_leakage = m.dma_leakage;
+  p.dma_transfer = m.dma_transfer;
+  p.dma_idle = m.dma_idle;
+  p.other_leakage = m.other_leakage;
+  p.other_active = m.other_active;
+  return p;
+}
+
 }  // namespace pulpc::energy

@@ -8,6 +8,8 @@
 
 #include <string>
 
+#include "kir/costmodel.hpp"
+#include "sim/config.hpp"
 #include "sim/stats.hpp"
 
 namespace pulpc::energy {
@@ -89,5 +91,13 @@ struct EnergyBreakdown {
 
 /// Human-readable per-component report.
 [[nodiscard]] std::string report(const EnergyBreakdown& e);
+
+/// Build the static analyzer's parameter block from live simulator and
+/// energy configurations, so `kir::analyze_cost` prices cycles and
+/// energy with exactly the constants the simulator charges. (kir cannot
+/// depend on sim/energy, so CostParams duplicates these defaults; this
+/// adapter is the one place that keeps them in sync.)
+[[nodiscard]] kir::CostParams cost_params(const sim::ClusterConfig& cfg = {},
+                                          const EnergyModel& model = {});
 
 }  // namespace pulpc::energy

@@ -9,6 +9,13 @@ std::vector<double> StaticFeatures::to_vector() const {
                            f3,     f4,     uopspc,   ipc,   rbp,
                            rp_div, rp_fpdiv};
   v.insert(v.end(), rp.begin(), rp.end());
+  v.push_back(sb_best);
+  for (unsigned k = 0; k < kBoundsConfigs; ++k) {
+    v.push_back(sb_width[k]);
+    v.push_back(sb_ewidth[k]);
+    v.push_back(sb_bar[k]);
+    v.push_back(sb_cont[k]);
+  }
   return v;
 }
 
@@ -36,6 +43,29 @@ StaticFeatures extract_static(const kir::Program& prog,
   f.rp_div = m.rp_div;
   f.rp_fpdiv = m.rp_fpdiv;
   f.rp = m.rp;
+
+  // STATIC-BOUNDS: normalized widths and attribution ratios of the cost
+  // analyzer's sound intervals. Unbounded configs degrade to width 1
+  // (the least informative value) rather than infinities.
+  const kir::CostReport rep = kir::analyze_cost(prog);
+  f.sb_best = rep.best_cores_by_energy_hi();
+  for (unsigned k = 0; k < kBoundsConfigs; ++k) {
+    const kir::ConfigCost* c = rep.config(k + 1);
+    if (c == nullptr) continue;
+    if (!c->bounded || c->cycles.hi <= 0) {
+      f.sb_width[k] = 1.0;
+      f.sb_ewidth[k] = 1.0;
+      continue;
+    }
+    const auto hi = static_cast<double>(c->cycles.hi);
+    f.sb_width[k] = (hi - static_cast<double>(c->cycles.lo)) / hi;
+    f.sb_ewidth[k] =
+        c->energy_hi_fj > 0
+            ? (c->energy_hi_fj - c->energy_lo_fj) / c->energy_hi_fj
+            : 0.0;
+    f.sb_bar[k] = static_cast<double>(c->barrier_cycles) / hi;
+    f.sb_cont[k] = static_cast<double>(c->contention_hi) / hi;
+  }
   return f;
 }
 
@@ -75,11 +105,22 @@ const std::vector<std::string> kDynamicNames = {
 }  // namespace
 
 const std::vector<std::string>& static_feature_names() {
-  static const std::vector<std::string> kNames = {
-      "op",     "tcdm",   "transfer", "avgws", "F1",   "F3",   "F4",
-      "uOPSpc", "IPC",    "RBP",      "RPDiv", "RPFPDiv",
-      "RP0",    "RP1",    "RP2",      "RP3",   "RP4",  "RP5",  "RP6",
-      "RP7"};
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names = {
+        "op",     "tcdm",   "transfer", "avgws", "F1",   "F3",   "F4",
+        "uOPSpc", "IPC",    "RBP",      "RPDiv", "RPFPDiv",
+        "RP0",    "RP1",    "RP2",      "RP3",   "RP4",  "RP5",  "RP6",
+        "RP7"};
+    names.emplace_back("SB_best");
+    for (unsigned k = 1; k <= kBoundsConfigs; ++k) {
+      const std::string at = "@" + std::to_string(k);
+      names.push_back("SB_width" + at);
+      names.push_back("SB_ewidth" + at);
+      names.push_back("SB_bar" + at);
+      names.push_back("SB_cont" + at);
+    }
+    return names;
+  }();
   return kNames;
 }
 
@@ -101,12 +142,17 @@ const char* to_string(FeatureSet set) noexcept {
     case FeatureSet::Mca: return "MCA";
     case FeatureSet::AllStatic: return "ALL-STATIC";
     case FeatureSet::Dynamic: return "DYNAMIC";
+    case FeatureSet::StaticBounds: return "STATIC-BOUNDS";
   }
   return "?";
 }
 
 std::vector<std::string> feature_set_columns(FeatureSet set,
                                              unsigned num_configs) {
+  // The first kNumBaseStatic columns are the paper's Table II features;
+  // SB_* columns follow and are only selected by the opt-in StaticBounds
+  // set, so the paper-replication sets are unaffected by their addition.
+  constexpr std::size_t kNumBaseStatic = 20;
   const std::vector<std::string>& s = static_feature_names();
   switch (set) {
     case FeatureSet::Agg:
@@ -114,11 +160,13 @@ std::vector<std::string> feature_set_columns(FeatureSet set,
     case FeatureSet::RawAgg:
       return {s.begin(), s.begin() + 7};
     case FeatureSet::Mca:
-      return {s.begin() + 7, s.end()};
+      return {s.begin() + 7, s.begin() + kNumBaseStatic};
     case FeatureSet::AllStatic:
-      return s;
+      return {s.begin(), s.begin() + kNumBaseStatic};
     case FeatureSet::Dynamic:
       return dynamic_feature_names(num_configs);
+    case FeatureSet::StaticBounds:
+      return {s.begin() + kNumBaseStatic, s.end()};
   }
   return {};
 }

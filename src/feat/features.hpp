@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "kir/costmodel.hpp"
 #include "kir/ir.hpp"
 #include "mca/analyzer.hpp"
 #include "sim/stats.hpp"
@@ -22,6 +23,13 @@ namespace pulpc::feat {
 
 /// Number of per-configuration dynamic features (Table III rows).
 inline constexpr int kDynamicPerConfig = 10;
+
+/// Core counts covered by the static-bounds features (mirrors the
+/// analyzer's CostParams::max_cores default and the dataset's 8 runs).
+inline constexpr unsigned kBoundsConfigs = 8;
+
+/// Number of per-configuration static-bounds features.
+inline constexpr int kBoundsPerConfig = 4;
 
 /// Compile-time features of one kernel (one dataset sample).
 struct StaticFeatures {
@@ -41,6 +49,13 @@ struct StaticFeatures {
   double rp_div = 0;
   double rp_fpdiv = 0;
   std::array<double, mca::kNumPorts> rp{};
+  // STATIC-BOUNDS: derived from the kir cost analyzer's sound [lo, hi]
+  // cycle/energy intervals -- still compile-time (no simulation).
+  double sb_best = 0;  ///< core count minimizing the energy upper bound
+  std::array<double, kBoundsConfigs> sb_width{};   ///< (cyc hi-lo)/hi
+  std::array<double, kBoundsConfigs> sb_ewidth{};  ///< (energy hi-lo)/hi
+  std::array<double, kBoundsConfigs> sb_bar{};     ///< barrier bound / hi
+  std::array<double, kBoundsConfigs> sb_cont{};    ///< contention bound / hi
 
   [[nodiscard]] std::vector<double> to_vector() const;
 };
@@ -78,11 +93,12 @@ struct DynamicFeatures {
 
 /// Named feature sets evaluated in Figure 2.
 enum class FeatureSet {
-  Agg,        ///< F1, F3, F4 (the paper's first experiment)
-  RawAgg,     ///< RAW + AGG
-  Mca,        ///< the 13 LLVM-MCA-style metrics
-  AllStatic,  ///< RAW + AGG + MCA
-  Dynamic,    ///< Table III metrics for every core count
+  Agg,           ///< F1, F3, F4 (the paper's first experiment)
+  RawAgg,        ///< RAW + AGG
+  Mca,           ///< the 13 LLVM-MCA-style metrics
+  AllStatic,     ///< RAW + AGG + MCA
+  Dynamic,       ///< Table III metrics for every core count
+  StaticBounds,  ///< opt-in: cost-analyzer bound widths & ratios
 };
 
 [[nodiscard]] const char* to_string(FeatureSet set) noexcept;

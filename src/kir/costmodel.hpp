@@ -1,0 +1,140 @@
+// Static cost/energy bound analyzer over KIR: an abstract interpretation
+// of a lowered program that computes, per core count, a sound [lo, hi]
+// interval for the kernel-region cycle count and for total energy, without
+// simulating. The walk runs once per (core count, core id) pair with the
+// core id and core count bound to concrete values, so the chunked/cyclic
+// parallel-loop prologues constant-fold and per-core trip counts resolve
+// exactly; loaded data stays opaque (intervals), so data-dependent
+// branches price as [min path, max path].
+//
+// Soundness argument (see DESIGN.md "Static cost analyzer"):
+//   lower bound:  the region window is at least any single core's
+//     residency = charged cycles + barrier wakeups + DMA sleeps + its
+//     uncharged exit-marker cycle.
+//   upper bound:  every window cycle either has >= 1 core in a charged
+//     non-clock-gated state (bounded by the sum of per-core charged-cycle
+//     upper bounds plus contention bounds), or every running core is
+//     clock-gated, which only happens inside barrier wakeup windows
+//     (barrier_wakeup cycles per barrier episode), DMA sleeps (bounded by
+//     the per-core DMA wait bounds), or the <= 2 cycle exit tail.
+// Energy bounds are linear rearrangements of the Table I model over
+// global state-cycle totals (the clock-gate rate cancels, so barrier
+// arrival skew never needs to be bounded).
+//
+// This header must not depend on src/sim or src/energy (they depend on
+// kir); CostParams duplicates the timing/Table I defaults, and
+// energy::cost_params() builds one from live sim/energy configs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kir/ir.hpp"
+#include "kir/symmodel.hpp"
+
+namespace pulpc::kir {
+
+/// Timing and energy constants of the analyzed cluster. Defaults mirror
+/// sim::ClusterConfig and the paper's Table I energy model
+/// (energy::EnergyModel); use energy::cost_params() to stay in sync with
+/// a non-default configuration.
+struct CostParams {
+  // ---- cluster geometry / timing (sim::ClusterConfig) ----
+  unsigned max_cores = 8;    ///< analyze core counts 1..max_cores
+  unsigned total_cores = 8;  ///< physical PEs (leakage accrues for all)
+  unsigned div_cycles = 12;
+  unsigned fpdiv_cycles = 10;
+  unsigned l2_latency = 15;
+  unsigned taken_branch_penalty = 1;
+  unsigned barrier_wakeup = 8;
+  unsigned icache_line = 16;
+  unsigned icache_refill_stall = 5;
+  unsigned l1_banks = 16;
+  unsigned l2_banks = 32;
+  unsigned num_fpus = 4;
+
+  // ---- Table I energy rates, femtojoules (energy::EnergyModel) ----
+  double pe_leakage = 182.0;
+  double pe_nop = 1212.0;
+  double pe_alu = 2558.0;
+  double pe_fp = 2468.0;
+  double pe_l1 = 3242.0;
+  double pe_l2 = 1011.0;
+  double pe_cg = 20.0;
+  double fpu_leakage = 191.0;
+  double fpu_operative = 299.0;
+  double fpu_idle = 0.0;
+  double l1_leakage = 49.0;
+  double l1_read = 2543.0;
+  double l1_write = 2568.0;
+  double l1_idle = 64.0;
+  double l2_leakage = 105.0;
+  double l2_read = 2942.0;
+  double l2_write = 3480.0;
+  double l2_idle = 13.0;
+  double icache_leakage = 774.0;
+  double icache_use = 4492.0;
+  double icache_refill = 5932.0;
+  double dma_leakage = 165.0;
+  double dma_transfer = 1750.0;
+  double dma_idle = 46.0;
+  double other_leakage = 655.0;
+  double other_active = 2702.0;
+};
+
+/// Per-loop attribution from the core-0 walk: trip count executed by
+/// core 0 and that loop's contribution to core 0's charged cycles, per
+/// single entry of the loop (inner loops report one enclosing iteration).
+struct LoopCost {
+  std::uint32_t header = 0;  ///< pc of the loop header branch
+  bool parallel = false;
+  Ival trip{0, 0};    ///< core-0 iterations
+  Ival cycles{0, 0};  ///< core-0 charged cycles spent in the loop
+};
+
+/// Sound bounds for one core count.
+struct ConfigCost {
+  unsigned cores = 1;
+  Ival cycles{0, 0};  ///< kernel-region window [lo, hi]
+  double energy_lo_fj = 0.0;
+  double energy_hi_fj = 0.0;
+  // Attribution of the upper bound (all already included in cycles.hi).
+  Ival busy0{0, 0};                ///< core-0 charged cycles (work floor)
+  long long barrier_cycles = 0;    ///< barrier wakeup contribution to hi
+  long long contention_hi = 0;     ///< TCDM/L2/FPU/crit bound added to hi
+  Ival dma_wait{0, 0};             ///< DMA sleep cycles summed over cores
+  long long par_iters0_hi = 0;     ///< core-0 parallel-loop iterations
+  bool bounded = true;             ///< hi < kInf
+  std::vector<LoopCost> loops;     ///< per-loop attribution (core-0 walk)
+
+  [[nodiscard]] double tightness() const noexcept {
+    return cycles.lo > 0 && bounded
+               ? static_cast<double>(cycles.hi) /
+                     static_cast<double>(cycles.lo)
+               : (bounded ? 1.0 : static_cast<double>(kInf));
+  }
+};
+
+/// Full report for one program: one ConfigCost per core count
+/// 1..max_cores plus precision-loss notes (unbounded trips, irregular
+/// control flow the walker could not summarize).
+struct CostReport {
+  std::string program;
+  std::vector<ConfigCost> configs;
+  std::vector<std::string> notes;
+
+  [[nodiscard]] const ConfigCost* config(unsigned cores) const noexcept;
+  /// Core count with the smallest energy upper bound (the static
+  /// stand-in for the paper's energy-optimal label).
+  [[nodiscard]] unsigned best_cores_by_energy_hi() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Analyze a lowered program. Never simulates; cost is linear in code
+/// size times max_cores^2. Unanalyzable shapes degrade to [0, kInf]
+/// (bounded == false) rather than failing.
+[[nodiscard]] CostReport analyze_cost(const Program& prog,
+                                      const CostParams& params = {});
+
+}  // namespace pulpc::kir

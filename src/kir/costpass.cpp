@@ -1,0 +1,21 @@
+#include "kir/costpass.hpp"
+
+#include <string>
+#include <utility>
+
+namespace pulpc::kir {
+
+void CostBoundPass::run(AnalysisContext& ctx, std::vector<Diagnostic>& out) {
+  CostReport rep = analyze_cost(ctx.prog(), params_);
+  for (const std::string& note : rep.notes) {
+    Diagnostic d;
+    d.severity = Severity::Note;
+    d.pass = name();
+    d.location = "kernel " + ctx.prog().name;
+    d.message = note;
+    out.push_back(std::move(d));
+  }
+  reports_.push_back(std::move(rep));
+}
+
+}  // namespace pulpc::kir

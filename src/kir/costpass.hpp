@@ -1,0 +1,39 @@
+// PassManager integration for the static cost/energy bound analyzer:
+// runs kir::analyze_cost over the program and reports precision losses
+// (unanalyzable control flow, statically unbounded trip counts) as
+// Note-severity diagnostics, so `pulpclass lint` surfaces kernels whose
+// bounds degrade to [lo, inf) without failing verification. The computed
+// reports are retained on the pass object for callers (the analyze CLI
+// verb, the static_bounds feature set) that want the numbers as well as
+// the diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "kir/costmodel.hpp"
+#include "kir/passes.hpp"
+
+namespace pulpc::kir {
+
+class CostBoundPass final : public Pass {
+ public:
+  explicit CostBoundPass(CostParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "costbounds";
+  }
+
+  void run(AnalysisContext& ctx, std::vector<Diagnostic>& out) override;
+
+  /// Reports for every program analyzed by this pass instance, in run
+  /// order (PassManager reuses pass objects across programs).
+  [[nodiscard]] const std::vector<CostReport>& reports() const noexcept {
+    return reports_;
+  }
+
+ private:
+  CostParams params_;
+  std::vector<CostReport> reports_;
+};
+
+}  // namespace pulpc::kir

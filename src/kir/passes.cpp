@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <sstream>
+#include <tuple>
 
 #include "kir/operands.hpp"
 
@@ -294,6 +295,22 @@ VerifyReport PassManager::run(const Program& prog) {
   for (const auto& pass : passes_) {
     pass->run(ctx, report.diags);
   }
+  // Canonical emission order: (instr, pass, severity), with location and
+  // message as final tie-breakers so the report is byte-stable regardless
+  // of pass registration order; exact duplicates collapse to one record.
+  const auto key = [](const Diagnostic& d) {
+    return std::tie(d.instr, d.pass, d.severity, d.location, d.message);
+  };
+  std::sort(report.diags.begin(), report.diags.end(),
+            [&key](const Diagnostic& a, const Diagnostic& b) {
+              return key(a) < key(b);
+            });
+  report.diags.erase(
+      std::unique(report.diags.begin(), report.diags.end(),
+                  [&key](const Diagnostic& a, const Diagnostic& b) {
+                    return key(a) == key(b);
+                  }),
+      report.diags.end());
   return report;
 }
 

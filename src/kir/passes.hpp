@@ -125,8 +125,9 @@ class PassManager {
   void add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
   [[nodiscard]] std::size_t size() const noexcept { return passes_.size(); }
 
-  /// Run every pass over `prog`. Diagnostics keep pass registration
-  /// order; the report is deterministic for a given program.
+  /// Run every pass over `prog`. Diagnostics are sorted by (instr,
+  /// pass, severity) and exact duplicates removed, so the report is
+  /// byte-stable for a given program regardless of registration order.
   [[nodiscard]] VerifyReport run(const Program& prog);
 
  private:

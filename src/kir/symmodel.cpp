@@ -1,0 +1,57 @@
+#include "kir/symmodel.hpp"
+
+namespace pulpc::kir {
+
+long long smul(long long a, long long b) {
+  const __int128 p = static_cast<__int128>(sat(a)) * sat(b);
+  if (p > kInf) return kInf;
+  if (p < -kInf) return -kInf;
+  return static_cast<long long>(p);
+}
+
+Ival imul(Ival a, Ival b) {
+  const long long c[4] = {smul(a.lo, b.lo), smul(a.lo, b.hi),
+                          smul(a.hi, b.lo), smul(a.hi, b.hi)};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+void SymExpr::add_term(int sym, long long c) {
+  if (c == 0) return;
+  auto it = std::lower_bound(terms.begin(), terms.end(), sym,
+                             [](const auto& t, int s) { return t.first < s; });
+  if (it != terms.end() && it->first == sym) {
+    it->second = sadd(it->second, c);
+    if (it->second == 0) terms.erase(it);
+  } else {
+    terms.insert(it, {sym, c});
+  }
+}
+
+SymExpr form_sym(int sym) {
+  SymExpr f;
+  f.add_term(sym, 1);
+  return f;
+}
+
+SymExpr form_add(const SymExpr& a, const SymExpr& b) {
+  SymExpr r = a;
+  for (const auto& [s, c] : b.terms) r.add_term(s, c);
+  r.c0 = sadd(r.c0, b.c0);
+  return r;
+}
+
+SymExpr form_scale(const SymExpr& a, long long k) {
+  SymExpr r;
+  for (const auto& [s, c] : a.terms) {
+    const long long sc = smul(c, k);
+    if (sc != 0) r.add_term(s, sc);
+  }
+  r.c0 = smul(a.c0, k);
+  return r;
+}
+
+SymExpr form_sub(const SymExpr& a, const SymExpr& b) {
+  return form_add(a, form_scale(b, -1));
+}
+
+}  // namespace pulpc::kir

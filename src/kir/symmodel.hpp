@@ -1,0 +1,73 @@
+// Shared symbolic-value lattice for the KIR static analyses: saturating
+// int64 interval arithmetic and sparse linear forms over analysis symbols.
+// Extracted from the verifier's race/bounds memory model so the cost/energy
+// bound analyzer (kir/costmodel) prices loops and addresses with the same
+// arithmetic the race pass uses to prove access disjointness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pulpc::kir {
+
+// ---------------------------------------------------------------------------
+// Saturating int64 interval arithmetic. Values saturate at +/-2^60 so that
+// sums of two saturated values cannot wrap in 64 bits; kInf doubles as the
+// "statically unbounded" marker in trip counts and cost intervals.
+
+inline constexpr long long kInf = 1ll << 60;
+
+[[nodiscard]] inline long long sat(long long v) {
+  return std::clamp(v, -kInf, kInf);
+}
+
+[[nodiscard]] inline long long sadd(long long a, long long b) {
+  return sat(sat(a) + sat(b));  // |a|,|b| <= 2^60 so the sum cannot wrap
+}
+
+[[nodiscard]] long long smul(long long a, long long b);
+
+/// Closed interval [lo, hi]; default-constructed = top (unknown value).
+struct Ival {
+  long long lo = -kInf;
+  long long hi = kInf;
+};
+
+[[nodiscard]] inline Ival iadd(Ival a, Ival b) {
+  return {sadd(a.lo, b.lo), sadd(a.hi, b.hi)};
+}
+
+[[nodiscard]] inline Ival iscale(Ival a, long long k) {
+  if (k >= 0) return {smul(a.lo, k), smul(a.hi, k)};
+  return {smul(a.hi, k), smul(a.lo, k)};
+}
+
+[[nodiscard]] Ival imul(Ival a, Ival b);
+
+// ---------------------------------------------------------------------------
+// Sparse linear forms c0 + sum(coeff_i * sym_i) over analysis symbols.
+// What a symbol id denotes is up to the client analysis (the verifier binds
+// loop-induction/core-id/opaque symbols; the cost model binds loop vars).
+
+struct SymExpr {
+  /// Sorted (symbol id, coefficient) pairs; zero coefficients removed.
+  std::vector<std::pair<int, long long>> terms;
+  long long c0 = 0;
+
+  [[nodiscard]] bool is_const() const { return terms.empty(); }
+
+  void add_term(int sym, long long c);
+};
+
+[[nodiscard]] inline SymExpr form_const(long long c) {
+  return {.terms = {}, .c0 = sat(c)};
+}
+
+[[nodiscard]] SymExpr form_sym(int sym);
+[[nodiscard]] SymExpr form_add(const SymExpr& a, const SymExpr& b);
+[[nodiscard]] SymExpr form_scale(const SymExpr& a, long long k);
+[[nodiscard]] SymExpr form_sub(const SymExpr& a, const SymExpr& b);
+
+}  // namespace pulpc::kir

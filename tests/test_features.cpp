@@ -76,7 +76,8 @@ TEST(StaticFeatures, VectorMatchesNameOrder) {
   const std::vector<double> v = f.to_vector();
   const std::vector<std::string>& names = static_feature_names();
   ASSERT_EQ(v.size(), names.size());
-  ASSERT_EQ(names.size(), 20U);
+  // 20 Table II columns + 1 SB_best + 4 bound columns per core count.
+  ASSERT_EQ(names.size(), 21U + 4U * kBoundsConfigs);
   EXPECT_EQ(names[0], "op");
   EXPECT_DOUBLE_EQ(v[0], f.op);
   EXPECT_EQ(names[4], "F1");
@@ -85,6 +86,43 @@ TEST(StaticFeatures, VectorMatchesNameOrder) {
   EXPECT_DOUBLE_EQ(v[8], f.ipc);
   EXPECT_EQ(names[19], "RP7");
   EXPECT_DOUBLE_EQ(v[19], f.rp[7]);
+  EXPECT_EQ(names[20], "SB_best");
+  EXPECT_DOUBLE_EQ(v[20], f.sb_best);
+  EXPECT_EQ(names[21], "SB_width@1");
+  EXPECT_DOUBLE_EQ(v[21], f.sb_width[0]);
+  EXPECT_EQ(names.back(), "SB_cont@8");
+  EXPECT_DOUBLE_EQ(v.back(), f.sb_cont[7]);
+}
+
+TEST(StaticFeatures, StaticBoundsColumnsAreOptIn) {
+  // The paper-replication sets must not see the SB_* columns; the
+  // StaticBounds set must see only them.
+  const auto all = feature_set_columns(FeatureSet::AllStatic);
+  EXPECT_EQ(all.size(), 20U);
+  for (const std::string& c : all) EXPECT_NE(c.substr(0, 3), "SB_") << c;
+  const auto mca = feature_set_columns(FeatureSet::Mca);
+  EXPECT_EQ(mca.size(), 13U);
+  EXPECT_EQ(mca.back(), "RP7");
+  const auto sb = feature_set_columns(FeatureSet::StaticBounds);
+  EXPECT_EQ(sb.size(), 1U + 4U * kBoundsConfigs);
+  for (const std::string& c : sb) EXPECT_EQ(c.substr(0, 3), "SB_") << c;
+}
+
+TEST(StaticFeatures, StaticBoundsValuesAreNormalized) {
+  const StaticFeatures f = extract_static(saxpy_prog(128));
+  EXPECT_GE(f.sb_best, 1.0);
+  EXPECT_LE(f.sb_best, 8.0);
+  for (unsigned k = 0; k < kBoundsConfigs; ++k) {
+    EXPECT_GE(f.sb_width[k], 0.0);
+    EXPECT_LE(f.sb_width[k], 1.0);
+    EXPECT_GE(f.sb_ewidth[k], 0.0);
+    EXPECT_LE(f.sb_ewidth[k], 1.0);
+    EXPECT_GE(f.sb_bar[k], 0.0);
+    EXPECT_GE(f.sb_cont[k], 0.0);
+  }
+  // More cores never tightens the width of a parallel kernel's bounds
+  // at the top end: the n=8 interval is at least as wide as n=1.
+  EXPECT_GE(f.sb_width[7], f.sb_width[0]);
 }
 
 TEST(DynamicFeatures, ComputedFromSyntheticRunStats) {

@@ -23,6 +23,7 @@
 #include "dsl/lower.hpp"
 #include "energy/model.hpp"
 #include "feat/features.hpp"
+#include "kir/costmodel.hpp"
 #include "sim/cluster.hpp"
 #include "sim/stats.hpp"
 #include "trace/listeners.hpp"
@@ -259,6 +260,48 @@ TEST_P(FuzzKernels, TraceReconstructionMatchesDirectCounters) {
   }
   EXPECT_EQ(feat::extract_dynamic(parsed).to_vector(),
             feat::extract_dynamic(run.stats).to_vector());
+}
+
+TEST_P(FuzzKernels, CostBoundsAreSoundAndMonotone) {
+  Generator gen(GetParam());
+  const kir::Program prog = dsl::lower(gen.generate());
+  const kir::CostReport rep = kir::analyze_cost(prog);
+  ASSERT_FALSE(rep.configs.empty());
+  long long prev_par = -1;
+  for (const kir::ConfigCost& c : rep.configs) {
+    // Intervals are never inverted, even when hi degrades to infinity.
+    EXPECT_GE(c.cycles.lo, 0) << "seed " << GetParam();
+    if (c.bounded) {
+      EXPECT_LE(c.cycles.lo, c.cycles.hi) << "seed " << GetParam();
+      EXPECT_LE(c.energy_lo_fj, c.energy_hi_fj) << "seed " << GetParam();
+    }
+    // Core 0's share of parallel iterations never grows with the core
+    // count (chunked and cyclic schedules both shrink the first chunk).
+    if (prev_par >= 0) {
+      EXPECT_LE(c.par_iters0_hi, prev_par)
+          << "seed " << GetParam() << " cores " << c.cores;
+    }
+    prev_par = c.par_iters0_hi;
+  }
+  // Soundness against the simulator: fuzz kernels use data-dependent
+  // branches, so the bounds are wide, but they must always contain the
+  // simulated cycles and energy.
+  sim::Cluster cl;
+  cl.load(prog);
+  for (const unsigned cores : {1U, 2U, 5U, 8U}) {
+    const kir::ConfigCost* c = rep.config(cores);
+    ASSERT_NE(c, nullptr);
+    const sim::RunResult r = cl.run(cores);
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto cyc = static_cast<long long>(r.stats.region_cycles());
+    EXPECT_GE(cyc, c->cycles.lo) << "seed " << GetParam() << " @" << cores;
+    if (c->bounded) {
+      EXPECT_LE(cyc, c->cycles.hi) << "seed " << GetParam() << " @" << cores;
+      const double e = energy::total_energy_fj(r.stats);
+      EXPECT_GE(e, c->energy_lo_fj) << "seed " << GetParam() << " @" << cores;
+      EXPECT_LE(e, c->energy_hi_fj) << "seed " << GetParam() << " @" << cores;
+    }
+  }
 }
 
 TEST_P(FuzzKernels, StaticFeaturesAreFiniteAndStable) {

@@ -20,9 +20,12 @@ namespace {
 
 TEST(Pipeline, DatasetColumnsAreStaticPlusDynamic) {
   const std::vector<std::string> cols = dataset_columns(8);
-  EXPECT_EQ(cols.size(), 20U + 8U * 10U);
+  // 20 Table II + 33 static-bounds + 8 x 10 dynamic columns.
+  const std::size_t nstatic = 20U + 33U;
+  EXPECT_EQ(cols.size(), nstatic + 8U * 10U);
   EXPECT_EQ(cols[0], "op");
-  EXPECT_EQ(cols[20], "PE_idle@1");
+  EXPECT_EQ(cols[20], "SB_best");
+  EXPECT_EQ(cols[nstatic], "PE_idle@1");
   EXPECT_EQ(cols.back(), "L1_conflicts@8");
 }
 

@@ -11,6 +11,8 @@
 //   pulpclass serve   --port N [--model model.txt]    batched TCP service
 //   pulpclass query   --port N <kernel> <i32|f32> <bytes> [--json]
 //   pulpclass sweep   <kernel> <i32|f32> <bytes> [--optimize]
+//   pulpclass analyze <kernel> <i32|f32> <bytes> | --kernel N | --all
+//   pulpclass analyze --check [--json]        bounds-vs-simulator gate
 //   pulpclass stats                           dataset & label statistics
 //   pulpclass disasm  <kernel> <i32|f32> <bytes> [--optimize]
 //   pulpclass kernels                         list the dataset kernels
@@ -27,10 +29,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +45,7 @@
 #include "energy/model.hpp"
 #include "feat/features.hpp"
 #include "kernels/registry.hpp"
+#include "kir/costmodel.hpp"
 #include "kir/opt.hpp"
 #include "pulpclass.hpp"
 #include "serve/protocol.hpp"
@@ -57,8 +63,9 @@ struct Args {
   std::string format;  ///< artifact store backend (--format v1|v2)
   std::string features = "ALL";
   std::string kernel;           ///< lint: restrict to one kernel
-  bool all = false;             ///< lint: whole registry
+  bool all = false;             ///< lint/analyze: whole registry
   bool werror = false;          ///< lint: warnings fail the run
+  bool check = false;  ///< analyze: validate bounds against the simulator
   bool optimize = false;
   bool no_flat = false;  ///< predict/serve: disable the flat tree engine
   bool json = false;            ///< machine-readable one-object output
@@ -101,6 +108,8 @@ Args parse(int argc, char** argv) {
       a.all = true;
     } else if (arg == "--werror") {
       a.werror = true;
+    } else if (arg == "--check") {
+      a.check = true;
     } else if (arg == "--optimize") {
       a.optimize = true;
     } else if (arg == "--no-flat") {
@@ -176,7 +185,7 @@ int usage() {
       "                                    live records (v2 segments)\n"
       "  cache import                      migrate v1 text artifacts into\n"
       "                                    the v2 segment store in place\n"
-      "  train [--features AGG|RAW|MCA|ALL] [--out model.txt]\n"
+      "  train [--features AGG|RAW|MCA|STATIC-BOUNDS|ALL] [--out model.txt]\n"
       "  predict --model model.txt <kernel> <i32|f32> <bytes> [--json]\n"
       "          [--no-flat]                 classify with the original\n"
       "                                    node-chasing tree instead of\n"
@@ -192,6 +201,15 @@ int usage() {
       "                                    one request against a running\n"
       "                                    `pulpclass serve`\n"
       "  sweep <kernel> <i32|f32> <bytes> [--optimize]\n"
+      "  analyze <kernel> <i32|f32> <bytes> | --kernel NAME | --all\n"
+      "          [--optimize] [--json]     static [lo,hi] cycle/energy\n"
+      "                                    bounds per core count, no\n"
+      "                                    simulation (kir cost analyzer)\n"
+      "  analyze --check [--json]          simulate every dataset config\n"
+      "                                    and fail unless measured\n"
+      "                                    cycles & energy lie inside the\n"
+      "                                    static bounds; reports bound\n"
+      "                                    tightness and speedup\n"
       "  stats                             dataset statistics\n"
       "  disasm <kernel> <i32|f32> <bytes> [--optimize]\n"
       "  kernels                           list available kernels\n"
@@ -446,6 +464,8 @@ int cmd_train(const Args& a) {
     opt.features = feat::FeatureSet::RawAgg;
   } else if (a.features == "MCA") {
     opt.features = feat::FeatureSet::Mca;
+  } else if (a.features == "STATIC-BOUNDS") {
+    opt.features = feat::FeatureSet::StaticBounds;
   } else {
     opt.features = feat::FeatureSet::AllStatic;
   }
@@ -690,6 +710,7 @@ int cmd_lint(const Args& a) {
     return 2;
   }
   std::size_t programs = 0, errors = 0, warnings = 0, notes = 0;
+  std::map<std::string, std::size_t> by_pass;  // sorted => stable output
   for (const kernels::KernelInfo* k : todo) {
     for (const kir::DType t : {kir::DType::I32, kir::DType::F32}) {
       if (!k->supports(t)) continue;
@@ -703,6 +724,7 @@ int cmd_lint(const Args& a) {
         errors += report.errors();
         warnings += report.warnings();
         notes += report.notes();
+        for (const kir::Diagnostic& d : report.diags) ++by_pass[d.pass];
         if (!report.diags.empty() && !a.json) {
           std::printf("%s", report.to_string().c_str());
         }
@@ -711,10 +733,22 @@ int cmd_lint(const Args& a) {
   }
   const bool failed = errors > 0 || (a.werror && warnings > 0);
   if (a.json) {
-    std::printf("{\"command\":\"lint\",\"programs\":%zu,\"errors\":%zu,"
-                "\"warnings\":%zu,\"notes\":%zu,\"werror\":%s,\"ok\":%s}\n",
-                programs, errors, warnings, notes,
-                a.werror ? "true" : "false", failed ? "false" : "true");
+    // One-object summary footer: totals by severity and by pass. Keys
+    // are emitted in sorted order so the output is byte-stable.
+    std::string passes = "{";
+    for (const auto& [pass, count] : by_pass) {
+      if (passes.size() > 1) passes += ",";
+      passes += json_str(pass) + ":" + std::to_string(count);
+    }
+    passes += "}";
+    std::printf(
+        "{\"command\":\"lint\",\"programs\":%zu,\"errors\":%zu,"
+        "\"warnings\":%zu,\"notes\":%zu,"
+        "\"by_severity\":{\"error\":%zu,\"warning\":%zu,\"note\":%zu},"
+        "\"by_pass\":%s,\"werror\":%s,\"ok\":%s}\n",
+        programs, errors, warnings, notes, errors, warnings, notes,
+        passes.c_str(), a.werror ? "true" : "false",
+        failed ? "false" : "true");
     return failed ? 1 : 0;
   }
   std::printf("linted %zu lowered program%s: %zu error(s), %zu warning(s), "
@@ -726,6 +760,189 @@ int cmd_lint(const Args& a) {
     return 1;
   }
   return 0;
+}
+
+/// One lowered program for `analyze`: the registry combination's label
+/// ("kernel/dtype/bytes") plus its KIR.
+struct AnalyzeTarget {
+  std::string label;
+  kir::Program prog;
+};
+
+/// Programs `analyze` covers: the positional (kernel, dtype, bytes)
+/// triple if given, otherwise every dataset combination (optionally
+/// restricted to --kernel), i.e. exactly the programs `lint` walks.
+std::vector<AnalyzeTarget> analyze_targets(const Args& a) {
+  std::vector<AnalyzeTarget> out;
+  if (a.positional.size() >= 3) {
+    std::string label =
+        a.positional[0] + "/" + a.positional[1] + "/" + a.positional[2];
+    out.push_back({std::move(label), lower_kernel(a)});
+    return out;
+  }
+  std::vector<const kernels::KernelInfo*> todo;
+  for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+    if (!a.kernel.empty() && k.name != a.kernel) continue;
+    todo.push_back(&k);
+  }
+  if (!a.kernel.empty() && todo.empty()) {
+    std::fprintf(stderr, "unknown kernel '%s' (see `pulpclass kernels`)\n",
+                 a.kernel.c_str());
+    std::exit(2);
+  }
+  for (const kernels::KernelInfo* k : todo) {
+    for (const kir::DType t : {kir::DType::I32, kir::DType::F32}) {
+      if (!k->supports(t)) continue;
+      for (const std::uint32_t bytes : kernels::dataset_sizes()) {
+        kir::Program prog =
+            dsl::lower(kernels::make_kernel(k->name, t, bytes));
+        if (a.optimize) prog = kir::optimize(prog);
+        char label[96];
+        std::snprintf(label, sizeof label, "%s/%s/%u", k->name.c_str(),
+                      t == kir::DType::I32 ? "i32" : "f32", bytes);
+        out.push_back({label, std::move(prog)});
+      }
+    }
+  }
+  return out;
+}
+
+std::string report_json(const std::string& label,
+                        const kir::CostReport& rep) {
+  std::string out = "{\"program\":" + json_str(label) +
+                    ",\"best_cores\":" +
+                    std::to_string(rep.best_cores_by_energy_hi()) +
+                    ",\"configs\":[";
+  bool first = true;
+  for (const kir::ConfigCost& c : rep.configs) {
+    if (!first) out += ",";
+    first = false;
+    char buf[256];
+    // Unbounded upper bounds encode as -1 (JSON has no infinity).
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"cores\":%u,\"cycles_lo\":%lld,\"cycles_hi\":%lld,"
+        "\"bounded\":%s,\"energy_lo_fj\":%.1f,\"energy_hi_fj\":%.1f,"
+        "\"tightness\":%.6f}",
+        c.cores, static_cast<long long>(c.cycles.lo),
+        c.bounded ? static_cast<long long>(c.cycles.hi) : -1LL,
+        c.bounded ? "true" : "false", c.energy_lo_fj,
+        c.bounded ? c.energy_hi_fj : -1.0, c.bounded ? c.tightness() : -1.0);
+    out += buf;
+  }
+  return out + "]}";
+}
+
+int cmd_analyze(const Args& a) {
+  if (a.positional.size() < 3 && a.kernel.empty() && !a.all && !a.check) {
+    std::fprintf(stderr,
+                 "analyze wants <kernel> <i32|f32> <bytes>, --kernel NAME, "
+                 "--all, or --check\n");
+    return 2;
+  }
+  const kir::CostParams params = energy::cost_params();
+  const std::vector<AnalyzeTarget> targets = analyze_targets(a);
+
+  if (!a.check) {
+    std::string js;
+    for (const AnalyzeTarget& t : targets) {
+      const kir::CostReport rep = kir::analyze_cost(t.prog, params);
+      if (a.json) {
+        if (!js.empty()) js += ",";
+        js += report_json(t.label, rep);
+      } else {
+        std::printf("%s  best by energy bound: %u cores\n\n",
+                    rep.to_string().c_str(), rep.best_cores_by_energy_hi());
+      }
+    }
+    if (a.json) {
+      std::printf("{\"command\":\"analyze\",\"check\":false,\"count\":%zu,"
+                  "\"programs\":[%s]}\n",
+                  targets.size(), js.c_str());
+    }
+    return 0;
+  }
+
+  // --check: the soundness gate. Simulate every (program, core count)
+  // pair and require the measured region cycles and total energy to lie
+  // inside the static interval; report how tight the bounds are and how
+  // much cheaper the analysis is than simulation.
+  using clock = std::chrono::steady_clock;
+  double analyze_s = 0, simulate_s = 0;
+  std::size_t configs = 0, violations = 0, unbounded = 0;
+  double sum_tight = 0, max_tight = 0, sum_etight = 0;
+  std::size_t tight_n = 0;
+  for (const AnalyzeTarget& t : targets) {
+    const auto a0 = clock::now();
+    const kir::CostReport rep = kir::analyze_cost(t.prog, params);
+    analyze_s += std::chrono::duration<double>(clock::now() - a0).count();
+    sim::Cluster cluster;
+    cluster.load(t.prog);
+    for (const kir::ConfigCost& c : rep.configs) {
+      const auto s0 = clock::now();
+      const sim::RunResult r = cluster.run(c.cores);
+      simulate_s += std::chrono::duration<double>(clock::now() - s0).count();
+      if (!r.ok) {
+        std::fprintf(stderr, "%s n=%u: simulation failed: %s\n",
+                     t.label.c_str(), c.cores, r.error.c_str());
+        return 1;
+      }
+      ++configs;
+      const auto cyc = static_cast<long long>(r.stats.region_cycles());
+      const double fj = energy::compute_energy(r.stats).total_fj();
+      const bool cyc_ok =
+          cyc >= c.cycles.lo && (!c.bounded || cyc <= c.cycles.hi);
+      const bool e_ok = fj >= c.energy_lo_fj &&
+                        (!c.bounded || fj <= c.energy_hi_fj);
+      if (!cyc_ok || !e_ok) {
+        ++violations;
+        std::fprintf(stderr,
+                     "UNSOUND %s n=%u: cycles %lld in [%lld, %lld] %s; "
+                     "energy %.1f fJ in [%.1f, %.1f] %s\n",
+                     t.label.c_str(), c.cores, cyc,
+                     static_cast<long long>(c.cycles.lo),
+                     static_cast<long long>(c.cycles.hi),
+                     cyc_ok ? "ok" : "VIOLATED", fj, c.energy_lo_fj,
+                     c.energy_hi_fj, e_ok ? "ok" : "VIOLATED");
+      }
+      if (c.bounded) {
+        const double w = c.tightness();
+        sum_tight += w;
+        max_tight = std::max(max_tight, w);
+        // PE leakage makes energy_lo strictly positive for any window.
+        sum_etight += c.energy_hi_fj / c.energy_lo_fj;
+        ++tight_n;
+      } else {
+        ++unbounded;
+      }
+    }
+  }
+  const double mean_tight = tight_n ? sum_tight / double(tight_n) : 0;
+  const double mean_etight = tight_n ? sum_etight / double(tight_n) : 0;
+  const double speedup = analyze_s > 0 ? simulate_s / analyze_s : 0;
+  const bool ok = violations == 0;
+  if (a.json) {
+    std::printf(
+        "{\"command\":\"analyze\",\"check\":true,\"programs\":%zu,"
+        "\"configs\":%zu,\"violations\":%zu,\"unbounded\":%zu,"
+        "\"mean_tightness\":%.6f,\"max_tightness\":%.6f,"
+        "\"mean_energy_tightness\":%.6f,\"analyze_seconds\":%.6f,"
+        "\"simulate_seconds\":%.6f,\"speedup\":%.1f,\"ok\":%s}\n",
+        targets.size(), configs, violations, unbounded, mean_tight,
+        max_tight, mean_etight, analyze_s, simulate_s, speedup,
+        ok ? "true" : "false");
+  } else {
+    std::printf("checked %zu programs, %zu (program, cores) configs\n",
+                targets.size(), configs);
+    std::printf("soundness violations: %zu; unbounded configs: %zu\n",
+                violations, unbounded);
+    std::printf("cycle bound tightness (hi/lo): mean %.3f, max %.3f; "
+                "energy mean %.3f\n",
+                mean_tight, max_tight, mean_etight);
+    std::printf("analyze %.4fs vs simulate %.4fs (%.0fx faster)\n",
+                analyze_s, simulate_s, speedup);
+  }
+  return ok ? 0 : 1;
 }
 
 int cmd_kernels(const Args&) {
@@ -777,6 +994,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "disasm") return cmd_disasm(args);
     if (cmd == "kernels") return cmd_kernels(args);

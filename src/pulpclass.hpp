@@ -75,10 +75,22 @@ using QuantDivergence = pulpc::ml::QuantDivergence;
 using PredictionService = pulpc::serve::PredictionService;
 /// One prediction request (kernel spec or lowered program).
 using PredictRequest = pulpc::serve::Request;
-/// One prediction outcome (cores, cache/shed status, latency).
+/// One prediction outcome (cores, cache/shed status, model version,
+/// latency).
 using PredictResult = pulpc::serve::Result;
-/// Line-delimited-JSON TCP front end (`pulpclass serve --port N`).
+/// Versioned hot-reload model registry: immutable snapshots, atomic
+/// swap, per-version serving counters.
+using ModelRegistry = pulpc::serve::ModelRegistry;
+using ModelSnapshot = pulpc::serve::ModelSnapshot;
+/// M PredictionService shards behind a consistent-hash router keyed on
+/// the lowered-program hash; all shards share one ModelRegistry.
+using ShardedService = pulpc::serve::ShardedService;
+/// Line-delimited-JSON TCP front end (`pulpclass serve`): one acceptor
+/// plus N edge-triggered epoll worker loops over a ShardedService.
 using PredictionServer = pulpc::serve::Server;
+/// Every serve-layer knob, resolved once via the documented
+/// explicit > PULPC_* env > default precedence (core::env_or).
+using ServeOptions = pulpc::serve::ServeOptions;
 /// Service counters + latency histogram, snapshot-able as one JSON object.
 using ServeMetrics = pulpc::serve::Metrics;
 

@@ -45,6 +45,24 @@ Metrics::Snapshot Metrics::snapshot() const {
   return s;
 }
 
+void Metrics::Snapshot::merge(const Snapshot& other) {
+  requests += other.requests;
+  ok += other.ok;
+  errors += other.errors;
+  shed += other.shed;
+  batches += other.batches;
+  if (other.max_batch > max_batch) max_batch = other.max_batch;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
+  in_flight += other.in_flight;
+  latency_count += other.latency_count;
+  latency_sum_us += other.latency_sum_us;
+  for (std::size_t i = 0; i < latency_buckets.size(); ++i) {
+    latency_buckets[i] += other.latency_buckets[i];
+  }
+}
+
 std::string Metrics::Snapshot::to_json() const {
   char buf[256];
   std::string out = "{";

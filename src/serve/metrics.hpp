@@ -44,6 +44,11 @@ class Metrics {
 
     /// The whole snapshot as one JSON object (stable key order).
     [[nodiscard]] std::string to_json() const;
+
+    /// Accumulate another snapshot into this one (shard aggregation):
+    /// counters and histogram buckets add, max_batch takes the max,
+    /// in_flight sums (it is a gauge over disjoint shard queues).
+    void merge(const Snapshot& other);
   };
 
   void on_request() noexcept { requests_.fetch_add(1, relaxed); }

@@ -4,58 +4,58 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <cstring>
+#include <utility>
+#include <vector>
 
 namespace pulpc::serve {
 
 namespace {
 
-/// One parsed scalar value of a flat JSON object.
+/// One parsed JSON value. Objects keep insertion order (a vector of
+/// pairs also sidesteps std::map's incomplete-type restrictions for the
+/// recursive member).
 struct Value {
-  enum class Kind { String, Number, Bool, Null } kind = Kind::Null;
+  enum class Kind { String, Number, Bool, Null, Object, Array };
+  Kind kind = Kind::Null;
   std::string str;
   double num = 0;
   bool b = false;
+  std::vector<std::pair<std::string, Value>> obj;
+  std::vector<Value> arr;
+
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
 };
 
-/// Minimal recursive-descent parser for exactly one flat JSON object.
+/// Nesting bound: protocol objects are at most two levels deep
+/// (metrics replies); anything deeper is hostile or broken input.
+constexpr int kMaxDepth = 16;
+
+/// Recursive-descent parser for exactly one JSON value per line.
 /// `err` is set to a message on failure; positions are byte offsets.
-class FlatParser {
+class JsonParser {
  public:
-  explicit FlatParser(std::string_view s) : s_(s) {}
+  explicit JsonParser(std::string_view s) : s_(s) {}
 
-  bool parse(std::map<std::string, Value>* out, std::string* err) {
+  bool parse(Value* out, std::string* err) {
     skip_ws();
-    if (!eat('{')) return fail("expected '{'", err);
-    skip_ws();
-    if (eat('}')) return finish(err);
-    for (;;) {
-      Value key;
-      if (!parse_string(&key.str)) return fail("expected key string", err);
-      skip_ws();
-      if (!eat(':')) return fail("expected ':'", err);
-      Value val;
-      if (!parse_value(&val)) return fail("bad value", err);
-      (*out)[key.str] = std::move(val);
-      skip_ws();
-      if (eat(',')) {
-        skip_ws();
-        continue;
-      }
-      if (eat('}')) return finish(err);
-      return fail("expected ',' or '}'", err);
-    }
-  }
-
- private:
-  bool finish(std::string* err) {
+    if (i_ < s_.size() && s_[i_] != '{') return fail("expected '{'", err);
+    if (!parse_value(out, 0, err)) return false;
     skip_ws();
     if (i_ != s_.size()) return fail("trailing bytes after object", err);
     return true;
   }
 
+ private:
   bool fail(const char* what, std::string* err) {
-    *err = std::string(what) + " at byte " + std::to_string(i_);
+    if (err->empty()) {
+      *err = std::string(what) + " at byte " + std::to_string(i_);
+    }
     return false;
   }
 
@@ -120,30 +120,74 @@ class FlatParser {
     return false;  // unterminated
   }
 
-  bool parse_value(Value* out) {
+  bool parse_object(Value* out, int depth, std::string* err) {
+    out->kind = Value::Kind::Object;
     skip_ws();
-    if (i_ >= s_.size()) return false;
+    if (eat('}')) return true;
+    for (;;) {
+      std::string key;
+      if (!parse_string(&key)) return fail("expected key string", err);
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'", err);
+      Value val;
+      if (!parse_value(&val, depth, err)) return fail("bad value", err);
+      out->obj.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (eat(',')) {
+        skip_ws();
+        continue;
+      }
+      if (eat('}')) return true;
+      return fail("expected ',' or '}'", err);
+    }
+  }
+
+  bool parse_array(Value* out, int depth, std::string* err) {
+    out->kind = Value::Kind::Array;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      Value val;
+      if (!parse_value(&val, depth, err)) return fail("bad value", err);
+      out->arr.push_back(std::move(val));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      return fail("expected ',' or ']'", err);
+    }
+  }
+
+  bool parse_value(Value* out, int depth, std::string* err) {
+    skip_ws();
+    if (i_ >= s_.size()) return fail("unexpected end of input", err);
     const char c = s_[i_];
+    if (c == '{' || c == '[') {
+      if (depth + 1 > kMaxDepth) return fail("nesting too deep", err);
+      ++i_;
+      return c == '{' ? parse_object(out, depth + 1, err)
+                      : parse_array(out, depth + 1, err);
+    }
     if (c == '"') {
       out->kind = Value::Kind::String;
-      return parse_string(&out->str);
+      if (!parse_string(&out->str)) return fail("bad string", err);
+      return true;
     }
     if (c == 't') {
-      if (s_.substr(i_, 4) != "true") return false;
+      if (s_.substr(i_, 4) != "true") return fail("bad value", err);
       i_ += 4;
       out->kind = Value::Kind::Bool;
       out->b = true;
       return true;
     }
     if (c == 'f') {
-      if (s_.substr(i_, 5) != "false") return false;
+      if (s_.substr(i_, 5) != "false") return fail("bad value", err);
       i_ += 5;
       out->kind = Value::Kind::Bool;
       out->b = false;
       return true;
     }
     if (c == 'n') {
-      if (s_.substr(i_, 4) != "null") return false;
+      if (s_.substr(i_, 4) != "null") return fail("bad value", err);
       i_ += 4;
       out->kind = Value::Kind::Null;
       return true;
@@ -160,16 +204,47 @@ class FlatParser {
       const std::string text(s_.substr(start, i_ - start));
       char* end = nullptr;
       out->num = std::strtod(text.c_str(), &end);
-      if (end != text.c_str() + text.size()) return false;
+      if (end != text.c_str() + text.size()) return fail("bad number", err);
       out->kind = Value::Kind::Number;
       return true;
     }
-    return false;  // nested objects/arrays are not part of the protocol
+    return fail("bad value", err);
   }
 
   std::string_view s_;
   std::size_t i_ = 0;
 };
+
+/// Shared predict-field validation (identical messages for v1 and v2 —
+/// v1 clients depend on the exact strings).
+std::string validate_predict_fields(const Value& obj, WireRequest* out) {
+  if (const Value* v = obj.find("kernel")) {
+    if (v->kind != Value::Kind::String) return "'kernel' must be a string";
+    out->kernel = v->str;
+  }
+  if (const Value* v = obj.find("dtype")) {
+    if (v->kind != Value::Kind::String) return "'dtype' must be a string";
+    out->dtype = v->str;
+  }
+  if (const Value* v = obj.find("bytes")) {
+    if (v->kind != Value::Kind::Number || v->num < 1 ||
+        v->num > 4294967295.0 || v->num != std::floor(v->num)) {
+      return "'bytes' must be a positive integer";
+    }
+    out->bytes = static_cast<std::uint32_t>(v->num);
+  }
+  if (const Value* v = obj.find("optimize")) {
+    if (v->kind != Value::Kind::Bool) return "'optimize' must be a bool";
+    out->optimize = v->b;
+  }
+  if (out->kernel.empty()) return "missing 'kernel'";
+  kir::DType dt;
+  if (!parse_dtype(out->dtype, &dt)) {
+    return "'dtype' must be \"i32\" or \"f32\"";
+  }
+  if (out->bytes == 0) return "missing 'bytes'";
+  return "";
+}
 
 }  // namespace
 
@@ -186,60 +261,104 @@ bool parse_dtype(std::string_view s, kir::DType* out) {
 }
 
 std::string parse_request(std::string_view line, WireRequest* out) {
-  std::map<std::string, Value> obj;
+  Value obj;
   std::string err;
-  if (!FlatParser(line).parse(&obj, &err)) return "parse: " + err;
+  if (!JsonParser(line).parse(&obj, &err)) return "parse: " + err;
   *out = WireRequest{};
-  for (const auto& [key, v] : obj) {
-    if (key == "id") {
-      if (v.kind != Value::Kind::Number) return "'id' must be a number";
-      out->id = static_cast<long long>(v.num);
-    } else if (key == "kernel") {
-      if (v.kind != Value::Kind::String) return "'kernel' must be a string";
-      out->kernel = v.str;
-    } else if (key == "dtype") {
-      if (v.kind != Value::Kind::String) return "'dtype' must be a string";
-      out->dtype = v.str;
-    } else if (key == "bytes") {
-      if (v.kind != Value::Kind::Number || v.num < 1 ||
-          v.num > 4294967295.0 || v.num != std::floor(v.num)) {
-        return "'bytes' must be a positive integer";
-      }
-      out->bytes = static_cast<std::uint32_t>(v.num);
-    } else if (key == "optimize") {
-      if (v.kind != Value::Kind::Bool) return "'optimize' must be a bool";
-      out->optimize = v.b;
-    }
-    // Unknown keys: ignored (forward compatibility).
+
+  if (const Value* v = obj.find("id")) {
+    if (v->kind != Value::Kind::Number) return "'id' must be a number";
+    out->id = static_cast<long long>(v->num);
   }
-  if (out->kernel.empty()) return "missing 'kernel'";
-  kir::DType dt;
-  if (!parse_dtype(out->dtype, &dt)) return "'dtype' must be \"i32\" or \"f32\"";
-  if (out->bytes == 0) return "missing 'bytes'";
-  return "";
+  if (const Value* v = obj.find("v")) {
+    // The version key selects the schema; absence means v1 (pre-v2
+    // clients never sent it).
+    if (v->kind != Value::Kind::Number || v->num != std::floor(v->num)) {
+      return "'v' must be an integer";
+    }
+    const auto ver = static_cast<long long>(v->num);
+    if (ver != 1 && ver != 2) {
+      return "unsupported protocol version " + std::to_string(ver);
+    }
+    out->v = static_cast<int>(ver);
+  }
+
+  if (out->v == 1) {
+    // v1: the one implicit shape. Ignore any "cmd" key like every other
+    // unknown key.
+    return validate_predict_fields(obj, out);
+  }
+
+  // v2: dispatch on cmd (default "predict" keeps the minimal upgrade —
+  // add "v":2 to a v1 request — valid).
+  if (const Value* v = obj.find("cmd")) {
+    if (v->kind != Value::Kind::String) return "'cmd' must be a string";
+    out->cmd = v->str;
+  }
+  if (out->cmd == "predict") {
+    return validate_predict_fields(obj, out);
+  }
+  if (out->cmd == "reload") {
+    if (const Value* v = obj.find("model")) {
+      if (v->kind != Value::Kind::String) return "'model' must be a string";
+      out->model = v->str;
+    }
+    return "";
+  }
+  if (out->cmd == "metrics" || out->cmd == "ping") return "";
+  return "unknown cmd '" + out->cmd + "'";
 }
 
 std::string parse_reply(std::string_view line, WireReply* out) {
-  std::map<std::string, Value> obj;
+  Value obj;
   std::string err;
-  if (!FlatParser(line).parse(&obj, &err)) return "parse: " + err;
+  if (!JsonParser(line).parse(&obj, &err)) return "parse: " + err;
   *out = WireReply{};
-  for (const auto& [key, v] : obj) {
-    if (key == "id" && v.kind == Value::Kind::Number) {
-      out->id = static_cast<long long>(v.num);
-    } else if (key == "ok" && v.kind == Value::Kind::Bool) {
-      out->ok = v.b;
-    } else if (key == "cores" && v.kind == Value::Kind::Number) {
-      out->cores = static_cast<int>(v.num);
-    } else if (key == "cached" && v.kind == Value::Kind::Bool) {
-      out->cached = v.b;
-    } else if (key == "error" && v.kind == Value::Kind::String) {
-      out->error = v.str;
-    } else if (key == "micros" && v.kind == Value::Kind::Number) {
-      out->micros = v.num;
+  if (const Value* v = obj.find("v")) {
+    if (v->kind == Value::Kind::Number) out->v = static_cast<int>(v->num);
+  }
+  if (const Value* v = obj.find("id")) {
+    if (v->kind == Value::Kind::Number) {
+      out->id = static_cast<long long>(v->num);
     }
   }
-  if (obj.find("ok") == obj.end()) return "missing 'ok'";
+  if (const Value* v = obj.find("ok")) {
+    if (v->kind == Value::Kind::Bool) out->ok = v->b;
+  } else {
+    return "missing 'ok'";
+  }
+  if (const Value* v = obj.find("cores")) {
+    if (v->kind == Value::Kind::Number) out->cores = static_cast<int>(v->num);
+  }
+  if (const Value* v = obj.find("cached")) {
+    if (v->kind == Value::Kind::Bool) out->cached = v->b;
+  }
+  if (const Value* v = obj.find("model_version")) {
+    if (v->kind == Value::Kind::Number) {
+      out->model_version = static_cast<std::uint64_t>(v->num);
+    }
+  }
+  if (const Value* v = obj.find("pong")) {
+    if (v->kind == Value::Kind::Bool) out->pong = v->b;
+  }
+  if (const Value* v = obj.find("micros")) {
+    if (v->kind == Value::Kind::Number) out->micros = v->num;
+  }
+  if (const Value* v = obj.find("error")) {
+    if (v->kind == Value::Kind::String) {
+      out->error = v->str;  // v1 bare-string error
+    } else if (v->kind == Value::Kind::Object) {
+      // v2 structured error: {"code":...,"msg":...}
+      if (const Value* code = v->find("code");
+          code && code->kind == Value::Kind::String) {
+        out->error_code = code->str;
+      }
+      if (const Value* msg = v->find("msg");
+          msg && msg->kind == Value::Kind::String) {
+        out->error = msg->str;
+      }
+    }
+  }
   return "";
 }
 
@@ -261,6 +380,12 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+const char* error_code_for(const Result& result) {
+  if (result.shed) return kErrorCodeOverloaded;
+  if (result.error == "shutting down") return kErrorCodeShutdown;
+  return kErrorCodePredict;
+}
+
 std::string format_reply(long long id, const Result& result) {
   char buf[160];
   if (result.ok) {
@@ -279,6 +404,40 @@ std::string format_error_reply(long long id, const std::string& message) {
   Result r;
   r.error = message;
   return format_reply(id, r);
+}
+
+std::string format_reply_v2(long long id, const Result& result) {
+  if (!result.ok) {
+    return format_error_reply_v2(id, error_code_for(result), result.error);
+  }
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                "{\"v\":2,\"id\":%lld,\"ok\":true,\"cores\":%d,"
+                "\"cached\":%s,\"model_version\":%llu,\"micros\":%.1f}",
+                id, result.cores, result.cached ? "true" : "false",
+                static_cast<unsigned long long>(result.model_version),
+                result.micros);
+  return buf;
+}
+
+std::string format_error_reply_v2(long long id, const char* code,
+                                  const std::string& message) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "{\"v\":2,\"id\":%lld,\"ok\":false,\"error\":{\"code\":\"%s\","
+                "\"msg\":\"",
+                id, code);
+  return std::string(buf) + json_escape(message) + "\"}}";
+}
+
+std::string format_reply_for(int v, long long id, const Result& result) {
+  return v == 2 ? format_reply_v2(id, result) : format_reply(id, result);
+}
+
+std::string format_error_reply_for(int v, long long id, const char* code,
+                                   const std::string& message) {
+  return v == 2 ? format_error_reply_v2(id, code, message)
+                : format_error_reply(id, message);
 }
 
 }  // namespace pulpc::serve

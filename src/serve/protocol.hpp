@@ -1,19 +1,42 @@
 // Line-delimited JSON wire protocol of `pulpclass serve`, dependency
-// free: one flat JSON object per line in each direction.
+// free: one JSON object per line in each direction, two versions.
 //
+// v1 (legacy, still fully served — field absence selects it):
 //   -> {"id":7,"kernel":"gemm","dtype":"i32","bytes":8192}
 //   <- {"id":7,"ok":true,"cores":4,"cached":false,"micros":812.4}
 //   -> {"kernel":"nope","dtype":"i32","bytes":64}
 //   <- {"id":-1,"ok":false,"error":"unknown kernel 'nope'"}
-//   -> not json at all
-//   <- {"id":-1,"ok":false,"error":"parse: expected '{'"}
 //
-// Requests: kernel (string, required), dtype ("i32"|"f32", required),
-// bytes (positive integer, required), id (integer, echoed, default -1),
-// optimize (bool, default false). Unknown keys are ignored for forward
-// compatibility. Values never nest, so the parser accepts exactly flat
-// objects of strings / numbers / booleans — small enough to audit, and
-// a malformed line yields an error reply, never a dead server.
+// v2 (versioned envelope, command verbs, structured errors):
+//   -> {"v":2,"id":7,"cmd":"predict","kernel":"gemm","dtype":"i32",
+//       "bytes":8192}
+//   <- {"v":2,"id":7,"ok":true,"cores":4,"cached":false,
+//       "model_version":1,"micros":812.4}
+//   -> {"v":2,"id":8,"cmd":"ping"}
+//   <- {"v":2,"id":8,"ok":true,"pong":true}
+//   -> {"v":2,"id":9,"cmd":"reload"}            // or "model":"/path"
+//   <- {"v":2,"id":9,"ok":true,"model_version":2,"columns":20}
+//   -> {"v":2,"id":10,"cmd":"metrics"}
+//   <- {"v":2,"id":10,"ok":true,"metrics":{"total":{...},...}}
+//   -> {"v":2,"cmd":"predict"}
+//   <- {"v":2,"id":-1,"ok":false,
+//       "error":{"code":"invalid_request","msg":"missing 'kernel'"}}
+//
+// Version negotiation is per line: a request carrying `"v":2` gets a v2
+// reply, anything else is treated as v1 (so v1 clients — which ignore
+// unknown keys by contract — never see a shape they cannot parse). The
+// `cmd` field replaces v1's single implicit request shape: `predict`
+// (the v1 semantics plus `model_version` attribution), `ping`
+// (liveness), `metrics` (the server's full metrics document), and
+// `reload` (publish a new model version; optional `model` path
+// overrides the server's default). v2 errors are structured objects
+// with a machine-readable `code` from a closed set (kErrorCode*) and a
+// human `msg`; v1 errors stay bare strings, byte-identical to before.
+//
+// Unknown keys are ignored in both versions (forward compatibility).
+// The parser accepts arbitrarily nested JSON values up to a fixed depth
+// — small enough to audit, and a malformed line yields an error reply,
+// never a dead server.
 #pragma once
 
 #include <cstdint>
@@ -24,42 +47,86 @@
 
 namespace pulpc::serve {
 
+/// v2 structured error codes (the closed set clients may switch on).
+inline constexpr const char* kErrorCodeParse = "parse_error";
+inline constexpr const char* kErrorCodeInvalid = "invalid_request";
+inline constexpr const char* kErrorCodeTooLarge = "too_large";
+inline constexpr const char* kErrorCodeOverloaded = "overloaded";
+inline constexpr const char* kErrorCodeTimeout = "timeout";
+inline constexpr const char* kErrorCodePredict = "predict_failed";
+inline constexpr const char* kErrorCodeReload = "reload_failed";
+inline constexpr const char* kErrorCodeShutdown = "shutting_down";
+
 /// A request as it appears on the wire (dtype still a string).
 struct WireRequest {
+  int v = 1;                    ///< protocol version (1 or 2)
   long long id = -1;
+  std::string cmd = "predict";  ///< v2 verb; always "predict" for v1
   std::string kernel;
   std::string dtype;
   std::uint32_t bytes = 0;
   bool optimize = false;
+  std::string model;            ///< v2 reload: optional model file path
 };
 
 /// A reply as it appears on the wire (for clients and tests).
 struct WireReply {
+  int v = 1;
   long long id = -1;
   bool ok = false;
   int cores = 0;
   bool cached = false;
-  std::string error;
+  std::uint64_t model_version = 0;  ///< v2 predict/reload replies
+  bool pong = false;                ///< v2 ping reply
+  std::string error;                ///< v1 string, or v2 error.msg
+  std::string error_code;           ///< v2 error.code ("" for v1)
   double micros = 0;
 };
 
-/// Parse one request line. Returns an empty string on success, else the
-/// parse/validation error message.
+/// Parse one request line (either protocol version; see WireRequest::v).
+/// Returns an empty string on success, else the parse/validation error
+/// message. Messages prefixed "parse: " map to kErrorCodeParse, the
+/// rest to kErrorCodeInvalid.
 [[nodiscard]] std::string parse_request(std::string_view line,
                                         WireRequest* out);
 
-/// Parse one reply line (the client side of the protocol).
+/// Parse one reply line (the client side, both versions).
 [[nodiscard]] std::string parse_reply(std::string_view line, WireReply* out);
 
 /// "i32"/"f32" -> kir::DType. Returns false on anything else.
 [[nodiscard]] bool parse_dtype(std::string_view s, kir::DType* out);
 
-/// One reply line (no trailing newline) for a service Result.
+/// The v2 error code describing a failed service Result.
+[[nodiscard]] const char* error_code_for(const Result& result);
+
+/// One v1 reply line (no trailing newline) for a service Result.
+/// Byte-identical to the pre-v2 server's output.
 [[nodiscard]] std::string format_reply(long long id, const Result& result);
 
-/// One reply line for a request that never reached the service.
+/// One v1 reply line for a request that never reached the service.
 [[nodiscard]] std::string format_error_reply(long long id,
                                              const std::string& message);
+
+/// One v2 predict reply line for a service Result (success carries
+/// model_version; failure becomes a structured error via
+/// error_code_for).
+[[nodiscard]] std::string format_reply_v2(long long id,
+                                          const Result& result);
+
+/// One v2 structured error line: {"v":2,"id":N,"ok":false,
+/// "error":{"code":code,"msg":message}}.
+[[nodiscard]] std::string format_error_reply_v2(long long id,
+                                                const char* code,
+                                                const std::string& message);
+
+/// Version-dispatching conveniences: v==2 selects the v2 shape, any
+/// other value the v1 shape (so pre-parse failures on a v1 connection
+/// stay v1).
+[[nodiscard]] std::string format_reply_for(int v, long long id,
+                                           const Result& result);
+[[nodiscard]] std::string format_error_reply_for(int v, long long id,
+                                                 const char* code,
+                                                 const std::string& message);
 
 /// JSON string escaping (quotes, backslashes, control characters).
 [[nodiscard]] std::string json_escape(std::string_view s);

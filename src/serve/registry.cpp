@@ -1,0 +1,87 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+
+#include "core/artifacts.hpp"
+#include "core/env.hpp"
+
+namespace pulpc::serve {
+
+namespace {
+
+std::uint64_t columns_key(const core::EnergyClassifier& clf) {
+  std::string joined = "cols|";
+  for (const std::string& c : clf.columns()) {
+    joined += c;
+    joined += '\n';
+  }
+  return core::fnv1a64(joined);
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(core::EnergyClassifier initial,
+                             std::optional<bool> use_flat)
+    : use_flat_(use_flat) {
+  (void)publish(std::move(initial));
+}
+
+std::shared_ptr<ModelRegistry> ModelRegistry::from_file(
+    const std::string& path, std::optional<bool> use_flat) {
+  return std::make_shared<ModelRegistry>(
+      core::EnergyClassifier::load_file(path), use_flat);
+}
+
+std::uint64_t ModelRegistry::publish(core::EnergyClassifier clf) {
+  if (!clf.trained()) {
+    throw std::invalid_argument("ModelRegistry: classifier is not trained");
+  }
+  // Engine selection is a registry-wide property, applied before the
+  // snapshot becomes visible (snapshots are immutable afterwards).
+  clf.set_use_flat(core::env_flag(use_flat_, "PULPC_FLAT_PREDICT", true));
+  const std::uint64_t key = columns_key(clf);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t version = next_version_++;
+  auto snap =
+      std::make_shared<const ModelSnapshot>(version, key, std::move(clf));
+  history_.push_back(VersionInfo{version, key, snap->clf.columns().size(),
+                                 snap->served});
+  // The one swap readers ever observe: release pairs with the acquire
+  // in current(), so a batcher that sees the new pointer also sees the
+  // fully constructed snapshot behind it.
+  current_.store(std::move(snap), std::memory_order_release);
+  return version;
+}
+
+std::uint64_t ModelRegistry::reload(core::EnergyClassifier clf) {
+  return publish(std::move(clf));
+}
+
+std::uint64_t ModelRegistry::reload_file(const std::string& path) {
+  // load_file throws on any corruption before publish is reached: a bad
+  // file can never unseat the serving model.
+  return publish(core::EnergyClassifier::load_file(path));
+}
+
+std::size_t ModelRegistry::loaded_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return history_.size();
+}
+
+std::string ModelRegistry::models_json() const {
+  const std::uint64_t live = current()->version;
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "[";
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const VersionInfo& v = history_[i];
+    if (i > 0) out += ",";
+    out += "{\"version\":" + std::to_string(v.version) +
+           ",\"columns\":" + std::to_string(v.columns) + ",\"served\":" +
+           std::to_string(v.served->load(std::memory_order_relaxed)) +
+           ",\"live\":" + (v.version == live ? "true" : "false") + "}";
+  }
+  return out + "]";
+}
+
+}  // namespace pulpc::serve

@@ -1,0 +1,123 @@
+// Versioned model registry: the hot-reload primitive of the serving
+// layer. Every trained model published into the registry becomes an
+// immutable ModelSnapshot (classifier + monotonically increasing
+// version + a fingerprint of its feature column list), and the current
+// snapshot pointer is swapped with one std::atomic<std::shared_ptr>
+// exchange:
+//
+//   * Readers (the per-shard batcher threads) acquire the snapshot once
+//     per micro-batch. An in-flight batch therefore finishes — feature
+//     extraction AND classification — on exactly the model it started
+//     with, even if a reload lands mid-batch; the shared_ptr keeps the
+//     old model alive until its last batch completes.
+//   * Writers (the `reload` admin verb, the --reload-fifo watcher)
+//     validate the incoming model fully before publishing, so a corrupt
+//     model file can never replace a serving one: reload_file either
+//     swaps in a trained model or throws with the old model untouched.
+//   * Zero coordination on the read path: no lock is held while a model
+//     serves, and a swap never waits for in-flight work.
+//
+// The feature fingerprint (FNV-1a over the ordered column list) lets
+// the per-shard row caches survive a reload when the new model extracts
+// the same columns — the common "retrained weights, same features" case
+// keeps every cache warm — and forces a flush when the columns differ.
+// (Feature rows also depend on the classifier's MCA machine model; that
+// model is not persisted in the classifier file, so every *loaded*
+// model shares the default and the column list is the whole story.
+// In-memory classifiers with a custom MachineModel should not share a
+// registry across differing machine models.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+
+namespace pulpc::serve {
+
+/// One immutable published model. `served` counts predictions answered
+/// by this version (shared with the registry's history so the counter
+/// outlives the snapshot itself).
+struct ModelSnapshot {
+  std::uint64_t version = 0;
+  /// FNV-1a over the ordered feature column list: equal keys mean a
+  /// cached feature row extracted under one snapshot is byte-valid
+  /// under the other.
+  std::uint64_t feature_key = 0;
+  core::EnergyClassifier clf;
+  std::shared_ptr<std::atomic<std::uint64_t>> served;
+
+  ModelSnapshot(std::uint64_t v, std::uint64_t key,
+                core::EnergyClassifier c)
+      : version(v),
+        feature_key(key),
+        clf(std::move(c)),
+        served(std::make_shared<std::atomic<std::uint64_t>>(0)) {}
+};
+
+class ModelRegistry {
+ public:
+  /// Publish `initial` as version 1. `use_flat` is the registry-wide
+  /// engine selection applied to every published model (including
+  /// reloads): unset consults PULPC_FLAT_PREDICT, default on. Throws
+  /// std::invalid_argument if the classifier is not trained.
+  explicit ModelRegistry(core::EnergyClassifier initial,
+                         std::optional<bool> use_flat = std::nullopt);
+
+  /// Load + publish a model file as version 1. Throws std::runtime_error
+  /// on unreadable/corrupt bundles.
+  static std::shared_ptr<ModelRegistry> from_file(
+      const std::string& path, std::optional<bool> use_flat = std::nullopt);
+
+  /// The serving snapshot: one atomic shared_ptr load, never null.
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t version() const {
+    return current()->version;
+  }
+
+  /// Publish a new model and return its version. Validation happens
+  /// before the swap: an untrained classifier throws and the serving
+  /// model is untouched. Concurrent reloads serialize; versions are
+  /// strictly increasing.
+  std::uint64_t reload(core::EnergyClassifier clf);
+
+  /// Load a model file and publish it. Any load/parse failure throws
+  /// with the serving model untouched.
+  std::uint64_t reload_file(const std::string& path);
+
+  /// Number of models published so far (== current version).
+  [[nodiscard]] std::size_t loaded_count() const;
+
+  /// Per-version serving history as a JSON array (stable order:
+  /// ascending version):
+  ///   [{"version":1,"columns":20,"served":412,"live":false}, ...]
+  [[nodiscard]] std::string models_json() const;
+
+ private:
+  std::uint64_t publish(core::EnergyClassifier clf);
+
+  std::optional<bool> use_flat_;
+  std::atomic<std::shared_ptr<const ModelSnapshot>> current_;
+
+  /// Reload serialization + per-version bookkeeping. Never held on the
+  /// serving path.
+  mutable std::mutex mu_;
+  struct VersionInfo {
+    std::uint64_t version = 0;
+    std::uint64_t feature_key = 0;
+    std::size_t columns = 0;
+    std::shared_ptr<std::atomic<std::uint64_t>> served;
+  };
+  std::vector<VersionInfo> history_;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace pulpc::serve

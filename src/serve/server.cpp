@@ -1,75 +1,238 @@
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <stdexcept>
-#include <string>
+#include <unordered_map>
+#include <utility>
 
+#include "core/env.hpp"
 #include "serve/protocol.hpp"
 
 namespace pulpc::serve {
 
 namespace {
 
-/// send(2) the whole buffer, riding out short writes and EINTR.
-bool send_all(int fd, std::string_view data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
+using Clock = std::chrono::steady_clock;
+
+/// A connection stops being read once this many unflushed reply bytes
+/// pile up (slow/absent reader); reading resumes when the flush drains
+/// below it. Bounds per-connection memory on the write side the way
+/// max_line_bytes bounds the read side.
+constexpr std::size_t kWriteWatermark = 1u << 20;
+
+/// Events the wake eventfd registers under (connection ids start at 1).
+constexpr std::uint64_t kWakeToken = 0;
+
+/// Resolve an unsigned knob where an in-struct 0 means "consult env".
+unsigned resolve_u(unsigned explicit_value, const char* env,
+                   unsigned fallback) {
+  return core::env_or(explicit_value, env, fallback);
 }
 
-bool send_line(int fd, const std::string& line) {
-  return send_all(fd, line + "\n");
+/// Resolve a knob where 0 is meaningful, so "unset" is an empty
+/// optional rather than 0.
+unsigned resolve_opt_u(const std::optional<unsigned>& explicit_value,
+                       const char* env, unsigned fallback) {
+  if (explicit_value) return *explicit_value;
+  return core::env_or(0u, env, fallback);
+}
+
+/// Best-effort single blocking-ish send for pre-adoption refusals (the
+/// socket is non-blocking; if the kernel buffer cannot take one small
+/// reply line the client loses the courtesy message, nothing else).
+void send_best_effort(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  [[maybe_unused]] const ssize_t n =
+      ::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL);
 }
 
 }  // namespace
 
-Server::Server(PredictionService& service, Options options)
-    : service_(service), opt_(options) {}
+ServeOptions::Resolved ServeOptions::resolve() const {
+  Resolved r;
+  r.port = port ? *port
+                : static_cast<std::uint16_t>(
+                      core::env_or(0u, "PULPC_SERVE_PORT", 7070u));
+  r.workers = resolve_u(workers, "PULPC_SERVE_WORKERS", 2);
+  r.shards = resolve_u(shards, "PULPC_SERVE_SHARDS", 2);
+  r.max_connections = resolve_u(max_connections, "PULPC_SERVE_MAX_CONNS", 256);
+  r.backlog = resolve_u(backlog, "PULPC_SERVE_BACKLOG", 64);
+  r.request_timeout_ms =
+      resolve_u(request_timeout_ms, "PULPC_SERVE_TIMEOUT_MS", 5000);
+  r.max_line_bytes = resolve_u(max_line_bytes, "PULPC_SERVE_MAX_LINE", 65536);
+  r.max_in_flight =
+      resolve_u(max_in_flight, "PULPC_SERVE_MAX_INFLIGHT", 256);
+  r.max_batch = resolve_u(max_batch, "PULPC_SERVE_BATCH", 16);
+  r.batch_linger_us =
+      resolve_opt_u(batch_linger_us, "PULPC_SERVE_LINGER_US", 200);
+  r.cache_capacity = resolve_opt_u(cache_capacity, "PULPC_SERVE_CACHE", 1024);
+  r.router_cache = resolve_u(router_cache, "PULPC_SERVE_ROUTER_CACHE", 4096);
+  r.threads = threads;  // 0 defers to PULPC_THREADS in core::ThreadPool
+  r.reload_fifo = core::env_or(reload_fifo, "PULPC_SERVE_RELOAD_FIFO", "");
+  r.model_path = core::env_or(model_path, "PULPC_MODEL", "");
+  r.use_flat = use_flat;
+  return r;
+}
+
+ShardedService::Options sharded_options(const ServeOptions::Resolved& r) {
+  ShardedService::Options o;
+  o.shards = r.shards;
+  o.router_cache = r.router_cache;
+  o.service.cache_capacity = r.cache_capacity;
+  o.service.max_batch = r.max_batch;
+  o.service.max_in_flight = r.max_in_flight;
+  o.service.threads = r.threads;
+  o.service.batch_linger = std::chrono::microseconds(r.batch_linger_us);
+  o.service.use_flat = r.use_flat;
+  return o;
+}
+
+/// Cross-thread inbox of one worker: new connections from the acceptor
+/// and formatted reply lines from service callbacks. Held by shared_ptr
+/// everywhere so a late callback (after the worker — or the whole
+/// server — is gone) posts into a closed mailbox instead of freed
+/// memory; the eventfd is owned here and closed with the last
+/// reference.
+struct Server::Mailbox {
+  struct Out {
+    std::uint64_t conn = 0;
+    /// Pending-request sequence this reply answers; 0 for admin replies
+    /// delivered without timeout bookkeeping.
+    std::uint64_t seq = 0;
+    std::string line;
+  };
+
+  explicit Mailbox(int eventfd) : efd(eventfd) {}
+  ~Mailbox() {
+    if (efd >= 0) ::close(efd);
+  }
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void wake() const noexcept {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(efd, &one, sizeof one);
+  }
+
+  /// False when the worker no longer drains this mailbox (caller keeps
+  /// ownership of fd then).
+  bool post_fd(int fd) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (!open) return false;
+      fds.push_back(fd);
+    }
+    wake();
+    return true;
+  }
+
+  void post_out(std::uint64_t conn, std::uint64_t seq, std::string line) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (!open) return;  // worker gone: reply has nowhere to go
+      outs.push_back(Out{conn, seq, std::move(line)});
+    }
+    wake();
+  }
+
+  void post_stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    wake();
+  }
+
+  const int efd;
+  std::mutex mu;
+  bool open = true;
+  bool stop = false;
+  std::vector<int> fds;
+  std::vector<Out> outs;
+};
+
+struct Server::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  /// Protocol version of the last request seen on this connection;
+  /// pre-parse failures (too-large, unparseable id) answer in it.
+  int proto = 1;
+  std::string rbuf;
+  std::string wbuf;
+  std::size_t woff = 0;     ///< bytes of wbuf already written
+  bool want_write = false;  ///< EPOLLOUT armed
+  bool discarding = false;  ///< dropping an oversized line until '\n'
+  bool paused = false;      ///< read side paused by the write watermark
+  std::uint64_t next_seq = 0;
+  struct PendingReq {
+    long long wire_id = -1;
+    int v = 1;
+  };
+  std::unordered_map<std::uint64_t, PendingReq> pending;
+};
+
+struct Server::Worker {
+  int ep = -1;  ///< owned epoll fd
+  std::shared_ptr<Mailbox> mail;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  /// (deadline, (conn id, seq)); entries whose request already resolved
+  /// are skipped lazily at expiry.
+  std::multimap<Clock::time_point, std::pair<std::uint64_t, std::uint64_t>>
+      deadlines;
+  bool stopping = false;
+  std::uint64_t next_conn_id = 1;
+
+  ~Worker() {
+    if (ep >= 0) ::close(ep);
+  }
+};
+
+Server::Server(ShardedService& service, ServeOptions options)
+    : service_(service), opt_(options.resolve()) {}
 
 Server::~Server() {
   request_stop();
-  // run() joins the threads; if run() was never reached, the accept
-  // loop never started and there are none. Close what start() opened.
-  {
-    std::lock_guard<std::mutex> lk(threads_mu_);
-    for (std::thread& t : threads_) {
-      if (t.joinable()) t.join();
-    }
-    threads_.clear();
-  }
+  // run() joins the workers; if it was never entered there are none.
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
-  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+  if (stop_event_ >= 0) ::close(stop_event_);
+  if (fifo_fd_ >= 0) ::close(fifo_fd_);
 }
 
 std::uint16_t Server::start() {
-  if (::pipe(stop_pipe_) != 0) {
-    throw std::runtime_error("serve: pipe() failed: " +
+  stop_event_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (stop_event_ < 0) {
+    throw std::runtime_error("serve: eventfd() failed: " +
                              std::string(std::strerror(errno)));
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("serve: socket() failed: " +
                              std::string(std::strerror(errno)));
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) !=
+      0) {
+    // Without SO_REUSEADDR a restart would fail to rebind for the whole
+    // TIME_WAIT minute — verified here instead of silently degraded.
+    throw std::runtime_error("serve: setsockopt(SO_REUSEADDR) failed: " +
+                             std::string(std::strerror(errno)));
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -80,7 +243,7 @@ std::uint16_t Server::start() {
         "serve: cannot bind 127.0.0.1:" + std::to_string(opt_.port) + ": " +
         std::strerror(errno));
   }
-  if (::listen(listen_fd_, opt_.backlog) != 0) {
+  if (::listen(listen_fd_, static_cast<int>(opt_.backlog)) != 0) {
     throw std::runtime_error("serve: listen() failed: " +
                              std::string(std::strerror(errno)));
   }
@@ -90,31 +253,31 @@ std::uint16_t Server::start() {
     throw std::runtime_error("serve: getsockname() failed");
   }
   port_ = ntohs(addr.sin_port);
+
+  if (!opt_.reload_fifo.empty()) {
+    if (::mkfifo(opt_.reload_fifo.c_str(), 0600) != 0 && errno != EEXIST) {
+      throw std::runtime_error("serve: mkfifo(" + opt_.reload_fifo +
+                               ") failed: " + std::strerror(errno));
+    }
+    // O_RDWR keeps a writer reference open so the FIFO never reads EOF
+    // between producers — the watcher survives any number of
+    // `echo path > fifo` rounds.
+    fifo_fd_ = ::open(opt_.reload_fifo.c_str(),
+                      O_RDWR | O_NONBLOCK | O_CLOEXEC);
+    if (fifo_fd_ < 0) {
+      throw std::runtime_error("serve: open(" + opt_.reload_fifo +
+                               ") failed: " + std::strerror(errno));
+    }
+  }
   return port_;
 }
 
 void Server::request_stop() noexcept {
   stop_.store(true, std::memory_order_release);
-  if (stop_pipe_[1] >= 0) {
-    // The byte is never drained: every poller keeps seeing POLLIN, so
-    // one write wakes the accept loop and all connection threads.
-    const char b = 1;
-    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &b, 1);
-  }
-}
-
-bool Server::wait_readable(int fd) {
-  for (;;) {
-    pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (stop_.load(std::memory_order_acquire) || (fds[1].revents & POLLIN)) {
-      return false;
-    }
-    if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) return true;
+  if (stop_event_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(stop_event_, &one, sizeof one);
   }
 }
 
@@ -122,88 +285,488 @@ void Server::run() {
   if (listen_fd_ < 0) {
     throw std::logic_error("Server::run: start() first");
   }
-  while (wait_readable(listen_fd_)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
+  const unsigned n_workers = opt_.workers == 0 ? 1 : opt_.workers;
+  workers_.clear();
+  workers_.reserve(n_workers);
+  for (unsigned i = 0; i < n_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->ep = ::epoll_create1(EPOLL_CLOEXEC);
+    const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->ep < 0 || efd < 0) {
+      if (efd >= 0) ::close(efd);
+      throw std::runtime_error("serve: worker setup failed: " +
+                               std::string(std::strerror(errno)));
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    if (stop_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      break;
+    w->mail = std::make_shared<Mailbox>(efd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeToken;
+    if (::epoll_ctl(w->ep, EPOLL_CTL_ADD, efd, &ev) != 0) {
+      throw std::runtime_error("serve: epoll_ctl(wake) failed: " +
+                               std::string(std::strerror(errno)));
     }
-    if (open_connections_.load(std::memory_order_relaxed) >=
-        opt_.max_connections) {
-      (void)send_line(fd, format_error_reply(-1, "overloaded"));
-      ::close(fd);
-      continue;
-    }
-    open_connections_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lk(threads_mu_);
-    threads_.emplace_back([this, fd] { handle_connection(fd); });
+    workers_.push_back(std::move(w));
   }
+  worker_threads_.reserve(n_workers);
+  for (auto& w : workers_) {
+    worker_threads_.emplace_back([this, &w] { worker_loop(*w); });
+  }
+
+  acceptor_loop();
+
   // Release the listening port the moment the accept loop exits:
   // connects must be refused once run() returns, not only when the
   // Server object is destroyed.
   ::close(listen_fd_);
   listen_fd_ = -1;
-  std::lock_guard<std::mutex> lk(threads_mu_);
-  for (std::thread& t : threads_) {
+
+  for (auto& w : workers_) w->mail->post_stop();
+  for (std::thread& t : worker_threads_) {
     if (t.joinable()) t.join();
   }
-  threads_.clear();
+  worker_threads_.clear();
+  workers_.clear();
 }
 
-void Server::handle_connection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  while (wait_readable(fd)) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+void Server::handle_fifo_lines() {
+  char chunk[512];
+  for (;;) {
+    const ssize_t n = ::read(fifo_fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      fifo_buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or error: client went away
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    if (buffer.size() > opt_.max_line_bytes &&
-        buffer.find('\n') == std::string::npos) {
-      (void)send_line(fd, format_error_reply(-1, "request line too long"));
+    break;  // EAGAIN (drained) or error
+  }
+  std::size_t start = 0;
+  for (std::size_t nl = fifo_buf_.find('\n', start);
+       nl != std::string::npos; nl = fifo_buf_.find('\n', start)) {
+    std::string path = fifo_buf_.substr(start, nl - start);
+    start = nl + 1;
+    while (!path.empty() && (path.back() == '\r' || path.back() == ' ')) {
+      path.pop_back();
+    }
+    if (path.empty()) path = opt_.model_path;
+    if (path.empty()) {
+      std::fprintf(stderr,
+                   "pulpclass serve: reload ignored (no model path)\n");
+      continue;
+    }
+    try {
+      const std::uint64_t v = service_.registry()->reload_file(path);
+      std::fprintf(stderr,
+                   "pulpclass serve: reloaded model v%llu from %s\n",
+                   static_cast<unsigned long long>(v), path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pulpclass serve: reload failed: %s\n", e.what());
+    }
+  }
+  fifo_buf_.erase(0, start);
+}
+
+void Server::acceptor_loop() {
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) {
+    throw std::runtime_error("serve: epoll_create1() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const auto add = [&](int fd, std::uint64_t token) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = token;
+    (void)::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev);
+  };
+  add(stop_event_, 0);
+  add(listen_fd_, 1);
+  if (fifo_fd_ >= 0) add(fifo_fd_, 2);
+
+  std::size_t next_worker = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    epoll_event evs[8];
+    const int n = ::epoll_wait(ep, evs, 8, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
       break;
     }
-    std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start);
-         nl != std::string::npos; nl = buffer.find('\n', start)) {
-      std::string_view line(buffer.data() + start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      if (line.empty()) continue;
-
-      WireRequest wire;
-      const std::string parse_err = parse_request(line, &wire);
-      if (!parse_err.empty()) {
-        if (!send_line(fd, format_error_reply(wire.id, parse_err))) goto out;
-        continue;  // the connection (and server) survive bad requests
-      }
-      Request req;
-      req.kernel = wire.kernel;
-      (void)parse_dtype(wire.dtype, &req.dtype);  // validated by parse
-      req.size_bytes = wire.bytes;
-      req.optimize = wire.optimize;
-
-      std::future<Result> future = service_.submit(std::move(req));
-      if (future.wait_for(std::chrono::milliseconds(
-              opt_.request_timeout_ms)) != std::future_status::ready) {
-        // The service will still finish the work (and count it); this
-        // client just stops waiting for it.
-        if (!send_line(fd, format_error_reply(wire.id, "timeout"))) goto out;
+    for (int i = 0; i < n && !stop_.load(std::memory_order_acquire); ++i) {
+      if (evs[i].data.u64 == 0) break;  // stop event
+      if (evs[i].data.u64 == 2) {
+        handle_fifo_lines();
         continue;
       }
-      if (!send_line(fd, format_reply(wire.id, future.get()))) goto out;
+      // Listener readable: accept until EAGAIN (it is level-triggered,
+      // but draining keeps the backlog short under bursts).
+      for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN, ECONNABORTED burst end, ...
+        }
+        const int one = 1;
+        (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        if (open_connections_.load(std::memory_order_relaxed) >=
+            static_cast<int>(opt_.max_connections)) {
+          send_best_effort(fd, format_error_reply(-1, "overloaded"));
+          ::close(fd);
+          continue;
+        }
+        open_connections_.fetch_add(1, std::memory_order_relaxed);
+        if (!workers_[next_worker]->mail->post_fd(fd)) {
+          open_connections_.fetch_sub(1, std::memory_order_relaxed);
+          ::close(fd);
+        }
+        next_worker = (next_worker + 1) % workers_.size();
+      }
     }
-    buffer.erase(0, start);
   }
-out:
-  ::close(fd);
+  ::close(ep);
+}
+
+int Server::next_timeout_ms(const Worker& w) const {
+  if (w.deadlines.empty()) return -1;
+  const auto now = Clock::now();
+  const auto first = w.deadlines.begin()->first;
+  if (first <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(first - now)
+          .count() +
+      1;
+  return static_cast<int>(ms > 60000 ? 60000 : ms);
+}
+
+void Server::worker_loop(Worker& w) {
+  for (;;) {
+    epoll_event evs[64];
+    const int n = ::epoll_wait(w.ep, evs, 64, next_timeout_ms(w));
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+      if (evs[i].data.u64 == kWakeToken) {
+        std::uint64_t drain = 0;
+        while (::read(w.mail->efd, &drain, sizeof drain) > 0) {
+        }
+        drain_mailbox(w);
+        continue;
+      }
+      const auto it = w.conns.find(evs[i].data.u64);
+      if (it == w.conns.end()) continue;  // closed earlier in this batch
+      Conn& c = *it->second;
+      if (evs[i].events & EPOLLOUT) {
+        handle_writable(w, c);
+        if (w.conns.find(evs[i].data.u64) == w.conns.end()) continue;
+      }
+      if (evs[i].events & EPOLLIN) {
+        handle_readable(w, c);
+        if (w.conns.find(evs[i].data.u64) == w.conns.end()) continue;
+      }
+      if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_connection(w, c);
+      }
+    }
+    expire_deadlines(w);
+    if (w.stopping) {
+      // Graceful drain: connections close as soon as they owe nothing
+      // (no pending request, no unflushed reply bytes). Every pending
+      // request has a deadline, so this converges within the request
+      // timeout.
+      for (auto it = w.conns.begin(); it != w.conns.end();) {
+        Conn& c = *it->second;
+        ++it;  // close_connection erases c
+        if (c.pending.empty() && c.woff >= c.wbuf.size()) {
+          close_connection(w, c);
+        }
+      }
+      if (w.conns.empty()) break;
+    }
+  }
+  // Teardown: whatever is left closes hard; late service callbacks hit
+  // the closed mailbox and are dropped.
+  for (auto& [id, c] : w.conns) {
+    ::close(c->fd);
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  w.conns.clear();
+  {
+    std::lock_guard<std::mutex> lk(w.mail->mu);
+    w.mail->open = false;
+    for (const int fd : w.mail->fds) {
+      ::close(fd);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    w.mail->fds.clear();
+    w.mail->outs.clear();
+  }
+}
+
+void Server::drain_mailbox(Worker& w) {
+  std::vector<int> fds;
+  std::vector<Mailbox::Out> outs;
+  bool stop_now = false;
+  {
+    std::lock_guard<std::mutex> lk(w.mail->mu);
+    fds.swap(w.mail->fds);
+    outs.swap(w.mail->outs);
+    stop_now = w.mail->stop;
+  }
+  for (const int fd : fds) {
+    if (w.stopping || stop_now) {
+      ::close(fd);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    adopt_connection(w, fd);
+  }
+  for (Mailbox::Out& out : outs) {
+    const auto it = w.conns.find(out.conn);
+    if (it == w.conns.end()) continue;  // connection already gone
+    Conn& c = *it->second;
+    if (out.seq != 0) {
+      // The request may have timed out meanwhile — its pending entry is
+      // gone and the client already holds a timeout reply; drop this
+      // late one.
+      if (c.pending.erase(out.seq) == 0) continue;
+    }
+    send_reply(w, c, out.line);
+  }
+  if (stop_now) w.stopping = true;
+}
+
+void Server::adopt_connection(Worker& w, int fd) {
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->id = w.next_conn_id++;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(w.ep, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  Conn& c = *conn;
+  w.conns.emplace(conn->id, std::move(conn));
+  // The socket may have been readable before it joined the epoll set;
+  // with edge triggering that edge would never re-fire, so read now.
+  handle_readable(w, c);
+}
+
+void Server::handle_readable(Worker& w, Conn& c) {
+  if (c.paused || w.stopping) return;
+  // Copied out: helpers below may close (and free) the connection, so
+  // liveness checks must not read through `c` afterwards.
+  const std::uint64_t id = c.id;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      c.rbuf.append(chunk, static_cast<std::size_t>(n));
+      process_buffer(w, c);
+      // process_buffer may have closed (write failure) or paused us.
+      if (w.conns.find(id) == w.conns.end() || c.paused) return;
+      continue;
+    }
+    if (n == 0) {  // peer closed; drop pending work for this client
+      close_connection(w, c);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained (ET)
+    close_connection(w, c);
+    return;
+  }
+}
+
+void Server::process_buffer(Worker& w, Conn& c) {
+  const std::uint64_t id = c.id;  // `c` may be freed by a write failure
+  std::size_t start = 0;
+  for (std::size_t nl = c.rbuf.find('\n', start); nl != std::string::npos;
+       nl = c.rbuf.find('\n', start)) {
+    std::string_view line(c.rbuf.data() + start, nl - start);
+    start = nl + 1;
+    if (c.discarding) {
+      // This newline terminates the oversized request whose error was
+      // already sent; parsing resumes at the next line.
+      c.discarding = false;
+      continue;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    handle_line(w, c, line);
+    if (w.conns.find(id) == w.conns.end()) return;  // write failure
+  }
+  c.rbuf.erase(0, start);
+  if (c.rbuf.size() > opt_.max_line_bytes) {
+    // Bound read-side memory: reject the oversized request once, then
+    // discard until its terminating newline instead of buffering it.
+    if (!c.discarding) {
+      send_reply(w, c,
+                 format_error_reply_for(c.proto, -1, kErrorCodeTooLarge,
+                                        "request line too long"));
+      if (w.conns.find(id) == w.conns.end()) return;
+      c.discarding = true;
+    }
+    c.rbuf.clear();
+  }
+}
+
+void Server::handle_line(Worker& w, Conn& c, std::string_view line) {
+  WireRequest wire;
+  const std::string err = parse_request(line, &wire);
+  if (!err.empty()) {
+    const char* code = err.compare(0, 7, "parse: ") == 0
+                           ? kErrorCodeParse
+                           : kErrorCodeInvalid;
+    send_reply(w, c, format_error_reply_for(wire.v, wire.id, code, err));
+    return;  // the connection (and server) survive bad requests
+  }
+  c.proto = wire.v;
+
+  if (wire.cmd == "ping") {
+    send_reply(w, c,
+               "{\"v\":2,\"id\":" + std::to_string(wire.id) +
+                   ",\"ok\":true,\"pong\":true}");
+    return;
+  }
+  if (wire.cmd == "metrics") {
+    send_reply(w, c,
+               "{\"v\":2,\"id\":" + std::to_string(wire.id) +
+                   ",\"ok\":true,\"metrics\":" + service_.metrics_json() +
+                   "}");
+    return;
+  }
+  if (wire.cmd == "reload") {
+    // Loading + validating a model does file I/O; run it off the event
+    // loop so this worker's other connections keep being served. The
+    // shared_ptrs keep registry and mailbox alive even if the server
+    // goes away first; a reply into a closed mailbox is dropped.
+    std::string path = wire.model.empty() ? opt_.model_path : wire.model;
+    std::thread([registry = service_.registry(), mail = w.mail,
+                 conn = c.id, id = wire.id, path = std::move(path)] {
+      std::string reply;
+      if (path.empty()) {
+        reply = format_error_reply_v2(id, kErrorCodeReload,
+                                      "no model path configured");
+      } else {
+        try {
+          const std::uint64_t version = registry->reload_file(path);
+          reply = "{\"v\":2,\"id\":" + std::to_string(id) +
+                  ",\"ok\":true,\"model_version\":" +
+                  std::to_string(version) + ",\"columns\":" +
+                  std::to_string(registry->current()->clf.columns().size()) +
+                  "}";
+        } catch (const std::exception& e) {
+          reply = format_error_reply_v2(id, kErrorCodeReload, e.what());
+        }
+      }
+      mail->post_out(conn, 0, std::move(reply));
+    }).detach();
+    return;
+  }
+
+  // predict (both protocol versions).
+  Request req;
+  req.kernel = wire.kernel;
+  (void)parse_dtype(wire.dtype, &req.dtype);  // validated by parse
+  req.size_bytes = wire.bytes;
+  req.optimize = wire.optimize;
+
+  const std::uint64_t seq = ++c.next_seq;
+  c.pending.emplace(seq, Conn::PendingReq{wire.id, wire.v});
+  w.deadlines.emplace(
+      Clock::now() + std::chrono::milliseconds(opt_.request_timeout_ms),
+      std::make_pair(c.id, seq));
+  service_.submit(std::move(req),
+                  [mail = w.mail, conn = c.id, seq, id = wire.id,
+                   v = wire.v](Result result) {
+                    mail->post_out(conn, seq,
+                                   format_reply_for(v, id, result));
+                  });
+}
+
+void Server::expire_deadlines(Worker& w) {
+  const auto now = Clock::now();
+  while (!w.deadlines.empty() && w.deadlines.begin()->first <= now) {
+    const auto [conn_id, seq] = w.deadlines.begin()->second;
+    w.deadlines.erase(w.deadlines.begin());
+    const auto it = w.conns.find(conn_id);
+    if (it == w.conns.end()) continue;
+    Conn& c = *it->second;
+    const auto pending = c.pending.find(seq);
+    if (pending == c.pending.end()) continue;  // already answered
+    const long long wire_id = pending->second.wire_id;
+    const int v = pending->second.v;
+    // Erase BEFORE replying: when the service eventually resolves this
+    // request, the mailbox lookup misses and the late reply is dropped.
+    c.pending.erase(pending);
+    send_reply(w, c,
+               format_error_reply_for(v, wire_id, kErrorCodeTimeout,
+                                      "timeout"));
+  }
+}
+
+void Server::send_reply(Worker& w, Conn& c, const std::string& line) {
+  c.wbuf += line;
+  c.wbuf += '\n';
+  if (!c.want_write) {
+    (void)flush_writes(w, c);
+  } else if (c.wbuf.size() - c.woff > kWriteWatermark) {
+    c.paused = true;
+  }
+}
+
+bool Server::flush_writes(Worker& w, Conn& c) {
+  while (c.woff < c.wbuf.size()) {
+    const ssize_t n = ::send(c.fd, c.wbuf.data() + c.woff,
+                             c.wbuf.size() - c.woff, MSG_NOSIGNAL);
+    if (n >= 0) {
+      c.woff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Kernel buffer full: arm EPOLLOUT. Safe with edge triggering
+      // precisely because the socket just reported not-writable — the
+      // next writability transition is a fresh edge.
+      if (!c.want_write) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+        ev.data.u64 = c.id;
+        (void)::epoll_ctl(w.ep, EPOLL_CTL_MOD, c.fd, &ev);
+        c.want_write = true;
+      }
+      if (c.wbuf.size() - c.woff > kWriteWatermark) c.paused = true;
+      return true;
+    }
+    close_connection(w, c);
+    return false;
+  }
+  c.wbuf.clear();
+  c.woff = 0;
+  if (c.want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.u64 = c.id;
+    (void)::epoll_ctl(w.ep, EPOLL_CTL_MOD, c.fd, &ev);
+    c.want_write = false;
+  }
+  if (c.paused) {
+    // Backpressure released: resume reading. The pause may have eaten a
+    // read edge, so poll the socket by hand once.
+    c.paused = false;
+    handle_readable(w, c);
+  }
+  return true;
+}
+
+void Server::handle_writable(Worker& w, Conn& c) {
+  (void)flush_writes(w, c);
+}
+
+void Server::close_connection(Worker& w, Conn& c) {
+  ::close(c.fd);  // also removes fd from the epoll set
   open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  w.conns.erase(c.id);  // frees c; deadline entries are skipped lazily
 }
 
 }  // namespace pulpc::serve

@@ -1,83 +1,201 @@
-// Dependency-free TCP front end for a PredictionService: line-delimited
-// JSON over a loopback socket (see serve/protocol.hpp), exposed as
-// `pulpclass serve --port N`.
+// Scale-out TCP front end for a ShardedService: line-delimited JSON
+// (v1 + v2, see serve/protocol.hpp) over loopback, exposed as
+// `pulpclass serve`.
 //
-//  * One accept loop + one thread per connection, both parked on
-//    poll(2) over {socket, stop pipe} so request_stop() — a single
-//    async-signal-safe byte written from e.g. a SIGINT handler — wakes
-//    everything immediately and run() returns after joining all
-//    connection threads (graceful shutdown: accepted requests finish).
-//  * Per-request timeout: the connection thread waits bounded time for
-//    the service future and answers {"error":"timeout"} if it expires;
-//    the server itself never blocks forever on one request.
-//  * Backpressure is layered: the service sheds beyond max_in_flight
-//    ("overloaded" reply), and the server refuses connections beyond
-//    Options::max_connections the same way — explicit rejection, never
-//    unbounded queueing.
-//  * A malformed request line yields an error reply on that connection;
-//    it can never take down the server (or even the connection).
+// Event-loop architecture (DESIGN.md §13):
+//
+//   acceptor ──round robin──▶ worker 0 (epoll, edge-triggered)
+//      │                      worker 1 (epoll, edge-triggered)
+//      └─ listen fd, stop     ...        each: non-blocking conns,
+//         eventfd, reload                per-conn read/write buffers,
+//         FIFO                           deadline queue, reply mailbox
+//
+//  * One acceptor loop (the thread that calls run()) owns the listening
+//    socket and hands accepted connections to N worker event loops
+//    round-robin. Each worker runs epoll_wait over its connections in
+//    edge-triggered mode: readable sockets are drained to EAGAIN into a
+//    per-connection read buffer, complete lines are parsed and
+//    submitted to the sharded service with a callback, and replies are
+//    posted back through a per-worker mailbox (mutex + eventfd) so the
+//    batcher threads never write to a socket they don't own.
+//  * No thread per connection, no blocking waits: a worker's request
+//    timeout is a deadline in a sorted queue that bounds epoll_wait's
+//    sleep; expiry answers {"error":"timeout"} (v1) / code "timeout"
+//    (v2) and drops the late service callback when it eventually fires.
+//  * Writes are buffered per connection and flushed opportunistically;
+//    a partial write arms EPOLLOUT (edge-triggered, so only when the
+//    socket is provably full) and a high write watermark pauses reading
+//    from that connection — per-connection memory is bounded in both
+//    directions (reads by max_line_bytes + the "request too large"
+//    resync, writes by the watermark backpressure).
+//  * Model hot-reload: the v2 `reload` verb (and an optional FIFO the
+//    acceptor watches — `echo /path/to/model > fifo`) publishes a new
+//    version into the shared ModelRegistry; in-flight batches finish on
+//    the version they started with (see serve/registry.hpp).
+//  * request_stop() — one async-signal-safe eventfd write, safe from a
+//    SIGINT handler — closes the listener immediately (the port is
+//    released before run() returns) and drains workers gracefully:
+//    submitted requests get their replies (or their timeout), then
+//    connections close.
+//
+// Every serve knob lives in ServeOptions and resolves through ONE
+// precedence chain (core/env.hpp): explicit field > PULPC_* env var >
+// default — CLI flags write the fields, so flag > env > default holds
+// end to end. The table lives in README.md "Serving".
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include "serve/service.hpp"
+#include "serve/sharded.hpp"
 
 namespace pulpc::serve {
 
+/// Every serve-layer knob, resolved via core::env_or precedence.
+/// Fields are "unset" as documented per field; resolve() collapses
+/// explicit value > PULPC_* env > default into concrete numbers.
+struct ServeOptions {
+  /// TCP port on 127.0.0.1. unset -> PULPC_SERVE_PORT -> 7070; an
+  /// explicit 0 picks an ephemeral port (tests) — start() returns it.
+  std::optional<std::uint16_t> port;
+  /// Worker event loops. 0 -> PULPC_SERVE_WORKERS -> 2.
+  unsigned workers = 0;
+  /// PredictionService shards. 0 -> PULPC_SERVE_SHARDS -> 2.
+  unsigned shards = 0;
+  /// Concurrent connections (all workers) beyond which accept answers
+  /// one "overloaded" reply and closes. 0 -> PULPC_SERVE_MAX_CONNS ->
+  /// 256.
+  unsigned max_connections = 0;
+  /// listen(2) backlog. 0 -> PULPC_SERVE_BACKLOG -> 64.
+  unsigned backlog = 0;
+  /// Per-request reply deadline. 0 -> PULPC_SERVE_TIMEOUT_MS -> 5000.
+  unsigned request_timeout_ms = 0;
+  /// Longest accepted request line; longer requests get a protocol
+  /// "request too large" error and the connection resyncs at the next
+  /// newline. 0 -> PULPC_SERVE_MAX_LINE -> 65536.
+  unsigned max_line_bytes = 0;
+  /// Per-shard shed threshold. 0 -> PULPC_SERVE_MAX_INFLIGHT -> 256.
+  unsigned max_in_flight = 0;
+  /// Per-shard micro-batch cap. 0 -> PULPC_SERVE_BATCH -> 16.
+  unsigned max_batch = 0;
+  /// Per-shard batch linger in µs. unset -> PULPC_SERVE_LINGER_US ->
+  /// 200 (0 is a meaningful explicit value: no linger).
+  std::optional<unsigned> batch_linger_us;
+  /// Per-shard LRU capacity. unset -> PULPC_SERVE_CACHE -> 1024
+  /// (0 is a meaningful explicit value: caching off).
+  std::optional<unsigned> cache_capacity;
+  /// Router spec->program LRU. 0 -> PULPC_SERVE_ROUTER_CACHE -> 4096.
+  unsigned router_cache = 0;
+  /// Featurization threads per shard pool; 0 defers to PULPC_THREADS /
+  /// hardware concurrency inside core::ThreadPool.
+  unsigned threads = 0;
+  /// FIFO path the acceptor watches for reload commands (each line is a
+  /// model path; an empty line reloads model_path). unset ->
+  /// PULPC_SERVE_RELOAD_FIFO -> "" (disabled).
+  std::optional<std::string> reload_fifo;
+  /// Default model file for `reload` without an explicit path. unset ->
+  /// PULPC_MODEL -> "" (reload then requires an explicit path).
+  std::optional<std::string> model_path;
+  /// Flat-engine selection, forwarded to the ModelRegistry. unset ->
+  /// PULPC_FLAT_PREDICT -> on.
+  std::optional<bool> use_flat;
+
+  /// The concrete, env-resolved settings.
+  struct Resolved {
+    std::uint16_t port = 7070;
+    unsigned workers = 2;
+    unsigned shards = 2;
+    unsigned max_connections = 256;
+    unsigned backlog = 64;
+    unsigned request_timeout_ms = 5000;
+    std::size_t max_line_bytes = 65536;
+    std::size_t max_in_flight = 256;
+    std::size_t max_batch = 16;
+    unsigned batch_linger_us = 200;
+    std::size_t cache_capacity = 1024;
+    std::size_t router_cache = 4096;
+    unsigned threads = 0;
+    std::string reload_fifo;
+    std::string model_path;
+    std::optional<bool> use_flat;
+  };
+  [[nodiscard]] Resolved resolve() const;
+};
+
+/// The ShardedService::Options a resolved ServeOptions implies — the
+/// one way CLI, tests, and embedders build the service the Server
+/// fronts, so socket layer and service layer can't disagree on knobs.
+[[nodiscard]] ShardedService::Options sharded_options(
+    const ServeOptions::Resolved& r);
+
 class Server {
  public:
-  struct Options {
-    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (tests) —
-    /// start() returns the bound one.
-    std::uint16_t port = 0;
-    int backlog = 16;
-    /// Concurrent connections beyond which accept() answers one
-    /// "overloaded" error reply and closes.
-    int max_connections = 64;
-    /// Wait budget per request before the "timeout" error reply.
-    int request_timeout_ms = 5000;
-    /// A connection buffering more than this many bytes without a
-    /// newline is answered with an error and closed (bounds memory).
-    std::size_t max_line_bytes = 1 << 16;
-  };
-
-  Server(PredictionService& service, Options options);
+  /// `service` must outlive the Server. `options` is resolved once,
+  /// here (environment changes after construction have no effect).
+  Server(ShardedService& service, ServeOptions options);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind 127.0.0.1:port and listen. Throws std::runtime_error on
-  /// failure. Returns the bound port (useful with port 0).
+  /// Bind 127.0.0.1:port and listen (non-blocking). Throws
+  /// std::runtime_error on failure — including a failed SO_REUSEADDR,
+  /// so a successfully started server is always rebindable after stop.
+  /// Returns the bound port (useful with port 0).
   std::uint16_t start();
 
-  /// Accept and serve until request_stop(); joins every connection
-  /// thread before returning. Requires start().
+  /// Run the acceptor loop on the calling thread and the worker event
+  /// loops on internal threads, until request_stop(); joins every
+  /// worker before returning. The listening port is released the
+  /// moment the acceptor exits. Requires start().
   void run();
 
-  /// Async-signal-safe stop request (safe from a SIGINT handler).
+  /// Async-signal-safe stop request (one eventfd write; safe from a
+  /// SIGINT handler).
   void request_stop() noexcept;
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const ServeOptions::Resolved& options() const noexcept {
+    return opt_;
+  }
 
  private:
-  void handle_connection(int fd);
-  /// poll(2) on {fd, stop pipe}; false on stop/error, true when fd is
-  /// readable.
-  bool wait_readable(int fd);
+  struct Mailbox;  // per-worker cross-thread inbox (server.cpp)
+  struct Conn;     // per-connection state (server.cpp)
+  struct Worker;   // per-worker event-loop state (server.cpp)
 
-  PredictionService& service_;
-  Options opt_;
+  void acceptor_loop();
+  void worker_loop(Worker& w);
+  void handle_fifo_lines();
+
+  // Worker-side helpers (all run on that worker's thread).
+  void adopt_connection(Worker& w, int fd);
+  void handle_readable(Worker& w, Conn& c);
+  void handle_writable(Worker& w, Conn& c);
+  void process_buffer(Worker& w, Conn& c);
+  void handle_line(Worker& w, Conn& c, std::string_view line);
+  void send_reply(Worker& w, Conn& c, const std::string& line);
+  bool flush_writes(Worker& w, Conn& c);
+  void close_connection(Worker& w, Conn& c);
+  void expire_deadlines(Worker& w);
+  void drain_mailbox(Worker& w);
+  [[nodiscard]] int next_timeout_ms(const Worker& w) const;
+
+  ShardedService& service_;
+  ServeOptions::Resolved opt_;
   int listen_fd_ = -1;
-  int stop_pipe_[2] = {-1, -1};
+  int stop_event_ = -1;  ///< eventfd; request_stop() writes it
+  int fifo_fd_ = -1;     ///< reload FIFO (O_RDWR so it never EOFs)
+  std::string fifo_buf_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<int> open_connections_{0};
-  std::mutex threads_mu_;
-  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> worker_threads_;
 };
 
 }  // namespace pulpc::serve

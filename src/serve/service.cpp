@@ -3,18 +3,12 @@
 #include <stdexcept>
 
 #include "core/artifacts.hpp"
-#include "core/env.hpp"
 #include "dsl/lower.hpp"
 #include "kernels/registry.hpp"
 #include "kir/opt.hpp"
 
 namespace pulpc::serve {
 
-namespace {
-
-/// Cache key of a spec-form request (kernel name, dtype, size, lowering
-/// variant) — FNV-1a over an unambiguous rendering, the same primitive
-/// core/artifacts keys files with.
 std::uint64_t spec_key(const Request& req) {
   std::string s = "spec|";
   s += req.kernel;
@@ -27,93 +21,11 @@ std::uint64_t spec_key(const Request& req) {
   return core::fnv1a64(s);
 }
 
-}  // namespace
-
-PredictionService::PredictionService(core::EnergyClassifier classifier,
-                                     Options options)
-    : clf_(std::move(classifier)),
-      opt_(std::move(options)),
-      pool_(opt_.threads),
-      rows_(opt_.cache_capacity),
-      spec_index_(opt_.cache_capacity),
-      batcher_([this] { batcher_loop(); }) {
-  // One knob controls both layers: the classifier's engine selection and
-  // the (identical) default for any per-row fallback path.
-  clf_.set_use_flat(
-      core::env_flag(opt_.use_flat, "PULPC_FLAT_PREDICT", true));
-  if (!clf_.trained()) {
-    // The batcher is already running; shut it down before throwing so
-    // the half-built object never leaks a thread.
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    batcher_.join();
-    throw std::invalid_argument(
-        "PredictionService: classifier is not trained");
-  }
-}
-
-PredictionService::PredictionService(const std::string& model_path,
-                                     Options options)
-    : PredictionService(core::EnergyClassifier::load_file(model_path),
-                        std::move(options)) {}
-
-PredictionService::~PredictionService() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
-  }
-  cv_.notify_all();
-  if (batcher_.joinable()) batcher_.join();
-}
-
-std::future<Result> PredictionService::submit(Request req) {
-  metrics_.on_request();
-  std::promise<Result> promise;
-  std::future<Result> future = promise.get_future();
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stop_) {
-      Result r;
-      r.error = "shutting down";
-      metrics_.on_reply(false, 0);
-      promise.set_value(std::move(r));
-      return future;
-    }
-    if (in_flight_ >= opt_.max_in_flight) {
-      Result r;
-      r.shed = true;
-      r.error = "overloaded";
-      metrics_.on_shed();
-      promise.set_value(std::move(r));
-      return future;
-    }
-    ++in_flight_;
-    metrics_.set_in_flight(in_flight_);
-    queue_.push_back(Pending{std::move(req), std::move(promise),
-                             std::chrono::steady_clock::now()});
-  }
-  cv_.notify_one();
-  return future;
-}
-
-Result PredictionService::predict(const Request& req) {
-  return submit(req).get();
-}
-
-std::size_t PredictionService::prime_from_store(
-    const core::ArtifactStore& store) {
-  if (!store.enabled() || opt_.cache_capacity == 0) return 0;
+std::vector<Request> store_spec_requests(const core::ArtifactStore& store) {
+  std::vector<Request> specs;
+  if (!store.enabled()) return specs;
   // One pass over the store collapses per-core-count artifacts into the
-  // distinct (kernel, dtype, size) specs the cache is keyed by.
-  struct Spec {
-    std::string kernel;
-    kir::DType dtype;
-    std::uint32_t size_bytes;
-  };
-  std::vector<Spec> specs;
+  // distinct (kernel, dtype, size) specs the service caches are keyed by.
   std::unordered_map<std::uint64_t, bool> seen;
   store.for_each([&](const core::ArtifactStore::StoredSample& s) {
     kir::DType dtype;
@@ -129,23 +41,132 @@ std::size_t PredictionService::prime_from_store(
     probe.dtype = dtype;
     probe.size_bytes = s.size_bytes;
     if (!seen.emplace(spec_key(probe), true).second) return;
-    specs.push_back(Spec{s.kernel, dtype, s.size_bytes});
+    specs.push_back(std::move(probe));
   });
-  // Featurize on the service pool; resolve_row fills both LRU layers
-  // exactly as a cold request would, so the first live request for any
-  // primed spec is a pure cache hit.
-  std::vector<char> primed(specs.size(), 0);
-  pool_.parallel_for(specs.size(), [&](std::size_t i) {
-    Request req;
-    req.kernel = specs[i].kernel;
-    req.dtype = specs[i].dtype;
-    req.size_bytes = specs[i].size_bytes;
+  return specs;
+}
+
+PredictionService::PredictionService(std::shared_ptr<ModelRegistry> registry,
+                                     Options options)
+    : registry_(std::move(registry)),
+      opt_(std::move(options)),
+      pool_(opt_.threads),
+      rows_(opt_.cache_capacity),
+      spec_index_(opt_.cache_capacity),
+      batcher_([this] { batcher_loop(); }) {
+  if (!registry_) {
+    // The batcher is already running; shut it down before throwing so
+    // the half-built object never leaks a thread. (It cannot have
+    // touched registry_: the queue is empty and it blocks on cv_.)
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    batcher_.join();
+    throw std::invalid_argument("PredictionService: null model registry");
+  }
+  // Start the cache generation aligned with the serving model so the
+  // first batch does not flush freshly primed caches.
+  cache_feature_key_ = registry_->current()->feature_key;
+}
+
+PredictionService::PredictionService(core::EnergyClassifier classifier,
+                                     Options options)
+    : PredictionService(
+          // The registry constructor throws std::invalid_argument for an
+          // untrained classifier before any thread starts. `options` is
+          // passed by copy, not moved: argument evaluation order is
+          // unspecified and the registry argument reads options.use_flat.
+          std::make_shared<ModelRegistry>(std::move(classifier),
+                                          options.use_flat),
+          options) {}
+
+PredictionService::PredictionService(const std::string& model_path,
+                                     Options options)
+    : PredictionService(core::EnergyClassifier::load_file(model_path),
+                        std::move(options)) {}
+
+PredictionService::~PredictionService() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+void PredictionService::submit(Request req, DoneFn done) {
+  metrics_.on_request();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) {
+      Result r;
+      r.error = "shutting down";
+      metrics_.on_reply(false, 0);
+      done(std::move(r));
+      return;
+    }
+    if (in_flight_ >= opt_.max_in_flight) {
+      Result r;
+      r.shed = true;
+      r.error = "overloaded";
+      metrics_.on_shed();
+      done(std::move(r));
+      return;
+    }
+    ++in_flight_;
+    metrics_.set_in_flight(in_flight_);
+    queue_.push_back(Pending{std::move(req), std::move(done),
+                             std::chrono::steady_clock::now()});
+  }
+  cv_.notify_one();
+}
+
+std::future<Result> PredictionService::submit(Request req) {
+  auto promise = std::make_shared<std::promise<Result>>();
+  std::future<Result> future = promise->get_future();
+  submit(std::move(req),
+         [promise](Result r) { promise->set_value(std::move(r)); });
+  return future;
+}
+
+Result PredictionService::predict(const Request& req) {
+  return submit(req).get();
+}
+
+std::size_t PredictionService::prime_from_store(
+    const core::ArtifactStore& store) {
+  return prime(store_spec_requests(store));
+}
+
+std::size_t PredictionService::prime(const std::vector<Request>& requests) {
+  if (requests.empty() || opt_.cache_capacity == 0) return 0;
+  // Featurize on the service pool against the current model; resolve_row
+  // fills both LRU layers exactly as a cold request would, so the first
+  // live request for any primed spec is a pure cache hit.
+  const std::shared_ptr<const ModelSnapshot> model = registry_->current();
+  sync_cache_generation(*model);
+  std::vector<char> primed(requests.size(), 0);
+  pool_.parallel_for(requests.size(), [&](std::size_t i) {
     std::vector<double> row;
-    primed[i] = resolve_row(req, &row).ok ? 1 : 0;
+    primed[i] = resolve_row(model->clf, requests[i], &row).ok ? 1 : 0;
   });
   std::size_t n = 0;
   for (const char p : primed) n += p != 0 ? 1 : 0;
   return n;
+}
+
+void PredictionService::sync_cache_generation(const ModelSnapshot& snap) {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  if (cache_feature_key_ == snap.feature_key) return;
+  // The new model extracts a different feature set: every cached row is
+  // stale. (Same-column reloads — the common retrain — keep both layers
+  // warm; the spec index stays valid either way but a dangling index
+  // entry just re-featurizes, so flush both for simplicity.)
+  rows_.clear();
+  spec_index_.clear();
+  cache_feature_key_ = snap.feature_key;
 }
 
 void PredictionService::batcher_loop() {
@@ -173,13 +194,19 @@ void PredictionService::batcher_loop() {
     if (opt_.on_batch) opt_.on_batch(batch.size());
     metrics_.on_batch(batch.size());
 
+    // ONE snapshot acquisition per micro-batch: the whole batch is
+    // featurized and classified by this model version, and the
+    // shared_ptr keeps it alive even if a reload lands mid-batch.
+    const std::shared_ptr<const ModelSnapshot> model = registry_->current();
+    sync_cache_generation(*model);
+
     // Featurize the whole batch in parallel. Per-request failures land
     // in the request's own Result — one bad kernel never poisons its
     // batch-mates.
     std::vector<Result> results(batch.size());
     std::vector<std::vector<double>> rows(batch.size());
     pool_.parallel_for(batch.size(), [&](std::size_t i) {
-      results[i] = resolve_row(batch[i].req, &rows[i]);
+      results[i] = resolve_row(model->clf, batch[i].req, &rows[i]);
     });
 
     // Classify every cleanly-resolved row with ONE batched tree walk
@@ -193,22 +220,24 @@ void PredictionService::batcher_loop() {
     if (!resolved.empty()) {
       ml::Matrix m;
       m.rows = resolved.size();
-      m.cols = clf_.columns().size();
+      m.cols = model->clf.columns().size();
       m.data.reserve(m.rows * m.cols);
       for (const std::size_t i : resolved) {
         m.data.insert(m.data.end(), rows[i].begin(), rows[i].end());
       }
-      const std::vector<int> cores = clf_.predict_rows(m);
+      const std::vector<int> cores = model->clf.predict_rows(m);
       for (std::size_t k = 0; k < resolved.size(); ++k) {
         results[resolved[k]].cores = cores[k];
       }
+      model->served->fetch_add(resolved.size(), std::memory_order_relaxed);
     }
 
     // Account the batch (latency, ok/error counters, in-flight) BEFORE
-    // fulfilling the promises: a caller that snapshots metrics right
-    // after predict() returns must see its own request fully counted.
+    // firing the callbacks: a caller that snapshots metrics right after
+    // predict() returns must see its own request fully counted.
     const auto now = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      results[i].model_version = model->version;
       results[i].micros =
           std::chrono::duration<double, std::micro>(now - batch[i].enqueued)
               .count();
@@ -220,7 +249,7 @@ void PredictionService::batcher_loop() {
       metrics_.set_in_flight(in_flight_);
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(std::move(results[i]));
+      batch[i].done(std::move(results[i]));
     }
   }
 }
@@ -237,7 +266,8 @@ void PredictionService::store_row(std::uint64_t prog_hash,
   if (rows_.put(prog_hash, row)) metrics_.on_eviction();
 }
 
-Result PredictionService::resolve_row(const Request& req,
+Result PredictionService::resolve_row(const core::EnergyClassifier& clf,
+                                      const Request& req,
                                       std::vector<double>* out_row) {
   Result r;
   try {
@@ -248,7 +278,7 @@ Result PredictionService::resolve_row(const Request& req,
       const std::uint64_t h = core::program_hash(*req.program);
       hit = cached_row(h, &row);
       if (!hit) {
-        row = clf_.feature_row(*req.program);
+        row = clf.feature_row(*req.program);
         store_row(h, row);
       }
     } else {
@@ -274,7 +304,7 @@ Result PredictionService::resolve_row(const Request& req,
         // hit: featurization was skipped.
         hit = cached_row(h, &row);
         if (!hit) {
-          row = clf_.feature_row(prog);
+          row = clf.feature_row(prog);
           store_row(h, row);
         }
         std::lock_guard<std::mutex> lk(cache_mu_);

@@ -12,7 +12,9 @@
 // Architecture (see DESIGN.md "Prediction service"):
 //  * submit() pushes into a bounded queue; beyond Options::max_in_flight
 //    the request is shed immediately with Result::shed (an explicit
-//    "overloaded" answer instead of unbounded queueing).
+//    "overloaded" answer instead of unbounded queueing). The callback
+//    overload resolves without a future — the epoll server uses it to
+//    stay event-driven end to end.
 //  * A single batcher thread pops micro-batches (up to Options::max_batch,
 //    lingering Options::batch_linger after the first request to let a
 //    burst coalesce) and featurizes the batch members in parallel on a
@@ -22,12 +24,20 @@
 //    with rows pipelined in flight, instead of one node-chasing walk
 //    per request (Options::use_flat / PULPC_FLAT_PREDICT toggle the
 //    engine; predictions are bit-identical either way).
+//  * The model comes from a ModelRegistry (serve/registry.hpp): the
+//    batcher acquires one snapshot per micro-batch, so a hot reload
+//    never tears a batch — every request in it is featurized AND
+//    classified by the model version stamped into its Result. Several
+//    services can share one registry (the sharded deployment does).
 //  * An LRU cache keyed by the lowered-program FNV-1a hash
 //    (core::program_hash — the same identity core/artifacts trusts) maps
 //    program -> extracted feature row; a hit skips lowering and
 //    featurization entirely and goes straight to the decision tree. A
 //    second, same-capacity LRU maps (kernel, dtype, size, optimize) ->
 //    program hash so spec-form requests hit without lowering at all.
+//    Cached rows are tagged with the snapshot's feature fingerprint:
+//    a reload to a model with the same column list keeps both caches
+//    warm, a different column list flushes them.
 //
 // Bit-identity: the service routes through EnergyClassifier::feature_row
 // + predict_rows — the exact decomposition of EnergyClassifier::predict
@@ -56,6 +66,7 @@
 #include "core/parallel.hpp"
 #include "kir/ir.hpp"
 #include "serve/metrics.hpp"
+#include "serve/registry.hpp"
 
 namespace pulpc::core {
 class ArtifactStore;
@@ -79,9 +90,22 @@ struct Result {
   bool shed = false;    ///< rejected at max in-flight ("overloaded")
   bool cached = false;  ///< feature row came from the LRU cache
   int cores = 0;        ///< the prediction (valid when ok)
+  std::uint64_t model_version = 0;  ///< registry version that answered
   std::string error;    ///< why not ok (shed, bad kernel, shutdown, ...)
   double micros = 0;    ///< service-side latency: submit -> reply
 };
+
+/// Cache key of a spec-form request (kernel name, dtype, size, lowering
+/// variant) — FNV-1a over an unambiguous rendering, the same primitive
+/// core/artifacts keys files with. Shared with the shard router so the
+/// spec -> shard mapping is one deterministic function of the request.
+[[nodiscard]] std::uint64_t spec_key(const Request& req);
+
+/// The distinct spec-form requests stored in an artifact store: one per
+/// (kernel, dtype, size) the store has raw counters for. Used to prime
+/// service caches before a listener opens.
+[[nodiscard]] std::vector<Request> store_spec_requests(
+    const core::ArtifactStore& store);
 
 namespace detail {
 
@@ -119,6 +143,11 @@ class LruCache {
     return true;
   }
 
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
 
  private:
@@ -152,6 +181,8 @@ class PredictionService {
     /// means "consult PULPC_FLAT_PREDICT, default on". Either setting
     /// yields bit-identical predictions (tests/test_serve.cpp proves
     /// it); off exists for A/B benchmarking and as an escape hatch.
+    /// Ignored when a pre-built registry is supplied (the registry owns
+    /// the engine selection then).
     std::optional<bool> use_flat;
     /// Test instrumentation: invoked on the batcher thread with the
     /// batch size before the batch executes (lets tests hold the batcher
@@ -159,10 +190,16 @@ class PredictionService {
     std::function<void(std::size_t)> on_batch;
   };
 
-  /// Own an already-trained classifier. Throws std::invalid_argument if
-  /// it is not trained. (Overloads instead of an `Options options = {}`
-  /// default argument: a nested aggregate's default member initializers
-  /// are not usable in default arguments of its enclosing class.)
+  /// Callback form of a resolved request. Invoked exactly once, on the
+  /// batcher thread (or inline on the submitting thread for shed /
+  /// shutdown rejections); must not throw.
+  using DoneFn = std::function<void(Result)>;
+
+  /// Own an already-trained classifier (published as version 1 of a
+  /// private registry). Throws std::invalid_argument if it is not
+  /// trained. (Overloads instead of an `Options options = {}` default
+  /// argument: a nested aggregate's default member initializers are not
+  /// usable in default arguments of its enclosing class.)
   PredictionService(core::EnergyClassifier classifier, Options options);
   explicit PredictionService(core::EnergyClassifier classifier)
       : PredictionService(std::move(classifier), Options{}) {}
@@ -171,6 +208,10 @@ class PredictionService {
   PredictionService(const std::string& model_path, Options options);
   explicit PredictionService(const std::string& model_path)
       : PredictionService(model_path, Options{}) {}
+  /// Serve models from a shared registry (hot reload, sharding). The
+  /// registry must be non-null; Options::use_flat is ignored.
+  PredictionService(std::shared_ptr<ModelRegistry> registry,
+                    Options options);
   ~PredictionService();
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
@@ -178,6 +219,11 @@ class PredictionService {
   /// Asynchronous entry point. Always returns a valid future: shed and
   /// shutdown requests resolve immediately with ok=false.
   [[nodiscard]] std::future<Result> submit(Request req);
+
+  /// Asynchronous entry point without a future: `done` fires on the
+  /// batcher thread once the request resolves (inline for shed /
+  /// shutdown). The event-loop server front end builds on this.
+  void submit(Request req, DoneFn done);
 
   /// Synchronous convenience: submit + wait.
   [[nodiscard]] Result predict(const Request& req);
@@ -190,29 +236,43 @@ class PredictionService {
   /// of distinct samples primed.
   std::size_t prime_from_store(const core::ArtifactStore& store);
 
+  /// Prime the caches for an explicit request list (the sharded router
+  /// partitions one store pass across shards this way). Returns how
+  /// many resolved cleanly.
+  std::size_t prime(const std::vector<Request>& requests);
+
   [[nodiscard]] Metrics::Snapshot metrics() const { return metrics_.snapshot(); }
-  [[nodiscard]] const core::EnergyClassifier& classifier() const noexcept {
-    return clf_;
+  /// The serving model snapshot (version, classifier). One atomic load;
+  /// the returned pointer keeps that version alive.
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> model() const {
+    return registry_->current();
+  }
+  [[nodiscard]] const std::shared_ptr<ModelRegistry>& registry() const noexcept {
+    return registry_;
   }
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
 
  private:
   struct Pending {
     Request req;
-    std::promise<Result> promise;
+    DoneFn done;
     std::chrono::steady_clock::time_point enqueued;
   };
 
   void batcher_loop();
+  /// Flush both LRU layers if `snap` extracts a different feature set
+  /// than the rows currently cached were built with.
+  void sync_cache_generation(const ModelSnapshot& snap);
   /// Featurization half of a request (lower + extract + cache); on
   /// success fills *row and returns ok=true with cores still unset —
   /// the batcher classifies all resolved rows in one predict_rows call.
-  [[nodiscard]] Result resolve_row(const Request& req,
+  [[nodiscard]] Result resolve_row(const core::EnergyClassifier& clf,
+                                   const Request& req,
                                    std::vector<double>* row);
   bool cached_row(std::uint64_t prog_hash, std::vector<double>* row);
   void store_row(std::uint64_t prog_hash, const std::vector<double>& row);
 
-  core::EnergyClassifier clf_;
+  std::shared_ptr<ModelRegistry> registry_;
   Options opt_;
   Metrics metrics_;
   core::ThreadPool pool_;
@@ -224,6 +284,7 @@ class PredictionService {
   bool stop_ = false;
 
   std::mutex cache_mu_;
+  std::uint64_t cache_feature_key_ = 0;  ///< fingerprint the rows were built with
   detail::LruCache<std::vector<double>> rows_;     ///< program hash -> row
   detail::LruCache<std::uint64_t> spec_index_;     ///< spec key -> program hash
 

@@ -1,0 +1,158 @@
+#include "serve/sharded.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/artifacts.hpp"
+#include "dsl/lower.hpp"
+#include "kernels/registry.hpp"
+#include "kir/opt.hpp"
+
+namespace pulpc::serve {
+
+ShardedService::ShardedService(std::shared_ptr<ModelRegistry> registry,
+                               Options options)
+    : registry_(std::move(registry)),
+      opt_(std::move(options)),
+      routes_(opt_.router_cache) {
+  if (!registry_) {
+    throw std::invalid_argument("ShardedService: null model registry");
+  }
+  if (opt_.shards == 0) opt_.shards = 1;
+  shards_.reserve(opt_.shards);
+  for (std::size_t i = 0; i < opt_.shards; ++i) {
+    shards_.push_back(
+        std::make_unique<PredictionService>(registry_, opt_.service));
+  }
+}
+
+ShardedService::ShardedService(core::EnergyClassifier classifier,
+                               Options options)
+    : ShardedService(std::make_shared<ModelRegistry>(
+                         std::move(classifier), options.service.use_flat),
+                     options) {}
+
+std::size_t ShardedService::shard_index(std::uint64_t key,
+                                        std::size_t shards) {
+  if (shards <= 1) return 0;
+  // Jump consistent hash (Lamport & Veach 2014). b tracks the last
+  // bucket the key "jumped" into; the loop's expected trip count is
+  // ln(shards). Monotone: going from n to n+1 buckets only ever moves
+  // keys INTO bucket n, never between existing buckets.
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  const auto n = static_cast<std::int64_t>(shards);
+  while (j < n) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(std::int64_t{1} << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::size_t>(b);
+}
+
+ShardedService::Route ShardedService::resolve_route(const Request& req) {
+  if (req.program) {
+    // Program-form: the routing key is directly computable.
+    return Route{core::program_hash(*req.program), req.program};
+  }
+  const std::uint64_t skey = spec_key(req);
+  {
+    std::lock_guard<std::mutex> lk(router_mu_);
+    Route cached;
+    if (routes_.get(skey, &cached)) return cached;
+  }
+  try {
+    // Lower once at the router (outside the lock: lowering is the
+    // expensive part and is deterministic, so a racing duplicate just
+    // overwrites with an identical entry).
+    kir::Program prog =
+        dsl::lower(kernels::make_kernel(req.kernel, req.dtype,
+                                        req.size_bytes));
+    if (req.optimize) prog = kir::optimize(prog);
+    Route route;
+    route.key = core::program_hash(prog);
+    route.program = std::make_shared<const kir::Program>(std::move(prog));
+    std::lock_guard<std::mutex> lk(router_mu_);
+    routes_.put(skey, route);
+    return route;
+  } catch (const std::exception&) {
+    // Unlowerable spec (unknown/empty kernel, bad size): route by the
+    // spec key with no program attached. The owning shard re-runs the
+    // failing lowering and replies with the identical error text —
+    // errors stay deterministic per key, and are accounted on the
+    // shard that owns that key. Not cached: failures are cheap (they
+    // throw early) and a registry change could make the spec valid.
+    return Route{skey, nullptr};
+  }
+}
+
+std::size_t ShardedService::shard_for(const Request& req) {
+  return shard_index(resolve_route(req).key, shards_.size());
+}
+
+void ShardedService::submit(Request req, PredictionService::DoneFn done) {
+  Route route = resolve_route(req);
+  if (route.program && !req.program) {
+    // Forward in program form: the shard skips lowering and keys its
+    // row cache by the same program hash the router routed on.
+    req.program = std::move(route.program);
+  }
+  shards_[shard_index(route.key, shards_.size())]->submit(std::move(req),
+                                                          std::move(done));
+}
+
+std::future<Result> ShardedService::submit(Request req) {
+  auto promise = std::make_shared<std::promise<Result>>();
+  std::future<Result> future = promise->get_future();
+  submit(std::move(req),
+         [promise](Result r) { promise->set_value(std::move(r)); });
+  return future;
+}
+
+Result ShardedService::predict(const Request& req) {
+  return submit(req).get();
+}
+
+std::size_t ShardedService::prime_from_store(
+    const core::ArtifactStore& store) {
+  // One store pass, then partition the specs with the same routing
+  // function live traffic uses — each shard primes exactly the keys it
+  // will serve, and the router cache warms as a side effect.
+  std::vector<std::vector<Request>> per_shard(shards_.size());
+  for (Request& req : store_spec_requests(store)) {
+    Route route = resolve_route(req);
+    if (route.program) req.program = std::move(route.program);
+    per_shard[shard_index(route.key, shards_.size())].push_back(
+        std::move(req));
+  }
+  std::size_t primed = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    primed += shards_[i]->prime(per_shard[i]);
+  }
+  return primed;
+}
+
+Metrics::Snapshot ShardedService::metrics() const {
+  Metrics::Snapshot total;
+  for (const auto& shard : shards_) total.merge(shard->metrics());
+  return total;
+}
+
+Metrics::Snapshot ShardedService::shard_metrics(std::size_t i) const {
+  return shards_.at(i)->metrics();
+}
+
+std::string ShardedService::metrics_json() const {
+  std::string out = "{\"total\":" + metrics().to_json() + ",\"shards\":[";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += shards_[i]->metrics().to_json();
+  }
+  out += "],\"models\":" + registry_->models_json() + "}";
+  return out;
+}
+
+}  // namespace pulpc::serve

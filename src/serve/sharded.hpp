@@ -1,0 +1,127 @@
+// Hash-sharded prediction service: M independent PredictionService
+// shards behind one deterministic router, sharing one ModelRegistry.
+//
+// Why shard: one PredictionService has one batcher thread and one pair
+// of LRU caches guarded by one mutex. Sharding multiplies batcher
+// throughput AND keeps each shard's two-level cache hot on a stable
+// partition of the keyspace — the same program always lands on the same
+// shard, so its feature row is cached exactly once, in exactly the
+// cache that will be asked for it again.
+//
+// Routing is consistent hashing on core::program_hash — the canonical
+// program identity the artifact store and the row caches already key
+// by. Spec-form requests (kernel/dtype/size) resolve to the program
+// hash first: the router keeps its own spec-key -> {hash, lowered
+// program} LRU, lowers once on a miss, and forwards the request in
+// program form so the shard never lowers again. A spec that fails to
+// lower routes by its spec key WITHOUT an attached program — the shard
+// re-runs the failing lowering and produces the identical error text
+// (and accounts the error in its own metrics), keeping the
+// single-service and sharded deployments observably byte-identical.
+//
+// The shard placement function is Lamport & Veach's jump consistent
+// hash: stateless, O(ln n), and monotone — growing M shards to M+1
+// moves only ~1/(M+1) of keys, so a redeploy at a higher shard count
+// keeps most of every warm cache valid. Determinism (same key -> same
+// shard across restarts and processes) is what the routing tests pin.
+//
+// All shards share the one ModelRegistry, so a `reload` swaps the model
+// for every shard with a single atomic store; per-batch snapshot
+// acquisition (see service.hpp) keeps in-flight batches on the version
+// they started with, shard by shard.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+
+namespace pulpc::serve {
+
+class ShardedService {
+ public:
+  struct Options {
+    /// Number of PredictionService shards (clamped to >= 1).
+    std::size_t shards = 2;
+    /// Router-level spec-key -> lowered-program LRU entries; 0 disables
+    /// router memoization (every spec request lowers at the router).
+    std::size_t router_cache = 4096;
+    /// Per-shard service configuration (cache capacity, batching, shed
+    /// threshold, pool threads — all applied to EVERY shard, so e.g.
+    /// max_in_flight is a per-shard bound).
+    PredictionService::Options service;
+  };
+
+  /// All shards serve (and hot-reload through) `registry`; must be
+  /// non-null or std::invalid_argument is thrown.
+  ShardedService(std::shared_ptr<ModelRegistry> registry, Options options);
+  /// Convenience: wrap a classifier in a fresh registry (version 1).
+  ShardedService(core::EnergyClassifier classifier, Options options);
+
+  /// Jump consistent hash (Lamport & Veach 2014): maps `key` to
+  /// [0, shards). Pure function of its arguments — the determinism the
+  /// routing layer is built on.
+  [[nodiscard]] static std::size_t shard_index(std::uint64_t key,
+                                               std::size_t shards);
+
+  /// The shard `req` routes to. Spec-form requests resolve through the
+  /// router cache (lowering on a miss); unlowerable specs route by
+  /// their spec key.
+  [[nodiscard]] std::size_t shard_for(const Request& req);
+
+  /// Route + submit; `done` fires once on the owning shard's batcher
+  /// thread (or inline for shed/shutdown).
+  void submit(Request req, PredictionService::DoneFn done);
+  [[nodiscard]] std::future<Result> submit(Request req);
+  [[nodiscard]] Result predict(const Request& req);
+
+  /// Prime every shard's caches from the artifact store: one store
+  /// pass, routed through the same placement function as live traffic,
+  /// so each shard pre-warms exactly the keys it will serve. Also warms
+  /// the router's spec->program cache. Returns samples primed.
+  std::size_t prime_from_store(const core::ArtifactStore& store);
+
+  /// Aggregate of all shard metrics (counters summed, max_batch maxed).
+  [[nodiscard]] Metrics::Snapshot metrics() const;
+  [[nodiscard]] Metrics::Snapshot shard_metrics(std::size_t i) const;
+  /// {"total":{...},"shards":[{...}, ...],"models":[...]} — the v2
+  /// `metrics` admin verb's reply payload.
+  [[nodiscard]] std::string metrics_json() const;
+
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const std::shared_ptr<ModelRegistry>& registry()
+      const noexcept {
+    return registry_;
+  }
+  /// The serving model snapshot (delegates to the registry).
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> model() const {
+    return registry_->current();
+  }
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+ private:
+  struct Route {
+    std::uint64_t key = 0;  ///< program hash, or spec key when !program
+    std::shared_ptr<const kir::Program> program;  ///< null: shard lowers
+  };
+  /// Resolve the routing key (and lowered program) for a request.
+  /// Never throws: lowering failures degrade to spec-key routing.
+  [[nodiscard]] Route resolve_route(const Request& req);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  Options opt_;
+  std::vector<std::unique_ptr<PredictionService>> shards_;
+
+  std::mutex router_mu_;
+  detail::LruCache<Route> routes_;  ///< spec key -> {program hash, program}
+};
+
+}  // namespace pulpc::serve

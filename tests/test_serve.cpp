@@ -29,6 +29,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/sharded.hpp"
 
 namespace pulpc {
 namespace {
@@ -36,6 +37,7 @@ namespace {
 using serve::PredictionService;
 using serve::Request;
 using serve::Result;
+using serve::ShardedService;
 
 /// One tiny trained classifier shared by every test (training simulates
 /// 4 kernels x 8 core counts; do it once).
@@ -117,7 +119,7 @@ TEST(PredictionService, MatchesOfflineWithFlatPathEnabledAndDisabled) {
     PredictionService::Options opt;
     opt.use_flat = use_flat;
     PredictionService svc(test_classifier(), opt);
-    EXPECT_EQ(svc.classifier().use_flat(), use_flat);
+    EXPECT_EQ(svc.model()->clf.use_flat(), use_flat);
     for (const char* kernel :
          {"memcpy", "stencil5", "div_chain", "alu_chain", "trisolv",
           "autocor", "gemm", "fir"}) {
@@ -475,13 +477,23 @@ std::string rpc(int fd, const std::string& line) {
   return read_line(fd);
 }
 
-/// Server under test: service + server + run() thread, torn down in
-/// reverse order even when an assertion fails mid-test.
+/// Server under test: single-shard service + server + run() thread,
+/// torn down in reverse order even when an assertion fails mid-test.
+/// One shard keeps the per-service hooks (on_batch, max_in_flight)
+/// deterministic; the multi-shard paths are pinned in
+/// test_serve_scale.cpp.
+ShardedService::Options one_shard(PredictionService::Options sopt) {
+  ShardedService::Options o;
+  o.shards = 1;
+  o.service = std::move(sopt);
+  return o;
+}
+
 struct TestServer {
   explicit TestServer(PredictionService::Options sopt = {},
-                      serve::Server::Options wopt = {})
-      : service(test_classifier(), std::move(sopt)) {
-    wopt.port = 0;  // ephemeral
+                      serve::ServeOptions wopt = {})
+      : service(test_classifier(), one_shard(std::move(sopt))) {
+    wopt.port = std::uint16_t{0};  // explicit zero: ephemeral port
     server = std::make_unique<serve::Server>(service, wopt);
     port = server->start();
     runner = std::thread([this] { server->run(); });
@@ -494,7 +506,7 @@ struct TestServer {
     }
   }
 
-  PredictionService service;
+  ShardedService service;
   std::unique_ptr<serve::Server> server;
   std::uint16_t port = 0;
   std::thread runner;
@@ -617,7 +629,7 @@ TEST(PredictionServer, SlowRequestGetsTimeoutReply) {
       std::this_thread::sleep_for(std::chrono::milliseconds(400));
     }
   };
-  serve::Server::Options wopt;
+  serve::ServeOptions wopt;
   wopt.request_timeout_ms = 30;
   TestServer ts(std::move(sopt), wopt);
   const int fd = dial(ts.port);

@@ -1,0 +1,676 @@
+// Scale-out serving tests: shard routing determinism (the contract the
+// warm-cache story rests on), jump-hash monotonicity under shard-count
+// growth, zero-downtime hot reload (registry semantics, cache survival
+// across same-column reloads, a concurrent reload/predict torture run),
+// the v2 wire protocol (ping/metrics/reload verbs, structured errors,
+// version negotiation, pipelining, too-large resync), the v1 adapter,
+// rebind-after-stop, and ServeOptions env-precedence resolution. The
+// invariant inherited from test_serve.cpp still rules: every served
+// prediction is bit-identical to the offline one, on every shard, on
+// every model version.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/pipeline.hpp"
+#include "dsl/lower.hpp"
+#include "feat/features.hpp"
+#include "kernels/registry.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/sharded.hpp"
+
+namespace pulpc {
+namespace {
+
+using serve::ModelRegistry;
+using serve::PredictionService;
+using serve::Request;
+using serve::Result;
+using serve::ShardedService;
+
+const ml::Dataset& test_dataset() {
+  static const ml::Dataset* ds = [] {
+    auto* d = new ml::Dataset(core::dataset_columns(8));
+    for (const char* name : {"memcpy", "alu_chain", "trisolv", "autocor"}) {
+      d->add(core::build_sample({name, kir::DType::I32, 512}));
+    }
+    return d;
+  }();
+  return *ds;
+}
+
+/// Default (all static features) classifier shared by every test.
+const core::EnergyClassifier& test_classifier() {
+  static const core::EnergyClassifier* clf = [] {
+    auto* c = new core::EnergyClassifier();
+    c->train(test_dataset());
+    return c;
+  }();
+  return *clf;
+}
+
+/// Same dataset, different feature set: a reload that changes the
+/// column list (and must therefore flush the row caches).
+const core::EnergyClassifier& agg_classifier() {
+  static const core::EnergyClassifier* clf = [] {
+    core::EnergyClassifier::Options opt;
+    opt.features = feat::FeatureSet::Agg;
+    auto* c = new core::EnergyClassifier(opt);
+    c->train(test_dataset());
+    return c;
+  }();
+  return *clf;
+}
+
+Request spec_request(const std::string& kernel, kir::DType dtype,
+                     std::uint32_t bytes) {
+  Request r;
+  r.kernel = kernel;
+  r.dtype = dtype;
+  r.size_bytes = bytes;
+  return r;
+}
+
+int offline_predict(const core::EnergyClassifier& clf,
+                    const std::string& kernel, kir::DType dtype,
+                    std::uint32_t bytes) {
+  return clf.predict(dsl::lower(kernels::make_kernel(kernel, dtype, bytes)));
+}
+
+// ---- socket helpers (as in test_serve.cpp) ------------------------------
+
+int dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return false;
+    off += std::size_t(n);
+  }
+  return true;
+}
+
+std::string read_line(int fd) {
+  std::string buf;
+  char c;
+  while (buf.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) return "";
+    buf += c;
+  }
+  buf.pop_back();
+  return buf;
+}
+
+std::string rpc(int fd, const std::string& line) {
+  if (!send_all(fd, line + "\n")) return "";
+  return read_line(fd);
+}
+
+/// Multi-shard server under test: shared registry, S shards, W workers,
+/// ephemeral port.
+struct ScaleServer {
+  explicit ScaleServer(serve::ServeOptions wopt = {},
+                       std::size_t shards = 2, unsigned workers = 2)
+      : registry(std::make_shared<ModelRegistry>(test_classifier())),
+        service(registry,
+                [&] {
+                  ShardedService::Options o;
+                  o.shards = shards;
+                  return o;
+                }()) {
+    wopt.port = std::uint16_t{0};
+    wopt.workers = workers;
+    server = std::make_unique<serve::Server>(service, wopt);
+    port = server->start();
+    runner = std::thread([this] { server->run(); });
+  }
+  ~ScaleServer() { stop(); }
+  void stop() {
+    if (runner.joinable()) {
+      server->request_stop();
+      runner.join();
+    }
+  }
+
+  std::shared_ptr<ModelRegistry> registry;
+  ShardedService service;
+  std::unique_ptr<serve::Server> server;
+  std::uint16_t port = 0;
+  std::thread runner;
+};
+
+// ---- shard routing ------------------------------------------------------
+
+TEST(ShardRouting, JumpHashIsDeterministicAndInRange) {
+  std::uint64_t key = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 200; ++i) {
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+    for (std::size_t m : {std::size_t(1), std::size_t(2), std::size_t(5),
+                          std::size_t(16)}) {
+      const std::size_t s = ShardedService::shard_index(key, m);
+      EXPECT_LT(s, m);
+      EXPECT_EQ(s, ShardedService::shard_index(key, m));  // pure function
+    }
+    EXPECT_EQ(ShardedService::shard_index(key, 1), 0u);
+  }
+}
+
+TEST(ShardRouting, JumpHashMovesOnlyIntoTheNewShardOnGrowth) {
+  // The consistent-hash contract: growing M -> M+1 shards either keeps
+  // a key where it was or moves it into the NEW shard — never shuffles
+  // it between surviving shards (that is what keeps warm caches warm
+  // across a scale-out).
+  std::uint64_t key = 0x2545f4914f6cdd1dULL;
+  for (int i = 0; i < 500; ++i) {
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+    for (std::size_t m = 1; m <= 8; ++m) {
+      const std::size_t before = ShardedService::shard_index(key, m);
+      const std::size_t after = ShardedService::shard_index(key, m + 1);
+      EXPECT_TRUE(after == before || after == m)
+          << "key moved " << before << " -> " << after << " at m=" << m;
+    }
+  }
+}
+
+TEST(ShardRouting, EveryShardGetsTraffic) {
+  std::set<std::size_t> hit;
+  std::uint64_t key = 0xda942042e4dd58b5ULL;
+  for (int i = 0; i < 1000; ++i) {
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+    hit.insert(ShardedService::shard_index(key, 4));
+  }
+  EXPECT_EQ(hit.size(), 4u);  // 1000 keys cannot miss a shard of 4
+}
+
+TEST(ShardRouting, SpecRoutingIsDeterministicAcrossInstances) {
+  // Same request -> same shard, in two independently constructed
+  // services (i.e. across process restarts too: nothing about the
+  // placement depends on instance state).
+  ShardedService::Options opt;
+  opt.shards = 4;
+  ShardedService a(test_classifier(), opt);
+  ShardedService b(test_classifier(), opt);
+  std::set<std::size_t> hit;
+  for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+    const Request req = spec_request(k.name, kir::DType::I32, 2048);
+    const std::size_t sa = a.shard_for(req);
+    EXPECT_EQ(sa, b.shard_for(req)) << k.name;
+    EXPECT_EQ(sa, a.shard_for(req)) << k.name;  // stable on repeat
+    hit.insert(sa);
+  }
+  EXPECT_GT(hit.size(), 1u);  // the registry spreads over shards
+}
+
+TEST(ShardRouting, ShardedAnswersMatchSingleServiceByteForByte) {
+  ShardedService::Options opt4;
+  opt4.shards = 4;
+  ShardedService sharded(test_classifier(), opt4);
+  PredictionService single(test_classifier());
+  for (const char* kernel :
+       {"memcpy", "stencil5", "div_chain", "alu_chain", "trisolv",
+        "autocor", "gemm", "fir"}) {
+    const Request req = spec_request(kernel, kir::DType::I32, 2048);
+    const Result rs = sharded.predict(req);
+    const Result r1 = single.predict(req);
+    ASSERT_EQ(rs.ok, r1.ok) << kernel;
+    EXPECT_EQ(rs.cores, r1.cores) << kernel;
+    EXPECT_EQ(rs.error, r1.error) << kernel;
+  }
+  // Unlowerable specs reproduce the identical error text too (the shard
+  // re-runs the failing lowering; the router never caches the failure).
+  const Request bad = spec_request("no_such_kernel", kir::DType::I32, 64);
+  const Result rs = sharded.predict(bad);
+  const Result r1 = single.predict(bad);
+  EXPECT_FALSE(rs.ok);
+  EXPECT_EQ(rs.error, r1.error);
+}
+
+// ---- hot reload ---------------------------------------------------------
+
+TEST(HotReload, RegistryPublishesMonotonicVersions) {
+  ModelRegistry reg(test_classifier());
+  EXPECT_EQ(reg.version(), 1u);
+  EXPECT_EQ(reg.reload(test_classifier()), 2u);
+  EXPECT_EQ(reg.reload(agg_classifier()), 3u);
+  EXPECT_EQ(reg.version(), 3u);
+  EXPECT_EQ(reg.loaded_count(), 3u);
+  const std::string js = reg.models_json();
+  EXPECT_NE(js.find("\"version\":1"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"version\":3"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"live\":true"), std::string::npos) << js;
+  // An untrained model can never unseat the serving one.
+  EXPECT_THROW(reg.reload(core::EnergyClassifier()), std::invalid_argument);
+  EXPECT_EQ(reg.version(), 3u);
+  // Neither can an unreadable file.
+  EXPECT_THROW(reg.reload_file("/nonexistent/model.txt"),
+               std::runtime_error);
+  EXPECT_EQ(reg.version(), 3u);
+}
+
+TEST(HotReload, SameColumnReloadKeepsCachesWarm) {
+  PredictionService svc(test_classifier());
+  const Request req = spec_request("gemm", kir::DType::I32, 2048);
+  EXPECT_FALSE(svc.predict(req).cached);
+  EXPECT_TRUE(svc.predict(req).cached);
+  // Retrained weights, same feature columns: the common production
+  // reload. Every cached row is still valid.
+  svc.registry()->reload(test_classifier());
+  const Result r = svc.predict(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.cached);
+  EXPECT_EQ(r.model_version, 2u);
+}
+
+TEST(HotReload, ColumnChangingReloadFlushesCaches) {
+  ASSERT_NE(test_classifier().columns(), agg_classifier().columns());
+  PredictionService svc(test_classifier());
+  const Request req = spec_request("gemm", kir::DType::I32, 2048);
+  EXPECT_FALSE(svc.predict(req).cached);
+  EXPECT_TRUE(svc.predict(req).cached);
+  svc.registry()->reload(agg_classifier());
+  const Result r = svc.predict(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.cached);  // different columns: the row was stale
+  EXPECT_EQ(r.model_version, 2u);
+  EXPECT_EQ(r.cores, offline_predict(agg_classifier(), "gemm",
+                                     kir::DType::I32, 2048));
+}
+
+TEST(HotReload, TortureConcurrentPredictsAndReloads) {
+  auto registry = std::make_shared<ModelRegistry>(test_classifier());
+  ShardedService::Options opt;
+  opt.shards = 2;
+  opt.service.threads = 1;
+  ShardedService svc(registry, opt);
+
+  const char* kernels[4] = {"memcpy", "alu_chain", "trisolv", "autocor"};
+  int expected[4];
+  for (int i = 0; i < 4; ++i) {
+    expected[i] =
+        offline_predict(test_classifier(), kernels[i], kir::DType::I32, 1024);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&] {
+      while (!stop.load()) {
+        for (int i = 0; i < 4; ++i) {
+          const Result r =
+              svc.predict(spec_request(kernels[i], kir::DType::I32, 1024));
+          const std::uint64_t after = registry->version();
+          // Every reply, on every model version published by this
+          // torture run, is correct (all versions are retrains of the
+          // same data) and attributed to a version that existed when
+          // the reply was produced.
+          if (!r.ok || r.cores != expected[i] || r.model_version < 1 ||
+              r.model_version > after) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 25; ++i) {
+    registry->reload(test_classifier());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry->version(), 26u);
+}
+
+// ---- the wire protocol --------------------------------------------------
+
+TEST(WireV2, PredictCarriesVersionAndMatchesV1Answer) {
+  ScaleServer ts;
+  const int fd = dial(ts.port);
+  ASSERT_GE(fd, 0);
+  serve::WireReply v2;
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":2,"id":5,"cmd":"predict","kernel":"gemm",)"
+                        R"("dtype":"i32","bytes":8192})"),
+                &v2),
+            "");
+  ASSERT_TRUE(v2.ok) << v2.error;
+  EXPECT_EQ(v2.v, 2);
+  EXPECT_EQ(v2.id, 5);
+  EXPECT_EQ(v2.model_version, 1u);
+  EXPECT_EQ(v2.cores,
+            offline_predict(test_classifier(), "gemm", kir::DType::I32,
+                            8192));
+  // The v1 adapter: same connection, legacy line, legacy reply shape
+  // (no "v", no model_version) — and the identical prediction.
+  const std::string raw =
+      rpc(fd, R"({"id":6,"kernel":"gemm","dtype":"i32","bytes":8192})");
+  EXPECT_EQ(raw.find("\"v\":"), std::string::npos) << raw;
+  EXPECT_EQ(raw.find("model_version"), std::string::npos) << raw;
+  serve::WireReply v1;
+  ASSERT_EQ(serve::parse_reply(raw, &v1), "");
+  ASSERT_TRUE(v1.ok) << v1.error;
+  EXPECT_EQ(v1.cores, v2.cores);
+  ::close(fd);
+}
+
+TEST(WireV2, PingMetricsAndStructuredErrors) {
+  ScaleServer ts;
+  const int fd = dial(ts.port);
+  ASSERT_GE(fd, 0);
+  serve::WireReply wire;
+  ASSERT_EQ(serve::parse_reply(rpc(fd, R"({"v":2,"id":1,"cmd":"ping"})"),
+                               &wire),
+            "");
+  EXPECT_TRUE(wire.ok);
+  EXPECT_TRUE(wire.pong);
+
+  const std::string metrics =
+      rpc(fd, R"({"v":2,"id":2,"cmd":"metrics"})");
+  EXPECT_NE(metrics.find("\"total\":"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("\"shards\":["), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("\"models\":["), std::string::npos) << metrics;
+
+  // Structured errors: {"error":{"code":...,"msg":...}}.
+  ASSERT_EQ(serve::parse_reply(rpc(fd, R"({"v":2,"id":3,"cmd":"warp"})"),
+                               &wire),
+            "");
+  EXPECT_FALSE(wire.ok);
+  EXPECT_EQ(wire.error_code, serve::kErrorCodeInvalid);
+  EXPECT_NE(wire.error.find("warp"), std::string::npos) << wire.error;
+
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":3,"id":4,"cmd":"predict","kernel":"gemm",)"
+                        R"("dtype":"i32","bytes":64})"),
+                &wire),
+            "");
+  EXPECT_FALSE(wire.ok);
+  EXPECT_NE(wire.error.find("unsupported protocol version"),
+            std::string::npos)
+      << wire.error;
+
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":2,"id":5,"cmd":"predict","kernel":"gemm",)"
+                        R"("dtype":"i64","bytes":64})"),
+                &wire),
+            "");
+  EXPECT_FALSE(wire.ok);
+  EXPECT_EQ(wire.error_code, serve::kErrorCodeInvalid);
+
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":2,"id":6,"cmd":"predict",)"
+                        R"("kernel":"no_such_kernel","dtype":"i32",)"
+                        R"("bytes":64})"),
+                &wire),
+            "");
+  EXPECT_FALSE(wire.ok);
+  EXPECT_EQ(wire.error_code, serve::kErrorCodePredict);
+  ::close(fd);
+}
+
+TEST(WireV2, ReloadVerbPublishesANewServingVersion) {
+  const std::string model_path =
+      "/tmp/pulpclass_scale_test_model_" + std::to_string(::getpid()) +
+      ".txt";
+  test_classifier().save_file(model_path);
+
+  ScaleServer ts;
+  const int fd = dial(ts.port);
+  ASSERT_GE(fd, 0);
+  serve::WireReply wire;
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":2,"id":1,"cmd":"predict","kernel":"gemm",)"
+                        R"("dtype":"i32","bytes":4096})"),
+                &wire),
+            "");
+  ASSERT_TRUE(wire.ok) << wire.error;
+  EXPECT_EQ(wire.model_version, 1u);
+  const int cores_v1 = wire.cores;
+
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":2,"id":2,"cmd":"reload","model":")" +
+                            model_path + "\"}"),
+                &wire),
+            "");
+  ASSERT_TRUE(wire.ok) << wire.error;
+  EXPECT_EQ(wire.model_version, 2u);
+  EXPECT_EQ(ts.registry->version(), 2u);
+
+  // Post-reload traffic serves the new version — and since it is a
+  // retrain of the same data, the identical prediction.
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":2,"id":3,"cmd":"predict","kernel":"gemm",)"
+                        R"("dtype":"i32","bytes":4096})"),
+                &wire),
+            "");
+  ASSERT_TRUE(wire.ok) << wire.error;
+  EXPECT_EQ(wire.model_version, 2u);
+  EXPECT_EQ(wire.cores, cores_v1);
+
+  // A reload of a nonexistent file fails loudly and keeps serving v2.
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":2,"id":4,"cmd":"reload",)"
+                        R"("model":"/nonexistent/m.txt"})"),
+                &wire),
+            "");
+  EXPECT_FALSE(wire.ok);
+  EXPECT_EQ(wire.error_code, serve::kErrorCodeReload);
+  EXPECT_EQ(ts.registry->version(), 2u);
+  ::close(fd);
+  std::remove(model_path.c_str());
+}
+
+TEST(WireV2, PipelinedRequestsAllGetTheirAnswers) {
+  ScaleServer ts;
+  const int fd = dial(ts.port);
+  ASSERT_GE(fd, 0);
+  const char* kernels[4] = {"memcpy", "alu_chain", "trisolv", "gemm"};
+  std::map<long long, int> expected;
+  std::string burst;
+  for (long long id = 0; id < 12; ++id) {
+    const char* k = kernels[id % 4];
+    expected[id] =
+        offline_predict(test_classifier(), k, kir::DType::I32, 1024);
+    burst += "{\"v\":2,\"id\":" + std::to_string(id) +
+             ",\"cmd\":\"predict\",\"kernel\":\"" + k +
+             "\",\"dtype\":\"i32\",\"bytes\":1024}\n";
+  }
+  // One write, twelve requests: replies may arrive in any order across
+  // shards but every id must be answered exactly once, correctly.
+  ASSERT_TRUE(send_all(fd, burst));
+  std::map<long long, int> got;
+  for (int i = 0; i < 12; ++i) {
+    serve::WireReply wire;
+    ASSERT_EQ(serve::parse_reply(read_line(fd), &wire), "");
+    ASSERT_TRUE(wire.ok) << wire.error;
+    EXPECT_EQ(got.count(wire.id), 0u) << "duplicate reply id " << wire.id;
+    got[wire.id] = wire.cores;
+  }
+  EXPECT_EQ(got.size(), 12u);
+  for (const auto& [id, cores] : expected) {
+    EXPECT_EQ(got[id], cores) << "id " << id;
+  }
+  ::close(fd);
+}
+
+TEST(WireV2, OversizedLineGetsTooLargeErrorAndConnectionResyncs) {
+  serve::ServeOptions wopt;
+  wopt.max_line_bytes = 256;
+  ScaleServer ts(wopt);
+  const int fd = dial(ts.port);
+  ASSERT_GE(fd, 0);
+  serve::WireReply wire;
+  // Establish v2 on the connection, then blow the line budget.
+  ASSERT_EQ(serve::parse_reply(rpc(fd, R"({"v":2,"id":1,"cmd":"ping"})"),
+                               &wire),
+            "");
+  ASSERT_TRUE(wire.ok);
+  ASSERT_TRUE(send_all(fd, std::string(400, 'x')));
+  ASSERT_EQ(serve::parse_reply(read_line(fd), &wire), "");
+  EXPECT_FALSE(wire.ok);
+  EXPECT_EQ(wire.error_code, serve::kErrorCodeTooLarge);
+  // Finish the oversized junk line; everything up to the newline is
+  // discarded, and the connection then serves normally again.
+  ASSERT_TRUE(send_all(fd, std::string(100, 'x') + "\n"));
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":2,"id":2,"cmd":"predict","kernel":"memcpy",)"
+                        R"("dtype":"i32","bytes":512})"),
+                &wire),
+            "");
+  EXPECT_TRUE(wire.ok) << wire.error;
+  ::close(fd);
+}
+
+// ---- lifecycle ----------------------------------------------------------
+
+TEST(ScaleServerLifecycle, PortIsRebindableImmediatelyAfterStop) {
+  auto registry = std::make_shared<ModelRegistry>(test_classifier());
+  ShardedService::Options opt;
+  opt.shards = 2;
+  ShardedService svc(registry, opt);
+
+  std::uint16_t port = 0;
+  {
+    serve::ServeOptions o;
+    o.port = std::uint16_t{0};
+    serve::Server first(svc, o);
+    port = first.start();
+    std::thread t([&] { first.run(); });
+    const int fd = dial(port);
+    ASSERT_GE(fd, 0);
+    serve::WireReply wire;
+    ASSERT_EQ(serve::parse_reply(rpc(fd, R"({"v":2,"id":1,"cmd":"ping"})"),
+                                 &wire),
+              "");
+    EXPECT_TRUE(wire.ok);
+    ::close(fd);
+    first.request_stop();
+    t.join();
+  }
+  // The exact port rebinds instantly: SO_REUSEADDR is verified at
+  // start(), so lingering TIME_WAIT sockets cannot brick a restart.
+  serve::ServeOptions o2;
+  o2.port = port;
+  serve::Server second(svc, o2);
+  ASSERT_EQ(second.start(), port);
+  std::thread t2([&] { second.run(); });
+  const int fd = dial(port);
+  ASSERT_GE(fd, 0);
+  serve::WireReply wire;
+  ASSERT_EQ(serve::parse_reply(
+                rpc(fd, R"({"v":2,"id":1,"cmd":"predict","kernel":"memcpy",)"
+                        R"("dtype":"i32","bytes":512})"),
+                &wire),
+            "");
+  EXPECT_TRUE(wire.ok) << wire.error;
+  ::close(fd);
+  second.request_stop();
+  t2.join();
+}
+
+TEST(ScaleServerLifecycle, ManyWorkersManyShardsServeConcurrentClients) {
+  ScaleServer ts({}, /*shards=*/4, /*workers=*/4);
+  const char* kernels[4] = {"memcpy", "alu_chain", "trisolv", "autocor"};
+  int expected[4];
+  for (int i = 0; i < 4; ++i) {
+    expected[i] =
+        offline_predict(test_classifier(), kernels[i], kir::DType::I32, 1024);
+  }
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&, t] {
+      const int fd = dial(ts.port);
+      if (fd < 0) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 8; ++i) {
+        const int k = (t + i) % 4;
+        serve::WireReply wire;
+        const std::string reply =
+            rpc(fd, "{\"v\":2,\"id\":" + std::to_string(t * 100 + i) +
+                        ",\"cmd\":\"predict\",\"kernel\":\"" +
+                        kernels[k] + "\",\"dtype\":\"i32\",\"bytes\":1024}");
+        if (!serve::parse_reply(reply, &wire).empty() || !wire.ok ||
+            wire.cores != expected[k] || wire.id != t * 100 + i) {
+          ++failures;
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  const serve::Metrics::Snapshot m = ts.service.metrics();
+  EXPECT_EQ(m.ok, 48u);
+  EXPECT_EQ(m.errors + m.shed, 0u);
+}
+
+// ---- options resolution -------------------------------------------------
+
+TEST(ServeOptionsResolve, ExplicitBeatsEnvBeatsDefault) {
+  for (const char* var :
+       {"PULPC_SERVE_PORT", "PULPC_SERVE_WORKERS", "PULPC_SERVE_SHARDS",
+        "PULPC_SERVE_LINGER_US", "PULPC_SERVE_TIMEOUT_MS"}) {
+    ::unsetenv(var);
+  }
+  serve::ServeOptions o;
+  EXPECT_EQ(o.resolve().port, 7070);
+  EXPECT_EQ(o.resolve().workers, 2u);
+  EXPECT_EQ(o.resolve().shards, 2u);
+  EXPECT_EQ(o.resolve().batch_linger_us, 200u);
+  EXPECT_EQ(o.resolve().request_timeout_ms, 5000u);
+
+  ::setenv("PULPC_SERVE_PORT", "9191", 1);
+  ::setenv("PULPC_SERVE_WORKERS", "5", 1);
+  ::setenv("PULPC_SERVE_LINGER_US", "7", 1);
+  EXPECT_EQ(o.resolve().port, 9191);
+  EXPECT_EQ(o.resolve().workers, 5u);
+  EXPECT_EQ(o.resolve().batch_linger_us, 7u);
+
+  o.port = std::uint16_t{0};  // explicit 0 means ephemeral, beats env
+  o.workers = 3;
+  o.batch_linger_us = 0;  // explicit 0 means "no linger", beats env
+  EXPECT_EQ(o.resolve().port, 0);
+  EXPECT_EQ(o.resolve().workers, 3u);
+  EXPECT_EQ(o.resolve().batch_linger_us, 0u);
+
+  for (const char* var :
+       {"PULPC_SERVE_PORT", "PULPC_SERVE_WORKERS", "PULPC_SERVE_LINGER_US"}) {
+    ::unsetenv(var);
+  }
+}
+
+}  // namespace
+}  // namespace pulpc

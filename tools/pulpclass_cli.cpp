@@ -8,8 +8,10 @@
 //   pulpclass lint    [--kernel NAME|--all] [--werror] [--json]
 //   pulpclass train   [--features SET] [--out model.txt]
 //   pulpclass predict --model model.txt <kernel> <i32|f32> <bytes> [--json]
-//   pulpclass serve   --port N [--model model.txt]    batched TCP service
-//   pulpclass query   --port N <kernel> <i32|f32> <bytes> [--json]
+//   pulpclass serve   [--port N] [--workers W] [--shards S] [--model m]
+//   pulpclass query   --port N <kernel> <i32|f32> <bytes> [--json] [--v1]
+//   pulpclass query   --port N <ping|metrics|reload [model.txt]>
+//   pulpclass bench-serve --port N [--connections C] [--pipeline P]
 //   pulpclass sweep   <kernel> <i32|f32> <bytes> [--optimize]
 //   pulpclass analyze <kernel> <i32|f32> <bytes> | --kernel N | --all
 //   pulpclass analyze --check [--json]        bounds-vs-simulator gate
@@ -25,7 +27,9 @@
 // the pulpc::{kir,dsl,kernels,sim,...} layer namespaces are used only
 // for the developer-facing inspection commands (disasm, sweep).
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -75,6 +79,14 @@ struct Args {
   int max_inflight = 0;   ///< serve: backpressure shed threshold
   int batch = 0;          ///< serve: micro-batch size cap
   int timeout_ms = 0;     ///< serve: per-request wait budget
+  int workers = 0;        ///< serve: epoll worker event loops
+  int shards = 0;         ///< serve: PredictionService shards
+  std::string reload_fifo;  ///< serve: hot-reload FIFO path
+  bool v1 = false;          ///< query: speak legacy protocol v1
+  int connections = 0;      ///< bench-serve: concurrent connections
+  int pipeline = 0;         ///< bench-serve: pipelined requests per conn
+  long long requests = 0;   ///< bench-serve: total request count
+  std::string label;        ///< bench-serve: tag recorded in the JSON
 };
 
 Args parse(int argc, char** argv) {
@@ -148,6 +160,42 @@ Args parse(int argc, char** argv) {
         std::fprintf(stderr, "--timeout-ms wants a positive integer\n");
         std::exit(2);
       }
+    } else if (arg == "--workers") {
+      a.workers = std::atoi(next().c_str());
+      if (a.workers < 1) {
+        std::fprintf(stderr, "--workers wants a positive integer\n");
+        std::exit(2);
+      }
+    } else if (arg == "--shards") {
+      a.shards = std::atoi(next().c_str());
+      if (a.shards < 1) {
+        std::fprintf(stderr, "--shards wants a positive integer\n");
+        std::exit(2);
+      }
+    } else if (arg == "--reload-fifo") {
+      a.reload_fifo = next();
+    } else if (arg == "--v1") {
+      a.v1 = true;
+    } else if (arg == "--connections") {
+      a.connections = std::atoi(next().c_str());
+      if (a.connections < 1) {
+        std::fprintf(stderr, "--connections wants a positive integer\n");
+        std::exit(2);
+      }
+    } else if (arg == "--pipeline") {
+      a.pipeline = std::atoi(next().c_str());
+      if (a.pipeline < 1) {
+        std::fprintf(stderr, "--pipeline wants a positive integer\n");
+        std::exit(2);
+      }
+    } else if (arg == "--requests") {
+      a.requests = std::atoll(next().c_str());
+      if (a.requests < 1) {
+        std::fprintf(stderr, "--requests wants a positive integer\n");
+        std::exit(2);
+      }
+    } else if (arg == "--label") {
+      a.label = next();
     } else {
       a.positional.push_back(arg);
     }
@@ -192,14 +240,28 @@ int usage() {
       "                                    the flat engine (identical\n"
       "                                    predictions; A/B escape hatch,\n"
       "                                    also PULPC_FLAT_PREDICT=0)\n"
-      "  serve --port N [--model model.txt] [--max-inflight K]\n"
-      "        [--batch B] [--timeout-ms T] [--no-flat]\n"
-      "                                    batched TCP prediction service\n"
-      "                                    (line-delimited JSON; Ctrl-C\n"
-      "                                    stops and prints metrics)\n"
-      "  query --port N <kernel> <i32|f32> <bytes> [--json]\n"
+      "  serve [--port N] [--model model.txt] [--workers W] [--shards S]\n"
+      "        [--max-inflight K] [--batch B] [--timeout-ms T]\n"
+      "        [--reload-fifo PATH] [--no-flat]\n"
+      "                                    sharded TCP prediction service\n"
+      "                                    (line-delimited JSON v1+v2, N\n"
+      "                                    epoll worker loops; Ctrl-C\n"
+      "                                    stops and prints metrics; every\n"
+      "                                    knob also has a PULPC_SERVE_*\n"
+      "                                    env var, see README \"Serving\")\n"
+      "  query --port N <kernel> <i32|f32> <bytes> [--json] [--v1]\n"
       "                                    one request against a running\n"
-      "                                    `pulpclass serve`\n"
+      "                                    `pulpclass serve` (protocol v2\n"
+      "                                    unless --v1)\n"
+      "  query --port N ping|metrics|reload [model.txt]\n"
+      "                                    v2 admin verbs; prints the raw\n"
+      "                                    reply line\n"
+      "  bench-serve --port N [--connections C] [--pipeline P]\n"
+      "              [--requests N] [--label TAG] [--out file.json]\n"
+      "                                    closed-loop load generator:\n"
+      "                                    p50/p99/p999 latency and\n"
+      "                                    throughput, appended to\n"
+      "                                    BENCH_serve.json (or --out)\n"
       "  sweep <kernel> <i32|f32> <bytes> [--optimize]\n"
       "  analyze <kernel> <i32|f32> <bytes> | --kernel NAME | --all\n"
       "          [--optimize] [--json]     static [lo,hi] cycle/energy\n"
@@ -507,7 +569,7 @@ void print_prediction(const Args& a, int cores) {
 }
 
 /// SIGINT/SIGTERM -> Server::request_stop (async-signal-safe: one
-/// atomic pointer read plus a pipe write).
+/// atomic pointer read plus an eventfd write).
 serve::Server* g_server = nullptr;
 
 void on_signal(int) {
@@ -544,22 +606,29 @@ int cmd_predict(const Args& a) {
 }
 
 int cmd_serve(const Args& a) {
-  if (a.port == 0) {
-    std::fprintf(stderr, "serve: --port is required\n");
-    return 2;
-  }
-  pulpclass::PredictionService::Options sopt;
-  if (a.threads > 0) sopt.threads = unsigned(a.threads);
-  if (a.max_inflight > 0) sopt.max_in_flight = std::size_t(a.max_inflight);
-  if (a.batch > 0) sopt.max_batch = std::size_t(a.batch);
-  if (a.no_flat) sopt.use_flat = false;
-  pulpclass::PredictionService svc(
-      pulpclass::EnergyClassifier::load_file(a.model), sopt);
+  // Every flag writes a ServeOptions field; resolve() folds in the
+  // PULPC_SERVE_* environment and the defaults (flag > env > default).
+  pulpclass::ServeOptions sopts;
+  if (a.port > 0) sopts.port = std::uint16_t(a.port);
+  if (a.workers > 0) sopts.workers = unsigned(a.workers);
+  if (a.shards > 0) sopts.shards = unsigned(a.shards);
+  if (a.threads > 0) sopts.threads = unsigned(a.threads);
+  if (a.max_inflight > 0) sopts.max_in_flight = unsigned(a.max_inflight);
+  if (a.batch > 0) sopts.max_batch = unsigned(a.batch);
+  if (a.timeout_ms > 0) sopts.request_timeout_ms = unsigned(a.timeout_ms);
+  if (!a.reload_fifo.empty()) sopts.reload_fifo = a.reload_fifo;
+  if (a.no_flat) sopts.use_flat = false;
+  sopts.model_path = a.model;  // `reload` without a path reloads this file
+  const serve::ServeOptions::Resolved r = sopts.resolve();
+  pulpclass::ShardedService svc(
+      serve::ModelRegistry::from_file(a.model, r.use_flat),
+      serve::sharded_options(r));
   // Cold-start priming: with an artifact store configured, one pass over
-  // it (an mmap walk in the v2 backend) pre-fills the feature cache so
-  // known samples are cache hits from the very first request. Like the
-  // build pipeline — and unlike cache/relabel — serve treats an unset
-  // store as "no store", not the default directory.
+  // it (an mmap walk in the v2 backend) pre-fills each shard's feature
+  // cache — routed through the live placement function — so known
+  // samples are cache hits from the very first request. Like the build
+  // pipeline — and unlike cache/relabel — serve treats an unset store as
+  // "no store", not the default directory.
   const std::string prime_dir = core::env_or(
       a.store.empty() ? std::nullopt : std::optional<std::string>(a.store),
       "PULPC_ARTIFACT_DIR", "");
@@ -572,22 +641,78 @@ int cmd_serve(const Args& a) {
                  primed, primed == 1 ? "" : "s", store.dir().c_str(),
                  core::to_string(store.format()));
   }
-  serve::Server::Options wopt;
-  wopt.port = std::uint16_t(a.port);
-  if (a.timeout_ms > 0) wopt.request_timeout_ms = a.timeout_ms;
-  pulpclass::PredictionServer server(svc, wopt);
+  pulpclass::PredictionServer server(svc, sopts);
   const std::uint16_t port = server.start();
   install_sigint(server);
   std::fprintf(stderr,
-               "pulpclass serve: listening on 127.0.0.1:%u (model %s, %zu "
-               "feature columns); Ctrl-C stops\n",
+               "pulpclass serve: listening on 127.0.0.1:%u (model %s v%llu, "
+               "%zu feature columns; %u worker%s, %u shard%s); Ctrl-C stops\n",
                unsigned(port), a.model.c_str(),
-               svc.classifier().columns().size());
+               static_cast<unsigned long long>(svc.model()->version),
+               svc.model()->clf.columns().size(), r.workers,
+               r.workers == 1 ? "" : "s", r.shards,
+               r.shards == 1 ? "" : "s");
   server.run();
-  // Final metrics snapshot: one JSON object, the same shape the tests
-  // and monitoring consume.
-  std::printf("%s\n", svc.metrics().to_json().c_str());
+  // Final metrics snapshot: one JSON object (total + per-shard + model
+  // history), the same shape the v2 `metrics` verb serves.
+  std::printf("%s\n", svc.metrics_json().c_str());
   return 0;
+}
+
+/// Blocking loopback dial for the client commands; -1 + stderr on
+/// failure.
+int dial(int port, const char* who) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "%s: socket() failed\n", who);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(std::uint16_t(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "%s: cannot connect to 127.0.0.1:%d\n", who, port);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& line) {
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
+    if (n <= 0) return false;
+    off += std::size_t(n);
+  }
+  return true;
+}
+
+bool recv_line(int fd, std::string* out) {
+  char chunk[1024];
+  while (out->find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    out->append(chunk, std::size_t(n));
+  }
+  out->resize(out->find('\n'));
+  return true;
+}
+
+/// The predict request line `query` (and bench-serve) sends: v2 by
+/// default, the pre-redesign v1 shape with --v1 — both answered by any
+/// current server, so old and new clients interoperate either way.
+std::string predict_line(bool v1, long long id, const std::string& kernel,
+                         const std::string& dtype, const std::string& bytes,
+                         bool optimize) {
+  std::string line = v1 ? "{\"id\":" + std::to_string(id)
+                        : "{\"v\":2,\"id\":" + std::to_string(id) +
+                              ",\"cmd\":\"predict\"";
+  line += ",\"kernel\":" + json_str(kernel) + ",\"dtype\":" +
+          json_str(dtype) + ",\"bytes\":" + bytes;
+  line += optimize ? ",\"optimize\":true}\n" : "}\n";
+  return line;
 }
 
 int cmd_query(const Args& a) {
@@ -595,50 +720,40 @@ int cmd_query(const Args& a) {
     std::fprintf(stderr, "query: --port is required\n");
     return 2;
   }
-  if (a.positional.size() < 3) return usage();
-  (void)parse_dtype(a.positional[1]);  // validate before dialing out
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::fprintf(stderr, "query: socket() failed\n");
-    return 1;
+  // v2 admin verbs ride the same command: `query --port N metrics`.
+  const bool admin =
+      !a.positional.empty() &&
+      (a.positional[0] == "ping" || a.positional[0] == "metrics" ||
+       a.positional[0] == "reload");
+  if (admin && a.v1) {
+    std::fprintf(stderr, "query: '%s' needs protocol v2 (drop --v1)\n",
+                 a.positional[0].c_str());
+    return 2;
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(std::uint16_t(a.port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    std::fprintf(stderr, "query: cannot connect to 127.0.0.1:%d\n", a.port);
-    ::close(fd);
-    return 1;
+  if (!admin) {
+    if (a.positional.size() < 3) return usage();
+    (void)parse_dtype(a.positional[1]);  // validate before dialing out
   }
-  const std::string line =
-      "{\"id\":1,\"kernel\":" + json_str(a.positional[0]) +
-      ",\"dtype\":" + json_str(a.positional[1]) +
-      ",\"bytes\":" + a.positional[2] +
-      (a.optimize ? ",\"optimize\":true}" : "}") + "\n";
-  std::size_t off = 0;
-  while (off < line.size()) {
-    const ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
-    if (n <= 0) {
-      std::fprintf(stderr, "query: send failed\n");
-      ::close(fd);
-      return 1;
+  std::string line;
+  if (admin) {
+    line = "{\"v\":2,\"id\":1,\"cmd\":" + json_str(a.positional[0]);
+    if (a.positional[0] == "reload" && a.positional.size() > 1) {
+      line += ",\"model\":" + json_str(a.positional[1]);
     }
-    off += std::size_t(n);
+    line += "}\n";
+  } else {
+    line = predict_line(a.v1, 1, a.positional[0], a.positional[1],
+                        a.positional[2], a.optimize);
   }
+  const int fd = dial(a.port, "query");
+  if (fd < 0) return 1;
   std::string reply;
-  char chunk[1024];
-  while (reply.find('\n') == std::string::npos) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) {
-      std::fprintf(stderr, "query: connection closed without a reply\n");
-      ::close(fd);
-      return 1;
-    }
-    reply.append(chunk, std::size_t(n));
-  }
+  const bool io_ok = send_all(fd, line) && recv_line(fd, &reply);
   ::close(fd);
-  reply.resize(reply.find('\n'));
+  if (!io_ok) {
+    std::fprintf(stderr, "query: connection closed without a reply\n");
+    return 1;
+  }
   serve::WireReply wire;
   const std::string err = serve::parse_reply(reply, &wire);
   if (!err.empty()) {
@@ -646,11 +761,175 @@ int cmd_query(const Args& a) {
                  err.c_str());
     return 1;
   }
+  if (admin) {
+    // Admin replies are for operators and scripts: print the raw wire
+    // line, exit by its ok flag.
+    std::printf("%s\n", reply.c_str());
+    return wire.ok ? 0 : 1;
+  }
   if (!wire.ok) {
     std::fprintf(stderr, "error: %s\n", wire.error.c_str());
     return 1;
   }
   print_prediction(a, wire.cores);
+  return 0;
+}
+
+/// Closed-loop load generator for `pulpclass serve`: C concurrent
+/// connections, each keeping up to P pipelined requests in flight,
+/// until N total replies. One poll(2) loop, non-blocking sockets;
+/// requests cycle over the kernel registry (or a single explicit
+/// <kernel> <dtype> <bytes> spec) so shards and the router cache are
+/// exercised the way live traffic would. Latency is enqueue -> reply,
+/// matched by request id (sharded replies can arrive out of order on
+/// one connection).
+int cmd_bench_serve(const Args& a) {
+  if (a.port == 0) {
+    std::fprintf(stderr, "bench-serve: --port is required\n");
+    return 2;
+  }
+  const int conns = a.connections > 0 ? a.connections : 64;
+  const int pipeline = a.pipeline > 0 ? a.pipeline : 4;
+  const long long total = a.requests > 0 ? a.requests : 20000;
+
+  // The request mix: an explicit spec, or every registry (kernel,
+  // dtype) pair at a fixed representative size.
+  struct Spec {
+    std::string kernel, dtype, bytes;
+  };
+  std::vector<Spec> specs;
+  if (a.positional.size() >= 3) {
+    (void)parse_dtype(a.positional[1]);
+    specs.push_back({a.positional[0], a.positional[1], a.positional[2]});
+  } else {
+    for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+      if (k.types != kernels::TypeSupport::FloatOnly) {
+        specs.push_back({k.name, "i32", "4096"});
+      }
+      if (k.types != kernels::TypeSupport::IntOnly) {
+        specs.push_back({k.name, "f32", "4096"});
+      }
+    }
+  }
+
+  using clock = std::chrono::steady_clock;
+  struct BenchConn {
+    int fd = -1;
+    std::string rbuf, wbuf;
+    int outstanding = 0;
+    std::map<long long, clock::time_point> t0;  ///< id -> enqueue time
+  };
+  std::vector<BenchConn> cs(static_cast<std::size_t>(conns));
+  for (BenchConn& c : cs) {
+    c.fd = dial(a.port, "bench-serve");
+    if (c.fd < 0) return 1;
+    const int fl = ::fcntl(c.fd, F_GETFL, 0);
+    ::fcntl(c.fd, F_SETFL, fl | O_NONBLOCK);
+  }
+
+  long long next_id = 0, done = 0, ok = 0, errors = 0;
+  std::vector<double> lat_us;
+  lat_us.reserve(std::size_t(total));
+  const auto enqueue = [&](BenchConn& c) {
+    while (c.outstanding < pipeline && next_id < total) {
+      const Spec& s = specs[std::size_t(next_id) % specs.size()];
+      c.wbuf += predict_line(a.v1, next_id, s.kernel, s.dtype, s.bytes,
+                             a.optimize);
+      c.t0.emplace(next_id, clock::now());
+      ++next_id;
+      ++c.outstanding;
+    }
+  };
+  for (BenchConn& c : cs) enqueue(c);
+
+  const auto start = clock::now();
+  std::vector<pollfd> pfds(cs.size());
+  char chunk[16384];
+  while (done < total) {
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      pfds[i].fd = cs[i].fd;
+      pfds[i].events = short((cs[i].outstanding > 0 ? POLLIN : 0) |
+                             (!cs[i].wbuf.empty() ? POLLOUT : 0));
+      pfds[i].revents = 0;
+    }
+    if (::poll(pfds.data(), nfds_t(pfds.size()), 10000) < 0) {
+      std::fprintf(stderr, "bench-serve: poll failed\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      BenchConn& c = cs[i];
+      if ((pfds[i].revents & POLLOUT) != 0 && !c.wbuf.empty()) {
+        const ssize_t n = ::send(c.fd, c.wbuf.data(), c.wbuf.size(), 0);
+        if (n > 0) c.wbuf.erase(0, std::size_t(n));
+      }
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+      if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+        std::fprintf(stderr,
+                     "bench-serve: server closed a connection after %lld "
+                     "replies\n",
+                     done);
+        return 1;
+      }
+      if (n > 0) c.rbuf.append(chunk, std::size_t(n));
+      std::size_t pos;
+      while ((pos = c.rbuf.find('\n')) != std::string::npos) {
+        const std::string reply = c.rbuf.substr(0, pos);
+        c.rbuf.erase(0, pos + 1);
+        serve::WireReply wire;
+        if (!serve::parse_reply(reply, &wire).empty()) {
+          std::fprintf(stderr, "bench-serve: bad reply '%s'\n",
+                       reply.c_str());
+          return 1;
+        }
+        const auto it = c.t0.find(wire.id);
+        if (it == c.t0.end()) continue;  // duplicate/unknown id
+        if (wire.ok) {
+          lat_us.push_back(std::chrono::duration<double, std::micro>(
+                               clock::now() - it->second)
+                               .count());
+          ++ok;
+        } else {
+          ++errors;
+        }
+        c.t0.erase(it);
+        --c.outstanding;
+        ++done;
+      }
+      enqueue(c);
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+  for (BenchConn& c : cs) ::close(c.fd);
+
+  std::sort(lat_us.begin(), lat_us.end());
+  const auto pct = [&](double p) {
+    if (lat_us.empty()) return 0.0;
+    const std::size_t i = std::size_t(p * double(lat_us.size()));
+    return lat_us[std::min(i, lat_us.size() - 1)];
+  };
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"command\":\"bench-serve\",\"label\":%s,\"connections\":%d,"
+      "\"pipeline\":%d,\"requests\":%lld,\"ok\":%lld,\"errors\":%lld,"
+      "\"seconds\":%.3f,\"rps\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+      "\"p999_us\":%.1f}",
+      json_str(a.label).c_str(), conns, pipeline, total, ok, errors,
+      seconds, seconds > 0 ? double(done) / seconds : 0.0, pct(0.50),
+      pct(0.99), pct(0.999));
+  // One JSON object per run, appended to the benchmark log (BENCH_*.json
+  // is the repo convention) and echoed to stdout for pipelines.
+  const std::string out_path = a.out.empty() ? "BENCH_serve.json" : a.out;
+  if (std::FILE* f = std::fopen(out_path.c_str(), "a")) {
+    std::fprintf(f, "%s\n", buf);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "bench-serve: cannot append to %s\n",
+                 out_path.c_str());
+  }
+  std::printf("%s\n", buf);
   return 0;
 }
 
@@ -993,6 +1272,7 @@ int main(int argc, char** argv) {
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);
+    if (cmd == "bench-serve") return cmd_bench_serve(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "stats") return cmd_stats(args);

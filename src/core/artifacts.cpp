@@ -384,6 +384,7 @@ ArtifactStore::Info ArtifactStore::scan() const {
       info.segments.push_back(
           {s.name, s.records, s.valid, s.foreign, s.corrupt, s.bytes});
     }
+    for_each([&info](const StoredSample& s) { ++info.by_kernel[s.kernel]; });
     return info;
   }
   for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
@@ -402,6 +403,7 @@ ArtifactStore::Info ArtifactStore::scan() const {
       case FileState::Corrupt: ++info.corrupt; break;
     }
   }
+  for_each([&info](const StoredSample& s) { ++info.by_kernel[s.kernel]; });
   return info;
 }
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -145,6 +146,9 @@ class ArtifactStore {
     std::size_t diags = 0;    ///< verifier-report entries
     std::uintmax_t bytes = 0;
     std::vector<SegmentInfo> segments;  ///< v2 only; empty in v1
+    /// Valid-record count per kernel name (sorted by name; `pulpclass
+    /// cache info --json` emits it as "by_kernel").
+    std::map<std::string, std::size_t> by_kernel;
   };
   [[nodiscard]] Info scan() const;
 

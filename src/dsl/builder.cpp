@@ -23,10 +23,10 @@ Buf KernelBuilder::buffer(const std::string& name, std::uint32_t elems,
 Buf KernelBuilder::buffer_of(const std::string& name, DType elem,
                              std::uint32_t elems, InitKind init,
                              MemSpace space) {
-  if (elems == 0) throw std::invalid_argument("buffer " + name + ": empty");
+  if (elems == 0) fail("buffer " + name + ": zero elements");
   for (const BufferDecl& b : spec_.buffers) {
     if (b.name == name) {
-      throw std::invalid_argument("buffer " + name + ": redeclared");
+      fail("buffer " + name + ": redeclared");
     }
   }
   spec_.buffers.push_back(BufferDecl{name, elem, elems, space, init});
@@ -47,7 +47,7 @@ Val KernelBuilder::load(const Buf& buf, Val index) const {
 }
 
 void KernelBuilder::store(const Buf& buf, Val index, Val value) {
-  if (!index.e || !value.e) throw std::invalid_argument("store: null expr");
+  if (!index.e || !value.e) fail("store(" + buf.name + "): null expr");
   ExprP v = value.e;
   if (v->type != buf.elem) {
     v = (buf.elem == DType::F32 ? to_f32({v}) : to_i32({v})).e;
@@ -61,7 +61,7 @@ void KernelBuilder::store(const Buf& buf, Val index, Val value) {
 }
 
 Val KernelBuilder::decl(const std::string& name, Val init) {
-  if (!init.e) throw std::invalid_argument("decl: null init");
+  if (!init.e) fail("decl(" + name + "): null init");
   Stmt s;
   s.kind = Stmt::Kind::Decl;
   s.name = name;
@@ -72,9 +72,9 @@ Val KernelBuilder::decl(const std::string& name, Val init) {
 
 void KernelBuilder::assign(Val var, Val value) {
   if (!var.e || var.e->kind != Expr::Kind::Var) {
-    throw std::invalid_argument("assign: target is not a scalar variable");
+    fail("assign: target is not a scalar variable");
   }
-  if (!value.e) throw std::invalid_argument("assign: null value");
+  if (!value.e) fail("assign(" + var.e->name + "): null value");
   ExprP v = value.e;
   if (v->type != var.e->type) {
     v = (var.e->type == DType::F32 ? to_f32({v}) : to_i32({v})).e;
@@ -89,8 +89,11 @@ void KernelBuilder::assign(Val var, Val value) {
 void KernelBuilder::emit_for(const std::string& var, Val lo, Val hi,
                              const LoopBody& fn, std::int32_t step,
                              bool parallel, Schedule schedule) {
-  if (!lo.e || !hi.e) throw std::invalid_argument("for: null bound");
-  if (step <= 0) throw std::invalid_argument("for: step must be positive");
+  if (!lo.e || !hi.e) fail("for(" + var + "): null bound");
+  if (step <= 0) {
+    fail("for(" + var + "): step must be positive, got " +
+         std::to_string(step));
+  }
   Stmt s;
   s.kind = Stmt::Kind::For;
   s.loop_var = var;
@@ -127,7 +130,7 @@ void KernelBuilder::if_(Val cond, const Body& then_fn) {
 
 void KernelBuilder::if_else(Val cond, const Body& then_fn,
                             const Body& else_fn) {
-  if (!cond.e) throw std::invalid_argument("if: null condition");
+  if (!cond.e) fail("if: null condition");
   Stmt s;
   s.kind = Stmt::Kind::If;
   s.cond = cond.e;
@@ -157,7 +160,10 @@ void KernelBuilder::critical(const Body& fn) {
 void KernelBuilder::dma_copy(const Buf& dst, const Buf& src,
                              std::uint32_t words) {
   if (words == 0 || words > dst.elems || words > src.elems) {
-    throw std::invalid_argument("dma_copy: bad word count");
+    fail("dma_copy(" + src.name + "->" + dst.name + "): word count " +
+         std::to_string(words) + " exceeds a buffer (dst " +
+         std::to_string(dst.elems) + ", src " + std::to_string(src.elems) +
+         " elems)");
   }
   Stmt s;
   s.kind = Stmt::Kind::DmaCopy;
@@ -186,6 +192,12 @@ KernelSpec KernelBuilder::build() {
   spec_.body = std::move(stack_.back());
   stack_.clear();
   return std::move(spec_);
+}
+
+void KernelBuilder::fail(const std::string& what) const {
+  throw std::invalid_argument(
+      "kernel '" + (spec_.name.empty() ? "<unnamed>" : spec_.name) + "': " +
+      what);
 }
 
 void KernelBuilder::append(StmtP stmt) {

@@ -107,6 +107,10 @@ class KernelBuilder {
   void emit_for(const std::string& var, Val lo, Val hi, const LoopBody& fn,
                 std::int32_t step, bool parallel,
                 Schedule schedule = Schedule::Chunked);
+  /// Throw std::invalid_argument naming the kernel under construction,
+  /// so a misuse surfaced while generating hundreds of kernels says
+  /// which one it came from.
+  [[noreturn]] void fail(const std::string& what) const;
 
   KernelSpec spec_;
   DType elem_;

@@ -229,6 +229,12 @@ bool stmt_has_side_effects(const Stmt& s) {
 
 std::vector<kir::Diagnostic> validate_spec_diags(const KernelSpec& spec) {
   Checker checker;
+  if (spec.name.empty()) {
+    // An unnamed kernel would lower fine but cannot be keyed by the
+    // registry, the artifact store, or a generated-corpus manifest.
+    checker.diags.push_back({kir::Severity::Error, "spmd", "", -1,
+                             "kernel has no name"});
+  }
   std::set<std::string> top;
   checker.walk(spec.body, Ctx::Replicated, top);
   return std::move(checker.diags);
@@ -238,7 +244,9 @@ std::string validate_spec(const KernelSpec& spec) {
   const std::vector<kir::Diagnostic> diags = validate_spec_diags(spec);
   if (diags.empty()) return {};
   const kir::Diagnostic& d = diags.front();
-  std::string out = "kernel " + spec.name + ": " + d.message;
+  std::string out =
+      "kernel " + (spec.name.empty() ? "<unnamed>" : spec.name) + ": " +
+      d.message;
   if (!d.location.empty()) out += " [at " + d.location + "]";
   return out;
 }

@@ -1,0 +1,421 @@
+#include "gen/admit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/artifacts.hpp"
+#include "core/parallel.hpp"
+#include "dsl/lower.hpp"
+#include "dsl/validate.hpp"
+#include "kir/costmodel.hpp"
+#include "kir/verify.hpp"
+
+namespace pulpc::gen {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Collapse a (possibly multi-line) diagnostic into one audit-log line.
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+const char* types_name(kernels::TypeSupport t) {
+  switch (t) {
+    case kernels::TypeSupport::IntOnly: return "i32";
+    case kernels::TypeSupport::FloatOnly: return "f32";
+    case kernels::TypeSupport::Both: return "both";
+  }
+  return "?";
+}
+
+kernels::TypeSupport types_from(const std::string& s) {
+  if (s == "i32") return kernels::TypeSupport::IntOnly;
+  if (s == "f32") return kernels::TypeSupport::FloatOnly;
+  if (s == "both") return kernels::TypeSupport::Both;
+  throw std::runtime_error("gen manifest: bad type support '" + s + "'");
+}
+
+/// Quantized static cost profile: log-bucketed 1-core work, speedup
+/// shape, and the barrier / contention / DMA fractions of the max-core
+/// bound, plus the analyzer's argmin-energy core count. Two candidates
+/// landing in the same bucket are cost-model near-clones; the second
+/// one adds no label-relevant variety, so DedupeProfile drops it.
+std::string cost_bucket(const kir::CostReport& cost, unsigned max_cores) {
+  const kir::ConfigCost* c1 = cost.config(1);
+  const kir::ConfigCost* cn = cost.config(max_cores);
+  if (c1 == nullptr || cn == nullptr) return "p?";
+  const double hi1 = static_cast<double>(std::max<long long>(1, c1->cycles.hi));
+  const double hin = static_cast<double>(std::max<long long>(1, cn->cycles.hi));
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "p%ld.%ld.%ld.%ld.%ld.c%u",
+                std::lround(4.0 * std::log2(hi1)),
+                std::lround(8.0 * std::log2(hi1 / hin)),
+                std::lround(16.0 * static_cast<double>(cn->barrier_cycles) / hin),
+                std::lround(16.0 * static_cast<double>(cn->contention_hi) / hin),
+                std::lround(16.0 * static_cast<double>(cn->dma_wait.hi) / hin),
+                cost.best_cores_by_energy_hi());
+  return buf;
+}
+
+/// Pick the diagnostic that rejected: first error, else first warning.
+std::string first_failure(const kir::VerifyReport& rep) {
+  for (const kir::Diagnostic& d : rep.diags) {
+    if (d.severity == kir::Severity::Error) return one_line(d.to_string());
+  }
+  for (const kir::Diagnostic& d : rep.diags) {
+    if (d.severity == kir::Severity::Warning) return one_line(d.to_string());
+  }
+  return "verification failed";
+}
+
+/// validate -> lower -> verify for one concrete kernel; fills the
+/// verdict's stage/detail on rejection and hands back the lowered
+/// program on success (for the analyze stage and hashing).
+bool gate_compile(const dsl::KernelSpec& ks, const AdmitOptions& opt,
+                  KernelVerdict& v, std::optional<kir::Program>& prog) {
+  const std::vector<kir::Diagnostic> vd = dsl::validate_spec_diags(ks);
+  if (!vd.empty()) {
+    v.stage = Stage::Validate;
+    v.detail = one_line(vd.front().to_string());
+    return false;
+  }
+  try {
+    prog.emplace(dsl::lower(ks));
+  } catch (const std::exception& e) {
+    v.stage = Stage::Lower;
+    v.detail = one_line(e.what());
+    return false;
+  }
+  kir::VerifyOptions vo;
+  vo.max_cores = static_cast<int>(opt.max_cores);
+  const kir::VerifyReport rep = kir::verify_program(*prog, vo);
+  if (rep.errors() > 0 || (opt.werror && rep.warnings() > 0)) {
+    v.stage = Stage::Verify;
+    v.detail = first_failure(rep);
+    return false;
+  }
+  return true;
+}
+
+/// analyze_cost gates over an already-compiled kernel: bounded bounds,
+/// non-degenerate work, parallel region; fills hash/bucket on admission.
+void gate_analyze(const dsl::KernelSpec& ks, const kir::Program& prog,
+                  const GenSpec& gates, const AdmitOptions& opt,
+                  KernelVerdict& v) {
+  kir::CostParams params;
+  params.max_cores = opt.max_cores;
+  const kir::CostReport cost = kir::analyze_cost(prog, params);
+  for (const kir::ConfigCost& cfg : cost.configs) {
+    if (!cfg.bounded) {
+      v.stage = Stage::Analyze;
+      v.detail =
+          "statically unbounded cycle bound at n=" + std::to_string(cfg.cores);
+      return;
+    }
+  }
+  const kir::ConfigCost* c1 = cost.config(1);
+  v.cycles_hi1 = c1 != nullptr ? c1->cycles.hi : 0;
+  if (v.cycles_hi1 < gates.min_cycles) {
+    v.stage = Stage::Analyze;
+    v.detail = "degenerate: 1-core cycle bound " +
+               std::to_string(v.cycles_hi1) + " < min_cycles " +
+               std::to_string(gates.min_cycles);
+    return;
+  }
+  if (gates.require_parallel) {
+    bool has_parallel = false;
+    for (const dsl::StmtP& s : ks.body) {
+      if (s && dsl::stmt_contains_parallel(*s)) {
+        has_parallel = true;
+        break;
+      }
+    }
+    if (!has_parallel) {
+      v.stage = Stage::Analyze;
+      v.detail = "no parallel region";
+      return;
+    }
+  }
+  v.best_cores = cost.best_cores_by_energy_hi();
+  v.bucket = cost_bucket(cost, opt.max_cores);
+  v.prog_hash = core::program_hash(prog);
+}
+
+/// Run one candidate through every gate except dedupe (which needs the
+/// whole campaign and runs serially afterwards). Every (dtype, size)
+/// instantiation must compile and verify; the analyze pre-screen, hash
+/// and bucket come from the canonical instantiation (first supported
+/// dtype at the largest size).
+Candidate screen_candidate(const GenSpec& spec, std::uint64_t seed,
+                           std::size_t index, const AdmitOptions& opt) {
+  Candidate c;
+  c.index = index;
+  c.name = kernel_name(seed, index);
+  c.types = kernel_types(spec, seed, index);
+
+  std::vector<kir::DType> dts;
+  if (c.types != kernels::TypeSupport::FloatOnly) {
+    dts.push_back(kir::DType::I32);
+  }
+  if (c.types != kernels::TypeSupport::IntOnly) {
+    dts.push_back(kir::DType::F32);
+  }
+  const std::uint32_t canon_size =
+      *std::max_element(spec.sizes.begin(), spec.sizes.end());
+
+  std::optional<kir::Program> canon;
+  std::optional<dsl::KernelSpec> canon_ks;
+  for (const kir::DType dt : dts) {
+    for (const std::uint32_t size : spec.sizes) {
+      dsl::KernelSpec ks = generate_kernel(spec, seed, index, dt, size);
+      KernelVerdict v;
+      std::optional<kir::Program> prog;
+      if (!gate_compile(ks, opt, v, prog)) {
+        c.stage = v.stage;
+        c.detail = std::move(v.detail);
+        return c;
+      }
+      if (dt == dts.front() && size == canon_size) {
+        canon = std::move(prog);
+        canon_ks = std::move(ks);
+      }
+    }
+  }
+
+  KernelVerdict v;
+  gate_analyze(*canon_ks, *canon, spec, opt, v);
+  c.stage = v.stage;
+  c.detail = std::move(v.detail);
+  c.prog_hash = v.prog_hash;
+  c.bucket = std::move(v.bucket);
+  c.best_cores = v.best_cores;
+  c.cycles_hi1 = v.cycles_hi1;
+  return c;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Canonical instantiation of an admitted kernel, for rendering.
+dsl::KernelSpec canonical_kernel(const GenSpec& spec, std::uint64_t seed,
+                                 const ManifestEntry& e) {
+  const kir::DType dt = e.types == kernels::TypeSupport::FloatOnly
+                            ? kir::DType::F32
+                            : kir::DType::I32;
+  const std::uint32_t size =
+      *std::max_element(spec.sizes.begin(), spec.sizes.end());
+  return generate_kernel(spec, seed, e.index, dt, size);
+}
+
+}  // namespace
+
+const char* to_string(Stage s) noexcept {
+  switch (s) {
+    case Stage::Admitted: return "admitted";
+    case Stage::Validate: return "validate";
+    case Stage::Lower: return "lower";
+    case Stage::Verify: return "verify";
+    case Stage::Analyze: return "analyze";
+    case Stage::DedupeHash: return "dedupe_hash";
+    case Stage::DedupeProfile: return "dedupe_profile";
+  }
+  return "?";
+}
+
+std::size_t CampaignResult::admitted() const noexcept {
+  std::size_t n = 0;
+  for (const Candidate& c : candidates) n += c.admitted() ? 1 : 0;
+  return n;
+}
+
+std::size_t CampaignResult::rejected_at(Stage s) const noexcept {
+  std::size_t n = 0;
+  for (const Candidate& c : candidates) n += c.stage == s ? 1 : 0;
+  return n;
+}
+
+KernelVerdict admit_kernel(const dsl::KernelSpec& ks, const GenSpec& gates,
+                           const AdmitOptions& opt) {
+  KernelVerdict v;
+  std::optional<kir::Program> prog;
+  if (!gate_compile(ks, opt, v, prog)) return v;
+  gate_analyze(ks, *prog, gates, opt, v);
+  return v;
+}
+
+void dedupe_candidates(std::vector<Candidate>& candidates) {
+  std::unordered_set<std::uint64_t> hashes;
+  std::unordered_set<std::string> buckets;
+  for (Candidate& c : candidates) {
+    if (!c.admitted()) continue;
+    if (!hashes.insert(c.prog_hash).second) {
+      c.stage = Stage::DedupeHash;
+      c.detail = "duplicate program hash " + hash_hex(c.prog_hash);
+      continue;
+    }
+    if (!buckets.insert(c.bucket).second) {
+      c.stage = Stage::DedupeProfile;
+      c.detail = "duplicate cost profile " + c.bucket;
+    }
+  }
+}
+
+CampaignResult run_campaign(const GenSpec& spec, std::uint64_t seed,
+                            const AdmitOptions& opt) {
+  CampaignResult result;
+  result.spec = spec;
+  result.seed = seed;
+
+  core::ThreadPool pool(opt.threads);
+  result.candidates = pool.parallel_map<Candidate>(
+      spec.count,
+      [&](std::size_t i) { return screen_candidate(spec, seed, i, opt); });
+
+  // Dedupe serially in candidate order: the admitted set must not depend
+  // on screening completion order.
+  dedupe_candidates(result.candidates);
+  return result;
+}
+
+void write_campaign(const CampaignResult& result, const std::string& dir) {
+  fs::create_directories(fs::path(dir) / "kernels");
+
+  std::ofstream mf(fs::path(dir) / "manifest.txt");
+  if (!mf) throw std::runtime_error("gen: cannot write manifest in " + dir);
+  mf << "pulpc-gen-manifest v1\n";
+  mf << "seed " << result.seed << "\n";
+  mf << "spec " << result.spec.to_string() << "\n";
+  for (const Candidate& c : result.candidates) {
+    if (!c.admitted()) continue;
+    mf << "kernel " << c.index << " " << c.name << " " << types_name(c.types)
+       << " " << hash_hex(c.prog_hash) << " " << c.bucket << "\n";
+  }
+  mf.close();
+
+  std::ofstream rf(fs::path(dir) / "rejects.txt");
+  for (const Candidate& c : result.candidates) {
+    if (c.admitted()) continue;
+    rf << "reject " << c.index << " " << c.name << " " << to_string(c.stage)
+       << " " << c.detail << "\n";
+  }
+  rf.close();
+
+  for (const Candidate& c : result.candidates) {
+    if (!c.admitted()) continue;
+    ManifestEntry e;
+    e.index = c.index;
+    e.name = c.name;
+    e.types = c.types;
+    const dsl::KernelSpec ks = canonical_kernel(result.spec, result.seed, e);
+    std::ofstream kf(fs::path(dir) / "kernels" / (c.name + ".pk"));
+    kf << render(ks);
+  }
+}
+
+Manifest read_manifest(const std::string& dir) {
+  const fs::path path = fs::path(dir) / "manifest.txt";
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("gen: cannot open manifest " + path.string());
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "pulpc-gen-manifest v1") {
+    throw std::runtime_error("gen: bad manifest header in " + path.string());
+  }
+  Manifest m;
+  bool have_seed = false;
+  bool have_spec = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "seed") {
+      ls >> m.seed;
+      have_seed = true;
+    } else if (tag == "spec") {
+      std::string rest;
+      std::getline(ls, rest);
+      const std::size_t b = rest.find_first_not_of(' ');
+      m.spec = GenSpec::parse(b == std::string::npos ? "" : rest.substr(b));
+      have_spec = true;
+    } else if (tag == "kernel") {
+      ManifestEntry e;
+      std::string types;
+      std::string hash;
+      ls >> e.index >> e.name >> types >> hash >> e.bucket;
+      if (ls.fail() || e.name.empty()) {
+        throw std::runtime_error("gen: bad manifest entry: " + line);
+      }
+      e.types = types_from(types);
+      e.prog_hash = std::stoull(hash, nullptr, 16);
+      m.kernels.push_back(std::move(e));
+    } else {
+      throw std::runtime_error("gen: unknown manifest line: " + line);
+    }
+  }
+  if (!have_seed || !have_spec) {
+    throw std::runtime_error("gen: manifest missing seed/spec in " +
+                             path.string());
+  }
+  return m;
+}
+
+Manifest install_generated(const std::string& dir) {
+  Manifest m = read_manifest(dir);
+  // Replace, don't stack: loading a second corpus drops the first.
+  kernels::clear_runtime_kernels();
+  std::vector<kernels::KernelInfo> infos;
+  infos.reserve(m.kernels.size());
+  for (const ManifestEntry& e : m.kernels) {
+    kernels::KernelInfo ki;
+    ki.name = e.name;
+    ki.suite = "generated";
+    ki.types = e.types;
+    const GenSpec spec = m.spec;
+    const std::uint64_t seed = m.seed;
+    const std::size_t index = e.index;
+    ki.factory = [spec, seed, index](kir::DType dt, std::uint32_t size) {
+      return generate_kernel(spec, seed, index, dt, size);
+    };
+    infos.push_back(std::move(ki));
+  }
+  kernels::register_runtime_kernels(std::move(infos));
+  return m;
+}
+
+std::vector<core::SampleConfig> generated_configs(const Manifest& m) {
+  std::vector<core::SampleConfig> configs;
+  for (const ManifestEntry& e : m.kernels) {
+    for (const kir::DType dt : {kir::DType::I32, kir::DType::F32}) {
+      if (e.types == kernels::TypeSupport::IntOnly && dt != kir::DType::I32) {
+        continue;
+      }
+      if (e.types == kernels::TypeSupport::FloatOnly &&
+          dt != kir::DType::F32) {
+        continue;
+      }
+      for (const std::uint32_t size : m.spec.sizes) {
+        configs.push_back({e.name, dt, size});
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace pulpc::gen

@@ -1,0 +1,156 @@
+// Admission pipeline for generated kernels, and the campaign driver.
+//
+// A campaign draws `spec.count` candidates from the generator and pushes
+// each through the same gates the hand-written dataset kernels must pass:
+//
+//   dsl::validate_spec_diags  (SPMD semantics)
+//     -> dsl::lower           (compiles; resource limits hold)
+//     -> kir::verify_program  (barrier / race / bounds / reguse; warnings
+//                              reject under werror, notes never do)
+//     -> kir::analyze_cost    (statically bounded, non-degenerate work,
+//                              contains a parallel region)
+//
+// at every (dtype, size) instantiation the corpus will build, then
+// deduplicates survivors — first by exact lowered-program hash
+// (core::program_hash), then by a quantized static cost profile, so the
+// corpus does not fill up with cost-model near-clones that teach the
+// classifier nothing. Screening fans out over a core::ThreadPool;
+// admission decisions are made serially in candidate order, so the
+// admitted set is identical for every thread count.
+//
+// An admitted corpus is persisted as a manifest (seed + spec + admitted
+// entries) plus one canonical rendering per kernel. Loading a manifest
+// re-registers the kernels by *regenerating* them from (spec, seed,
+// index) — the generator's determinism contract makes the manifest a
+// complete description, no DSL serialisation needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "gen/generator.hpp"
+#include "gen/spec.hpp"
+
+namespace pulpc::gen {
+
+/// Admission outcome: Admitted, or the first gate that rejected.
+enum class Stage : std::uint8_t {
+  Admitted,
+  Validate,       ///< dsl::validate_spec_diags violation
+  Lower,          ///< dsl::lower threw
+  Verify,         ///< kir::verify_program error (or warning under werror)
+  Analyze,        ///< unbounded / degenerate / no parallel region
+  DedupeHash,     ///< exact duplicate of an earlier admitted program
+  DedupeProfile,  ///< same quantized cost profile as an earlier admission
+};
+
+[[nodiscard]] const char* to_string(Stage s) noexcept;
+
+/// Screening verdict for one candidate index.
+struct Candidate {
+  std::size_t index = 0;
+  std::string name;
+  kernels::TypeSupport types = kernels::TypeSupport::Both;
+  Stage stage = Stage::Admitted;
+  std::string detail;  ///< first diagnostic / reason when rejected
+  std::uint64_t prog_hash = 0;  ///< canonical-instantiation program hash
+  std::string bucket;           ///< quantized cost-profile bucket
+  unsigned best_cores = 0;      ///< analyzer argmin-energy core count
+  long long cycles_hi1 = 0;     ///< 1-core static cycle upper bound
+
+  [[nodiscard]] bool admitted() const noexcept {
+    return stage == Stage::Admitted;
+  }
+};
+
+struct AdmitOptions {
+  /// Reject on verifier warnings, not just errors (notes never reject).
+  bool werror = true;
+  unsigned max_cores = 8;
+  /// Screening worker threads; 0 resolves via PULPC_THREADS.
+  unsigned threads = 0;
+};
+
+/// Gate verdict for one concrete kernel (admission funnel without the
+/// campaign-level dedupe stages).
+struct KernelVerdict {
+  Stage stage = Stage::Admitted;
+  std::string detail;
+  std::uint64_t prog_hash = 0;
+  std::string bucket;
+  unsigned best_cores = 0;
+  long long cycles_hi1 = 0;
+};
+
+/// Push one concrete kernel through every per-kernel admission gate:
+/// dsl::validate_spec_diags -> dsl::lower -> kir::verify_program ->
+/// kir::analyze_cost (+ the spec's min_cycles / require_parallel gates).
+/// `gates` supplies the analyze thresholds; on admission the verdict
+/// carries the program hash and cost-profile bucket used for dedupe.
+/// Exposed so tests can drive hand-built defective kernels through the
+/// exact funnel the campaign uses.
+[[nodiscard]] KernelVerdict admit_kernel(const dsl::KernelSpec& ks,
+                                         const GenSpec& gates,
+                                         const AdmitOptions& opt = {});
+
+/// Campaign-order dedupe over screened candidates: an admitted candidate
+/// whose program hash was already admitted drops to DedupeHash, then one
+/// whose cost bucket was already admitted drops to DedupeProfile.
+/// Deterministic: runs in candidate order regardless of screening order.
+void dedupe_candidates(std::vector<Candidate>& candidates);
+
+struct CampaignResult {
+  GenSpec spec;
+  std::uint64_t seed = 0;
+  /// Every candidate in index order (admitted and rejected).
+  std::vector<Candidate> candidates;
+
+  [[nodiscard]] std::size_t admitted() const noexcept;
+  [[nodiscard]] std::size_t rejected_at(Stage s) const noexcept;
+};
+
+/// Draw and screen spec.count candidates. Deterministic in (spec, seed):
+/// thread count only affects wall-clock.
+[[nodiscard]] CampaignResult run_campaign(const GenSpec& spec,
+                                          std::uint64_t seed,
+                                          const AdmitOptions& opt = {});
+
+// ---- corpus persistence -------------------------------------------------
+
+/// One admitted kernel in a manifest.
+struct ManifestEntry {
+  std::size_t index = 0;
+  std::string name;
+  kernels::TypeSupport types = kernels::TypeSupport::Both;
+  std::uint64_t prog_hash = 0;
+  std::string bucket;
+};
+
+struct Manifest {
+  GenSpec spec;
+  std::uint64_t seed = 0;
+  std::vector<ManifestEntry> kernels;
+};
+
+/// Write `dir/manifest.txt` plus one canonical rendering per admitted
+/// kernel under `dir/kernels/<name>.pk` and a `dir/rejects.txt` audit of
+/// every rejection (stage + first diagnostic). Creates `dir`.
+void write_campaign(const CampaignResult& result, const std::string& dir);
+
+/// Parse `dir/manifest.txt`. Throws std::runtime_error on missing or
+/// malformed manifests.
+[[nodiscard]] Manifest read_manifest(const std::string& dir);
+
+/// Read the manifest in `dir` and register every admitted kernel with the
+/// kernel registry (suite "generated"), regenerating each from
+/// (spec, seed, index) on demand. Returns the manifest.
+Manifest install_generated(const std::string& dir);
+
+/// Dataset configurations of an installed corpus: every admitted kernel x
+/// supported element types x the spec's problem sizes.
+[[nodiscard]] std::vector<core::SampleConfig> generated_configs(
+    const Manifest& m);
+
+}  // namespace pulpc::gen

@@ -1,0 +1,709 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "dsl/builder.hpp"
+#include "kernels/common.hpp"
+
+namespace pulpc::gen {
+
+namespace {
+
+using dsl::Buf;
+using dsl::InitKind;
+using dsl::KernelBuilder;
+using dsl::Val;
+using kir::DType;
+using kir::MemSpace;
+
+/// splitmix64 finaliser, used to hash (seed, index) into an independent
+/// per-candidate stream (plain additive offsets would make neighbouring
+/// candidates share a shifted sequence).
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One element-wise compute op of a chain: opcode + a small constant.
+/// The plan is drawn once (dtype-independent) and mapped to concrete ops
+/// per element type at emission, so the same candidate stays structurally
+/// identical across i32/f32 instantiations.
+struct ChainOp {
+  int op;
+  int c;
+};
+
+std::vector<ChainOp> draw_chain(Rng& rng, unsigned max_chain,
+                                unsigned cap = 0) {
+  unsigned limit = max_chain;
+  if (cap != 0) limit = std::min(limit, cap);
+  const int len = rng.irange(1, static_cast<std::int32_t>(limit));
+  std::vector<ChainOp> ops;
+  ops.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    ops.push_back({static_cast<int>(rng.range(8)), rng.irange(2, 7)});
+  }
+  return ops;
+}
+
+/// Map one chain op onto the kernel's element type. Clamping ops (min /
+/// max) interleave with the multiplicative ones, so f32 values stay
+/// finite over the longest chains.
+Val chain_step(KernelBuilder& k, const ChainOp& o, Val v) {
+  const bool f = k.elem() == DType::F32;
+  switch (o.op & 7) {
+    case 0: return v + k.ec(o.c);
+    case 1: return v * k.ec(o.c % 3 + 2);
+    case 2: return dsl::vmin(v, k.ec(o.c * 16));
+    case 3: return dsl::vmax(v, k.ec(-o.c));
+    case 4: return v * k.ec(o.c % 2 + 1) + k.ec(o.c);
+    case 5:
+      if (f) return v * k.ec(0.5) + k.ec(o.c);
+      return v ^ (v >> KernelBuilder::ic(o.c % 5 + 1));
+    case 6: return kernels::div_const(k, v, o.c % 5 + 3);
+    default:
+      if (f) return dsl::vsqrt(dsl::vabs(v) + k.ec(1));
+      return (v & KernelBuilder::ic(0x7fff)) % KernelBuilder::ic(o.c % 7 + 3);
+  }
+}
+
+/// Apply a chain to scalar `v` (declared with decl()) as one assignment
+/// per op — keeps the lowered code linear in chain length instead of
+/// duplicating subtrees.
+void chain_stmts(KernelBuilder& k, const std::vector<ChainOp>& ops, Val v) {
+  for (const ChainOp& o : ops) k.assign(v, chain_step(k, o, v));
+}
+
+/// Per-segment emission context. `n` is the per-buffer element budget
+/// (the kernel's byte footprint split over segments and streams, like the
+/// hand-written kernels' len1()).
+struct Ctx {
+  const GenSpec& spec;
+  KernelBuilder& k;
+  Rng& rng;
+  int seg = 0;
+  std::uint32_t n = 0;
+
+  /// Segment-scoped scalar / buffer name ("s<seg>_<base>").
+  [[nodiscard]] std::string nm(const char* base) const {
+    std::string s = "s";
+    s += std::to_string(seg);
+    s += '_';
+    s += base;
+    return s;
+  }
+  /// Segment-scoped loop-variable name ("<base><seg>").
+  [[nodiscard]] std::string lv(const char* base) const {
+    return std::string(base) + std::to_string(seg);
+  }
+};
+
+/// Parallel loop over [lo, hi), chunked or cyclic per the draw.
+void pfor(Ctx& c, const char* var, std::uint32_t lo, std::uint32_t hi,
+          bool cyclic, const KernelBuilder::LoopBody& fn) {
+  const Val l = KernelBuilder::ic(static_cast<std::int32_t>(lo));
+  const Val h = KernelBuilder::ic(static_cast<std::int32_t>(hi));
+  if (cyclic) {
+    c.k.par_for_cyclic(c.lv(var), l, h, fn);
+  } else {
+    c.k.par_for(c.lv(var), l, h, fn);
+  }
+}
+
+// ---- pattern emitters ---------------------------------------------------
+// Every emitter draws its whole plan from c.rng up front; the only values
+// allowed to depend on the instantiation size are pure clamps of already
+// drawn numbers, so the draw sequence is identical across (dtype, size).
+
+/// Strided streaming map: 1-2 input streams, optional L2 input, optional
+/// data-dependent branch, chunked or cyclic schedule.
+void emit_stream(Ctx& c, bool l2_forced) {
+  KernelBuilder& k = c.k;
+  const int streams = c.rng.irange(1, 2);
+  const std::uint32_t stride_sel = c.rng.range(5);
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+  const bool branch = c.rng.chance(c.spec.p_branch);
+  const bool l2in = l2_forced || c.rng.chance(c.spec.p_l2);
+  const std::vector<ChainOp> ops = draw_chain(c.rng, c.spec.max_chain);
+
+  const std::uint32_t strides[5] = {1, 2, 4, 8, c.spec.max_stride};
+  const std::uint32_t stride =
+      std::min(strides[stride_sel], std::max(1U, c.n / 4));
+  const std::uint32_t nit = c.n / stride;
+
+  const Buf in0 = k.buffer(c.nm("in0"), c.n, InitKind::Random,
+                           l2in ? MemSpace::L2 : MemSpace::Tcdm);
+  Buf in1;
+  if (streams == 2) in1 = k.buffer(c.nm("in1"), c.n);
+  const Buf out = k.buffer(c.nm("out"), c.n, InitKind::Zero);
+
+  pfor(c, "i", 0, nit, cyclic, [&](Val i) {
+    const Val j =
+        stride == 1
+            ? i
+            : k.decl(c.nm("j"),
+                     i * KernelBuilder::ic(static_cast<std::int32_t>(stride)));
+    Val init = k.load(in0, j);
+    if (streams == 2) init = init + k.load(in1, j);
+    const Val v = k.decl(c.nm("v"), init);
+    chain_stmts(k, ops, v);
+    if (branch) {
+      k.if_else(
+          k.load(in0, j) > k.ec(0), [&] { k.store(out, j, v); },
+          [&] { k.store(out, j, v + k.ec(1)); });
+    } else {
+      k.store(out, j, v);
+    }
+  });
+}
+
+/// 1-D stencil of radius 1..max_radius with drawn coefficients.
+void emit_stencil(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const int r = c.rng.irange(1, static_cast<std::int32_t>(c.spec.max_radius));
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+  std::vector<int> coeff;
+  coeff.reserve(static_cast<std::size_t>(r) + 1);
+  for (int d = 0; d <= r; ++d) coeff.push_back(c.rng.irange(1, 5));
+
+  const std::uint32_t n = std::max(c.n, static_cast<std::uint32_t>(2 * r + 8));
+  const Buf a = k.buffer(c.nm("a"), n);
+  const Buf b = k.buffer(c.nm("b"), n, InitKind::Zero);
+
+  pfor(c, "i", static_cast<std::uint32_t>(r), n - static_cast<std::uint32_t>(r),
+       cyclic, [&](Val i) {
+         const Val acc = k.decl(c.nm("acc"), k.ec(coeff[0]) * k.load(a, i));
+         for (int d = 1; d <= r; ++d) {
+           const Val dd = KernelBuilder::ic(d);
+           k.assign(acc, acc + k.ec(coeff[static_cast<std::size_t>(d)]) *
+                                   (k.load(a, i + dd) + k.load(a, i - dd)));
+         }
+         k.store(b, i, acc);
+       });
+}
+
+/// Data-dependent gather through an i32 index array (idx[i] % n).
+void emit_gather(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const bool l2 = c.rng.chance(c.spec.p_l2);
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+  const std::vector<ChainOp> ops = draw_chain(c.rng, c.spec.max_chain, 4);
+
+  const Buf idx =
+      k.buffer_of(c.nm("idx"), DType::I32, c.n, InitKind::RandomPos);
+  const Buf x = k.buffer(c.nm("x"), c.n, InitKind::Random,
+                         l2 ? MemSpace::L2 : MemSpace::Tcdm);
+  const Buf out = k.buffer(c.nm("out"), c.n, InitKind::Zero);
+
+  pfor(c, "i", 0, c.n, cyclic, [&](Val i) {
+    const Val j =
+        k.decl(c.nm("j"), k.load(idx, i) %
+                              KernelBuilder::ic(static_cast<std::int32_t>(c.n)));
+    const Val v = k.decl(c.nm("v"), k.load(x, j) + k.load(x, i));
+    chain_stmts(k, ops, v);
+    k.store(out, i, v);
+  });
+}
+
+/// Scatter through an affine permutation: out[(i*mult + off) % n2] with
+/// odd `mult` and power-of-two `n2`, a bijection the race verifier can
+/// prove write-disjoint.
+void emit_scatter(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const std::int32_t mult = 2 * c.rng.irange(1, 7) + 1;
+  const std::uint32_t off_draw = c.rng.range(1024);
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+  const std::vector<ChainOp> ops = draw_chain(c.rng, c.spec.max_chain, 3);
+
+  std::uint32_t n2 = 8;
+  while (n2 * 2 <= c.n) n2 *= 2;
+  const std::int32_t off = static_cast<std::int32_t>(off_draw % n2);
+
+  const Buf in = k.buffer(c.nm("in"), n2);
+  const Buf out = k.buffer(c.nm("out"), n2, InitKind::Zero);
+
+  pfor(c, "i", 0, n2, cyclic, [&](Val i) {
+    const Val j = k.decl(
+        c.nm("j"), (i * KernelBuilder::ic(mult) + KernelBuilder::ic(off)) %
+                       KernelBuilder::ic(static_cast<std::int32_t>(n2)));
+    const Val v = k.decl(c.nm("v"), k.load(in, i));
+    chain_stmts(k, ops, v);
+    k.store(out, j, v);
+  });
+}
+
+/// Critical-section reduction; "heavy" variants do the element work
+/// inside the lock (contention-dominated), light ones outside.
+void emit_reduce(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const bool heavy = c.rng.chance(c.spec.p_heavy_critical);
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+  const std::vector<ChainOp> ops = draw_chain(c.rng, c.spec.max_chain, 4);
+
+  const Buf x = k.buffer(c.nm("x"), c.n);
+  const Buf acc = k.buffer(c.nm("acc"), 8, InitKind::Zero);
+  const Val zero = KernelBuilder::ic(0);
+
+  pfor(c, "i", 0, c.n, cyclic, [&](Val i) {
+    const Val v = k.decl(c.nm("v"), k.load(x, i));
+    if (heavy) {
+      k.critical([&] {
+        chain_stmts(k, ops, v);
+        k.store(acc, zero, k.load(acc, zero) + v);
+      });
+    } else {
+      chain_stmts(k, ops, v);
+      k.critical([&] { k.store(acc, zero, k.load(acc, zero) + v); });
+    }
+  });
+}
+
+/// Barrier cadence: a serial phase loop around a parallel sweep — one
+/// fork/barrier per phase, the dominant cost at small n.
+void emit_phases(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const std::int32_t phases =
+      c.rng.irange(2, static_cast<std::int32_t>(c.spec.max_phases));
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+  const std::int32_t scale = c.rng.irange(1, 3);
+
+  const Buf x = k.buffer(c.nm("x"), c.n);
+  const Buf y = k.buffer(c.nm("y"), c.n, InitKind::Zero);
+
+  k.for_(c.lv("t"), KernelBuilder::ic(0), KernelBuilder::ic(phases),
+         [&](Val t) {
+           pfor(c, "i", 0, c.n, cyclic, [&](Val i) {
+             k.store(y, i,
+                     k.load(y, i) + k.load(x, i) * k.ec(scale) + k.to_elem(t));
+           });
+         });
+}
+
+/// Triangular nest: parallel outer row loop, inner loop over j <= i —
+/// either with a data-dependent bound or rectangularised with a guard.
+/// Both forms have the characteristic per-core load imbalance.
+void emit_triangular(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const std::int32_t m_draw =
+      c.rng.irange(16, static_cast<std::int32_t>(c.spec.tri_cap));
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+  const bool guarded = c.rng.chance(0.5);
+
+  const std::uint32_t m =
+      std::min(static_cast<std::uint32_t>(m_draw), std::max(8U, c.n));
+  const Buf a = k.buffer(c.nm("a"), std::max(8U, m));
+  const Buf out = k.buffer(c.nm("out"), std::max(8U, m), InitKind::Zero);
+  const std::int32_t mi = static_cast<std::int32_t>(m);
+
+  pfor(c, "i", 0, m, cyclic, [&](Val i) {
+    const Val acc = k.decl(c.nm("acc"), k.ec(0));
+    if (guarded) {
+      k.for_(c.lv("j"), KernelBuilder::ic(0), KernelBuilder::ic(mi),
+             [&](Val j) {
+               k.if_(j <= i, [&] { k.assign(acc, acc + k.load(a, j)); });
+             });
+    } else {
+      k.for_(c.lv("j"), KernelBuilder::ic(0), i + KernelBuilder::ic(1),
+             [&](Val j) { k.assign(acc, acc + k.load(a, j)); });
+    }
+    k.store(out, i, acc);
+  });
+}
+
+/// Tiled sweep: serial tile loop around a parallel intra-tile loop,
+/// optionally transposing the output (strided stores).
+void emit_tiled(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const std::uint32_t tiles[3] = {8, 16, 32};
+  const std::uint32_t tile_sel = c.rng.range(3);
+  const bool transpose = c.rng.chance(0.5);
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+  const std::vector<ChainOp> ops = draw_chain(c.rng, c.spec.max_chain, 4);
+
+  const std::uint32_t tile = std::min(tiles[tile_sel], std::max(8U, c.n / 2));
+  const std::uint32_t rows = std::max(1U, c.n / tile);
+  const std::uint32_t total = rows * tile;
+
+  const Buf in = k.buffer(c.nm("in"), std::max(8U, total));
+  const Buf out = k.buffer(c.nm("out"), std::max(8U, total), InitKind::Zero);
+
+  k.for_(c.lv("t"), KernelBuilder::ic(0),
+         KernelBuilder::ic(static_cast<std::int32_t>(rows)), [&](Val t) {
+           pfor(c, "j", 0, tile, cyclic, [&](Val j) {
+             const Val idx = k.decl(
+                 c.nm("idx"),
+                 t * KernelBuilder::ic(static_cast<std::int32_t>(tile)) + j);
+             const Val v = k.decl(c.nm("v"), k.load(in, idx));
+             chain_stmts(k, ops, v);
+             if (transpose) {
+               k.store(out,
+                       j * KernelBuilder::ic(static_cast<std::int32_t>(rows)) +
+                           t,
+                       v);
+             } else {
+               k.store(out, idx, v);
+             }
+           });
+         });
+}
+
+/// Lock contention storm: every iteration bounces the cluster lock.
+void emit_crit_storm(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const std::int32_t rounds = 32 * c.rng.irange(1, 4);
+  const bool heavy = c.rng.chance(c.spec.p_heavy_critical);
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+
+  const Buf cnt = k.buffer(c.nm("cnt"), 8, InitKind::Zero);
+  const Val zero = KernelBuilder::ic(0);
+  const Val one = KernelBuilder::ic(1);
+
+  pfor(c, "i", 0, static_cast<std::uint32_t>(rounds), cyclic, [&](Val) {
+    k.critical([&] {
+      k.store(cnt, zero, k.load(cnt, zero) + k.ec(1));
+      if (heavy) {
+        k.store(cnt, one, k.load(cnt, one) + k.load(cnt, zero));
+      }
+    });
+  });
+}
+
+/// DMA stream from L2: single-buffered (copy, wait, process) or
+/// double-buffered ping-pong (second copy in flight during compute).
+void emit_dma(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const bool dbl = c.rng.chance(c.spec.p_double_buffer);
+  const std::vector<ChainOp> ops = draw_chain(c.rng, c.spec.max_chain, 4);
+
+  const std::uint32_t w = std::max(8U, c.n / 2);
+  const Buf big = k.buffer(c.nm("big"), 2 * w, InitKind::Random, MemSpace::L2);
+
+  if (!dbl) {
+    const Buf buf = k.buffer(c.nm("buf"), w);
+    const Buf out = k.buffer(c.nm("out"), w, InitKind::Zero);
+    k.dma_copy(buf, big, w);
+    k.dma_wait();
+    pfor(c, "i", 0, w, false, [&](Val i) {
+      const Val v = k.decl(c.nm("v"), k.load(buf, i));
+      chain_stmts(k, ops, v);
+      k.store(out, i, v);
+    });
+    return;
+  }
+
+  const Buf b0 = k.buffer(c.nm("b0"), w);
+  const Buf b1 = k.buffer(c.nm("b1"), w);
+  const Buf out = k.buffer(c.nm("out"), 2 * w, InitKind::Zero);
+  const Val wv = KernelBuilder::ic(static_cast<std::int32_t>(w));
+  k.dma_copy(b0, big, w);
+  k.dma_wait();
+  k.dma_copy(b1, big, w);
+  pfor(c, "i", 0, w, false, [&](Val i) {
+    const Val v = k.decl(c.nm("v"), k.load(b0, i));
+    chain_stmts(k, ops, v);
+    k.store(out, i, v);
+  });
+  k.dma_wait();
+  pfor(c, "i2", 0, w, false, [&](Val i) {
+    const Val v = k.decl(c.nm("w"), k.load(b1, i));
+    chain_stmts(k, ops, v);
+    k.store(out, i + wv, v);
+  });
+}
+
+/// Pure integer compute: a serial op-chain loop per element, minimal
+/// memory traffic (compute-bound end of the spectrum).
+void emit_compute(Ctx& c) {
+  KernelBuilder& k = c.k;
+  const std::int32_t rounds = c.rng.irange(4, 16);
+  const std::int32_t m1 = c.rng.irange(3, 9);
+  const std::int32_t a1 = c.rng.irange(1, 255);
+  const std::int32_t sh = c.rng.irange(1, 7);
+  const bool cyclic = c.rng.chance(c.spec.p_cyclic);
+
+  const Buf y = k.buffer(c.nm("y"), c.n, InitKind::Zero);
+
+  pfor(c, "i", 0, c.n, cyclic, [&](Val i) {
+    const Val v = k.decl(c.nm("v"), i + KernelBuilder::ic(1));
+    k.for_(c.lv("r"), KernelBuilder::ic(0), KernelBuilder::ic(rounds),
+           [&](Val) {
+             k.assign(v, (v * KernelBuilder::ic(m1) + KernelBuilder::ic(a1)) ^
+                             (v >> KernelBuilder::ic(sh)));
+           });
+    k.store(y, i, k.to_elem(v));
+  });
+}
+
+void emit_segment(Ctx& c, unsigned pattern) {
+  switch (pattern % 12) {
+    case 0: emit_stream(c, false); break;
+    case 1: emit_stencil(c); break;
+    case 2: emit_gather(c); break;
+    case 3: emit_scatter(c); break;
+    case 4: emit_reduce(c); break;
+    case 5: emit_phases(c); break;
+    case 6: emit_triangular(c); break;
+    case 7: emit_tiled(c); break;
+    case 8: emit_crit_storm(c); break;
+    case 9: emit_dma(c); break;
+    case 10: emit_compute(c); break;
+    default: emit_stream(c, true); break;  // forced-L2 stream
+  }
+}
+
+kernels::TypeSupport draw_types(const GenSpec& spec, Rng& rng) {
+  if (spec.dtypes == "i32") return kernels::TypeSupport::IntOnly;
+  if (spec.dtypes == "f32") return kernels::TypeSupport::FloatOnly;
+  if (spec.dtypes == "both") return kernels::TypeSupport::Both;
+  return rng.chance(0.5) ? kernels::TypeSupport::IntOnly
+                         : kernels::TypeSupport::FloatOnly;
+}
+
+bool supports(kernels::TypeSupport ts, DType t) {
+  if (ts == kernels::TypeSupport::IntOnly) return t == DType::I32;
+  if (ts == kernels::TypeSupport::FloatOnly) return t == DType::F32;
+  return true;
+}
+
+}  // namespace
+
+Rng candidate_rng(std::uint64_t seed, std::size_t index) {
+  return Rng(mix64(seed ^ mix64(static_cast<std::uint64_t>(index) +
+                                0x632be59bd9b4e019ULL)));
+}
+
+std::string kernel_name(std::uint64_t seed, std::size_t index) {
+  std::string s = "g";
+  s += std::to_string(seed);
+  s += '_';
+  s += std::to_string(index);
+  return s;
+}
+
+kernels::TypeSupport kernel_types(const GenSpec& spec, std::uint64_t seed,
+                                  std::size_t index) {
+  Rng rng = candidate_rng(seed, index);
+  return draw_types(spec, rng);
+}
+
+dsl::KernelSpec generate_kernel(const GenSpec& spec, std::uint64_t seed,
+                                std::size_t index, kir::DType dtype,
+                                std::uint32_t size_bytes) {
+  Rng rng = candidate_rng(seed, index);
+  const kernels::TypeSupport ts = draw_types(spec, rng);
+  if (!supports(ts, dtype)) {
+    throw std::invalid_argument("generated kernel " +
+                                kernel_name(seed, index) +
+                                " does not support " +
+                                std::string(kir::to_string(dtype)));
+  }
+
+  KernelBuilder k(kernel_name(seed, index), "generated", dtype, size_bytes);
+  const std::int32_t segments =
+      rng.irange(static_cast<std::int32_t>(spec.min_segments),
+                 static_cast<std::int32_t>(spec.max_segments));
+  // The byte footprint is split across segments and (up to 3) buffers per
+  // segment, mirroring len1() in the hand-written suites.
+  const std::uint32_t per = std::max(
+      16U, kernels::total_elems(size_bytes) /
+               (static_cast<std::uint32_t>(segments) * 3U));
+  for (std::int32_t s = 0; s < segments; ++s) {
+    const unsigned pattern = rng.range(12);
+    Ctx c{spec, k, rng, static_cast<int>(s), per};
+    emit_segment(c, pattern);
+  }
+  return k.build();
+}
+
+// ---- canonical rendering ------------------------------------------------
+
+namespace {
+
+const char* bin_name(dsl::BinOp op) {
+  switch (op) {
+    case dsl::BinOp::Add: return "add";
+    case dsl::BinOp::Sub: return "sub";
+    case dsl::BinOp::Mul: return "mul";
+    case dsl::BinOp::Div: return "div";
+    case dsl::BinOp::Rem: return "rem";
+    case dsl::BinOp::Min: return "min";
+    case dsl::BinOp::Max: return "max";
+    case dsl::BinOp::Shl: return "shl";
+    case dsl::BinOp::Shr: return "shr";
+    case dsl::BinOp::And: return "and";
+    case dsl::BinOp::Or: return "or";
+    case dsl::BinOp::Xor: return "xor";
+    case dsl::BinOp::Lt: return "lt";
+    case dsl::BinOp::Le: return "le";
+    case dsl::BinOp::Gt: return "gt";
+    case dsl::BinOp::Ge: return "ge";
+    case dsl::BinOp::Eq: return "eq";
+    case dsl::BinOp::Ne: return "ne";
+  }
+  return "?";
+}
+
+const char* un_name(dsl::UnOp op) {
+  switch (op) {
+    case dsl::UnOp::Neg: return "neg";
+    case dsl::UnOp::Abs: return "abs";
+    case dsl::UnOp::Sqrt: return "sqrt";
+    case dsl::UnOp::ToF32: return "tof32";
+    case dsl::UnOp::ToI32: return "toi32";
+  }
+  return "?";
+}
+
+const char* init_name(InitKind init) {
+  switch (init) {
+    case InitKind::Zero: return "zero";
+    case InitKind::Ramp: return "ramp";
+    case InitKind::Random: return "random";
+    case InitKind::RandomPos: return "randompos";
+  }
+  return "?";
+}
+
+void render_expr(std::string& out, const dsl::ExprP& e) {
+  if (!e) {
+    out += "(null)";
+    return;
+  }
+  using Kind = dsl::Expr::Kind;
+  switch (e->kind) {
+    case Kind::ConstI:
+      out += "(i " + std::to_string(e->ival) + ")";
+      break;
+    case Kind::ConstF: {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "(f %.9g)", static_cast<double>(e->fval));
+      out += buf;
+      break;
+    }
+    case Kind::Var:
+      out += "(var " + e->name + ")";
+      break;
+    case Kind::Load:
+      out += "(ld " + e->name + " ";
+      render_expr(out, e->a);
+      out += ")";
+      break;
+    case Kind::Bin:
+      out += "(";
+      out += bin_name(e->bop);
+      out += " ";
+      render_expr(out, e->a);
+      out += " ";
+      render_expr(out, e->b);
+      out += ")";
+      break;
+    case Kind::Un:
+      out += "(";
+      out += un_name(e->uop);
+      out += " ";
+      render_expr(out, e->a);
+      out += ")";
+      break;
+    case Kind::CoreId:
+      out += "(core_id)";
+      break;
+    case Kind::NumCores:
+      out += "(num_cores)";
+      break;
+  }
+}
+
+void render_stmts(std::string& out, const std::vector<dsl::StmtP>& body,
+                  int depth) {
+  const auto indent = [&] { out.append(static_cast<std::size_t>(depth) * 2, ' '); };
+  using Kind = dsl::Stmt::Kind;
+  for (const dsl::StmtP& s : body) {
+    if (!s) continue;
+    indent();
+    switch (s->kind) {
+      case Kind::Decl:
+        out += "decl " + s->name + " ";
+        render_expr(out, s->value);
+        out += "\n";
+        break;
+      case Kind::Assign:
+        out += "assign " + s->name + " ";
+        render_expr(out, s->value);
+        out += "\n";
+        break;
+      case Kind::Store:
+        out += "store " + s->name + " ";
+        render_expr(out, s->index);
+        out += " ";
+        render_expr(out, s->value);
+        out += "\n";
+        break;
+      case Kind::For:
+        out += s->parallel
+                   ? (s->schedule == dsl::Schedule::Cyclic ? "par_for_cyclic "
+                                                           : "par_for ")
+                   : "for ";
+        out += s->loop_var + " ";
+        render_expr(out, s->lo);
+        out += " ";
+        render_expr(out, s->hi);
+        out += " step " + std::to_string(s->step) + " {\n";
+        render_stmts(out, s->body, depth + 1);
+        indent();
+        out += "}\n";
+        break;
+      case Kind::If:
+        out += "if ";
+        render_expr(out, s->cond);
+        out += " {\n";
+        render_stmts(out, s->body, depth + 1);
+        indent();
+        if (s->else_body.empty()) {
+          out += "}\n";
+        } else {
+          out += "} else {\n";
+          render_stmts(out, s->else_body, depth + 1);
+          indent();
+          out += "}\n";
+        }
+        break;
+      case Kind::Barrier:
+        out += "barrier\n";
+        break;
+      case Kind::Critical:
+        out += "critical {\n";
+        render_stmts(out, s->body, depth + 1);
+        indent();
+        out += "}\n";
+        break;
+      case Kind::DmaCopy:
+        out += "dma_copy " + s->dma_dst + " " + s->dma_src + " " +
+               std::to_string(s->dma_words) + "\n";
+        break;
+      case Kind::DmaWait:
+        out += "dma_wait\n";
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string render(const dsl::KernelSpec& spec) {
+  std::string out = "kernel " + spec.name + " " + spec.suite + " " +
+                    kir::to_string(spec.elem) + " " +
+                    std::to_string(spec.size_bytes) + "\n";
+  for (const dsl::BufferDecl& b : spec.buffers) {
+    out += "buffer " + b.name + " " + kir::to_string(b.elem) + " " +
+           std::to_string(b.elems) + " " + kir::to_string(b.space) + " " +
+           init_name(b.init) + "\n";
+  }
+  render_stmts(out, spec.body, 0);
+  return out;
+}
+
+}  // namespace pulpc::gen

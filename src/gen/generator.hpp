@@ -1,0 +1,89 @@
+// Property-driven kernel generator. Candidate `index` of a campaign is a
+// pure function of (GenSpec, seed, index): every random draw comes from a
+// splitmix64 stream seeded by (seed, index) alone, and neither the
+// element type nor the problem size consumes a draw — so one candidate is
+// the *same kernel* (same structure, same name) at every (dtype, size)
+// instantiation, exactly like the hand-written registry kernels, and a
+// campaign is reproducible from the manifest without storing any DSL.
+//
+// Generated kernels are built from the pattern vocabulary of the paper's
+// custom suite (streaming maps, stencils, gathers, affine-permutation
+// scatters, critical-section reductions, barrier-cadenced phase nests,
+// triangular and tiled loop nests, pure compute chains, L2 streams, DMA
+// single/double buffering), with per-pattern knobs (stride, chain depth,
+// schedule flavour, branchiness) drawn from the GenSpec's property space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dsl/ast.hpp"
+#include "gen/spec.hpp"
+#include "kernels/registry.hpp"
+
+namespace pulpc::gen {
+
+/// Deterministic 64-bit PRNG (splitmix64): identical sequences on every
+/// platform, cheap to seed per candidate.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n == 0 returns 0.
+  std::uint32_t range(std::uint32_t n) {
+    return n == 0 ? 0 : static_cast<std::uint32_t>(next() % n);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int32_t irange(std::int32_t lo, std::int32_t hi) {
+    return lo + static_cast<std::int32_t>(
+                    range(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return unit() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// The per-candidate stream: mixes campaign seed and candidate index so
+/// candidates are independent and any subset can be regenerated.
+[[nodiscard]] Rng candidate_rng(std::uint64_t seed, std::size_t index);
+
+/// Stable kernel name of candidate `index` under `seed`: "g<seed>_<index>".
+[[nodiscard]] std::string kernel_name(std::uint64_t seed, std::size_t index);
+
+/// Element-type support of the candidate (the spec's dtypes policy; for
+/// "mixed" each candidate draws one type).
+[[nodiscard]] kernels::TypeSupport kernel_types(const GenSpec& spec,
+                                                std::uint64_t seed,
+                                                std::size_t index);
+
+/// Generate candidate `index` at a concrete (dtype, size) instantiation.
+/// Throws std::invalid_argument when the candidate does not support
+/// `dtype` (see kernel_types).
+[[nodiscard]] dsl::KernelSpec generate_kernel(const GenSpec& spec,
+                                              std::uint64_t seed,
+                                              std::size_t index,
+                                              kir::DType dtype,
+                                              std::uint32_t size_bytes);
+
+/// Canonical text rendering of a kernel spec (buffers + statement tree,
+/// expressions in prefix form). Deterministic and byte-stable: the
+/// determinism property tests hash it, and campaigns write one rendering
+/// per admitted kernel for inspection.
+[[nodiscard]] std::string render(const dsl::KernelSpec& spec);
+
+}  // namespace pulpc::gen

@@ -1,0 +1,177 @@
+#include "gen/spec.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pulpc::gen {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string fmt_sizes(const std::vector<std::uint32_t>& sizes) {
+  std::string out;
+  for (const std::uint32_t s : sizes) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(s);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> parse_sizes(const std::string& v) {
+  std::vector<std::uint32_t> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const long n = std::stol(item);
+    if (n < 64 || n > 1 << 20) {
+      throw std::invalid_argument("gen spec: size out of range: " + item);
+    }
+    out.push_back(static_cast<std::uint32_t>(n));
+  }
+  if (out.empty()) throw std::invalid_argument("gen spec: empty sizes list");
+  return out;
+}
+
+unsigned parse_u(const std::string& key, const std::string& v, unsigned lo,
+                 unsigned hi) {
+  const long n = std::stol(v);
+  if (n < long(lo) || n > long(hi)) {
+    throw std::invalid_argument("gen spec: " + key + " out of range [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]: " + v);
+  }
+  return static_cast<unsigned>(n);
+}
+
+double parse_p(const std::string& key, const std::string& v) {
+  const double p = std::stod(v);
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("gen spec: " + key +
+                                " wants a probability in [0, 1]: " + v);
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string GenSpec::to_string() const {
+  std::string out;
+  const auto kv = [&](const char* k, const std::string& v) {
+    if (!out.empty()) out += ';';
+    out += k;
+    out += '=';
+    out += v;
+  };
+  kv("count", std::to_string(count));
+  kv("sizes", fmt_sizes(sizes));
+  kv("dtypes", dtypes);
+  kv("min_segments", std::to_string(min_segments));
+  kv("max_segments", std::to_string(max_segments));
+  kv("max_chain", std::to_string(max_chain));
+  kv("max_phases", std::to_string(max_phases));
+  kv("max_stride", std::to_string(max_stride));
+  kv("max_radius", std::to_string(max_radius));
+  kv("tri_cap", std::to_string(tri_cap));
+  kv("p_cyclic", fmt_double(p_cyclic));
+  kv("p_branch", fmt_double(p_branch));
+  kv("p_l2", fmt_double(p_l2));
+  kv("p_double_buffer", fmt_double(p_double_buffer));
+  kv("p_heavy_critical", fmt_double(p_heavy_critical));
+  kv("min_cycles", std::to_string(min_cycles));
+  kv("require_parallel", require_parallel ? "1" : "0");
+  return out;
+}
+
+GenSpec GenSpec::parse(const std::string& text) {
+  GenSpec spec;
+  std::string token;
+  const auto apply = [&spec](const std::string& pair) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("gen spec: expected key=value, got '" +
+                                  pair + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string val = pair.substr(eq + 1);
+    if (key == "count") {
+      spec.count = parse_u(key, val, 1, 1 << 20);
+    } else if (key == "sizes") {
+      spec.sizes = parse_sizes(val);
+    } else if (key == "dtypes") {
+      if (val != "mixed" && val != "i32" && val != "f32" && val != "both") {
+        throw std::invalid_argument(
+            "gen spec: dtypes wants mixed|i32|f32|both, got '" + val + "'");
+      }
+      spec.dtypes = val;
+    } else if (key == "min_segments") {
+      spec.min_segments = parse_u(key, val, 1, 8);
+    } else if (key == "max_segments") {
+      spec.max_segments = parse_u(key, val, 1, 8);
+    } else if (key == "max_chain") {
+      spec.max_chain = parse_u(key, val, 1, 64);
+    } else if (key == "max_phases") {
+      spec.max_phases = parse_u(key, val, 1, 32);
+    } else if (key == "max_stride") {
+      spec.max_stride = parse_u(key, val, 1, 64);
+    } else if (key == "max_radius") {
+      spec.max_radius = parse_u(key, val, 1, 8);
+    } else if (key == "tri_cap") {
+      spec.tri_cap = parse_u(key, val, 8, 512);
+    } else if (key == "p_cyclic") {
+      spec.p_cyclic = parse_p(key, val);
+    } else if (key == "p_branch") {
+      spec.p_branch = parse_p(key, val);
+    } else if (key == "p_l2") {
+      spec.p_l2 = parse_p(key, val);
+    } else if (key == "p_double_buffer") {
+      spec.p_double_buffer = parse_p(key, val);
+    } else if (key == "p_heavy_critical") {
+      spec.p_heavy_critical = parse_p(key, val);
+    } else if (key == "min_cycles") {
+      spec.min_cycles = parse_u(key, val, 0, 1U << 30);
+    } else if (key == "require_parallel") {
+      spec.require_parallel = val != "0" && val != "false";
+    } else {
+      throw std::invalid_argument("gen spec: unknown key '" + key + "'");
+    }
+  };
+  // Accept ';' and newline separated pairs; '#' comments out the rest of
+  // the line, surrounding whitespace is trimmed per pair.
+  std::stringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::stringstream parts(line);
+    while (std::getline(parts, token, ';')) {
+      const std::size_t b = token.find_first_not_of(" \t\r");
+      if (b == std::string::npos) continue;
+      const std::size_t e = token.find_last_not_of(" \t\r");
+      apply(token.substr(b, e - b + 1));
+    }
+  }
+  if (spec.min_segments > spec.max_segments) {
+    throw std::invalid_argument("gen spec: min_segments > max_segments");
+  }
+  return spec;
+}
+
+GenSpec GenSpec::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("gen spec: cannot open " + path);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+}  // namespace pulpc::gen

@@ -1,0 +1,65 @@
+// GenSpec: the declarative property space the kernel generator sweeps.
+// A spec plus a seed fully determines every candidate kernel (see
+// generator.hpp), so a campaign is reproducible from the pair alone and
+// the manifest of an admitted corpus only needs to record them.
+//
+// The knobs mirror the axes the paper's custom-kernel section varies by
+// hand: compute chain depth, memory stream count and stride patterns,
+// loop-nest shapes (including triangular and tiled), synchronisation
+// (critical sections, barrier cadence), off-cluster L2 traffic and DMA
+// single/double buffering, plus the static-schedule flavour
+// (chunked/cyclic).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pulpc::gen {
+
+struct GenSpec {
+  // ---- campaign shape ---------------------------------------------------
+  /// Candidates drawn per campaign (admission filters them down).
+  unsigned count = 768;
+  /// Problem sizes (bytes) every admitted kernel is instantiated at.
+  std::vector<std::uint32_t> sizes = {512, 2048};
+  /// Element-type policy: "mixed" draws one type per kernel, "i32"/"f32"
+  /// pin it, "both" makes every kernel type-generic (2x simulation cost).
+  std::string dtypes = "mixed";
+
+  // ---- structure --------------------------------------------------------
+  unsigned min_segments = 1;  ///< pattern segments per kernel
+  unsigned max_segments = 3;
+  unsigned max_chain = 8;     ///< compute ops chained per element
+  unsigned max_phases = 6;    ///< serial phases in barrier-cadence nests
+  unsigned max_stride = 16;   ///< largest strided-access stride
+  unsigned max_radius = 3;    ///< largest stencil radius
+  unsigned tri_cap = 64;      ///< triangular nests: outer trip cap
+
+  // ---- pattern probabilities (per draw, [0, 1]) -------------------------
+  double p_cyclic = 0.25;         ///< schedule(static,1) instead of chunked
+  double p_branch = 0.20;         ///< data-dependent if in loop bodies
+  double p_l2 = 0.20;             ///< input buffer lives in L2
+  double p_double_buffer = 0.50;  ///< DMA segments: ping-pong vs single
+  double p_heavy_critical = 0.35; ///< critical bodies carry real work
+
+  // ---- admission gates --------------------------------------------------
+  /// Reject candidates whose 1-core static cycle upper bound is below
+  /// this (degenerate: no measurable work).
+  long long min_cycles = 128;
+  /// Reject candidates without a parallel region (the label task is
+  /// about parallel kernels; serial-only candidates are trivially "1").
+  bool require_parallel = true;
+
+  /// Canonical one-line rendering, `key=value;key=value` in declaration
+  /// order. parse() round-trips it (also the manifest encoding).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse a spec from to_string() output or a spec file: `key=value`
+  /// pairs separated by ';' or newlines, '#' starts a comment, unknown
+  /// keys throw std::invalid_argument. Missing keys keep their defaults.
+  [[nodiscard]] static GenSpec parse(const std::string& text);
+  [[nodiscard]] static GenSpec parse_file(const std::string& path);
+};
+
+}  // namespace pulpc::gen

@@ -1,0 +1,221 @@
+// "mlkern" suite: hand-written non-neural ML inference/training kernels —
+// the workload class the paper's classifier would actually schedule on a
+// PULP-class device (k-means assignment and update, decision-tree and
+// linear-SVM inference, naive Bayes scoring, k-NN distance matrices).
+// They mix the primitive patterns (branchy tree walks, critical-section
+// merges, dot-product streams) in ways none of the paper's three suites
+// do.
+//
+// The suite is NOT part of the paper's 448-sample dataset: it installs
+// through the runtime registry (ml_family() + register_runtime_kernels)
+// as part of the enlarged-corpus campaign, so the seed dataset, its
+// cached CSV and the committed artifact stores stay byte-identical.
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace pulpc::kernels {
+
+namespace {
+
+using dsl::InitKind;
+using dsl::KernelBuilder;
+using dsl::KernelSpec;
+using dsl::Val;
+using kir::DType;
+
+Val ic(std::int32_t v) { return dsl::make_const_i(v); }
+
+/// Points per sample for a feature dimensionality `d`, splitting the
+/// byte footprint over `arrays` point-sized arrays.
+std::uint32_t points(std::uint32_t size, std::uint32_t d,
+                     std::uint32_t arrays) {
+  return std::max(8U, total_elems(size) / (arrays * d));
+}
+
+/// k-means assignment step: for every point, squared distance to each of
+/// K centroids, argmin into an i32 assignment array. Branchy argmin over
+/// a dense compute core.
+KernelSpec kmeans_assign(DType t, std::uint32_t size) {
+  KernelBuilder k("kmeans_assign", "mlkern", t, size);
+  const std::int32_t d = 8;
+  const std::int32_t kc = 4;
+  const std::uint32_t p =
+      points(size, static_cast<std::uint32_t>(d), 1);
+  auto pts = k.buffer("pts", p * static_cast<std::uint32_t>(d));
+  auto cent = k.buffer("cent", static_cast<std::uint32_t>(kc * d));
+  auto asg = k.buffer_of("asg", DType::I32, p, InitKind::Zero);
+  k.par_for("i", ic(0), ic(static_cast<std::int32_t>(p)), [&](Val i) {
+    auto best = k.decl("best", k.ec(1e9));
+    auto bi = k.decl("bi", ic(0));
+    k.for_("c", ic(0), ic(kc), [&](Val c) {
+      auto dist = k.decl("dist", k.ec(0));
+      k.for_("j", ic(0), ic(d), [&](Val j) {
+        auto diff = k.decl("diff", k.load(pts, i * ic(d) + j) -
+                                       k.load(cent, c * ic(d) + j));
+        k.assign(dist, dist + diff * diff);
+      });
+      k.if_(dist < best, [&] {
+        k.assign(best, dist);
+        k.assign(bi, c);
+      });
+    });
+    k.store(asg, i, bi);
+  });
+  return k.build();
+}
+
+/// k-means update step: scatter every point into its cluster's running sum
+/// under the cluster lock — the critical-section-heavy half of Lloyd's
+/// iteration.
+KernelSpec kmeans_update(DType t, std::uint32_t size) {
+  KernelBuilder k("kmeans_update", "mlkern", t, size);
+  const std::int32_t d = 8;
+  const std::int32_t kc = 4;
+  const std::uint32_t p =
+      points(size, static_cast<std::uint32_t>(d), 1);
+  auto pts = k.buffer("pts", p * static_cast<std::uint32_t>(d));
+  auto asg = k.buffer_of("asg", DType::I32, p, InitKind::RandomPos);
+  auto sums = k.buffer("sums", static_cast<std::uint32_t>(kc * d),
+                       InitKind::Zero);
+  auto cnt = k.buffer_of("cnt", DType::I32, static_cast<std::uint32_t>(kc),
+                         InitKind::Zero);
+  k.par_for("i", ic(0), ic(static_cast<std::int32_t>(p)), [&](Val i) {
+    auto c = k.decl("c", k.load(asg, i) % ic(kc));
+    k.critical([&] {
+      k.for_("j", ic(0), ic(d), [&](Val j) {
+        k.store(sums, c * ic(d) + j,
+                k.load(sums, c * ic(d) + j) + k.load(pts, i * ic(d) + j));
+      });
+      k.store(cnt, c, k.load(cnt, c) + ic(1));
+    });
+  });
+  return k.build();
+}
+
+/// Decision-tree inference: every point walks a depth-6 complete binary
+/// tree stored as heap arrays (feature index + threshold per node).
+/// Data-dependent branches all the way down.
+KernelSpec dtree_infer(DType t, std::uint32_t size) {
+  KernelBuilder k("dtree_infer", "mlkern", t, size);
+  const std::int32_t d = 8;
+  const std::int32_t depth = 6;
+  const std::uint32_t nodes = 1U << (depth + 1);
+  const std::uint32_t p = points(size, static_cast<std::uint32_t>(d), 1);
+  auto pts = k.buffer("pts", p * static_cast<std::uint32_t>(d));
+  auto fidx = k.buffer_of("fidx", DType::I32, nodes, InitKind::RandomPos);
+  auto thr = k.buffer("thr", nodes);
+  auto out = k.buffer("out", p, InitKind::Zero);
+  k.par_for("i", ic(0), ic(static_cast<std::int32_t>(p)), [&](Val i) {
+    auto node = k.decl("node", ic(1));
+    k.for_("l", ic(0), ic(depth), [&](Val) {
+      auto f = k.decl("f", k.load(fidx, node) % ic(d));
+      auto v = k.decl("v", k.load(pts, i * ic(d) + f));
+      k.if_else(
+          v < k.load(thr, node), [&] { k.assign(node, node * ic(2)); },
+          [&] { k.assign(node, node * ic(2) + ic(1)); });
+    });
+    k.store(out, i, k.to_elem(node));
+  });
+  return k.build();
+}
+
+/// Linear-SVM inference: dense dot product against a weight vector plus
+/// a hinge clamp — the streaming-dot-product end of the family.
+KernelSpec svm_infer(DType t, std::uint32_t size) {
+  KernelBuilder k("svm_infer", "mlkern", t, size);
+  const std::int32_t d = 32;
+  const std::uint32_t p = points(size, static_cast<std::uint32_t>(d), 1);
+  auto x = k.buffer("x", p * static_cast<std::uint32_t>(d));
+  auto w = k.buffer("w", static_cast<std::uint32_t>(d));
+  auto out = k.buffer("out", p, InitKind::Zero);
+  k.par_for("i", ic(0), ic(static_cast<std::int32_t>(p)), [&](Val i) {
+    auto acc = k.decl("acc", k.ec(0));
+    k.for_("j", ic(0), ic(d), [&](Val j) {
+      k.assign(acc, acc + k.load(w, j) * k.load(x, i * ic(d) + j));
+    });
+    k.store(out, i, dsl::vmax(k.ec(0), k.ec(1) - acc));
+  });
+  return k.build();
+}
+
+/// Naive Bayes scoring over binary features: per class, sum signed
+/// log-likelihood contributions, keep the argmax class.
+KernelSpec nbayes_score(DType t, std::uint32_t size) {
+  KernelBuilder k("nbayes_score", "mlkern", t, size);
+  const std::int32_t d = 16;
+  const std::int32_t classes = 4;
+  const std::uint32_t p = points(size, static_cast<std::uint32_t>(d), 1);
+  auto x = k.buffer_of("x", DType::I32, p * static_cast<std::uint32_t>(d),
+                       InitKind::RandomPos);
+  auto logp = k.buffer("logp", static_cast<std::uint32_t>(classes * d));
+  auto out = k.buffer("out", p, InitKind::Zero);
+  k.par_for("i", ic(0), ic(static_cast<std::int32_t>(p)), [&](Val i) {
+    auto best = k.decl("best", k.ec(-1e9));
+    auto bi = k.decl("bi", ic(0));
+    k.for_("c", ic(0), ic(classes), [&](Val c) {
+      auto s = k.decl("s", k.ec(0));
+      k.for_("j", ic(0), ic(d), [&](Val j) {
+        auto bit = k.decl("bit", k.load(x, i * ic(d) + j) % ic(2));
+        k.if_else(
+            bit == ic(1),
+            [&] { k.assign(s, s + k.load(logp, c * ic(d) + j)); },
+            [&] { k.assign(s, s - k.load(logp, c * ic(d) + j)); });
+      });
+      k.if_(s > best, [&] {
+        k.assign(best, s);
+        k.assign(bi, c);
+      });
+    });
+    k.store(out, i, k.to_elem(bi));
+  });
+  return k.build();
+}
+
+/// k-NN distance matrix: squared distance of every reference point to a
+/// small query set (the compute phase of k-nearest-neighbour).
+KernelSpec knn_dist(DType t, std::uint32_t size) {
+  KernelBuilder k("knn_dist", "mlkern", t, size);
+  const std::int32_t d = 8;
+  const std::int32_t q = 4;
+  const std::uint32_t r =
+      points(size, static_cast<std::uint32_t>(d), 2);
+  auto refs = k.buffer("refs", r * static_cast<std::uint32_t>(d));
+  auto qry = k.buffer("qry", static_cast<std::uint32_t>(q * d));
+  auto dist = k.buffer("dist", r * static_cast<std::uint32_t>(q),
+                       InitKind::Zero);
+  k.par_for("i", ic(0), ic(static_cast<std::int32_t>(r)), [&](Val i) {
+    k.for_("c", ic(0), ic(q), [&](Val c) {
+      auto acc = k.decl("acc", k.ec(0));
+      k.for_("j", ic(0), ic(d), [&](Val j) {
+        auto diff = k.decl("diff", k.load(refs, i * ic(d) + j) -
+                                       k.load(qry, c * ic(d) + j));
+        k.assign(acc, acc + diff * diff);
+      });
+      k.store(dist, i * ic(q) + c, acc);
+    });
+  });
+  return k.build();
+}
+
+}  // namespace
+
+void register_mlkernels(std::vector<KernelInfo>& out) {
+  const auto add = [&](const char* name, TypeSupport types,
+                       KernelSpec (*fn)(DType, std::uint32_t)) {
+    out.push_back(KernelInfo{name, "mlkern", types, fn});
+  };
+  add("kmeans_assign", TypeSupport::Both, kmeans_assign);
+  add("kmeans_update", TypeSupport::Both, kmeans_update);
+  add("dtree_infer", TypeSupport::Both, dtree_infer);
+  add("svm_infer", TypeSupport::Both, svm_infer);
+  add("nbayes_score", TypeSupport::Both, nbayes_score);
+  add("knn_dist", TypeSupport::Both, knn_dist);
+}
+
+std::vector<KernelInfo> ml_family() {
+  std::vector<KernelInfo> v;
+  register_mlkernels(v);
+  return v;
+}
+
+}  // namespace pulpc::kernels

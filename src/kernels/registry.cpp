@@ -1,10 +1,28 @@
 #include "kernels/registry.hpp"
 
 #include <stdexcept>
+#include <unordered_set>
 
 namespace pulpc::kernels {
 
-const std::vector<KernelInfo>& all_kernels() {
+namespace {
+
+/// Runtime-registered suites (the generated corpus). Kept separate from
+/// the built-in table so clear_runtime_kernels() can drop them without
+/// touching the statics.
+std::vector<KernelInfo>& runtime_kernels() {
+  static std::vector<KernelInfo> v;
+  return v;
+}
+
+/// Combined view served by all_kernels(). Rebuilt lazily after every
+/// register/clear (generation counter, not a dirty flag, so nested
+/// rebuilds cannot lose an update).
+std::uint64_t g_registry_generation = 0;
+
+}  // namespace
+
+const std::vector<KernelInfo>& builtin_kernels() {
   static const std::vector<KernelInfo> kKernels = [] {
     std::vector<KernelInfo> v;
     register_polybench(v);
@@ -13,6 +31,36 @@ const std::vector<KernelInfo>& all_kernels() {
     return v;
   }();
   return kKernels;
+}
+
+const std::vector<KernelInfo>& all_kernels() {
+  static std::vector<KernelInfo> combined;
+  static std::uint64_t built_generation = ~std::uint64_t{0};
+  if (built_generation != g_registry_generation) {
+    combined = builtin_kernels();
+    const std::vector<KernelInfo>& extra = runtime_kernels();
+    combined.insert(combined.end(), extra.begin(), extra.end());
+    built_generation = g_registry_generation;
+  }
+  return combined;
+}
+
+void register_runtime_kernels(std::vector<KernelInfo> kernels) {
+  std::unordered_set<std::string> taken;
+  for (const KernelInfo& k : all_kernels()) taken.insert(k.name);
+  for (KernelInfo& k : kernels) {
+    if (!taken.insert(k.name).second) {
+      throw std::invalid_argument("kernel name already registered: " +
+                                  k.name);
+    }
+    runtime_kernels().push_back(std::move(k));
+  }
+  ++g_registry_generation;
+}
+
+void clear_runtime_kernels() {
+  runtime_kernels().clear();
+  ++g_registry_generation;
 }
 
 const KernelInfo& kernel_info(const std::string& name) {

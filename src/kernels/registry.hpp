@@ -30,8 +30,24 @@ struct KernelInfo {
   }
 };
 
-/// All 59 kernels (stable order: polybench, utdsp, custom).
+/// All registered kernels (stable order: polybench, utdsp, custom, then
+/// any runtime-registered suites in registration order).
 [[nodiscard]] const std::vector<KernelInfo>& all_kernels();
+
+/// The built-in 59 kernels only (polybench, utdsp, custom) — what
+/// all_kernels() returns when no runtime suite is installed.
+[[nodiscard]] const std::vector<KernelInfo>& builtin_kernels();
+
+/// Register extra kernels at runtime (the generated suite, src/gen).
+/// They become visible through all_kernels()/kernel_info()/make_kernel()
+/// exactly like the built-in suites, so the dataset/artifact/serve
+/// machinery needs no special-casing. Throws std::invalid_argument if a
+/// name collides with an already-registered kernel. Not safe against
+/// concurrent lookups: install before fanning out worker threads.
+void register_runtime_kernels(std::vector<KernelInfo> kernels);
+
+/// Remove every runtime-registered kernel (tests and repeated loads).
+void clear_runtime_kernels();
 
 /// Lookup by name; throws std::invalid_argument if unknown.
 [[nodiscard]] const KernelInfo& kernel_info(const std::string& name);
@@ -45,9 +61,17 @@ struct KernelInfo {
 /// "8196", a power-of-two typo; see DESIGN.md).
 [[nodiscard]] const std::vector<std::uint32_t>& dataset_sizes();
 
+/// The hand-written non-neural ML kernel family (suite "mlkern"):
+/// k-means assignment/update, decision-tree and linear-SVM inference,
+/// naive Bayes scoring, k-NN distances. Not part of the paper's
+/// 448-sample dataset — install with register_runtime_kernels() for the
+/// enlarged-corpus campaign (see src/gen).
+[[nodiscard]] std::vector<KernelInfo> ml_family();
+
 // Suite registration (internal wiring, one per translation unit).
 void register_polybench(std::vector<KernelInfo>& out);
 void register_utdsp(std::vector<KernelInfo>& out);
 void register_custom(std::vector<KernelInfo>& out);
+void register_mlkernels(std::vector<KernelInfo>& out);
 
 }  // namespace pulpc::kernels

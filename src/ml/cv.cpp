@@ -146,6 +146,106 @@ EvalResult evaluate_constant(const Dataset& ds, int constant_label,
   return res;
 }
 
+double GroupEvalResult::accuracy_at(double tol) const {
+  if (tolerances.empty()) return 0.0;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < tolerances.size(); ++i) {
+    if (std::abs(tolerances[i] - tol) <
+        std::abs(tolerances[best] - tol)) {
+      best = i;
+    }
+  }
+  return accuracy[best];
+}
+
+GroupEvalResult evaluate_leave_one_group_out(
+    const Dataset& ds, const std::vector<std::string>& columns,
+    const std::vector<std::string>& groups,
+    const std::vector<std::size_t>& test_pool, const EvalOptions& opt) {
+  const std::vector<Sample>& samples = ds.samples();
+  if (samples.empty()) {
+    throw std::invalid_argument("evaluate_leave_one_group_out: empty dataset");
+  }
+  if (groups.size() != samples.size()) {
+    throw std::invalid_argument(
+        "evaluate_leave_one_group_out: groups.size() != dataset size");
+  }
+  for (const std::size_t i : test_pool) {
+    if (i >= samples.size()) {
+      throw std::invalid_argument(
+          "evaluate_leave_one_group_out: test_pool index out of range");
+    }
+  }
+
+  GroupEvalResult res;
+  res.tolerances = opt.tolerances.empty() ? default_tolerances()
+                                          : opt.tolerances;
+  res.accuracy.assign(res.tolerances.size(), 0.0);
+
+  // Fold per distinct group in the pool, in first-appearance order so the
+  // reduction below is deterministic regardless of thread count.
+  std::vector<std::string> fold_groups;
+  std::map<std::string, std::vector<std::size_t>> pool_by_group;
+  for (const std::size_t i : test_pool) {
+    auto [it, inserted] = pool_by_group.try_emplace(groups[i]);
+    if (inserted) fold_groups.push_back(groups[i]);
+    it->second.push_back(i);
+  }
+  if (fold_groups.empty()) {
+    throw std::invalid_argument(
+        "evaluate_leave_one_group_out: empty test pool");
+  }
+
+  const Matrix x = ds.matrix(columns);
+  const std::vector<int> y = ds.labels();
+
+  struct FoldPartial {
+    std::vector<double> acc;  // per tolerance
+    std::size_t tested = 0;
+  };
+  std::vector<FoldPartial> partials(fold_groups.size());
+  core::ThreadPool pool(opt.threads);
+  pool.parallel_for(fold_groups.size(), [&](std::size_t f) {
+    const std::string& held_out = fold_groups[f];
+    const std::vector<std::size_t>& test = pool_by_group.at(held_out);
+    std::vector<std::size_t> train;
+    train.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (groups[i] != held_out) train.push_back(i);
+    }
+    TreeParams tp = opt.tree;
+    tp.seed = opt.seed;
+    DecisionTree tree(tp);
+    tree.fit(x, y, train);
+    std::vector<int> preds;
+    preds.reserve(test.size());
+    for (const std::size_t i : test) {
+      preds.push_back(tree.predict(std::span(x.row(i), x.cols)));
+    }
+    FoldPartial& part = partials[f];
+    part.tested = test.size();
+    part.acc.reserve(res.tolerances.size());
+    for (const double tol : res.tolerances) {
+      part.acc.push_back(tolerance_accuracy(samples, test, preds, tol));
+    }
+  });
+
+  // Test-size-weighted mean over folds, reduced in fold order.
+  for (const FoldPartial& part : partials) {
+    const auto w = static_cast<double>(part.tested);
+    for (std::size_t t = 0; t < res.tolerances.size(); ++t) {
+      res.accuracy[t] += part.acc[t] * w;
+    }
+    res.test_samples += part.tested;
+  }
+  res.groups = fold_groups.size();
+  if (res.test_samples > 0) {
+    const auto total = static_cast<double>(res.test_samples);
+    for (double& a : res.accuracy) a /= total;
+  }
+  return res;
+}
+
 std::vector<std::pair<std::string, double>> rank_features(
     const Dataset& ds, const std::vector<std::string>& columns,
     const EvalOptions& opt) {

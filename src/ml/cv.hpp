@@ -66,4 +66,33 @@ struct EvalResult {
     const Dataset& ds, const std::vector<std::string>& columns,
     const EvalOptions& opt = {});
 
+/// Result of a leave-one-group-out holdout sweep (the honest
+/// unseen-source-code protocol: groups are kernels, so no sample of the
+/// held-out kernel — other sizes, the other element type — leaks into
+/// training).
+struct GroupEvalResult {
+  std::vector<double> tolerances;
+  std::vector<double> accuracy;  ///< test-size-weighted mean over folds
+  std::size_t groups = 0;        ///< distinct held-out groups (folds)
+  std::size_t test_samples = 0;  ///< total held-out samples
+
+  /// Accuracy at the tolerance nearest to `tol`.
+  [[nodiscard]] double accuracy_at(double tol) const;
+};
+
+/// Leave-one-group-out evaluation: for every distinct group appearing in
+/// `test_pool`, fit one tree on every sample whose group differs from the
+/// held-out group and test on the pool's samples of that group. `groups`
+/// gives each sample's group id (size == ds.samples().size(); typically
+/// the kernel name). `test_pool` restricts which samples are ever tested
+/// — training still uses the full dataset minus the held-out group, which
+/// is how a corpus enlarged with generated kernels changes LOKO accuracy
+/// on the seed kernels without being tested itself. Folds run across
+/// opt.threads workers (opt.folds / repeats / seed are unused) and reduce
+/// in group order: bit-identical for every thread count.
+[[nodiscard]] GroupEvalResult evaluate_leave_one_group_out(
+    const Dataset& ds, const std::vector<std::string>& columns,
+    const std::vector<std::string>& groups,
+    const std::vector<std::size_t>& test_pool, const EvalOptions& opt = {});
+
 }  // namespace pulpc::ml

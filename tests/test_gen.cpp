@@ -1,0 +1,335 @@
+// Generator + admission-pipeline tests: determinism of (spec, seed) →
+// kernel, every admission gate rejecting at the right stage with the
+// right diagnostic, campaign-order dedupe, manifest round-trips through
+// the runtime registry, and the mlkern suite clearing the full funnel.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+#include "dsl/builder.hpp"
+#include "gen/admit.hpp"
+#include "gen/generator.hpp"
+#include "gen/spec.hpp"
+#include "kernels/registry.hpp"
+
+namespace pulpc::gen {
+namespace {
+
+namespace fs = std::filesystem;
+using dsl::KernelBuilder;
+using dsl::Val;
+using kir::DType;
+
+Val ic(std::int32_t v) { return dsl::make_const_i(v); }
+
+GenSpec small_spec() {
+  GenSpec spec;
+  spec.count = 24;
+  return spec;
+}
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "pulpc_gen_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// ---- generator determinism ----------------------------------------------
+
+TEST(Generator, SameSpecSeedIndexIsByteIdentical) {
+  GenSpec spec;
+  spec.dtypes = "i32";  // "mixed" would make some candidates f32-only
+  for (const std::size_t index : {0UL, 7UL, 91UL}) {
+    const dsl::KernelSpec a =
+        generate_kernel(spec, 42, index, DType::I32, 2048);
+    const dsl::KernelSpec b =
+        generate_kernel(spec, 42, index, DType::I32, 2048);
+    EXPECT_EQ(render(a), render(b)) << "index " << index;
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GenSpec spec;
+  spec.dtypes = "i32";
+  const dsl::KernelSpec a = generate_kernel(spec, 1, 0, DType::I32, 2048);
+  const dsl::KernelSpec b = generate_kernel(spec, 2, 0, DType::I32, 2048);
+  EXPECT_NE(render(a), render(b));
+}
+
+TEST(Generator, StructureIsSharedAcrossInstantiations) {
+  // The same candidate at another (dtype, size) must keep its name and
+  // statement skeleton: neither axis consumes a random draw.
+  const GenSpec spec;
+  const kernels::TypeSupport types = kernel_types(spec, 42, 3);
+  const DType t = types == kernels::TypeSupport::FloatOnly ? DType::F32
+                                                           : DType::I32;
+  const dsl::KernelSpec small = generate_kernel(spec, 42, 3, t, 512);
+  const dsl::KernelSpec big = generate_kernel(spec, 42, 3, t, 2048);
+  EXPECT_EQ(small.name, big.name);
+  EXPECT_EQ(small.body.size(), big.body.size());
+}
+
+TEST(Campaign, ThreadCountDoesNotChangeTheAdmittedSet) {
+  const GenSpec spec = small_spec();
+  AdmitOptions serial;
+  serial.threads = 1;
+  AdmitOptions parallel;
+  parallel.threads = 3;
+  const CampaignResult a = run_campaign(spec, 42, serial);
+  const CampaignResult b = run_campaign(spec, 42, parallel);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].name, b.candidates[i].name);
+    EXPECT_EQ(a.candidates[i].stage, b.candidates[i].stage);
+    EXPECT_EQ(a.candidates[i].prog_hash, b.candidates[i].prog_hash);
+    EXPECT_EQ(a.candidates[i].bucket, b.candidates[i].bucket);
+  }
+}
+
+TEST(Campaign, DefaultSpecAdmitsCleanly) {
+  // The small campaign is a miniature of the acceptance gate: every
+  // rejection must be a dedupe, never a compile/verify/analyze failure —
+  // the generator emits valid-by-construction kernels.
+  const CampaignResult r = run_campaign(small_spec(), 42);
+  EXPECT_GT(r.admitted(), 0U);
+  EXPECT_EQ(r.rejected_at(Stage::Validate), 0U);
+  EXPECT_EQ(r.rejected_at(Stage::Lower), 0U);
+  EXPECT_EQ(r.rejected_at(Stage::Verify), 0U);
+  EXPECT_EQ(r.rejected_at(Stage::Analyze), 0U);
+}
+
+// ---- admission funnel (hand-built defective kernels) --------------------
+
+TEST(Admit, RacyStoreRejectsAtVerify) {
+  KernelBuilder k("racy", "t", DType::I32, 512);
+  auto b = k.buffer("b", 64);
+  // Every core stores to b[0] without a critical section.
+  k.par_for("i", ic(0), ic(64), [&](Val i) { k.store(b, ic(0), i); });
+  const KernelVerdict v = admit_kernel(k.build(), GenSpec{});
+  EXPECT_EQ(v.stage, Stage::Verify);
+  EXPECT_NE(v.detail.find("race"), std::string::npos) << v.detail;
+}
+
+TEST(Admit, DataDependentTripCountRejectsAtAnalyze) {
+  KernelBuilder k("unbounded", "t", DType::I32, 512);
+  auto b = k.buffer("b", 64, dsl::InitKind::RandomPos);
+  auto out = k.buffer("out", 64, dsl::InitKind::Zero);
+  k.par_for("i", ic(0), ic(64), [&](Val i) {
+    auto acc = k.decl("acc", ic(0));
+    // Trip count read from memory: no static bound exists.
+    k.for_("j", ic(0), k.load(b, i),
+           [&](Val j) { k.assign(acc, acc + j); });
+    k.store(out, i, acc);
+  });
+  AdmitOptions opt;
+  opt.werror = false;  // reach the analyzer even if the verifier warns
+  const KernelVerdict v = admit_kernel(k.build(), GenSpec{}, opt);
+  EXPECT_EQ(v.stage, Stage::Analyze);
+  EXPECT_NE(v.detail.find("unbounded"), std::string::npos) << v.detail;
+}
+
+TEST(Admit, DegenerateWorkRejectsAtAnalyze) {
+  KernelBuilder k("tiny", "t", DType::I32, 512);
+  auto b = k.buffer("b", 8);
+  k.par_for("i", ic(0), ic(2), [&](Val i) { k.store(b, i, i); });
+  GenSpec gates;
+  gates.min_cycles = 100000;  // far above anything a 2-trip loop costs
+  const KernelVerdict v = admit_kernel(k.build(), gates);
+  EXPECT_EQ(v.stage, Stage::Analyze);
+  EXPECT_NE(v.detail.find("cycle"), std::string::npos) << v.detail;
+}
+
+TEST(Admit, SerialOnlyKernelRejectsAtAnalyze) {
+  KernelBuilder k("serial", "t", DType::I32, 512);
+  auto b = k.buffer("b", 64);
+  k.for_("i", ic(0), ic(64), [&](Val i) { k.store(b, i, i); });
+  const KernelVerdict v = admit_kernel(k.build(), GenSpec{});
+  EXPECT_EQ(v.stage, Stage::Analyze);
+  EXPECT_NE(v.detail.find("parallel"), std::string::npos) << v.detail;
+}
+
+TEST(Admit, SpmdViolationRejectsAtValidate) {
+  KernelBuilder k("diverged", "t", DType::I32, 512);
+  auto b = k.buffer("b", 64);
+  k.par_for("i", ic(0), ic(64), [&](Val i) { k.decl("s", i); });
+  // Replicated read of a scalar that diverged across cores.
+  k.store(b, ic(0), dsl::Val{dsl::make_var("s", DType::I32)});
+  const KernelVerdict v = admit_kernel(k.build(), GenSpec{});
+  EXPECT_EQ(v.stage, Stage::Validate);
+  EXPECT_FALSE(v.detail.empty());
+}
+
+TEST(Admit, AdmittedKernelCarriesDedupeKeys) {
+  KernelBuilder k("good", "t", DType::I32, 2048);
+  auto b = k.buffer("b", 256);
+  auto out = k.buffer("out", 256, dsl::InitKind::Zero);
+  k.par_for("i", ic(0), ic(256), [&](Val i) {
+    auto v = k.decl("v", k.load(b, i));
+    k.for_("r", ic(0), ic(16),
+           [&](Val) { k.assign(v, v * ic(3) + ic(1)); });
+    k.store(out, i, v);
+  });
+  const KernelVerdict v = admit_kernel(k.build(), GenSpec{});
+  ASSERT_EQ(v.stage, Stage::Admitted) << v.detail;
+  EXPECT_NE(v.prog_hash, 0U);
+  EXPECT_FALSE(v.bucket.empty());
+  EXPECT_GE(v.best_cores, 1U);
+  EXPECT_GE(v.cycles_hi1, GenSpec{}.min_cycles);
+}
+
+// ---- dedupe --------------------------------------------------------------
+
+TEST(Dedupe, DuplicateHashThenProfileRejectInOrder) {
+  const auto candidate = [](std::size_t index, std::uint64_t hash,
+                            const std::string& bucket) {
+    Candidate c;
+    c.index = index;
+    c.name = "g42_" + std::to_string(index);
+    c.stage = Stage::Admitted;
+    c.prog_hash = hash;
+    c.bucket = bucket;
+    return c;
+  };
+  std::vector<Candidate> cs = {
+      candidate(0, 0xaaa, "p1.c2"),
+      candidate(1, 0xaaa, "p9.c4"),  // same program as #0
+      candidate(2, 0xbbb, "p1.c2"),  // same cost profile as #0
+      candidate(3, 0xccc, "p9.c4"),  // fresh on both axes
+  };
+  dedupe_candidates(cs);
+  EXPECT_EQ(cs[0].stage, Stage::Admitted);
+  EXPECT_EQ(cs[1].stage, Stage::DedupeHash);
+  EXPECT_NE(cs[1].detail.find("aaa"), std::string::npos) << cs[1].detail;
+  EXPECT_EQ(cs[2].stage, Stage::DedupeProfile);
+  EXPECT_NE(cs[2].detail.find("p1.c2"), std::string::npos) << cs[2].detail;
+  EXPECT_EQ(cs[3].stage, Stage::Admitted);
+}
+
+TEST(Dedupe, RejectedCandidatesDoNotClaimKeys) {
+  Candidate bad;
+  bad.index = 0;
+  bad.stage = Stage::Verify;
+  bad.prog_hash = 0x123;
+  bad.bucket = "p1.c1";
+  Candidate good;
+  good.index = 1;
+  good.stage = Stage::Admitted;
+  good.prog_hash = 0x123;
+  good.bucket = "p1.c1";
+  std::vector<Candidate> cs = {bad, good};
+  dedupe_candidates(cs);
+  EXPECT_EQ(cs[0].stage, Stage::Verify);
+  EXPECT_EQ(cs[1].stage, Stage::Admitted);
+}
+
+// ---- manifest + registry round-trip -------------------------------------
+
+TEST(Manifest, CampaignRoundTripsThroughTheRegistry) {
+  const GenSpec spec = small_spec();
+  const CampaignResult result = run_campaign(spec, 42);
+  ASSERT_GT(result.admitted(), 0U);
+  const std::string dir = temp_dir("roundtrip");
+  write_campaign(result, dir);
+  EXPECT_TRUE(fs::exists(dir + "/manifest.txt"));
+  EXPECT_TRUE(fs::exists(dir + "/rejects.txt"));
+
+  const Manifest m = read_manifest(dir);
+  EXPECT_EQ(m.seed, 42U);
+  EXPECT_EQ(m.spec.to_string(), spec.to_string());
+  EXPECT_EQ(m.kernels.size(), result.admitted());
+
+  kernels::clear_runtime_kernels();
+  const Manifest installed = install_generated(dir);
+  EXPECT_EQ(installed.kernels.size(), m.kernels.size());
+  // Installed kernels resolve through the ordinary registry lookup and
+  // regenerate byte-identically from (spec, seed, index).
+  const ManifestEntry& e = m.kernels.front();
+  const kernels::KernelInfo& info = kernels::kernel_info(e.name);
+  EXPECT_EQ(info.suite, "generated");
+  const DType t = info.supports(DType::I32) ? DType::I32 : DType::F32;
+  const dsl::KernelSpec via_registry =
+      kernels::make_kernel(e.name, t, m.spec.sizes.front());
+  const dsl::KernelSpec direct =
+      generate_kernel(m.spec, m.seed, e.index, t, m.spec.sizes.front());
+  EXPECT_EQ(render(via_registry), render(direct));
+
+  const std::vector<core::SampleConfig> cfgs = generated_configs(m);
+  EXPECT_GE(cfgs.size(), m.kernels.size() * m.spec.sizes.size());
+  kernels::clear_runtime_kernels();
+}
+
+TEST(Manifest, ReadRejectsMissingAndForeignFiles) {
+  EXPECT_THROW(read_manifest(temp_dir("missing")), std::runtime_error);
+  const std::string dir = temp_dir("foreign");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/manifest.txt") << "not a manifest\n";
+  EXPECT_THROW(read_manifest(dir), std::runtime_error);
+}
+
+TEST(Registry, RuntimeNameCollisionThrows) {
+  kernels::clear_runtime_kernels();
+  std::vector<kernels::KernelInfo> dup;
+  dup.push_back(kernels::KernelInfo{
+      "gemm", "generated", kernels::TypeSupport::Both,
+      [](DType t, std::uint32_t size) {
+        return generate_kernel(GenSpec{}, 1, 0, t, size);
+      }});
+  EXPECT_THROW(kernels::register_runtime_kernels(std::move(dup)),
+               std::invalid_argument);
+  kernels::clear_runtime_kernels();
+}
+
+// ---- the mlkern suite ----------------------------------------------------
+
+TEST(MlFamily, EveryKernelClearsTheFullFunnel) {
+  for (const kernels::KernelInfo& k : kernels::ml_family()) {
+    EXPECT_EQ(k.suite, "mlkern");
+    for (const DType t : {DType::I32, DType::F32}) {
+      if (!k.supports(t)) continue;
+      for (const std::uint32_t bytes : {512U, 2048U}) {
+        const KernelVerdict v =
+            admit_kernel(k.factory(t, bytes), GenSpec{});
+        EXPECT_EQ(v.stage, Stage::Admitted)
+            << k.name << " " << (t == DType::I32 ? "i32" : "f32") << " "
+            << bytes << ": " << to_string(v.stage) << " " << v.detail;
+      }
+    }
+  }
+}
+
+// ---- spec parsing --------------------------------------------------------
+
+TEST(Spec, ToStringParseRoundTrip) {
+  GenSpec spec;
+  spec.count = 99;
+  spec.sizes = {1024};
+  spec.dtypes = "both";
+  spec.p_cyclic = 0.75;
+  spec.min_cycles = 456;
+  const GenSpec back = GenSpec::parse(spec.to_string());
+  EXPECT_EQ(back.to_string(), spec.to_string());
+}
+
+TEST(Spec, ParseRejectsUnknownKeysAndBadRanges) {
+  EXPECT_THROW((void)GenSpec::parse("bogus_knob=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)GenSpec::parse("p_cyclic=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)GenSpec::parse("count=0"), std::invalid_argument);
+}
+
+TEST(Spec, ParseAcceptsCommentsAndNewlines) {
+  const GenSpec spec = GenSpec::parse(
+      "# campaign overrides\ncount=12\nmax_chain=4 ; p_l2=0.5\n");
+  EXPECT_EQ(spec.count, 12U);
+  EXPECT_EQ(spec.max_chain, 4U);
+  EXPECT_DOUBLE_EQ(spec.p_l2, 0.5);
+}
+
+}  // namespace
+}  // namespace pulpc::gen

@@ -8,6 +8,7 @@
 
 #include "dsl/builder.hpp"
 #include "dsl/lower.hpp"
+#include "dsl/validate.hpp"
 #include "kir/analysis.hpp"
 
 namespace pulpc::dsl {
@@ -299,6 +300,59 @@ TEST(Lower, DmaStatementsLowerToDmaOps) {
   const kir::Program p = lower(k.build());
   EXPECT_EQ(count_op(p, Op::DmaStart), 1U);
   EXPECT_EQ(count_op(p, Op::DmaWait), 1U);
+}
+
+// Builder misuse must name the kernel it came from: a generator campaign
+// constructs hundreds of kernels, and a bare "step must be positive"
+// gives no way to find the offender (regression for the gen fuzz pass).
+TEST(Lower, BuilderErrorsNameTheKernel) {
+  try {
+    KernelBuilder k("step0", "custom", DType::I32, 64);
+    const Buf b = k.buffer("b", 32);
+    k.par_for("i", i(0), i(32), [&](Val iv) { k.store(b, iv, iv); }, 0);
+    FAIL() << "step=0 did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("kernel 'step0'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("for(i)"), std::string::npos) << msg;
+  }
+}
+
+TEST(Lower, ZeroElementBufferNamesKernelAndBuffer) {
+  try {
+    KernelBuilder k("zb", "custom", DType::I32, 64);
+    (void)k.buffer("b", 0);
+    FAIL() << "zero-element buffer did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("kernel 'zb'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("buffer b"), std::string::npos) << msg;
+  }
+}
+
+TEST(Lower, RedeclaredBufferNamesKernel) {
+  KernelBuilder k("dup", "custom", DType::I32, 64);
+  (void)k.buffer("b", 16);
+  try {
+    (void)k.buffer("b", 16);
+    FAIL() << "redeclared buffer did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("kernel 'dup'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("redeclared"), std::string::npos) << msg;
+  }
+}
+
+TEST(Lower, UnnamedKernelFailsValidation) {
+  // An unnamed kernel used to lower silently; it cannot be keyed by the
+  // registry, the artifact store, or a campaign manifest.
+  KernelBuilder k("", "custom", DType::I32, 64);
+  const Buf b = k.buffer("b", 16);
+  k.par_for("i", i(0), i(16), [&](Val iv) { k.store(b, iv, iv); });
+  const KernelSpec spec = k.build();
+  const std::string err = validate_spec(spec);
+  EXPECT_NE(err.find("<unnamed>"), std::string::npos) << err;
+  EXPECT_NE(err.find("no name"), std::string::npos) << err;
 }
 
 }  // namespace

@@ -15,9 +15,16 @@
 //   pulpclass sweep   <kernel> <i32|f32> <bytes> [--optimize]
 //   pulpclass analyze <kernel> <i32|f32> <bytes> | --kernel N | --all
 //   pulpclass analyze --check [--json]        bounds-vs-simulator gate
+//   pulpclass gen     [--count N] [--seed S] [--spec F] [--out DIR]
+//   pulpclass eval    --loko --gen DIR [--json]
 //   pulpclass stats                           dataset & label statistics
 //   pulpclass disasm  <kernel> <i32|f32> <bytes> [--optimize]
 //   pulpclass kernels                         list the dataset kernels
+//
+// The global --gen DIR flag installs a generated corpus (written by
+// `pulpclass gen`) plus the mlkern suite into the kernel registry before
+// the command runs, so lint/analyze/kernels/predict cover the enlarged
+// corpus exactly like the built-in suites.
 //
 // The pre-verb-noun spellings (`pulpclass dataset`, `pulpclass relabel`)
 // keep working as hidden aliases: they print a one-line deprecation note
@@ -45,12 +52,15 @@
 #include <vector>
 
 #include "core/env.hpp"
+#include "core/parallel.hpp"
 #include "dsl/lower.hpp"
 #include "energy/model.hpp"
 #include "feat/features.hpp"
+#include "gen/admit.hpp"
 #include "kernels/registry.hpp"
 #include "kir/costmodel.hpp"
 #include "kir/opt.hpp"
+#include "ml/cv.hpp"
 #include "pulpclass.hpp"
 #include "serve/protocol.hpp"
 #include "sim/cluster.hpp"
@@ -67,9 +77,16 @@ struct Args {
   std::string format;  ///< artifact store backend (--format v1|v2)
   std::string features = "ALL";
   std::string kernel;           ///< lint: restrict to one kernel
+  std::string suite;  ///< lint/analyze/kernels: restrict to one suite
+  std::string gen;    ///< generated-corpus dir to install (global)
+  std::string spec;   ///< gen: GenSpec file overriding the defaults
   bool all = false;             ///< lint/analyze: whole registry
   bool werror = false;          ///< lint: warnings fail the run
   bool check = false;  ///< analyze: validate bounds against the simulator
+  bool loko = false;   ///< eval: leave-one-kernel-out protocol
+  long long count = 0;          ///< gen: candidates to draw (0 = spec)
+  long long seed = 42;          ///< gen: campaign seed
+  int sample = 0;  ///< analyze/eval: cap targets to a deterministic sample
   bool optimize = false;
   bool no_flat = false;  ///< predict/serve: disable the flat tree engine
   bool json = false;            ///< machine-readable one-object output
@@ -116,12 +133,38 @@ Args parse(int argc, char** argv) {
       }
     } else if (arg == "--kernel") {
       a.kernel = next();
+    } else if (arg == "--suite") {
+      a.suite = next();
+    } else if (arg == "--gen") {
+      a.gen = next();
+    } else if (arg == "--spec") {
+      a.spec = next();
     } else if (arg == "--all") {
       a.all = true;
     } else if (arg == "--werror") {
       a.werror = true;
     } else if (arg == "--check") {
       a.check = true;
+    } else if (arg == "--loko") {
+      a.loko = true;
+    } else if (arg == "--count") {
+      a.count = std::atoll(next().c_str());
+      if (a.count < 1) {
+        std::fprintf(stderr, "--count wants a positive integer\n");
+        std::exit(2);
+      }
+    } else if (arg == "--seed") {
+      a.seed = std::atoll(next().c_str());
+      if (a.seed < 0) {
+        std::fprintf(stderr, "--seed wants a non-negative integer\n");
+        std::exit(2);
+      }
+    } else if (arg == "--sample") {
+      a.sample = std::atoi(next().c_str());
+      if (a.sample < 1) {
+        std::fprintf(stderr, "--sample wants a positive integer\n");
+        std::exit(2);
+      }
     } else if (arg == "--optimize") {
       a.optimize = true;
     } else if (arg == "--no-flat") {
@@ -219,6 +262,9 @@ int usage() {
       "                 the packed mmap segment store)\n"
       "  --stages       print the per-stage wall-clock report\n"
       "  --json         one JSON object on stdout (dataset/cache/lint)\n"
+      "  --gen DIR      install the generated corpus (and the mlkern\n"
+      "                 suite) from a `pulpclass gen` output directory\n"
+      "                 into the kernel registry before the command runs\n"
       "commands:\n"
       "  dataset build [--out file.csv]    build & cache the dataset\n"
       "  dataset relabel [--out file.csv]  rebuild labels/features by\n"
@@ -264,20 +310,39 @@ int usage() {
       "                                    BENCH_serve.json (or --out)\n"
       "  sweep <kernel> <i32|f32> <bytes> [--optimize]\n"
       "  analyze <kernel> <i32|f32> <bytes> | --kernel NAME | --all\n"
-      "          [--optimize] [--json]     static [lo,hi] cycle/energy\n"
+      "          [--suite NAME] [--sample N] [--optimize] [--json]\n"
+      "                                    static [lo,hi] cycle/energy\n"
       "                                    bounds per core count, no\n"
-      "                                    simulation (kir cost analyzer)\n"
+      "                                    simulation (kir cost analyzer);\n"
+      "                                    --sample keeps every (total/N)th\n"
+      "                                    target, --threads parallelizes\n"
       "  analyze --check [--json]          simulate every dataset config\n"
       "                                    and fail unless measured\n"
       "                                    cycles & energy lie inside the\n"
       "                                    static bounds; reports bound\n"
       "                                    tightness and speedup\n"
+      "  gen [--count N] [--seed S] [--spec FILE] [--out DIR] [--json]\n"
+      "                                    draw candidate kernels from the\n"
+      "                                    property-driven generator, push\n"
+      "                                    each through the admission\n"
+      "                                    funnel (validate -> lower ->\n"
+      "                                    verify -> analyze -> dedupe)\n"
+      "                                    and write the admitted corpus\n"
+      "                                    (default DIR pulpclass_gen)\n"
+      "  eval --loko --gen DIR [--sample N] [--json]\n"
+      "                                    leave-one-kernel-out accuracy\n"
+      "                                    on the 59 seed kernels, trained\n"
+      "                                    on the seed dataset alone vs\n"
+      "                                    the corpus enlarged with the\n"
+      "                                    generated + mlkern suites\n"
       "  stats                             dataset statistics\n"
       "  disasm <kernel> <i32|f32> <bytes> [--optimize]\n"
       "  kernels                           list available kernels\n"
-      "  lint [--kernel NAME|--all] [--werror] [--optimize]\n"
+      "                                    [--suite NAME]\n"
+      "  lint [--kernel NAME|--all] [--suite NAME] [--werror] [--optimize]\n"
       "                                    run the KIR verifier over\n"
-      "                                    lowered registry kernels;\n"
+      "                                    lowered registry kernels in\n"
+      "                                    parallel (--threads workers);\n"
       "                                    non-zero exit on errors (and\n"
       "                                    on warnings with --werror)\n");
   return 2;
@@ -444,18 +509,27 @@ int cmd_cache(const Args& a) {
         segments += buf;
       }
       segments += "]";
+      // Per-kernel record counts; std::map iteration keeps the keys
+      // sorted, so the object is byte-stable run to run.
+      std::string by_kernel = "{";
+      for (const auto& [kernel, records] : info.by_kernel) {
+        if (by_kernel.size() > 1) by_kernel += ",";
+        by_kernel += json_str(kernel) + ":" + std::to_string(records);
+      }
+      by_kernel += "}";
       std::printf("{\"command\":\"cache %s\",\"store\":%s,"
                   "\"format\":\"%s\",\"fingerprint\":\"%016llx\","
                   "\"schema\":%u,\"files\":%zu,\"bytes\":%zu,"
                   "\"valid\":%zu,\"foreign\":%zu,\"corrupt\":%zu,"
-                  "\"diags\":%zu,\"segments\":%s,\"ok\":%s}\n",
+                  "\"diags\":%zu,\"segments\":%s,\"by_kernel\":%s,"
+                  "\"ok\":%s}\n",
                   verb.c_str(), json_str(store.dir()).c_str(),
                   core::to_string(store.format()),
                   static_cast<unsigned long long>(store.fingerprint()),
                   core::kArtifactSchemaVersion, info.files,
                   std::size_t(info.bytes), info.valid, info.foreign,
                   info.corrupt, info.diags, segments.c_str(),
-                  ok ? "true" : "false");
+                  by_kernel.c_str(), ok ? "true" : "false");
       return verb == "verify" && !ok ? 1 : 0;
     }
     std::printf("store:       %s (format %s)\n", store.dir().c_str(),
@@ -469,6 +543,7 @@ int cmd_cache(const Args& a) {
     std::printf("  foreign:   %zu\n", info.foreign);
     std::printf("  corrupt:   %zu\n", info.corrupt);
     std::printf("  reports:   %zu\n", info.diags);
+    std::printf("  kernels:   %zu distinct\n", info.by_kernel.size());
     for (const pulpclass::ArtifactStore::SegmentInfo& s : info.segments) {
       std::printf("  segment %-28s %zu record%s (%zu valid)\n",
                   s.name.c_str(), s.records, s.records == 1 ? "" : "s",
@@ -978,37 +1053,64 @@ int cmd_disasm(const Args& a) {
 
 int cmd_lint(const Args& a) {
   // Every (kernel, dtype, size) combination the dataset would lower.
-  std::vector<const kernels::KernelInfo*> todo;
+  struct LintUnit {
+    const kernels::KernelInfo* k;
+    kir::DType t;
+    std::uint32_t bytes;
+  };
+  std::vector<LintUnit> units;
   for (const kernels::KernelInfo& k : kernels::all_kernels()) {
     if (!a.kernel.empty() && k.name != a.kernel) continue;
-    todo.push_back(&k);
+    if (!a.suite.empty() && k.suite != a.suite) continue;
+    for (const kir::DType t : {kir::DType::I32, kir::DType::F32}) {
+      if (!k.supports(t)) continue;
+      for (const std::uint32_t bytes : kernels::dataset_sizes()) {
+        units.push_back({&k, t, bytes});
+      }
+    }
   }
-  if (!a.kernel.empty() && todo.empty()) {
-    std::fprintf(stderr, "unknown kernel '%s' (see `pulpclass kernels`)\n",
-                 a.kernel.c_str());
+  if ((!a.kernel.empty() || !a.suite.empty()) && units.empty()) {
+    std::fprintf(stderr,
+                 "no kernels match%s%s%s%s (see `pulpclass kernels`)\n",
+                 a.kernel.empty() ? "" : " kernel ", a.kernel.c_str(),
+                 a.suite.empty() ? "" : " suite ", a.suite.c_str());
     return 2;
   }
-  std::size_t programs = 0, errors = 0, warnings = 0, notes = 0;
-  std::map<std::string, std::size_t> by_pass;  // sorted => stable output
-  for (const kernels::KernelInfo* k : todo) {
-    for (const kir::DType t : {kir::DType::I32, kir::DType::F32}) {
-      if (!k->supports(t)) continue;
-      for (const std::uint32_t bytes : kernels::dataset_sizes()) {
+  // Lower+verify is pure per combination, so the work fans out across
+  // the pool; partials are reduced in combination order below, making
+  // the printed diagnostics and the totals byte-identical for every
+  // --threads value.
+  struct LintOut {
+    std::size_t errors = 0, warnings = 0, notes = 0;
+    std::map<std::string, std::size_t> by_pass;
+    std::string text;
+  };
+  core::ThreadPool lint_pool(0);  // resolves via PULPC_THREADS
+  const std::vector<LintOut> outs =
+      lint_pool.parallel_map<LintOut>(units.size(), [&](std::size_t i) {
+        const LintUnit& u = units[i];
         kir::Program prog =
-            dsl::lower(kernels::make_kernel(k->name, t, bytes));
+            dsl::lower(kernels::make_kernel(u.k->name, u.t, u.bytes));
         if (a.optimize) prog = kir::optimize(prog);
         const pulpclass::VerifyReport report =
             pulpclass::verify_program(prog);
-        ++programs;
-        errors += report.errors();
-        warnings += report.warnings();
-        notes += report.notes();
-        for (const kir::Diagnostic& d : report.diags) ++by_pass[d.pass];
-        if (!report.diags.empty() && !a.json) {
-          std::printf("%s", report.to_string().c_str());
-        }
-      }
-    }
+        LintOut out;
+        out.errors = report.errors();
+        out.warnings = report.warnings();
+        out.notes = report.notes();
+        for (const kir::Diagnostic& d : report.diags) ++out.by_pass[d.pass];
+        if (!report.diags.empty()) out.text = report.to_string();
+        return out;
+      });
+  const std::size_t programs = units.size();
+  std::size_t errors = 0, warnings = 0, notes = 0;
+  std::map<std::string, std::size_t> by_pass;  // sorted => stable output
+  for (const LintOut& out : outs) {
+    errors += out.errors;
+    warnings += out.warnings;
+    notes += out.notes;
+    for (const auto& [pass, count] : out.by_pass) by_pass[pass] += count;
+    if (!out.text.empty() && !a.json) std::printf("%s", out.text.c_str());
   }
   const bool failed = errors > 0 || (a.werror && warnings > 0);
   if (a.json) {
@@ -1062,11 +1164,11 @@ std::vector<AnalyzeTarget> analyze_targets(const Args& a) {
   std::vector<const kernels::KernelInfo*> todo;
   for (const kernels::KernelInfo& k : kernels::all_kernels()) {
     if (!a.kernel.empty() && k.name != a.kernel) continue;
+    if (!a.suite.empty() && k.suite != a.suite) continue;
     todo.push_back(&k);
   }
-  if (!a.kernel.empty() && todo.empty()) {
-    std::fprintf(stderr, "unknown kernel '%s' (see `pulpclass kernels`)\n",
-                 a.kernel.c_str());
+  if ((!a.kernel.empty() || !a.suite.empty()) && todo.empty()) {
+    std::fprintf(stderr, "no kernels match (see `pulpclass kernels`)\n");
     std::exit(2);
   }
   for (const kernels::KernelInfo* k : todo) {
@@ -1082,6 +1184,19 @@ std::vector<AnalyzeTarget> analyze_targets(const Args& a) {
         out.push_back({label, std::move(prog)});
       }
     }
+  }
+  // --sample N: keep every (total/N)th target — a deterministic spread
+  // over the registry for cheap CI containment checks.
+  if (a.sample > 0 && std::size_t(a.sample) < out.size()) {
+    const std::size_t stride = out.size() / std::size_t(a.sample);
+    std::vector<AnalyzeTarget> sampled;
+    sampled.reserve(std::size_t(a.sample));
+    for (std::size_t i = 0;
+         i < out.size() && sampled.size() < std::size_t(a.sample);
+         i += stride) {
+      sampled.push_back(std::move(out[i]));
+    }
+    out = std::move(sampled);
   }
   return out;
 }
@@ -1123,21 +1238,32 @@ int cmd_analyze(const Args& a) {
   const std::vector<AnalyzeTarget> targets = analyze_targets(a);
 
   if (!a.check) {
-    std::string js;
-    for (const AnalyzeTarget& t : targets) {
-      const kir::CostReport rep = kir::analyze_cost(t.prog, params);
-      if (a.json) {
-        if (!js.empty()) js += ",";
-        js += report_json(t.label, rep);
-      } else {
-        std::printf("%s  best by energy bound: %u cores\n\n",
-                    rep.to_string().c_str(), rep.best_cores_by_energy_hi());
-      }
-    }
+    // Reports are pure per program: compute across the pool, emit in
+    // target order so output is byte-identical for every --threads value.
+    core::ThreadPool report_pool(0);
+    const std::vector<std::string> rendered =
+        report_pool.parallel_map<std::string>(
+            targets.size(), [&](std::size_t i) {
+              const kir::CostReport rep =
+                  kir::analyze_cost(targets[i].prog, params);
+              if (a.json) return report_json(targets[i].label, rep);
+              char tail[64];
+              std::snprintf(tail, sizeof tail,
+                            "  best by energy bound: %u cores\n\n",
+                            rep.best_cores_by_energy_hi());
+              return rep.to_string() + tail;
+            });
     if (a.json) {
+      std::string js;
+      for (const std::string& r : rendered) {
+        if (!js.empty()) js += ",";
+        js += r;
+      }
       std::printf("{\"command\":\"analyze\",\"check\":false,\"count\":%zu,"
                   "\"programs\":[%s]}\n",
                   targets.size(), js.c_str());
+    } else {
+      for (const std::string& r : rendered) std::printf("%s", r.c_str());
     }
     return 0;
   }
@@ -1146,55 +1272,94 @@ int cmd_analyze(const Args& a) {
   // pair and require the measured region cycles and total energy to lie
   // inside the static interval; report how tight the bounds are and how
   // much cheaper the analysis is than simulation.
+  // Targets are independent (one analyzer pass + one simulator per
+  // program), so they fan out across the pool; partials are reduced in
+  // target order, keeping the UNSOUND report and every statistic
+  // byte-identical for any --threads value. The analyze/simulate timings
+  // become summed per-worker CPU time — the speedup ratio they feed is
+  // unchanged.
   using clock = std::chrono::steady_clock;
+  struct CheckOut {
+    double analyze_s = 0, simulate_s = 0;
+    std::size_t configs = 0, violations = 0, unbounded = 0;
+    double sum_tight = 0, max_tight = 0, sum_etight = 0;
+    std::size_t tight_n = 0;
+    std::string unsound;  ///< UNSOUND lines for stderr, in config order
+    std::string error;    ///< fatal simulation failure
+  };
+  core::ThreadPool check_pool(0);
+  const std::vector<CheckOut> checks =
+      check_pool.parallel_map<CheckOut>(targets.size(), [&](std::size_t i) {
+        const AnalyzeTarget& t = targets[i];
+        CheckOut out;
+        const auto a0 = clock::now();
+        const kir::CostReport rep = kir::analyze_cost(t.prog, params);
+        out.analyze_s =
+            std::chrono::duration<double>(clock::now() - a0).count();
+        sim::Cluster cluster;
+        cluster.load(t.prog);
+        for (const kir::ConfigCost& c : rep.configs) {
+          const auto s0 = clock::now();
+          const sim::RunResult r = cluster.run(c.cores);
+          out.simulate_s +=
+              std::chrono::duration<double>(clock::now() - s0).count();
+          if (!r.ok) {
+            out.error = t.label + " n=" + std::to_string(c.cores) +
+                        ": simulation failed: " + r.error;
+            return out;
+          }
+          ++out.configs;
+          const auto cyc = static_cast<long long>(r.stats.region_cycles());
+          const double fj = energy::compute_energy(r.stats).total_fj();
+          const bool cyc_ok =
+              cyc >= c.cycles.lo && (!c.bounded || cyc <= c.cycles.hi);
+          const bool e_ok = fj >= c.energy_lo_fj &&
+                            (!c.bounded || fj <= c.energy_hi_fj);
+          if (!cyc_ok || !e_ok) {
+            ++out.violations;
+            char line[320];
+            std::snprintf(line, sizeof line,
+                          "UNSOUND %s n=%u: cycles %lld in [%lld, %lld] %s; "
+                          "energy %.1f fJ in [%.1f, %.1f] %s\n",
+                          t.label.c_str(), c.cores, cyc,
+                          static_cast<long long>(c.cycles.lo),
+                          static_cast<long long>(c.cycles.hi),
+                          cyc_ok ? "ok" : "VIOLATED", fj, c.energy_lo_fj,
+                          c.energy_hi_fj, e_ok ? "ok" : "VIOLATED");
+            out.unsound += line;
+          }
+          if (c.bounded) {
+            const double w = c.tightness();
+            out.sum_tight += w;
+            out.max_tight = std::max(out.max_tight, w);
+            // PE leakage makes energy_lo strictly positive for any window.
+            out.sum_etight += c.energy_hi_fj / c.energy_lo_fj;
+            ++out.tight_n;
+          } else {
+            ++out.unbounded;
+          }
+        }
+        return out;
+      });
   double analyze_s = 0, simulate_s = 0;
   std::size_t configs = 0, violations = 0, unbounded = 0;
   double sum_tight = 0, max_tight = 0, sum_etight = 0;
   std::size_t tight_n = 0;
-  for (const AnalyzeTarget& t : targets) {
-    const auto a0 = clock::now();
-    const kir::CostReport rep = kir::analyze_cost(t.prog, params);
-    analyze_s += std::chrono::duration<double>(clock::now() - a0).count();
-    sim::Cluster cluster;
-    cluster.load(t.prog);
-    for (const kir::ConfigCost& c : rep.configs) {
-      const auto s0 = clock::now();
-      const sim::RunResult r = cluster.run(c.cores);
-      simulate_s += std::chrono::duration<double>(clock::now() - s0).count();
-      if (!r.ok) {
-        std::fprintf(stderr, "%s n=%u: simulation failed: %s\n",
-                     t.label.c_str(), c.cores, r.error.c_str());
-        return 1;
-      }
-      ++configs;
-      const auto cyc = static_cast<long long>(r.stats.region_cycles());
-      const double fj = energy::compute_energy(r.stats).total_fj();
-      const bool cyc_ok =
-          cyc >= c.cycles.lo && (!c.bounded || cyc <= c.cycles.hi);
-      const bool e_ok = fj >= c.energy_lo_fj &&
-                        (!c.bounded || fj <= c.energy_hi_fj);
-      if (!cyc_ok || !e_ok) {
-        ++violations;
-        std::fprintf(stderr,
-                     "UNSOUND %s n=%u: cycles %lld in [%lld, %lld] %s; "
-                     "energy %.1f fJ in [%.1f, %.1f] %s\n",
-                     t.label.c_str(), c.cores, cyc,
-                     static_cast<long long>(c.cycles.lo),
-                     static_cast<long long>(c.cycles.hi),
-                     cyc_ok ? "ok" : "VIOLATED", fj, c.energy_lo_fj,
-                     c.energy_hi_fj, e_ok ? "ok" : "VIOLATED");
-      }
-      if (c.bounded) {
-        const double w = c.tightness();
-        sum_tight += w;
-        max_tight = std::max(max_tight, w);
-        // PE leakage makes energy_lo strictly positive for any window.
-        sum_etight += c.energy_hi_fj / c.energy_lo_fj;
-        ++tight_n;
-      } else {
-        ++unbounded;
-      }
+  for (const CheckOut& out : checks) {
+    if (!out.error.empty()) {
+      std::fprintf(stderr, "%s\n", out.error.c_str());
+      return 1;
     }
+    if (!out.unsound.empty()) std::fprintf(stderr, "%s", out.unsound.c_str());
+    analyze_s += out.analyze_s;
+    simulate_s += out.simulate_s;
+    configs += out.configs;
+    violations += out.violations;
+    unbounded += out.unbounded;
+    sum_tight += out.sum_tight;
+    max_tight = std::max(max_tight, out.max_tight);
+    sum_etight += out.sum_etight;
+    tight_n += out.tight_n;
   }
   const double mean_tight = tight_n ? sum_tight / double(tight_n) : 0;
   const double mean_etight = tight_n ? sum_etight / double(tight_n) : 0;
@@ -1224,9 +1389,184 @@ int cmd_analyze(const Args& a) {
   return ok ? 0 : 1;
 }
 
-int cmd_kernels(const Args&) {
+/// `pulpclass gen`: run one generation campaign — draw spec.count
+/// candidates from (spec, seed), screen each through the admission
+/// funnel, dedupe, and persist the admitted corpus (manifest + canonical
+/// renderings + rejection audit) under --out.
+int cmd_gen(const Args& a) {
+  gen::GenSpec spec;
+  if (!a.spec.empty()) spec = gen::GenSpec::parse_file(a.spec);
+  if (a.count > 0) spec.count = static_cast<unsigned>(a.count);
+  gen::AdmitOptions opt;
+  opt.threads = a.threads > 0 ? unsigned(a.threads) : 0;
+  const auto seed = static_cast<std::uint64_t>(a.seed);
+  const gen::CampaignResult result = gen::run_campaign(spec, seed, opt);
+  const std::string out = a.out.empty() ? "pulpclass_gen" : a.out;
+  gen::write_campaign(result, out);
+
+  const std::size_t admitted = result.admitted();
+  const std::size_t total = result.candidates.size();
+  constexpr gen::Stage kRejectStages[] = {
+      gen::Stage::Validate,      gen::Stage::Lower,
+      gen::Stage::Verify,        gen::Stage::Analyze,
+      gen::Stage::DedupeHash,    gen::Stage::DedupeProfile,
+  };
+  const std::size_t dupes = result.rejected_at(gen::Stage::DedupeHash) +
+                            result.rejected_at(gen::Stage::DedupeProfile);
+  if (a.json) {
+    std::string rejected = "{";
+    for (const gen::Stage s : kRejectStages) {
+      if (rejected.size() > 1) rejected += ",";
+      rejected += std::string("\"") + gen::to_string(s) +
+                  "\":" + std::to_string(result.rejected_at(s));
+    }
+    rejected += "}";
+    std::printf(
+        "{\"command\":\"gen\",\"seed\":%llu,\"spec\":%s,\"out\":%s,"
+        "\"candidates\":%zu,\"admitted\":%zu,\"rejected\":%s,"
+        "\"admission_rate\":%.4f,\"dedupe_rate\":%.4f}\n",
+        static_cast<unsigned long long>(seed),
+        json_str(spec.to_string()).c_str(), json_str(out).c_str(), total,
+        admitted, rejected.c_str(),
+        total ? double(admitted) / double(total) : 0.0,
+        total ? double(dupes) / double(total) : 0.0);
+    return admitted > 0 ? 0 : 1;
+  }
+  std::printf("campaign seed %llu: %zu candidates -> %zu admitted\n",
+              static_cast<unsigned long long>(seed), total, admitted);
+  for (const gen::Stage s : kRejectStages) {
+    const std::size_t n = result.rejected_at(s);
+    if (n > 0) std::printf("  rejected at %-14s %zu\n", gen::to_string(s), n);
+  }
+  std::printf("corpus written to %s (use --gen %s to install it)\n",
+              out.c_str(), out.c_str());
+  return admitted > 0 ? 0 : 1;
+}
+
+/// `pulpclass eval --loko`: the enlarged-corpus experiment. Train/test
+/// protocol is leave-one-kernel-out over the 59 seed kernels only; the
+/// generated + mlkern suites are training-only extra corpus, so the two
+/// accuracy columns are directly comparable — same held-out samples,
+/// different training sets.
+int cmd_eval(const Args& a) {
+  if (!a.loko) {
+    std::fprintf(stderr, "eval wants --loko (the only protocol so far)\n");
+    return 2;
+  }
+  if (a.gen.empty()) {
+    std::fprintf(stderr,
+                 "eval --loko needs --gen DIR (run `pulpclass gen` first)\n");
+    return 2;
+  }
+  const gen::Manifest manifest = gen::read_manifest(a.gen);
+
+  // Seed configurations: exactly the paper's 448 samples, independent of
+  // whatever runtime suites --gen installed into the registry.
+  std::vector<core::SampleConfig> seed_cfgs;
+  for (const kernels::KernelInfo& k : kernels::builtin_kernels()) {
+    for (const kir::DType t : {kir::DType::I32, kir::DType::F32}) {
+      if (!k.supports(t)) continue;
+      for (const std::uint32_t bytes : kernels::dataset_sizes()) {
+        seed_cfgs.push_back({k.name, t, bytes});
+      }
+    }
+  }
+  // Extra training corpus: the generated kernels (optionally capped by
+  // --sample, taken in manifest order) and the mlkern suite, both at the
+  // campaign's problem sizes.
+  std::vector<core::SampleConfig> extra = gen::generated_configs(manifest);
+  if (a.sample > 0 && std::size_t(a.sample) < extra.size()) {
+    extra.resize(std::size_t(a.sample));
+  }
+  for (const kernels::KernelInfo& k : kernels::ml_family()) {
+    for (const kir::DType t : {kir::DType::I32, kir::DType::F32}) {
+      if (!k.supports(t)) continue;
+      for (const std::uint32_t bytes : manifest.spec.sizes) {
+        extra.push_back({k.name, t, bytes});
+      }
+    }
+  }
+
+  // Both datasets build through the artifact store, so a second eval (or
+  // a prior `dataset build`) replays counters instead of re-simulating.
+  pulpclass::BuildOptions opt = build_options(a);
+  opt.artifact_dir = store_dir(a);
+  const ml::Dataset ds_seed = core::build_dataset(seed_cfgs, opt,
+                                                  print_progress);
+  std::vector<core::SampleConfig> all_cfgs = seed_cfgs;
+  all_cfgs.insert(all_cfgs.end(), extra.begin(), extra.end());
+  const ml::Dataset ds_all = core::build_dataset(all_cfgs, opt,
+                                                 print_progress);
+
+  const std::vector<std::string> cols =
+      feat::feature_set_columns(feat::FeatureSet::AllStatic);
+  const auto groups_of = [](const ml::Dataset& ds) {
+    std::vector<std::string> g;
+    g.reserve(ds.samples().size());
+    for (const ml::Sample& s : ds.samples()) g.push_back(s.kernel);
+    return g;
+  };
+  // build_dataset lands samples in config order, so the seed samples are
+  // the first seed_cfgs.size() rows of both datasets: one shared holdout
+  // pool.
+  std::vector<std::size_t> pool(seed_cfgs.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  ml::EvalOptions eopt;
+  const ml::GroupEvalResult base = ml::evaluate_leave_one_group_out(
+      ds_seed, cols, groups_of(ds_seed), pool, eopt);
+  const ml::GroupEvalResult enlarged = ml::evaluate_leave_one_group_out(
+      ds_all, cols, groups_of(ds_all), pool, eopt);
+
+  if (a.json) {
+    const auto accs = [](const ml::GroupEvalResult& r) {
+      std::string s = "[";
+      for (std::size_t i = 0; i < r.accuracy.size(); ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%s%.6f", i == 0 ? "" : ",",
+                      r.accuracy[i]);
+        s += buf;
+      }
+      return s + "]";
+    };
+    std::string tols = "[";
+    for (std::size_t i = 0; i < base.tolerances.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%s%g", i == 0 ? "" : ",",
+                    base.tolerances[i]);
+      tols += buf;
+    }
+    tols += "]";
+    std::printf(
+        "{\"command\":\"eval\",\"protocol\":\"loko\",\"gen\":%s,"
+        "\"seed_samples\":%zu,\"extra_samples\":%zu,\"holdout_kernels\":%zu,"
+        "\"tolerances\":%s,\"seed_accuracy\":%s,\"enlarged_accuracy\":%s,"
+        "\"seed_at_0\":%.6f,\"enlarged_at_0\":%.6f,"
+        "\"seed_at_5\":%.6f,\"enlarged_at_5\":%.6f}\n",
+        json_str(a.gen).c_str(), seed_cfgs.size(), extra.size(),
+        base.groups, tols.c_str(), accs(base).c_str(),
+        accs(enlarged).c_str(), base.accuracy_at(0.0),
+        enlarged.accuracy_at(0.0), base.accuracy_at(0.05),
+        enlarged.accuracy_at(0.05));
+    return 0;
+  }
+  std::printf("leave-one-kernel-out over %zu seed kernels "
+              "(%zu held-out samples)\n",
+              base.groups, base.test_samples);
+  std::printf("training corpus: seed %zu samples vs enlarged %zu samples "
+              "(+%zu generated/mlkern)\n",
+              seed_cfgs.size(), all_cfgs.size(), extra.size());
+  std::printf("%-12s %10s %10s\n", "tolerance", "seed", "enlarged");
+  for (std::size_t i = 0; i < base.tolerances.size(); ++i) {
+    std::printf("%-12.2f %9.1f%% %9.1f%%\n", base.tolerances[i],
+                100 * base.accuracy[i], 100 * enlarged.accuracy[i]);
+  }
+  return 0;
+}
+
+int cmd_kernels(const Args& a) {
   std::printf("%-20s %-10s %s\n", "kernel", "suite", "types");
   for (const kernels::KernelInfo& k : kernels::all_kernels()) {
+    if (!a.suite.empty() && k.suite != a.suite) continue;
     const char* types = k.types == kernels::TypeSupport::Both ? "i32 f32"
                         : k.types == kernels::TypeSupport::IntOnly
                             ? "i32"
@@ -1261,6 +1601,17 @@ int main(int argc, char** argv) {
     setenv("PULPC_THREADS", std::to_string(args.threads).c_str(), 1);
   }
   try {
+    if (!args.gen.empty() && cmd != "gen") {
+      // Install the generated corpus + the mlkern suite before dispatch,
+      // so every command sees the enlarged registry.
+      const gen::Manifest m = gen::install_generated(args.gen);
+      kernels::register_runtime_kernels(kernels::ml_family());
+      std::fprintf(stderr,
+                   "installed %zu generated kernels from %s (+mlkern)\n",
+                   m.kernels.size(), args.gen.c_str());
+    }
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "eval") return cmd_eval(args);
     if (cmd == "dataset") return cmd_dataset(args);
     if (cmd == "relabel") {
       // Pre-verb-noun alias for `dataset relabel`.
